@@ -1,0 +1,80 @@
+// Ablation: entropy-coder comparison on real quantized residuals.
+//
+// The paper's decoder uses CAVLC (baseline profile).  This bench harvests
+// the actual residual blocks produced while encoding the prototype clip
+// and codes them with the Exp-Golomb CAVLC-style coder vs the
+// CABAC-style adaptive arithmetic coder across the QP range, reproducing
+// the classic ~10-15% main-profile bitrate advantage.
+#include <cstdio>
+#include <vector>
+
+#include "h264/arith.hpp"
+#include "h264/bitstream.hpp"
+#include "h264/entropy.hpp"
+#include "h264/intra.hpp"
+#include "h264/testvideo.hpp"
+#include "h264/transform.hpp"
+
+using namespace affectsys::h264;
+
+namespace {
+
+/// Harvests quantized intra-DC residual blocks from a clip at one QP —
+/// the same coefficient statistics the slice coder sees.
+std::vector<Block4x4> harvest_blocks(const std::vector<YuvFrame>& video,
+                                     int qp) {
+  std::vector<Block4x4> out;
+  for (const YuvFrame& f : video) {
+    for (int y0 = 0; y0 + 4 <= f.height(); y0 += 4) {
+      for (int x0 = 0; x0 + 4 <= f.width(); x0 += 4) {
+        std::uint8_t pred[16];
+        intra_predict(f.y, x0, y0, 4, IntraMode::kDc, pred);
+        Block4x4 residual{};
+        for (int y = 0; y < 4; ++y) {
+          for (int x = 0; x < 4; ++x) {
+            residual[y][x] =
+                static_cast<int>(f.y.at(x0 + x, y0 + y)) - pred[y * 4 + x];
+          }
+        }
+        out.push_back(transform_quantize(residual, qp));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  VideoConfig vc{64, 64, 12, 1.2, 0.6, 2.5, 77};
+  const auto video = generate_mixed_video(vc, 0.25);
+
+  std::printf("=== ablation: CAVLC-style vs CABAC-style residual coding ===\n");
+  std::printf("%4s %10s %14s %14s %10s\n", "QP", "blocks", "CAVLC (bits)",
+              "CABAC (bits)", "saving");
+  for (int qp : {16, 20, 24, 28, 32, 36, 40}) {
+    const auto blocks = harvest_blocks(video, qp);
+
+    BitWriter cavlc;
+    for (const auto& blk : blocks) encode_residual_block(cavlc, blk);
+
+    ArithEncoder enc;
+    ResidualContexts ctx;
+    for (const auto& blk : blocks) {
+      encode_residual_block_cabac(enc, ctx, blk);
+    }
+    const std::size_t cabac_bits = enc.finish().size() * 8;
+
+    std::printf("%4d %10zu %14zu %14zu %9.1f%%\n", qp, blocks.size(),
+                cavlc.bit_count(), cabac_bits,
+                100.0 * (1.0 - static_cast<double>(cabac_bits) /
+                                   static_cast<double>(cavlc.bit_count())));
+  }
+  std::printf(
+      "\nreading: adaptive arithmetic coding wins at every QP, in the same\n"
+      "direction as H.264 main-profile CABAC vs CAVLC.  The gap here is\n"
+      "larger than silicon's ~10-15%% because our baseline coder uses\n"
+      "generic Exp-Golomb codewords rather than the spec's context-switched\n"
+      "VLC tables (DESIGN.md documents that simplification).\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Ablation: emotion-triggered app prefetching (extension beyond the
+// paper).
+//
+// On every detected emotion change the manager can speculatively preload
+// the top-k apps ranked for the new emotion (without ever evicting a
+// resident process).  Prefetch trades background flash traffic for
+// user-visible start latency; this bench maps that trade as k grows.
+#include <cstdio>
+#include <vector>
+
+#include "core/manager_experiment.hpp"
+
+using namespace affectsys;
+
+int main() {
+  std::printf("=== ablation: emotion-triggered prefetch (top-k) ===\n");
+  std::printf("(mean over 4 seeds; baseline column = FIFO manager)\n\n");
+  std::printf("%-10s %12s %14s %14s %14s\n", "k", "user wait(s)",
+              "cold starts", "prefetches", "flash GB total");
+
+  const std::vector<unsigned> seeds = {99, 1, 2, 3};
+  for (int k : {0, 1, 3, 5, 8}) {
+    double wait = 0.0, colds = 0.0, prefetches = 0.0, flash_gb = 0.0;
+    for (unsigned seed : seeds) {
+      core::ManagerExperimentConfig cfg;
+      cfg.monkey.seed = seed;
+      cfg.prefetch_on_emotion_change = k > 0;
+      cfg.prefetch_top_k = k;
+      const auto res = core::run_manager_experiment(cfg);
+      wait += res.proposed.loading_time_s;
+      colds += static_cast<double>(res.proposed.cold_starts);
+      prefetches += static_cast<double>(res.proposed.prefetches);
+      flash_gb += static_cast<double>(res.proposed.memory_loaded_bytes +
+                                      res.proposed.prefetch_bytes) /
+                  1e9;
+    }
+    const double n = static_cast<double>(seeds.size());
+    std::printf("%-10d %12.1f %14.1f %14.1f %14.2f\n", k, wait / n,
+                colds / n, prefetches / n, flash_gb / n);
+  }
+
+  // Baseline reference row.
+  double base_wait = 0.0, base_gb = 0.0;
+  for (unsigned seed : seeds) {
+    core::ManagerExperimentConfig cfg;
+    cfg.monkey.seed = seed;
+    const auto res = core::run_manager_experiment(cfg);
+    base_wait += res.baseline.loading_time_s;
+    base_gb += static_cast<double>(res.baseline.memory_loaded_bytes) / 1e9;
+  }
+  std::printf("%-10s %12.1f %14s %14s %14.2f\n", "fifo-base",
+              base_wait / static_cast<double>(seeds.size()), "-", "-",
+              base_gb / static_cast<double>(seeds.size()));
+  std::printf(
+      "\nreading: each prefetched hit converts a user-visible cold start\n"
+      "into background work; past the useful k the extra flash traffic\n"
+      "buys nothing (speculation accuracy saturates).\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Fig 6 (bottom) reproduction: affect-driven playback over the 40-minute
+// uulmMAC-style session.
+//
+// A skin-conductance trace is generated for the session timeline
+// (Distracted 0-14 min, Concentrated 14-20, Tense 20-29, Relaxed 29-40).
+// Playback is simulated twice: driven by the ground-truth timeline (as in
+// the paper, where labels come from the database) and driven end-to-end
+// by the SC-magnitude emotion estimator.  Paper result: 23.1% energy
+// saving vs Standard-mode playback.
+#include <cstdio>
+
+#include "adaptive/playback.hpp"
+#include "power/battery.hpp"
+
+using namespace affectsys;
+
+namespace {
+
+void print_report(const char* title, const adaptive::PlaybackReport& r) {
+  std::printf("\n--- %s ---\n", title);
+  std::printf("%8s %8s  %-13s %-16s %12s %9s\n", "from(min)", "to(min)",
+              "emotion", "mode", "energy(mJ)", "PSNR(dB)");
+  for (const auto& seg : r.segments) {
+    std::printf("%8.1f %8.1f  %-13s %-16s %12.2f %9.2f\n", seg.start_s / 60.0,
+                seg.end_s / 60.0, affect::emotion_name(seg.emotion).data(),
+                adaptive::mode_name(seg.mode).data(), seg.energy_nj / 1e6,
+                seg.psnr_db);
+  }
+  std::printf("total energy      %10.2f mJ\n", r.total_energy_nj / 1e6);
+  std::printf("standard baseline %10.2f mJ\n", r.standard_energy_nj / 1e6);
+  std::printf("energy saving     %10.1f %%   (paper: 23.1%%)\n",
+              100.0 * r.energy_saving());
+}
+
+}  // namespace
+
+int main() {
+  adaptive::PlaybackConfig cfg;
+  adaptive::AdaptiveDecoderSystem sys(cfg);
+  const adaptive::AffectVideoPolicy policy;
+  const auto timeline = affect::uulmmac_session_timeline();
+
+  std::printf("=== Fig 6 (bottom): affect-driven video playback energy ===\n");
+
+  // SC trace statistics (the signal plotted in the figure).
+  affect::SclConfig scfg;
+  affect::SclGenerator gen(scfg);
+  const auto trace = gen.generate(timeline);
+  std::printf("SC trace: %zu samples @ %.0f Hz over %.0f min\n", trace.size(),
+              scfg.sample_rate_hz, timeline.duration_s() / 60.0);
+  for (const auto& seg : timeline.segments) {
+    const auto begin =
+        static_cast<std::size_t>(seg.start_s * scfg.sample_rate_hz);
+    const auto end = static_cast<std::size_t>(seg.end_s * scfg.sample_rate_hz);
+    const double act = affect::SclEmotionEstimator::activity_score(
+        {trace.data() + begin, end - begin});
+    std::printf("  %-13s SCR activity %.4f uS/sample\n",
+                affect::emotion_name(seg.emotion).data(), act);
+  }
+
+  const auto oracle = adaptive::simulate_playback(sys, timeline, policy);
+  print_report("labels from database timeline (paper setup)", oracle);
+
+  affect::SclEmotionEstimator est;
+  est.calibrate(trace, scfg.sample_rate_hz, timeline);
+  const auto estimated = adaptive::simulate_playback_from_scl(
+      sys, trace, scfg.sample_rate_hz, est, policy);
+  print_report("labels estimated from the SC signal (end-to-end)", estimated);
+
+  // Continuous-policy variant: graded arousal instead of discrete labels.
+  adaptive::AffectVideoPolicy continuous;
+  for (std::size_t i = 0; i < affect::kNumEmotions; ++i) {
+    const auto e = static_cast<affect::Emotion>(i);
+    continuous.set_mode(
+        e, adaptive::mode_for_circumplex(affect::circumplex(e)));
+  }
+  const auto cont = adaptive::simulate_playback(sys, timeline, continuous);
+  print_report("continuous arousal policy (extension)", cont);
+
+  // Battery-life framing: what the saving buys on a smartwatch cell.
+  // Decoder energy is normalized per decoded pixel on the prototype clip
+  // and scaled to a 480p25 playback workload (the percent saving is
+  // resolution-independent; absolute mW follows the model coefficients).
+  const power::BatteryModel cell;
+  const double session_s = timeline.duration_s();
+  const double clip_px = static_cast<double>(cfg.video.width) *
+                         cfg.video.height * cfg.fps;
+  const double target_px = 854.0 * 480.0 * 25.0;
+  const double scale = target_px / clip_px;
+  const double std_mw = oracle.standard_energy_nj / session_s * 1e-6 * scale;
+  const double adp_mw = oracle.total_energy_nj / session_s * 1e-6 * scale;
+  std::printf("\n--- battery framing (480p25 workload; %.0f mAh @ %.2f V, "
+              "video %.0f%% of draw) ---\n",
+              cell.capacity_mah, cell.voltage_v, 100.0 * cell.video_share);
+  std::printf("decoder avg power   standard %.2f mW -> adaptive %.2f mW\n",
+              std_mw, adp_mw);
+  std::printf("playback endurance  %.1f h -> %.1f h (+%.1f%%)\n",
+              cell.playback_hours(std_mw), cell.playback_hours(adp_mw),
+              100.0 * (cell.playback_hours(adp_mw) /
+                           cell.playback_hours(std_mw) -
+                       1.0));
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Fig 9 reproduction: process lifespan diagram under the system-default
+// baseline and the emotion-adaptive manager, for a 12-minute excited +
+// 8-minute calm session.
+#include <cstdio>
+
+#include "core/manager_experiment.hpp"
+
+using namespace affectsys;
+
+int main() {
+  core::ManagerExperimentConfig cfg;  // excited 0-12 min, calm 12-20 min
+  const auto res = core::run_manager_experiment(cfg);
+
+  std::printf("=== Fig 9: process running diagram (0-20 min) ===\n");
+  std::printf("usage: %zu launches; '=' process alive, '.' not running\n",
+              res.events.size());
+  std::printf("emotion: excited [0, 12 min) -> calm [12, 20 min)\n");
+
+  std::printf("\n--- system default (FIFO) baseline ---\n");
+  std::printf("%s", res.baseline_trace
+                        .render_timeline(res.catalog, res.duration_s, 72)
+                        .c_str());
+  std::printf("kills: %llu, cold starts: %llu\n",
+              static_cast<unsigned long long>(res.baseline.kills),
+              static_cast<unsigned long long>(res.baseline.cold_starts));
+
+  std::printf("\n--- proposed emotion-adaptive manager ---\n");
+  std::printf("%s", res.proposed_trace
+                        .render_timeline(res.catalog, res.duration_s, 72)
+                        .c_str());
+  std::printf("kills: %llu, cold starts: %llu\n",
+              static_cast<unsigned long long>(res.proposed.kills),
+              static_cast<unsigned long long>(res.proposed.cold_starts));
+
+  std::printf(
+      "\npaper observations: (1) the default manager kills most processes as\n"
+      "new apps arrive; (2) the proposed manager keeps emotion-relevant apps\n"
+      "resident, so fewer cold starts occur after the emotion change.\n");
+  std::printf("cold-start reduction: %lld (%.1f%%)\n",
+              static_cast<long long>(res.baseline.cold_starts) -
+                  static_cast<long long>(res.proposed.cold_starts),
+              100.0 *
+                  (1.0 - static_cast<double>(res.proposed.cold_starts) /
+                             static_cast<double>(res.baseline.cold_starts)));
+  return 0;
+}

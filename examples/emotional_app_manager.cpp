@@ -1,0 +1,45 @@
+// Emotional app manager demo (the Section 5 case study as an application).
+//
+// Simulates a phone session whose user is excited for 12 minutes and calm
+// for 8, replaying the identical app-usage sequence under the default
+// FIFO manager and the affect-driven manager, then prints the lifespan
+// diagrams and loading savings.
+//
+// Usage: emotional_app_manager [monkey_seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/manager_experiment.hpp"
+
+using namespace affectsys;
+
+int main(int argc, char** argv) {
+  core::ManagerExperimentConfig cfg;
+  if (argc > 1) cfg.monkey.seed = static_cast<unsigned>(std::atoi(argv[1]));
+
+  std::printf("emotional app manager demo (seed %u)\n", cfg.monkey.seed);
+  std::printf("emulator: %d apps, %llu MB RAM, background limit %d\n",
+              cfg.emulator.total_apps,
+              static_cast<unsigned long long>(cfg.emulator.ram_bytes >> 20),
+              cfg.emulator.process_limit);
+
+  const auto res = core::run_manager_experiment(cfg);
+  std::printf("generated %zu app launches over %.0f minutes\n\n",
+              res.events.size(), res.duration_s / 60.0);
+
+  std::printf("--- default FIFO manager ---\n%s\n",
+              res.baseline_trace.render_timeline(res.catalog, res.duration_s)
+                  .c_str());
+  std::printf("--- emotion-adaptive manager ---\n%s\n",
+              res.proposed_trace.render_timeline(res.catalog, res.duration_s)
+                  .c_str());
+
+  std::printf("memory loaded at app start:  %.2f GB -> %.2f GB  (%.1f%% saved)\n",
+              static_cast<double>(res.baseline.memory_loaded_bytes) / 1e9,
+              static_cast<double>(res.proposed.memory_loaded_bytes) / 1e9,
+              100.0 * res.memory_saving());
+  std::printf("app loading time:            %.1f s -> %.1f s  (%.1f%% saved)\n",
+              res.baseline.loading_time_s, res.proposed.loading_time_s,
+              100.0 * res.time_saving());
+  return 0;
+}

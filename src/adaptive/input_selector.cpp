@@ -1,0 +1,53 @@
+#include "adaptive/input_selector.hpp"
+
+#include <stdexcept>
+
+namespace affectsys::adaptive {
+
+InputSelector::InputSelector(const SelectorParams& params) : params_(params) {
+  if (params.f == 0) {
+    throw std::invalid_argument("InputSelector: f must be >= 1");
+  }
+}
+
+void InputSelector::reset() {
+  stats_ = {};
+  candidate_counter_ = 0;
+}
+
+bool InputSelector::should_delete(const h264::NalUnit& nal) {
+  if (!h264::is_slice(nal)) return false;
+  const auto type = h264::peek_slice_type(nal);
+  if (!type || *type == h264::SliceType::kI) return false;
+  if (nal.byte_size() > params_.s_th) return false;
+  ++stats_.candidates;
+  // Delete one candidate in every f: the first of each group of f.
+  const bool del = candidate_counter_ == 0;
+  candidate_counter_ = (candidate_counter_ + 1) % params_.f;
+  return del;
+}
+
+std::vector<h264::NalUnit> InputSelector::filter(
+    std::vector<h264::NalUnit> units) {
+  std::vector<h264::NalUnit> kept;
+  kept.reserve(units.size());
+  for (h264::NalUnit& nal : units) {
+    ++stats_.units_in;
+    stats_.bytes_in += nal.byte_size();
+    if (should_delete(nal)) {
+      ++stats_.deleted;
+      continue;
+    }
+    stats_.bytes_out += nal.byte_size();
+    ++stats_.units_out;
+    kept.push_back(std::move(nal));
+  }
+  return kept;
+}
+
+std::vector<std::uint8_t> InputSelector::filter_annexb(
+    std::span<const std::uint8_t> stream) {
+  return h264::pack_annexb(filter(h264::unpack_annexb(stream)));
+}
+
+}  // namespace affectsys::adaptive

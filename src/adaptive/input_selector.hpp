@@ -1,0 +1,62 @@
+// The Input Selector of Fig 5: the affect-driven front-end that deletes
+// non-critical NAL units from the compressed bitstream before it reaches
+// the Circular Buffer.
+//
+// Deletion policy (Section 4): a NAL unit is a deletion *candidate* when
+// it carries a P or B slice and its byte size is <= S_th.  With m
+// candidates in the stream, m/f of them are deleted — larger S_th and
+// smaller f delete more data, saving more power at more quality loss.
+// I slices and parameter sets are never touched.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "h264/nal.hpp"
+
+namespace affectsys::adaptive {
+
+struct SelectorParams {
+  std::size_t s_th = 140;  ///< candidate threshold in bytes
+  unsigned f = 1;          ///< delete one candidate in every f (f >= 1)
+};
+
+struct SelectorStats {
+  std::size_t units_in = 0;
+  std::size_t units_out = 0;
+  std::size_t candidates = 0;  ///< m in the paper
+  std::size_t deleted = 0;     ///< m / f
+  std::size_t bytes_in = 0;
+  std::size_t bytes_out = 0;
+
+  double deletion_ratio() const {
+    return bytes_in ? 1.0 - static_cast<double>(bytes_out) / bytes_in : 0.0;
+  }
+};
+
+class InputSelector {
+ public:
+  explicit InputSelector(const SelectorParams& params);
+
+  /// Filters a stream of NAL units, dropping every f-th qualifying P/B
+  /// slice unit of size <= S_th.  Stateless between calls to reset().
+  std::vector<h264::NalUnit> filter(std::vector<h264::NalUnit> units);
+
+  /// Convenience: unpack an Annex-B stream, filter, and repack.
+  std::vector<std::uint8_t> filter_annexb(
+      std::span<const std::uint8_t> stream);
+
+  const SelectorStats& stats() const { return stats_; }
+  void reset();
+
+  const SelectorParams& params() const { return params_; }
+
+ private:
+  bool should_delete(const h264::NalUnit& nal);
+
+  SelectorParams params_;
+  SelectorStats stats_;
+  unsigned candidate_counter_ = 0;
+};
+
+}  // namespace affectsys::adaptive

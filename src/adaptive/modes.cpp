@@ -1,0 +1,80 @@
+#include "adaptive/modes.hpp"
+
+namespace affectsys::adaptive {
+
+using affect::Emotion;
+
+std::string_view mode_name(DecoderMode m) {
+  switch (m) {
+    case DecoderMode::kStandard:
+      return "Standard";
+    case DecoderMode::kDeletion:
+      return "Deletion";
+    case DecoderMode::kDeblockOff:
+      return "DF-Deactivated";
+    case DecoderMode::kCombined:
+      return "Combined";
+  }
+  return "?";
+}
+
+ModeConfig mode_config(DecoderMode m, std::size_t s_th, unsigned f) {
+  ModeConfig cfg;
+  cfg.selector = {s_th, f};
+  switch (m) {
+    case DecoderMode::kStandard:
+      break;
+    case DecoderMode::kDeletion:
+      cfg.delete_nals = true;
+      break;
+    case DecoderMode::kDeblockOff:
+      cfg.deblock = false;
+      break;
+    case DecoderMode::kCombined:
+      cfg.deblock = false;
+      cfg.delete_nals = true;
+      break;
+  }
+  return cfg;
+}
+
+DecoderMode mode_for_circumplex(const affect::CircumplexPoint& p) {
+  if (p.arousal > 0.5) return DecoderMode::kStandard;
+  if (p.arousal > 0.0) return DecoderMode::kDeletion;
+  if (p.arousal > -0.5) return DecoderMode::kDeblockOff;
+  return DecoderMode::kCombined;
+}
+
+AffectVideoPolicy::AffectVideoPolicy() {
+  map_.fill(DecoderMode::kStandard);
+  auto set = [this](Emotion e, DecoderMode m) {
+    map_[static_cast<std::size_t>(e)] = m;
+  };
+  // Section 4 case-study states.
+  set(Emotion::kDistracted, DecoderMode::kCombined);
+  set(Emotion::kConcentrated, DecoderMode::kDeletion);
+  set(Emotion::kTense, DecoderMode::kStandard);
+  set(Emotion::kRelaxed, DecoderMode::kDeblockOff);
+  // Defaults for other states: quality where attention is high, saving
+  // where it is not.
+  set(Emotion::kNeutral, DecoderMode::kDeletion);
+  set(Emotion::kCalm, DecoderMode::kDeblockOff);
+  set(Emotion::kSleepy, DecoderMode::kCombined);
+  set(Emotion::kSad, DecoderMode::kDeblockOff);
+  set(Emotion::kHappy, DecoderMode::kDeletion);
+  set(Emotion::kExcited, DecoderMode::kStandard);
+  set(Emotion::kAngry, DecoderMode::kStandard);
+  set(Emotion::kFearful, DecoderMode::kStandard);
+  set(Emotion::kSurprised, DecoderMode::kStandard);
+  set(Emotion::kDisgust, DecoderMode::kDeletion);
+}
+
+DecoderMode AffectVideoPolicy::mode_for(Emotion e) const {
+  return map_[static_cast<std::size_t>(e)];
+}
+
+void AffectVideoPolicy::set_mode(Emotion e, DecoderMode m) {
+  map_[static_cast<std::size_t>(e)] = m;
+}
+
+}  // namespace affectsys::adaptive

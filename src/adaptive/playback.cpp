@@ -1,0 +1,140 @@
+#include "adaptive/playback.hpp"
+
+#include <stdexcept>
+
+#include "h264/decoder.hpp"
+#include "h264/quality.hpp"
+
+namespace affectsys::adaptive {
+
+AdaptiveDecoderSystem::AdaptiveDecoderSystem(const PlaybackConfig& cfg)
+    : cfg_(cfg) {
+  source_ = h264::generate_mixed_video(cfg_.video, cfg_.quiet_fraction);
+  h264::Encoder enc(cfg_.encoder);
+  stream_ = enc.encode_annexb(source_);
+
+  // Calibrate the power model on a standard-mode reference decode.
+  h264::Decoder ref({.enable_deblock = true});
+  ref.decode_annexb(stream_);
+  coeff_ = power::calibrate_to_deblock_share(
+      power::EnergyCoefficients{}, ref.activity(), cfg_.deblock_power_share);
+}
+
+const ModeProfile& AdaptiveDecoderSystem::profile(DecoderMode m) {
+  auto& slot = profiles_[static_cast<std::size_t>(m)];
+  if (!slot) {
+    slot = measure(m);
+    // norm_power needs the Standard reference; compute it on demand.
+    if (m != DecoderMode::kStandard) {
+      auto& std_slot = profiles_[static_cast<std::size_t>(DecoderMode::kStandard)];
+      if (!std_slot) std_slot = measure(DecoderMode::kStandard);
+      slot->norm_power =
+          slot->energy.total_nj() / std_slot->energy.total_nj();
+    }
+  }
+  return *slot;
+}
+
+ModeProfile AdaptiveDecoderSystem::measure(DecoderMode m) const {
+  const ModeConfig mc = mode_config(m, cfg_.s_th, cfg_.f);
+  ModeProfile prof;
+  prof.mode = m;
+
+  std::vector<std::uint8_t> stream = stream_;
+  if (mc.delete_nals) {
+    InputSelector selector(mc.selector);
+    stream = selector.filter_annexb(stream);
+    prof.selector = selector.stats();
+  }
+
+  h264::Decoder dec({.enable_deblock = mc.deblock});
+  auto decoded = dec.decode_annexb(stream);
+  prof.energy = power::decode_energy(dec.activity(), coeff_);
+
+  const auto display = h264::assemble_display_sequence(
+      std::move(decoded), static_cast<int>(source_.size()));
+  if (display.size() != source_.size()) {
+    throw std::logic_error("AdaptiveDecoderSystem: display sequence underrun");
+  }
+  std::vector<h264::YuvFrame> frames;
+  frames.reserve(display.size());
+  for (const auto& p : display) frames.push_back(p.frame);
+  prof.psnr_db = h264::sequence_psnr(source_, frames);
+  return prof;
+}
+
+PlaybackReport simulate_playback(AdaptiveDecoderSystem& system,
+                                 const affect::EmotionTimeline& timeline,
+                                 const AffectVideoPolicy& policy) {
+  PlaybackReport report;
+  const double clip_seconds =
+      static_cast<double>(system.clip_frames()) / system.config().fps;
+  const double std_energy_per_clip =
+      system.profile(DecoderMode::kStandard).energy.total_nj();
+
+  for (const auto& seg : timeline.segments) {
+    const double duration = seg.end_s - seg.start_s;
+    if (duration <= 0.0) continue;
+    const DecoderMode mode = policy.mode_for(seg.emotion);
+    const ModeProfile& prof = system.profile(mode);
+    const double clips = duration / clip_seconds;
+
+    PlaybackSegment out;
+    out.start_s = seg.start_s;
+    out.end_s = seg.end_s;
+    out.emotion = seg.emotion;
+    out.mode = mode;
+    out.energy_nj = prof.energy.total_nj() * clips;
+    out.psnr_db = prof.psnr_db;
+    report.segments.push_back(out);
+
+    report.total_energy_nj += out.energy_nj;
+    report.standard_energy_nj += std_energy_per_clip * clips;
+  }
+  return report;
+}
+
+PlaybackReport simulate_playback_from_scl(
+    AdaptiveDecoderSystem& system, const std::vector<double>& scl_trace,
+    double scl_rate_hz, const affect::SclEmotionEstimator& estimator,
+    const AffectVideoPolicy& policy, double window_s) {
+  // Classify fixed windows of the SC trace, smooth with an EmotionStream,
+  // and emit a segment each time the stable emotion changes.
+  const auto win = static_cast<std::size_t>(window_s * scl_rate_hz);
+  if (win == 0 || scl_trace.size() < win) {
+    throw std::invalid_argument("simulate_playback_from_scl: trace too short");
+  }
+  affect::StreamConfig sc;
+  sc.vote_window = 3;
+  sc.min_dwell_s = 2.0 * window_s;
+  affect::EmotionStream stream(sc);
+
+  affect::EmotionTimeline timeline;
+  double seg_start = 0.0;
+  affect::Emotion current = affect::Emotion::kRelaxed;
+  bool first = true;
+  for (std::size_t start = 0; start + win <= scl_trace.size(); start += win) {
+    const double t = static_cast<double>(start) / scl_rate_hz;
+    const affect::Emotion raw =
+        estimator.classify({scl_trace.data() + start, win});
+    if (first) {
+      // Seed the stable state with the first observation.
+      current = raw;
+      first = false;
+    }
+    if (auto changed = stream.push(t, raw)) {
+      if (t > seg_start) {
+        timeline.segments.push_back({seg_start, t, current});
+        seg_start = t;
+      }
+      current = *changed;
+    }
+  }
+  const double end_s = static_cast<double>(scl_trace.size()) / scl_rate_hz;
+  if (end_s > seg_start) {
+    timeline.segments.push_back({seg_start, end_s, current});
+  }
+  return simulate_playback(system, timeline, policy);
+}
+
+}  // namespace affectsys::adaptive

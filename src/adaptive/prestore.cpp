@@ -1,0 +1,56 @@
+#include "adaptive/prestore.hpp"
+
+#include <algorithm>
+
+namespace affectsys::adaptive {
+
+std::size_t PreStoreBuffer::write(std::span<const std::uint8_t> bytes) {
+  const std::size_t space = kCapacityBytes - fill_;
+  const std::size_t n = std::min(space, bytes.size());
+  if (n < bytes.size()) ++stats_.producer_stalls;
+  for (std::size_t i = 0; i < n; ++i) {
+    data_[(head_ + fill_ + i) % kCapacityBytes] = bytes[i];
+  }
+  fill_ += n;
+  stats_.words_written += (n + kBytesPerWord - 1) / kBytesPerWord;
+  return n;
+}
+
+std::vector<std::uint8_t> PreStoreBuffer::read(std::size_t max_bytes) {
+  const std::size_t n = std::min(fill_, max_bytes);
+  if (n == 0 && max_bytes > 0) ++stats_.consumer_stalls;
+  std::vector<std::uint8_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = data_[(head_ + i) % kCapacityBytes];
+  }
+  head_ = (head_ + n) % kCapacityBytes;
+  fill_ -= n;
+  stats_.words_read += (n + kBytesPerWord - 1) / kBytesPerWord;
+  return out;
+}
+
+bool PreStoreBuffer::rewind(std::size_t bytes) {
+  if (bytes > fill_) return false;
+  fill_ -= bytes;
+  ++stats_.rewinds;
+  return true;
+}
+
+PreStoreStats simulate_stream_through(std::span<const std::uint8_t> bytes,
+                                      std::size_t producer_chunk,
+                                      std::size_t consumer_chunk) {
+  PreStoreBuffer buf;
+  std::size_t wr = 0;
+  std::size_t rd = 0;
+  // Alternate producer and consumer turns until the stream drains.
+  while (rd < bytes.size()) {
+    if (wr < bytes.size()) {
+      const std::size_t want = std::min(producer_chunk, bytes.size() - wr);
+      wr += buf.write(bytes.subspan(wr, want));
+    }
+    rd += buf.read(consumer_chunk).size();
+  }
+  return buf.stats();
+}
+
+}  // namespace affectsys::adaptive

@@ -1,0 +1,66 @@
+// The Pre-store Buffer of Fig 5: a 128 x 16-bit ring inserted between the
+// Input Selector and the decoder's Circular Buffer, with a producer /
+// consumer handshake that prevents read-write conflicts.
+//
+// The buffer carries raw bitstream bytes (two per 16-bit word).  When the
+// Input Selector decides to drop a NAL unit it rewinds its write pointer
+// over the unit's already-written words — the "adjust the writing
+// address" mechanism described in Section 4 — which is only possible for
+// words the consumer has not yet crossed; the handshake guarantees that.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace affectsys::adaptive {
+
+struct PreStoreStats {
+  std::uint64_t words_written = 0;
+  std::uint64_t words_read = 0;
+  std::uint64_t producer_stalls = 0;  ///< writes refused: buffer full
+  std::uint64_t consumer_stalls = 0;  ///< reads refused: buffer empty
+  std::uint64_t rewinds = 0;          ///< NAL deletions via write rewind
+};
+
+class PreStoreBuffer {
+ public:
+  static constexpr std::size_t kWords = 128;
+  static constexpr std::size_t kBytesPerWord = 2;
+  static constexpr std::size_t kCapacityBytes = kWords * kBytesPerWord;
+
+  /// Attempts to enqueue bytes; returns the number actually accepted
+  /// (producer must retry the remainder after the consumer drains —
+  /// a refused write is counted as a producer stall).
+  std::size_t write(std::span<const std::uint8_t> bytes);
+
+  /// Dequeues up to max_bytes; returns the bytes read (may be empty, which
+  /// counts as a consumer stall).
+  std::vector<std::uint8_t> read(std::size_t max_bytes);
+
+  /// Rewinds the write pointer by `bytes` (deleting an uncommitted NAL
+  /// unit).  Fails (returns false) if that many bytes are not pending.
+  bool rewind(std::size_t bytes);
+
+  std::size_t size_bytes() const { return fill_; }
+  bool empty() const { return fill_ == 0; }
+  bool full() const { return fill_ == kCapacityBytes; }
+
+  const PreStoreStats& stats() const { return stats_; }
+
+ private:
+  std::uint8_t data_[kCapacityBytes] = {};
+  std::size_t head_ = 0;  ///< consumer position
+  std::size_t fill_ = 0;
+  PreStoreStats stats_;
+};
+
+/// Streams a byte sequence through a PreStoreBuffer with a fixed
+/// consumer/producer rate ratio, returning the handshake statistics.
+/// Models the decoder fetching from the Circular Buffer while the Input
+/// Selector refills the Pre-store Buffer.
+PreStoreStats simulate_stream_through(std::span<const std::uint8_t> bytes,
+                                      std::size_t producer_chunk,
+                                      std::size_t consumer_chunk);
+
+}  // namespace affectsys::adaptive

@@ -1,0 +1,61 @@
+#include "affect/classifier.hpp"
+
+#include <stdexcept>
+
+#include "nn/loss.hpp"
+
+namespace affectsys::affect {
+
+AffectClassifier::AffectClassifier(nn::Sequential model,
+                                   std::vector<Emotion> label_set,
+                                   FeatureConfig feature_cfg)
+    : model_(std::move(model)),
+      label_set_(std::move(label_set)),
+      fx_(feature_cfg) {
+  if (label_set_.empty()) {
+    throw std::invalid_argument("AffectClassifier: empty label set");
+  }
+}
+
+ClassificationResult AffectClassifier::classify(
+    std::span<const double> samples) {
+  return classify_features(fx_.extract(samples));
+}
+
+ClassificationResult AffectClassifier::classify_features(
+    const nn::Matrix& features) {
+  const nn::Matrix logits = model_.forward(features);
+  ClassificationResult res;
+  res.probabilities = nn::softmax_probs(logits);
+  const std::size_t idx = nn::argmax(res.probabilities);
+  if (idx >= label_set_.size()) {
+    throw std::logic_error("AffectClassifier: model output wider than labels");
+  }
+  res.emotion = label_set_[idx];
+  res.confidence = res.probabilities[idx];
+  return res;
+}
+
+AffectClassifier train_affect_classifier(nn::ModelKind kind,
+                                         const CorpusProfile& corpus,
+                                         const nn::TrainConfig& train_cfg,
+                                         unsigned corpus_seed) {
+  const FeatureConfig fc = default_feature_config();
+  const FeatureExtractor fx(fc);
+  const LabelledCorpus data = build_corpus(corpus, fx, corpus_seed);
+
+  nn::Dataset train_set, test_set;
+  nn::split_dataset(data.samples, 0.2, train_cfg.seed, train_set, test_set);
+
+  nn::ClassifierSpec spec;
+  spec.input_features = fx.feature_dim();
+  spec.timesteps = fx.timesteps();
+  spec.num_classes = data.num_classes();
+
+  std::mt19937 rng(train_cfg.seed);
+  nn::Sequential model = nn::build_model(kind, spec, rng);
+  nn::train(model, train_set, train_cfg);
+  return AffectClassifier(std::move(model), data.label_set, fc);
+}
+
+}  // namespace affectsys::affect

@@ -1,0 +1,53 @@
+// End-to-end affect classifier: waveform -> features -> model -> emotion.
+//
+// This is the software stand-in for the smartphone "neural engine" path in
+// Fig 2/Fig 4: biosignals arrive from the wearable, features are extracted
+// and a small on-device model emits an emotion label with confidence.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "affect/dataset.hpp"
+#include "affect/emotion.hpp"
+#include "affect/features.hpp"
+#include "nn/model.hpp"
+
+namespace affectsys::affect {
+
+struct ClassificationResult {
+  Emotion emotion = Emotion::kNeutral;
+  float confidence = 0.0f;           ///< softmax probability of the winner
+  std::vector<float> probabilities;  ///< per-class, in label_set order
+};
+
+class AffectClassifier {
+ public:
+  /// Takes ownership of a trained model whose output order matches
+  /// `label_set`.
+  AffectClassifier(nn::Sequential model, std::vector<Emotion> label_set,
+                   FeatureConfig feature_cfg);
+
+  /// Classifies a raw audio/biosignal window.
+  ClassificationResult classify(std::span<const double> samples);
+
+  /// Classifies an already-extracted feature sequence.
+  ClassificationResult classify_features(const nn::Matrix& features);
+
+  const std::vector<Emotion>& label_set() const { return label_set_; }
+  nn::Sequential& model() { return model_; }
+
+ private:
+  nn::Sequential model_;
+  std::vector<Emotion> label_set_;
+  FeatureExtractor fx_;
+};
+
+/// Convenience: trains a classifier of the given kind on a synthesized
+/// corpus (used by examples and integration tests).
+AffectClassifier train_affect_classifier(nn::ModelKind kind,
+                                         const CorpusProfile& corpus,
+                                         const nn::TrainConfig& train_cfg,
+                                         unsigned corpus_seed = 7);
+
+}  // namespace affectsys::affect

@@ -1,0 +1,30 @@
+// Builds labelled NN datasets from synthesized emotional-speech corpora.
+#pragma once
+
+#include <vector>
+
+#include "affect/features.hpp"
+#include "affect/speech_synth.hpp"
+#include "nn/trainer.hpp"
+
+namespace affectsys::affect {
+
+/// A corpus rendered into classifier-ready feature sequences.
+struct LabelledCorpus {
+  std::string name;
+  std::vector<Emotion> label_set;  ///< class index -> emotion
+  nn::Dataset samples;
+
+  std::size_t num_classes() const { return label_set.size(); }
+};
+
+/// Synthesizes `profile` and extracts features for every utterance.
+/// Labels are indices into profile.emotions.
+LabelledCorpus build_corpus(const CorpusProfile& profile,
+                            const FeatureExtractor& fx, unsigned seed);
+
+/// Default feature geometry used across the Fig 3 experiments:
+/// 13 MFCCs + 4 scalars, 64 timesteps.
+FeatureConfig default_feature_config();
+
+}  // namespace affectsys::affect

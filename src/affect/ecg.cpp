@@ -1,0 +1,130 @@
+#include "affect/ecg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace affectsys::affect {
+namespace {
+
+/// Gaussian bump helper for the P/Q/R/S/T waves.
+double wave(double t, double center, double width, double amp) {
+  const double d = (t - center) / width;
+  return amp * std::exp(-0.5 * d * d);
+}
+
+/// One beat's P-QRS-T morphology at time `t` seconds after beat onset,
+/// scaled to the RR interval so waves do not collide at high heart rates.
+double pqrst(double t, double rr) {
+  const double s = std::min(rr, 1.0);  // morphology compresses above 60 bpm
+  double v = 0.0;
+  v += wave(t, 0.16 * s, 0.025 * s, 0.15);   // P
+  v += wave(t, 0.26 * s, 0.010 * s, -0.12);  // Q
+  v += wave(t, 0.28 * s, 0.012 * s, 1.10);   // R
+  v += wave(t, 0.30 * s, 0.010 * s, -0.25);  // S
+  v += wave(t, 0.50 * s, 0.060 * s, 0.30);   // T
+  return v;
+}
+
+}  // namespace
+
+std::vector<double> EcgGenerator::generate(const EmotionTimeline& timeline) {
+  const double dur = timeline.duration_s();
+  const auto n = static_cast<std::size_t>(dur * cfg_.sample_rate_hz);
+  std::vector<double> out(n, 0.0);
+  r_peaks_.clear();
+
+  std::mt19937 rng(cfg_.seed);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+
+  // Beat train from the shared emotion-dependent cardio profile, with a
+  // slow autonomic wander as in the PPG generator.
+  double t = 0.1;
+  double wander = 0.0;
+  std::vector<std::pair<double, double>> beats;  // (onset, rr)
+  while (t < dur) {
+    const CardioProfile prof = cardio_profile(timeline.at(t));
+    wander = std::clamp(wander + 0.01 * cfg_.hr_wander * gauss(rng),
+                        -cfg_.hr_wander, cfg_.hr_wander);
+    const double mean_rr = 60.0 / prof.mean_hr_bpm * (1.0 + wander);
+    const double hrv_s = prof.rmssd_ms / 1000.0 / std::numbers::sqrt2;
+    const double rsa = prof.rsa_depth *
+                       std::sin(2.0 * std::numbers::pi *
+                                cfg_.respiration_hz * t);
+    double rr = mean_rr * (1.0 + rsa) + hrv_s * gauss(rng);
+    rr = std::clamp(rr, 0.33, 1.5);
+    beats.push_back({t, rr});
+    r_peaks_.push_back(t + 0.28 * std::min(rr, 1.0));  // R-wave center
+    t += rr;
+  }
+
+  for (const auto& [onset, rr] : beats) {
+    const auto begin = static_cast<std::size_t>(onset * cfg_.sample_rate_hz);
+    const auto len = static_cast<std::size_t>(rr * cfg_.sample_rate_hz);
+    for (std::size_t i = 0; i < len && begin + i < n; ++i) {
+      const double tau = static_cast<double>(i) / cfg_.sample_rate_hz;
+      out[begin + i] += pqrst(tau, rr);
+    }
+  }
+  // Baseline wander + sensor noise.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ts = static_cast<double>(i) / cfg_.sample_rate_hz;
+    out[i] += cfg_.baseline_wander *
+              std::sin(2.0 * std::numbers::pi * cfg_.respiration_hz * ts);
+    out[i] += cfg_.noise * gauss(rng);
+  }
+  return out;
+}
+
+std::vector<double> detect_r_peaks(std::span<const double> ecg,
+                                   double sample_rate_hz) {
+  std::vector<double> peaks;
+  if (ecg.size() < 16) return peaks;
+
+  // 1. Five-point derivative (Pan-Tompkins H(z) approximation).
+  std::vector<double> deriv(ecg.size(), 0.0);
+  for (std::size_t i = 2; i + 2 < ecg.size(); ++i) {
+    deriv[i] = (2.0 * ecg[i + 2] + ecg[i + 1] - ecg[i - 1] -
+                2.0 * ecg[i - 2]) / 8.0;
+  }
+  // 2. Squaring.
+  for (double& v : deriv) v = v * v;
+  // 3. Moving-window integration (~120 ms).
+  const auto win = std::max<std::size_t>(
+      1, static_cast<std::size_t>(0.12 * sample_rate_hz));
+  std::vector<double> mwi(ecg.size(), 0.0);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < ecg.size(); ++i) {
+    acc += deriv[i];
+    if (i >= win) acc -= deriv[i - win];
+    mwi[i] = acc / static_cast<double>(win);
+  }
+  // 4. Adaptive threshold + refractory period.
+  double signal_level = 0.0;
+  for (double v : mwi) signal_level = std::max(signal_level, v);
+  double threshold = 0.3 * signal_level;
+  const auto refractory = static_cast<std::size_t>(0.25 * sample_rate_hz);
+  std::size_t last_peak = 0;
+  bool have_peak = false;
+  for (std::size_t i = 1; i + 1 < mwi.size(); ++i) {
+    const bool is_peak =
+        mwi[i] > threshold && mwi[i] >= mwi[i - 1] && mwi[i] > mwi[i + 1];
+    if (!is_peak) continue;
+    if (have_peak && i - last_peak < refractory) continue;
+    // Refine: locate the ECG maximum inside the integration window (the
+    // MWI peak lags the R wave by ~win/2).
+    const std::size_t lo = i > win ? i - win : 0;
+    std::size_t best = lo;
+    for (std::size_t j = lo; j <= i && j < ecg.size(); ++j) {
+      if (ecg[j] > ecg[best]) best = j;
+    }
+    peaks.push_back(static_cast<double>(best) / sample_rate_hz);
+    last_peak = i;
+    have_peak = true;
+    // Track the running signal level so amplitude drift is tolerated.
+    threshold = 0.6 * threshold + 0.4 * (0.3 * mwi[i]);
+  }
+  return peaks;
+}
+
+}  // namespace affectsys::affect

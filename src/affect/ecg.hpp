@@ -1,0 +1,53 @@
+// Electrocardiogram (ECG) channel: waveform synthesis and R-peak
+// detection.
+//
+// The wearable in Fig 2/Fig 4 carries an ECG sensor alongside PPG and
+// EDA.  This module synthesizes a P-QRS-T morphology whose rhythm follows
+// the same emotion-dependent cardio profile as the PPG channel, and
+// recovers beats with a Pan-Tompkins-style detector (derivative ->
+// squaring -> moving-window integration -> adaptive threshold).  HRV
+// features then come from affect/ppg.hpp's hrv_features(), so ECG slots
+// into the multimodal fusion as a drop-in beat source.
+#pragma once
+
+#include <random>
+#include <span>
+#include <vector>
+
+#include "affect/ppg.hpp"  // CardioProfile, HrvFeatures
+#include "affect/scl.hpp"  // EmotionTimeline
+
+namespace affectsys::affect {
+
+struct EcgConfig {
+  double sample_rate_hz = 250.0;  ///< clinical-wearable class rate
+  double noise = 0.01;            ///< baseline noise sigma (mV scale)
+  double baseline_wander = 0.05;  ///< respiration-coupled drift amplitude
+  double respiration_hz = 0.25;
+  /// Slow autonomic heart-rate wander (matches PpgConfig::hr_wander).
+  double hr_wander = 0.06;
+  unsigned seed = 17;
+};
+
+/// Generates an ECG trace over an emotion timeline (amplitude in mV).
+class EcgGenerator {
+ public:
+  explicit EcgGenerator(const EcgConfig& cfg) : cfg_(cfg) {}
+
+  std::vector<double> generate(const EmotionTimeline& timeline);
+
+  /// Ground-truth R-peak times of the last generate() call.
+  const std::vector<double>& last_r_peaks() const { return r_peaks_; }
+
+  const EcgConfig& config() const { return cfg_; }
+
+ private:
+  EcgConfig cfg_;
+  std::vector<double> r_peaks_;
+};
+
+/// Pan-Tompkins-style R-peak detector.  Returns peak times in seconds.
+std::vector<double> detect_r_peaks(std::span<const double> ecg,
+                                   double sample_rate_hz);
+
+}  // namespace affectsys::affect

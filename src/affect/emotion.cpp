@@ -1,0 +1,120 @@
+#include "affect/emotion.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace affectsys::affect {
+
+std::string_view emotion_name(Emotion e) {
+  switch (e) {
+    case Emotion::kNeutral:
+      return "neutral";
+    case Emotion::kCalm:
+      return "calm";
+    case Emotion::kHappy:
+      return "happy";
+    case Emotion::kSad:
+      return "sad";
+    case Emotion::kAngry:
+      return "angry";
+    case Emotion::kFearful:
+      return "fearful";
+    case Emotion::kDisgust:
+      return "disgust";
+    case Emotion::kSurprised:
+      return "surprised";
+    case Emotion::kDistracted:
+      return "distracted";
+    case Emotion::kConcentrated:
+      return "concentrated";
+    case Emotion::kTense:
+      return "tense";
+    case Emotion::kRelaxed:
+      return "relaxed";
+    case Emotion::kExcited:
+      return "excited";
+    case Emotion::kSleepy:
+      return "sleepy";
+  }
+  return "unknown";
+}
+
+std::optional<Emotion> emotion_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kNumEmotions; ++i) {
+    const auto e = static_cast<Emotion>(i);
+    if (emotion_name(e) == name) return e;
+  }
+  return std::nullopt;
+}
+
+CircumplexPoint circumplex(Emotion e) {
+  switch (e) {
+    case Emotion::kNeutral:
+      return {0.0, 0.0, 0.0};
+    case Emotion::kCalm:
+      return {0.4, -0.5, 0.2};
+    case Emotion::kHappy:
+      return {0.8, 0.5, 0.4};
+    case Emotion::kSad:
+      return {-0.7, -0.4, -0.4};
+    case Emotion::kAngry:
+      return {-0.6, 0.8, 0.3};
+    case Emotion::kFearful:
+      return {-0.7, 0.7, -0.6};
+    case Emotion::kDisgust:
+      return {-0.6, 0.3, 0.1};
+    case Emotion::kSurprised:
+      return {0.3, 0.8, -0.1};
+    case Emotion::kDistracted:
+      return {-0.1, 0.2, -0.2};
+    case Emotion::kConcentrated:
+      return {0.2, 0.6, 0.5};
+    case Emotion::kTense:
+      return {-0.4, 0.7, -0.3};
+    case Emotion::kRelaxed:
+      return {0.6, -0.6, 0.3};
+    case Emotion::kExcited:
+      return {0.7, 0.9, 0.4};
+    case Emotion::kSleepy:
+      return {0.0, -0.9, -0.2};
+  }
+  return {};
+}
+
+Emotion nearest_basic_emotion(const CircumplexPoint& p) {
+  double best = std::numeric_limits<double>::infinity();
+  Emotion best_e = Emotion::kNeutral;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const auto e = static_cast<Emotion>(i);
+    const CircumplexPoint q = circumplex(e);
+    const double dv = p.valence - q.valence;
+    const double da = p.arousal - q.arousal;
+    const double dd = p.dominance - q.dominance;
+    const double d = dv * dv + da * da + dd * dd;
+    if (d < best) {
+      best = d;
+      best_e = e;
+    }
+  }
+  return best_e;
+}
+
+double mood_angle(const CircumplexPoint& p) {
+  return std::atan2(p.arousal, p.valence);
+}
+
+bool is_attention_critical(Emotion e) {
+  switch (e) {
+    case Emotion::kConcentrated:
+    case Emotion::kTense:
+    case Emotion::kExcited:
+    case Emotion::kSurprised:
+    case Emotion::kAngry:
+    case Emotion::kFearful:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace affectsys::affect

@@ -1,0 +1,65 @@
+// Emotion taxonomy and the Russell circumplex model (Fig 1 of the paper).
+//
+// Every discrete emotion label used anywhere in the system maps to a point
+// in (valence, arousal, dominance) space; management policies may consume
+// either the discrete label or the continuous coordinates.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string_view>
+
+namespace affectsys::affect {
+
+/// Discrete emotion labels.  The first eight are the RAVDESS label set;
+/// kDistracted/kConcentrated/kTense/kRelaxed are the uulmMAC mental-load
+/// states used in the video-playback case study (Fig 6);
+/// kExcited/kCalmState are the app-management states (Fig 9).
+enum class Emotion {
+  kNeutral,
+  kCalm,
+  kHappy,
+  kSad,
+  kAngry,
+  kFearful,
+  kDisgust,
+  kSurprised,
+  kDistracted,
+  kConcentrated,
+  kTense,
+  kRelaxed,
+  kExcited,
+  kSleepy,
+};
+
+inline constexpr std::size_t kNumEmotions = 14;
+
+std::string_view emotion_name(Emotion e);
+std::optional<Emotion> emotion_from_name(std::string_view name);
+
+/// A point in Russell's three-dimensional circumplex.
+/// valence: unpleasant (-1) .. pleasant (+1)
+/// arousal: deactivated (-1) .. activated (+1)
+/// dominance: controlled (-1) .. in-control (+1)
+struct CircumplexPoint {
+  double valence = 0.0;
+  double arousal = 0.0;
+  double dominance = 0.0;
+};
+
+/// Canonical circumplex coordinates of each discrete emotion.
+CircumplexPoint circumplex(Emotion e);
+
+/// Nearest discrete emotion to a circumplex point (Euclidean distance over
+/// valence/arousal/dominance), restricted to the first eight basic labels.
+Emotion nearest_basic_emotion(const CircumplexPoint& p);
+
+/// Mood angle in radians in the valence-arousal plane, measured
+/// counter-clockwise from the +valence axis (the paper's "mood angle").
+double mood_angle(const CircumplexPoint& p);
+
+/// True for states where video quality matters to the user
+/// (high arousal / attention states per the Section 4 policy).
+bool is_attention_critical(Emotion e);
+
+}  // namespace affectsys::affect

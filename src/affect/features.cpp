@@ -1,0 +1,57 @@
+#include "affect/features.hpp"
+
+#include <cmath>
+
+#include "signal/features.hpp"
+#include "signal/window.hpp"
+
+namespace affectsys::affect {
+
+FeatureExtractor::FeatureExtractor(const FeatureConfig& cfg)
+    : cfg_(cfg), mfcc_(cfg.mfcc) {}
+
+nn::Matrix FeatureExtractor::extract(std::span<const double> samples) const {
+  const auto& mc = cfg_.mfcc;
+  const auto frames = signal::frame_signal(samples, mc.frame_len, mc.hop);
+  const std::size_t dim = feature_dim();
+  nn::Matrix out(cfg_.timesteps, dim);
+
+  const std::size_t T = std::min(frames.size(), cfg_.timesteps);
+  for (std::size_t t = 0; t < T; ++t) {
+    const auto& frame = frames[t];
+    const std::vector<double> mfcc = mfcc_.extract_frame(frame);
+    for (std::size_t c = 0; c < mfcc.size(); ++c) {
+      out(t, c) = static_cast<float>(mfcc[c]);
+    }
+    std::size_t c = mfcc.size();
+    out(t, c++) = static_cast<float>(signal::zero_crossing_rate(frame));
+    out(t, c++) = static_cast<float>(signal::rms(frame));
+    const auto pitch =
+        signal::estimate_pitch(frame, mc.sample_rate, 60.0, 400.0);
+    // Unvoiced frames carry pitch 0; voiced pitch is scaled to O(1).
+    out(t, c++) = static_cast<float>(pitch.value_or(0.0) / 400.0);
+    out(t, c++) =
+        static_cast<float>(signal::mean_magnitude(frame, mc.fft_size));
+  }
+
+  if (cfg_.standardize && T > 1) {
+    for (std::size_t c = 0; c < dim; ++c) {
+      double mean = 0.0;
+      for (std::size_t t = 0; t < T; ++t) mean += out(t, c);
+      mean /= static_cast<double>(T);
+      double var = 0.0;
+      for (std::size_t t = 0; t < T; ++t) {
+        const double d = out(t, c) - mean;
+        var += d * d;
+      }
+      var /= static_cast<double>(T);
+      const double sd = std::sqrt(var) + 1e-6;
+      for (std::size_t t = 0; t < cfg_.timesteps; ++t) {
+        out(t, c) = static_cast<float>((out(t, c) - mean) / sd);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace affectsys::affect

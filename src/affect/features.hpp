@@ -1,0 +1,38 @@
+// Assembles the classifier input features from a raw waveform:
+// per-frame MFCC + zero-crossing + RMS + pitch + spectral magnitude
+// (Section 2.2's feature list), stacked into a fixed-length sequence
+// Matrix with per-feature standardization.
+#pragma once
+
+#include <span>
+
+#include "nn/matrix.hpp"
+#include "signal/mel.hpp"
+
+namespace affectsys::affect {
+
+struct FeatureConfig {
+  signal::MfccConfig mfcc;
+  std::size_t timesteps = 64;  ///< sequences are cropped/padded to this
+  bool standardize = true;     ///< per-feature z-score over the utterance
+};
+
+class FeatureExtractor {
+ public:
+  explicit FeatureExtractor(const FeatureConfig& cfg);
+
+  /// Features per timestep: num_coeffs MFCCs + {zcr, rms, pitch, magnitude}.
+  std::size_t feature_dim() const { return cfg_.mfcc.num_coeffs + 4; }
+  std::size_t timesteps() const { return cfg_.timesteps; }
+
+  /// (timesteps, feature_dim) feature matrix for a waveform.
+  nn::Matrix extract(std::span<const double> samples) const;
+
+  const FeatureConfig& config() const { return cfg_; }
+
+ private:
+  FeatureConfig cfg_;
+  signal::MfccExtractor mfcc_;
+};
+
+}  // namespace affectsys::affect

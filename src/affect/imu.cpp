@@ -1,0 +1,93 @@
+#include "affect/imu.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <string_view>
+
+#include "signal/features.hpp"
+
+namespace affectsys::affect {
+
+std::string_view activity_name(ActivityState a) {
+  switch (a) {
+    case ActivityState::kStill:
+      return "still";
+    case ActivityState::kWalking:
+      return "walking";
+    case ActivityState::kRunning:
+      return "running";
+  }
+  return "?";
+}
+
+ActivityState ActivityTimeline::at(double t_s) const {
+  if (segments.empty()) return ActivityState::kStill;
+  for (const auto& seg : segments) {
+    if (t_s >= seg.start_s && t_s < seg.end_s) return seg.activity;
+  }
+  return t_s < segments.front().start_s ? segments.front().activity
+                                        : segments.back().activity;
+}
+
+GaitProfile gait_profile(ActivityState a) {
+  switch (a) {
+    case ActivityState::kStill:
+      return {0.0, 0.0};
+    case ActivityState::kWalking:
+      return {1.8, 0.25};
+    case ActivityState::kRunning:
+      return {2.8, 0.9};
+  }
+  return {};
+}
+
+std::vector<double> ImuGenerator::generate(const ActivityTimeline& timeline) {
+  const double dur = timeline.duration_s();
+  const auto n = static_cast<std::size_t>(dur * cfg_.sample_rate_hz);
+  std::vector<double> out(n, 0.0);
+  std::mt19937 rng(cfg_.seed);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / cfg_.sample_rate_hz;
+    const GaitProfile g = gait_profile(timeline.at(t));
+    double v = cfg_.noise_g * gauss(rng);
+    if (g.step_hz > 0.0) {
+      // Fundamental + second harmonic of the gait, with slight amplitude
+      // breathing.
+      const double breathe = 1.0 + 0.1 * std::sin(0.4 * t);
+      v += g.amplitude_g * breathe *
+           std::sin(2.0 * std::numbers::pi * g.step_hz * t);
+      v += 0.4 * g.amplitude_g *
+           std::sin(4.0 * std::numbers::pi * g.step_hz * t + 0.7);
+    }
+    out[i] = v;
+  }
+  return out;
+}
+
+ActivityState classify_activity(std::span<const double> imu_window) {
+  const double rms = signal::rms(imu_window);
+  // Thresholds sit between the gait amplitudes (0 / 0.25 / 0.9 g peak
+  // => ~0 / 0.19 / 0.69 g RMS of the combined harmonics).
+  if (rms < 0.08) return ActivityState::kStill;
+  if (rms < 0.45) return ActivityState::kWalking;
+  return ActivityState::kRunning;
+}
+
+void add_motion_artifacts(std::vector<double>& ppg, double ppg_rate_hz,
+                          const ActivityTimeline& activity,
+                          double artifact_gain, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  for (std::size_t i = 0; i < ppg.size(); ++i) {
+    const double t = static_cast<double>(i) / ppg_rate_hz;
+    const GaitProfile g = gait_profile(activity.at(t));
+    if (g.step_hz <= 0.0) continue;
+    // Blood sloshing at the step frequency plus broadband rubbing noise.
+    ppg[i] += artifact_gain * g.amplitude_g *
+              std::sin(2.0 * std::numbers::pi * g.step_hz * t + 1.1);
+    ppg[i] += 0.3 * artifact_gain * g.amplitude_g * gauss(rng);
+  }
+}
+
+}  // namespace affectsys::affect

@@ -1,0 +1,224 @@
+#include "affect/ppg.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <map>
+#include <numbers>
+
+namespace affectsys::affect {
+namespace {
+
+/// Session-state index used by the fusion logic:
+/// Relaxed(0) < Distracted(1) < Concentrated(2) < Tense(3).
+constexpr std::array<Emotion, 4> kStateOrder = {
+    Emotion::kRelaxed, Emotion::kDistracted, Emotion::kConcentrated,
+    Emotion::kTense};
+
+int state_index(Emotion e) {
+  for (std::size_t i = 0; i < kStateOrder.size(); ++i) {
+    if (kStateOrder[i] == e) return static_cast<int>(i);
+  }
+  return 1;  // default toward low-attention
+}
+
+}  // namespace
+
+CardioProfile cardio_profile(Emotion e) {
+  const CircumplexPoint p = circumplex(e);
+  const double arousal01 = (p.arousal + 1.0) / 2.0;
+  CardioProfile c;
+  // ~62..86 bpm across the arousal range; negative valence adds a small
+  // stress component.  Deliberately modest gain: state means overlap once
+  // autonomic wander is added, as in real recordings.
+  c.mean_hr_bpm = 62.0 + 24.0 * arousal01 + (p.valence < 0 ? 3.0 : 0.0);
+  // HRV collapses with arousal: 60 ms relaxed -> ~15 ms tense.
+  c.rmssd_ms = 60.0 - 45.0 * arousal01;
+  c.rsa_depth = 0.05 - 0.03 * arousal01;
+  return c;
+}
+
+std::vector<double> PpgGenerator::generate(const EmotionTimeline& timeline) {
+  const double dur = timeline.duration_s();
+  const auto n = static_cast<std::size_t>(dur * cfg_.sample_rate_hz);
+  std::vector<double> out(n, 0.0);
+  rr_.clear();
+
+  std::mt19937 rng(cfg_.seed);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+
+  // Generate the beat train first, emotion-dependent per interval, with
+  // a slow autonomic random-walk wander on top of the state mean.
+  std::vector<double> beat_times;
+  double t = 0.2;
+  double wander = 0.0;
+  while (t < dur) {
+    const CardioProfile prof = cardio_profile(timeline.at(t));
+    wander = std::clamp(wander + 0.01 * cfg_.hr_wander * gauss(rng),
+                        -cfg_.hr_wander, cfg_.hr_wander);
+    const double mean_rr = 60.0 / prof.mean_hr_bpm * (1.0 + wander);
+    // RR variability: white HRV component (scaled so successive-diff RMS
+    // ~= rmssd) + respiratory sinus arrhythmia.
+    const double hrv_s = prof.rmssd_ms / 1000.0 / std::numbers::sqrt2;
+    const double rsa =
+        prof.rsa_depth * std::sin(2.0 * std::numbers::pi *
+                                  cfg_.respiration_hz * t);
+    double rr = mean_rr * (1.0 + rsa) + hrv_s * gauss(rng);
+    rr = std::clamp(rr, 0.33, 1.5);  // 40..180 bpm physiological bounds
+    beat_times.push_back(t);
+    rr_.push_back(rr);
+    t += rr;
+  }
+
+  // Render each beat: systolic pulse + dicrotic wave (raised cosines).
+  auto add_pulse = [&](double onset, double width, double amp) {
+    const auto begin = static_cast<std::size_t>(onset * cfg_.sample_rate_hz);
+    const auto len = static_cast<std::size_t>(width * cfg_.sample_rate_hz);
+    for (std::size_t i = 0; i < len && begin + i < n; ++i) {
+      const double frac = static_cast<double>(i) / static_cast<double>(len);
+      out[begin + i] +=
+          amp * 0.5 * (1.0 - std::cos(2.0 * std::numbers::pi * frac));
+    }
+  };
+  for (double bt : beat_times) {
+    add_pulse(bt, cfg_.pulse_width_s, 1.0);
+    add_pulse(bt + cfg_.dicrotic_delay_s, cfg_.pulse_width_s * 0.8,
+              cfg_.dicrotic_scale);
+  }
+  for (auto& v : out) v += cfg_.noise * gauss(rng);
+  return out;
+}
+
+std::vector<double> detect_beats(std::span<const double> ppg,
+                                 double sample_rate_hz, double min_rr_s) {
+  std::vector<double> beats;
+  if (ppg.size() < 3) return beats;
+  // Adaptive threshold: half of a running amplitude estimate.
+  double amp = 0.0;
+  for (double v : ppg) amp = std::max(amp, v);
+  const double threshold = 0.45 * amp;
+  const auto refractory =
+      static_cast<std::size_t>(min_rr_s * sample_rate_hz);
+  std::size_t last_beat = 0;
+  bool has_beat = false;
+  for (std::size_t i = 1; i + 1 < ppg.size(); ++i) {
+    const bool is_peak =
+        ppg[i] > threshold && ppg[i] >= ppg[i - 1] && ppg[i] > ppg[i + 1];
+    if (!is_peak) continue;
+    if (has_beat && i - last_beat < refractory) continue;
+    beats.push_back(static_cast<double>(i) / sample_rate_hz);
+    last_beat = i;
+    has_beat = true;
+  }
+  return beats;
+}
+
+HrvFeatures hrv_features(std::span<const double> beat_times_s) {
+  HrvFeatures f;
+  f.beats = beat_times_s.size();
+  if (beat_times_s.size() < 3) return f;
+  std::vector<double> rr(beat_times_s.size() - 1);
+  for (std::size_t i = 1; i < beat_times_s.size(); ++i) {
+    rr[i - 1] = beat_times_s[i] - beat_times_s[i - 1];
+  }
+  double mean_rr = 0.0;
+  for (double v : rr) mean_rr += v;
+  mean_rr /= static_cast<double>(rr.size());
+  f.mean_hr_bpm = 60.0 / mean_rr;
+
+  double sdnn = 0.0;
+  for (double v : rr) sdnn += (v - mean_rr) * (v - mean_rr);
+  f.sdnn_ms = std::sqrt(sdnn / static_cast<double>(rr.size())) * 1000.0;
+
+  double rmssd = 0.0;
+  for (std::size_t i = 1; i < rr.size(); ++i) {
+    const double d = rr[i] - rr[i - 1];
+    rmssd += d * d;
+  }
+  f.rmssd_ms = std::sqrt(rmssd / static_cast<double>(rr.size() - 1)) * 1000.0;
+  return f;
+}
+
+double MultimodalEstimator::arousal_score_ppg(
+    std::span<const double> window) const {
+  const auto beats = detect_beats(window, ppg_rate_hz_);
+  return hrv_features(beats).mean_hr_bpm;
+}
+
+void MultimodalEstimator::calibrate(const std::vector<double>& scl_trace,
+                                    double scl_rate_hz,
+                                    const std::vector<double>& ppg_trace,
+                                    double ppg_rate_hz,
+                                    const EmotionTimeline& truth) {
+  scl_.calibrate(scl_trace, scl_rate_hz, truth);
+  ppg_rate_hz_ = ppg_rate_hz;
+
+  const auto win = static_cast<std::size_t>(30.0 * ppg_rate_hz);
+  std::map<Emotion, std::vector<double>> scores;
+  for (std::size_t start = 0; start + win <= ppg_trace.size(); start += win) {
+    const double t_s = static_cast<double>(start) / ppg_rate_hz;
+    scores[truth.at(t_s)].push_back(
+        arousal_score_ppg({ppg_trace.data() + start, win}));
+  }
+  auto median = [](std::vector<double>& v) {
+    if (v.empty()) return 0.0;
+    std::nth_element(v.begin(), v.begin() + static_cast<long>(v.size() / 2),
+                     v.end());
+    return v[v.size() / 2];
+  };
+  std::array<double, 4> med{};
+  for (std::size_t i = 0; i < kStateOrder.size(); ++i) {
+    med[i] = median(scores[kStateOrder[i]]);
+  }
+  for (std::size_t i = 1; i < med.size(); ++i) {
+    med[i] = std::max(med[i], med[i - 1] + 0.1);
+  }
+  h1_ = 0.5 * (med[0] + med[1]);
+  h2_ = 0.5 * (med[1] + med[2]);
+  h3_ = 0.5 * (med[2] + med[3]);
+
+  // Reliability weights: each channel's accuracy on the calibration
+  // recording (floored so neither channel is silenced entirely).
+  const auto swin = static_cast<std::size_t>(30.0 * scl_rate_hz);
+  std::size_t scl_ok = 0, ppg_ok = 0, total = 0;
+  for (std::size_t w = 0; (w + 1) * swin <= scl_trace.size() &&
+                          (w + 1) * win <= ppg_trace.size();
+       ++w) {
+    const double t = static_cast<double>(w) * 30.0;
+    const Emotion target = truth.at(t);
+    scl_ok += scl_.classify({scl_trace.data() + w * swin, swin}) == target;
+    ppg_ok += classify_ppg({ppg_trace.data() + w * win, win}) == target;
+    ++total;
+  }
+  if (total > 0) {
+    w_scl_ = std::max(0.1, static_cast<double>(scl_ok) / total);
+    w_ppg_ = std::max(0.1, static_cast<double>(ppg_ok) / total);
+  }
+}
+
+Emotion MultimodalEstimator::classify_ppg(
+    std::span<const double> window) const {
+  const double hr = arousal_score_ppg(window);
+  if (hr < h1_) return kStateOrder[0];
+  if (hr < h2_) return kStateOrder[1];
+  if (hr < h3_) return kStateOrder[2];
+  return kStateOrder[3];
+}
+
+Emotion MultimodalEstimator::classify(std::span<const double> scl_window,
+                                      std::span<const double> ppg_window) const {
+  const int i_scl = state_index(scl_.classify(scl_window));
+  const int i_ppg = state_index(classify_ppg(ppg_window));
+  // Reliability-weighted ordinal average; ties round toward the more
+  // reliable channel.
+  const double fused =
+      (w_scl_ * i_scl + w_ppg_ * i_ppg) / (w_scl_ + w_ppg_);
+  int idx = static_cast<int>(std::lround(fused));
+  if (std::abs(fused - std::floor(fused) - 0.5) < 1e-9) {
+    idx = w_ppg_ >= w_scl_ ? i_ppg : i_scl;
+  }
+  idx = std::clamp(idx, 0, 3);
+  return kStateOrder[static_cast<std::size_t>(idx)];
+}
+
+}  // namespace affectsys::affect

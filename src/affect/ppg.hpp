@@ -1,0 +1,115 @@
+// Photoplethysmography (PPG) / heart-rate model.
+//
+// The paper's system setup (Fig 2/Fig 4) lists PPG and ECG among the
+// wearable's sensors but evaluates only the skin-conductance path.  This
+// module implements the cardiovascular channel as the natural extension:
+// a generative PPG model whose heart rate and heart-rate variability
+// respond to the emotional state (arousal raises HR and suppresses HRV —
+// Shu et al. 2018, the paper's ref [8]), beat detection, standard HRV
+// features (RMSSD / SDNN), and a fusion estimator combining PPG with the
+// SCL channel (bench/ablation_fusion).
+#pragma once
+
+#include <random>
+#include <span>
+#include <vector>
+
+#include "affect/emotion.hpp"
+#include "affect/scl.hpp"
+
+namespace affectsys::affect {
+
+/// Cardiovascular operating point for an emotion.
+struct CardioProfile {
+  double mean_hr_bpm = 70.0;   ///< heart rate
+  double rmssd_ms = 40.0;      ///< short-term HRV (parasympathetic tone)
+  double rsa_depth = 0.03;     ///< respiratory sinus arrhythmia depth
+};
+
+/// HR rises and HRV falls with arousal; valence modulates mildly.
+CardioProfile cardio_profile(Emotion e);
+
+struct PpgConfig {
+  double sample_rate_hz = 64.0;
+  double pulse_width_s = 0.25;       ///< systolic pulse width
+  double dicrotic_delay_s = 0.22;    ///< secondary (dicrotic) wave delay
+  double dicrotic_scale = 0.35;
+  double noise = 0.02;               ///< sensor/motion noise sigma
+  double respiration_hz = 0.25;      ///< breathing rate for RSA
+  /// Slow autonomic heart-rate wander (random walk, fraction of mean RR).
+  /// Makes adjacent mental states overlap as they do in real recordings.
+  double hr_wander = 0.06;
+  unsigned seed = 11;
+};
+
+/// Generates a PPG waveform over an emotion timeline.
+class PpgGenerator {
+ public:
+  explicit PpgGenerator(const PpgConfig& cfg) : cfg_(cfg) {}
+
+  /// Waveform samples covering the timeline at cfg.sample_rate_hz.
+  std::vector<double> generate(const EmotionTimeline& timeline);
+
+  /// The beat-to-beat RR intervals (seconds) of the last generate() call,
+  /// exposed for validation.
+  const std::vector<double>& last_rr_intervals() const { return rr_; }
+
+  const PpgConfig& config() const { return cfg_; }
+
+ private:
+  PpgConfig cfg_;
+  std::vector<double> rr_;
+};
+
+/// Systolic-peak beat detector: returns peak times in seconds.
+std::vector<double> detect_beats(std::span<const double> ppg,
+                                 double sample_rate_hz,
+                                 double min_rr_s = 0.3);
+
+/// Standard HRV summary of a beat-time series.
+struct HrvFeatures {
+  double mean_hr_bpm = 0.0;
+  double rmssd_ms = 0.0;  ///< RMS of successive RR differences
+  double sdnn_ms = 0.0;   ///< standard deviation of RR intervals
+  std::size_t beats = 0;
+};
+HrvFeatures hrv_features(std::span<const double> beat_times_s);
+
+/// Fuses the SCL activity channel with the PPG HR/HRV channel to label
+/// the four uulmMAC session states.  Each channel votes an ordinal state
+/// index via calibrated thresholds; the fused index is the
+/// reliability-weighted average, where each channel's weight is its
+/// accuracy on the calibration recording (so an unreliable channel
+/// cannot drag the fusion below the better channel).
+class MultimodalEstimator {
+ public:
+  /// Calibrates both channels from reference traces + ground truth.
+  void calibrate(const std::vector<double>& scl_trace, double scl_rate_hz,
+                 const std::vector<double>& ppg_trace, double ppg_rate_hz,
+                 const EmotionTimeline& truth);
+
+  /// Classifies aligned windows from the two sensors.
+  Emotion classify(std::span<const double> scl_window,
+                   std::span<const double> ppg_window) const;
+
+  /// The PPG-only decision, exposed for the fusion ablation.
+  Emotion classify_ppg(std::span<const double> ppg_window) const;
+
+  double ppg_rate_hz() const { return ppg_rate_hz_; }
+  double scl_weight() const { return w_scl_; }
+  double ppg_weight() const { return w_ppg_; }
+
+ private:
+  double arousal_score_ppg(std::span<const double> window) const;
+
+  SclEmotionEstimator scl_;
+  double ppg_rate_hz_ = 64.0;
+  // Ascending HR-based thresholds separating Relaxed | Distracted |
+  // Concentrated | Tense.
+  double h1_ = 65.0, h2_ = 72.0, h3_ = 80.0;
+  // Calibration-set reliabilities used as fusion weights.
+  double w_scl_ = 0.5;
+  double w_ppg_ = 0.5;
+};
+
+}  // namespace affectsys::affect

@@ -1,0 +1,47 @@
+#include "affect/realtime.hpp"
+
+#include <algorithm>
+
+namespace affectsys::affect {
+
+RealtimePipeline::RealtimePipeline(AffectClassifier& classifier,
+                                   const RealtimeConfig& cfg)
+    : classifier_(classifier), cfg_(cfg), vad_(cfg.vad),
+      stream_(cfg.stream) {}
+
+std::optional<Emotion> RealtimePipeline::push_audio(
+    double t_s, std::span<const double> chunk) {
+  stats_.samples_in += chunk.size();
+  buffer_.insert(buffer_.end(), chunk.begin(), chunk.end());
+  buffer_end_t_ =
+      t_s + static_cast<double>(chunk.size()) / cfg_.sample_rate_hz;
+
+  const auto window_len =
+      static_cast<std::size_t>(cfg_.window_s * cfg_.sample_rate_hz);
+  // Keep at most one window of history.
+  if (buffer_.size() > window_len) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.end() - static_cast<long>(window_len));
+  }
+
+  std::optional<Emotion> changed;
+  while (buffer_.size() >= window_len && buffer_end_t_ >= next_window_t_) {
+    next_window_t_ = buffer_end_t_ + cfg_.window_stride_s;
+    ++stats_.windows_considered;
+    const std::span<const double> window{
+        buffer_.data() + buffer_.size() - window_len, window_len};
+    if (vad_.speech_fraction(window) < cfg_.min_speech_fraction) {
+      continue;  // silence: save the classifier invocation
+    }
+    ++stats_.windows_classified;
+    const ClassificationResult res = classifier_.classify(window);
+    if (raw_cb_) raw_cb_(buffer_end_t_, res.emotion, res.confidence);
+    if (auto c = stream_.push(buffer_end_t_, res.emotion)) {
+      ++stats_.stable_changes;
+      changed = c;
+    }
+  }
+  return changed;
+}
+
+}  // namespace affectsys::affect

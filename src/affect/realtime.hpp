@@ -1,0 +1,69 @@
+// Real-time classification pipeline: audio ring buffer -> VAD gate ->
+// windowed classification -> EmotionStream smoothing.
+//
+// This is the runtime shape of the Fig 4 signal flow: samples arrive in
+// small device-driver chunks, a sliding window is classified only when
+// the VAD saw enough speech, and stable emotions pop out the other end.
+// The pipeline also counts classifier invocations, which the offload
+// energy study consumes.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "affect/classifier.hpp"
+#include "affect/stream.hpp"
+#include "affect/vad.hpp"
+
+namespace affectsys::affect {
+
+struct RealtimeConfig {
+  double sample_rate_hz = 16000.0;
+  double window_s = 1.0;        ///< classification window
+  double window_stride_s = 0.5; ///< stride between classification attempts
+  /// Minimum VAD speech fraction inside a window to spend a classifier
+  /// invocation on it.
+  double min_speech_fraction = 0.3;
+  VadConfig vad{};
+  StreamConfig stream{3, 2.0};
+};
+
+struct RealtimeStats {
+  std::uint64_t samples_in = 0;
+  std::uint64_t windows_considered = 0;
+  std::uint64_t windows_classified = 0;  ///< survived the VAD gate
+  std::uint64_t stable_changes = 0;
+};
+
+class RealtimePipeline {
+ public:
+  /// The classifier must outlive the pipeline.
+  RealtimePipeline(AffectClassifier& classifier, const RealtimeConfig& cfg);
+
+  /// Feeds a chunk of audio stamped at `t_s` (chunk start).  Returns the
+  /// new stable emotion if this chunk's processing changed it.
+  std::optional<Emotion> push_audio(double t_s,
+                                    std::span<const double> chunk);
+
+  Emotion stable_emotion() const { return stream_.stable(); }
+  const RealtimeStats& stats() const { return stats_; }
+
+  /// Observer of every raw (pre-smoothing) classification.
+  void on_raw_label(std::function<void(double, Emotion, float)> cb) {
+    raw_cb_ = std::move(cb);
+  }
+
+ private:
+  AffectClassifier& classifier_;
+  RealtimeConfig cfg_;
+  VoiceActivityDetector vad_;
+  EmotionStream stream_;
+  RealtimeStats stats_;
+  std::vector<double> buffer_;  ///< sliding window of recent samples
+  double buffer_end_t_ = 0.0;
+  double next_window_t_ = 0.0;
+  std::function<void(double, Emotion, float)> raw_cb_;
+};
+
+}  // namespace affectsys::affect

@@ -1,0 +1,102 @@
+#include "affect/regressor.hpp"
+
+#include <algorithm>
+#include <random>
+
+#include "nn/activation.hpp"
+#include "nn/dense.hpp"
+#include "nn/gru.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/pooling.hpp"
+
+namespace affectsys::affect {
+
+AffectRegressor::AffectRegressor(nn::Sequential model,
+                                 FeatureConfig feature_cfg)
+    : model_(std::move(model)), fx_(feature_cfg) {}
+
+CircumplexPoint AffectRegressor::estimate_features(
+    const nn::Matrix& features) {
+  const nn::Matrix out = model_.forward(features);
+  CircumplexPoint p;
+  p.valence = out(0, 0);
+  p.arousal = out(0, 1);
+  p.dominance = out(0, 2);
+  return p;
+}
+
+CircumplexPoint AffectRegressor::estimate(std::span<const double> samples) {
+  return estimate_features(fx_.extract(samples));
+}
+
+Emotion AffectRegressor::classify(std::span<const double> samples) {
+  return nearest_basic_emotion(estimate(samples));
+}
+
+AffectRegressor train_affect_regressor(const CorpusProfile& corpus,
+                                       const RegressorTrainConfig& cfg,
+                                       unsigned corpus_seed,
+                                       float* final_loss) {
+  const FeatureConfig fc = default_feature_config();
+  const FeatureExtractor fx(fc);
+  const LabelledCorpus data = build_corpus(corpus, fx, corpus_seed);
+
+  // Regression targets: circumplex coordinates with label jitter.
+  std::mt19937 rng(cfg.seed);
+  std::normal_distribution<double> jitter(0.0, cfg.target_noise);
+  std::vector<std::array<float, 3>> targets(data.samples.size());
+  for (std::size_t i = 0; i < data.samples.size(); ++i) {
+    const CircumplexPoint p = circumplex(data.label_set[data.samples[i].label]);
+    targets[i] = {static_cast<float>(std::clamp(p.valence + jitter(rng), -1.0, 1.0)),
+                  static_cast<float>(std::clamp(p.arousal + jitter(rng), -1.0, 1.0)),
+                  static_cast<float>(std::clamp(p.dominance + jitter(rng), -1.0, 1.0))};
+  }
+
+  // GRU backbone with a tanh-squashed 3-way regression head.
+  nn::Sequential model;
+  model.add(std::make_unique<nn::Gru>(fx.feature_dim(), 48, rng))
+      .add(std::make_unique<nn::LastTimestep>())
+      .add(std::make_unique<nn::Dense>(48, 24, rng))
+      .add(std::make_unique<nn::Activation>(nn::ActKind::kReLU))
+      .add(std::make_unique<nn::Dense>(24, 3, rng))
+      .add(std::make_unique<nn::Activation>(nn::ActKind::kTanh));
+
+  nn::Adam opt(cfg.learning_rate);
+  std::vector<std::size_t> order(data.samples.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  float epoch_loss = 0.0f;
+  for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng);
+    double loss_sum = 0.0;
+    std::size_t in_batch = 0;
+    for (std::size_t idx : order) {
+      const nn::Matrix out = model.forward(data.samples[idx].features);
+      const auto lr = nn::mse_loss(out, targets[idx]);
+      loss_sum += lr.loss;
+      model.backward(lr.grad);
+      if (++in_batch == cfg.batch_size) {
+        auto params = model.params();
+        const float inv = 1.0f / static_cast<float>(in_batch);
+        for (nn::Param* p : params) p->grad *= inv;
+        if (cfg.grad_clip > 0.0f) nn::clip_gradients(params, cfg.grad_clip);
+        opt.step(params);
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) {
+      auto params = model.params();
+      const float inv = 1.0f / static_cast<float>(in_batch);
+      for (nn::Param* p : params) p->grad *= inv;
+      if (cfg.grad_clip > 0.0f) nn::clip_gradients(params, cfg.grad_clip);
+      opt.step(params);
+    }
+    epoch_loss =
+        static_cast<float>(loss_sum / static_cast<double>(data.samples.size()));
+  }
+  if (final_loss) *final_loss = epoch_loss;
+  return AffectRegressor(std::move(model), fc);
+}
+
+}  // namespace affectsys::affect

@@ -1,0 +1,59 @@
+// Continuous affect estimation: regressing Russell-circumplex coordinates
+// (valence, arousal, dominance) from biosignal features.
+//
+// Extension beyond the paper's discrete classifiers: a regression head
+// outputs a point on the Fig 1 circumplex, so management policies can act
+// on graded arousal instead of hard labels (mode_for_circumplex in
+// adaptive/modes.hpp).  Discrete labels remain recoverable through
+// nearest_basic_emotion(), which the tests use to score the regressor
+// against the classifier on the same corpus.
+#pragma once
+
+#include <span>
+
+#include "affect/dataset.hpp"
+#include "affect/emotion.hpp"
+#include "affect/features.hpp"
+#include "nn/model.hpp"
+#include "nn/trainer.hpp"
+
+namespace affectsys::affect {
+
+class AffectRegressor {
+ public:
+  AffectRegressor(nn::Sequential model, FeatureConfig feature_cfg);
+
+  /// Circumplex estimate (tanh-squashed into [-1, 1]^3) for a raw window.
+  CircumplexPoint estimate(std::span<const double> samples);
+  CircumplexPoint estimate_features(const nn::Matrix& features);
+
+  /// Discrete label via nearest basic emotion.
+  Emotion classify(std::span<const double> samples);
+
+  nn::Sequential& model() { return model_; }
+
+ private:
+  nn::Sequential model_;
+  FeatureExtractor fx_;
+};
+
+struct RegressorTrainConfig {
+  std::size_t epochs = 10;
+  std::size_t batch_size = 8;
+  float learning_rate = 1.5e-3f;
+  float grad_clip = 5.0f;
+  unsigned seed = 1;
+  /// Label jitter: emotions are regions, not points, on the circumplex.
+  double target_noise = 0.05;
+};
+
+/// Trains a GRU-based circumplex regressor on a synthesized corpus: each
+/// utterance's target is circumplex(emotion) plus jitter.  Returns the
+/// trained regressor and writes the final epoch MSE through `final_loss`
+/// when non-null.
+AffectRegressor train_affect_regressor(const CorpusProfile& corpus,
+                                       const RegressorTrainConfig& cfg,
+                                       unsigned corpus_seed = 7,
+                                       float* final_loss = nullptr);
+
+}  // namespace affectsys::affect

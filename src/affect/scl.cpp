@@ -1,0 +1,136 @@
+#include "affect/scl.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <map>
+#include <span>
+
+namespace affectsys::affect {
+
+Emotion EmotionTimeline::at(double t_s) const {
+  if (segments.empty()) return Emotion::kNeutral;
+  for (const auto& seg : segments) {
+    if (t_s >= seg.start_s && t_s < seg.end_s) return seg.emotion;
+  }
+  return t_s < segments.front().start_s ? segments.front().emotion
+                                        : segments.back().emotion;
+}
+
+EmotionTimeline uulmmac_session_timeline() {
+  EmotionTimeline tl;
+  tl.segments = {
+      {0.0, 14.0 * 60.0, Emotion::kDistracted},
+      {14.0 * 60.0, 20.0 * 60.0, Emotion::kConcentrated},
+      {20.0 * 60.0, 29.0 * 60.0, Emotion::kTense},
+      {29.0 * 60.0, 40.0 * 60.0, Emotion::kRelaxed},
+  };
+  return tl;
+}
+
+ScrIntensity scr_intensity(Emotion e) {
+  // Arousal in [-1,1] -> SCR rate 1..12 /min, amplitude 0.05..0.6 uS.
+  const double a = (circumplex(e).arousal + 1.0) / 2.0;
+  return {1.0 + 11.0 * a, 0.05 + 0.55 * a};
+}
+
+std::vector<double> SclGenerator::generate(const EmotionTimeline& timeline) {
+  const double dur = timeline.duration_s();
+  const auto n = static_cast<std::size_t>(dur * cfg_.sample_rate_hz);
+  std::vector<double> out(n, cfg_.tonic_base_us);
+
+  std::mt19937 rng(cfg_.seed);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  // Tonic random walk, low-pass filtered.
+  double tonic = cfg_.tonic_base_us;
+  const double dt = 1.0 / cfg_.sample_rate_hz;
+  for (std::size_t i = 0; i < n; ++i) {
+    tonic += cfg_.tonic_drift_us * gauss(rng) * dt * 0.05;
+    tonic = std::clamp(tonic, 0.5 * cfg_.tonic_base_us,
+                       2.0 * cfg_.tonic_base_us);
+    out[i] = tonic;
+  }
+
+  // Phasic SCRs: Poisson arrivals per segment, bi-exponential shape.
+  for (const auto& seg : timeline.segments) {
+    const ScrIntensity si = scr_intensity(seg.emotion);
+    const double rate_hz = si.rate_per_min / 60.0;
+    double t = seg.start_s;
+    while (true) {
+      // Exponential inter-arrival times.
+      t += -std::log(std::max(unit(rng), 1e-12)) / std::max(rate_hz, 1e-9);
+      if (t >= seg.end_s) break;
+      const double amp = si.amplitude_us * (0.5 + unit(rng));
+      const auto onset = static_cast<std::size_t>(t * cfg_.sample_rate_hz);
+      // Add the bi-exponential impulse response (normalized to unit peak).
+      const double tpeak =
+          std::log(cfg_.scr_decay_s / cfg_.scr_rise_s) /
+          (1.0 / cfg_.scr_rise_s - 1.0 / cfg_.scr_decay_s);
+      const double peak = std::exp(-tpeak / cfg_.scr_decay_s) -
+                          std::exp(-tpeak / cfg_.scr_rise_s);
+      const auto span_samples =
+          static_cast<std::size_t>(8.0 * cfg_.scr_decay_s * cfg_.sample_rate_hz);
+      for (std::size_t i = 0; i < span_samples && onset + i < n; ++i) {
+        const double tau = static_cast<double>(i) * dt;
+        const double v = std::exp(-tau / cfg_.scr_decay_s) -
+                         std::exp(-tau / cfg_.scr_rise_s);
+        out[onset + i] += amp * v / std::max(peak, 1e-9);
+      }
+    }
+  }
+  return out;
+}
+
+double SclEmotionEstimator::activity_score(std::span<const double> window) {
+  if (window.size() < 2) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 1; i < window.size(); ++i) {
+    acc += std::abs(window[i] - window[i - 1]);
+  }
+  return acc / static_cast<double>(window.size() - 1);
+}
+
+void SclEmotionEstimator::calibrate(const std::vector<double>& trace,
+                                    double sample_rate_hz,
+                                    const EmotionTimeline& truth) {
+  // Median activity per ground-truth state, then midpoints as thresholds.
+  const auto win = static_cast<std::size_t>(30.0 * sample_rate_hz);
+  std::map<Emotion, std::vector<double>> scores;
+  for (std::size_t start = 0; start + win <= trace.size(); start += win) {
+    const double t_s = static_cast<double>(start) / sample_rate_hz;
+    const Emotion e = truth.at(t_s);
+    scores[e].push_back(
+        activity_score({trace.data() + start, win}));
+  }
+  auto median = [](std::vector<double>& v) {
+    if (v.empty()) return 0.0;
+    std::nth_element(v.begin(), v.begin() + static_cast<long>(v.size() / 2),
+                     v.end());
+    return v[v.size() / 2];
+  };
+  const std::array<Emotion, 4> order = {Emotion::kRelaxed,
+                                        Emotion::kDistracted,
+                                        Emotion::kConcentrated,
+                                        Emotion::kTense};
+  std::array<double, 4> med{};
+  for (std::size_t i = 0; i < order.size(); ++i) med[i] = median(scores[order[i]]);
+  // Enforce monotone ordering before taking midpoints.
+  for (std::size_t i = 1; i < med.size(); ++i) {
+    med[i] = std::max(med[i], med[i - 1] * 1.01 + 1e-6);
+  }
+  t1_ = 0.5 * (med[0] + med[1]);
+  t2_ = 0.5 * (med[1] + med[2]);
+  t3_ = 0.5 * (med[2] + med[3]);
+}
+
+Emotion SclEmotionEstimator::classify(std::span<const double> window) const {
+  const double a = activity_score(window);
+  if (a < t1_) return Emotion::kRelaxed;
+  if (a < t2_) return Emotion::kDistracted;
+  if (a < t3_) return Emotion::kConcentrated;
+  return Emotion::kTense;
+}
+
+}  // namespace affectsys::affect

@@ -1,0 +1,98 @@
+// Generative skin-conductance (electrodermal activity) model.
+//
+// Substitute for the uulmMAC recordings used in the Fig 6 playback case
+// study.  The signal is the standard EDA decomposition: a slowly drifting
+// tonic skin-conductance level (SCL) plus phasic skin-conductance
+// responses (SCRs) — bi-exponential impulses whose rate and amplitude
+// scale with the arousal of the active emotion segment.  The paper's
+// 40-minute visual-search-task session timeline
+// (Distracted 0-14 min, Concentrated 14-20, Tense 20-29, Relaxed 29-40)
+// is provided as a canned scenario.
+#pragma once
+
+#include <random>
+#include <span>
+#include <vector>
+
+#include "affect/emotion.hpp"
+
+namespace affectsys::affect {
+
+/// One contiguous emotion interval of a session.
+struct EmotionSegment {
+  double start_s = 0.0;
+  double end_s = 0.0;
+  Emotion emotion = Emotion::kNeutral;
+};
+
+/// An emotion timeline covering [0, duration_s).
+struct EmotionTimeline {
+  std::vector<EmotionSegment> segments;
+
+  double duration_s() const {
+    return segments.empty() ? 0.0 : segments.back().end_s;
+  }
+  /// Emotion active at time t (clamps to first/last segment).
+  Emotion at(double t_s) const;
+};
+
+/// The paper's 40-minute uulmMAC-style session.
+EmotionTimeline uulmmac_session_timeline();
+
+struct SclConfig {
+  double sample_rate_hz = 4.0;    ///< EDA is conventionally sampled at 4 Hz
+  double tonic_base_us = 2.0;     ///< baseline SCL in microsiemens
+  double tonic_drift_us = 0.3;    ///< random-walk drift magnitude
+  double scr_rise_s = 1.0;        ///< SCR rise time constant
+  double scr_decay_s = 4.0;       ///< SCR decay time constant
+  unsigned seed = 42;
+};
+
+/// SCR event rate (per minute) and amplitude (uS) for an emotion, derived
+/// from its circumplex arousal.
+struct ScrIntensity {
+  double rate_per_min = 0.0;
+  double amplitude_us = 0.0;
+};
+ScrIntensity scr_intensity(Emotion e);
+
+/// Generates an SCL trace over an emotion timeline.
+class SclGenerator {
+ public:
+  explicit SclGenerator(const SclConfig& cfg) : cfg_(cfg) {}
+
+  /// Samples at cfg.sample_rate_hz covering the whole timeline.
+  std::vector<double> generate(const EmotionTimeline& timeline);
+
+  const SclConfig& config() const { return cfg_; }
+
+ private:
+  SclConfig cfg_;
+};
+
+/// Window-level SC features -> emotion inference, the simple magnitude
+/// heuristic the paper applies to the uulmMAC trace ("the magnitude of the
+/// varying SC signal could be used to derive users' emotions").
+///
+/// Thresholds are calibrated against SclGenerator's output statistics in
+/// calibrate(); classify() then maps windowed SCR activity to the four
+/// session states.
+class SclEmotionEstimator {
+ public:
+  /// Fits activity thresholds from a reference trace + its ground truth.
+  void calibrate(const std::vector<double>& trace, double sample_rate_hz,
+                 const EmotionTimeline& truth);
+
+  /// Emotion estimate for a window of SC samples.
+  Emotion classify(std::span<const double> window) const;
+
+  /// Phasic activity score of a window (mean absolute first difference).
+  static double activity_score(std::span<const double> window);
+
+ private:
+  // Ascending activity thresholds separating Relaxed | Distracted |
+  // Concentrated | Tense.
+  double t1_ = 0.005, t2_ = 0.02, t3_ = 0.05;
+};
+
+}  // namespace affectsys::affect

@@ -1,0 +1,127 @@
+#include "affect/scl_nn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/activation.hpp"
+#include "nn/dense.hpp"
+#include "nn/loss.hpp"
+#include "nn/pooling.hpp"
+#include "nn/trainer.hpp"
+#include "signal/stats.hpp"
+
+namespace affectsys::affect {
+
+std::vector<double> scl_window_features(std::span<const double> window) {
+  std::vector<double> out;
+  out.reserve(kSclFeatureDim);
+  signal::RunningStats amp;
+  for (double v : window) amp.add(v);
+
+  signal::RunningStats diff;
+  double max_diff = 0.0;
+  for (std::size_t i = 1; i < window.size(); ++i) {
+    const double d = std::abs(window[i] - window[i - 1]);
+    diff.add(d);
+    max_diff = std::max(max_diff, d);
+  }
+  out.push_back(amp.mean());
+  out.push_back(amp.stddev());
+  out.push_back(amp.max() - amp.min());
+  out.push_back(diff.mean());  // the paper's SC "magnitude" cue
+  out.push_back(max_diff);
+
+  // First-difference histogram (SCR slope distribution).
+  signal::Histogram dh(0.0, std::max(max_diff, 1e-6), 6);
+  for (std::size_t i = 1; i < window.size(); ++i) {
+    dh.add(std::abs(window[i] - window[i - 1]));
+  }
+  for (double v : dh.normalized()) out.push_back(v);
+
+  // Amplitude histogram around the window mean.
+  const double lo = amp.mean() - 3.0 * amp.stddev() - 1e-6;
+  const double hi = amp.mean() + 3.0 * amp.stddev() + 1e-6;
+  signal::Histogram ah(lo, hi, 6);
+  ah.add_all(window);
+  for (double v : ah.normalized()) out.push_back(v);
+  return out;
+}
+
+const std::vector<Emotion>& scl_state_labels() {
+  static const std::vector<Emotion> labels = {
+      Emotion::kRelaxed, Emotion::kDistracted, Emotion::kConcentrated,
+      Emotion::kTense};
+  return labels;
+}
+
+SclNnClassifier::SclNnClassifier(nn::Sequential model)
+    : model_(std::move(model)) {}
+
+Emotion SclNnClassifier::classify(std::span<const double> window) {
+  const auto probs = probabilities(window);
+  return scl_state_labels()[nn::argmax(probs)];
+}
+
+std::vector<float> SclNnClassifier::probabilities(
+    std::span<const double> window) {
+  const auto feats = scl_window_features(window);
+  nn::Matrix x(1, feats.size());
+  for (std::size_t i = 0; i < feats.size(); ++i) {
+    x(0, i) = static_cast<float>(feats[i]);
+  }
+  return nn::softmax_probs(model_.forward(x));
+}
+
+SclNnClassifier train_scl_classifier(const EmotionTimeline& timeline,
+                                     const SclConfig& scl_cfg,
+                                     const SclTrainConfig& cfg) {
+  const auto win =
+      static_cast<std::size_t>(cfg.window_s * scl_cfg.sample_rate_hz);
+  const auto& labels = scl_state_labels();
+
+  nn::Dataset data;
+  for (std::size_t s = 0; s < cfg.training_traces; ++s) {
+    SclConfig c = scl_cfg;
+    c.seed = scl_cfg.seed + static_cast<unsigned>(s) * 101u;
+    SclGenerator gen(c);
+    const auto trace = gen.generate(timeline);
+    for (std::size_t start = 0; start + win <= trace.size(); start += win) {
+      const double t = static_cast<double>(start) / scl_cfg.sample_rate_hz;
+      const Emotion truth = timeline.at(t);
+      const auto it = std::find(labels.begin(), labels.end(), truth);
+      if (it == labels.end()) continue;
+      const auto feats =
+          scl_window_features({trace.data() + start, win});
+      nn::Sample sample;
+      sample.features = nn::Matrix(1, feats.size());
+      for (std::size_t i = 0; i < feats.size(); ++i) {
+        sample.features(0, i) = static_cast<float>(feats[i]);
+      }
+      sample.label = static_cast<std::size_t>(it - labels.begin());
+      data.push_back(std::move(sample));
+    }
+  }
+  if (data.empty()) {
+    throw std::invalid_argument("train_scl_classifier: no training windows");
+  }
+
+  std::mt19937 rng(cfg.seed);
+  nn::Sequential model;
+  model.add(std::make_unique<nn::Flatten>())
+      .add(std::make_unique<nn::Dense>(kSclFeatureDim, 24, rng))
+      .add(std::make_unique<nn::Activation>(nn::ActKind::kReLU))
+      .add(std::make_unique<nn::Dense>(24, 16, rng))
+      .add(std::make_unique<nn::Activation>(nn::ActKind::kReLU))
+      .add(std::make_unique<nn::Dense>(16, labels.size(), rng));
+
+  nn::TrainConfig tc;
+  tc.epochs = cfg.epochs;
+  tc.batch_size = 16;
+  tc.learning_rate = cfg.learning_rate;
+  tc.seed = cfg.seed;
+  nn::train(model, data, tc);
+  return SclNnClassifier(std::move(model));
+}
+
+}  // namespace affectsys::affect

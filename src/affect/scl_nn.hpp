@@ -1,0 +1,77 @@
+// Learned skin-conductance classifier.
+//
+// Section 3 of the paper lists "time-based features such as mean,
+// histogram, and variance" as classifier inputs.  This module implements
+// exactly that path for the SCL channel: windowed statistical features
+// (RunningStats + Histogram from the DSP substrate) feeding a small MLP
+// that labels the four session states — a learned upgrade of the
+// threshold-based SclEmotionEstimator, ablated in bench/ablation_fusion.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "affect/scl.hpp"
+#include "nn/model.hpp"
+
+namespace affectsys::affect {
+
+/// Fixed-dimension statistical feature vector of one SC window:
+/// mean, stddev, min-max range, mean |first difference| (SCR activity),
+/// max |first difference|, plus a 6-bin histogram of first differences
+/// and a 6-bin histogram of amplitudes (both normalized).
+std::vector<double> scl_window_features(std::span<const double> window);
+
+inline constexpr std::size_t kSclFeatureDim = 5 + 6 + 6;
+
+/// The four session states in ordinal order (shared with the threshold
+/// estimator).
+const std::vector<Emotion>& scl_state_labels();
+
+class SclNnClassifier {
+ public:
+  explicit SclNnClassifier(nn::Sequential model);
+
+  Emotion classify(std::span<const double> window);
+  /// Per-state probabilities in scl_state_labels() order.
+  std::vector<float> probabilities(std::span<const double> window);
+
+  nn::Sequential& model() { return model_; }
+
+ private:
+  nn::Sequential model_;
+};
+
+struct SclTrainConfig {
+  double window_s = 30.0;
+  std::size_t training_traces = 6;  ///< independent session recordings
+  std::size_t epochs = 30;
+  float learning_rate = 2e-3f;
+  unsigned seed = 1;
+};
+
+/// Trains on SCL traces generated for the given timeline with distinct
+/// generator seeds (distinct "recording sessions" of the same protocol).
+SclNnClassifier train_scl_classifier(const EmotionTimeline& timeline,
+                                     const SclConfig& scl_cfg,
+                                     const SclTrainConfig& cfg);
+
+/// Window-level accuracy of any window classifier against ground truth.
+template <typename Classify>
+double scl_window_accuracy(const std::vector<double>& trace,
+                           double sample_rate_hz,
+                           const EmotionTimeline& truth, double window_s,
+                           Classify&& classify) {
+  const auto win = static_cast<std::size_t>(window_s * sample_rate_hz);
+  std::size_t correct = 0, total = 0;
+  for (std::size_t start = 0; start + win <= trace.size(); start += win) {
+    const double t = static_cast<double>(start) / sample_rate_hz;
+    correct += classify(std::span<const double>{trace.data() + start, win}) ==
+               truth.at(t);
+    ++total;
+  }
+  return total ? static_cast<double>(correct) / static_cast<double>(total)
+               : 0.0;
+}
+
+}  // namespace affectsys::affect

@@ -1,0 +1,72 @@
+#include "affect/signal_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace affectsys::affect {
+
+void save_trace_csv(std::ostream& os, std::span<const double> samples,
+                    double sample_rate_hz) {
+  os << "# rate_hz=" << sample_rate_hz << '\n';
+  for (double v : samples) os << v << '\n';
+}
+
+std::vector<double> load_trace_csv(std::istream& is, double* rate_out) {
+  std::string line;
+  if (!std::getline(is, line) || line.rfind("# rate_hz=", 0) != 0) {
+    throw std::runtime_error("load_trace_csv: missing rate header");
+  }
+  const double rate = std::stod(line.substr(10));
+  if (rate_out) *rate_out = rate;
+  std::vector<double> out;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    out.push_back(std::stod(line));
+  }
+  return out;
+}
+
+void save_timeline_csv(std::ostream& os, const EmotionTimeline& timeline) {
+  os << "start_s,end_s,emotion\n";
+  for (const auto& seg : timeline.segments) {
+    os << seg.start_s << ',' << seg.end_s << ','
+       << emotion_name(seg.emotion) << '\n';
+  }
+}
+
+EmotionTimeline load_timeline_csv(std::istream& is) {
+  EmotionTimeline tl;
+  std::string line;
+  if (!std::getline(is, line) || line.rfind("start_s,", 0) != 0) {
+    throw std::runtime_error("load_timeline_csv: missing header");
+  }
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string field;
+    EmotionSegment seg;
+    std::getline(ls, field, ',');
+    seg.start_s = std::stod(field);
+    std::getline(ls, field, ',');
+    seg.end_s = std::stod(field);
+    if (!std::getline(ls, field, ',')) {
+      throw std::runtime_error("load_timeline_csv: truncated row at line " +
+                               std::to_string(line_no));
+    }
+    const auto e = emotion_from_name(field);
+    if (!e) {
+      throw std::runtime_error("load_timeline_csv: unknown emotion '" +
+                               field + "'");
+    }
+    seg.emotion = *e;
+    tl.segments.push_back(seg);
+  }
+  return tl;
+}
+
+}  // namespace affectsys::affect

@@ -1,0 +1,28 @@
+// Persistence for biosignal traces and emotion timelines (CSV), so
+// synthetic "recordings" can be archived and replayed like dataset files.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "affect/scl.hpp"
+
+namespace affectsys::affect {
+
+/// Writes a uniformly-sampled trace as CSV: a `# rate_hz=<r>` comment
+/// line then one sample per line.
+void save_trace_csv(std::ostream& os, std::span<const double> samples,
+                    double sample_rate_hz);
+
+/// Parses a trace written by save_trace_csv().
+/// @param rate_out receives the sampling rate
+std::vector<double> load_trace_csv(std::istream& is, double* rate_out);
+
+/// Writes an emotion timeline as CSV: start_s,end_s,emotion.
+void save_timeline_csv(std::ostream& os, const EmotionTimeline& timeline);
+
+/// Parses a timeline written by save_timeline_csv().
+EmotionTimeline load_timeline_csv(std::istream& is);
+
+}  // namespace affectsys::affect

@@ -1,0 +1,158 @@
+#include "affect/speech_synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace affectsys::affect {
+
+VoiceProfile emotion_voice_profile(Emotion e) {
+  // Values follow the vocal-affect literature (Scherer 2003): arousal maps
+  // to pitch/energy/tempo, valence to spectral tilt and pitch contour.
+  switch (e) {
+    case Emotion::kNeutral:
+      return {120.0, 0.12, 0.50, 4.0, 0.010, 0.70, 0.05};
+    case Emotion::kCalm:
+      return {105.0, 0.08, 0.40, 3.2, 0.008, 0.80, 0.08};
+    case Emotion::kHappy:
+      return {165.0, 0.35, 0.70, 5.0, 0.015, 0.55, 0.04};
+    case Emotion::kSad:
+      return {95.0, 0.06, 0.30, 2.6, 0.012, 0.88, 0.12};
+    case Emotion::kAngry:
+      return {180.0, 0.30, 0.90, 5.6, 0.030, 0.40, 0.03};
+    case Emotion::kFearful:
+      return {200.0, 0.40, 0.60, 6.0, 0.040, 0.60, 0.10};
+    case Emotion::kDisgust:
+      return {110.0, 0.15, 0.55, 3.4, 0.020, 0.75, 0.07};
+    case Emotion::kSurprised:
+      return {190.0, 0.45, 0.75, 5.2, 0.020, 0.50, 0.05};
+    default:
+      // Non-speech emotions reuse the closest basic profile.
+      return emotion_voice_profile(nearest_basic_emotion(circumplex(e)));
+  }
+}
+
+CorpusProfile ravdess_profile() {
+  // RAVDESS: 24 actors, 8 emotions, speech + song (7356 files total).
+  CorpusProfile p;
+  p.name = "RAVDESS";
+  p.num_speakers = 24;
+  p.emotions = {Emotion::kNeutral, Emotion::kCalm,    Emotion::kHappy,
+                Emotion::kSad,     Emotion::kAngry,   Emotion::kFearful,
+                Emotion::kDisgust, Emotion::kSurprised};
+  p.utterances_per_speaker_emotion = 4;
+  p.utterance_seconds = 1.6;
+  p.speaker_spread = 0.20;
+  return p;
+}
+
+CorpusProfile emovo_profile() {
+  // EMOVO: 6 actors, 7 emotions, 14 Italian sentences.
+  CorpusProfile p;
+  p.name = "EMOVO";
+  p.num_speakers = 6;
+  p.emotions = {Emotion::kNeutral, Emotion::kHappy,   Emotion::kSad,
+                Emotion::kAngry,   Emotion::kFearful, Emotion::kDisgust,
+                Emotion::kSurprised};
+  p.utterances_per_speaker_emotion = 14;
+  p.utterance_seconds = 1.6;
+  p.speaker_spread = 0.15;
+  return p;
+}
+
+CorpusProfile cremad_profile() {
+  // CREMA-D: 91 actors, 6 emotions, 12 sentences (7442 clips).  We keep
+  // the speaker diversity but cap per-speaker volume for tractability.
+  CorpusProfile p;
+  p.name = "CREMA-D";
+  p.num_speakers = 91;
+  p.emotions = {Emotion::kNeutral, Emotion::kHappy, Emotion::kSad,
+                Emotion::kAngry, Emotion::kFearful, Emotion::kDisgust};
+  p.utterances_per_speaker_emotion = 1;
+  p.utterance_seconds = 1.6;
+  p.speaker_spread = 0.30;
+  return p;
+}
+
+Utterance SpeechSynthesizer::synthesize(Emotion e, int speaker_id,
+                                        double seconds, double sample_rate,
+                                        double speaker_spread) {
+  VoiceProfile vp = emotion_voice_profile(e);
+
+  // Deterministic per-speaker individuality: a fixed pitch/tempo/tilt
+  // offset derived from the speaker id, independent of the corpus rng.
+  std::mt19937 speaker_rng(static_cast<unsigned>(speaker_id) * 7919u + 13u);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  vp.base_pitch_hz *= 1.0 + speaker_spread * u(speaker_rng);
+  vp.tempo *= 1.0 + 0.5 * speaker_spread * u(speaker_rng);
+  vp.spectral_tilt =
+      std::clamp(vp.spectral_tilt + 0.1 * speaker_spread * u(speaker_rng),
+                 0.2, 0.95);
+
+  Utterance utt;
+  utt.sample_rate = sample_rate;
+  utt.emotion = e;
+  utt.speaker_id = speaker_id;
+  const auto n = static_cast<std::size_t>(seconds * sample_rate);
+  utt.samples.assign(n, 0.0);
+
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::uniform_real_distribution<double> unit_lead_(0.0, 1.0);
+  std::normal_distribution<double> noise(0.0, 1.0);
+
+  const double syllable_s = 1.0 / vp.tempo;
+  // Random lead-in silence: utterances are not time-aligned, so models
+  // must be robust to temporal translation (as with the real corpora).
+  double t = 0.05 + 0.35 * unit_lead_(rng_);
+  while (t + syllable_s < seconds) {
+    const double voiced_s = syllable_s * (0.55 + 0.2 * unit(rng_));
+    // Per-syllable pitch target within the emotion's range; happy and
+    // surprised voices rise, sad voices fall.
+    const double excursion = vp.pitch_range * (2.0 * unit(rng_) - 0.5);
+    const double f0_start = vp.base_pitch_hz * (1.0 + excursion);
+    const double contour = (e == Emotion::kHappy || e == Emotion::kSurprised)
+                               ? 0.15
+                           : (e == Emotion::kSad) ? -0.10
+                                                  : 0.0;
+    const auto begin = static_cast<std::size_t>(t * sample_rate);
+    const auto len = static_cast<std::size_t>(voiced_s * sample_rate);
+    double phase = 0.0;
+    for (std::size_t i = 0; i < len && begin + i < n; ++i) {
+      const double frac = static_cast<double>(i) / static_cast<double>(len);
+      const double f0 =
+          f0_start * (1.0 + contour * frac) * (1.0 + vp.jitter * noise(rng_));
+      phase += 2.0 * std::numbers::pi * f0 / sample_rate;
+      // Harmonic source with emotion-dependent rolloff: harmonic h has
+      // amplitude tilt^h, so tense voices (low tilt) are brighter.
+      double s = 0.0;
+      double amp = 1.0;
+      for (int h = 1; h <= 6; ++h) {
+        s += amp * std::sin(static_cast<double>(h) * phase);
+        amp *= vp.spectral_tilt;
+      }
+      s += vp.breathiness * noise(rng_);
+      // Raised-cosine syllable envelope.
+      const double env = 0.5 - 0.5 * std::cos(2.0 * std::numbers::pi * frac);
+      utt.samples[begin + i] += vp.energy * env * s * 0.25;
+    }
+    t += syllable_s * (1.0 + 0.1 * unit(rng_));
+  }
+  return utt;
+}
+
+std::vector<Utterance> SpeechSynthesizer::synthesize_corpus(
+    const CorpusProfile& profile) {
+  std::vector<Utterance> out;
+  for (int spk = 0; spk < profile.num_speakers; ++spk) {
+    for (Emotion e : profile.emotions) {
+      for (int rep = 0; rep < profile.utterances_per_speaker_emotion; ++rep) {
+        out.push_back(synthesize(e, spk, profile.utterance_seconds,
+                                 profile.sample_rate,
+                                 profile.speaker_spread));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace affectsys::affect

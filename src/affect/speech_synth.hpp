@@ -1,0 +1,79 @@
+// Parametric emotional speech synthesizer.
+//
+// Substitute for the RAVDESS / EMOVO / CREMA-D corpora (see DESIGN.md):
+// utterances are built from voiced "syllables" (harmonic glottal source +
+// formant resonances) separated by pauses, with the prosodic parameters —
+// base pitch, pitch range, energy, tempo, jitter, spectral tilt,
+// breathiness — driven by the emotion label.  The mapping follows the
+// standard vocal-affect literature (angry/fearful: high pitch + high
+// energy + fast tempo; sad: low pitch, low energy, slow; happy: raised
+// pitch with wide range, etc.), so the classifier comparison of Fig 3
+// exercises the same acoustic feature structure as the real corpora.
+#pragma once
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "affect/emotion.hpp"
+
+namespace affectsys::affect {
+
+/// Prosodic/acoustic parameters of one emotional speaking style.
+struct VoiceProfile {
+  double base_pitch_hz = 120.0;   ///< mean F0
+  double pitch_range = 0.15;      ///< relative F0 excursion per syllable
+  double energy = 0.5;            ///< amplitude scale, (0, 1]
+  double tempo = 4.0;             ///< syllables per second
+  double jitter = 0.01;           ///< cycle-to-cycle F0 perturbation
+  double spectral_tilt = 0.7;     ///< harmonic rolloff (higher = darker)
+  double breathiness = 0.05;      ///< aspiration-noise mix
+};
+
+/// Voice profile for an emotion, before speaker individuality is applied.
+VoiceProfile emotion_voice_profile(Emotion e);
+
+/// One synthesized utterance.
+struct Utterance {
+  std::vector<double> samples;
+  double sample_rate = 16000.0;
+  Emotion emotion = Emotion::kNeutral;
+  int speaker_id = 0;
+};
+
+/// Statistical profile of a corpus (speakers, emotion set, utterance
+/// geometry) mirroring the three datasets in Section 2.2.
+struct CorpusProfile {
+  std::string name;
+  int num_speakers = 0;
+  std::vector<Emotion> emotions;
+  int utterances_per_speaker_emotion = 4;
+  double utterance_seconds = 1.6;
+  double sample_rate = 16000.0;
+  /// Inter-speaker variability of pitch/tempo (RAVDESS actors vary more
+  /// than EMOVO's six speakers, etc.).
+  double speaker_spread = 0.2;
+};
+
+/// Profiles approximating the three paper corpora.
+CorpusProfile ravdess_profile();
+CorpusProfile emovo_profile();
+CorpusProfile cremad_profile();
+
+class SpeechSynthesizer {
+ public:
+  explicit SpeechSynthesizer(unsigned seed) : rng_(seed) {}
+
+  /// Synthesizes one utterance of `seconds` length for the emotion, with a
+  /// speaker-specific pitch/tempo offset derived from speaker_id.
+  Utterance synthesize(Emotion e, int speaker_id, double seconds,
+                       double sample_rate, double speaker_spread);
+
+  /// Synthesizes the full corpus described by `profile`.
+  std::vector<Utterance> synthesize_corpus(const CorpusProfile& profile);
+
+ private:
+  std::mt19937 rng_;
+};
+
+}  // namespace affectsys::affect

@@ -1,0 +1,40 @@
+#include "affect/stream.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+namespace affectsys::affect {
+
+EmotionStream::EmotionStream(const StreamConfig& cfg) : cfg_(cfg) {
+  if (cfg.vote_window == 0) {
+    throw std::invalid_argument("EmotionStream: vote_window must be >= 1");
+  }
+}
+
+Emotion EmotionStream::majority() const {
+  std::array<std::size_t, kNumEmotions> counts{};
+  for (Emotion e : window_) ++counts[static_cast<std::size_t>(e)];
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < counts.size(); ++i) {
+    if (counts[i] > counts[best]) best = i;
+  }
+  return static_cast<Emotion>(best);
+}
+
+std::optional<Emotion> EmotionStream::push(double t_s, Emotion raw) {
+  window_.push_back(raw);
+  while (window_.size() > cfg_.vote_window) window_.pop_front();
+
+  const Emotion candidate = majority();
+  if (candidate == stable_) return std::nullopt;
+  if (t_s - last_change_s_ < cfg_.min_dwell_s) return std::nullopt;
+
+  stable_ = candidate;
+  last_change_s_ = t_s;
+  ++transitions_;
+  for (auto& cb : callbacks_) cb(t_s, stable_);
+  return stable_;
+}
+
+}  // namespace affectsys::affect

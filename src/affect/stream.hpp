@@ -1,0 +1,52 @@
+// Temporal smoothing of raw per-window emotion labels.
+//
+// Raw classifier output flickers; hardware knobs must not.  EmotionStream
+// combines a sliding majority vote with a minimum dwell time (hysteresis)
+// so downstream decoder/app-manager mode switches happen at most once per
+// dwell period.  The ablation bench measures the mode-thrash cost of
+// disabling this.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "affect/emotion.hpp"
+
+namespace affectsys::affect {
+
+struct StreamConfig {
+  std::size_t vote_window = 5;  ///< labels per majority vote (>=1)
+  double min_dwell_s = 10.0;    ///< minimum time between emitted changes
+};
+
+class EmotionStream {
+ public:
+  explicit EmotionStream(const StreamConfig& cfg);
+
+  /// Feeds one raw label observed at time `t_s` (monotonically
+  /// non-decreasing).  Returns the new stable emotion if the stable state
+  /// changed, std::nullopt otherwise.
+  std::optional<Emotion> push(double t_s, Emotion raw);
+
+  Emotion stable() const { return stable_; }
+  std::size_t transitions() const { return transitions_; }
+
+  /// Registered callbacks fire on every stable-state change.
+  void on_change(std::function<void(double, Emotion)> cb) {
+    callbacks_.push_back(std::move(cb));
+  }
+
+ private:
+  Emotion majority() const;
+
+  StreamConfig cfg_;
+  std::deque<Emotion> window_;
+  Emotion stable_ = Emotion::kNeutral;
+  double last_change_s_ = -1e18;
+  std::size_t transitions_ = 0;
+  std::vector<std::function<void(double, Emotion)>> callbacks_;
+};
+
+}  // namespace affectsys::affect

@@ -1,0 +1,51 @@
+#include "android/app.hpp"
+
+namespace affectsys::android {
+
+std::string_view category_name(AppCategory c) {
+  switch (c) {
+    case AppCategory::kMessaging:
+      return "Messaging";
+    case AppCategory::kInternetBrowser:
+      return "Internet_Browser";
+    case AppCategory::kSocialNetworks:
+      return "Social_Networks";
+    case AppCategory::kEMail:
+      return "E_Mail";
+    case AppCategory::kCalling:
+      return "Calling";
+    case AppCategory::kMusicAudioRadio:
+      return "Music_Audio_Radio";
+    case AppCategory::kPhoto:
+      return "Foto";
+    case AppCategory::kGallery:
+      return "Gallery";
+    case AppCategory::kCamera:
+      return "Camera";
+    case AppCategory::kVideoApps:
+      return "Video_Apps";
+    case AppCategory::kTv:
+      return "TV";
+    case AppCategory::kShopping:
+      return "Shopping";
+    case AppCategory::kSharingCloud:
+      return "Sharing_Cloud";
+    case AppCategory::kSharedTransport:
+      return "Shared_Transport";
+    case AppCategory::kCalculator:
+      return "Calculator";
+    case AppCategory::kCalendarApps:
+      return "Calendar_Apps";
+    case AppCategory::kTimerClocks:
+      return "Timer_Clocks";
+    case AppCategory::kSettings:
+      return "Settings";
+    case AppCategory::kSystemApp:
+      return "System_App";
+    case AppCategory::kGames:
+      return "Games";
+  }
+  return "?";
+}
+
+}  // namespace affectsys::android

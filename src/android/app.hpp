@@ -1,0 +1,58 @@
+// Application model for the smartphone simulator: categories follow the
+// Fig 7 taxonomy from the Stachl et al. phone-usage study.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace affectsys::android {
+
+/// App categories as plotted in Fig 7 (left).
+enum class AppCategory : std::uint8_t {
+  kMessaging,
+  kInternetBrowser,
+  kSocialNetworks,
+  kEMail,
+  kCalling,
+  kMusicAudioRadio,
+  kPhoto,
+  kGallery,
+  kCamera,
+  kVideoApps,
+  kTv,
+  kShopping,
+  kSharingCloud,
+  kSharedTransport,
+  kCalculator,
+  kCalendarApps,
+  kTimerClocks,
+  kSettings,
+  kSystemApp,
+  kGames,
+};
+
+inline constexpr std::size_t kNumAppCategories = 20;
+
+std::string_view category_name(AppCategory c);
+
+using AppId = std::uint32_t;
+
+/// One installed application.
+struct App {
+  AppId id = 0;
+  std::string name;
+  AppCategory category = AppCategory::kSystemApp;
+  /// Bytes read from flash on a cold start (code + resources paged in).
+  std::uint64_t image_bytes = 0;
+  /// Resident RAM once running.
+  std::uint64_t memory_bytes = 0;
+  /// Fixed cold-start initialization latency independent of image size.
+  double init_time_s = 0.0;
+  /// System/periodic apps (launcher, Android Messages, ...) that the OS
+  /// never kills (Section 5.2: "never killed due to the periodic usage").
+  bool protected_from_kill = false;
+};
+
+}  // namespace affectsys::android

@@ -1,0 +1,80 @@
+#include "android/catalog.hpp"
+
+#include <random>
+#include <stdexcept>
+
+namespace affectsys::android {
+namespace {
+
+struct CategoryPlan {
+  AppCategory category;
+  int count;                 ///< apps of this category to install
+  double image_mb;           ///< nominal cold-start flash read
+  double memory_mb;          ///< nominal resident set
+  double init_s;             ///< fixed start latency
+  bool protected_from_kill;  ///< survives background pressure
+};
+
+// 44 apps total; mixes follow the category shares visible in Fig 7.
+constexpr CategoryPlan kPlan[] = {
+    {AppCategory::kMessaging, 3, 90.0, 180.0, 0.35, true},
+    {AppCategory::kInternetBrowser, 2, 160.0, 320.0, 0.50, false},
+    {AppCategory::kSocialNetworks, 3, 170.0, 300.0, 0.55, false},
+    {AppCategory::kEMail, 2, 80.0, 150.0, 0.30, false},
+    {AppCategory::kCalling, 2, 60.0, 120.0, 0.25, true},
+    {AppCategory::kMusicAudioRadio, 3, 100.0, 160.0, 0.40, false},
+    {AppCategory::kPhoto, 2, 70.0, 140.0, 0.30, false},
+    {AppCategory::kGallery, 2, 75.0, 160.0, 0.30, false},
+    {AppCategory::kCamera, 2, 85.0, 200.0, 0.35, false},
+    {AppCategory::kVideoApps, 3, 150.0, 280.0, 0.50, false},
+    {AppCategory::kTv, 2, 140.0, 260.0, 0.50, false},
+    {AppCategory::kShopping, 3, 120.0, 220.0, 0.45, false},
+    {AppCategory::kSharingCloud, 2, 95.0, 170.0, 0.35, false},
+    {AppCategory::kSharedTransport, 2, 110.0, 190.0, 0.40, false},
+    {AppCategory::kCalculator, 1, 15.0, 40.0, 0.10, false},
+    {AppCategory::kCalendarApps, 2, 45.0, 90.0, 0.20, false},
+    {AppCategory::kTimerClocks, 2, 20.0, 50.0, 0.12, false},
+    {AppCategory::kSettings, 2, 30.0, 80.0, 0.15, true},
+    {AppCategory::kSystemApp, 3, 40.0, 100.0, 0.15, true},
+    {AppCategory::kGames, 1, 250.0, 400.0, 0.70, false},
+};
+
+}  // namespace
+
+std::vector<App> build_catalog(const EmulatorSpec& spec, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> jitter(0.8, 1.25);
+  std::vector<App> catalog;
+  AppId next_id = 1;
+  for (const CategoryPlan& plan : kPlan) {
+    for (int i = 0; i < plan.count; ++i) {
+      App app;
+      app.id = next_id++;
+      app.name = std::string(category_name(plan.category)) + "_" +
+                 std::to_string(i + 1);
+      app.category = plan.category;
+      app.image_bytes = static_cast<std::uint64_t>(
+          plan.image_mb * jitter(rng) * 1024.0 * 1024.0);
+      app.memory_bytes = static_cast<std::uint64_t>(
+          plan.memory_mb * jitter(rng) * 1024.0 * 1024.0);
+      app.init_time_s = plan.init_s * jitter(rng);
+      app.protected_from_kill = plan.protected_from_kill;
+      catalog.push_back(std::move(app));
+    }
+  }
+  if (static_cast<int>(catalog.size()) != spec.total_apps) {
+    throw std::logic_error("build_catalog: plan does not sum to total_apps");
+  }
+  return catalog;
+}
+
+std::vector<AppId> apps_in_category(const std::vector<App>& catalog,
+                                    AppCategory c) {
+  std::vector<AppId> out;
+  for (const App& a : catalog) {
+    if (a.category == c) out.push_back(a.id);
+  }
+  return out;
+}
+
+}  // namespace affectsys::android

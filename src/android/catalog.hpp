@@ -1,0 +1,31 @@
+// Builds the emulator's installed-app set: 44 apps across the Fig 7
+// categories with realistic image/memory footprints.
+#pragma once
+
+#include <vector>
+
+#include "android/app.hpp"
+
+namespace affectsys::android {
+
+/// Emulator configuration mirroring Fig 7 (right).
+struct EmulatorSpec {
+  int cpu_cores = 4;
+  std::uint64_t ram_bytes = 4096ull * 1024 * 1024;  ///< 4096 MB
+  std::uint64_t rom_bytes = 32ull * 1024 * 1024 * 1024;
+  int total_apps = 44;
+  int process_limit = 20;  ///< default Android background process limit
+  int resolution_w = 1920;
+  int resolution_h = 1080;
+};
+
+/// Deterministic 44-app catalog.  Per-category size ranges approximate
+/// real Android apps (browsers and social apps are heavy, utilities are
+/// light); a seed varies individual apps within those ranges.
+std::vector<App> build_catalog(const EmulatorSpec& spec, unsigned seed = 2022);
+
+/// Apps of one category within a catalog.
+std::vector<AppId> apps_in_category(const std::vector<App>& catalog,
+                                    AppCategory c);
+
+}  // namespace affectsys::android

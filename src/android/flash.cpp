@@ -1,0 +1,23 @@
+#include "android/flash.hpp"
+
+namespace affectsys::android {
+
+LoadCost FlashStorage::read(std::uint64_t bytes) const {
+  LoadCost cost;
+  cost.bytes = bytes;
+  cost.time_s = cfg_.setup_latency_s +
+                static_cast<double>(bytes) / (cfg_.read_bandwidth_mbps * 1e6);
+  cost.energy_nj =
+      cfg_.read_energy_nj_per_kb * static_cast<double>(bytes) / 1024.0;
+  return cost;
+}
+
+LoadCost FlashStorage::read_and_account(std::uint64_t bytes) {
+  const LoadCost cost = read(bytes);
+  totals_.time_s += cost.time_s;
+  totals_.energy_nj += cost.energy_nj;
+  totals_.bytes += cost.bytes;
+  return cost;
+}
+
+}  // namespace affectsys::android

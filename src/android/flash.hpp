@@ -1,0 +1,40 @@
+// Flash-storage cost model: the energy and latency of reloading an app
+// image from flash into RAM — the cost the affect-driven manager avoids.
+#pragma once
+
+#include <cstdint>
+
+namespace affectsys::android {
+
+struct FlashConfig {
+  double read_bandwidth_mbps = 300.0;  ///< sequential read MB/s (eMMC-class)
+  double read_energy_nj_per_kb = 150.0;
+  double setup_latency_s = 0.015;      ///< per-request controller overhead
+};
+
+struct LoadCost {
+  double time_s = 0.0;
+  double energy_nj = 0.0;
+  std::uint64_t bytes = 0;
+};
+
+class FlashStorage {
+ public:
+  explicit FlashStorage(const FlashConfig& cfg = {}) : cfg_(cfg) {}
+
+  /// Cost of reading `bytes` from flash.
+  LoadCost read(std::uint64_t bytes) const;
+
+  /// Cumulative totals across all read() calls.
+  const LoadCost& totals() const { return totals_; }
+  void reset_totals() { totals_ = {}; }
+
+  /// Records a read in the running totals and returns its cost.
+  LoadCost read_and_account(std::uint64_t bytes);
+
+ private:
+  FlashConfig cfg_;
+  LoadCost totals_;
+};
+
+}  // namespace affectsys::android

@@ -1,0 +1,74 @@
+#include "android/monkey.hpp"
+
+#include <algorithm>
+
+#include "android/catalog.hpp"
+
+namespace affectsys::android {
+
+MonkeyScript::MonkeyScript(std::vector<App> catalog, MonkeyConfig cfg)
+    : catalog_(std::move(catalog)), cfg_(cfg), rng_(cfg.seed) {}
+
+AppId MonkeyScript::sample_app(const SubjectProfile& profile) {
+  // Draw a category from the profile weights.
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  double r = unit(rng_);
+  AppCategory chosen = AppCategory::kMessaging;
+  for (const auto& [cat, w] : profile.category_weights) {
+    if (r < w) {
+      chosen = cat;
+      break;
+    }
+    r -= w;
+  }
+  std::vector<AppId> apps = apps_in_category(catalog_, chosen);
+  if (apps.empty()) {
+    // Profile references a category with no installed app; fall back to
+    // the first messaging app.
+    apps = apps_in_category(catalog_, AppCategory::kMessaging);
+  }
+  // Zipf-like preference within the category, rotated by subject id so
+  // different subjects favour different concrete apps.
+  std::vector<double> weights(apps.size());
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    const std::size_t rank =
+        (i + static_cast<std::size_t>(profile.subject_id)) % apps.size();
+    weights[i] = 1.0 / static_cast<double>(rank + 1);
+  }
+  std::discrete_distribution<std::size_t> pick(weights.begin(), weights.end());
+  return apps[pick(rng_)];
+}
+
+std::vector<UsageEvent> MonkeyScript::generate(
+    const affect::EmotionTimeline& timeline) {
+  std::vector<UsageEvent> events;
+  std::exponential_distribution<double> dwell(1.0 / cfg_.mean_dwell_s);
+  double t = 0.0;
+  const double end = timeline.duration_s();
+  while (t < end) {
+    const affect::Emotion e = timeline.at(t);
+    const SubjectProfile& profile = profile_for_emotion(e);
+    UsageEvent ev;
+    ev.time_s = t;
+    ev.app = sample_app(profile);
+    ev.dwell_s = std::max(1.0, dwell(rng_));
+    ev.emotion = e;
+    events.push_back(ev);
+    t += ev.dwell_s;
+  }
+  return events;
+}
+
+std::map<AppCategory, std::size_t> MonkeyScript::sample_category_histogram(
+    const SubjectProfile& profile, std::size_t launches) {
+  std::map<AppCategory, std::size_t> hist;
+  for (std::size_t i = 0; i < launches; ++i) {
+    const AppId id = sample_app(profile);
+    const auto it = std::find_if(catalog_.begin(), catalog_.end(),
+                                 [&](const App& a) { return a.id == id; });
+    ++hist[it->category];
+  }
+  return hist;
+}
+
+}  // namespace affectsys::android

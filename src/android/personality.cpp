@@ -1,0 +1,123 @@
+#include "android/personality.hpp"
+
+#include <stdexcept>
+
+namespace affectsys::android {
+namespace {
+
+using C = AppCategory;
+
+std::map<C, double> normalize(std::map<C, double> w) {
+  double sum = 0.0;
+  for (const auto& [c, v] : w) sum += v;
+  for (auto& [c, v] : w) v /= sum;
+  return w;
+}
+
+std::vector<SubjectProfile> build_subjects() {
+  std::vector<SubjectProfile> subjects(4);
+
+  // Subject 1: high agreeableness / willingness to trust — radio, sharing
+  // cloud and TV/video apps stand out in the tail.
+  subjects[0].subject_id = 1;
+  subjects[0].trait_summary = "agreeableness / willingness to trust";
+  subjects[0].scores = {0.55, 0.50, 0.45, 0.90, 0.55};
+  subjects[0].emulated_emotion = affect::Emotion::kHappy;
+  subjects[0].category_weights = normalize({
+      {C::kMessaging, 0.38}, {C::kInternetBrowser, 0.27},
+      {C::kMusicAudioRadio, 0.08}, {C::kSharingCloud, 0.07},
+      {C::kTv, 0.05}, {C::kVideoApps, 0.04}, {C::kSocialNetworks, 0.03},
+      {C::kEMail, 0.02}, {C::kPhoto, 0.02}, {C::kSettings, 0.01},
+      {C::kCalling, 0.01}, {C::kCalendarApps, 0.01}, {C::kGallery, 0.01},
+  });
+
+  // Subject 2: median scores everywhere; flat tail over sharing cloud,
+  // browsing and TV/video.
+  subjects[1].subject_id = 2;
+  subjects[1].trait_summary = "median / average";
+  subjects[1].scores = {0.50, 0.50, 0.50, 0.50, 0.50};
+  subjects[1].emulated_emotion = affect::Emotion::kNeutral;
+  subjects[1].category_weights = normalize({
+      {C::kMessaging, 0.35}, {C::kInternetBrowser, 0.30},
+      {C::kSharingCloud, 0.06}, {C::kTv, 0.06}, {C::kVideoApps, 0.05},
+      {C::kEMail, 0.04}, {C::kSocialNetworks, 0.04}, {C::kCamera, 0.03},
+      {C::kGallery, 0.02}, {C::kSettings, 0.02}, {C::kTimerClocks, 0.02},
+      {C::kCalculator, 0.01},
+  });
+
+  // Subject 3: high cheerfulness / positive mood ("excited") — calling and
+  // shared transportation are elevated.
+  subjects[2].subject_id = 3;
+  subjects[2].trait_summary = "cheerfulness / happiness (excited)";
+  subjects[2].scores = {0.60, 0.45, 0.85, 0.60, 0.70};
+  subjects[2].emulated_emotion = affect::Emotion::kExcited;
+  subjects[2].category_weights = normalize({
+      {C::kMessaging, 0.34}, {C::kInternetBrowser, 0.26},
+      {C::kCalling, 0.10}, {C::kSharedTransport, 0.08},
+      {C::kSocialNetworks, 0.07}, {C::kCamera, 0.04}, {C::kPhoto, 0.03},
+      {C::kMusicAudioRadio, 0.03}, {C::kShopping, 0.02},
+      {C::kGallery, 0.02}, {C::kSettings, 0.01},
+  });
+
+  // Subject 4: median scores, calm / emotionally robust — very even tail.
+  subjects[3].subject_id = 4;
+  subjects[3].trait_summary = "calm / emotion robustness";
+  subjects[3].scores = {0.50, 0.55, 0.45, 0.50, 0.80};
+  subjects[3].emulated_emotion = affect::Emotion::kCalm;
+  subjects[3].category_weights = normalize({
+      {C::kMessaging, 0.36}, {C::kInternetBrowser, 0.28},
+      {C::kEMail, 0.05}, {C::kCalendarApps, 0.04}, {C::kTimerClocks, 0.04},
+      {C::kSettings, 0.04}, {C::kGallery, 0.04}, {C::kShopping, 0.04},
+      {C::kMusicAudioRadio, 0.03}, {C::kCalculator, 0.03},
+      {C::kSystemApp, 0.03}, {C::kVideoApps, 0.02},
+  });
+  return subjects;
+}
+
+const std::vector<SubjectProfile>& subjects_singleton() {
+  static const std::vector<SubjectProfile> s = build_subjects();
+  return s;
+}
+
+}  // namespace
+
+std::vector<SubjectProfile> paper_subjects() { return subjects_singleton(); }
+
+const SubjectProfile& subject(int id) {
+  if (id < 1 || id > 4) throw std::invalid_argument("subject: id must be 1..4");
+  return subjects_singleton()[static_cast<std::size_t>(id - 1)];
+}
+
+const SubjectProfile& profile_for_emotion(affect::Emotion e) {
+  for (const SubjectProfile& p : subjects_singleton()) {
+    if (p.emulated_emotion == e) return p;
+  }
+  // Map related emotions onto the nearest subject.
+  switch (e) {
+    case affect::Emotion::kSurprised:
+    case affect::Emotion::kAngry:
+    case affect::Emotion::kTense:
+    case affect::Emotion::kConcentrated:
+      return subject(3);
+    case affect::Emotion::kRelaxed:
+    case affect::Emotion::kSleepy:
+    case affect::Emotion::kSad:
+      return subject(4);
+    case affect::Emotion::kDistracted:
+      return subject(1);
+    default:
+      return subject(2);
+  }
+}
+
+double messaging_browsing_share(const SubjectProfile& p) {
+  double share = 0.0;
+  for (const auto& [c, w] : p.category_weights) {
+    if (c == AppCategory::kMessaging || c == AppCategory::kInternetBrowser) {
+      share += w;
+    }
+  }
+  return share;
+}
+
+}  // namespace affectsys::android

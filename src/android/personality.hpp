@@ -1,0 +1,54 @@
+// Subject personality profiles and their app-usage distributions (Fig 7
+// left) — the substitute for the Stachl et al. 640-subject dataset.
+//
+// The paper uses personality as a proxy for long-term affect: subject 3
+// (high cheerfulness) emulates the *excited* emotion state, subject 4
+// (calm/median) the *calm* state, and so on.  Each profile is an
+// app-category weight vector dominated by messaging + browsing (60-70%
+// combined, as reported) with a personality-dependent tail.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "affect/emotion.hpp"
+#include "android/app.hpp"
+
+namespace affectsys::android {
+
+/// Big Five (OCEAN) scores on a 0-1 scale.
+struct BigFiveScores {
+  double openness = 0.5;
+  double conscientiousness = 0.5;
+  double extraversion = 0.5;
+  double agreeableness = 0.5;
+  double emotional_stability = 0.5;
+};
+
+struct SubjectProfile {
+  int subject_id = 0;
+  std::string trait_summary;
+  BigFiveScores scores;
+  /// The emotion state this subject's usage pattern emulates (Section 5.1:
+  /// "we use different subject's personality to emulate the impact of
+  /// different affects").
+  affect::Emotion emulated_emotion = affect::Emotion::kNeutral;
+  /// Normalized category usage weights (sums to 1).
+  std::map<AppCategory, double> category_weights;
+};
+
+/// The four randomly-picked subjects of Section 5.1.
+std::vector<SubjectProfile> paper_subjects();
+
+/// Subject by 1-based id (1..4).
+const SubjectProfile& subject(int id);
+
+/// Usage profile emulating a given emotion (nearest subject by emulated
+/// emotion; defaults to subject 2's median pattern).
+const SubjectProfile& profile_for_emotion(affect::Emotion e);
+
+/// Fraction of weight on messaging + internet browsing (paper: 0.6-0.7).
+double messaging_browsing_share(const SubjectProfile& p);
+
+}  // namespace affectsys::android

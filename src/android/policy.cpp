@@ -1,0 +1,37 @@
+#include "android/policy.hpp"
+
+#include <algorithm>
+
+namespace affectsys::android {
+
+std::optional<AppId> FifoKillPolicy::select_victim(
+    const std::vector<VictimCandidate>& candidates) {
+  const auto it = std::min_element(
+      candidates.begin(), candidates.end(),
+      [](const auto& a, const auto& b) { return a.loaded_at_s < b.loaded_at_s; });
+  return it == candidates.end() ? std::nullopt
+                                : std::make_optional(it->app);
+}
+
+std::optional<AppId> LruKillPolicy::select_victim(
+    const std::vector<VictimCandidate>& candidates) {
+  const auto it = std::min_element(
+      candidates.begin(), candidates.end(),
+      [](const auto& a, const auto& b) { return a.last_used_s < b.last_used_s; });
+  return it == candidates.end() ? std::nullopt
+                                : std::make_optional(it->app);
+}
+
+std::optional<AppId> FrequencyKillPolicy::select_victim(
+    const std::vector<VictimCandidate>& candidates) {
+  const auto it = std::min_element(
+      candidates.begin(), candidates.end(), [](const auto& a, const auto& b) {
+        return a.launch_count != b.launch_count
+                   ? a.launch_count < b.launch_count
+                   : a.last_used_s < b.last_used_s;
+      });
+  return it == candidates.end() ? std::nullopt
+                                : std::make_optional(it->app);
+}
+
+}  // namespace affectsys::android

@@ -1,0 +1,59 @@
+// Background-kill policies: which cached process dies when the process
+// limit or memory budget is exceeded.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "android/app.hpp"
+
+namespace affectsys::android {
+
+/// Snapshot of one background process offered to the policy.
+struct VictimCandidate {
+  AppId app = 0;
+  double loaded_at_s = 0.0;     ///< cold-start time of this residency
+  double last_used_s = 0.0;     ///< most recent foreground time
+  std::uint64_t memory_bytes = 0;
+  std::size_t launch_count = 0; ///< lifetime launches of this app
+};
+
+class KillPolicy {
+ public:
+  virtual ~KillPolicy() = default;
+  /// Picks the victim among candidates (never empty).  Returning nullopt
+  /// means "refuse to kill" and the manager will evict the oldest as a
+  /// last resort.
+  virtual std::optional<AppId> select_victim(
+      const std::vector<VictimCandidate>& candidates) = 0;
+  virtual std::string_view name() const = 0;
+};
+
+/// Android-default-like behaviour per Section 5.2: "the system follows
+/// mostly a first-in-first-out killing strategy".
+class FifoKillPolicy : public KillPolicy {
+ public:
+  std::optional<AppId> select_victim(
+      const std::vector<VictimCandidate>& candidates) override;
+  std::string_view name() const override { return "fifo"; }
+};
+
+/// Least-recently-used alternative baseline.
+class LruKillPolicy : public KillPolicy {
+ public:
+  std::optional<AppId> select_victim(
+      const std::vector<VictimCandidate>& candidates) override;
+  std::string_view name() const override { return "lru"; }
+};
+
+/// Emotion-agnostic frequency baseline: kill the least-launched app.
+class FrequencyKillPolicy : public KillPolicy {
+ public:
+  std::optional<AppId> select_victim(
+      const std::vector<VictimCandidate>& candidates) override;
+  std::string_view name() const override { return "frequency"; }
+};
+
+}  // namespace affectsys::android

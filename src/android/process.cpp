@@ -1,0 +1,197 @@
+#include "android/process.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace affectsys::android {
+
+ProcessManager::ProcessManager(std::vector<App> catalog,
+                               ProcessManagerConfig cfg, KillPolicy& policy,
+                               Tracer* tracer)
+    : catalog_(std::move(catalog)),
+      cfg_(cfg),
+      policy_(policy),
+      tracer_(tracer) {
+  // Protected system processes boot with the device.
+  for (const App& a : catalog_) {
+    if (a.protected_from_kill) {
+      running_[a.id] = {a.id, 0.0, 0.0, 0, false};
+    }
+  }
+}
+
+const App& ProcessManager::app_info(AppId id) const {
+  const auto it =
+      std::find_if(catalog_.begin(), catalog_.end(),
+                   [&](const App& a) { return a.id == id; });
+  if (it == catalog_.end()) {
+    throw std::invalid_argument("ProcessManager: unknown app id");
+  }
+  return *it;
+}
+
+std::size_t ProcessManager::killable_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, st] : running_) {
+    n += app_info(id).protected_from_kill ? 0 : 1;
+  }
+  return n;
+}
+
+std::uint64_t ProcessManager::used_ram() const {
+  std::uint64_t total = cfg_.reserved_bytes;
+  for (const auto& [id, st] : running_) {
+    const std::uint64_t full = app_info(id).memory_bytes;
+    total += st.compressed
+                 ? static_cast<std::uint64_t>(
+                       static_cast<double>(full) * cfg_.compression_ratio)
+                 : full;
+  }
+  return total;
+}
+
+std::size_t ProcessManager::compressed_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, st] : running_) n += st.compressed ? 1 : 0;
+  return n;
+}
+
+void ProcessManager::kill(AppId app, double time_s, std::string_view reason) {
+  running_.erase(app);
+  ++metrics_.kills;
+  if (tracer_) {
+    tracer_->record(time_s, TraceEventType::kKill, app, std::string(reason));
+  }
+}
+
+void ProcessManager::make_room(std::uint64_t need_bytes, double time_s,
+                               AppId incoming) {
+  auto limit_pressure = [&] {
+    return killable_count() + 1 > cfg_.process_limit;
+  };
+  auto ram_pressure = [&] {
+    return used_ram() + need_bytes > cfg_.ram_bytes;
+  };
+  auto pick_victim =
+      [&](bool uncompressed_only) -> std::optional<AppId> {
+    std::vector<VictimCandidate> candidates;
+    for (const auto& [id, st] : running_) {
+      const App& a = app_info(id);
+      if (a.protected_from_kill || st.foreground || id == incoming) continue;
+      if (uncompressed_only && st.compressed) continue;
+      candidates.push_back({id, st.loaded_at_s, st.last_used_s,
+                            a.memory_bytes, st.launch_count});
+    }
+    if (candidates.empty()) return std::nullopt;
+    std::optional<AppId> victim = policy_.select_victim(candidates);
+    if (!victim) {
+      // Last resort: FIFO.
+      victim = std::min_element(candidates.begin(), candidates.end(),
+                                [](const auto& a, const auto& b) {
+                                  return a.loaded_at_s < b.loaded_at_s;
+                                })
+                   ->app;
+    }
+    return victim;
+  };
+
+  while (limit_pressure() || ram_pressure()) {
+    // zram path: pure RAM pressure compresses before killing.
+    if (cfg_.compress_instead_of_kill && !limit_pressure()) {
+      if (const auto victim = pick_victim(/*uncompressed_only=*/true)) {
+        ProcessState& st = running_[*victim];
+        st.compressed = true;
+        ++metrics_.compressions;
+        metrics_.compression_time_s +=
+            static_cast<double>(app_info(*victim).memory_bytes) /
+            (cfg_.compress_mbps * 1e6);
+        if (tracer_) {
+          tracer_->record(time_s, TraceEventType::kCompress, *victim);
+        }
+        continue;
+      }
+      // Everything killable is already compressed: fall through to kill.
+    }
+    const auto victim = pick_victim(/*uncompressed_only=*/false);
+    if (!victim) return;  // only protected processes remain
+    kill(*victim, time_s, "pressure");
+  }
+}
+
+LoadCost ProcessManager::launch(AppId app, double time_s) {
+  const App& info = app_info(app);
+  ++lifetime_launches_[app];
+
+  // Previous foreground app retreats to the background cache.
+  if (foreground_ && running_.contains(*foreground_)) {
+    running_[*foreground_].foreground = false;
+  }
+
+  LoadCost cost;
+  if (auto it = running_.find(app); it != running_.end()) {
+    // Warm start; a compressed resident set must be decompressed first.
+    ++metrics_.warm_starts;
+    if (it->second.compressed) {
+      it->second.compressed = false;
+      ++metrics_.decompressions;
+      if (tracer_) tracer_->record(time_s, TraceEventType::kDecompress, app);
+      const double t_decompress =
+          static_cast<double>(info.memory_bytes) /
+          (cfg_.decompress_mbps * 1e6);
+      metrics_.compression_time_s += t_decompress;
+      metrics_.loading_time_s += t_decompress;  // user-visible stall
+      cost.time_s += t_decompress;
+      // Decompressing grows the footprint back: make room if needed.
+      make_room(0, time_s, app);
+    }
+    it->second.last_used_s = time_s;
+    it->second.launch_count = lifetime_launches_[app];
+    it->second.foreground = true;
+    if (tracer_) tracer_->record(time_s, TraceEventType::kWarmStart, app);
+  } else {
+    // Cold start: make room, then page in from flash and allocate.
+    make_room(info.memory_bytes, time_s, app);
+    cost = flash_.read_and_account(info.image_bytes);
+    cost.time_s += info.init_time_s;
+    ++metrics_.cold_starts;
+    metrics_.memory_loaded_bytes += info.image_bytes + info.memory_bytes;
+    metrics_.loading_time_s += cost.time_s;
+    metrics_.flash_energy_nj += cost.energy_nj;
+    running_[app] = {app, time_s, time_s, lifetime_launches_[app], true};
+    if (tracer_) tracer_->record(time_s, TraceEventType::kColdStart, app);
+  }
+  foreground_ = app;
+  if (tracer_) tracer_->record(time_s, TraceEventType::kForeground, app);
+  return cost;
+}
+
+bool ProcessManager::preload(AppId app, double time_s) {
+  const App& info = app_info(app);
+  if (running_.contains(app)) return false;
+  // Prefetch must be free of side effects on resident apps: only proceed
+  // when both budgets have headroom without any eviction.
+  if (killable_count() + 1 > cfg_.process_limit ||
+      used_ram() + info.memory_bytes > cfg_.ram_bytes) {
+    return false;
+  }
+  const LoadCost cost = flash_.read(info.image_bytes);
+  ++metrics_.prefetches;
+  metrics_.prefetch_bytes += info.image_bytes + info.memory_bytes;
+  metrics_.prefetch_time_s += cost.time_s + info.init_time_s;
+  metrics_.prefetch_energy_nj += cost.energy_nj;
+  running_[app] = {app, time_s, time_s, lifetime_launches_[app], false};
+  if (tracer_) {
+    tracer_->record(time_s, TraceEventType::kColdStart, app, "prefetch");
+  }
+  return true;
+}
+
+bool ProcessManager::invariants_hold() const {
+  if (killable_count() > cfg_.process_limit + 1) return false;  // +1: fg app
+  if (used_ram() > cfg_.ram_bytes + (1ull << 30)) return false;
+  std::size_t fg = 0;
+  for (const auto& [id, st] : running_) fg += st.foreground ? 1 : 0;
+  return fg <= 1;
+}
+
+}  // namespace affectsys::android

@@ -1,0 +1,64 @@
+#include "android/replay.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace affectsys::android {
+
+void save_usage_events(std::ostream& os,
+                       std::span<const UsageEvent> events) {
+  os << "time_s,app,dwell_s,emotion\n";
+  for (const UsageEvent& ev : events) {
+    os << ev.time_s << ',' << ev.app << ',' << ev.dwell_s << ','
+       << affect::emotion_name(ev.emotion) << '\n';
+  }
+}
+
+std::vector<UsageEvent> load_usage_events(std::istream& is) {
+  std::vector<UsageEvent> out;
+  std::string line;
+  bool first = true;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (first) {  // header
+      first = false;
+      if (line.rfind("time_s,", 0) != 0) {
+        throw std::runtime_error("load_usage_events: missing CSV header");
+      }
+      continue;
+    }
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string field;
+    UsageEvent ev;
+    try {
+      std::getline(ls, field, ',');
+      ev.time_s = std::stod(field);
+      std::getline(ls, field, ',');
+      ev.app = static_cast<AppId>(std::stoul(field));
+      std::getline(ls, field, ',');
+      ev.dwell_s = std::stod(field);
+    } catch (const std::exception&) {
+      throw std::runtime_error("load_usage_events: bad numeric field at line " +
+                               std::to_string(line_no));
+    }
+    if (!std::getline(ls, field, ',')) {
+      throw std::runtime_error("load_usage_events: truncated row at line " +
+                               std::to_string(line_no));
+    }
+    const auto emotion = affect::emotion_from_name(field);
+    if (!emotion) {
+      throw std::runtime_error("load_usage_events: unknown emotion '" +
+                               field + "' at line " + std::to_string(line_no));
+    }
+    ev.emotion = *emotion;
+    out.push_back(ev);
+  }
+  return out;
+}
+
+}  // namespace affectsys::android

@@ -1,0 +1,24 @@
+// Record/replay of usage workloads.
+//
+// Monkey-generated usage sequences can be saved as CSV and replayed
+// later, so a management-policy comparison can run on the exact workload
+// a bug report or prior experiment captured — the moral equivalent of
+// shipping the paper's monkey script alongside the results.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "android/monkey.hpp"
+
+namespace affectsys::android {
+
+/// Writes events as CSV: time_s,app,dwell_s,emotion (header included).
+void save_usage_events(std::ostream& os, std::span<const UsageEvent> events);
+
+/// Parses a CSV produced by save_usage_events().
+/// @throws std::runtime_error on malformed rows or unknown emotions
+std::vector<UsageEvent> load_usage_events(std::istream& is);
+
+}  // namespace affectsys::android

@@ -1,0 +1,61 @@
+#include "core/affect_table.hpp"
+
+#include <algorithm>
+
+#include "android/catalog.hpp"
+
+namespace affectsys::core {
+
+void AppAffectTable::observe(affect::Emotion e, android::AppId app,
+                             double weight) {
+  scores_[e][app] += weight;
+}
+
+void AppAffectTable::learn_from_profile(
+    affect::Emotion e, const android::SubjectProfile& profile,
+    const std::vector<android::App>& catalog) {
+  for (const auto& [cat, cat_weight] : profile.category_weights) {
+    const auto apps = android::apps_in_category(catalog, cat);
+    if (apps.empty()) continue;
+    // Within-category Zipf preference with the same subject-id rotation
+    // as the monkey generator, normalized to the category weight.
+    double norm = 0.0;
+    std::vector<double> w(apps.size());
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+      const std::size_t rank =
+          (i + static_cast<std::size_t>(profile.subject_id)) % apps.size();
+      w[i] = 1.0 / static_cast<double>(rank + 1);
+      norm += w[i];
+    }
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+      scores_[e][apps[i]] += cat_weight * w[i] / norm;
+    }
+  }
+}
+
+double AppAffectTable::score(affect::Emotion e, android::AppId app) const {
+  const auto eit = scores_.find(e);
+  if (eit == scores_.end()) return 0.0;
+  const auto ait = eit->second.find(app);
+  return ait == eit->second.end() ? 0.0 : ait->second;
+}
+
+std::vector<android::AppId> AppAffectTable::rank(affect::Emotion e) const {
+  std::vector<android::AppId> out;
+  const auto eit = scores_.find(e);
+  if (eit == scores_.end()) return out;
+  for (const auto& [app, s] : eit->second) out.push_back(app);
+  std::sort(out.begin(), out.end(),
+            [&](android::AppId a, android::AppId b) {
+              const double sa = score(e, a), sb = score(e, b);
+              return sa != sb ? sa > sb : a < b;
+            });
+  return out;
+}
+
+bool AppAffectTable::knows(affect::Emotion e) const {
+  const auto it = scores_.find(e);
+  return it != scores_.end() && !it->second.empty();
+}
+
+}  // namespace affectsys::core

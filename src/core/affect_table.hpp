@@ -1,0 +1,44 @@
+// The Background "App Affect Table" and App Rank Generator of Fig 8:
+// per-emotion app-usage statistics that the emotional background manager
+// turns into kill priorities.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "affect/emotion.hpp"
+#include "android/personality.hpp"
+
+namespace affectsys::core {
+
+/// Per-emotion, per-app usage scores.  Higher score = more likely to be
+/// used while the user is in that emotion = higher priority to keep
+/// cached.
+class AppAffectTable {
+ public:
+  /// Online learning: records one observed launch under an emotion
+  /// (the "App Running Record with Emotion Conditions" path of Fig 8).
+  void observe(affect::Emotion e, android::AppId app, double weight = 1.0);
+
+  /// Seeds the table from a personality profile's analytic launch
+  /// distribution over the catalog (category weight x within-category
+  /// Zipf preference, mirroring the monkey generator).
+  void learn_from_profile(affect::Emotion e,
+                          const android::SubjectProfile& profile,
+                          const std::vector<android::App>& catalog);
+
+  /// Usage score of an app under an emotion (0 when never seen).
+  double score(affect::Emotion e, android::AppId app) const;
+
+  /// Apps ranked most-likely-first for an emotion (the App Rank
+  /// Generator output).
+  std::vector<android::AppId> rank(affect::Emotion e) const;
+
+  /// True when the table has any data for the emotion.
+  bool knows(affect::Emotion e) const;
+
+ private:
+  std::map<affect::Emotion, std::map<android::AppId, double>> scores_;
+};
+
+}  // namespace affectsys::core

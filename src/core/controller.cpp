@@ -1,0 +1,35 @@
+#include "core/controller.hpp"
+
+namespace affectsys::core {
+
+SystemController::SystemController(const affect::StreamConfig& stream_cfg,
+                                   adaptive::AffectVideoPolicy video_policy,
+                                   EmotionalKillPolicy* app_policy)
+    : stream_(stream_cfg),
+      video_policy_(video_policy),
+      app_policy_(app_policy) {}
+
+std::optional<ControllerEvent> SystemController::on_classification(
+    double t_s, affect::Emotion raw, float confidence) {
+  if (confidence < min_confidence_) {
+    ++gated_;
+    return std::nullopt;
+  }
+  return on_classification(t_s, raw);
+}
+
+std::optional<ControllerEvent> SystemController::on_classification(
+    double t_s, affect::Emotion raw) {
+  const auto changed = stream_.push(t_s, raw);
+  if (!changed) return std::nullopt;
+
+  ControllerEvent ev;
+  ev.time_s = t_s;
+  ev.emotion = *changed;
+  ev.video_mode = video_policy_.mode_for(*changed);
+  if (app_policy_) app_policy_->set_emotion(*changed);
+  for (auto& cb : observers_) cb(ev);
+  return ev;
+}
+
+}  // namespace affectsys::core

@@ -1,0 +1,65 @@
+// SystemController: the top-level wiring of Fig 4 — classifier output
+// flows through an EmotionStream into both the video-decoder mode policy
+// and the emotional app manager.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "adaptive/modes.hpp"
+#include "affect/stream.hpp"
+#include "core/emotional_policy.hpp"
+
+namespace affectsys::core {
+
+struct ControllerEvent {
+  double time_s = 0.0;
+  affect::Emotion emotion = affect::Emotion::kNeutral;
+  adaptive::DecoderMode video_mode = adaptive::DecoderMode::kStandard;
+};
+
+/// Consumes raw classifier labels, maintains the smoothed system emotion,
+/// and pushes mode/rank updates to the managed subsystems.
+class SystemController {
+ public:
+  SystemController(const affect::StreamConfig& stream_cfg,
+                   adaptive::AffectVideoPolicy video_policy,
+                   EmotionalKillPolicy* app_policy = nullptr);
+
+  /// Feeds one raw classification at time t.  Returns the event if the
+  /// stable emotion (and therefore the system configuration) changed.
+  std::optional<ControllerEvent> on_classification(double t_s,
+                                                   affect::Emotion raw);
+
+  /// Confidence-gated variant: classifications below `min_confidence` are
+  /// dropped before smoothing (hardware should not react to guesses).
+  std::optional<ControllerEvent> on_classification(double t_s,
+                                                   affect::Emotion raw,
+                                                   float confidence);
+
+  /// Threshold for the confidence-gated path (default accepts all).
+  void set_min_confidence(float c) { min_confidence_ = c; }
+  float min_confidence() const { return min_confidence_; }
+  std::size_t gated_count() const { return gated_; }
+
+  affect::Emotion current_emotion() const { return stream_.stable(); }
+  adaptive::DecoderMode current_video_mode() const {
+    return video_policy_.mode_for(stream_.stable());
+  }
+  std::size_t mode_changes() const { return stream_.transitions(); }
+
+  /// Observers notified on every stable change (e.g. loggers, benches).
+  void subscribe(std::function<void(const ControllerEvent&)> cb) {
+    observers_.push_back(std::move(cb));
+  }
+
+ private:
+  affect::EmotionStream stream_;
+  adaptive::AffectVideoPolicy video_policy_;
+  EmotionalKillPolicy* app_policy_;
+  std::vector<std::function<void(const ControllerEvent&)>> observers_;
+  float min_confidence_ = 0.0f;
+  std::size_t gated_ = 0;
+};
+
+}  // namespace affectsys::core

@@ -1,0 +1,23 @@
+#include "core/emotional_policy.hpp"
+
+#include <algorithm>
+
+namespace affectsys::core {
+
+std::optional<android::AppId> EmotionalKillPolicy::select_victim(
+    const std::vector<android::VictimCandidate>& candidates) {
+  if (candidates.empty()) return std::nullopt;
+  if (!table_.knows(emotion_)) return std::nullopt;  // fall back to FIFO
+  const auto it = std::min_element(
+      candidates.begin(), candidates.end(),
+      [&](const android::VictimCandidate& a,
+          const android::VictimCandidate& b) {
+        const double sa = table_.score(emotion_, a.app);
+        const double sb = table_.score(emotion_, b.app);
+        // Lowest emotional relevance dies first; FIFO breaks ties.
+        return sa != sb ? sa < sb : a.loaded_at_s < b.loaded_at_s;
+      });
+  return it->app;
+}
+
+}  // namespace affectsys::core

@@ -1,0 +1,32 @@
+// The Emotional App Manager kill policy (Fig 8): victims are the cached
+// apps least likely to be used under the *current* emotion according to
+// the App Affect Table.
+#pragma once
+
+#include "android/policy.hpp"
+#include "core/affect_table.hpp"
+
+namespace affectsys::core {
+
+class EmotionalKillPolicy : public android::KillPolicy {
+ public:
+  /// The table must outlive the policy.
+  explicit EmotionalKillPolicy(const AppAffectTable& table)
+      : table_(table) {}
+
+  /// Called by the system controller when the classifier reports a new
+  /// stable emotion ("when the emotion changes, the preferred Apps based
+  /// on the new emotion state will be given a higher priority").
+  void set_emotion(affect::Emotion e) { emotion_ = e; }
+  affect::Emotion emotion() const { return emotion_; }
+
+  std::optional<android::AppId> select_victim(
+      const std::vector<android::VictimCandidate>& candidates) override;
+  std::string_view name() const override { return "emotional"; }
+
+ private:
+  const AppAffectTable& table_;
+  affect::Emotion emotion_ = affect::Emotion::kNeutral;
+};
+
+}  // namespace affectsys::core

@@ -1,0 +1,99 @@
+#include "core/simulator.hpp"
+
+#include <set>
+
+#include "core/emotional_policy.hpp"
+
+namespace affectsys::core {
+
+SystemScenarioConfig::SystemScenarioConfig() {
+  // Default session: the uulmMAC 40-minute protocol.
+  timeline = affect::uulmmac_session_timeline();
+}
+
+SystemScenarioReport run_system_scenario(const SystemScenarioConfig& cfg,
+                                         adaptive::AdaptiveDecoderSystem& dec) {
+  SystemScenarioReport report;
+
+  // ---- 1. Sense: SCL trace -> windowed labels -> controller ------------
+  affect::SclGenerator scl_gen(cfg.scl);
+  const auto trace = scl_gen.generate(cfg.timeline);
+  affect::SclEmotionEstimator estimator;
+  estimator.calibrate(trace, cfg.scl.sample_rate_hz, cfg.timeline);
+
+  const auto catalog = android::build_catalog(cfg.emulator, cfg.catalog_seed);
+  AppAffectTable table;
+  std::set<affect::Emotion> seen;
+  for (const auto& seg : cfg.timeline.segments) {
+    if (seen.insert(seg.emotion).second) {
+      table.learn_from_profile(seg.emotion,
+                               android::profile_for_emotion(seg.emotion),
+                               catalog);
+    }
+  }
+  EmotionalKillPolicy emotional_policy(table);
+  SystemController controller(cfg.smoothing, adaptive::AffectVideoPolicy{},
+                              &emotional_policy);
+
+  const auto win =
+      static_cast<std::size_t>(cfg.scl_window_s * cfg.scl.sample_rate_hz);
+  std::size_t correct = 0, total = 0;
+  double seg_start = 0.0;
+  affect::Emotion current = affect::Emotion::kNeutral;
+  bool first = true;
+  for (std::size_t start = 0; start + win <= trace.size(); start += win) {
+    const double t = static_cast<double>(start) / cfg.scl.sample_rate_hz;
+    const affect::Emotion raw = estimator.classify({trace.data() + start, win});
+    correct += raw == cfg.timeline.at(t);
+    ++total;
+    if (first) {
+      current = raw;
+      first = false;
+    }
+    if (const auto ev = controller.on_classification(t, raw)) {
+      if (t > seg_start) {
+        report.estimated_timeline.segments.push_back({seg_start, t, current});
+        seg_start = t;
+      }
+      current = ev->emotion;
+    }
+  }
+  const double end_s = cfg.timeline.duration_s();
+  if (end_s > seg_start) {
+    report.estimated_timeline.segments.push_back({seg_start, end_s, current});
+  }
+  report.window_accuracy =
+      total ? static_cast<double>(correct) / static_cast<double>(total) : 0.0;
+  report.mode_changes = controller.mode_changes();
+
+  // ---- 2. Video: playback over the controller's stable emotions --------
+  report.playback = adaptive::simulate_playback(
+      dec, report.estimated_timeline, adaptive::AffectVideoPolicy{});
+
+  // ---- 3. Apps: user behaves per ground truth, manager sees estimates --
+  android::MonkeyScript monkey(catalog, cfg.monkey);
+  const auto events = monkey.generate(cfg.timeline);
+
+  android::ProcessManagerConfig pm_cfg;
+  pm_cfg.process_limit = static_cast<std::size_t>(cfg.emulator.process_limit);
+  pm_cfg.ram_bytes = cfg.emulator.ram_bytes;
+  {
+    android::FifoKillPolicy fifo;
+    android::ProcessManager pm(catalog, pm_cfg, fifo);
+    for (const auto& ev : events) pm.launch(ev.app, ev.time_s);
+    report.app_baseline = pm.metrics();
+  }
+  {
+    android::ProcessManager pm(catalog, pm_cfg, emotional_policy);
+    for (const auto& ev : events) {
+      // The policy's emotion follows the controller's estimate for the
+      // launch time, not the ground truth.
+      emotional_policy.set_emotion(report.estimated_timeline.at(ev.time_s));
+      pm.launch(ev.app, ev.time_s);
+    }
+    report.app_proposed = pm.metrics();
+  }
+  return report;
+}
+
+}  // namespace affectsys::core

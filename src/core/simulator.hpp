@@ -1,0 +1,72 @@
+// Whole-system simulation: one biosignal stream drives both management
+// subsystems through a single SystemController, end to end.
+//
+// This goes one step beyond the paper's two separate case studies: the
+// skin-conductance trace is classified online, smoothed once, and the
+// SAME stable-emotion stream reconfigures the video decoder and re-ranks
+// the app manager's kill priorities.  The user's app behaviour follows
+// the ground-truth timeline while the manager only ever sees the
+// classifier output — so classification errors propagate into the
+// measured savings, as they would on a real device.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "adaptive/playback.hpp"
+#include "affect/scl.hpp"
+#include "android/monkey.hpp"
+#include "android/process.hpp"
+#include "core/controller.hpp"
+#include "core/manager_experiment.hpp"
+
+namespace affectsys::core {
+
+struct SystemScenarioConfig {
+  /// Ground-truth emotion timeline of the session.
+  affect::EmotionTimeline timeline;
+  affect::SclConfig scl{};
+  double scl_window_s = 30.0;
+  adaptive::PlaybackConfig playback{};
+  android::EmulatorSpec emulator{};
+  android::MonkeyConfig monkey{};
+  affect::StreamConfig smoothing{3, 60.0};
+  unsigned catalog_seed = 2022;
+
+  SystemScenarioConfig();
+};
+
+struct SystemScenarioReport {
+  /// Emotion sensing.
+  affect::EmotionTimeline estimated_timeline;
+  double window_accuracy = 0.0;  ///< raw classifier vs ground truth
+  std::size_t mode_changes = 0;  ///< stable transitions after smoothing
+
+  /// Video subsystem.
+  adaptive::PlaybackReport playback;
+
+  /// App/memory subsystem (baseline FIFO vs emotional manager driven by
+  /// the *estimated* emotion).
+  android::LoadingMetrics app_baseline;
+  android::LoadingMetrics app_proposed;
+  double app_memory_saving() const {
+    return app_baseline.memory_loaded_bytes
+               ? 1.0 -
+                     static_cast<double>(app_proposed.memory_loaded_bytes) /
+                         static_cast<double>(app_baseline.memory_loaded_bytes)
+               : 0.0;
+  }
+  double app_time_saving() const {
+    return app_baseline.loading_time_s > 0.0
+               ? 1.0 - app_proposed.loading_time_s /
+                           app_baseline.loading_time_s
+               : 0.0;
+  }
+};
+
+/// Runs the full scenario.  The AdaptiveDecoderSystem is passed in so its
+/// (expensive) mode profiling can be shared across scenarios.
+SystemScenarioReport run_system_scenario(const SystemScenarioConfig& cfg,
+                                         adaptive::AdaptiveDecoderSystem& dec);
+
+}  // namespace affectsys::core

@@ -1,0 +1,260 @@
+#include "h264/arith.hpp"
+
+#include <stdexcept>
+
+#include "h264/bitstream.hpp"  // BitstreamError
+#include "h264/entropy.hpp"    // zig-zag tables
+
+namespace affectsys::h264 {
+namespace {
+
+constexpr std::uint32_t kTopValue = 1u << 24;
+
+}  // namespace
+
+namespace {
+
+// The renormalization follows the classic LZMA-style range coder: a cache
+// byte plus a run of pending 0xFF bytes absorb carries out of `low`.
+void shift_low(std::uint64_t& low, std::vector<std::uint8_t>& out,
+               std::uint8_t& cache, std::uint64_t& cache_size) {
+  if (static_cast<std::uint32_t>(low) < 0xFF000000u || (low >> 32) != 0) {
+    std::uint8_t temp = cache;
+    const auto carry = static_cast<std::uint8_t>(low >> 32);
+    do {
+      out.push_back(static_cast<std::uint8_t>(temp + carry));
+      temp = 0xFF;
+    } while (--cache_size);
+    cache = static_cast<std::uint8_t>(low >> 24);
+  }
+  ++cache_size;
+  low = (low << 8) & 0xFFFFFFFFull;
+}
+
+}  // namespace
+
+void ArithEncoder::encode_bit(ContextModel& ctx, bool bit) {
+  const std::uint32_t p0 = 65536u - ctx.prob();
+  const std::uint32_t bound =
+      static_cast<std::uint32_t>((static_cast<std::uint64_t>(range_) >> 16) * p0);
+  std::uint64_t low64 = low64_;
+  if (!bit) {
+    range_ = bound;
+  } else {
+    low64 += bound;
+    range_ -= bound;
+  }
+  ctx.update(bit);
+  while (range_ < kTopValue) {
+    range_ <<= 8;
+    shift_low(low64, out_, cache_, cache_size_);
+  }
+  low64_ = low64;
+}
+
+void ArithEncoder::encode_bypass(bool bit) {
+  const std::uint32_t bound = range_ >> 1;
+  std::uint64_t low64 = low64_;
+  if (!bit) {
+    range_ = bound;
+  } else {
+    low64 += bound;
+    range_ -= bound;
+  }
+  while (range_ < kTopValue) {
+    range_ <<= 8;
+    shift_low(low64, out_, cache_, cache_size_);
+  }
+  low64_ = low64;
+}
+
+void ArithEncoder::encode_bypass_bits(std::uint32_t value, unsigned count) {
+  for (unsigned i = count; i-- > 0;) {
+    encode_bypass((value >> i) & 1u);
+  }
+}
+
+std::vector<std::uint8_t> ArithEncoder::finish() {
+  std::uint64_t low64 = low64_;
+  for (int i = 0; i < 5; ++i) {
+    shift_low(low64, out_, cache_, cache_size_);
+  }
+  low64_ = low64;
+  return std::move(out_);
+}
+
+ArithDecoder::ArithDecoder(std::span<const std::uint8_t> data)
+    : data_(data) {
+  // The encoder's first flushed byte is a dummy; prime code_ with the
+  // next four.
+  next_byte();
+  for (int i = 0; i < 4; ++i) {
+    code_ = (code_ << 8) | next_byte();
+  }
+}
+
+std::uint8_t ArithDecoder::next_byte() {
+  if (pos_ >= data_.size()) {
+    throw BitstreamError("ArithDecoder: out of data");
+  }
+  return data_[pos_++];
+}
+
+void ArithDecoder::renormalize() {
+  while (range_ < kTopValue) {
+    code_ = (code_ << 8) | next_byte();
+    range_ <<= 8;
+  }
+}
+
+bool ArithDecoder::decode_bit(ContextModel& ctx) {
+  const std::uint32_t p0 = 65536u - ctx.prob();
+  const std::uint32_t bound =
+      static_cast<std::uint32_t>((static_cast<std::uint64_t>(range_) >> 16) * p0);
+  bool bit;
+  if (code_ < bound) {
+    bit = false;
+    range_ = bound;
+  } else {
+    bit = true;
+    code_ -= bound;
+    range_ -= bound;
+  }
+  ctx.update(bit);
+  renormalize();
+  return bit;
+}
+
+bool ArithDecoder::decode_bypass() {
+  const std::uint32_t bound = range_ >> 1;
+  bool bit;
+  if (code_ < bound) {
+    bit = false;
+    range_ = bound;
+  } else {
+    bit = true;
+    code_ -= bound;
+    range_ -= bound;
+  }
+  renormalize();
+  return bit;
+}
+
+std::uint32_t ArithDecoder::decode_bypass_bits(unsigned count) {
+  std::uint32_t v = 0;
+  for (unsigned i = 0; i < count; ++i) {
+    v = (v << 1) | static_cast<std::uint32_t>(decode_bypass());
+  }
+  return v;
+}
+
+// ------------------------------------------------------------- residuals
+
+namespace {
+
+int sig_ctx(int scan_pos) { return scan_pos < 5 ? scan_pos : 5; }
+int level_ctx(int coeffs_coded) { return coeffs_coded < 3 ? coeffs_coded : 3; }
+
+void encode_level(ArithEncoder& enc, ResidualContexts& ctx, int coeff_idx,
+                  int level) {
+  const int mag = level < 0 ? -level : level;
+  enc.encode_bit(ctx.level_gt1[level_ctx(coeff_idx)], mag > 1);
+  if (mag > 1) {
+    // Unary prefix (capped) + exp-golomb-style bypass suffix for the rest.
+    int rem = mag - 2;
+    int unary = 0;
+    while (unary < 6 && rem > 0) {
+      enc.encode_bit(ctx.level_unary[level_ctx(coeff_idx)], true);
+      --rem;
+      ++unary;
+    }
+    if (unary < 6) {
+      enc.encode_bit(ctx.level_unary[level_ctx(coeff_idx)], false);
+    } else {
+      // Remainder: bypass Elias-gamma style (length in unary, then bits).
+      unsigned len = 0;
+      std::uint32_t v = static_cast<std::uint32_t>(rem) + 1;
+      while ((v >> (len + 1)) != 0) ++len;
+      for (unsigned i = 0; i < len; ++i) enc.encode_bypass(true);
+      enc.encode_bypass(false);
+      enc.encode_bypass_bits(v & ((1u << len) - 1), len);
+    }
+  }
+  enc.encode_bypass(level < 0);
+}
+
+int decode_level(ArithDecoder& dec, ResidualContexts& ctx, int coeff_idx) {
+  int mag = 1;
+  if (dec.decode_bit(ctx.level_gt1[level_ctx(coeff_idx)])) {
+    mag = 2;
+    int unary = 0;
+    while (unary < 6 &&
+           dec.decode_bit(ctx.level_unary[level_ctx(coeff_idx)])) {
+      ++mag;
+      ++unary;
+    }
+    if (unary == 6) {
+      unsigned len = 0;
+      while (dec.decode_bypass()) {
+        if (++len > 31) throw BitstreamError("cabac: runaway level");
+      }
+      const std::uint32_t suffix = dec.decode_bypass_bits(len);
+      const std::uint32_t v = (1u << len) | suffix;
+      mag += static_cast<int>(v - 1);
+    }
+  }
+  return dec.decode_bypass() ? -mag : mag;
+}
+
+}  // namespace
+
+void encode_residual_block_cabac(ArithEncoder& enc, ResidualContexts& ctx,
+                                 const Block4x4& levels) {
+  int scan[16];
+  int last = -1;
+  for (int i = 0; i < 16; ++i) {
+    scan[i] = levels[kZigzagRow[i]][kZigzagCol[i]];
+    if (scan[i] != 0) last = i;
+  }
+  // coded_block_flag via sig[0]-style context.
+  enc.encode_bit(ctx.sig[0], last >= 0);
+  if (last < 0) return;
+  int coded = 0;
+  for (int i = 0; i <= last; ++i) {
+    if (i < 15) {
+      enc.encode_bit(ctx.sig[sig_ctx(i)], scan[i] != 0);
+      if (scan[i] == 0) continue;
+      enc.encode_bit(ctx.last[sig_ctx(i)], i == last);
+    } else if (scan[i] == 0) {
+      continue;  // position 15 significance is implied by reaching it
+    }
+    encode_level(enc, ctx, coded, scan[i]);
+    ++coded;
+  }
+}
+
+Block4x4 decode_residual_block_cabac(ArithDecoder& dec,
+                                     ResidualContexts& ctx) {
+  Block4x4 out{};
+  if (!dec.decode_bit(ctx.sig[0])) return out;
+  int coded = 0;
+  for (int i = 0; i < 16; ++i) {
+    bool sig;
+    bool is_last = false;
+    if (i < 15) {
+      sig = dec.decode_bit(ctx.sig[sig_ctx(i)]);
+      if (sig) is_last = dec.decode_bit(ctx.last[sig_ctx(i)]);
+    } else {
+      sig = true;  // reached the end: the final coefficient is here
+      is_last = true;
+    }
+    if (!sig) continue;
+    const int level = decode_level(dec, ctx, coded);
+    out[kZigzagRow[i]][kZigzagCol[i]] = level;
+    ++coded;
+    if (is_last) break;
+  }
+  return out;
+}
+
+}  // namespace affectsys::h264

@@ -1,0 +1,68 @@
+// Bit-level I/O with Exp-Golomb coding — the syntax layer every H.264
+// header and our CAVLC-style residual coder is written in.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace affectsys::h264 {
+
+/// Thrown when a decoder runs off the end of a (possibly truncated or
+/// Input-Selector-edited) bitstream.
+class BitstreamError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// MSB-first bit writer.
+class BitWriter {
+ public:
+  void put_bit(bool b);
+  void put_bits(std::uint32_t value, unsigned count);  ///< count <= 32
+  /// Unsigned Exp-Golomb.
+  void put_ue(std::uint32_t value);
+  /// Signed Exp-Golomb (0, 1, -1, 2, -2, ...).
+  void put_se(std::int32_t value);
+  /// rbsp_trailing_bits: a 1 bit then zero-pad to a byte boundary.
+  void finish_rbsp();
+
+  std::size_t bit_count() const { return bytes_.size() * 8 - spare_; }
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  unsigned spare_ = 0;  ///< unused low bits in the last byte
+};
+
+/// MSB-first bit reader over an RBSP payload.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  bool get_bit();
+  std::uint32_t get_bits(unsigned count);  ///< count <= 32
+  std::uint32_t get_ue();
+  std::int32_t get_se();
+
+  std::size_t bits_consumed() const { return pos_; }
+  std::size_t bits_remaining() const { return data_.size() * 8 - pos_; }
+  bool byte_aligned() const { return pos_ % 8 == 0; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;  ///< in bits
+};
+
+/// Inserts emulation-prevention bytes (0x03 after 0x0000 when the next
+/// byte is <= 0x03), producing a NAL payload safe to embed in Annex-B.
+std::vector<std::uint8_t> add_emulation_prevention(
+    std::span<const std::uint8_t> rbsp);
+
+/// Strips emulation-prevention bytes.
+std::vector<std::uint8_t> remove_emulation_prevention(
+    std::span<const std::uint8_t> ebsp);
+
+}  // namespace affectsys::h264

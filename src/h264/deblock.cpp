@@ -1,0 +1,242 @@
+#include "h264/deblock.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace affectsys::h264 {
+namespace {
+
+// Table 8-16 (alpha/beta as a function of indexA/indexB == QP here).
+constexpr int kAlpha[52] = {
+    0,  0,  0,  0,  0,  0,  0,  0,  0,  0,  0,  0,  0,   0,   0,   0,  4,
+    4,  5,  6,  7,  8,  9,  10, 12, 13, 15, 17, 20, 22,  25,  28,  32, 36,
+    40, 45, 50, 56, 63, 71, 80, 90, 101, 113, 127, 144, 162, 182, 203, 226,
+    255, 255};
+constexpr int kBeta[52] = {
+    0,  0,  0,  0,  0,  0,  0,  0,  0,  0,  0,  0,  0,  0,  0,  0,  2,
+    2,  2,  3,  3,  3,  3,  4,  4,  4,  6,  6,  7,  7,  8,  8,  9,  9,
+    10, 10, 11, 11, 12, 12, 13, 13, 14, 14, 15, 15, 16, 16, 17, 17, 18, 18};
+
+// tc0 clipping table (Table 8-17), rows are bs 1..3.
+constexpr int kTc0[3][52] = {
+    {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1,
+     1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 4, 4, 4, 5, 6,
+     6, 7, 8, 9},
+    {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1,
+     1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 4, 4, 5, 6, 7,
+     8, 8, 10, 11},
+    {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1,
+     1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 4, 4, 5, 6, 7,
+     9, 10, 11, 13}};
+
+struct EdgePixels {
+  // p3..p0 on one side, q0..q3 on the other, fetched via an accessor.
+  int p[4];
+  int q[4];
+};
+
+/// Filters one line of an edge; returns number of pixels modified.
+template <typename Get, typename Set>
+int filter_line(int bs, int qp, Get get, Set set) {
+  const int alpha = kAlpha[qp];
+  const int beta = kBeta[qp];
+  EdgePixels e{};
+  for (int i = 0; i < 4; ++i) {
+    e.p[i] = get(-1 - i);
+    e.q[i] = get(i);
+  }
+  if (std::abs(e.p[0] - e.q[0]) >= alpha || std::abs(e.p[1] - e.p[0]) >= beta ||
+      std::abs(e.q[1] - e.q[0]) >= beta) {
+    return 0;
+  }
+  int modified = 0;
+  if (bs == 4) {
+    // Strong filter (8.7.2.4 luma path, simplified to the 3-tap branch
+    // plus the 5-tap branch under the spatial-activity condition).
+    const bool strong_p = std::abs(e.p[2] - e.p[0]) < beta &&
+                          std::abs(e.p[0] - e.q[0]) < (alpha >> 2) + 2;
+    const bool strong_q = std::abs(e.q[2] - e.q[0]) < beta &&
+                          std::abs(e.p[0] - e.q[0]) < (alpha >> 2) + 2;
+    if (strong_p) {
+      set(-1, (e.p[2] + 2 * e.p[1] + 2 * e.p[0] + 2 * e.q[0] + e.q[1] + 4) >> 3);
+      set(-2, (e.p[2] + e.p[1] + e.p[0] + e.q[0] + 2) >> 2);
+      set(-3, (2 * e.p[3] + 3 * e.p[2] + e.p[1] + e.p[0] + e.q[0] + 4) >> 3);
+      modified += 3;
+    } else {
+      set(-1, (2 * e.p[1] + e.p[0] + e.q[1] + 2) >> 2);
+      modified += 1;
+    }
+    if (strong_q) {
+      set(0, (e.q[2] + 2 * e.q[1] + 2 * e.q[0] + 2 * e.p[0] + e.p[1] + 4) >> 3);
+      set(1, (e.q[2] + e.q[1] + e.q[0] + e.p[0] + 2) >> 2);
+      set(2, (2 * e.q[3] + 3 * e.q[2] + e.q[1] + e.q[0] + e.p[0] + 4) >> 3);
+      modified += 3;
+    } else {
+      set(0, (2 * e.q[1] + e.q[0] + e.p[1] + 2) >> 2);
+      modified += 1;
+    }
+  } else {
+    const int ap = std::abs(e.p[2] - e.p[0]);
+    const int aq = std::abs(e.q[2] - e.q[0]);
+    const int tc0 = kTc0[bs - 1][qp];
+    const int tc = tc0 + (ap < beta ? 1 : 0) + (aq < beta ? 1 : 0);
+    const int delta = std::clamp(
+        ((e.q[0] - e.p[0]) * 4 + (e.p[1] - e.q[1]) + 4) >> 3, -tc, tc);
+    set(-1, std::clamp(e.p[0] + delta, 0, 255));
+    set(0, std::clamp(e.q[0] - delta, 0, 255));
+    modified += 2;
+    if (ap < beta && tc0 > 0) {
+      const int dp = std::clamp(
+          (e.p[2] + ((e.p[0] + e.q[0] + 1) >> 1) - 2 * e.p[1]) >> 1, -tc0,
+          tc0);
+      set(-2, e.p[1] + dp);
+      ++modified;
+    }
+    if (aq < beta && tc0 > 0) {
+      const int dq = std::clamp(
+          (e.q[2] + ((e.p[0] + e.q[0] + 1) >> 1) - 2 * e.q[1]) >> 1, -tc0,
+          tc0);
+      set(1, e.q[1] + dq);
+      ++modified;
+    }
+  }
+  return modified;
+}
+
+}  // namespace
+
+int deblock_alpha(int qp) { return kAlpha[std::clamp(qp, 0, 51)]; }
+int deblock_beta(int qp) { return kBeta[std::clamp(qp, 0, 51)]; }
+
+int boundary_strength(const MbInfo& p, int p_blk, const MbInfo& q, int q_blk,
+                      bool mb_edge) {
+  if (p.intra || q.intra) return mb_edge ? 4 : 3;
+  if (p.nonzero[static_cast<std::size_t>(p_blk)] ||
+      q.nonzero[static_cast<std::size_t>(q_blk)]) {
+    return 2;
+  }
+  // Vectors are in half-pel units: a difference of one full sample
+  // (>= 2 half-pels) marks a motion edge (spec 8.7.2 uses 4 quarter-pels).
+  const int dmx = std::abs(p.mv.dx - q.mv.dx);
+  const int dmy = std::abs(p.mv.dy - q.mv.dy);
+  if (dmx >= 2 || dmy >= 2) return 1;
+  return 0;
+}
+
+DeblockStats deblock_frame(YuvFrame& frame, const std::vector<MbInfo>& mb_info,
+                           int qp) {
+  DeblockStats stats;
+  qp = std::clamp(qp, 0, 51);
+  const int mb_cols = frame.mb_cols();
+  const int mb_rows = frame.mb_rows();
+  Plane& Y = frame.y;
+
+  auto mb_at = [&](int mbx, int mby) -> const MbInfo& {
+    return mb_info[static_cast<std::size_t>(mby) * mb_cols + mbx];
+  };
+
+  // Vertical edges (filter across x = 4k boundaries), then horizontal.
+  for (int mby = 0; mby < mb_rows; ++mby) {
+    for (int mbx = 0; mbx < mb_cols; ++mbx) {
+      const MbInfo& cur = mb_at(mbx, mby);
+      for (int edge = 0; edge < 4; ++edge) {
+        const int x = mbx * kMbSize + edge * 4;
+        if (x == 0) continue;  // frame boundary
+        const bool mb_edge = edge == 0;
+        const MbInfo& left = mb_edge ? mb_at(mbx - 1, mby) : cur;
+        for (int y4 = 0; y4 < 4; ++y4) {
+          const int q_blk = y4 * 4 + edge;
+          const int p_blk = mb_edge ? y4 * 4 + 3 : y4 * 4 + edge - 1;
+          const int bs = boundary_strength(left, p_blk, cur, q_blk, mb_edge);
+          ++stats.edges_examined;
+          if (bs == 0) continue;
+          ++stats.edges_filtered;
+          const int y0 = mby * kMbSize + y4 * 4;
+          for (int line = 0; line < 4; ++line) {
+            const int yy = y0 + line;
+            stats.pixels_modified += static_cast<std::uint64_t>(filter_line(
+                bs, qp,
+                [&](int off) { return static_cast<int>(Y.at(x + off, yy)); },
+                [&](int off, int v) { Y.at(x + off, yy) = clamp_pixel(v); }));
+          }
+        }
+      }
+    }
+  }
+  for (int mby = 0; mby < mb_rows; ++mby) {
+    for (int mbx = 0; mbx < mb_cols; ++mbx) {
+      const MbInfo& cur = mb_at(mbx, mby);
+      for (int edge = 0; edge < 4; ++edge) {
+        const int y = mby * kMbSize + edge * 4;
+        if (y == 0) continue;
+        const bool mb_edge = edge == 0;
+        const MbInfo& top = mb_edge ? mb_at(mbx, mby - 1) : cur;
+        for (int x4 = 0; x4 < 4; ++x4) {
+          const int q_blk = edge * 4 + x4;
+          const int p_blk = mb_edge ? 3 * 4 + x4 : (edge - 1) * 4 + x4;
+          const int bs = boundary_strength(top, p_blk, cur, q_blk, mb_edge);
+          ++stats.edges_examined;
+          if (bs == 0) continue;
+          ++stats.edges_filtered;
+          const int x0 = mbx * kMbSize + x4 * 4;
+          for (int line = 0; line < 4; ++line) {
+            const int xx = x0 + line;
+            stats.pixels_modified += static_cast<std::uint64_t>(filter_line(
+                bs, qp,
+                [&](int off) { return static_cast<int>(Y.at(xx, y + off)); },
+                [&](int off, int v) { Y.at(xx, y + off) = clamp_pixel(v); }));
+          }
+        }
+      }
+    }
+  }
+
+  // Chroma: filter macroblock-boundary edges only, using the bs of the
+  // co-located luma edge class (2 if either MB coded, 4 if intra).
+  for (Plane* C : {&frame.cb, &frame.cr}) {
+    for (int mby = 0; mby < mb_rows; ++mby) {
+      for (int mbx = 0; mbx < mb_cols; ++mbx) {
+        const MbInfo& cur = mb_at(mbx, mby);
+        if (mbx > 0) {
+          const MbInfo& left = mb_at(mbx - 1, mby);
+          const int bs = boundary_strength(left, 3, cur, 0, true);
+          ++stats.edges_examined;
+          if (bs > 0) {
+            ++stats.edges_filtered;
+            const int x = mbx * 8;
+            for (int yy = mby * 8; yy < (mby + 1) * 8; ++yy) {
+              stats.pixels_modified += static_cast<std::uint64_t>(filter_line(
+                  std::min(bs, 3), qp,
+                  [&](int off) { return static_cast<int>(C->at_clamped(x + off, yy)); },
+                  [&](int off, int v) {
+                    if (x + off >= 0 && x + off < C->width)
+                      C->at(x + off, yy) = clamp_pixel(v);
+                  }));
+            }
+          }
+        }
+        if (mby > 0) {
+          const MbInfo& top = mb_at(mbx, mby - 1);
+          const int bs = boundary_strength(top, 12, cur, 0, true);
+          ++stats.edges_examined;
+          if (bs > 0) {
+            ++stats.edges_filtered;
+            const int y = mby * 8;
+            for (int xx = mbx * 8; xx < (mbx + 1) * 8; ++xx) {
+              stats.pixels_modified += static_cast<std::uint64_t>(filter_line(
+                  std::min(bs, 3), qp,
+                  [&](int off) { return static_cast<int>(C->at_clamped(xx, y + off)); },
+                  [&](int off, int v) {
+                    if (y + off >= 0 && y + off < C->height)
+                      C->at(xx, y + off) = clamp_pixel(v);
+                  }));
+            }
+          }
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace affectsys::h264

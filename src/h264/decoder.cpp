@@ -1,0 +1,362 @@
+#include "h264/decoder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "h264/bitstream.hpp"
+#include "h264/deblock.hpp"
+#include "h264/entropy.hpp"
+#include "h264/inter.hpp"
+#include "h264/intra.hpp"
+#include "h264/intra4.hpp"
+#include "h264/transform.hpp"
+
+namespace affectsys::h264 {
+namespace {
+
+constexpr std::uint32_t kMbSkip = 0;
+constexpr std::uint32_t kMbInterFwd = 1;
+constexpr std::uint32_t kMbInterBwd = 2;
+constexpr std::uint32_t kMbInterBi = 3;
+constexpr std::uint32_t kMbIntra = 4;
+
+constexpr std::uint32_t kIntra4x4 = 1;  // intra partition code
+
+void store_block(Plane& p, int x0, int y0, int size, const std::uint8_t* in) {
+  for (int y = 0; y < size; ++y) {
+    for (int x = 0; x < size; ++x) p.at(x0 + x, y0 + y) = in[y * size + x];
+  }
+}
+
+}  // namespace
+
+DecodeActivity& DecodeActivity::operator+=(const DecodeActivity& o) {
+  nal_units += o.nal_units;
+  bytes_in += o.bytes_in;
+  bits_parsed += o.bits_parsed;
+  residual_blocks += o.residual_blocks;
+  coefficients += o.coefficients;
+  iqit_blocks += o.iqit_blocks;
+  intra_mbs += o.intra_mbs;
+  inter_mbs += o.inter_mbs;
+  skip_mbs += o.skip_mbs;
+  deblock_edges_examined += o.deblock_edges_examined;
+  deblock_edges_filtered += o.deblock_edges_filtered;
+  deblock_pixels += o.deblock_pixels;
+  frames_decoded += o.frames_decoded;
+  frames_concealed += o.frames_concealed;
+  return *this;
+}
+
+std::optional<DecodedPicture> Decoder::decode_nal(const NalUnit& nal) {
+  ++activity_.nal_units;
+  activity_.bytes_in += nal.byte_size();
+  const std::vector<std::uint8_t> rbsp =
+      remove_emulation_prevention(nal.payload);
+  switch (nal.type) {
+    case NalType::kSps: {
+      BitReader br(rbsp);
+      br.get_bits(24);  // profile / constraints / level
+      br.get_ue();      // sps_id
+      width_ = (static_cast<int>(br.get_ue()) + 1) * kMbSize;
+      height_ = (static_cast<int>(br.get_ue()) + 1) * kMbSize;
+      have_sps_ = true;
+      activity_.bits_parsed += br.bits_consumed();
+      return std::nullopt;
+    }
+    case NalType::kPps: {
+      BitReader br(rbsp);
+      br.get_ue();  // pps_id
+      br.get_ue();  // sps_id
+      qp_ = static_cast<int>(br.get_se()) + 26;
+      pps_deblock_ = br.get_bit();
+      activity_.bits_parsed += br.bits_consumed();
+      return std::nullopt;
+    }
+    case NalType::kSliceIdr:
+    case NalType::kSliceNonIdr:
+      if (!have_sps_) {
+        throw BitstreamError("Decoder: slice before parameter sets");
+      }
+      return decode_slice(nal);
+    default:
+      return std::nullopt;
+  }
+}
+
+DecodedPicture Decoder::decode_slice(const NalUnit& nal) {
+  const std::vector<std::uint8_t> rbsp =
+      remove_emulation_prevention(nal.payload);
+  BitReader br(rbsp);
+
+  br.get_ue();  // first_mb_in_slice
+  const auto type = static_cast<SliceType>(br.get_ue() % 5);
+  br.get_ue();  // frame_num
+  const int poc = static_cast<int>(br.get_ue());
+  const int qp = qp_ + static_cast<int>(br.get_se());
+
+  if (type != SliceType::kI && refs_held_ == 0) {
+    throw BitstreamError("Decoder: inter slice without references");
+  }
+  const YuvFrame* fwd = nullptr;
+  const YuvFrame* bwd = nullptr;
+  if (type == SliceType::kP) {
+    fwd = &ref_b_;
+  } else if (type == SliceType::kB) {
+    // B pictures use the two most recent references: older = forward.
+    fwd = refs_held_ >= 2 ? &ref_a_ : &ref_b_;
+    bwd = &ref_b_;
+  }
+
+  YuvFrame recon(width_, height_);
+  const int mb_cols = width_ / kMbSize;
+  const int mb_rows = height_ / kMbSize;
+  std::vector<MbInfo> mb_info(static_cast<std::size_t>(mb_cols) * mb_rows);
+
+  std::uint8_t pred[kMbSize * kMbSize];
+  std::uint8_t pred_b[kMbSize * kMbSize];
+  std::uint8_t pred_cb[64], pred_cr[64], tmp_c[64];
+
+  for (int mby = 0; mby < mb_rows; ++mby) {
+    for (int mbx = 0; mbx < mb_cols; ++mbx) {
+      const int x0 = mbx * kMbSize;
+      const int y0 = mby * kMbSize;
+      MbInfo& info = mb_info[static_cast<std::size_t>(mby) * mb_cols + mbx];
+
+      std::uint32_t mb_type;
+      std::uint32_t intra_partition = 0;
+      IntraMode luma_mode = IntraMode::kDc;
+      IntraMode chroma_mode = IntraMode::kDc;
+      MotionVector mv{}, mv_bwd{};
+
+      if (type == SliceType::kI) {
+        mb_type = kMbIntra;
+        intra_partition = br.get_ue();
+        if (intra_partition != kIntra4x4) {
+          luma_mode = static_cast<IntraMode>(br.get_ue() % kNumIntraModes);
+          chroma_mode = static_cast<IntraMode>(br.get_ue() % kNumIntraModes);
+        }
+      } else {
+        mb_type = br.get_ue();
+        if (mb_type == kMbIntra) {
+          intra_partition = br.get_ue();
+          if (intra_partition != kIntra4x4) {
+            luma_mode = static_cast<IntraMode>(br.get_ue() % kNumIntraModes);
+            chroma_mode = static_cast<IntraMode>(br.get_ue() % kNumIntraModes);
+          }
+        } else if (mb_type != kMbSkip) {
+          mv.dx = br.get_se();
+          mv.dy = br.get_se();
+          if (mb_type == kMbInterBi) {
+            mv_bwd.dx = br.get_se();
+            mv_bwd.dy = br.get_se();
+          }
+        }
+      }
+
+      // ---- Intra-4x4 path (interleaved mode/residual, in-place recon) ----
+      if (mb_type == kMbIntra && intra_partition == kIntra4x4) {
+        ++activity_.intra_mbs;
+        info.intra = true;
+        for (int by = 0; by < 4; ++by) {
+          for (int bx = 0; bx < 4; ++bx) {
+            const auto mode = static_cast<Intra4Mode>(
+                br.get_ue() % kNumIntra4Modes);
+            std::uint8_t p4[16];
+            intra4_predict(recon.y, x0 + bx * 4, y0 + by * 4, mode, p4);
+            int nz = 0;
+            const Block4x4 levels = decode_residual_block(br, &nz);
+            ++activity_.residual_blocks;
+            activity_.coefficients += static_cast<std::uint64_t>(nz);
+            info.nonzero[static_cast<std::size_t>(by * 4 + bx)] = nz > 0;
+            if (nz > 0) ++activity_.iqit_blocks;
+            const Block4x4 res = dequantize_inverse(levels, qp);
+            for (int y = 0; y < 4; ++y) {
+              for (int x = 0; x < 4; ++x) {
+                recon.y.at(x0 + bx * 4 + x, y0 + by * 4 + y) =
+                    clamp_pixel(p4[y * 4 + x] + res[y][x]);
+              }
+            }
+          }
+        }
+        chroma_mode = static_cast<IntraMode>(br.get_ue() % kNumIntraModes);
+        intra_predict(recon.cb, x0 / 2, y0 / 2, 8, chroma_mode, pred_cb);
+        intra_predict(recon.cr, x0 / 2, y0 / 2, 8, chroma_mode, pred_cr);
+        auto decode_chroma4 = [&](std::uint8_t* buf) {
+          for (int b = 0; b < 4; ++b) {
+            int nz = 0;
+            const Block4x4 levels = decode_residual_block(br, &nz);
+            ++activity_.residual_blocks;
+            activity_.coefficients += static_cast<std::uint64_t>(nz);
+            if (nz > 0) ++activity_.iqit_blocks;
+            const Block4x4 res = dequantize_inverse(levels, qp);
+            for (int y = 0; y < 4; ++y) {
+              for (int x = 0; x < 4; ++x) {
+                const int idx = ((b / 2) * 4 + y) * 8 + (b % 2) * 4 + x;
+                buf[idx] = clamp_pixel(buf[idx] + res[y][x]);
+              }
+            }
+          }
+        };
+        decode_chroma4(pred_cb);
+        decode_chroma4(pred_cr);
+        store_block(recon.cb, x0 / 2, y0 / 2, 8, pred_cb);
+        store_block(recon.cr, x0 / 2, y0 / 2, 8, pred_cr);
+        continue;  // MB fully reconstructed
+      }
+
+      // ---- Prediction -----------------------------------------------------
+      if (mb_type == kMbIntra) {
+        ++activity_.intra_mbs;
+        info.intra = true;
+        intra_predict(recon.y, x0, y0, kMbSize, luma_mode, pred);
+        intra_predict(recon.cb, x0 / 2, y0 / 2, 8, chroma_mode, pred_cb);
+        intra_predict(recon.cr, x0 / 2, y0 / 2, 8, chroma_mode, pred_cr);
+      } else {
+        const bool skip = mb_type == kMbSkip;
+        if (skip) {
+          ++activity_.skip_mbs;
+          info.skipped = true;
+          // P skip: zero-MV copy from forward ref.  B skip: zero-MV
+          // bi-average (mirrors the encoder's skip condition).
+          if (type == SliceType::kB && bwd) mb_type = kMbInterBi;
+          else mb_type = kMbInterFwd;
+          mv = {};
+          mv_bwd = {};
+        } else {
+          ++activity_.inter_mbs;
+        }
+        // Motion vectors are coded in half-pel units; chroma uses the
+        // rounded full-pel offset (mv/4).
+        const MotionVector cmv{mv.dx / 4, mv.dy / 4};
+        if (mb_type == kMbInterBi) {
+          motion_compensate_halfpel(fwd->y, x0, y0, kMbSize, mv, pred);
+          motion_compensate_halfpel(bwd->y, x0, y0, kMbSize, mv_bwd, pred_b);
+          average_predictions(pred, pred_b, pred, kMbSize * kMbSize);
+          const MotionVector cmvb{mv_bwd.dx / 4, mv_bwd.dy / 4};
+          motion_compensate(fwd->cb, x0 / 2, y0 / 2, 8, cmv, pred_cb);
+          motion_compensate(bwd->cb, x0 / 2, y0 / 2, 8, cmvb, tmp_c);
+          average_predictions(pred_cb, tmp_c, pred_cb, 64);
+          motion_compensate(fwd->cr, x0 / 2, y0 / 2, 8, cmv, pred_cr);
+          motion_compensate(bwd->cr, x0 / 2, y0 / 2, 8, cmvb, tmp_c);
+          average_predictions(pred_cr, tmp_c, pred_cr, 64);
+        } else {
+          const YuvFrame* ref = mb_type == kMbInterBwd ? bwd : fwd;
+          if (!ref) throw BitstreamError("Decoder: missing reference");
+          motion_compensate_halfpel(ref->y, x0, y0, kMbSize, mv, pred);
+          motion_compensate(ref->cb, x0 / 2, y0 / 2, 8, cmv, pred_cb);
+          motion_compensate(ref->cr, x0 / 2, y0 / 2, 8, cmv, pred_cr);
+        }
+        info.mv = mv;
+      }
+
+      // ---- Residual + reconstruction --------------------------------------
+      if (!info.skipped) {
+        for (int by = 0; by < 4; ++by) {
+          for (int bx = 0; bx < 4; ++bx) {
+            int nz = 0;
+            const Block4x4 levels = decode_residual_block(br, &nz);
+            ++activity_.residual_blocks;
+            activity_.coefficients += static_cast<std::uint64_t>(nz);
+            info.nonzero[static_cast<std::size_t>(by * 4 + bx)] = nz > 0;
+            if (nz > 0) ++activity_.iqit_blocks;
+            const Block4x4 res = dequantize_inverse(levels, qp);
+            for (int y = 0; y < 4; ++y) {
+              for (int x = 0; x < 4; ++x) {
+                const int idx = (by * 4 + y) * kMbSize + bx * 4 + x;
+                pred[idx] = clamp_pixel(pred[idx] + res[y][x]);
+              }
+            }
+          }
+        }
+        auto decode_chroma = [&](std::uint8_t* buf) {
+          for (int b = 0; b < 4; ++b) {
+            int nz = 0;
+            const Block4x4 levels = decode_residual_block(br, &nz);
+            ++activity_.residual_blocks;
+            activity_.coefficients += static_cast<std::uint64_t>(nz);
+            if (nz > 0) ++activity_.iqit_blocks;
+            const Block4x4 res = dequantize_inverse(levels, qp);
+            for (int y = 0; y < 4; ++y) {
+              for (int x = 0; x < 4; ++x) {
+                const int idx = ((b / 2) * 4 + y) * 8 + (b % 2) * 4 + x;
+                buf[idx] = clamp_pixel(buf[idx] + res[y][x]);
+              }
+            }
+          }
+        };
+        decode_chroma(pred_cb);
+        decode_chroma(pred_cr);
+      }
+      store_block(recon.y, x0, y0, kMbSize, pred);
+      store_block(recon.cb, x0 / 2, y0 / 2, 8, pred_cb);
+      store_block(recon.cr, x0 / 2, y0 / 2, 8, pred_cr);
+    }
+  }
+  activity_.bits_parsed += br.bits_consumed();
+
+  if (deblock_enabled()) {
+    const DeblockStats st = deblock_frame(recon, mb_info, qp);
+    activity_.deblock_edges_examined += st.edges_examined;
+    activity_.deblock_edges_filtered += st.edges_filtered;
+    activity_.deblock_pixels += st.pixels_modified;
+  }
+  ++activity_.frames_decoded;
+
+  // Reference management: I/P pictures (ref_idc > 0) become references.
+  if (nal.ref_idc > 0) {
+    ref_a_ = std::move(ref_b_);
+    ref_b_ = recon;  // copy: recon is also returned for display
+    refs_held_ = std::min(refs_held_ + 1, 2);
+  }
+
+  DecodedPicture pic;
+  pic.frame = std::move(recon);
+  pic.poc = poc;
+  pic.type = type;
+  return pic;
+}
+
+std::vector<DecodedPicture> Decoder::decode_annexb(
+    std::span<const std::uint8_t> stream) {
+  std::vector<DecodedPicture> out;
+  for (const NalUnit& nal : unpack_annexb(stream)) {
+    if (auto pic = decode_nal(nal)) out.push_back(std::move(*pic));
+  }
+  return out;
+}
+
+std::vector<DecodedPicture> assemble_display_sequence(
+    std::vector<DecodedPicture> decoded, int expected_pictures) {
+  std::sort(decoded.begin(), decoded.end(),
+            [](const DecodedPicture& a, const DecodedPicture& b) {
+              return a.poc < b.poc;
+            });
+  std::vector<DecodedPicture> out;
+  out.reserve(static_cast<std::size_t>(expected_pictures));
+  std::size_t next = 0;
+  for (int poc = 0; poc < expected_pictures; ++poc) {
+    if (next < decoded.size() && decoded[next].poc == poc) {
+      out.push_back(std::move(decoded[next]));
+      ++next;
+    } else if (!out.empty()) {
+      DecodedPicture copy;
+      copy.frame = out.back().frame;
+      copy.poc = poc;
+      copy.type = out.back().type;
+      copy.concealed = true;
+      out.push_back(std::move(copy));
+    } else if (next < decoded.size()) {
+      // Leading gap: conceal with the first available picture.
+      DecodedPicture copy;
+      copy.frame = decoded[next].frame;
+      copy.poc = poc;
+      copy.type = decoded[next].type;
+      copy.concealed = true;
+      out.push_back(std::move(copy));
+    }
+  }
+  return out;
+}
+
+}  // namespace affectsys::h264

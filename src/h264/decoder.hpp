@@ -1,0 +1,101 @@
+// H.264 decoder mirroring the Fig 5 pipeline: bitstream parser ->
+// CAVLC/variable-length decoding -> IQIT -> intra/inter prediction ->
+// deblocking filter, with per-module activity counters feeding the power
+// model and a runtime-deactivatable Deblocking Filter (the paper's second
+// power knob).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "h264/frame.hpp"
+#include "h264/nal.hpp"
+
+namespace affectsys::h264 {
+
+/// Per-module activity counters incremented while decoding.  The power
+/// model (src/power) converts these into module energies.
+struct DecodeActivity {
+  // Bitstream parser / circular-buffer path.
+  std::uint64_t nal_units = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bits_parsed = 0;
+  // CAVLC / variable-length decoder.
+  std::uint64_t residual_blocks = 0;
+  std::uint64_t coefficients = 0;
+  // IQIT.
+  std::uint64_t iqit_blocks = 0;
+  // Prediction.
+  std::uint64_t intra_mbs = 0;
+  std::uint64_t inter_mbs = 0;
+  std::uint64_t skip_mbs = 0;
+  // Deblocking filter.
+  std::uint64_t deblock_edges_examined = 0;
+  std::uint64_t deblock_edges_filtered = 0;
+  std::uint64_t deblock_pixels = 0;
+  // Frame-level.
+  std::uint64_t frames_decoded = 0;
+  std::uint64_t frames_concealed = 0;
+
+  DecodeActivity& operator+=(const DecodeActivity& o);
+};
+
+struct DecodedPicture {
+  YuvFrame frame;
+  int poc = 0;
+  SliceType type = SliceType::kI;
+  bool concealed = false;  ///< frame-copy substituted for a missing picture
+};
+
+struct DecoderConfig {
+  /// Affect-driven DF knob: when false the Deblocking Filter module is
+  /// powered down regardless of the PPS flag.
+  bool enable_deblock = true;
+};
+
+class Decoder {
+ public:
+  explicit Decoder(const DecoderConfig& cfg = {}) : cfg_(cfg) {}
+
+  /// Feeds one NAL unit (parameter set or slice).  Returns the decoded
+  /// picture for slice units, nullopt otherwise.
+  std::optional<DecodedPicture> decode_nal(const NalUnit& nal);
+
+  /// Decodes an entire Annex-B stream (decode order).
+  std::vector<DecodedPicture> decode_annexb(
+      std::span<const std::uint8_t> stream);
+
+  const DecodeActivity& activity() const { return activity_; }
+  void reset_activity() { activity_ = {}; }
+
+  bool deblock_enabled() const { return cfg_.enable_deblock && pps_deblock_; }
+  void set_deblock_enabled(bool on) { cfg_.enable_deblock = on; }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+ private:
+  DecodedPicture decode_slice(const NalUnit& nal);
+
+  DecoderConfig cfg_;
+  DecodeActivity activity_;
+  int width_ = 0;
+  int height_ = 0;
+  int qp_ = 26;
+  bool pps_deblock_ = true;
+  bool have_sps_ = false;
+
+  YuvFrame ref_a_;  ///< older reference (forward for B pictures)
+  YuvFrame ref_b_;  ///< newer reference
+  int refs_held_ = 0;
+};
+
+/// Reorders decode-order pictures into display order over pocs
+/// [0, expected_pictures) and fills gaps left by deleted NAL units with a
+/// copy of the nearest earlier displayed frame (frame-copy concealment).
+std::vector<DecodedPicture> assemble_display_sequence(
+    std::vector<DecodedPicture> decoded, int expected_pictures);
+
+}  // namespace affectsys::h264

@@ -1,0 +1,29 @@
+// CAVLC-style entropy coding of quantized 4x4 residual blocks.
+//
+// Structure follows CAVLC — zig-zag scan, total-coefficient token, levels
+// coded back-to-front, run_before codes — but uses Exp-Golomb codewords
+// instead of the spec's context-adaptive VLC tables.  The bit-level
+// variable-length behaviour (small/zero blocks cost few bits, busy blocks
+// cost many) is what the power model and the Input Selector's NAL-size
+// distribution depend on, and that behaviour is preserved.
+#pragma once
+
+#include <cstdint>
+
+#include "h264/bitstream.hpp"
+#include "h264/transform.hpp"
+
+namespace affectsys::h264 {
+
+/// Zig-zag scan order for 4x4 blocks: index -> (row, col).
+extern const int kZigzagRow[16];
+extern const int kZigzagCol[16];
+
+/// Encodes one quantized block.  Returns bits written.
+std::size_t encode_residual_block(BitWriter& bw, const Block4x4& levels);
+
+/// Decodes one block.  `nonzero_out` receives the coefficient count
+/// (CAVLC activity metric).
+Block4x4 decode_residual_block(BitReader& br, int* nonzero_out = nullptr);
+
+}  // namespace affectsys::h264

@@ -1,0 +1,136 @@
+#include "h264/inter.hpp"
+
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+#include "h264/intra.hpp"  // sad_block
+
+namespace affectsys::h264 {
+
+void motion_compensate(const Plane& ref, int x0, int y0, int size,
+                       MotionVector mv, std::uint8_t* pred) {
+  for (int y = 0; y < size; ++y) {
+    for (int x = 0; x < size; ++x) {
+      pred[y * size + x] = ref.at_clamped(x0 + x + mv.dx, y0 + y + mv.dy);
+    }
+  }
+}
+
+void average_predictions(const std::uint8_t* a, const std::uint8_t* b,
+                         std::uint8_t* out, int count) {
+  for (int i = 0; i < count; ++i) {
+    out[i] = static_cast<std::uint8_t>((static_cast<int>(a[i]) + b[i] + 1) / 2);
+  }
+}
+
+namespace {
+
+/// 6-tap filter over six consecutive integer samples.
+int six_tap(int a, int b, int c, int d, int e, int f) {
+  return a - 5 * b + 20 * c + 20 * d - 5 * e + f;
+}
+
+/// Horizontal half-pel value at integer row y between (x, y) and
+/// (x+1, y), unclipped and unshifted (scale 32).
+int half_h_raw(const Plane& ref, int x, int y) {
+  return six_tap(ref.at_clamped(x - 2, y), ref.at_clamped(x - 1, y),
+                 ref.at_clamped(x, y), ref.at_clamped(x + 1, y),
+                 ref.at_clamped(x + 2, y), ref.at_clamped(x + 3, y));
+}
+
+}  // namespace
+
+std::uint8_t sample_halfpel(const Plane& ref, int hx, int hy) {
+  // Floor division so negative half-pel coordinates resolve correctly.
+  const int x = hx >> 1;
+  const int y = hy >> 1;
+  const bool fx = hx & 1;
+  const bool fy = hy & 1;
+  if (!fx && !fy) return ref.at_clamped(x, y);
+  if (fx && !fy) {
+    return clamp_pixel((half_h_raw(ref, x, y) + 16) >> 5);
+  }
+  if (!fx && fy) {
+    const int v = six_tap(ref.at_clamped(x, y - 2), ref.at_clamped(x, y - 1),
+                          ref.at_clamped(x, y), ref.at_clamped(x, y + 1),
+                          ref.at_clamped(x, y + 2), ref.at_clamped(x, y + 3));
+    return clamp_pixel((v + 16) >> 5);
+  }
+  // Diagonal: 6-tap vertically over horizontal half-pel intermediates.
+  const int j = six_tap(half_h_raw(ref, x, y - 2), half_h_raw(ref, x, y - 1),
+                        half_h_raw(ref, x, y), half_h_raw(ref, x, y + 1),
+                        half_h_raw(ref, x, y + 2), half_h_raw(ref, x, y + 3));
+  return clamp_pixel((j + 512) >> 10);
+}
+
+void motion_compensate_halfpel(const Plane& ref, int x0, int y0, int size,
+                               MotionVector mv_half, std::uint8_t* pred) {
+  if ((mv_half.dx & 1) == 0 && (mv_half.dy & 1) == 0) {
+    // Integer vector: plain copy path (fast and bit-identical to the
+    // full-pel compensator).
+    motion_compensate(ref, x0, y0, size, {mv_half.dx >> 1, mv_half.dy >> 1},
+                      pred);
+    return;
+  }
+  for (int y = 0; y < size; ++y) {
+    for (int x = 0; x < size; ++x) {
+      pred[y * size + x] = sample_halfpel(ref, 2 * (x0 + x) + mv_half.dx,
+                                          2 * (y0 + y) + mv_half.dy);
+    }
+  }
+}
+
+MotionVector motion_search_halfpel(const Plane& src, const Plane& ref,
+                                   int x0, int y0, int size, int range,
+                                   int* out_sad) {
+  int best_sad = 0;
+  const MotionVector full = motion_search(src, ref, x0, y0, size, range,
+                                          &best_sad);
+  MotionVector best{2 * full.dx, 2 * full.dy};
+  std::vector<std::uint8_t> pred(static_cast<std::size_t>(size) * size);
+  for (int dy = -1; dy <= 1; ++dy) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      if (dx == 0 && dy == 0) continue;
+      const MotionVector cand{2 * full.dx + dx, 2 * full.dy + dy};
+      motion_compensate_halfpel(ref, x0, y0, size, cand, pred.data());
+      // Same zero-bias units as the full-pel search (half-pel costs less).
+      const int sad = sad_block(src, x0, y0, size, pred.data()) +
+                      (std::abs(cand.dx) + std::abs(cand.dy));
+      if (sad < best_sad) {
+        best_sad = sad;
+        best = cand;
+      }
+    }
+  }
+  if (out_sad) *out_sad = best_sad;
+  return best;
+}
+
+MotionVector motion_search(const Plane& src, const Plane& ref, int x0,
+                           int y0, int size, int range, int* out_sad) {
+  MotionVector best{};
+  int best_sad = std::numeric_limits<int>::max();
+  for (int dy = -range; dy <= range; ++dy) {
+    for (int dx = -range; dx <= range; ++dx) {
+      int sad = 0;
+      for (int y = 0; y < size && sad < best_sad; ++y) {
+        for (int x = 0; x < size; ++x) {
+          sad += std::abs(
+              static_cast<int>(src.at(x0 + x, y0 + y)) -
+              static_cast<int>(ref.at_clamped(x0 + x + dx, y0 + y + dy)));
+        }
+      }
+      // Slight zero-bias so static content prefers the null vector.
+      sad += 2 * (std::abs(dx) + std::abs(dy));
+      if (sad < best_sad) {
+        best_sad = sad;
+        best = {dx, dy};
+      }
+    }
+  }
+  if (out_sad) *out_sad = best_sad;
+  return best;
+}
+
+}  // namespace affectsys::h264

@@ -1,0 +1,78 @@
+#include "h264/intra.hpp"
+
+#include <cstdlib>
+#include <limits>
+
+namespace affectsys::h264 {
+
+void intra_predict(const Plane& recon, int x0, int y0, int size,
+                   IntraMode mode, std::uint8_t* pred) {
+  const bool has_top = y0 > 0;
+  const bool has_left = x0 > 0;
+
+  switch (mode) {
+    case IntraMode::kVertical: {
+      for (int x = 0; x < size; ++x) {
+        const std::uint8_t v =
+            has_top ? recon.at(x0 + x, y0 - 1) : std::uint8_t{128};
+        for (int y = 0; y < size; ++y) pred[y * size + x] = v;
+      }
+      break;
+    }
+    case IntraMode::kHorizontal: {
+      for (int y = 0; y < size; ++y) {
+        const std::uint8_t v =
+            has_left ? recon.at(x0 - 1, y0 + y) : std::uint8_t{128};
+        for (int x = 0; x < size; ++x) pred[y * size + x] = v;
+      }
+      break;
+    }
+    case IntraMode::kDc: {
+      int sum = 0, count = 0;
+      if (has_top) {
+        for (int x = 0; x < size; ++x) sum += recon.at(x0 + x, y0 - 1);
+        count += size;
+      }
+      if (has_left) {
+        for (int y = 0; y < size; ++y) sum += recon.at(x0 - 1, y0 + y);
+        count += size;
+      }
+      const std::uint8_t dc =
+          count ? static_cast<std::uint8_t>((sum + count / 2) / count)
+                : std::uint8_t{128};
+      for (int i = 0; i < size * size; ++i) pred[i] = dc;
+      break;
+    }
+  }
+}
+
+int sad_block(const Plane& src, int x0, int y0, int size,
+              const std::uint8_t* pred) {
+  int sad = 0;
+  for (int y = 0; y < size; ++y) {
+    for (int x = 0; x < size; ++x) {
+      sad += std::abs(static_cast<int>(src.at(x0 + x, y0 + y)) -
+                      static_cast<int>(pred[y * size + x]));
+    }
+  }
+  return sad;
+}
+
+IntraMode choose_intra_mode(const Plane& src, const Plane& recon, int x0,
+                            int y0, int size) {
+  std::vector<std::uint8_t> pred(static_cast<std::size_t>(size) * size);
+  int best_sad = std::numeric_limits<int>::max();
+  IntraMode best = IntraMode::kDc;
+  for (int m = 0; m < kNumIntraModes; ++m) {
+    const auto mode = static_cast<IntraMode>(m);
+    intra_predict(recon, x0, y0, size, mode, pred.data());
+    const int sad = sad_block(src, x0, y0, size, pred.data());
+    if (sad < best_sad) {
+      best_sad = sad;
+      best = mode;
+    }
+  }
+  return best;
+}
+
+}  // namespace affectsys::h264

@@ -1,0 +1,29 @@
+// Intra prediction (16x16 luma, 8x8 chroma): DC / Vertical / Horizontal
+// modes predicted from reconstructed neighbour pixels.
+#pragma once
+
+#include <cstdint>
+
+#include "h264/frame.hpp"
+
+namespace affectsys::h264 {
+
+enum class IntraMode : std::uint8_t { kDc = 0, kVertical = 1, kHorizontal = 2 };
+inline constexpr int kNumIntraModes = 3;
+
+/// Writes the intra prediction for the `size`x`size` block at (x0, y0)
+/// into `pred` (row-major, size*size).  Neighbours come from `recon`, the
+/// partially reconstructed plane; unavailable neighbours fall back per the
+/// spec (DC=128, V/H replicate what exists or 128).
+void intra_predict(const Plane& recon, int x0, int y0, int size,
+                   IntraMode mode, std::uint8_t* pred);
+
+/// Sum of absolute differences between the source block and a prediction.
+int sad_block(const Plane& src, int x0, int y0, int size,
+              const std::uint8_t* pred);
+
+/// Picks the SAD-minimal intra mode for a block.
+IntraMode choose_intra_mode(const Plane& src, const Plane& recon, int x0,
+                            int y0, int size);
+
+}  // namespace affectsys::h264

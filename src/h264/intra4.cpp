@@ -1,0 +1,117 @@
+#include "h264/intra4.hpp"
+
+#include <cstdlib>
+#include <limits>
+
+#include "h264/intra.hpp"  // sad_block
+
+namespace affectsys::h264 {
+namespace {
+
+/// Neighbour samples: T[-1..7] is the row above (T[-1] = corner), L[0..3]
+/// the column to the left.  Out-of-frame positions clamp, so every mode
+/// is always available.
+struct Neighbours {
+  int t[9];  ///< t[i+1] = top sample at horizontal offset i, i in [-1, 7]
+  int l[4];
+
+  int T(int i) const { return t[i + 1]; }
+  int L(int i) const { return l[i]; }
+};
+
+Neighbours fetch(const Plane& recon, int x0, int y0) {
+  Neighbours n{};
+  for (int i = -1; i <= 7; ++i) {
+    n.t[i + 1] = recon.at_clamped(x0 + i, y0 - 1);
+  }
+  for (int j = 0; j < 4; ++j) {
+    n.l[j] = recon.at_clamped(x0 - 1, y0 + j);
+  }
+  return n;
+}
+
+}  // namespace
+
+void intra4_predict(const Plane& recon, int x0, int y0, Intra4Mode mode,
+                    std::uint8_t pred[16]) {
+  const Neighbours n = fetch(recon, x0, y0);
+  switch (mode) {
+    case Intra4Mode::kVertical:
+      for (int y = 0; y < 4; ++y) {
+        for (int x = 0; x < 4; ++x) {
+          pred[y * 4 + x] = static_cast<std::uint8_t>(n.T(x));
+        }
+      }
+      break;
+    case Intra4Mode::kHorizontal:
+      for (int y = 0; y < 4; ++y) {
+        for (int x = 0; x < 4; ++x) {
+          pred[y * 4 + x] = static_cast<std::uint8_t>(n.L(y));
+        }
+      }
+      break;
+    case Intra4Mode::kDc: {
+      int sum = 0;
+      for (int i = 0; i < 4; ++i) sum += n.T(i) + n.L(i);
+      const auto dc = static_cast<std::uint8_t>((sum + 4) >> 3);
+      for (int i = 0; i < 16; ++i) pred[i] = dc;
+      break;
+    }
+    case Intra4Mode::kDiagonalDownLeft:
+      // 8.3.1.2.4: averages along the down-left diagonal over the
+      // extended top row.
+      for (int y = 0; y < 4; ++y) {
+        for (int x = 0; x < 4; ++x) {
+          int v;
+          if (x == 3 && y == 3) {
+            v = (n.T(6) + 3 * n.T(7) + 2) >> 2;
+          } else {
+            v = (n.T(x + y) + 2 * n.T(x + y + 1) + n.T(x + y + 2) + 2) >> 2;
+          }
+          pred[y * 4 + x] = clamp_pixel(v);
+        }
+      }
+      break;
+    case Intra4Mode::kDiagonalDownRight:
+      // 8.3.1.2.5: averages along the down-right diagonal through the
+      // corner sample.
+      for (int y = 0; y < 4; ++y) {
+        for (int x = 0; x < 4; ++x) {
+          int v;
+          if (x > y) {
+            const int i = x - y;
+            v = (n.T(i - 2) + 2 * n.T(i - 1) + n.T(i) + 2) >> 2;
+          } else if (x < y) {
+            const int j = y - x;
+            const int a = j >= 3 ? n.L(3) : n.L(j);       // clamp tail
+            const int b = n.L(j - 1);
+            const int c = j - 2 >= 0 ? n.L(j - 2) : n.T(-1);
+            v = (a + 2 * b + c + 2) >> 2;
+          } else {
+            v = (n.T(0) + 2 * n.T(-1) + n.L(0) + 2) >> 2;
+          }
+          pred[y * 4 + x] = clamp_pixel(v);
+        }
+      }
+      break;
+  }
+}
+
+Intra4Mode choose_intra4_mode(const Plane& src, const Plane& recon, int x0,
+                              int y0) {
+  std::uint8_t pred[16];
+  int best_sad = std::numeric_limits<int>::max();
+  Intra4Mode best = Intra4Mode::kDc;
+  for (int m = 0; m < kNumIntra4Modes; ++m) {
+    const auto mode = static_cast<Intra4Mode>(m);
+    intra4_predict(recon, x0, y0, mode, pred);
+    const int sad = sad_block(src, x0, y0, 4, pred);
+    if (sad < best_sad) {
+      best_sad = sad;
+      best = mode;
+    }
+  }
+  return best;
+}
+
+}  // namespace affectsys::h264

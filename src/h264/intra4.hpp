@@ -1,0 +1,34 @@
+// Directional intra prediction for 4x4 luma blocks.
+//
+// The spec defines nine Intra_4x4 modes; this implements the five that
+// dominate mode-decision statistics — Vertical, Horizontal, DC,
+// Diagonal-Down-Left and Diagonal-Down-Right (8.3.1.2.1-8.3.1.2.5) — with
+// neighbour samples fetched clamped, so every mode is always "available"
+// and the encoder/decoder stay trivially consistent.  The 16x16/chroma
+// path keeps the simpler 3-mode predictor in intra.hpp.
+#pragma once
+
+#include <cstdint>
+
+#include "h264/frame.hpp"
+
+namespace affectsys::h264 {
+
+enum class Intra4Mode : std::uint8_t {
+  kVertical = 0,
+  kHorizontal = 1,
+  kDc = 2,
+  kDiagonalDownLeft = 3,
+  kDiagonalDownRight = 4,
+};
+inline constexpr int kNumIntra4Modes = 5;
+
+/// Predicts the 4x4 block at (x0, y0) from reconstructed neighbours.
+void intra4_predict(const Plane& recon, int x0, int y0, Intra4Mode mode,
+                    std::uint8_t pred[16]);
+
+/// SAD-minimal mode for the block.
+Intra4Mode choose_intra4_mode(const Plane& src, const Plane& recon, int x0,
+                              int y0);
+
+}  // namespace affectsys::h264

@@ -1,0 +1,79 @@
+#include "h264/nal.hpp"
+
+#include "h264/bitstream.hpp"
+
+namespace affectsys::h264 {
+
+std::vector<std::uint8_t> pack_annexb(std::span<const NalUnit> units) {
+  std::vector<std::uint8_t> out;
+  bool first = true;
+  for (const NalUnit& nal : units) {
+    const bool long_code =
+        first || nal.type == NalType::kSps || nal.type == NalType::kPps;
+    if (long_code) out.push_back(0x00);
+    out.push_back(0x00);
+    out.push_back(0x00);
+    out.push_back(0x01);
+    // nal header: forbidden_zero(1) | ref_idc(2) | type(5)
+    out.push_back(static_cast<std::uint8_t>((nal.ref_idc & 0x3) << 5 |
+                                            (static_cast<unsigned>(nal.type) & 0x1F)));
+    out.insert(out.end(), nal.payload.begin(), nal.payload.end());
+    first = false;
+  }
+  return out;
+}
+
+std::vector<NalUnit> unpack_annexb(std::span<const std::uint8_t> stream) {
+  std::vector<NalUnit> units;
+  // Find all start-code positions.
+  std::vector<std::size_t> starts;  // index of first byte AFTER a start code
+  for (std::size_t i = 0; i + 2 < stream.size();) {
+    if (stream[i] == 0 && stream[i + 1] == 0 && stream[i + 2] == 1) {
+      starts.push_back(i + 3);
+      i += 3;
+    } else {
+      ++i;
+    }
+  }
+  for (std::size_t s = 0; s < starts.size(); ++s) {
+    std::size_t begin = starts[s];
+    std::size_t end = s + 1 < starts.size() ? starts[s + 1] : stream.size();
+    // Trim the next start code (and its possible leading zero) from end.
+    if (s + 1 < starts.size()) {
+      end -= 3;  // the 0x000001 itself
+      while (end > begin && stream[end - 1] == 0x00) --end;  // 4-byte codes
+    } else {
+      while (end > begin && stream[end - 1] == 0x00) --end;  // zero padding
+    }
+    if (begin >= end) continue;
+    NalUnit nal;
+    const std::uint8_t header = stream[begin];
+    nal.ref_idc = (header >> 5) & 0x3;
+    nal.type = static_cast<NalType>(header & 0x1F);
+    nal.payload.assign(stream.begin() + static_cast<long>(begin) + 1,
+                       stream.begin() + static_cast<long>(end));
+    units.push_back(std::move(nal));
+  }
+  return units;
+}
+
+bool is_slice(const NalUnit& nal) {
+  return nal.type == NalType::kSliceIdr || nal.type == NalType::kSliceNonIdr;
+}
+
+std::optional<SliceType> peek_slice_type(const NalUnit& nal) {
+  if (!is_slice(nal)) return std::nullopt;
+  try {
+    const std::vector<std::uint8_t> rbsp =
+        remove_emulation_prevention(nal.payload);
+    BitReader br(rbsp);
+    br.get_ue();  // first_mb_in_slice
+    const std::uint32_t st = br.get_ue() % 5;  // slice_type (5..9 alias 0..4)
+    if (st > 2) return std::nullopt;
+    return static_cast<SliceType>(st);
+  } catch (const BitstreamError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace affectsys::h264

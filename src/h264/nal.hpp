@@ -1,0 +1,57 @@
+// Network Abstraction Layer framing: NAL unit types, Annex-B start-code
+// packing/unpacking and frame-type identification.
+//
+// This is the layer the affect-driven Input Selector (Section 4) operates
+// on: it inspects each NAL unit's type and byte size and deletes small
+// P/B-frame units.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace affectsys::h264 {
+
+/// nal_unit_type values we emit (subset of Table 7-1).
+enum class NalType : std::uint8_t {
+  kUnspecified = 0,
+  kSliceNonIdr = 1,  ///< coded slice of a non-IDR picture (P or B)
+  kSliceIdr = 5,     ///< coded slice of an IDR picture (I)
+  kSei = 6,
+  kSps = 7,
+  kPps = 8,
+};
+
+/// Picture/slice type carried in the slice header (Table 7-6, values 0-2).
+enum class SliceType : std::uint8_t { kP = 0, kB = 1, kI = 2 };
+
+/// One NAL unit: header fields + EBSP payload (emulation bytes included).
+struct NalUnit {
+  NalType type = NalType::kUnspecified;
+  std::uint8_t ref_idc = 0;  ///< nal_ref_idc: 0 = disposable
+  std::vector<std::uint8_t> payload;  ///< EBSP (after the 1-byte header)
+
+  /// Size in bytes as it appears in the Annex-B stream, excluding the
+  /// start code (header byte + payload).  This is the size the Input
+  /// Selector compares against S_th.
+  std::size_t byte_size() const { return 1 + payload.size(); }
+};
+
+/// Serializes NAL units into an Annex-B byte stream.  The first NAL after
+/// stream start and each SPS/PPS get a 4-byte start code (0x00000001);
+/// other units get the 3-byte code (0x000001), matching common encoders.
+std::vector<std::uint8_t> pack_annexb(std::span<const NalUnit> units);
+
+/// Splits an Annex-B stream back into NAL units.  Tolerates both start
+/// code lengths and trailing zero padding.
+std::vector<NalUnit> unpack_annexb(std::span<const std::uint8_t> stream);
+
+/// Reads the slice_type from a coded slice NAL unit's header without
+/// decoding the slice body.  Returns nullopt for non-slice units.
+std::optional<SliceType> peek_slice_type(const NalUnit& nal);
+
+/// True when the unit is a coded slice (IDR or non-IDR).
+bool is_slice(const NalUnit& nal);
+
+}  // namespace affectsys::h264

@@ -1,0 +1,89 @@
+#include "h264/quality.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace affectsys::h264 {
+
+double plane_mse(const Plane& a, const Plane& b) {
+  if (a.width != b.width || a.height != b.height) {
+    throw std::invalid_argument("plane_mse: size mismatch");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.data.size(); ++i) {
+    const double d = static_cast<double>(a.data[i]) - b.data[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(a.data.size());
+}
+
+namespace {
+double mse_to_psnr(double mse) {
+  if (mse <= 1e-10) return 100.0;
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+}  // namespace
+
+double psnr_luma(const YuvFrame& a, const YuvFrame& b) {
+  return mse_to_psnr(plane_mse(a.y, b.y));
+}
+
+double psnr_yuv(const YuvFrame& a, const YuvFrame& b) {
+  const double mse = (6.0 * plane_mse(a.y, b.y) + plane_mse(a.cb, b.cb) +
+                      plane_mse(a.cr, b.cr)) /
+                     8.0;
+  return mse_to_psnr(mse);
+}
+
+double ssim_luma(const YuvFrame& a, const YuvFrame& b) {
+  if (!a.same_size(b)) throw std::invalid_argument("ssim: size mismatch");
+  constexpr double c1 = 6.5025, c2 = 58.5225;  // (0.01*255)^2, (0.03*255)^2
+  const int tile = 8;
+  double acc = 0.0;
+  int tiles = 0;
+  for (int ty = 0; ty + tile <= a.height(); ty += tile) {
+    for (int tx = 0; tx + tile <= a.width(); tx += tile) {
+      double ma = 0, mb = 0;
+      for (int y = 0; y < tile; ++y) {
+        for (int x = 0; x < tile; ++x) {
+          ma += a.y.at(tx + x, ty + y);
+          mb += b.y.at(tx + x, ty + y);
+        }
+      }
+      const double n = tile * tile;
+      ma /= n;
+      mb /= n;
+      double va = 0, vb = 0, cov = 0;
+      for (int y = 0; y < tile; ++y) {
+        for (int x = 0; x < tile; ++x) {
+          const double da = a.y.at(tx + x, ty + y) - ma;
+          const double db = b.y.at(tx + x, ty + y) - mb;
+          va += da * da;
+          vb += db * db;
+          cov += da * db;
+        }
+      }
+      va /= n - 1;
+      vb /= n - 1;
+      cov /= n - 1;
+      acc += ((2 * ma * mb + c1) * (2 * cov + c2)) /
+             ((ma * ma + mb * mb + c1) * (va + vb + c2));
+      ++tiles;
+    }
+  }
+  return tiles ? acc / tiles : 1.0;
+}
+
+double sequence_psnr(const std::vector<YuvFrame>& ref,
+                     const std::vector<YuvFrame>& test) {
+  if (ref.size() != test.size() || ref.empty()) {
+    throw std::invalid_argument("sequence_psnr: sequence size mismatch");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    acc += psnr_luma(ref[i], test[i]);
+  }
+  return acc / static_cast<double>(ref.size());
+}
+
+}  // namespace affectsys::h264

@@ -1,0 +1,26 @@
+// Objective video-quality metrics.
+#pragma once
+
+#include <vector>
+
+#include "h264/frame.hpp"
+
+namespace affectsys::h264 {
+
+/// Mean squared error over a plane pair.
+double plane_mse(const Plane& a, const Plane& b);
+
+/// Luma PSNR in dB (capped at 100 dB for identical planes).
+double psnr_luma(const YuvFrame& a, const YuvFrame& b);
+
+/// 6:1:1-weighted YUV PSNR.
+double psnr_yuv(const YuvFrame& a, const YuvFrame& b);
+
+/// Global SSIM on luma (single window over 8x8 tiles, averaged).
+double ssim_luma(const YuvFrame& a, const YuvFrame& b);
+
+/// Mean luma PSNR across a sequence (frames must pair up by index).
+double sequence_psnr(const std::vector<YuvFrame>& ref,
+                     const std::vector<YuvFrame>& test);
+
+}  // namespace affectsys::h264

@@ -1,0 +1,41 @@
+#include "h264/ratecontrol.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace affectsys::h264 {
+
+RateController::RateController(const RateControlConfig& cfg)
+    : cfg_(cfg), qp_(cfg.initial_qp) {
+  if (cfg.target_bps <= 0.0 || cfg.fps <= 0.0) {
+    throw std::invalid_argument("RateController: bad target");
+  }
+  if (cfg.min_qp < 0 || cfg.max_qp > 51 || cfg.min_qp > cfg.max_qp) {
+    throw std::invalid_argument("RateController: bad QP bounds");
+  }
+  qp_ = std::clamp(qp_, cfg.min_qp, cfg.max_qp);
+}
+
+void RateController::picture_coded(std::size_t bytes) {
+  const double bits = static_cast<double>(bytes) * 8.0;
+  const double budget = cfg_.target_bps / cfg_.fps;
+  buffer_bits_ += bits - budget;
+  total_bits_ += static_cast<std::uint64_t>(bits);
+  ++pictures_;
+
+  // Proportional step: one QP per `reaction` picture-budgets of error,
+  // clamped to +-2 per picture (QP moves ~12%/step in rate).
+  const double error = buffer_bits_ / budget;
+  int step = 0;
+  if (error > cfg_.reaction) step = error > 3.0 * cfg_.reaction ? 2 : 1;
+  if (error < -cfg_.reaction) step = error < -3.0 * cfg_.reaction ? -2 : -1;
+  qp_ = std::clamp(qp_ + step, cfg_.min_qp, cfg_.max_qp);
+}
+
+double RateController::achieved_bps() const {
+  if (pictures_ == 0) return 0.0;
+  return static_cast<double>(total_bits_) * cfg_.fps /
+         static_cast<double>(pictures_);
+}
+
+}  // namespace affectsys::h264

@@ -1,0 +1,49 @@
+// Per-picture rate control: adapts QP so the stream tracks a target
+// bitrate.
+//
+// Extension beyond the paper (their decoder consumes fixed-QP streams):
+// real mobile content is rate-controlled, which shapes the NAL-size
+// distribution the Input Selector keys on.  The controller is the classic
+// leaky-bucket proportional scheme: a virtual buffer accumulates
+// (actual - budget) bits per picture and QP steps up or down with the
+// buffer fullness, clamped to +-2 per picture to avoid quality pumping.
+#pragma once
+
+#include <cstdint>
+
+namespace affectsys::h264 {
+
+struct RateControlConfig {
+  double target_bps = 200000.0;  ///< target bitrate
+  double fps = 25.0;
+  int initial_qp = 28;
+  int min_qp = 12;
+  int max_qp = 48;
+  /// Buffer fullness (in picture-budgets) that forces a QP step.
+  double reaction = 1.0;
+};
+
+class RateController {
+ public:
+  explicit RateController(const RateControlConfig& cfg);
+
+  /// QP to use for the next picture.
+  int next_qp() const { return qp_; }
+
+  /// Reports the size of the picture just coded; updates the state.
+  void picture_coded(std::size_t bytes);
+
+  /// Bits currently over (+) or under (-) budget.
+  double buffer_bits() const { return buffer_bits_; }
+  /// Average bitrate so far.
+  double achieved_bps() const;
+
+ private:
+  RateControlConfig cfg_;
+  int qp_;
+  double buffer_bits_ = 0.0;
+  std::uint64_t pictures_ = 0;
+  std::uint64_t total_bits_ = 0;
+};
+
+}  // namespace affectsys::h264

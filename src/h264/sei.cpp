@@ -1,0 +1,89 @@
+#include "h264/sei.hpp"
+
+#include <cstring>
+
+#include "h264/bitstream.hpp"
+
+namespace affectsys::h264 {
+
+const std::uint8_t kAffectSeiUuid[16] = {0xAF, 0xFE, 0xC7, 0x5E, 0xED, 0x0A,
+                                         0x4B, 0x21, 0x8D, 0x11, 0x2E, 0x5C,
+                                         0x01, 0x23, 0x45, 0x67};
+
+namespace {
+
+/// ff-coded value per Annex D: N bytes of 0xFF then a terminal byte.
+void write_ff_coded(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  while (value >= 255) {
+    out.push_back(0xFF);
+    value -= 255;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+std::optional<std::uint32_t> read_ff_coded(
+    std::span<const std::uint8_t> data, std::size_t& pos) {
+  std::uint32_t value = 0;
+  while (pos < data.size() && data[pos] == 0xFF) {
+    value += 255;
+    ++pos;
+  }
+  if (pos >= data.size()) return std::nullopt;
+  value += data[pos++];
+  return value;
+}
+
+}  // namespace
+
+NalUnit make_affect_sei(const AffectSei& payload) {
+  // Payload body: UUID + 7 bytes of annotation.
+  std::vector<std::uint8_t> body(std::begin(kAffectSeiUuid),
+                                 std::end(kAffectSeiUuid));
+  body.push_back(static_cast<std::uint8_t>(payload.time_ms >> 24));
+  body.push_back(static_cast<std::uint8_t>(payload.time_ms >> 16));
+  body.push_back(static_cast<std::uint8_t>(payload.time_ms >> 8));
+  body.push_back(static_cast<std::uint8_t>(payload.time_ms));
+  body.push_back(payload.emotion);
+  body.push_back(payload.decoder_mode);
+  body.push_back(payload.confidence_pct);
+
+  std::vector<std::uint8_t> rbsp;
+  write_ff_coded(rbsp, kSeiUserDataUnregistered);            // payload type
+  write_ff_coded(rbsp, static_cast<std::uint32_t>(body.size()));  // size
+  rbsp.insert(rbsp.end(), body.begin(), body.end());
+  rbsp.push_back(0x80);  // rbsp_trailing_bits
+
+  NalUnit nal;
+  nal.type = NalType::kSei;
+  nal.ref_idc = 0;
+  nal.payload = add_emulation_prevention(rbsp);
+  return nal;
+}
+
+std::optional<AffectSei> parse_affect_sei(const NalUnit& nal) {
+  if (nal.type != NalType::kSei) return std::nullopt;
+  const std::vector<std::uint8_t> rbsp =
+      remove_emulation_prevention(nal.payload);
+  std::size_t pos = 0;
+  const auto type = read_ff_coded(rbsp, pos);
+  const auto size = read_ff_coded(rbsp, pos);
+  if (!type || !size || *type != kSeiUserDataUnregistered) {
+    return std::nullopt;
+  }
+  if (*size < 16 + 7 || pos + *size > rbsp.size()) return std::nullopt;
+  if (std::memcmp(rbsp.data() + pos, kAffectSeiUuid, 16) != 0) {
+    return std::nullopt;
+  }
+  pos += 16;
+  AffectSei out;
+  out.time_ms = static_cast<std::uint32_t>(rbsp[pos]) << 24 |
+                static_cast<std::uint32_t>(rbsp[pos + 1]) << 16 |
+                static_cast<std::uint32_t>(rbsp[pos + 2]) << 8 |
+                static_cast<std::uint32_t>(rbsp[pos + 3]);
+  out.emotion = rbsp[pos + 4];
+  out.decoder_mode = rbsp[pos + 5];
+  out.confidence_pct = rbsp[pos + 6];
+  return out;
+}
+
+}  // namespace affectsys::h264

@@ -1,0 +1,42 @@
+// SEI (Supplemental Enhancement Information) messages carrying affect
+// metadata.
+//
+// Extension beyond the paper: the affect-driven player can journal its
+// emotion/mode decisions *inside* the bitstream as user-data SEI NAL
+// units, so an offline tool can audit exactly which power state decoded
+// each span of video.  SEI units are ignored by the decoder proper and
+// are never deletion candidates for the Input Selector (they are not
+// slices), which the tests pin down.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "h264/nal.hpp"
+
+namespace affectsys::h264 {
+
+/// Payload of an affect-annotation SEI message.
+struct AffectSei {
+  std::uint32_t time_ms = 0;      ///< session time of the decision
+  std::uint8_t emotion = 0;       ///< affect::Emotion as an integer
+  std::uint8_t decoder_mode = 0;  ///< adaptive::DecoderMode as an integer
+  std::uint8_t confidence_pct = 0;
+};
+
+/// user_data_unregistered payload type (Annex D).
+inline constexpr std::uint32_t kSeiUserDataUnregistered = 5;
+
+/// The 16-byte UUID identifying our affect payload inside
+/// user_data_unregistered.
+extern const std::uint8_t kAffectSeiUuid[16];
+
+/// Builds an SEI NAL unit wrapping the affect annotation, with spec-style
+/// payload type/size ff-coding and emulation prevention.
+NalUnit make_affect_sei(const AffectSei& payload);
+
+/// Parses an affect SEI from a NAL unit; nullopt for non-SEI units, SEI
+/// units of other payload types, or foreign UUIDs.
+std::optional<AffectSei> parse_affect_sei(const NalUnit& nal);
+
+}  // namespace affectsys::h264

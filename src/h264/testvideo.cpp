@@ -1,0 +1,131 @@
+#include "h264/testvideo.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+namespace affectsys::h264 {
+namespace {
+
+struct Blob {
+  double x, y, vx, vy, radius, brightness;
+};
+
+void render_frame(YuvFrame& f, const std::vector<Blob>& blobs, double detail,
+                  double noise, std::mt19937& rng, double phase) {
+  std::normal_distribution<double> n(0.0, noise);
+  for (int y = 0; y < f.height(); ++y) {
+    for (int x = 0; x < f.width(); ++x) {
+      // Textured background: two sinusoid gratings.
+      double v = 110.0 +
+                 detail * 40.0 *
+                     (std::sin(0.19 * x + phase * 0.02) *
+                      std::cos(0.23 * y - phase * 0.01));
+      for (const Blob& b : blobs) {
+        const double dx = x - b.x;
+        const double dy = y - b.y;
+        const double d2 = dx * dx + dy * dy;
+        v += b.brightness * std::exp(-d2 / (2.0 * b.radius * b.radius));
+      }
+      v += n(rng);
+      f.y.at(x, y) = clamp_pixel(static_cast<int>(std::lround(v)));
+    }
+  }
+  for (int y = 0; y < f.cb.height; ++y) {
+    for (int x = 0; x < f.cb.width; ++x) {
+      double u = 128.0 + detail * 12.0 * std::sin(0.11 * x + 0.07 * y);
+      double w = 128.0 - detail * 12.0 * std::cos(0.13 * x - 0.05 * y);
+      for (const Blob& b : blobs) {
+        const double dx = 2.0 * x - b.x;
+        const double dy = 2.0 * y - b.y;
+        const double d2 = dx * dx + dy * dy;
+        u += 10.0 * std::exp(-d2 / (2.0 * b.radius * b.radius));
+      }
+      f.cb.at(x, y) = clamp_pixel(static_cast<int>(std::lround(u)));
+      f.cr.at(x, y) = clamp_pixel(static_cast<int>(std::lround(w)));
+    }
+  }
+}
+
+std::vector<Blob> make_blobs(const VideoConfig& cfg, std::mt19937& rng) {
+  std::uniform_real_distribution<double> ux(0.0, cfg.width);
+  std::uniform_real_distribution<double> uy(0.0, cfg.height);
+  std::uniform_real_distribution<double> ang(0.0, 2.0 * std::numbers::pi);
+  std::vector<Blob> blobs;
+  const int count = 3;
+  for (int i = 0; i < count; ++i) {
+    const double a = ang(rng);
+    blobs.push_back({ux(rng), uy(rng), cfg.motion * std::cos(a),
+                     cfg.motion * std::sin(a), 3.0 + i, 60.0});
+  }
+  return blobs;
+}
+
+}  // namespace
+
+std::vector<YuvFrame> generate_test_video(const VideoConfig& cfg) {
+  std::mt19937 rng(cfg.seed);
+  std::vector<Blob> blobs = make_blobs(cfg, rng);
+  std::vector<YuvFrame> out;
+  out.reserve(static_cast<std::size_t>(cfg.frames));
+  for (int i = 0; i < cfg.frames; ++i) {
+    YuvFrame f(cfg.width, cfg.height);
+    render_frame(f, blobs, cfg.detail, cfg.noise, rng, static_cast<double>(i));
+    out.push_back(std::move(f));
+    for (Blob& b : blobs) {
+      b.x += b.vx;
+      b.y += b.vy;
+      // Bounce off frame edges.
+      if (b.x < 0 || b.x >= cfg.width) b.vx = -b.vx;
+      if (b.y < 0 || b.y >= cfg.height) b.vy = -b.vy;
+    }
+  }
+  return out;
+}
+
+std::vector<YuvFrame> generate_mixed_video(const VideoConfig& cfg,
+                                           double quiet_fraction,
+                                           double quiet_motion,
+                                           double quiet_noise) {
+  std::mt19937 rng(cfg.seed);
+  std::vector<Blob> blobs = make_blobs(cfg, rng);
+  std::vector<YuvFrame> out;
+  out.reserve(static_cast<std::size_t>(cfg.frames));
+  const int busy_frames =
+      static_cast<int>(static_cast<double>(cfg.frames) * (1.0 - quiet_fraction));
+  for (int i = 0; i < cfg.frames; ++i) {
+    const bool quiet = i >= busy_frames;
+    const double noise = quiet ? quiet_noise : cfg.noise;
+    const double speed_scale =
+        quiet ? quiet_motion / std::max(cfg.motion, 1e-9) : 1.0;
+    YuvFrame f(cfg.width, cfg.height);
+    render_frame(f, blobs, cfg.detail, noise, rng,
+                 quiet ? static_cast<double>(busy_frames)
+                       : static_cast<double>(i));
+    out.push_back(std::move(f));
+    for (Blob& b : blobs) {
+      b.x += b.vx * speed_scale;
+      b.y += b.vy * speed_scale;
+      if (b.x < 0 || b.x >= cfg.width) b.vx = -b.vx;
+      if (b.y < 0 || b.y >= cfg.height) b.vy = -b.vy;
+    }
+  }
+  return out;
+}
+
+std::vector<YuvFrame> generate_static_video(const VideoConfig& cfg) {
+  VideoConfig c = cfg;
+  c.motion = 0.0;
+  std::mt19937 rng(c.seed);
+  std::vector<Blob> blobs = make_blobs(c, rng);
+  std::vector<YuvFrame> out;
+  out.reserve(static_cast<std::size_t>(c.frames));
+  for (int i = 0; i < c.frames; ++i) {
+    YuvFrame f(c.width, c.height);
+    render_frame(f, blobs, c.detail, c.noise, rng, 0.0);
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+}  // namespace affectsys::h264

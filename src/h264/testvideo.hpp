@@ -1,0 +1,41 @@
+// Synthetic video-content generator — the stand-in for the paper's test
+// clips.  Scenes combine a textured background, moving objects and sensor
+// noise; motion/detail/noise knobs shape the I/P/B NAL-size distribution
+// the Input Selector operates on.
+#pragma once
+
+#include <vector>
+
+#include "h264/frame.hpp"
+
+namespace affectsys::h264 {
+
+struct VideoConfig {
+  int width = 64;
+  int height = 64;
+  int frames = 30;
+  double motion = 1.0;      ///< object speed in pixels/frame
+  double detail = 0.5;      ///< background texture contrast, [0, 1]
+  double noise = 1.0;       ///< sensor noise sigma in code values
+  unsigned seed = 1234;
+};
+
+/// A visual-search-task-style clip: textured background with several
+/// moving bright blobs (the "targets") drifting across the scene.
+std::vector<YuvFrame> generate_test_video(const VideoConfig& cfg);
+
+/// Static scene (all frames identical except noise) — produces small P/B
+/// NAL units, the regime where the Input Selector saves the most.
+std::vector<YuvFrame> generate_static_video(const VideoConfig& cfg);
+
+/// Mixed-content clip: the first (1 - quiet_fraction) of the frames use
+/// the configured motion/noise ("busy" scenes), the remainder continue the
+/// same scene nearly still and almost noise-free ("quiet" scenes).  Quiet
+/// P/B NAL units come out small and land below the Input Selector's S_th,
+/// giving the bimodal NAL-size distribution real content has.
+std::vector<YuvFrame> generate_mixed_video(const VideoConfig& cfg,
+                                           double quiet_fraction,
+                                           double quiet_motion = 0.05,
+                                           double quiet_noise = 0.1);
+
+}  // namespace affectsys::h264

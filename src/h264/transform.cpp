@@ -1,0 +1,123 @@
+#include "h264/transform.hpp"
+
+namespace affectsys::h264 {
+namespace {
+
+// Quantization tables from the spec (8.5.9 / 8.5.10), indexed by QP%6 and
+// coefficient position class: 0 = (0,0),(0,2),(2,0),(2,2); 1 = odd/odd;
+// 2 = the rest.
+constexpr int kMf[6][3] = {
+    {13107, 5243, 8066}, {11916, 4660, 7490}, {10082, 4194, 6554},
+    {9362, 3647, 5825},  {8192, 3355, 5243},  {7282, 2893, 4559},
+};
+constexpr int kV[6][3] = {
+    {10, 16, 13}, {11, 18, 14}, {13, 20, 16},
+    {14, 23, 18}, {16, 25, 20}, {18, 29, 23},
+};
+
+int coeff_class(int i, int j) {
+  const bool ei = i % 2 == 0, ej = j % 2 == 0;
+  if (ei && ej) return 0;
+  if (!ei && !ej) return 1;
+  return 2;
+}
+
+}  // namespace
+
+Block4x4 forward_transform(const Block4x4& x) {
+  // C = [1 1 1 1; 2 1 -1 -2; 1 -1 -1 1; 1 -2 2 -1]
+  Block4x4 tmp{}, out{};
+  for (int i = 0; i < 4; ++i) {
+    const int a = x[i][0] + x[i][3];
+    const int b = x[i][1] + x[i][2];
+    const int c = x[i][1] - x[i][2];
+    const int d = x[i][0] - x[i][3];
+    tmp[i][0] = a + b;
+    tmp[i][1] = 2 * d + c;
+    tmp[i][2] = a - b;
+    tmp[i][3] = d - 2 * c;
+  }
+  for (int j = 0; j < 4; ++j) {
+    const int a = tmp[0][j] + tmp[3][j];
+    const int b = tmp[1][j] + tmp[2][j];
+    const int c = tmp[1][j] - tmp[2][j];
+    const int d = tmp[0][j] - tmp[3][j];
+    out[0][j] = a + b;
+    out[1][j] = 2 * d + c;
+    out[2][j] = a - b;
+    out[3][j] = d - 2 * c;
+  }
+  return out;
+}
+
+Block4x4 inverse_transform(const Block4x4& c) {
+  Block4x4 tmp{}, out{};
+  for (int i = 0; i < 4; ++i) {
+    const int a = c[i][0] + c[i][2];
+    const int b = c[i][0] - c[i][2];
+    const int d = (c[i][1] >> 1) - c[i][3];
+    const int e = c[i][1] + (c[i][3] >> 1);
+    tmp[i][0] = a + e;
+    tmp[i][1] = b + d;
+    tmp[i][2] = b - d;
+    tmp[i][3] = a - e;
+  }
+  for (int j = 0; j < 4; ++j) {
+    const int a = tmp[0][j] + tmp[2][j];
+    const int b = tmp[0][j] - tmp[2][j];
+    const int d = (tmp[1][j] >> 1) - tmp[3][j];
+    const int e = tmp[1][j] + (tmp[3][j] >> 1);
+    out[0][j] = (a + e + 32) >> 6;
+    out[1][j] = (b + d + 32) >> 6;
+    out[2][j] = (b - d + 32) >> 6;
+    out[3][j] = (a - e + 32) >> 6;
+  }
+  return out;
+}
+
+Block4x4 quantize(const Block4x4& coeffs, int qp) {
+  Block4x4 out{};
+  const int rem = qp % 6;
+  const int shift = 15 + qp / 6;
+  const int offset = (1 << shift) / 3;  // intra-style rounding offset
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      const int w = coeffs[i][j];
+      const int mf = kMf[rem][coeff_class(i, j)];
+      const long long mag =
+          (static_cast<long long>(w < 0 ? -w : w) * mf + offset) >> shift;
+      out[i][j] = w < 0 ? static_cast<int>(-mag) : static_cast<int>(mag);
+    }
+  }
+  return out;
+}
+
+Block4x4 dequantize(const Block4x4& levels, int qp) {
+  Block4x4 out{};
+  const int rem = qp % 6;
+  const int shift = qp / 6;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      out[i][j] = levels[i][j] * kV[rem][coeff_class(i, j)] << shift;
+    }
+  }
+  return out;
+}
+
+Block4x4 transform_quantize(const Block4x4& residual, int qp) {
+  return quantize(forward_transform(residual), qp);
+}
+
+Block4x4 dequantize_inverse(const Block4x4& levels, int qp) {
+  return inverse_transform(dequantize(levels, qp));
+}
+
+int count_nonzero(const Block4x4& b) {
+  int n = 0;
+  for (const auto& row : b) {
+    for (int v : row) n += v != 0;
+  }
+  return n;
+}
+
+}  // namespace affectsys::h264

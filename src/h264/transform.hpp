@@ -1,0 +1,37 @@
+// 4x4 integer transform and quantization (the "IQIT" stage of Fig 5).
+//
+// Implements the H.264 core transform: the integer DCT approximation
+// C X C^T with the norm correction folded into quantization, and the
+// standard QP-dependent quantization ladder (quantization step doubles
+// every 6 QP).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace affectsys::h264 {
+
+using Block4x4 = std::array<std::array<int, 4>, 4>;
+
+/// Forward core transform (no scaling).
+Block4x4 forward_transform(const Block4x4& residual);
+
+/// Inverse core transform including the final >>6 rounding.
+Block4x4 inverse_transform(const Block4x4& coeffs);
+
+/// Quantizes transform coefficients at the given QP (0..51).
+Block4x4 quantize(const Block4x4& coeffs, int qp);
+
+/// Dequantizes levels at the given QP.
+Block4x4 dequantize(const Block4x4& levels, int qp);
+
+/// Convenience: transform + quantize.
+Block4x4 transform_quantize(const Block4x4& residual, int qp);
+
+/// Convenience: dequantize + inverse transform.
+Block4x4 dequantize_inverse(const Block4x4& levels, int qp);
+
+/// Number of nonzero entries.
+int count_nonzero(const Block4x4& b);
+
+}  // namespace affectsys::h264

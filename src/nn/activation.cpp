@@ -1,0 +1,74 @@
+#include "nn/activation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace affectsys::nn {
+
+float relu(float x) { return x > 0.0f ? x : 0.0f; }
+
+float sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+void softmax_inplace(std::span<float> logits) {
+  if (logits.empty()) return;
+  const float mx = *std::max_element(logits.begin(), logits.end());
+  float sum = 0.0f;
+  for (float& v : logits) {
+    v = std::exp(v - mx);
+    sum += v;
+  }
+  for (float& v : logits) v /= sum;
+}
+
+Matrix Activation::forward(const Matrix& x) {
+  Matrix out = x;
+  for (float& v : out.flat()) {
+    switch (kind_) {
+      case ActKind::kReLU:
+        v = relu(v);
+        break;
+      case ActKind::kTanh:
+        v = std::tanh(v);
+        break;
+      case ActKind::kSigmoid:
+        v = sigmoid(v);
+        break;
+    }
+  }
+  output_ = out;
+  return out;
+}
+
+Matrix Activation::backward(const Matrix& grad_out) {
+  Matrix grad_in = grad_out;
+  auto g = grad_in.flat();
+  auto y = output_.flat();
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    switch (kind_) {
+      case ActKind::kReLU:
+        g[i] = y[i] > 0.0f ? g[i] : 0.0f;
+        break;
+      case ActKind::kTanh:
+        g[i] *= 1.0f - y[i] * y[i];
+        break;
+      case ActKind::kSigmoid:
+        g[i] *= y[i] * (1.0f - y[i]);
+        break;
+    }
+  }
+  return grad_in;
+}
+
+std::string Activation::kind() const {
+  switch (kind_) {
+    case ActKind::kReLU:
+      return "relu";
+    case ActKind::kTanh:
+      return "tanh";
+    case ActKind::kSigmoid:
+      return "sigmoid";
+  }
+  return "unknown";
+}
+
+}  // namespace affectsys::nn

@@ -1,0 +1,32 @@
+// Elementwise activation layers and the free functions they wrap.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace affectsys::nn {
+
+float relu(float x);
+float sigmoid(float x);
+// std::tanh is used directly for tanh.
+
+/// Numerically stable softmax over a row vector, in place.
+void softmax_inplace(std::span<float> logits);
+
+enum class ActKind { kReLU, kTanh, kSigmoid };
+
+class Activation : public Layer {
+ public:
+  explicit Activation(ActKind kind) : kind_(kind) {}
+
+  Matrix forward(const Matrix& x) override;
+  Matrix backward(const Matrix& grad_out) override;
+  std::string kind() const override;
+
+  ActKind act_kind() const { return kind_; }
+
+ private:
+  ActKind kind_;
+  Matrix output_;  ///< cached activations (all three derivatives use y)
+};
+
+}  // namespace affectsys::nn

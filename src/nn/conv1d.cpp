@@ -1,0 +1,70 @@
+#include "nn/conv1d.hpp"
+
+#include <stdexcept>
+
+namespace affectsys::nn {
+
+Conv1D::Conv1D(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::mt19937& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      weight_("weight", kernel * in_channels, out_channels),
+      bias_("bias", 1, out_channels) {
+  if (kernel % 2 == 0 || kernel == 0) {
+    throw std::invalid_argument("Conv1D: kernel width must be odd");
+  }
+  weight_.value.init_kaiming(rng, kernel * in_channels);
+}
+
+Matrix Conv1D::forward(const Matrix& x) {
+  if (x.cols() != in_channels_) {
+    throw std::invalid_argument("Conv1D::forward: channel mismatch");
+  }
+  input_ = x;
+  const std::size_t T = x.rows();
+  const auto half = static_cast<long long>(kernel_ / 2);
+  Matrix out(T, out_channels_);
+  for (std::size_t t = 0; t < T; ++t) {
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      float acc = bias_.value(0, oc);
+      for (std::size_t k = 0; k < kernel_; ++k) {
+        const long long src =
+            static_cast<long long>(t) + static_cast<long long>(k) - half;
+        if (src < 0 || src >= static_cast<long long>(T)) continue;
+        for (std::size_t ic = 0; ic < in_channels_; ++ic) {
+          acc += x(static_cast<std::size_t>(src), ic) *
+                 weight_.value(k * in_channels_ + ic, oc);
+        }
+      }
+      out(t, oc) = acc;
+    }
+  }
+  return out;
+}
+
+Matrix Conv1D::backward(const Matrix& grad_out) {
+  const std::size_t T = input_.rows();
+  const auto half = static_cast<long long>(kernel_ / 2);
+  Matrix grad_in(T, in_channels_);
+  for (std::size_t t = 0; t < T; ++t) {
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      const float g = grad_out(t, oc);
+      if (g == 0.0f) continue;
+      bias_.grad(0, oc) += g;
+      for (std::size_t k = 0; k < kernel_; ++k) {
+        const long long src =
+            static_cast<long long>(t) + static_cast<long long>(k) - half;
+        if (src < 0 || src >= static_cast<long long>(T)) continue;
+        const auto s = static_cast<std::size_t>(src);
+        for (std::size_t ic = 0; ic < in_channels_; ++ic) {
+          weight_.grad(k * in_channels_ + ic, oc) += g * input_(s, ic);
+          grad_in(s, ic) += g * weight_.value(k * in_channels_ + ic, oc);
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace affectsys::nn

@@ -1,0 +1,37 @@
+// 1-D convolution over the time axis of a sequence Matrix.
+//
+// Input is (T, in_channels); output is (T, out_channels) with "same"
+// zero-padding so stacked conv layers keep the timestep count.
+#pragma once
+
+#include <random>
+
+#include "nn/layer.hpp"
+
+namespace affectsys::nn {
+
+class Conv1D : public Layer {
+ public:
+  /// @param kernel  odd kernel width over time
+  Conv1D(std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel, std::mt19937& rng);
+
+  Matrix forward(const Matrix& x) override;
+  Matrix backward(const Matrix& grad_out) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  std::string kind() const override { return "conv1d"; }
+
+  std::size_t in_channels() const { return in_channels_; }
+  std::size_t out_channels() const { return out_channels_; }
+  std::size_t kernel() const { return kernel_; }
+
+ private:
+  std::size_t in_channels_;
+  std::size_t out_channels_;
+  std::size_t kernel_;
+  Param weight_;  ///< (kernel * in_channels, out_channels)
+  Param bias_;    ///< (1, out_channels)
+  Matrix input_;  ///< cached (T, in_channels)
+};
+
+}  // namespace affectsys::nn

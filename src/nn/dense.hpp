@@ -1,0 +1,28 @@
+// Fully connected layer applied independently to each row of the input.
+#pragma once
+
+#include <random>
+
+#include "nn/layer.hpp"
+
+namespace affectsys::nn {
+
+class Dense : public Layer {
+ public:
+  Dense(std::size_t in_features, std::size_t out_features, std::mt19937& rng);
+
+  Matrix forward(const Matrix& x) override;
+  Matrix backward(const Matrix& grad_out) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  std::string kind() const override { return "dense"; }
+
+  std::size_t in_features() const { return weight_.value.rows(); }
+  std::size_t out_features() const { return weight_.value.cols(); }
+
+ private:
+  Param weight_;  ///< (in, out)
+  Param bias_;    ///< (1, out)
+  Matrix input_;  ///< cached for backward
+};
+
+}  // namespace affectsys::nn

@@ -1,0 +1,52 @@
+#include "nn/dropout.hpp"
+
+#include <stdexcept>
+
+#include "nn/model.hpp"
+
+namespace affectsys::nn {
+
+Dropout::Dropout(float rate, unsigned seed) : rate_(rate), rng_(seed) {
+  if (rate < 0.0f || rate >= 1.0f) {
+    throw std::invalid_argument("Dropout: rate must be in [0, 1)");
+  }
+}
+
+Matrix Dropout::forward(const Matrix& x) {
+  if (!training_ || rate_ == 0.0f) {
+    mask_ = Matrix(x.rows(), x.cols(), 1.0f);
+    return x;
+  }
+  std::bernoulli_distribution keep(1.0 - rate_);
+  const float scale = 1.0f / (1.0f - rate_);
+  mask_ = Matrix(x.rows(), x.cols());
+  Matrix out = x;
+  auto m = mask_.flat();
+  auto o = out.flat();
+  for (std::size_t i = 0; i < o.size(); ++i) {
+    m[i] = keep(rng_) ? scale : 0.0f;
+    o[i] *= m[i];
+  }
+  return out;
+}
+
+Matrix Dropout::backward(const Matrix& grad_out) {
+  Matrix grad_in = grad_out;
+  auto g = grad_in.flat();
+  auto m = mask_.flat();
+  if (g.size() != m.size()) {
+    throw std::invalid_argument("Dropout::backward: shape mismatch");
+  }
+  for (std::size_t i = 0; i < g.size(); ++i) g[i] *= m[i];
+  return grad_in;
+}
+
+void set_training_mode(Sequential& model, bool on) {
+  for (std::size_t i = 0; i < model.layer_count(); ++i) {
+    if (auto* d = dynamic_cast<Dropout*>(&model.layer(i))) {
+      d->set_training(on);
+    }
+  }
+}
+
+}  // namespace affectsys::nn

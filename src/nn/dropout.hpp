@@ -1,0 +1,38 @@
+// Inverted dropout for regularizing the larger classifiers (the CNN in
+// particular overfits the small synthesized corpora — see EXPERIMENTS.md
+// Fig 3b discussion).
+#pragma once
+
+#include <random>
+
+#include "nn/layer.hpp"
+
+namespace affectsys::nn {
+
+class Dropout : public Layer {
+ public:
+  /// @param rate  probability of zeroing each activation during training
+  Dropout(float rate, unsigned seed);
+
+  /// Training mode applies the mask and scales survivors by 1/(1-rate);
+  /// inference mode (the default after set_training(false)) is identity.
+  void set_training(bool on) { training_ = on; }
+  bool training() const { return training_; }
+
+  Matrix forward(const Matrix& x) override;
+  Matrix backward(const Matrix& grad_out) override;
+  std::string kind() const override { return "dropout"; }
+
+  float rate() const { return rate_; }
+
+ private:
+  float rate_;
+  bool training_ = true;
+  std::mt19937 rng_;
+  Matrix mask_;  ///< scale per element of the last forward
+};
+
+/// Flips training mode on every Dropout layer of a model.
+void set_training_mode(class Sequential& model, bool on);
+
+}  // namespace affectsys::nn

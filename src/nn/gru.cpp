@@ -1,0 +1,115 @@
+#include "nn/gru.hpp"
+
+#include <cmath>
+
+#include "nn/activation.hpp"
+
+namespace affectsys::nn {
+
+Gru::Gru(std::size_t input_size, std::size_t hidden_size, std::mt19937& rng)
+    : input_size_(input_size),
+      hidden_size_(hidden_size),
+      wx_("wx", input_size, 3 * hidden_size),
+      wh_("wh", hidden_size, 3 * hidden_size),
+      bias_("bias", 1, 3 * hidden_size) {
+  wx_.value.init_xavier(rng, input_size, hidden_size);
+  wh_.value.init_xavier(rng, hidden_size, hidden_size);
+}
+
+Matrix Gru::forward(const Matrix& x) {
+  const std::size_t T = x.rows();
+  const std::size_t H = hidden_size_;
+  input_ = x;
+  gates_ = Matrix(T, 3 * H);
+  hidden_ = Matrix(T, H);
+  h_linear_ = Matrix(T, H);
+
+  std::vector<float> h_prev(H, 0.0f);
+  std::vector<float> a(3 * H), u(3 * H);
+  for (std::size_t t = 0; t < T; ++t) {
+    for (std::size_t j = 0; j < 3 * H; ++j) {
+      a[j] = bias_.value(0, j);
+      u[j] = 0.0f;
+    }
+    for (std::size_t i = 0; i < input_size_; ++i) {
+      const float xv = x(t, i);
+      if (xv == 0.0f) continue;
+      for (std::size_t j = 0; j < 3 * H; ++j) a[j] += xv * wx_.value(i, j);
+    }
+    for (std::size_t i = 0; i < H; ++i) {
+      const float hv = h_prev[i];
+      if (hv == 0.0f) continue;
+      for (std::size_t j = 0; j < 3 * H; ++j) u[j] += hv * wh_.value(i, j);
+    }
+    for (std::size_t h = 0; h < H; ++h) {
+      const float r = sigmoid(a[h] + u[h]);
+      const float z = sigmoid(a[H + h] + u[H + h]);
+      const float un = u[2 * H + h];
+      const float n = std::tanh(a[2 * H + h] + r * un);
+      const float hv = (1.0f - z) * n + z * h_prev[h];
+      gates_(t, h) = r;
+      gates_(t, H + h) = z;
+      gates_(t, 2 * H + h) = n;
+      h_linear_(t, h) = un;
+      hidden_(t, h) = hv;
+    }
+    for (std::size_t h = 0; h < H; ++h) h_prev[h] = hidden_(t, h);
+  }
+  return hidden_;
+}
+
+Matrix Gru::backward(const Matrix& grad_out) {
+  const std::size_t T = input_.rows();
+  const std::size_t H = hidden_size_;
+  Matrix grad_in(T, input_size_);
+  std::vector<float> dh_next(H, 0.0f);
+  std::vector<float> da(3 * H), du(3 * H);
+
+  for (std::size_t ti = T; ti-- > 0;) {
+    for (std::size_t h = 0; h < H; ++h) {
+      const float dh = grad_out(ti, h) + dh_next[h];
+      const float r = gates_(ti, h);
+      const float z = gates_(ti, H + h);
+      const float n = gates_(ti, 2 * H + h);
+      const float un = h_linear_(ti, h);
+      const float h_prev = ti > 0 ? hidden_(ti - 1, h) : 0.0f;
+
+      const float dz = dh * (h_prev - n) * z * (1.0f - z);
+      const float dn = dh * (1.0f - z) * (1.0f - n * n);
+      const float dr = dn * un * r * (1.0f - r);
+
+      da[h] = dr;
+      da[H + h] = dz;
+      da[2 * H + h] = dn;
+      du[h] = dr;
+      du[H + h] = dz;
+      du[2 * H + h] = dn * r;
+      // Direct path of dh into h_{t-1} through the z-blend.
+      dh_next[h] = dh * z;
+    }
+    for (std::size_t j = 0; j < 3 * H; ++j) bias_.grad(0, j) += da[j];
+    for (std::size_t i = 0; i < input_size_; ++i) {
+      const float xv = input_(ti, i);
+      float dx = 0.0f;
+      for (std::size_t j = 0; j < 3 * H; ++j) {
+        if (xv != 0.0f) wx_.grad(i, j) += xv * da[j];
+        dx += wx_.value(i, j) * da[j];
+      }
+      grad_in(ti, i) = dx;
+    }
+    if (ti > 0) {
+      for (std::size_t i = 0; i < H; ++i) {
+        const float hv = hidden_(ti - 1, i);
+        float dhp = 0.0f;
+        for (std::size_t j = 0; j < 3 * H; ++j) {
+          if (hv != 0.0f) wh_.grad(i, j) += hv * du[j];
+          dhp += wh_.value(i, j) * du[j];
+        }
+        dh_next[i] += dhp;
+      }
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace affectsys::nn

@@ -1,0 +1,48 @@
+// Gated recurrent unit layer (Cho et al. 2014) with full BPTT.
+//
+// Not part of the paper's model zoo — included as the natural extension
+// study: a GRU carries 3/4 of an LSTM's parameters per hidden unit, so
+// it probes whether the paper's "LSTM is most attractive" conclusion
+// survives an even lighter recurrent architecture
+// (bench/ablation_models).
+//
+// Gate layout in the fused weight matrices is [r | z | n] where r is the
+// reset gate, z the update gate and n the tanh candidate.  The candidate
+// uses the reset-gated hidden state: n = tanh(Wn x + r .* (Un h) + bn),
+// i.e. the "v3" variant used by cuDNN/PyTorch.
+#pragma once
+
+#include <random>
+
+#include "nn/layer.hpp"
+
+namespace affectsys::nn {
+
+class Gru : public Layer {
+ public:
+  Gru(std::size_t input_size, std::size_t hidden_size, std::mt19937& rng);
+
+  /// (T, input) -> (T, hidden); initial state is zero.
+  Matrix forward(const Matrix& x) override;
+  Matrix backward(const Matrix& grad_out) override;
+  std::vector<Param*> params() override { return {&wx_, &wh_, &bias_}; }
+  std::string kind() const override { return "gru"; }
+
+  std::size_t input_size() const { return input_size_; }
+  std::size_t hidden_size() const { return hidden_size_; }
+
+ private:
+  std::size_t input_size_;
+  std::size_t hidden_size_;
+  Param wx_;    ///< (input, 3*hidden)
+  Param wh_;    ///< (hidden, 3*hidden)
+  Param bias_;  ///< (1, 3*hidden)
+
+  // BPTT caches.
+  Matrix input_;
+  Matrix gates_;     ///< post-activation r, z, n per step, (T, 3*hidden)
+  Matrix hidden_;    ///< h_t, (T, hidden)
+  Matrix h_linear_;  ///< Un * h_{t-1} pre-products needed for dr, (T, hidden)
+};
+
+}  // namespace affectsys::nn

@@ -1,0 +1,55 @@
+// Layer abstraction for the NN substrate.
+//
+// Layers transform a sequence Matrix (rows = timesteps / flattened sample,
+// cols = features) and implement explicit reverse-mode gradients.  Each
+// layer owns named parameter tensors exposed through params() so the
+// optimizer, serializer and quantizer can iterate them uniformly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace affectsys::nn {
+
+/// A trainable tensor plus its gradient accumulator.
+struct Param {
+  std::string name;
+  Matrix value;
+  Matrix grad;
+
+  Param(std::string n, std::size_t rows, std::size_t cols)
+      : name(std::move(n)), value(rows, cols), grad(rows, cols) {}
+
+  void zero_grad() { grad.fill(0.0f); }
+  std::size_t count() const { return value.size(); }
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Forward pass; implementations cache what backward() needs.
+  virtual Matrix forward(const Matrix& x) = 0;
+  /// Given dL/d(output), accumulates parameter gradients and returns
+  /// dL/d(input).  Must be called after forward() on the same input.
+  virtual Matrix backward(const Matrix& grad_out) = 0;
+
+  /// All trainable parameters (possibly empty).  Pointers remain valid for
+  /// the lifetime of the layer.
+  virtual std::vector<Param*> params() { return {}; }
+
+  /// Identifier used by the serializer.
+  virtual std::string kind() const = 0;
+
+  std::size_t param_count() {
+    std::size_t n = 0;
+    for (Param* p : params()) n += p->count();
+    return n;
+  }
+};
+
+}  // namespace affectsys::nn

@@ -1,0 +1,56 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/activation.hpp"
+
+namespace affectsys::nn {
+
+LossResult softmax_cross_entropy(const Matrix& logits, std::size_t target) {
+  if (logits.rows() != 1) {
+    throw std::invalid_argument(
+        "softmax_cross_entropy: expected a single logits row");
+  }
+  if (target >= logits.cols()) {
+    throw std::invalid_argument("softmax_cross_entropy: bad target index");
+  }
+  LossResult res;
+  res.grad = logits;
+  auto probs = res.grad.flat();
+  softmax_inplace(probs);
+  res.loss = -std::log(std::max(probs[target], 1e-12f));
+  probs[target] -= 1.0f;  // dL/dlogits = p - onehot
+  return res;
+}
+
+LossResult mse_loss(const Matrix& pred, std::span<const float> target) {
+  if (pred.rows() != 1 || pred.cols() != target.size()) {
+    throw std::invalid_argument("mse_loss: shape mismatch");
+  }
+  LossResult res;
+  res.grad = Matrix(1, pred.cols());
+  const float inv = 1.0f / static_cast<float>(pred.cols());
+  for (std::size_t i = 0; i < pred.cols(); ++i) {
+    const float d = pred(0, i) - target[i];
+    res.loss += d * d * inv;
+    res.grad(0, i) = 2.0f * d * inv;
+  }
+  return res;
+}
+
+std::vector<float> softmax_probs(const Matrix& logits) {
+  std::vector<float> p(logits.flat().begin(), logits.flat().end());
+  softmax_inplace(p);
+  return p;
+}
+
+std::size_t argmax(std::span<const float> v) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i] > v[best]) best = i;
+  }
+  return best;
+}
+
+}  // namespace affectsys::nn

@@ -1,0 +1,31 @@
+// Softmax cross-entropy loss for single-label classification.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace affectsys::nn {
+
+struct LossResult {
+  float loss = 0.0f;
+  Matrix grad;  ///< dL/d(logits), same shape as the logits
+};
+
+/// Softmax + cross-entropy over a (1, num_classes) logits row.
+/// @param target  true class index
+LossResult softmax_cross_entropy(const Matrix& logits, std::size_t target);
+
+/// Mean-squared-error over a (1, D) prediction row (regression heads,
+/// e.g. the valence/arousal/dominance regressor).
+LossResult mse_loss(const Matrix& pred, std::span<const float> target);
+
+/// Softmax probabilities of a logits row (convenience for inference).
+std::vector<float> softmax_probs(const Matrix& logits);
+
+/// Index of the largest logit.
+std::size_t argmax(std::span<const float> v);
+
+}  // namespace affectsys::nn

@@ -1,0 +1,120 @@
+#include "nn/lstm.hpp"
+
+#include <cmath>
+
+#include "nn/activation.hpp"
+
+namespace affectsys::nn {
+
+Lstm::Lstm(std::size_t input_size, std::size_t hidden_size, std::mt19937& rng)
+    : input_size_(input_size),
+      hidden_size_(hidden_size),
+      wx_("wx", input_size, 4 * hidden_size),
+      wh_("wh", hidden_size, 4 * hidden_size),
+      bias_("bias", 1, 4 * hidden_size) {
+  wx_.value.init_xavier(rng, input_size, hidden_size);
+  wh_.value.init_xavier(rng, hidden_size, hidden_size);
+  // Forget-gate bias = 1.
+  for (std::size_t h = 0; h < hidden_size; ++h) {
+    bias_.value(0, hidden_size + h) = 1.0f;
+  }
+}
+
+Matrix Lstm::forward(const Matrix& x) {
+  const std::size_t T = x.rows();
+  const std::size_t H = hidden_size_;
+  input_ = x;
+  gates_ = Matrix(T, 4 * H);
+  cells_ = Matrix(T, H);
+  hidden_ = Matrix(T, H);
+
+  std::vector<float> h_prev(H, 0.0f), c_prev(H, 0.0f);
+  std::vector<float> pre(4 * H);
+  for (std::size_t t = 0; t < T; ++t) {
+    // pre = x_t * Wx + h_{t-1} * Wh + b
+    for (std::size_t j = 0; j < 4 * H; ++j) pre[j] = bias_.value(0, j);
+    for (std::size_t i = 0; i < input_size_; ++i) {
+      const float xv = x(t, i);
+      if (xv == 0.0f) continue;
+      for (std::size_t j = 0; j < 4 * H; ++j) pre[j] += xv * wx_.value(i, j);
+    }
+    for (std::size_t i = 0; i < H; ++i) {
+      const float hv = h_prev[i];
+      if (hv == 0.0f) continue;
+      for (std::size_t j = 0; j < 4 * H; ++j) pre[j] += hv * wh_.value(i, j);
+    }
+    for (std::size_t h = 0; h < H; ++h) {
+      const float ig = sigmoid(pre[h]);
+      const float fg = sigmoid(pre[H + h]);
+      const float gg = std::tanh(pre[2 * H + h]);
+      const float og = sigmoid(pre[3 * H + h]);
+      const float c = fg * c_prev[h] + ig * gg;
+      const float hh = og * std::tanh(c);
+      gates_(t, h) = ig;
+      gates_(t, H + h) = fg;
+      gates_(t, 2 * H + h) = gg;
+      gates_(t, 3 * H + h) = og;
+      cells_(t, h) = c;
+      hidden_(t, h) = hh;
+    }
+    for (std::size_t h = 0; h < H; ++h) {
+      h_prev[h] = hidden_(t, h);
+      c_prev[h] = cells_(t, h);
+    }
+  }
+  return hidden_;
+}
+
+Matrix Lstm::backward(const Matrix& grad_out) {
+  const std::size_t T = input_.rows();
+  const std::size_t H = hidden_size_;
+  Matrix grad_in(T, input_size_);
+  std::vector<float> dh_next(H, 0.0f), dc_next(H, 0.0f);
+  std::vector<float> dpre(4 * H);
+
+  for (std::size_t ti = T; ti-- > 0;) {
+    for (std::size_t h = 0; h < H; ++h) {
+      const float dh = grad_out(ti, h) + dh_next[h];
+      const float c = cells_(ti, h);
+      const float tc = std::tanh(c);
+      const float og = gates_(ti, 3 * H + h);
+      const float ig = gates_(ti, h);
+      const float fg = gates_(ti, H + h);
+      const float gg = gates_(ti, 2 * H + h);
+      const float dc = dh * og * (1.0f - tc * tc) + dc_next[h];
+      const float c_prev = ti > 0 ? cells_(ti - 1, h) : 0.0f;
+
+      dpre[h] = dc * gg * ig * (1.0f - ig);                 // input gate
+      dpre[H + h] = dc * c_prev * fg * (1.0f - fg);         // forget gate
+      dpre[2 * H + h] = dc * ig * (1.0f - gg * gg);         // candidate
+      dpre[3 * H + h] = dh * tc * og * (1.0f - og);         // output gate
+      dc_next[h] = dc * fg;
+    }
+    // Parameter gradients and upstream gradients.
+    for (std::size_t j = 0; j < 4 * H; ++j) bias_.grad(0, j) += dpre[j];
+    for (std::size_t i = 0; i < input_size_; ++i) {
+      const float xv = input_(ti, i);
+      float dx = 0.0f;
+      for (std::size_t j = 0; j < 4 * H; ++j) {
+        if (xv != 0.0f) wx_.grad(i, j) += xv * dpre[j];
+        dx += wx_.value(i, j) * dpre[j];
+      }
+      grad_in(ti, i) = dx;
+    }
+    std::fill(dh_next.begin(), dh_next.end(), 0.0f);
+    if (ti > 0) {
+      for (std::size_t i = 0; i < H; ++i) {
+        const float hv = hidden_(ti - 1, i);
+        float dhp = 0.0f;
+        for (std::size_t j = 0; j < 4 * H; ++j) {
+          if (hv != 0.0f) wh_.grad(i, j) += hv * dpre[j];
+          dhp += wh_.value(i, j) * dpre[j];
+        }
+        dh_next[i] = dhp;
+      }
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace affectsys::nn

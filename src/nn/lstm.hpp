@@ -1,0 +1,41 @@
+// Long short-term memory layer with full backpropagation through time.
+//
+// Gate layout in the fused weight matrices is [i | f | g | o] where i/f/o
+// are sigmoid gates and g is the tanh candidate.  Forget-gate bias is
+// initialized to 1 (standard trick for gradient flow on long sequences).
+#pragma once
+
+#include <random>
+
+#include "nn/layer.hpp"
+
+namespace affectsys::nn {
+
+class Lstm : public Layer {
+ public:
+  Lstm(std::size_t input_size, std::size_t hidden_size, std::mt19937& rng);
+
+  /// (T, input) -> (T, hidden); the initial state is zero for every call.
+  Matrix forward(const Matrix& x) override;
+  Matrix backward(const Matrix& grad_out) override;
+  std::vector<Param*> params() override { return {&wx_, &wh_, &bias_}; }
+  std::string kind() const override { return "lstm"; }
+
+  std::size_t input_size() const { return input_size_; }
+  std::size_t hidden_size() const { return hidden_size_; }
+
+ private:
+  std::size_t input_size_;
+  std::size_t hidden_size_;
+  Param wx_;    ///< (input, 4*hidden)
+  Param wh_;    ///< (hidden, 4*hidden)
+  Param bias_;  ///< (1, 4*hidden)
+
+  // Caches for BPTT (all (T, ...)).
+  Matrix input_;
+  Matrix gates_;   ///< post-activation gate values, (T, 4*hidden)
+  Matrix cells_;   ///< c_t, (T, hidden)
+  Matrix hidden_;  ///< h_t, (T, hidden)
+};
+
+}  // namespace affectsys::nn

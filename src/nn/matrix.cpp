@@ -1,0 +1,126 @@
+#include "nn/matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace affectsys::nn {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, float fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::zeros(std::size_t rows, std::size_t cols) {
+  return Matrix(rows, cols, 0.0f);
+}
+
+Matrix Matrix::row_vector(std::span<const float> v) {
+  Matrix m(1, v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) m(0, i) = v[i];
+  return m;
+}
+
+float& Matrix::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return (*this)(r, c);
+}
+
+float Matrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return (*this)(r, c);
+}
+
+Matrix& Matrix::operator+=(const Matrix& o) {
+  if (!same_shape(o)) throw std::invalid_argument("Matrix+=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& o) {
+  if (!same_shape(o)) throw std::invalid_argument("Matrix-=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(float s) {
+  for (float& v : data_) v *= s;
+  return *this;
+}
+
+void Matrix::fill(float v) {
+  for (float& x : data_) x = v;
+}
+
+Matrix Matrix::matmul(const Matrix& o) const {
+  if (cols_ != o.rows_) throw std::invalid_argument("matmul: shape mismatch");
+  Matrix out(rows_, o.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const float a = (*this)(r, k);
+      if (a == 0.0f) continue;
+      const float* orow = &o.data_[k * o.cols_];
+      float* out_row = &out.data_[r * o.cols_];
+      for (std::size_t c = 0; c < o.cols_; ++c) out_row[c] += a * orow[c];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transposed_matmul(const Matrix& o) const {
+  if (rows_ != o.rows_) {
+    throw std::invalid_argument("transposed_matmul: shape mismatch");
+  }
+  Matrix out(cols_, o.cols_);
+  for (std::size_t k = 0; k < rows_; ++k) {
+    for (std::size_t r = 0; r < cols_; ++r) {
+      const float a = (*this)(k, r);
+      if (a == 0.0f) continue;
+      const float* orow = &o.data_[k * o.cols_];
+      float* out_row = &out.data_[r * o.cols_];
+      for (std::size_t c = 0; c < o.cols_; ++c) out_row[c] += a * orow[c];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::matmul_transposed(const Matrix& o) const {
+  if (cols_ != o.cols_) {
+    throw std::invalid_argument("matmul_transposed: shape mismatch");
+  }
+  Matrix out(rows_, o.rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < o.rows_; ++c) {
+      float acc = 0.0f;
+      const float* arow = &data_[r * cols_];
+      const float* brow = &o.data_[c * o.cols_];
+      for (std::size_t k = 0; k < cols_; ++k) acc += arow[k] * brow[k];
+      out(r, c) = acc;
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+void Matrix::init_kaiming(std::mt19937& rng, std::size_t fan_in) {
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(fan_in == 0 ? 1 : fan_in));
+  std::uniform_real_distribution<float> dist(-bound, bound);
+  for (float& v : data_) v = dist(rng);
+}
+
+void Matrix::init_xavier(std::mt19937& rng, std::size_t fan_in,
+                         std::size_t fan_out) {
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out == 0
+                                              ? 1
+                                              : fan_in + fan_out));
+  std::uniform_real_distribution<float> dist(-bound, bound);
+  for (float& v : data_) v = dist(rng);
+}
+
+}  // namespace affectsys::nn

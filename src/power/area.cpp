@@ -1,0 +1,6 @@
+#include "power/area.hpp"
+
+// AreaModel is a plain aggregate; this translation unit exists so the
+// library has a home for future area-estimation logic and to keep the
+// build layout uniform.
+namespace affectsys::power {}

@@ -1,0 +1,35 @@
+// Battery-life model for wearable-class devices.
+//
+// Converts decode energy into battery-life terms: the paper motivates the
+// adaptive decoder with "the limited battery life of wearable devices",
+// so the playback bench reports its savings in hours of a smartwatch
+// cell, not just percent.
+#pragma once
+
+namespace affectsys::power {
+
+struct BatteryModel {
+  double capacity_mah = 300.0;  ///< smartwatch-class cell
+  double voltage_v = 3.85;
+  /// Fraction of the system power budget the video subsystem draws while
+  /// playing back (display + radio take the rest).
+  double video_share = 0.30;
+
+  /// Total charge energy in joules.
+  double capacity_j() const { return capacity_mah * 3.6 * voltage_v; }
+
+  /// Hours the cell sustains a steady total draw of `total_mw`.
+  double hours_at_mw(double total_mw) const {
+    if (total_mw <= 0.0) return 0.0;
+    return capacity_j() / (total_mw * 1e-3) / 3600.0;
+  }
+
+  /// Playback hours when the video subsystem draws `video_mw` and other
+  /// subsystems scale per video_share.
+  double playback_hours(double video_mw) const {
+    if (video_mw <= 0.0 || video_share <= 0.0) return 0.0;
+    return hours_at_mw(video_mw / video_share);
+  }
+};
+
+}  // namespace affectsys::power

@@ -1,0 +1,52 @@
+#include "power/model.hpp"
+
+#include <stdexcept>
+
+namespace affectsys::power {
+
+EnergyBreakdown decode_energy(const h264::DecodeActivity& a,
+                              const EnergyCoefficients& c) {
+  EnergyBreakdown e;
+  e.parser_nj = c.per_bit_parsed * static_cast<double>(a.bits_parsed);
+  e.cavlc_nj = c.per_residual_block * static_cast<double>(a.residual_blocks) +
+               c.per_coefficient * static_cast<double>(a.coefficients);
+  e.iqit_nj = c.per_iqit_block * static_cast<double>(a.iqit_blocks);
+  e.prediction_nj = c.per_intra_mb * static_cast<double>(a.intra_mbs) +
+                    c.per_inter_mb * static_cast<double>(a.inter_mbs) +
+                    c.per_skip_mb * static_cast<double>(a.skip_mbs);
+  e.deblock_nj =
+      c.per_deblock_edge * static_cast<double>(a.deblock_edges_examined) +
+      c.per_deblock_pixel * static_cast<double>(a.deblock_pixels);
+  e.static_nj = c.static_per_frame * static_cast<double>(a.frames_decoded);
+  return e;
+}
+
+EnergyCoefficients calibrate_to_deblock_share(
+    const EnergyCoefficients& base, const h264::DecodeActivity& reference,
+    double target_share) {
+  if (target_share <= 0.0 || target_share >= 1.0) {
+    throw std::invalid_argument("calibrate: share must be in (0, 1)");
+  }
+  const EnergyBreakdown e = decode_energy(reference, base);
+  const double others = e.total_nj() - e.deblock_nj;
+  if (e.deblock_nj <= 0.0 || others <= 0.0) {
+    throw std::invalid_argument(
+        "calibrate: reference run must include deblocking activity");
+  }
+  // Solve k * deblock / (others + k * deblock) = share.
+  const double k = target_share * others / ((1.0 - target_share) * e.deblock_nj);
+  EnergyCoefficients out = base;
+  out.per_deblock_edge *= k;
+  out.per_deblock_pixel *= k;
+  return out;
+}
+
+double average_power_mw(const EnergyBreakdown& e, std::uint64_t frames,
+                        double fps) {
+  if (frames == 0 || fps <= 0.0) return 0.0;
+  const double seconds = static_cast<double>(frames) / fps;
+  // nJ / s -> nW; convert to mW.
+  return e.total_nj() / seconds * 1e-6;
+}
+
+}  // namespace affectsys::power

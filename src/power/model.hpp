@@ -1,0 +1,69 @@
+// Activity-based energy model for the H.264 decoder.
+//
+// The paper reports silicon measurements from a 65-nm implementation
+// (1.9 mm^2, 1.2 V, 28 MHz); we do not have that die, so module energies
+// are computed as activity x per-operation energy coefficients
+// (DESIGN.md substitution table).  Coefficients are calibrated once per
+// workload with calibrate_to_deblock_share() so the Deblocking Filter's
+// share of standard-mode decode energy matches the paper's measured
+// ~31.4%; every other number (deletion savings, playback energy, mode
+// ordering) then emerges from measured activity rather than being
+// hard-coded.
+#pragma once
+
+#include "h264/decoder.hpp"
+
+namespace affectsys::power {
+
+/// Energy per activity unit, in nanojoules.  Defaults approximate a 65-nm
+/// low-power decoder (Xu & Choy, ISLPED'07 module breakdown).
+struct EnergyCoefficients {
+  double per_bit_parsed = 0.004;        ///< bitstream parser + buffers
+  double per_residual_block = 0.8;      ///< CAVLC fixed per-block cost
+  double per_coefficient = 0.35;        ///< CAVLC per decoded coefficient
+  double per_iqit_block = 1.1;          ///< inverse quant + transform
+  double per_intra_mb = 18.0;           ///< intra prediction per MB
+  double per_inter_mb = 26.0;           ///< MC fetch + interpolation per MB
+  double per_skip_mb = 6.0;             ///< skip copy per MB
+  double per_deblock_edge = 1.6;        ///< BS derivation per edge examined
+  double per_deblock_pixel = 0.45;      ///< filtering arithmetic per pixel
+  double static_per_frame = 120.0;      ///< clock tree + leakage per frame
+};
+
+/// Per-module energies in nanojoules for one decode run.
+struct EnergyBreakdown {
+  double parser_nj = 0.0;
+  double cavlc_nj = 0.0;
+  double iqit_nj = 0.0;
+  double prediction_nj = 0.0;
+  double deblock_nj = 0.0;
+  double static_nj = 0.0;
+
+  double total_nj() const {
+    return parser_nj + cavlc_nj + iqit_nj + prediction_nj + deblock_nj +
+           static_nj;
+  }
+  double deblock_share() const {
+    const double t = total_nj();
+    return t > 0.0 ? deblock_nj / t : 0.0;
+  }
+};
+
+/// Maps decoder activity counters to module energies.
+EnergyBreakdown decode_energy(const h264::DecodeActivity& activity,
+                              const EnergyCoefficients& coeff);
+
+/// Scales the deblocking coefficients so that on the given reference
+/// activity (a standard-mode decode with DF enabled) the DF accounts for
+/// `target_share` of total energy.  Returns the adjusted coefficients.
+/// @throws std::invalid_argument if the reference run had no DF activity.
+EnergyCoefficients calibrate_to_deblock_share(
+    const EnergyCoefficients& base, const h264::DecodeActivity& reference,
+    double target_share);
+
+/// Average power in milliwatts given total energy and decode wall time
+/// derived from frame count at the given frame rate.
+double average_power_mw(const EnergyBreakdown& e, std::uint64_t frames,
+                        double fps);
+
+}  // namespace affectsys::power

@@ -1,0 +1,32 @@
+#include "power/offload.hpp"
+
+namespace affectsys::power {
+
+PlacementReport OffloadPlanner::plan(std::size_t macs_per_inference,
+                                     std::size_t feature_bytes) const {
+  PlacementReport r;
+  r.local_watch_nj =
+      costs_.watch_nj_per_mac * static_cast<double>(macs_per_inference);
+  r.offload_watch_nj =
+      costs_.ble_nj_per_byte * static_cast<double>(feature_bytes) +
+      costs_.ble_nj_per_window;
+  r.offload_phone_nj =
+      costs_.phone_nj_per_mac * static_cast<double>(macs_per_inference);
+  r.watch_optimal = r.local_watch_nj <= r.offload_watch_nj
+                        ? ExecutionTarget::kWatch
+                        : ExecutionTarget::kPhone;
+  r.system_optimal =
+      r.local_watch_nj <= r.offload_watch_nj + r.offload_phone_nj
+          ? ExecutionTarget::kWatch
+          : ExecutionTarget::kPhone;
+  return r;
+}
+
+double OffloadPlanner::watch_crossover_macs(
+    std::size_t feature_bytes) const {
+  return (costs_.ble_nj_per_byte * static_cast<double>(feature_bytes) +
+          costs_.ble_nj_per_window) /
+         costs_.watch_nj_per_mac;
+}
+
+}  // namespace affectsys::power

@@ -1,0 +1,58 @@
+// Classification placement study: run the affect classifier on the watch
+// or offload to the smartphone's neural engine?
+//
+// Section 2.1 of the paper asserts that "power-hungry ... classification
+// work may be handled by more powerful smartphone application
+// processors"; this module makes that a quantitative decision.  The watch
+// pays MCU energy per MAC to classify locally, or BLE radio energy per
+// feature byte (plus the phone's neural-engine energy, which matters for
+// the system view but not the watch battery) to offload.
+#pragma once
+
+#include <cstdint>
+
+namespace affectsys::power {
+
+struct OffloadCosts {
+  /// Watch-class MCU inference energy: a general-purpose in-order core
+  /// spends ~50 pJ per multiply-accumulate (load/store + ALU at 40-90 nm).
+  double watch_nj_per_mac = 50e-3;
+  /// Smartphone neural-engine inference energy (~2 pJ/MAC, dedicated
+  /// accelerator datapath).
+  double phone_nj_per_mac = 2e-3;
+  /// BLE transmit energy per payload byte (connection events included).
+  double ble_nj_per_byte = 250.0;
+  /// Fixed per-window radio wake/handshake overhead.
+  double ble_nj_per_window = 30000.0;
+};
+
+enum class ExecutionTarget { kWatch, kPhone };
+
+struct PlacementReport {
+  ExecutionTarget watch_optimal = ExecutionTarget::kWatch;
+  ExecutionTarget system_optimal = ExecutionTarget::kWatch;
+  double local_watch_nj = 0.0;    ///< watch energy when classifying locally
+  double offload_watch_nj = 0.0;  ///< watch energy when offloading (radio)
+  double offload_phone_nj = 0.0;  ///< phone energy when offloading
+};
+
+class OffloadPlanner {
+ public:
+  explicit OffloadPlanner(const OffloadCosts& costs = {}) : costs_(costs) {}
+
+  /// Per-window energies and optimal placements for a classifier of
+  /// `macs_per_inference` consuming `feature_bytes` of features.
+  PlacementReport plan(std::size_t macs_per_inference,
+                       std::size_t feature_bytes) const;
+
+  /// MACs/inference above which offloading wins for the watch battery at
+  /// the given feature payload.
+  double watch_crossover_macs(std::size_t feature_bytes) const;
+
+  const OffloadCosts& costs() const { return costs_; }
+
+ private:
+  OffloadCosts costs_;
+};
+
+}  // namespace affectsys::power

@@ -1,0 +1,92 @@
+#include "signal/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "signal/fft.hpp"
+#include "signal/window.hpp"
+
+namespace affectsys::signal {
+
+double zero_crossing_rate(std::span<const double> x) {
+  if (x.size() < 2) return 0.0;
+  std::size_t crossings = 0;
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    if ((x[i - 1] >= 0.0) != (x[i] >= 0.0)) ++crossings;
+  }
+  return static_cast<double>(crossings) / static_cast<double>(x.size() - 1);
+}
+
+double rms(std::span<const double> x) {
+  if (x.empty()) return 0.0;
+  double acc = 0.0;
+  for (double v : x) acc += v * v;
+  return std::sqrt(acc / static_cast<double>(x.size()));
+}
+
+std::vector<double> rms_contour(std::span<const double> x,
+                                std::size_t frame_len, std::size_t hop) {
+  std::vector<double> out;
+  for (const auto& f : frame_signal(x, frame_len, hop)) out.push_back(rms(f));
+  return out;
+}
+
+std::optional<double> estimate_pitch(std::span<const double> x,
+                                     double sample_rate, double fmin,
+                                     double fmax, double voicing_threshold) {
+  if (x.size() < 16 || fmin <= 0.0 || fmax <= fmin) return std::nullopt;
+  const std::vector<double> r = autocorrelation(x);
+  if (r[0] <= 1e-12) return std::nullopt;  // silence
+  const auto lag_min = static_cast<std::size_t>(sample_rate / fmax);
+  const auto lag_max = std::min(
+      static_cast<std::size_t>(sample_rate / fmin), r.size() - 1);
+  if (lag_min >= lag_max || lag_min == 0) return std::nullopt;
+  std::size_t best = lag_min;
+  for (std::size_t lag = lag_min; lag <= lag_max; ++lag) {
+    if (r[lag] > r[best]) best = lag;
+  }
+  if (r[best] / r[0] < voicing_threshold) return std::nullopt;
+  // Parabolic interpolation around the peak for sub-sample lag accuracy.
+  double lag = static_cast<double>(best);
+  if (best > 0 && best + 1 < r.size()) {
+    const double denom = r[best - 1] - 2.0 * r[best] + r[best + 1];
+    if (std::abs(denom) > 1e-12) {
+      lag += 0.5 * (r[best - 1] - r[best + 1]) / denom;
+    }
+  }
+  return sample_rate / lag;
+}
+
+double spectral_centroid(std::span<const double> magnitude,
+                         double sample_rate, std::size_t fft_size) {
+  const double bin_hz = sample_rate / static_cast<double>(fft_size);
+  double num = 0.0, den = 0.0;
+  for (std::size_t k = 0; k < magnitude.size(); ++k) {
+    num += bin_hz * static_cast<double>(k) * magnitude[k];
+    den += magnitude[k];
+  }
+  return den > 1e-12 ? num / den : 0.0;
+}
+
+double mean_magnitude(std::span<const double> x, std::size_t fft_size) {
+  const std::vector<double> mag = magnitude_spectrum(x, fft_size);
+  double acc = 0.0;
+  for (double m : mag) acc += m;
+  return acc / static_cast<double>(mag.size());
+}
+
+double spectral_rolloff(std::span<const double> magnitude, double sample_rate,
+                        std::size_t fft_size, double fraction) {
+  double total = 0.0;
+  for (double m : magnitude) total += m * m;
+  if (total <= 1e-12) return 0.0;
+  const double bin_hz = sample_rate / static_cast<double>(fft_size);
+  double acc = 0.0;
+  for (std::size_t k = 0; k < magnitude.size(); ++k) {
+    acc += magnitude[k] * magnitude[k];
+    if (acc >= fraction * total) return bin_hz * static_cast<double>(k);
+  }
+  return bin_hz * static_cast<double>(magnitude.size() - 1);
+}
+
+}  // namespace affectsys::signal

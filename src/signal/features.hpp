@@ -1,0 +1,46 @@
+// Time-domain and spectral scalar features used by the affect classifier
+// front-end: zero-crossing rate, RMS energy, pitch, spectral magnitude
+// statistics (Section 2.2: "MFCC, zero crossing, rmse, sound pitch, and
+// magnitude").
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace affectsys::signal {
+
+/// Fraction of adjacent sample pairs with a sign change, in [0, 1].
+double zero_crossing_rate(std::span<const double> x);
+
+/// Root-mean-square amplitude.
+double rms(std::span<const double> x);
+
+/// Per-frame RMS contour.
+std::vector<double> rms_contour(std::span<const double> x,
+                                std::size_t frame_len, std::size_t hop);
+
+/// Autocorrelation pitch estimator.
+///
+/// Searches lags corresponding to [fmin, fmax] Hz for the autocorrelation
+/// peak.  Returns std::nullopt for silent or aperiodic frames (peak below
+/// `voicing_threshold` relative to r[0]).
+std::optional<double> estimate_pitch(std::span<const double> x,
+                                     double sample_rate, double fmin = 60.0,
+                                     double fmax = 500.0,
+                                     double voicing_threshold = 0.3);
+
+/// Spectral centroid in Hz of the one-sided magnitude spectrum.
+double spectral_centroid(std::span<const double> magnitude,
+                         double sample_rate, std::size_t fft_size);
+
+/// Mean of the one-sided magnitude spectrum (the paper's "magnitude"
+/// feature).
+double mean_magnitude(std::span<const double> x, std::size_t fft_size);
+
+/// Spectral rolloff frequency: lowest Hz below which `fraction` of the
+/// total spectral energy lies.
+double spectral_rolloff(std::span<const double> magnitude, double sample_rate,
+                        std::size_t fft_size, double fraction = 0.85);
+
+}  // namespace affectsys::signal

@@ -1,0 +1,98 @@
+#include "signal/fft.hpp"
+
+#include <bit>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace affectsys::signal {
+
+std::size_t next_pow2(std::size_t n) {
+  if (n <= 1) return 1;
+  return std::bit_ceil(n);
+}
+
+void fft_inplace(std::span<std::complex<double>> data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n == 0 || !std::has_single_bit(n)) {
+    throw std::invalid_argument("fft_inplace: size must be a power of two");
+  }
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Danielson-Lanczos butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang =
+        2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1.0 : -1.0);
+    const std::complex<double> wlen{std::cos(ang), std::sin(ang)};
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w{1.0, 0.0};
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<std::complex<double>> fft_real(std::span<const double> x) {
+  const std::size_t n = next_pow2(x.size());
+  std::vector<std::complex<double>> buf(n);
+  for (std::size_t i = 0; i < x.size(); ++i) buf[i] = {x[i], 0.0};
+  fft_inplace(buf);
+  return buf;
+}
+
+std::vector<double> ifft_real(std::span<const std::complex<double>> spectrum) {
+  std::vector<std::complex<double>> buf(spectrum.begin(), spectrum.end());
+  fft_inplace(buf, /*inverse=*/true);
+  std::vector<double> out(buf.size());
+  const double scale = 1.0 / static_cast<double>(buf.size());
+  for (std::size_t i = 0; i < buf.size(); ++i) out[i] = buf[i].real() * scale;
+  return out;
+}
+
+std::vector<double> magnitude_spectrum(std::span<const double> x,
+                                       std::size_t fft_size) {
+  if (!std::has_single_bit(fft_size) || fft_size < x.size()) {
+    throw std::invalid_argument(
+        "magnitude_spectrum: fft_size must be a power of two >= x.size()");
+  }
+  std::vector<std::complex<double>> buf(fft_size);
+  for (std::size_t i = 0; i < x.size(); ++i) buf[i] = {x[i], 0.0};
+  fft_inplace(buf);
+  std::vector<double> mag(fft_size / 2 + 1);
+  for (std::size_t k = 0; k < mag.size(); ++k) mag[k] = std::abs(buf[k]);
+  return mag;
+}
+
+std::vector<double> power_spectrum(std::span<const double> x,
+                                   std::size_t fft_size) {
+  std::vector<double> mag = magnitude_spectrum(x, fft_size);
+  for (double& m : mag) m = m * m;
+  return mag;
+}
+
+std::vector<double> autocorrelation(std::span<const double> x) {
+  if (x.empty()) return {};
+  // Zero-pad to 2N to turn circular correlation into linear correlation.
+  const std::size_t n = next_pow2(2 * x.size());
+  std::vector<std::complex<double>> buf(n);
+  for (std::size_t i = 0; i < x.size(); ++i) buf[i] = {x[i], 0.0};
+  fft_inplace(buf);
+  for (auto& c : buf) c = c * std::conj(c);
+  fft_inplace(buf, /*inverse=*/true);
+  std::vector<double> r(x.size());
+  const double scale = 1.0 / static_cast<double>(n);
+  for (std::size_t k = 0; k < r.size(); ++k) r[k] = buf[k].real() * scale;
+  return r;
+}
+
+}  // namespace affectsys::signal

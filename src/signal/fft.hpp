@@ -1,0 +1,44 @@
+// Radix-2 FFT and helpers for spectral feature extraction.
+//
+// This is the lowest layer of the DSP substrate used by the affect
+// classifier front-end (MFCC, spectral magnitude).  Only power-of-two
+// transform sizes are supported; callers zero-pad via next_pow2().
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace affectsys::signal {
+
+/// Smallest power of two >= n (n >= 1).
+std::size_t next_pow2(std::size_t n);
+
+/// In-place iterative radix-2 Cooley-Tukey FFT.
+/// @param data  complex buffer whose size must be a power of two
+/// @param inverse  when true computes the unscaled inverse transform
+/// @throws std::invalid_argument if size is not a power of two
+void fft_inplace(std::span<std::complex<double>> data, bool inverse = false);
+
+/// Forward FFT of a real signal, zero-padded to the next power of two.
+/// Returns the full complex spectrum (size = padded length).
+std::vector<std::complex<double>> fft_real(std::span<const double> x);
+
+/// Inverse FFT returning the real part, scaled by 1/N.
+std::vector<double> ifft_real(std::span<const std::complex<double>> spectrum);
+
+/// Magnitude of the one-sided spectrum (bins 0..N/2 inclusive) of a real
+/// signal zero-padded to `fft_size` (must be a power of two >= x.size()).
+std::vector<double> magnitude_spectrum(std::span<const double> x,
+                                       std::size_t fft_size);
+
+/// Power spectrum |X[k]|^2 over the one-sided range, same layout as
+/// magnitude_spectrum().
+std::vector<double> power_spectrum(std::span<const double> x,
+                                   std::size_t fft_size);
+
+/// Circular autocorrelation via FFT; r[k] for k in [0, x.size()).
+/// Used by the pitch estimator.
+std::vector<double> autocorrelation(std::span<const double> x);
+
+}  // namespace affectsys::signal

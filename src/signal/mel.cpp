@@ -1,0 +1,117 @@
+#include "signal/mel.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "signal/fft.hpp"
+
+namespace affectsys::signal {
+
+double hz_to_mel(double hz) { return 2595.0 * std::log10(1.0 + hz / 700.0); }
+
+double mel_to_hz(double mel) {
+  return 700.0 * (std::pow(10.0, mel / 2595.0) - 1.0);
+}
+
+MelFilterbank::MelFilterbank(std::size_t num_filters, std::size_t fft_size,
+                             double sample_rate, double fmin, double fmax)
+    : num_bins_(fft_size / 2 + 1) {
+  if (num_filters == 0) {
+    throw std::invalid_argument("MelFilterbank: num_filters must be > 0");
+  }
+  if (fmax > sample_rate / 2.0 || fmin < 0.0 || fmin >= fmax) {
+    throw std::invalid_argument("MelFilterbank: invalid band edges");
+  }
+  // num_filters + 2 equally spaced points on the mel scale.
+  const double mel_lo = hz_to_mel(fmin);
+  const double mel_hi = hz_to_mel(fmax);
+  std::vector<double> centers_hz(num_filters + 2);
+  for (std::size_t i = 0; i < centers_hz.size(); ++i) {
+    const double mel =
+        mel_lo + (mel_hi - mel_lo) * static_cast<double>(i) /
+                     static_cast<double>(num_filters + 1);
+    centers_hz[i] = mel_to_hz(mel);
+  }
+  const double bin_hz = sample_rate / static_cast<double>(fft_size);
+  weights_.assign(num_filters, std::vector<double>(num_bins_, 0.0));
+  for (std::size_t f = 0; f < num_filters; ++f) {
+    const double lo = centers_hz[f], mid = centers_hz[f + 1],
+                 hi = centers_hz[f + 2];
+    for (std::size_t k = 0; k < num_bins_; ++k) {
+      const double hz = bin_hz * static_cast<double>(k);
+      if (hz > lo && hz < mid) {
+        weights_[f][k] = (hz - lo) / (mid - lo);
+      } else if (hz >= mid && hz < hi) {
+        weights_[f][k] = (hi - hz) / (hi - mid);
+      }
+    }
+  }
+}
+
+std::vector<double> MelFilterbank::apply(
+    std::span<const double> power_spec) const {
+  if (power_spec.size() != num_bins_) {
+    throw std::invalid_argument("MelFilterbank::apply: wrong spectrum size");
+  }
+  std::vector<double> bands(weights_.size(), 0.0);
+  for (std::size_t f = 0; f < weights_.size(); ++f) {
+    double acc = 0.0;
+    const auto& w = weights_[f];
+    for (std::size_t k = 0; k < num_bins_; ++k) acc += w[k] * power_spec[k];
+    bands[f] = acc;
+  }
+  return bands;
+}
+
+std::vector<double> dct2(std::span<const double> x, std::size_t num_coeffs) {
+  const std::size_t n = x.size();
+  if (n == 0) throw std::invalid_argument("dct2: empty input");
+  num_coeffs = std::min(num_coeffs, n);
+  std::vector<double> out(num_coeffs, 0.0);
+  const double norm0 = std::sqrt(1.0 / static_cast<double>(n));
+  const double norm = std::sqrt(2.0 / static_cast<double>(n));
+  for (std::size_t k = 0; k < num_coeffs; ++k) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += x[i] * std::cos(std::numbers::pi / static_cast<double>(n) *
+                             (static_cast<double>(i) + 0.5) *
+                             static_cast<double>(k));
+    }
+    out[k] = acc * (k == 0 ? norm0 : norm);
+  }
+  return out;
+}
+
+MfccExtractor::MfccExtractor(const MfccConfig& cfg)
+    : cfg_(cfg),
+      window_(make_window(cfg.window, cfg.frame_len)),
+      bank_(cfg.num_filters, cfg.fft_size, cfg.sample_rate, cfg.fmin,
+            cfg.fmax) {
+  if (cfg.fft_size < cfg.frame_len) {
+    throw std::invalid_argument("MfccExtractor: fft_size < frame_len");
+  }
+}
+
+std::vector<double> MfccExtractor::extract_frame(
+    std::span<const double> frame) const {
+  std::vector<double> buf(cfg_.frame_len, 0.0);
+  const std::size_t take = std::min(frame.size(), cfg_.frame_len);
+  for (std::size_t i = 0; i < take; ++i) buf[i] = frame[i];
+  apply_window(buf, window_);
+  const std::vector<double> ps = power_spectrum(buf, cfg_.fft_size);
+  std::vector<double> bands = bank_.apply(ps);
+  for (double& b : bands) b = std::log(b + 1e-10);
+  return dct2(bands, cfg_.num_coeffs);
+}
+
+std::vector<std::vector<double>> MfccExtractor::extract(
+    std::span<const double> x) const {
+  std::vector<std::vector<double>> out;
+  for (const auto& frame : frame_signal(x, cfg_.frame_len, cfg_.hop)) {
+    out.push_back(extract_frame(frame));
+  }
+  return out;
+}
+
+}  // namespace affectsys::signal

@@ -1,0 +1,85 @@
+// Mel filterbank and MFCC extraction.
+//
+// MFCCs are the primary spectral feature fed to the affect classifiers
+// (Section 2.2 of the paper lists MFCC among the input features).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "signal/window.hpp"
+
+namespace affectsys::signal {
+
+/// Hz -> mel (HTK convention).
+double hz_to_mel(double hz);
+/// mel -> Hz (HTK convention).
+double mel_to_hz(double mel);
+
+/// Triangular mel filterbank.
+///
+/// Each row maps the one-sided power spectrum (fft_size/2 + 1 bins) onto
+/// one mel band.  Filters are unit-peak triangles between successive mel
+/// center frequencies.
+class MelFilterbank {
+ public:
+  /// @param num_filters  number of mel bands
+  /// @param fft_size     FFT length used for the power spectra (power of two)
+  /// @param sample_rate  sampling rate in Hz
+  /// @param fmin,fmax    band edges in Hz (fmax <= sample_rate/2)
+  MelFilterbank(std::size_t num_filters, std::size_t fft_size,
+                double sample_rate, double fmin, double fmax);
+
+  /// Applies the filterbank to a one-sided power spectrum.
+  /// Returns num_filters band energies.
+  std::vector<double> apply(std::span<const double> power_spec) const;
+
+  std::size_t num_filters() const { return weights_.size(); }
+  std::size_t num_bins() const { return num_bins_; }
+  /// Filter weights for band `f` (size = num_bins()).
+  std::span<const double> filter(std::size_t f) const { return weights_.at(f); }
+
+ private:
+  std::size_t num_bins_;
+  std::vector<std::vector<double>> weights_;
+};
+
+/// Orthonormal DCT-II of `x`, returning the first `num_coeffs` coefficients.
+std::vector<double> dct2(std::span<const double> x, std::size_t num_coeffs);
+
+/// Configuration for MfccExtractor.
+struct MfccConfig {
+  double sample_rate = 16000.0;
+  std::size_t frame_len = 400;   ///< 25 ms @ 16 kHz
+  std::size_t hop = 160;         ///< 10 ms @ 16 kHz
+  std::size_t fft_size = 512;
+  std::size_t num_filters = 26;
+  std::size_t num_coeffs = 13;
+  double fmin = 20.0;
+  double fmax = 8000.0;
+  WindowType window = WindowType::kHamming;
+};
+
+/// Frame-by-frame MFCC extraction: window -> power spectrum -> mel bands ->
+/// log -> DCT-II.
+class MfccExtractor {
+ public:
+  explicit MfccExtractor(const MfccConfig& cfg);
+
+  /// MFCCs for one frame of cfg.frame_len samples (shorter input is
+  /// zero-padded).  Returns cfg.num_coeffs values.
+  std::vector<double> extract_frame(std::span<const double> frame) const;
+
+  /// MFCC matrix for a whole signal: one row of cfg.num_coeffs values per
+  /// analysis frame.
+  std::vector<std::vector<double>> extract(std::span<const double> x) const;
+
+  const MfccConfig& config() const { return cfg_; }
+
+ private:
+  MfccConfig cfg_;
+  std::vector<double> window_;
+  MelFilterbank bank_;
+};
+
+}  // namespace affectsys::signal

@@ -1,0 +1,59 @@
+// Running statistics and histograms for time-based biosignal features
+// ("mean, histogram, and variance" in Section 3 of the paper).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace affectsys::signal {
+
+/// Welford online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance (divides by n).
+  double variance() const;
+  /// Sample variance (divides by n-1); 0 when n < 2.
+  double sample_variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-range histogram with uniform bins.  Out-of-range samples clamp to
+/// the edge bins so no sample is ever dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add_all(std::span<const double> xs);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t total() const { return total_; }
+  /// Normalized bin frequencies; all zeros when empty.
+  std::vector<double> normalized() const;
+  /// Center value of bin `i`.
+  double bin_center(std::size_t i) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace affectsys::signal

@@ -1,0 +1,55 @@
+#include "signal/window.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace affectsys::signal {
+
+std::vector<double> make_window(WindowType type, std::size_t length) {
+  if (length == 0) throw std::invalid_argument("make_window: zero length");
+  std::vector<double> w(length, 1.0);
+  const double n = static_cast<double>(length);
+  switch (type) {
+    case WindowType::kRectangular:
+      break;
+    case WindowType::kHann:
+      for (std::size_t i = 0; i < length; ++i) {
+        w[i] = 0.5 - 0.5 * std::cos(2.0 * std::numbers::pi * i / n);
+      }
+      break;
+    case WindowType::kHamming:
+      for (std::size_t i = 0; i < length; ++i) {
+        w[i] = 0.54 - 0.46 * std::cos(2.0 * std::numbers::pi * i / n);
+      }
+      break;
+  }
+  return w;
+}
+
+void apply_window(std::span<double> frame, std::span<const double> window) {
+  if (frame.size() != window.size()) {
+    throw std::invalid_argument("apply_window: size mismatch");
+  }
+  for (std::size_t i = 0; i < frame.size(); ++i) frame[i] *= window[i];
+}
+
+std::vector<std::vector<double>> frame_signal(std::span<const double> x,
+                                              std::size_t frame_len,
+                                              std::size_t hop) {
+  if (frame_len == 0 || hop == 0) {
+    throw std::invalid_argument("frame_signal: frame_len and hop must be > 0");
+  }
+  std::vector<std::vector<double>> frames;
+  if (x.empty()) return frames;
+  for (std::size_t start = 0; start < x.size(); start += hop) {
+    std::vector<double> f(frame_len, 0.0);
+    const std::size_t take = std::min(frame_len, x.size() - start);
+    for (std::size_t i = 0; i < take; ++i) f[i] = x[start + i];
+    frames.push_back(std::move(f));
+    if (start + frame_len >= x.size()) break;
+  }
+  return frames;
+}
+
+}  // namespace affectsys::signal

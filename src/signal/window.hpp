@@ -1,0 +1,25 @@
+// Analysis windows and frame segmentation for short-time feature extraction.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace affectsys::signal {
+
+enum class WindowType { kRectangular, kHann, kHamming };
+
+/// Window coefficients of the given length (periodic form, suitable for
+/// STFT analysis).
+std::vector<double> make_window(WindowType type, std::size_t length);
+
+/// Multiplies `frame` elementwise by `window`; sizes must match.
+void apply_window(std::span<double> frame, std::span<const double> window);
+
+/// Splits `x` into overlapping frames of `frame_len` samples advancing by
+/// `hop` samples.  The final partial frame is zero-padded.  Returns at
+/// least one frame for non-empty input.
+std::vector<std::vector<double>> frame_signal(std::span<const double> x,
+                                              std::size_t frame_len,
+                                              std::size_t hop);
+
+}  // namespace affectsys::signal

@@ -1,0 +1,323 @@
+// Tests for the affect-adaptive decoder layer: Input Selector semantics,
+// Pre-store Buffer handshake, mode configs and the playback simulation.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "adaptive/input_selector.hpp"
+#include "adaptive/modes.hpp"
+#include "adaptive/playback.hpp"
+#include "adaptive/prestore.hpp"
+#include "h264/encoder.hpp"
+#include "h264/testvideo.hpp"
+
+namespace adaptive = affectsys::adaptive;
+namespace affect = affectsys::affect;
+namespace h264 = affectsys::h264;
+
+namespace {
+
+/// Encoded NAL units of a small mixed clip (busy + quiet halves).
+std::vector<h264::NalUnit> encoded_units() {
+  h264::VideoConfig vc;
+  vc.width = 64;
+  vc.height = 64;
+  vc.frames = 24;
+  vc.noise = 2.5;
+  vc.motion = 1.2;
+  vc.detail = 0.6;
+  const auto video = h264::generate_mixed_video(vc, 0.5);
+  h264::EncoderConfig ec;
+  ec.width = vc.width;
+  ec.height = vc.height;
+  ec.qp = 24;
+  ec.gop_size = 12;
+  ec.b_frames = 2;
+  h264::Encoder enc(ec);
+  auto units = enc.parameter_sets();
+  for (auto& pic : enc.encode(video)) units.push_back(std::move(pic.nal));
+  return units;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ InputSelector
+
+TEST(InputSelector, NeverDeletesIdrOrParameterSets) {
+  adaptive::InputSelector sel({100000, 1});  // delete everything eligible
+  const auto kept = sel.filter(encoded_units());
+  bool has_sps = false, has_pps = false, has_idr = false;
+  for (const auto& nal : kept) {
+    has_sps |= nal.type == h264::NalType::kSps;
+    has_pps |= nal.type == h264::NalType::kPps;
+    has_idr |= nal.type == h264::NalType::kSliceIdr;
+  }
+  EXPECT_TRUE(has_sps);
+  EXPECT_TRUE(has_pps);
+  EXPECT_TRUE(has_idr);
+  // With a huge S_th every P/B slice is a candidate and f=1 deletes all.
+  EXPECT_EQ(sel.stats().deleted, sel.stats().candidates);
+  EXPECT_GT(sel.stats().deleted, 0u);
+}
+
+TEST(InputSelector, SthZeroDeletesNothing) {
+  adaptive::InputSelector sel({0, 1});
+  const auto units = encoded_units();
+  const auto kept = sel.filter(units);
+  EXPECT_EQ(kept.size(), units.size());
+  EXPECT_EQ(sel.stats().deleted, 0u);
+}
+
+TEST(InputSelector, FrequencyControlsDeletionFraction) {
+  const auto units = encoded_units();
+  adaptive::InputSelector all({100000, 1});
+  all.filter(units);
+  const std::size_t m = all.stats().candidates;
+  ASSERT_GT(m, 3u);
+  for (unsigned f : {2u, 3u, 4u}) {
+    adaptive::InputSelector sel({100000, f});
+    sel.filter(units);
+    // Deleted = ceil(m / f) by the "first of each group of f" rule.
+    EXPECT_EQ(sel.stats().deleted, (m + f - 1) / f) << "f=" << f;
+  }
+}
+
+TEST(InputSelector, LargerSthDeletesMore) {
+  const auto units = encoded_units();
+  std::size_t prev = 0;
+  for (std::size_t s_th : {60u, 140u, 400u, 100000u}) {
+    adaptive::InputSelector sel({s_th, 1});
+    sel.filter(units);
+    EXPECT_GE(sel.stats().deleted, prev) << "s_th=" << s_th;
+    prev = sel.stats().deleted;
+  }
+}
+
+TEST(InputSelector, StatsByteAccounting) {
+  adaptive::InputSelector sel({140, 1});
+  const auto units = encoded_units();
+  std::size_t total_bytes = 0;
+  for (const auto& u : units) total_bytes += u.byte_size();
+  sel.filter(units);
+  EXPECT_EQ(sel.stats().bytes_in, total_bytes);
+  EXPECT_LE(sel.stats().bytes_out, total_bytes);
+  EXPECT_EQ(sel.stats().units_in, units.size());
+  EXPECT_EQ(sel.stats().units_out + sel.stats().deleted, units.size());
+}
+
+TEST(InputSelector, FilteredStreamStillDecodes) {
+  adaptive::InputSelector sel({140, 1});
+  const auto filtered = sel.filter_annexb(h264::pack_annexb(encoded_units()));
+  affectsys::h264::Decoder dec;
+  EXPECT_NO_THROW(dec.decode_annexb(filtered));
+  EXPECT_GT(dec.activity().frames_decoded, 0u);
+}
+
+TEST(InputSelector, RejectsZeroFrequency) {
+  EXPECT_THROW(adaptive::InputSelector({140, 0}), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- PreStoreBuffer
+
+TEST(PreStore, CapacityMatchesPaperGeometry) {
+  // 128 words x 16 bits = 256 bytes.
+  EXPECT_EQ(adaptive::PreStoreBuffer::kWords, 128u);
+  EXPECT_EQ(adaptive::PreStoreBuffer::kCapacityBytes, 256u);
+}
+
+TEST(PreStore, FifoOrderPreserved) {
+  adaptive::PreStoreBuffer buf;
+  std::vector<std::uint8_t> data(200);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i);
+  }
+  EXPECT_EQ(buf.write(data), 200u);
+  const auto out = buf.read(200);
+  EXPECT_EQ(out, data);
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(PreStore, RefusesOverfillAndCountsStall) {
+  adaptive::PreStoreBuffer buf;
+  std::vector<std::uint8_t> big(300, 7);
+  EXPECT_EQ(buf.write(big), 256u);
+  EXPECT_TRUE(buf.full());
+  EXPECT_EQ(buf.stats().producer_stalls, 1u);
+}
+
+TEST(PreStore, EmptyReadCountsStall) {
+  adaptive::PreStoreBuffer buf;
+  EXPECT_TRUE(buf.read(16).empty());
+  EXPECT_EQ(buf.stats().consumer_stalls, 1u);
+}
+
+TEST(PreStore, RewindDeletesUncommittedBytes) {
+  adaptive::PreStoreBuffer buf;
+  std::vector<std::uint8_t> data(100, 1);
+  buf.write(data);
+  EXPECT_TRUE(buf.rewind(40));  // drop the last 40 (a deleted NAL unit)
+  EXPECT_EQ(buf.size_bytes(), 60u);
+  EXPECT_FALSE(buf.rewind(61));  // cannot rewind past what is pending
+  EXPECT_EQ(buf.stats().rewinds, 1u);
+}
+
+TEST(PreStore, WrapAroundIntegrity) {
+  adaptive::PreStoreBuffer buf;
+  std::mt19937 rng(9);
+  std::uniform_int_distribution<int> size_d(1, 60);
+  std::vector<std::uint8_t> sent, received;
+  std::uint8_t next = 0;
+  // Push/pull random chunks across many wraps; data must come out intact.
+  for (int iter = 0; iter < 500; ++iter) {
+    std::vector<std::uint8_t> chunk(static_cast<std::size_t>(size_d(rng)));
+    for (auto& b : chunk) b = next++;
+    const std::size_t accepted = buf.write(chunk);
+    sent.insert(sent.end(), chunk.begin(), chunk.begin() + static_cast<long>(accepted));
+    next = static_cast<std::uint8_t>(sent.empty() ? 0 : sent.back() + 1);
+    const auto out = buf.read(static_cast<std::size_t>(size_d(rng)));
+    received.insert(received.end(), out.begin(), out.end());
+  }
+  const auto rest = buf.read(adaptive::PreStoreBuffer::kCapacityBytes);
+  received.insert(received.end(), rest.begin(), rest.end());
+  EXPECT_EQ(received, sent);
+}
+
+TEST(PreStore, StreamSimulationDeliversEverything) {
+  std::vector<std::uint8_t> stream(10000);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    stream[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  const auto stats = adaptive::simulate_stream_through(stream, 64, 48);
+  // words = bytes/2 (with rounding per chunk); every byte flows through.
+  EXPECT_GE(stats.words_read * 2, stream.size());
+}
+
+// --------------------------------------------------------------------- modes
+
+TEST(Modes, ConfigsMatchSemantics) {
+  const auto std_cfg = adaptive::mode_config(adaptive::DecoderMode::kStandard);
+  EXPECT_TRUE(std_cfg.deblock);
+  EXPECT_FALSE(std_cfg.delete_nals);
+  const auto del = adaptive::mode_config(adaptive::DecoderMode::kDeletion);
+  EXPECT_TRUE(del.deblock);
+  EXPECT_TRUE(del.delete_nals);
+  const auto dfoff = adaptive::mode_config(adaptive::DecoderMode::kDeblockOff);
+  EXPECT_FALSE(dfoff.deblock);
+  EXPECT_FALSE(dfoff.delete_nals);
+  const auto comb = adaptive::mode_config(adaptive::DecoderMode::kCombined);
+  EXPECT_FALSE(comb.deblock);
+  EXPECT_TRUE(comb.delete_nals);
+  EXPECT_EQ(comb.selector.s_th, 140u);
+  EXPECT_EQ(comb.selector.f, 1u);
+}
+
+TEST(Modes, DefaultPolicyMatchesPaperCaseStudy) {
+  const adaptive::AffectVideoPolicy policy;
+  EXPECT_EQ(policy.mode_for(affect::Emotion::kDistracted),
+            adaptive::DecoderMode::kCombined);
+  EXPECT_EQ(policy.mode_for(affect::Emotion::kConcentrated),
+            adaptive::DecoderMode::kDeletion);
+  EXPECT_EQ(policy.mode_for(affect::Emotion::kTense),
+            adaptive::DecoderMode::kStandard);
+  EXPECT_EQ(policy.mode_for(affect::Emotion::kRelaxed),
+            adaptive::DecoderMode::kDeblockOff);
+}
+
+TEST(Modes, PolicyIsReprogrammable) {
+  adaptive::AffectVideoPolicy policy;
+  policy.set_mode(affect::Emotion::kRelaxed, adaptive::DecoderMode::kCombined);
+  EXPECT_EQ(policy.mode_for(affect::Emotion::kRelaxed),
+            adaptive::DecoderMode::kCombined);
+}
+
+// ------------------------------------------------------------------ playback
+
+class PlaybackFixture : public ::testing::Test {
+ protected:
+  static adaptive::AdaptiveDecoderSystem& system() {
+    // The prototype clip profile is expensive; share it across tests.
+    static adaptive::AdaptiveDecoderSystem sys{[] {
+      adaptive::PlaybackConfig cfg;
+      cfg.video.frames = 24;  // smaller clip for tests
+      return cfg;
+    }()};
+    return sys;
+  }
+};
+
+TEST_F(PlaybackFixture, ModePowerOrderingMatchesFig6) {
+  auto& sys = system();
+  const double p_std =
+      sys.profile(adaptive::DecoderMode::kStandard).norm_power;
+  const double p_del =
+      sys.profile(adaptive::DecoderMode::kDeletion).norm_power;
+  const double p_df =
+      sys.profile(adaptive::DecoderMode::kDeblockOff).norm_power;
+  const double p_comb =
+      sys.profile(adaptive::DecoderMode::kCombined).norm_power;
+  EXPECT_EQ(p_std, 1.0);
+  // Fig 6: Standard > Deletion > DF-off > Combined.
+  EXPECT_GT(p_std, p_del);
+  EXPECT_GT(p_del, p_df);
+  EXPECT_GT(p_df, p_comb);
+  // DF deactivation saves the calibrated ~31.4%.
+  EXPECT_NEAR(p_df, 1.0 - 0.314, 0.02);
+}
+
+TEST_F(PlaybackFixture, QualityOrderingMatchesFig6) {
+  auto& sys = system();
+  const double q_std = sys.profile(adaptive::DecoderMode::kStandard).psnr_db;
+  const double q_del = sys.profile(adaptive::DecoderMode::kDeletion).psnr_db;
+  const double q_df = sys.profile(adaptive::DecoderMode::kDeblockOff).psnr_db;
+  const double q_comb = sys.profile(adaptive::DecoderMode::kCombined).psnr_db;
+  EXPECT_GT(q_std, q_del);
+  // Paper: deletion mode "enjoys a slightly better video quality than that
+  // of the deactivation mode".
+  EXPECT_GT(q_del, q_df - 0.2);
+  EXPECT_GE(q_df, q_comb - 1e-9);
+}
+
+TEST_F(PlaybackFixture, PlaybackSavingInPaperBallpark) {
+  auto& sys = system();
+  const adaptive::AffectVideoPolicy policy;
+  const auto report = adaptive::simulate_playback(
+      sys, affect::uulmmac_session_timeline(), policy);
+  ASSERT_EQ(report.segments.size(), 4u);
+  // Paper: 23.1% playback energy saving.  Accept the band around it that
+  // our calibrated substrate produces.
+  EXPECT_GT(report.energy_saving(), 0.15);
+  EXPECT_LT(report.energy_saving(), 0.35);
+  // Segment modes follow the case-study policy.
+  EXPECT_EQ(report.segments[0].mode, adaptive::DecoderMode::kCombined);
+  EXPECT_EQ(report.segments[1].mode, adaptive::DecoderMode::kDeletion);
+  EXPECT_EQ(report.segments[2].mode, adaptive::DecoderMode::kStandard);
+  EXPECT_EQ(report.segments[3].mode, adaptive::DecoderMode::kDeblockOff);
+}
+
+TEST_F(PlaybackFixture, AllStandardPolicySavesNothing) {
+  auto& sys = system();
+  adaptive::AffectVideoPolicy policy;
+  for (std::size_t i = 0; i < affect::kNumEmotions; ++i) {
+    policy.set_mode(static_cast<affect::Emotion>(i),
+                    adaptive::DecoderMode::kStandard);
+  }
+  const auto report = adaptive::simulate_playback(
+      sys, affect::uulmmac_session_timeline(), policy);
+  EXPECT_NEAR(report.energy_saving(), 0.0, 1e-9);
+}
+
+TEST_F(PlaybackFixture, SclDrivenPlaybackSavesEnergy) {
+  auto& sys = system();
+  affect::SclConfig scfg;
+  affect::SclGenerator gen(scfg);
+  const auto tl = affect::uulmmac_session_timeline();
+  const auto trace = gen.generate(tl);
+  affect::SclEmotionEstimator est;
+  est.calibrate(trace, scfg.sample_rate_hz, tl);
+  const adaptive::AffectVideoPolicy policy;
+  const auto report = adaptive::simulate_playback_from_scl(
+      sys, trace, scfg.sample_rate_hz, est, policy);
+  EXPECT_GT(report.energy_saving(), 0.05);
+  EXPECT_LT(report.energy_saving(), 0.45);
+  EXPECT_FALSE(report.segments.empty());
+}

@@ -1,0 +1,315 @@
+// Tests for the affect domain: emotion taxonomy, circumplex mapping,
+// speech synthesis, feature assembly, SCL model and stream smoothing.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "affect/classifier.hpp"
+#include "affect/dataset.hpp"
+#include "affect/emotion.hpp"
+#include "affect/features.hpp"
+#include "affect/scl.hpp"
+#include "affect/speech_synth.hpp"
+#include "affect/stream.hpp"
+#include "signal/features.hpp"
+
+namespace affect = affectsys::affect;
+namespace sig = affectsys::signal;
+
+// ----------------------------------------------------------------- emotion
+
+TEST(Emotion, NamesRoundTrip) {
+  for (std::size_t i = 0; i < affect::kNumEmotions; ++i) {
+    const auto e = static_cast<affect::Emotion>(i);
+    const auto back = affect::emotion_from_name(affect::emotion_name(e));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, e);
+  }
+  EXPECT_FALSE(affect::emotion_from_name("bogus").has_value());
+}
+
+TEST(Emotion, CircumplexSignsMatchPsychology) {
+  EXPECT_GT(affect::circumplex(affect::Emotion::kHappy).valence, 0.0);
+  EXPECT_LT(affect::circumplex(affect::Emotion::kSad).valence, 0.0);
+  EXPECT_GT(affect::circumplex(affect::Emotion::kAngry).arousal, 0.0);
+  EXPECT_LT(affect::circumplex(affect::Emotion::kSleepy).arousal, 0.0);
+  EXPECT_LT(affect::circumplex(affect::Emotion::kFearful).dominance, 0.0);
+}
+
+TEST(Emotion, NearestBasicIsIdentityForBasics) {
+  for (std::size_t i = 0; i < 8; ++i) {
+    const auto e = static_cast<affect::Emotion>(i);
+    EXPECT_EQ(affect::nearest_basic_emotion(affect::circumplex(e)), e);
+  }
+}
+
+TEST(Emotion, MoodAngleQuadrants) {
+  // Happy: positive valence & arousal -> first quadrant.
+  const double a = affect::mood_angle(affect::circumplex(affect::Emotion::kHappy));
+  EXPECT_GT(a, 0.0);
+  EXPECT_LT(a, 1.57);
+  // Sad: negative valence & arousal -> third quadrant (negative angle).
+  const double s = affect::mood_angle(affect::circumplex(affect::Emotion::kSad));
+  EXPECT_LT(s, -1.57);
+}
+
+TEST(Emotion, AttentionCriticalStates) {
+  EXPECT_TRUE(affect::is_attention_critical(affect::Emotion::kConcentrated));
+  EXPECT_TRUE(affect::is_attention_critical(affect::Emotion::kTense));
+  EXPECT_FALSE(affect::is_attention_critical(affect::Emotion::kRelaxed));
+  EXPECT_FALSE(affect::is_attention_critical(affect::Emotion::kSleepy));
+}
+
+// -------------------------------------------------------------- synthesizer
+
+TEST(SpeechSynth, EmotionProfilesFollowArousal) {
+  const auto angry = affect::emotion_voice_profile(affect::Emotion::kAngry);
+  const auto sad = affect::emotion_voice_profile(affect::Emotion::kSad);
+  EXPECT_GT(angry.base_pitch_hz, sad.base_pitch_hz);
+  EXPECT_GT(angry.energy, sad.energy);
+  EXPECT_GT(angry.tempo, sad.tempo);
+}
+
+TEST(SpeechSynth, UtteranceHasRequestedLengthAndEnergy) {
+  affect::SpeechSynthesizer synth(1);
+  const auto utt = synth.synthesize(affect::Emotion::kHappy, 3, 1.5, 16000.0,
+                                    0.2);
+  EXPECT_EQ(utt.samples.size(), 24000u);
+  EXPECT_GT(sig::rms(utt.samples), 0.01);
+  EXPECT_EQ(utt.emotion, affect::Emotion::kHappy);
+}
+
+TEST(SpeechSynth, AngryLouderAndHigherPitchedThanSad) {
+  affect::SpeechSynthesizer synth(2);
+  const auto angry =
+      synth.synthesize(affect::Emotion::kAngry, 0, 1.5, 16000.0, 0.0);
+  const auto sad =
+      synth.synthesize(affect::Emotion::kSad, 0, 1.5, 16000.0, 0.0);
+  EXPECT_GT(sig::rms(angry.samples), sig::rms(sad.samples));
+  // F0: angry ~180 Hz vs sad ~95 Hz.  A low voicing threshold tolerates
+  // the inter-syllable pauses diluting the autocorrelation peak.
+  const auto f_angry =
+      sig::estimate_pitch(angry.samples, 16000.0, 60.0, 400.0, 0.05);
+  const auto f_sad =
+      sig::estimate_pitch(sad.samples, 16000.0, 60.0, 400.0, 0.05);
+  ASSERT_TRUE(f_angry.has_value());
+  ASSERT_TRUE(f_sad.has_value());
+  EXPECT_GT(*f_angry, *f_sad);
+}
+
+TEST(SpeechSynth, SpeakersDifferButAreStable) {
+  affect::SpeechSynthesizer s1(3), s2(3);
+  const auto a1 = s1.synthesize(affect::Emotion::kNeutral, 1, 1.0, 16000.0, 0.3);
+  const auto a2 = s2.synthesize(affect::Emotion::kNeutral, 1, 1.0, 16000.0, 0.3);
+  // Same synth seed + speaker -> identical waveform.
+  EXPECT_EQ(a1.samples, a2.samples);
+}
+
+TEST(SpeechSynth, CorpusProfilesMatchPaperGeometry) {
+  EXPECT_EQ(affect::ravdess_profile().num_speakers, 24);
+  EXPECT_EQ(affect::ravdess_profile().emotions.size(), 8u);
+  EXPECT_EQ(affect::emovo_profile().num_speakers, 6);
+  EXPECT_EQ(affect::emovo_profile().emotions.size(), 7u);
+  EXPECT_EQ(affect::emovo_profile().utterances_per_speaker_emotion, 14);
+  EXPECT_EQ(affect::cremad_profile().num_speakers, 91);
+  EXPECT_EQ(affect::cremad_profile().emotions.size(), 6u);
+}
+
+TEST(SpeechSynth, CorpusCoversAllLabels) {
+  affect::CorpusProfile prof = affect::emovo_profile();
+  prof.num_speakers = 2;
+  prof.utterances_per_speaker_emotion = 1;
+  affect::SpeechSynthesizer synth(4);
+  const auto utts = synth.synthesize_corpus(prof);
+  EXPECT_EQ(utts.size(), 2u * prof.emotions.size());
+  std::set<affect::Emotion> seen;
+  for (const auto& u : utts) seen.insert(u.emotion);
+  EXPECT_EQ(seen.size(), prof.emotions.size());
+}
+
+// ----------------------------------------------------------------- features
+
+TEST(AffectFeatures, ShapeAndStandardization) {
+  affect::FeatureConfig fc = affect::default_feature_config();
+  affect::FeatureExtractor fx(fc);
+  affect::SpeechSynthesizer synth(5);
+  const auto utt =
+      synth.synthesize(affect::Emotion::kHappy, 0, 1.6, 16000.0, 0.1);
+  const auto m = fx.extract(utt.samples);
+  EXPECT_EQ(m.rows(), fc.timesteps);
+  EXPECT_EQ(m.cols(), fx.feature_dim());
+  // Standardized features should be O(1).
+  for (float v : m.flat()) {
+    EXPECT_LT(std::abs(v), 20.0f);
+  }
+}
+
+TEST(AffectFeatures, DatasetLabelsAreDense) {
+  affect::CorpusProfile prof = affect::emovo_profile();
+  prof.num_speakers = 2;
+  prof.utterances_per_speaker_emotion = 1;
+  affect::FeatureExtractor fx(affect::default_feature_config());
+  const auto corpus = affect::build_corpus(prof, fx, 6);
+  EXPECT_EQ(corpus.samples.size(), 14u);
+  for (const auto& s : corpus.samples) {
+    EXPECT_LT(s.label, corpus.num_classes());
+  }
+}
+
+// ---------------------------------------------------------------------- SCL
+
+TEST(Scl, TimelineLookup) {
+  const auto tl = affect::uulmmac_session_timeline();
+  EXPECT_EQ(tl.duration_s(), 2400.0);
+  EXPECT_EQ(tl.at(0.0), affect::Emotion::kDistracted);
+  EXPECT_EQ(tl.at(14.0 * 60.0), affect::Emotion::kConcentrated);
+  EXPECT_EQ(tl.at(25.0 * 60.0), affect::Emotion::kTense);
+  EXPECT_EQ(tl.at(35.0 * 60.0), affect::Emotion::kRelaxed);
+  EXPECT_EQ(tl.at(9999.0), affect::Emotion::kRelaxed);  // clamps
+}
+
+TEST(Scl, ScrIntensityGrowsWithArousal) {
+  const auto tense = affect::scr_intensity(affect::Emotion::kTense);
+  const auto relaxed = affect::scr_intensity(affect::Emotion::kRelaxed);
+  EXPECT_GT(tense.rate_per_min, relaxed.rate_per_min);
+  EXPECT_GT(tense.amplitude_us, relaxed.amplitude_us);
+}
+
+TEST(Scl, TraceIsPositiveAndCoversSession) {
+  affect::SclConfig cfg;
+  affect::SclGenerator gen(cfg);
+  const auto trace = gen.generate(affect::uulmmac_session_timeline());
+  EXPECT_EQ(trace.size(), static_cast<std::size_t>(2400.0 * cfg.sample_rate_hz));
+  for (double v : trace) EXPECT_GT(v, 0.0);
+}
+
+TEST(Scl, TenseWindowsMoreActiveThanRelaxed) {
+  affect::SclConfig cfg;
+  affect::SclGenerator gen(cfg);
+  const auto tl = affect::uulmmac_session_timeline();
+  const auto trace = gen.generate(tl);
+  const auto win = static_cast<std::size_t>(60.0 * cfg.sample_rate_hz);
+  // Average activity inside the tense segment vs the relaxed segment.
+  auto mean_activity = [&](double t0, double t1) {
+    double acc = 0.0;
+    int n = 0;
+    for (double t = t0; t + 60.0 <= t1; t += 60.0) {
+      const auto start = static_cast<std::size_t>(t * cfg.sample_rate_hz);
+      acc += affect::SclEmotionEstimator::activity_score(
+          {trace.data() + start, win});
+      ++n;
+    }
+    return acc / n;
+  };
+  EXPECT_GT(mean_activity(20.0 * 60, 29.0 * 60),
+            mean_activity(29.0 * 60, 40.0 * 60));
+}
+
+TEST(Scl, CalibratedEstimatorRecoversSessionStates) {
+  affect::SclConfig cfg;
+  affect::SclGenerator gen(cfg);
+  const auto tl = affect::uulmmac_session_timeline();
+  const auto trace = gen.generate(tl);
+  affect::SclEmotionEstimator est;
+  est.calibrate(trace, cfg.sample_rate_hz, tl);
+
+  const auto win = static_cast<std::size_t>(30.0 * cfg.sample_rate_hz);
+  std::size_t correct = 0, total = 0;
+  for (std::size_t start = 0; start + win <= trace.size(); start += win) {
+    const double t = static_cast<double>(start) / cfg.sample_rate_hz;
+    const auto pred = est.classify({trace.data() + start, win});
+    correct += pred == tl.at(t);
+    ++total;
+  }
+  // The magnitude heuristic is coarse; the paper relies on it resolving
+  // the four session states most of the time.
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(total), 0.55);
+}
+
+// -------------------------------------------------------------------- stream
+
+TEST(Stream, MajorityVoteFiltersGlitches) {
+  affect::StreamConfig cfg;
+  cfg.vote_window = 3;
+  cfg.min_dwell_s = 0.0;
+  affect::EmotionStream stream(cfg);
+  stream.push(0.0, affect::Emotion::kCalm);
+  stream.push(1.0, affect::Emotion::kCalm);
+  EXPECT_EQ(stream.stable(), affect::Emotion::kCalm);
+  // A single glitch must not flip the majority.
+  stream.push(2.0, affect::Emotion::kAngry);
+  EXPECT_EQ(stream.stable(), affect::Emotion::kCalm);
+  // Two more angry labels shift the vote.
+  stream.push(3.0, affect::Emotion::kAngry);
+  stream.push(4.0, affect::Emotion::kAngry);
+  EXPECT_EQ(stream.stable(), affect::Emotion::kAngry);
+}
+
+TEST(Stream, DwellTimeBlocksRapidSwitching) {
+  affect::StreamConfig cfg;
+  cfg.vote_window = 1;
+  cfg.min_dwell_s = 10.0;
+  affect::EmotionStream stream(cfg);
+  EXPECT_TRUE(stream.push(0.0, affect::Emotion::kHappy).has_value());
+  // Change at t=5 is within the dwell window: suppressed.
+  EXPECT_FALSE(stream.push(5.0, affect::Emotion::kSad).has_value());
+  EXPECT_EQ(stream.stable(), affect::Emotion::kHappy);
+  // After the dwell expires the change goes through.
+  EXPECT_TRUE(stream.push(11.0, affect::Emotion::kSad).has_value());
+  EXPECT_EQ(stream.stable(), affect::Emotion::kSad);
+  EXPECT_EQ(stream.transitions(), 2u);
+}
+
+TEST(Stream, CallbacksFireOnChange) {
+  affect::StreamConfig cfg;
+  cfg.vote_window = 1;
+  cfg.min_dwell_s = 0.0;
+  affect::EmotionStream stream(cfg);
+  std::vector<affect::Emotion> seen;
+  stream.on_change([&](double, affect::Emotion e) { seen.push_back(e); });
+  stream.push(0.0, affect::Emotion::kHappy);
+  stream.push(1.0, affect::Emotion::kHappy);
+  stream.push(2.0, affect::Emotion::kSad);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], affect::Emotion::kHappy);
+  EXPECT_EQ(seen[1], affect::Emotion::kSad);
+}
+
+TEST(Stream, RejectsZeroWindow) {
+  affect::StreamConfig cfg;
+  cfg.vote_window = 0;
+  EXPECT_THROW(affect::EmotionStream{cfg}, std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- classifier
+
+TEST(Classifier, TrainedClassifierBeatsChanceOnTinyCorpus) {
+  affect::CorpusProfile prof;
+  prof.name = "tiny";
+  prof.num_speakers = 4;
+  prof.emotions = {affect::Emotion::kAngry, affect::Emotion::kSad};
+  prof.utterances_per_speaker_emotion = 6;
+  prof.utterance_seconds = 1.0;
+  prof.speaker_spread = 0.1;
+
+  affectsys::nn::TrainConfig tc;
+  tc.epochs = 6;
+  tc.batch_size = 8;
+  tc.learning_rate = 2e-3f;
+  auto clf = affect::train_affect_classifier(affectsys::nn::ModelKind::kMlp,
+                                             prof, tc);
+
+  affect::SpeechSynthesizer synth(123);
+  int correct = 0, total = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto e = i % 2 ? affect::Emotion::kAngry : affect::Emotion::kSad;
+    const auto utt = synth.synthesize(e, 50 + i, 1.0, 16000.0, 0.1);
+    const auto res = clf.classify(utt.samples);
+    correct += res.emotion == e;
+    ++total;
+    EXPECT_GE(res.confidence, 0.0f);
+    EXPECT_LE(res.confidence, 1.0f);
+  }
+  // Angry vs sad is acoustically easy: demand well above chance.
+  EXPECT_GE(correct, 7) << "of " << total;
+}

@@ -1,0 +1,219 @@
+// Tests for the CABAC-style arithmetic coder and the ECG channel.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "affect/ecg.hpp"
+#include "h264/arith.hpp"
+#include "h264/bitstream.hpp"
+#include "h264/entropy.hpp"
+
+namespace h264 = affectsys::h264;
+namespace affect = affectsys::affect;
+
+// ------------------------------------------------------------- range coder
+
+TEST(ArithCoder, SingleContextBitsRoundTrip) {
+  h264::ArithEncoder enc;
+  h264::ContextModel enc_ctx;
+  const bool pattern[] = {true,  false, true, true,  false,
+                          false, false, true, false, true};
+  for (bool b : pattern) enc.encode_bit(enc_ctx, b);
+  const auto bytes = enc.finish();
+
+  h264::ArithDecoder dec(bytes);
+  h264::ContextModel dec_ctx;
+  for (bool b : pattern) EXPECT_EQ(dec.decode_bit(dec_ctx), b);
+}
+
+TEST(ArithCoder, BypassBitsRoundTrip) {
+  h264::ArithEncoder enc;
+  enc.encode_bypass_bits(0xDEADBEEF, 32);
+  enc.encode_bypass(true);
+  enc.encode_bypass(false);
+  const auto bytes = enc.finish();
+  h264::ArithDecoder dec(bytes);
+  EXPECT_EQ(dec.decode_bypass_bits(32), 0xDEADBEEFu);
+  EXPECT_TRUE(dec.decode_bypass());
+  EXPECT_FALSE(dec.decode_bypass());
+}
+
+TEST(ArithCoder, LongRandomMixedStreamRoundTrips) {
+  std::mt19937 rng(1);
+  std::bernoulli_distribution biased(0.8);
+  std::bernoulli_distribution fair(0.5);
+  std::vector<std::pair<bool, bool>> symbols;  // (is_bypass, bit)
+  for (int i = 0; i < 20000; ++i) {
+    const bool bypass = fair(rng);
+    symbols.push_back({bypass, bypass ? fair(rng) : biased(rng)});
+  }
+  h264::ArithEncoder enc;
+  h264::ContextModel enc_ctx;
+  for (auto [bypass, bit] : symbols) {
+    if (bypass) {
+      enc.encode_bypass(bit);
+    } else {
+      enc.encode_bit(enc_ctx, bit);
+    }
+  }
+  const auto bytes = enc.finish();
+  h264::ArithDecoder dec(bytes);
+  h264::ContextModel dec_ctx;
+  for (auto [bypass, bit] : symbols) {
+    const bool out = bypass ? dec.decode_bypass() : dec.decode_bit(dec_ctx);
+    ASSERT_EQ(out, bit);
+  }
+}
+
+TEST(ArithCoder, AdaptiveCompressionBeatsOneBitPerSymbol) {
+  // A heavily biased source must compress well below 1 bit/symbol.
+  std::mt19937 rng(2);
+  std::bernoulli_distribution biased(0.95);
+  h264::ArithEncoder enc;
+  h264::ContextModel ctx;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) enc.encode_bit(ctx, biased(rng));
+  const auto bytes = enc.finish();
+  // Entropy of p=0.95 is ~0.286 bits; allow generous adaptation slack.
+  EXPECT_LT(bytes.size() * 8, n / 2);
+}
+
+TEST(ArithCoder, TruncatedStreamThrows) {
+  h264::ArithEncoder enc;
+  h264::ContextModel ctx;
+  for (int i = 0; i < 1000; ++i) enc.encode_bit(ctx, i % 3 == 0);
+  auto bytes = enc.finish();
+  bytes.resize(bytes.size() / 4);
+  h264::ArithDecoder dec(bytes);
+  h264::ContextModel dctx;
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 1000; ++i) dec.decode_bit(dctx);
+      },
+      h264::BitstreamError);
+}
+
+// -------------------------------------------------------- residual blocks
+
+TEST(CabacResiduals, FuzzRoundTrip) {
+  std::mt19937 rng(3);
+  std::uniform_int_distribution<int> level(-40, 40);
+  std::uniform_real_distribution<double> density(0.0, 1.0);
+  std::vector<h264::Block4x4> blocks;
+  for (int iter = 0; iter < 400; ++iter) {
+    const double p = density(rng) * density(rng);  // mostly sparse
+    h264::Block4x4 blk{};
+    for (auto& row : blk) {
+      for (auto& x : row) {
+        if (density(rng) < p) x = level(rng);
+      }
+    }
+    blocks.push_back(blk);
+  }
+  h264::ArithEncoder enc;
+  h264::ResidualContexts ectx;
+  for (const auto& blk : blocks) {
+    h264::encode_residual_block_cabac(enc, ectx, blk);
+  }
+  const auto bytes = enc.finish();
+  h264::ArithDecoder dec(bytes);
+  h264::ResidualContexts dctx;
+  for (const auto& blk : blocks) {
+    ASSERT_EQ(h264::decode_residual_block_cabac(dec, dctx), blk);
+  }
+}
+
+TEST(CabacResiduals, ExtremeLevelsSurvive) {
+  h264::Block4x4 blk{};
+  blk[0][0] = 2047;
+  blk[3][3] = -2047;
+  blk[1][2] = 1;
+  h264::ArithEncoder enc;
+  h264::ResidualContexts ectx;
+  h264::encode_residual_block_cabac(enc, ectx, blk);
+  const auto bytes = enc.finish();
+  h264::ArithDecoder dec(bytes);
+  h264::ResidualContexts dctx;
+  EXPECT_EQ(h264::decode_residual_block_cabac(dec, dctx), blk);
+}
+
+TEST(CabacResiduals, BeatsCavlcOnTypicalResiduals) {
+  // Sparse, small-magnitude blocks (the typical quantized-residual
+  // profile): the adaptive coder should need fewer bits than the
+  // Exp-Golomb CAVLC-style coder.
+  std::mt19937 rng(4);
+  std::uniform_int_distribution<int> level(-3, 3);
+  std::uniform_real_distribution<double> density(0.0, 1.0);
+  std::vector<h264::Block4x4> blocks;
+  for (int iter = 0; iter < 2000; ++iter) {
+    h264::Block4x4 blk{};
+    for (auto& row : blk) {
+      for (auto& x : row) {
+        if (density(rng) < 0.12) x = level(rng);
+      }
+    }
+    blocks.push_back(blk);
+  }
+  h264::BitWriter cavlc;
+  for (const auto& blk : blocks) h264::encode_residual_block(cavlc, blk);
+  h264::ArithEncoder enc;
+  h264::ResidualContexts ctx;
+  for (const auto& blk : blocks) {
+    h264::encode_residual_block_cabac(enc, ctx, blk);
+  }
+  const std::size_t cabac_bits = enc.finish().size() * 8;
+  EXPECT_LT(cabac_bits, cavlc.bit_count());
+}
+
+// -------------------------------------------------------------------- ECG
+
+TEST(Ecg, WaveformHasRPeaksAtGroundTruth) {
+  affect::EcgConfig cfg;
+  cfg.noise = 0.005;
+  affect::EcgGenerator gen(cfg);
+  affect::EmotionTimeline tl;
+  tl.segments = {{0.0, 60.0, affect::Emotion::kNeutral}};
+  const auto ecg = gen.generate(tl);
+  EXPECT_EQ(ecg.size(), static_cast<std::size_t>(60.0 * cfg.sample_rate_hz));
+
+  const auto detected = affect::detect_r_peaks(ecg, cfg.sample_rate_hz);
+  const auto& truth = gen.last_r_peaks();
+  ASSERT_GT(truth.size(), 40u);
+  // Detection rate: at least 90% of true peaks matched within 60 ms.
+  std::size_t matched = 0;
+  for (double t : truth) {
+    for (double d : detected) {
+      if (std::abs(d - t) < 0.06) {
+        ++matched;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(matched) / static_cast<double>(truth.size()),
+            0.9);
+  // And not too many spurious detections.
+  EXPECT_LT(detected.size(), truth.size() * 12 / 10);
+}
+
+TEST(Ecg, HrvFromEcgSeparatesArousal) {
+  affect::EcgConfig cfg;
+  cfg.noise = 0.005;
+  affect::EcgGenerator gen(cfg);
+  affect::EmotionTimeline tl;
+  tl.segments = {{0.0, 120.0, affect::Emotion::kTense},
+                 {120.0, 240.0, affect::Emotion::kRelaxed}};
+  const auto ecg = gen.generate(tl);
+  const auto half = static_cast<std::size_t>(120.0 * cfg.sample_rate_hz);
+  const auto tense =
+      affect::hrv_features(affect::detect_r_peaks({ecg.data(), half},
+                                                  cfg.sample_rate_hz));
+  const auto relaxed = affect::hrv_features(affect::detect_r_peaks(
+      {ecg.data() + half, ecg.size() - half}, cfg.sample_rate_hz));
+  EXPECT_GT(tense.mean_hr_bpm, relaxed.mean_hr_bpm + 5.0);
+}
+
+TEST(Ecg, DetectorHandlesDegenerateInput) {
+  EXPECT_TRUE(affect::detect_r_peaks({}, 250.0).empty());
+  std::vector<double> flat(1000, 0.0);
+  EXPECT_TRUE(affect::detect_r_peaks(flat, 250.0).empty());
+}

@@ -1,0 +1,172 @@
+// Golden-vector tests: hand-computed expected values pinning the
+// spec-derived kernels (H.264 transform, quantization tables, deblocking
+// thresholds, mel scale, Exp-Golomb) against regressions.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "h264/bitstream.hpp"
+#include "h264/deblock.hpp"
+#include "h264/entropy.hpp"
+#include "h264/transform.hpp"
+#include "signal/mel.hpp"
+
+namespace h264 = affectsys::h264;
+namespace sig = affectsys::signal;
+
+// ----------------------------------------------------------- 4x4 transform
+
+TEST(Golden, ForwardTransformOfImpulse) {
+  // x = delta at (0,0).  C row factors: [1 1 1 1], [2 1 -1 -2] ... so the
+  // transform of an impulse at the origin is the outer product of the
+  // first columns: [1 2 1 1]^T [1 2 1 1].
+  h264::Block4x4 x{};
+  x[0][0] = 1;
+  const auto y = h264::forward_transform(x);
+  const int expected[4][4] = {
+      {1, 1, 1, 1}, {2, 2, 2, 2}, {1, 1, 1, 1}, {1, 1, 1, 1}};
+  const int col[4] = {1, 2, 1, 1};
+  (void)expected;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_EQ(y[i][j], col[i] * col[j]) << i << "," << j;
+    }
+  }
+}
+
+TEST(Golden, ForwardTransformDcGain) {
+  // Constant block of 1s: DC coefficient = 16, all else 0.
+  h264::Block4x4 x{};
+  for (auto& row : x) {
+    for (auto& v : row) v = 1;
+  }
+  const auto y = h264::forward_transform(x);
+  EXPECT_EQ(y[0][0], 16);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      if (i || j) EXPECT_EQ(y[i][j], 0);
+    }
+  }
+}
+
+TEST(Golden, InverseTransformOfDc) {
+  // The inverse butterflies carry unit DC gain per pass, then >>6:
+  // a dequantized DC of 256 reconstructs a flat block of
+  // (256 + 32) >> 6 = 4.
+  h264::Block4x4 c{};
+  c[0][0] = 256;
+  const auto x = h264::inverse_transform(c);
+  for (const auto& row : x) {
+    for (int v : row) EXPECT_EQ(v, 4);
+  }
+}
+
+TEST(Golden, QuantizationDcAtQp0) {
+  // Spec MF(0, DC-class) = 13107, shift 15, intra offset (1<<15)/3.
+  // level = (w*13107 + 10922) >> 15 for w = 16 -> 6.
+  h264::Block4x4 c{};
+  c[0][0] = 16;
+  const auto q = h264::quantize(c, 0);
+  EXPECT_EQ(q[0][0], (16 * 13107 + (1 << 15) / 3) >> 15);
+  // Dequantization: V(0, DC) = 10 -> 6 * 10 << 0 = 60.
+  const auto d = h264::dequantize(q, 0);
+  EXPECT_EQ(d[0][0], q[0][0] * 10);
+}
+
+TEST(Golden, QuantStepDoublesEverySixQp) {
+  // dequantize(1, qp) doubles when qp increases by 6.
+  h264::Block4x4 one{};
+  one[0][0] = 1;
+  for (int qp = 0; qp + 6 <= 51; ++qp) {
+    const int a = h264::dequantize(one, qp)[0][0];
+    const int b = h264::dequantize(one, qp + 6)[0][0];
+    EXPECT_EQ(b, 2 * a) << "qp " << qp;
+  }
+}
+
+// ------------------------------------------------------------- deblocking
+
+TEST(Golden, AlphaBetaTableSpotChecks) {
+  // Values straight from Table 8-16.
+  EXPECT_EQ(h264::deblock_alpha(15), 0);
+  EXPECT_EQ(h264::deblock_alpha(16), 4);
+  EXPECT_EQ(h264::deblock_alpha(26), 15);
+  EXPECT_EQ(h264::deblock_alpha(36), 50);
+  EXPECT_EQ(h264::deblock_alpha(51), 255);
+  EXPECT_EQ(h264::deblock_beta(15), 0);
+  EXPECT_EQ(h264::deblock_beta(16), 2);
+  EXPECT_EQ(h264::deblock_beta(26), 6);
+  EXPECT_EQ(h264::deblock_beta(36), 11);
+  EXPECT_EQ(h264::deblock_beta(51), 18);
+}
+
+TEST(Golden, AlphaBetaMonotone) {
+  for (int qp = 1; qp <= 51; ++qp) {
+    EXPECT_GE(h264::deblock_alpha(qp), h264::deblock_alpha(qp - 1));
+    EXPECT_GE(h264::deblock_beta(qp), h264::deblock_beta(qp - 1));
+  }
+}
+
+// -------------------------------------------------------------- Exp-Golomb
+
+TEST(Golden, ExpGolombSpecTable) {
+  // Table 9-1 of the spec: code_num -> bit string.
+  const struct {
+    std::uint32_t value;
+    const char* bits;
+  } rows[] = {
+      {0, "1"},        {1, "010"},      {2, "011"},
+      {3, "00100"},    {4, "00101"},    {5, "00110"},
+      {6, "00111"},    {7, "0001000"},  {8, "0001001"},
+  };
+  for (const auto& row : rows) {
+    h264::BitWriter bw;
+    bw.put_ue(row.value);
+    std::string got;
+    h264::BitReader br(bw.bytes());
+    for (std::size_t i = 0; i < std::strlen(row.bits); ++i) {
+      got.push_back(br.get_bit() ? '1' : '0');
+    }
+    EXPECT_EQ(got, row.bits) << "ue(" << row.value << ")";
+  }
+}
+
+TEST(Golden, SignedExpGolombMapping) {
+  // Spec 9.1.1: se(v) order is 0, 1, -1, 2, -2, ...
+  const std::int32_t order[] = {0, 1, -1, 2, -2, 3, -3};
+  for (std::uint32_t code = 0; code < 7; ++code) {
+    h264::BitWriter bw;
+    bw.put_ue(code);
+    h264::BitReader br(bw.bytes());
+    EXPECT_EQ(br.get_se(), order[code]) << "code " << code;
+  }
+}
+
+// ----------------------------------------------------------------- zigzag
+
+TEST(Golden, ZigzagVisitsEveryPositionOnce) {
+  bool seen[4][4] = {};
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_FALSE(seen[h264::kZigzagRow[i]][h264::kZigzagCol[i]]);
+    seen[h264::kZigzagRow[i]][h264::kZigzagCol[i]] = true;
+  }
+  // Standard 4x4 zig-zag prefix: (0,0) (0,1) (1,0) (2,0) (1,1) (0,2).
+  EXPECT_EQ(h264::kZigzagRow[0], 0);
+  EXPECT_EQ(h264::kZigzagCol[0], 0);
+  EXPECT_EQ(h264::kZigzagRow[1], 0);
+  EXPECT_EQ(h264::kZigzagCol[1], 1);
+  EXPECT_EQ(h264::kZigzagRow[2], 1);
+  EXPECT_EQ(h264::kZigzagCol[2], 0);
+  EXPECT_EQ(h264::kZigzagRow[3], 2);
+  EXPECT_EQ(h264::kZigzagCol[3], 0);
+}
+
+// -------------------------------------------------------------------- mel
+
+TEST(Golden, MelScaleReferencePoints) {
+  // 1000 Hz = 1000 mel anchor of the HTK formula (within rounding).
+  EXPECT_NEAR(sig::hz_to_mel(1000.0), 999.99, 0.5);
+  EXPECT_NEAR(sig::hz_to_mel(0.0), 0.0, 1e-12);
+  // 700 Hz -> 2595*log10(2) = 781.17 mel.
+  EXPECT_NEAR(sig::hz_to_mel(700.0), 781.17, 0.01);
+}

@@ -1,0 +1,212 @@
+// Unit tests for the H.264 syntax layer: bit I/O, Exp-Golomb, emulation
+// prevention, NAL packing and entropy coding.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "h264/bitstream.hpp"
+#include "h264/entropy.hpp"
+#include "h264/nal.hpp"
+
+namespace h264 = affectsys::h264;
+
+TEST(BitIo, SingleBitsRoundTrip) {
+  h264::BitWriter bw;
+  const bool pattern[] = {true, false, true, true, false, false, true};
+  for (bool b : pattern) bw.put_bit(b);
+  bw.finish_rbsp();
+  h264::BitReader br(bw.bytes());
+  for (bool b : pattern) EXPECT_EQ(br.get_bit(), b);
+}
+
+TEST(BitIo, FixedWidthFields) {
+  h264::BitWriter bw;
+  bw.put_bits(0xA5, 8);
+  bw.put_bits(0x3, 2);
+  bw.put_bits(0x12345, 20);
+  bw.finish_rbsp();
+  h264::BitReader br(bw.bytes());
+  EXPECT_EQ(br.get_bits(8), 0xA5u);
+  EXPECT_EQ(br.get_bits(2), 0x3u);
+  EXPECT_EQ(br.get_bits(20), 0x12345u);
+}
+
+TEST(BitIo, ReadPastEndThrows) {
+  h264::BitWriter bw;
+  bw.put_bits(0xFF, 8);
+  h264::BitReader br(bw.bytes());
+  br.get_bits(8);
+  EXPECT_THROW(br.get_bit(), h264::BitstreamError);
+}
+
+TEST(BitIo, PutBitsRejectsOver32) {
+  h264::BitWriter bw;
+  EXPECT_THROW(bw.put_bits(0, 33), std::invalid_argument);
+}
+
+class ExpGolombUe : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ExpGolombUe, RoundTrips) {
+  h264::BitWriter bw;
+  bw.put_ue(GetParam());
+  bw.finish_rbsp();
+  h264::BitReader br(bw.bytes());
+  EXPECT_EQ(br.get_ue(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, ExpGolombUe,
+                         ::testing::Values(0u, 1u, 2u, 3u, 7u, 8u, 255u,
+                                           1023u, 65535u, 1000000u));
+
+class ExpGolombSe : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(ExpGolombSe, RoundTrips) {
+  h264::BitWriter bw;
+  bw.put_se(GetParam());
+  bw.finish_rbsp();
+  h264::BitReader br(bw.bytes());
+  EXPECT_EQ(br.get_se(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, ExpGolombSe,
+                         ::testing::Values(0, 1, -1, 2, -2, 17, -17, 1000,
+                                           -1000, 123456, -123456));
+
+TEST(ExpGolomb, KnownEncodings) {
+  // ue(0) = "1", ue(1) = "010", ue(2) = "011".
+  h264::BitWriter bw;
+  bw.put_ue(0);
+  bw.put_ue(1);
+  bw.put_ue(2);
+  // bits: 1 010 011 -> 1010011x
+  ASSERT_GE(bw.bit_count(), 7u);
+  h264::BitReader br(bw.bytes());
+  EXPECT_EQ(br.get_bits(7), 0b1010011u);
+}
+
+TEST(ExpGolomb, FuzzRoundTrip) {
+  std::mt19937 rng(99);
+  std::uniform_int_distribution<std::uint32_t> d(0, 1u << 20);
+  h264::BitWriter bw;
+  std::vector<std::uint32_t> vals(500);
+  for (auto& v : vals) {
+    v = d(rng);
+    bw.put_ue(v);
+  }
+  bw.finish_rbsp();
+  h264::BitReader br(bw.bytes());
+  for (auto v : vals) EXPECT_EQ(br.get_ue(), v);
+}
+
+TEST(EmulationPrevention, InsertsAndRemoves) {
+  const std::vector<std::uint8_t> rbsp = {0x00, 0x00, 0x01, 0xAB,
+                                          0x00, 0x00, 0x00, 0x00, 0x02};
+  const auto ebsp = h264::add_emulation_prevention(rbsp);
+  // No 0x000001 or 0x000000 patterns may survive.
+  for (std::size_t i = 0; i + 2 < ebsp.size(); ++i) {
+    const bool bad = ebsp[i] == 0 && ebsp[i + 1] == 0 && ebsp[i + 2] <= 1;
+    EXPECT_FALSE(bad) << "at offset " << i;
+  }
+  EXPECT_EQ(h264::remove_emulation_prevention(ebsp), rbsp);
+}
+
+TEST(EmulationPrevention, RandomPayloadRoundTrip) {
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<int> byte(0, 4);  // zero-heavy payloads
+  for (int iter = 0; iter < 50; ++iter) {
+    std::vector<std::uint8_t> rbsp(200);
+    for (auto& b : rbsp) b = static_cast<std::uint8_t>(byte(rng));
+    const auto ebsp = h264::add_emulation_prevention(rbsp);
+    EXPECT_EQ(h264::remove_emulation_prevention(ebsp), rbsp);
+  }
+}
+
+TEST(Nal, PackUnpackRoundTrip) {
+  std::vector<h264::NalUnit> units(3);
+  units[0].type = h264::NalType::kSps;
+  units[0].ref_idc = 3;
+  units[0].payload = {0x42, 0x00, 0x1E};
+  units[1].type = h264::NalType::kSliceIdr;
+  units[1].ref_idc = 3;
+  units[1].payload = {0x11, 0x22, 0x33, 0x44};
+  units[2].type = h264::NalType::kSliceNonIdr;
+  units[2].ref_idc = 0;
+  units[2].payload = {0x55};
+
+  const auto stream = h264::pack_annexb(units);
+  const auto parsed = h264::unpack_annexb(stream);
+  ASSERT_EQ(parsed.size(), units.size());
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    EXPECT_EQ(parsed[i].type, units[i].type);
+    EXPECT_EQ(parsed[i].ref_idc, units[i].ref_idc);
+    EXPECT_EQ(parsed[i].payload, units[i].payload);
+  }
+}
+
+TEST(Nal, ByteSizeCountsHeader) {
+  h264::NalUnit nal;
+  nal.payload = {1, 2, 3};
+  EXPECT_EQ(nal.byte_size(), 4u);
+}
+
+TEST(Entropy, ZeroBlockIsOneSymbol) {
+  h264::Block4x4 zero{};
+  h264::BitWriter bw;
+  const std::size_t bits = h264::encode_residual_block(bw, zero);
+  EXPECT_EQ(bits, 1u);  // ue(0) == one bit
+  bw.finish_rbsp();
+  h264::BitReader br(bw.bytes());
+  int nz = -1;
+  const auto decoded = h264::decode_residual_block(br, &nz);
+  EXPECT_EQ(nz, 0);
+  EXPECT_EQ(decoded, zero);
+}
+
+TEST(Entropy, DenseBlockRoundTrip) {
+  h264::Block4x4 blk{};
+  int v = -8;
+  for (auto& row : blk) {
+    for (auto& x : row) x = (v == 0) ? ++v : v++;
+  }
+  h264::BitWriter bw;
+  h264::encode_residual_block(bw, blk);
+  bw.finish_rbsp();
+  h264::BitReader br(bw.bytes());
+  EXPECT_EQ(h264::decode_residual_block(br), blk);
+}
+
+TEST(Entropy, FuzzRoundTripManyBlocks) {
+  std::mt19937 rng(31337);
+  std::uniform_int_distribution<int> level(-32, 32);
+  std::uniform_real_distribution<double> density(0.0, 1.0);
+  for (int iter = 0; iter < 300; ++iter) {
+    const double p = density(rng);
+    h264::Block4x4 blk{};
+    for (auto& row : blk) {
+      for (auto& x : row) {
+        if (density(rng) < p) x = level(rng);
+      }
+    }
+    h264::BitWriter bw;
+    h264::encode_residual_block(bw, blk);
+    bw.finish_rbsp();
+    h264::BitReader br(bw.bytes());
+    int nz = 0;
+    const auto decoded = h264::decode_residual_block(br, &nz);
+    EXPECT_EQ(decoded, blk);
+    EXPECT_EQ(nz, h264::count_nonzero(blk));
+  }
+}
+
+TEST(Entropy, SparseCheaperThanDense) {
+  h264::Block4x4 sparse{};
+  sparse[0][0] = 3;
+  h264::Block4x4 dense{};
+  for (auto& row : dense) {
+    for (auto& x : row) x = 5;
+  }
+  h264::BitWriter bw1, bw2;
+  const auto bits_sparse = h264::encode_residual_block(bw1, sparse);
+  const auto bits_dense = h264::encode_residual_block(bw2, dense);
+  EXPECT_LT(bits_sparse, bits_dense);
+}

@@ -1,0 +1,102 @@
+// Tests for the IMU channel: activity synthesis/classification and PPG
+// motion-artifact gating.
+#include <gtest/gtest.h>
+
+#include "affect/imu.hpp"
+#include "affect/ppg.hpp"
+
+namespace affect = affectsys::affect;
+
+namespace {
+
+affect::ActivityTimeline three_phase() {
+  affect::ActivityTimeline tl;
+  tl.segments = {{0.0, 120.0, affect::ActivityState::kStill},
+                 {120.0, 240.0, affect::ActivityState::kWalking},
+                 {240.0, 360.0, affect::ActivityState::kRunning}};
+  return tl;
+}
+
+}  // namespace
+
+TEST(Imu, TimelineLookup) {
+  const auto tl = three_phase();
+  EXPECT_EQ(tl.at(10.0), affect::ActivityState::kStill);
+  EXPECT_EQ(tl.at(130.0), affect::ActivityState::kWalking);
+  EXPECT_EQ(tl.at(350.0), affect::ActivityState::kRunning);
+  EXPECT_EQ(tl.at(9999.0), affect::ActivityState::kRunning);
+}
+
+TEST(Imu, GaitIntensityOrdersActivities) {
+  EXPECT_EQ(affect::gait_profile(affect::ActivityState::kStill).amplitude_g,
+            0.0);
+  EXPECT_LT(affect::gait_profile(affect::ActivityState::kWalking).amplitude_g,
+            affect::gait_profile(affect::ActivityState::kRunning).amplitude_g);
+}
+
+TEST(Imu, ActivityClassificationPerSegment) {
+  affect::ImuConfig cfg;
+  affect::ImuGenerator gen(cfg);
+  const auto tl = three_phase();
+  const auto imu = gen.generate(tl);
+  const auto win = static_cast<std::size_t>(10.0 * cfg.sample_rate_hz);
+  std::size_t correct = 0, total = 0;
+  for (std::size_t start = 0; start + win <= imu.size(); start += win) {
+    const double t = static_cast<double>(start) / cfg.sample_rate_hz;
+    correct += affect::classify_activity({imu.data() + start, win}) ==
+               tl.at(t);
+    ++total;
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(total), 0.9);
+}
+
+TEST(Imu, ArtifactsDegradeBeatDetectionAndGatingRecovers) {
+  // PPG for a neutral session; running for the middle third.
+  affect::EmotionTimeline etl;
+  etl.segments = {{0.0, 360.0, affect::Emotion::kNeutral}};
+  affect::PpgConfig pcfg;
+  pcfg.noise = 0.01;
+  affect::PpgGenerator pgen(pcfg);
+  auto clean = pgen.generate(etl);
+  auto dirty = clean;
+  affect::ActivityTimeline atl;
+  atl.segments = {{0.0, 120.0, affect::ActivityState::kStill},
+                  {120.0, 240.0, affect::ActivityState::kRunning},
+                  {240.0, 360.0, affect::ActivityState::kStill}};
+  affect::add_motion_artifacts(dirty, pcfg.sample_rate_hz, atl, 0.8);
+
+  const auto expected_hr =
+      affect::cardio_profile(affect::Emotion::kNeutral).mean_hr_bpm;
+  auto hr_error_in = [&](const std::vector<double>& ppg, double t0,
+                         double t1) {
+    const auto b = static_cast<std::size_t>(t0 * pcfg.sample_rate_hz);
+    const auto e = static_cast<std::size_t>(t1 * pcfg.sample_rate_hz);
+    const auto beats =
+        affect::detect_beats({ppg.data() + b, e - b}, pcfg.sample_rate_hz);
+    return std::abs(affect::hrv_features(beats).mean_hr_bpm - expected_hr);
+  };
+
+  // The artifacted (running) span measures HR much worse than clean spans.
+  const double err_dirty = hr_error_in(dirty, 130.0, 230.0);
+  const double err_clean_span = hr_error_in(dirty, 10.0, 110.0);
+  EXPECT_GT(err_dirty, err_clean_span + 3.0);
+
+  // Gating: classify activity from the IMU and keep only still windows.
+  affect::ImuConfig icfg;
+  affect::ImuGenerator igen(icfg);
+  const auto imu = igen.generate(atl);
+  const auto iwin = static_cast<std::size_t>(30.0 * icfg.sample_rate_hz);
+  double worst_gated_error = 0.0;
+  for (std::size_t start = 0; start + iwin <= imu.size(); start += iwin) {
+    const double t = static_cast<double>(start) / icfg.sample_rate_hz;
+    if (affect::classify_activity({imu.data() + start, iwin}) !=
+        affect::ActivityState::kStill) {
+      continue;  // gated out
+    }
+    worst_gated_error =
+        std::max(worst_gated_error, hr_error_in(dirty, t, t + 30.0));
+  }
+  // Every window that survives the gate measures HR accurately.
+  EXPECT_LT(worst_gated_error, err_dirty);
+  EXPECT_LT(worst_gated_error, 8.0);
+}

@@ -1,0 +1,131 @@
+// End-to-end integration tests: biosignal -> classifier -> controller ->
+// decoder mode / app manager, mirroring the full Fig 4 signal flow.
+#include <gtest/gtest.h>
+
+#include "adaptive/playback.hpp"
+#include "affect/classifier.hpp"
+#include "affect/scl.hpp"
+#include "core/controller.hpp"
+#include "core/manager_experiment.hpp"
+
+namespace affect = affectsys::affect;
+namespace adaptive = affectsys::adaptive;
+namespace core = affectsys::core;
+namespace android = affectsys::android;
+namespace nn = affectsys::nn;
+
+TEST(Integration, SpeechClassifierDrivesDecoderMode) {
+  // Train a small two-emotion classifier, then stream synthesized speech
+  // through the controller and verify the decoder mode follows.
+  affect::CorpusProfile prof;
+  prof.name = "itest";
+  prof.num_speakers = 4;
+  prof.emotions = {affect::Emotion::kAngry, affect::Emotion::kCalm};
+  prof.utterances_per_speaker_emotion = 6;
+  prof.utterance_seconds = 1.0;
+  prof.speaker_spread = 0.1;
+
+  nn::TrainConfig tc;
+  tc.epochs = 8;
+  tc.batch_size = 8;
+  tc.learning_rate = 2e-3f;
+  auto clf = affect::train_affect_classifier(nn::ModelKind::kMlp, prof, tc);
+
+  affect::StreamConfig sc;
+  sc.vote_window = 3;
+  sc.min_dwell_s = 0.0;
+  core::SystemController ctrl(sc, adaptive::AffectVideoPolicy{});
+
+  affect::SpeechSynthesizer synth(404);
+  double t = 0.0;
+  // Sustained angry speech -> attention-critical -> Standard mode.
+  for (int i = 0; i < 6; ++i) {
+    const auto utt =
+        synth.synthesize(affect::Emotion::kAngry, 60 + i, 1.0, 16000.0, 0.1);
+    ctrl.on_classification(t += 1.0, clf.classify(utt.samples).emotion);
+  }
+  EXPECT_EQ(ctrl.current_video_mode(), adaptive::DecoderMode::kStandard);
+
+  // Sustained calm speech -> power saving (DF off for kCalm).
+  for (int i = 0; i < 8; ++i) {
+    const auto utt =
+        synth.synthesize(affect::Emotion::kCalm, 70 + i, 1.0, 16000.0, 0.1);
+    ctrl.on_classification(t += 1.0, clf.classify(utt.samples).emotion);
+  }
+  EXPECT_EQ(ctrl.current_video_mode(), adaptive::DecoderMode::kDeblockOff);
+}
+
+TEST(Integration, SclPipelineReproducesPlaybackSaving) {
+  // Full Fig 6 bottom pipeline: SCL trace -> estimator -> smoothed stream
+  // -> mode policy -> energy integration over the 40-minute session.
+  adaptive::PlaybackConfig pc;
+  pc.video.frames = 24;
+  adaptive::AdaptiveDecoderSystem sys(pc);
+
+  affect::SclConfig scfg;
+  affect::SclGenerator gen(scfg);
+  const auto tl = affect::uulmmac_session_timeline();
+  const auto trace = gen.generate(tl);
+  affect::SclEmotionEstimator est;
+  est.calibrate(trace, scfg.sample_rate_hz, tl);
+
+  const auto oracle = adaptive::simulate_playback(
+      sys, tl, adaptive::AffectVideoPolicy{});
+  const auto estimated = adaptive::simulate_playback_from_scl(
+      sys, trace, scfg.sample_rate_hz, est, adaptive::AffectVideoPolicy{});
+
+  // The classifier-driven run should save a similar amount to the
+  // ground-truth-driven run (within a loose band).
+  EXPECT_GT(estimated.energy_saving(), oracle.energy_saving() - 0.15);
+  EXPECT_LT(estimated.energy_saving(), oracle.energy_saving() + 0.15);
+}
+
+TEST(Integration, ControllerEmotionFeedsAppManagerKills) {
+  // Build the affect table, route emotions through the controller, and
+  // verify kill decisions change with the controller's stable emotion.
+  const auto catalog = android::build_catalog(android::EmulatorSpec{});
+  core::AppAffectTable table;
+  table.learn_from_profile(affect::Emotion::kExcited, android::subject(3),
+                           catalog);
+  table.learn_from_profile(affect::Emotion::kCalm, android::subject(4),
+                           catalog);
+  core::EmotionalKillPolicy policy(table);
+
+  affect::StreamConfig sc;
+  sc.vote_window = 1;
+  sc.min_dwell_s = 0.0;
+  core::SystemController ctrl(sc, adaptive::AffectVideoPolicy{}, &policy);
+
+  // Candidates: a calling app (excited-favoured) vs a calendar app
+  // (calm-favoured).
+  const auto calling =
+      android::apps_in_category(catalog, android::AppCategory::kCalling)[0];
+  const auto calendar = android::apps_in_category(
+      catalog, android::AppCategory::kCalendarApps)[0];
+  std::vector<android::VictimCandidate> candidates = {
+      {calling, 0.0, 0.0, 100, 1}, {calendar, 1.0, 1.0, 100, 1}};
+
+  ctrl.on_classification(0.0, affect::Emotion::kExcited);
+  EXPECT_EQ(policy.select_victim(candidates), calendar);
+
+  ctrl.on_classification(1.0, affect::Emotion::kCalm);
+  EXPECT_EQ(policy.select_victim(candidates), calling);
+}
+
+TEST(Integration, FullManagerExperimentEndToEnd) {
+  core::ManagerExperimentConfig cfg;
+  cfg.monkey.seed = 5;
+  const auto res = core::run_manager_experiment(cfg);
+  // Both timelines render (Fig 9) and savings are positive (Fig 10).
+  const auto base_chart = res.baseline_trace.render_timeline(
+      res.catalog, res.duration_s, 60);
+  const auto prop_chart = res.proposed_trace.render_timeline(
+      res.catalog, res.duration_s, 60);
+  EXPECT_FALSE(base_chart.empty());
+  EXPECT_FALSE(prop_chart.empty());
+  EXPECT_GT(res.memory_saving(), 0.0);
+  // The proposed manager kills at most as often as the baseline reloads
+  // demand; both runs saw identical launch sequences.
+  EXPECT_EQ(res.baseline.cold_starts + res.baseline.warm_starts,
+            res.proposed.cold_starts + res.proposed.warm_starts);
+}

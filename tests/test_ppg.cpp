@@ -1,0 +1,147 @@
+// Tests for the PPG/heart-rate channel and multimodal fusion.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "affect/ppg.hpp"
+#include "nn/dense.hpp"
+#include "nn/dropout.hpp"
+#include "nn/gru.hpp"
+#include "nn/model.hpp"
+#include "nn/pooling.hpp"
+
+namespace affect = affectsys::affect;
+namespace nn = affectsys::nn;
+
+TEST(Cardio, ProfileTracksArousal) {
+  const auto tense = affect::cardio_profile(affect::Emotion::kTense);
+  const auto relaxed = affect::cardio_profile(affect::Emotion::kRelaxed);
+  EXPECT_GT(tense.mean_hr_bpm, relaxed.mean_hr_bpm);
+  EXPECT_LT(tense.rmssd_ms, relaxed.rmssd_ms);  // HRV collapses with arousal
+}
+
+TEST(Ppg, WaveformCoversTimelineAndPulses) {
+  affect::PpgConfig cfg;
+  affect::PpgGenerator gen(cfg);
+  affect::EmotionTimeline tl;
+  tl.segments = {{0.0, 60.0, affect::Emotion::kRelaxed}};
+  const auto wave = gen.generate(tl);
+  EXPECT_EQ(wave.size(), static_cast<std::size_t>(60.0 * cfg.sample_rate_hz));
+  double peak = 0.0;
+  for (double v : wave) peak = std::max(peak, v);
+  EXPECT_GT(peak, 0.5);  // pulses are present
+  EXPECT_GT(gen.last_rr_intervals().size(), 40u);  // ~60 bpm for a minute
+}
+
+TEST(Ppg, BeatDetectionRecoversHeartRate) {
+  affect::PpgConfig cfg;
+  cfg.noise = 0.01;
+  affect::PpgGenerator gen(cfg);
+  affect::EmotionTimeline tl;
+  tl.segments = {{0.0, 120.0, affect::Emotion::kNeutral}};
+  const auto wave = gen.generate(tl);
+  const auto beats = affect::detect_beats(wave, cfg.sample_rate_hz);
+  const auto hrv = affect::hrv_features(beats);
+  const double expected_hr =
+      affect::cardio_profile(affect::Emotion::kNeutral).mean_hr_bpm;
+  EXPECT_NEAR(hrv.mean_hr_bpm, expected_hr, 6.0);
+}
+
+TEST(Ppg, HrvFeaturesSeparateTenseFromRelaxed) {
+  affect::PpgConfig cfg;
+  cfg.noise = 0.01;
+  affect::PpgGenerator gen(cfg);
+  affect::EmotionTimeline tl;
+  tl.segments = {{0.0, 180.0, affect::Emotion::kTense},
+                 {180.0, 360.0, affect::Emotion::kRelaxed}};
+  const auto wave = gen.generate(tl);
+  const auto half = static_cast<std::size_t>(180.0 * cfg.sample_rate_hz);
+  const auto tense_beats = affect::detect_beats(
+      {wave.data(), half}, cfg.sample_rate_hz);
+  const auto relaxed_beats = affect::detect_beats(
+      {wave.data() + half, wave.size() - half}, cfg.sample_rate_hz);
+  const auto f_tense = affect::hrv_features(tense_beats);
+  const auto f_relaxed = affect::hrv_features(relaxed_beats);
+  EXPECT_GT(f_tense.mean_hr_bpm, f_relaxed.mean_hr_bpm + 5.0);
+  EXPECT_LT(f_tense.rmssd_ms, f_relaxed.rmssd_ms);
+}
+
+TEST(Ppg, HrvDegenerateInputs) {
+  EXPECT_EQ(affect::hrv_features({}).beats, 0u);
+  const double two[] = {1.0, 2.0};
+  EXPECT_EQ(affect::hrv_features({two, 2}).mean_hr_bpm, 0.0);
+  EXPECT_TRUE(affect::detect_beats({}, 64.0).empty());
+}
+
+class FusionFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    timeline_ = affect::uulmmac_session_timeline();
+    affect::SclConfig scfg;
+    affect::SclGenerator sgen(scfg);
+    scl_ = sgen.generate(timeline_);
+    scl_rate_ = scfg.sample_rate_hz;
+    affect::PpgConfig pcfg;
+    affect::PpgGenerator pgen(pcfg);
+    ppg_ = pgen.generate(timeline_);
+    ppg_rate_ = pcfg.sample_rate_hz;
+    est_.calibrate(scl_, scl_rate_, ppg_, ppg_rate_, timeline_);
+  }
+
+  double accuracy(bool fused) const {
+    const auto swin = static_cast<std::size_t>(30.0 * scl_rate_);
+    const auto pwin = static_cast<std::size_t>(30.0 * ppg_rate_);
+    std::size_t correct = 0, total = 0;
+    for (std::size_t w = 0; (w + 1) * swin <= scl_.size() &&
+                            (w + 1) * pwin <= ppg_.size();
+         ++w) {
+      const double t = static_cast<double>(w) * 30.0;
+      const affect::Emotion truth = timeline_.at(t);
+      const affect::Emotion pred =
+          fused ? est_.classify({scl_.data() + w * swin, swin},
+                                {ppg_.data() + w * pwin, pwin})
+                : est_.classify_ppg({ppg_.data() + w * pwin, pwin});
+      correct += pred == truth;
+      ++total;
+    }
+    return static_cast<double>(correct) / static_cast<double>(total);
+  }
+
+  affect::EmotionTimeline timeline_;
+  std::vector<double> scl_, ppg_;
+  double scl_rate_ = 4.0, ppg_rate_ = 64.0;
+  affect::MultimodalEstimator est_;
+};
+
+TEST_F(FusionFixture, PpgChannelAloneBeatsChance) {
+  EXPECT_GT(accuracy(false), 0.4);  // 4-way chance = 0.25
+}
+
+TEST_F(FusionFixture, FusionBeatsChanceComfortably) {
+  EXPECT_GT(accuracy(true), 0.5);
+}
+
+// ------------------------------------------- serialization of new layers
+
+TEST(SerializeNewLayers, GruAndDropoutRoundTrip) {
+  std::mt19937 rng(70);
+  nn::Sequential model;
+  model.add(std::make_unique<nn::Gru>(5, 6, rng))
+      .add(std::make_unique<nn::Dropout>(0.25f, 7))
+      .add(std::make_unique<nn::LastTimestep>())
+      .add(std::make_unique<nn::Dense>(6, 3, rng));
+  nn::set_training_mode(model, false);
+  nn::Matrix input(8, 5);
+  std::normal_distribution<float> d(0.0f, 1.0f);
+  for (auto& v : input.flat()) v = d(rng);
+  const nn::Matrix before = model.forward(input);
+
+  std::stringstream ss;
+  model.save(ss);
+  nn::Sequential loaded = nn::Sequential::load(ss);
+  const nn::Matrix after = loaded.forward(input);
+  ASSERT_TRUE(before.same_shape(after));
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before.flat()[i], after.flat()[i]);
+  }
+}

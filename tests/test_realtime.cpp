@@ -1,0 +1,167 @@
+// Tests for the real-time pipeline: VAD gating, streaming classification
+// and the offload placement study.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "affect/realtime.hpp"
+#include "affect/speech_synth.hpp"
+#include "nn/model.hpp"
+#include "power/offload.hpp"
+
+namespace affect = affectsys::affect;
+namespace nn = affectsys::nn;
+namespace power = affectsys::power;
+
+// ---------------------------------------------------------------------- VAD
+
+TEST(Vad, SilenceIsRejected) {
+  affect::VoiceActivityDetector vad({});
+  std::vector<double> silence(16000, 0.0);
+  EXPECT_EQ(vad.speech_fraction(silence), 0.0);
+}
+
+TEST(Vad, SpeechIsAccepted) {
+  affect::SpeechSynthesizer synth(1);
+  const auto utt =
+      synth.synthesize(affect::Emotion::kAngry, 0, 1.5, 16000.0, 0.1);
+  affect::VoiceActivityDetector vad({});
+  EXPECT_GT(vad.speech_fraction(utt.samples), 0.4);
+}
+
+TEST(Vad, NoiseFloorAdaptsToStationaryNoise) {
+  affect::VadConfig cfg;
+  affect::VoiceActivityDetector vad(cfg);
+  std::mt19937 rng(2);
+  std::normal_distribution<double> d(0.0, 0.01);
+  std::vector<double> noise(32000);
+  for (auto& v : noise) v = d(rng);
+  // After adaptation, stationary low-level noise is mostly non-speech.
+  vad.speech_fraction(noise);  // first pass adapts
+  const double frac = vad.speech_fraction(noise);
+  EXPECT_LT(frac, 0.4);
+  EXPECT_GT(vad.noise_floor(), 1e-4);
+}
+
+TEST(Vad, HangoverBridgesShortPauses) {
+  affect::VadConfig cfg;
+  cfg.hangover_frames = 8;
+  affect::VoiceActivityDetector vad(cfg);
+  std::vector<double> loud(cfg.frame_len, 0.5);
+  std::vector<double> quiet(cfg.frame_len, 0.0);
+  EXPECT_TRUE(vad.process_frame(loud));
+  // Hangover keeps the next few silent frames marked as speech.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(vad.process_frame(quiet)) << "frame " << i;
+  }
+  EXPECT_FALSE(vad.process_frame(quiet));
+}
+
+// ----------------------------------------------------------------- pipeline
+
+class PipelineFixture : public ::testing::Test {
+ protected:
+  static affect::AffectClassifier& classifier() {
+    static affect::AffectClassifier clf = [] {
+      affect::CorpusProfile prof;
+      prof.name = "rt";
+      prof.num_speakers = 4;
+      prof.emotions = {affect::Emotion::kAngry, affect::Emotion::kCalm};
+      prof.utterances_per_speaker_emotion = 6;
+      prof.utterance_seconds = 1.0;
+      prof.speaker_spread = 0.1;
+      nn::TrainConfig tc;
+      tc.epochs = 8;
+      tc.batch_size = 8;
+      tc.learning_rate = 2e-3f;
+      return affect::train_affect_classifier(nn::ModelKind::kMlp, prof, tc);
+    }();
+    return clf;
+  }
+};
+
+TEST_F(PipelineFixture, SilenceNeverInvokesClassifier) {
+  affect::RealtimeConfig cfg;
+  affect::RealtimePipeline pipe(classifier(), cfg);
+  std::vector<double> silence(1600, 0.0);
+  double t = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    pipe.push_audio(t, silence);
+    t += 0.1;
+  }
+  EXPECT_GT(pipe.stats().windows_considered, 0u);
+  EXPECT_EQ(pipe.stats().windows_classified, 0u);
+}
+
+TEST_F(PipelineFixture, SustainedSpeechConvergesToTruth) {
+  affect::RealtimeConfig cfg;
+  cfg.stream.vote_window = 3;
+  cfg.stream.min_dwell_s = 0.0;
+  affect::RealtimePipeline pipe(classifier(), cfg);
+
+  affect::SpeechSynthesizer synth(3);
+  double t = 0.0;
+  int raw_labels = 0;
+  pipe.on_raw_label([&](double, affect::Emotion, float) { ++raw_labels; });
+  // Stream 8 seconds of angry speech in 100 ms chunks.
+  for (int u = 0; u < 8; ++u) {
+    const auto utt =
+        synth.synthesize(affect::Emotion::kAngry, 80 + u, 1.0, 16000.0, 0.1);
+    for (std::size_t off = 0; off < utt.samples.size(); off += 1600) {
+      const std::size_t n = std::min<std::size_t>(1600, utt.samples.size() - off);
+      pipe.push_audio(t, {utt.samples.data() + off, n});
+      t += 0.1;
+    }
+  }
+  EXPECT_GT(pipe.stats().windows_classified, 4u);
+  EXPECT_GT(raw_labels, 0);
+  EXPECT_EQ(pipe.stable_emotion(), affect::Emotion::kAngry);
+}
+
+// ------------------------------------------------------------------ offload
+
+TEST(EstimateMacs, ScalesWithModelAndHeads) {
+  nn::ClassifierSpec spec{17, 64, 7};
+  std::mt19937 rng(4);
+  auto mlp = nn::build_mlp(spec, rng);
+  auto lstm = nn::build_lstm(spec, rng);
+  // The MLP is one flat pass (macs ~ params); the LSTM touches its
+  // recurrent weights every timestep, so macs >> params.
+  EXPECT_LT(nn::estimate_inference_macs(mlp, 64),
+            2 * mlp.param_count());
+  EXPECT_GT(nn::estimate_inference_macs(lstm, 64),
+            20 * lstm.param_count());
+}
+
+TEST(Offload, TinyModelStaysOnWatch) {
+  power::OffloadPlanner planner;
+  // 10k MACs, 100-byte features: local inference is cheaper than radio.
+  const auto r = planner.plan(10000, 100);
+  EXPECT_EQ(r.watch_optimal, power::ExecutionTarget::kWatch);
+  EXPECT_LT(r.local_watch_nj, r.offload_watch_nj);
+}
+
+TEST(Offload, PaperScaleModelOffloadsToPhone) {
+  power::OffloadPlanner planner;
+  // The paper's LSTM at 64 timesteps: ~28M MACs per window.
+  nn::ClassifierSpec spec{17, 64, 7};
+  std::mt19937 rng(5);
+  auto lstm = nn::build_lstm(spec, rng);
+  const std::size_t macs = nn::estimate_inference_macs(lstm, 64);
+  // Feature payload: 64 x 17 floats.
+  const auto r = planner.plan(macs, 64 * 17 * 4);
+  EXPECT_EQ(r.watch_optimal, power::ExecutionTarget::kPhone)
+      << "macs=" << macs;
+  EXPECT_EQ(r.system_optimal, power::ExecutionTarget::kPhone);
+}
+
+TEST(Offload, CrossoverMonotoneInPayload) {
+  power::OffloadPlanner planner;
+  EXPECT_LT(planner.watch_crossover_macs(100),
+            planner.watch_crossover_macs(10000));
+  // Consistency: exactly at the crossover the two costs are equal.
+  const double macs = planner.watch_crossover_macs(1000);
+  const auto r = planner.plan(static_cast<std::size_t>(macs), 1000);
+  EXPECT_NEAR(r.local_watch_nj, r.offload_watch_nj,
+              r.local_watch_nj * 0.01);
+}

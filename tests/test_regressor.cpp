@@ -1,0 +1,129 @@
+// Tests for the circumplex regressor, MSE loss, the continuous decoder
+// policy, and the battery model.
+#include <gtest/gtest.h>
+
+#include "adaptive/modes.hpp"
+#include "affect/regressor.hpp"
+#include "nn/loss.hpp"
+#include "power/battery.hpp"
+
+namespace affect = affectsys::affect;
+namespace adaptive = affectsys::adaptive;
+namespace nn = affectsys::nn;
+namespace power = affectsys::power;
+
+TEST(MseLoss, ValueAndGradient) {
+  nn::Matrix pred(1, 2);
+  pred(0, 0) = 1.0f;
+  pred(0, 1) = -1.0f;
+  const float target[2] = {0.0f, 0.0f};
+  const auto res = nn::mse_loss(pred, target);
+  EXPECT_NEAR(res.loss, 1.0f, 1e-6f);  // (1 + 1) / 2
+  EXPECT_NEAR(res.grad(0, 0), 1.0f, 1e-6f);   // 2*d/D
+  EXPECT_NEAR(res.grad(0, 1), -1.0f, 1e-6f);
+}
+
+TEST(MseLoss, ShapeChecked) {
+  nn::Matrix pred(1, 2);
+  const float target[3] = {0, 0, 0};
+  EXPECT_THROW(nn::mse_loss(pred, target), std::invalid_argument);
+}
+
+TEST(ContinuousPolicy, ArousalQuartilesMapToModes) {
+  using adaptive::DecoderMode;
+  EXPECT_EQ(adaptive::mode_for_circumplex({0.0, 0.9, 0.0}),
+            DecoderMode::kStandard);
+  EXPECT_EQ(adaptive::mode_for_circumplex({0.0, 0.3, 0.0}),
+            DecoderMode::kDeletion);
+  EXPECT_EQ(adaptive::mode_for_circumplex({0.0, -0.3, 0.0}),
+            DecoderMode::kDeblockOff);
+  EXPECT_EQ(adaptive::mode_for_circumplex({0.0, -0.9, 0.0}),
+            DecoderMode::kCombined);
+}
+
+TEST(ContinuousPolicy, ConsistentWithDiscretePolicyAtExtremes) {
+  // The discrete policy's attention-critical states carry high arousal,
+  // so the continuous mapping agrees at the extremes of the circumplex.
+  EXPECT_EQ(adaptive::mode_for_circumplex(
+                affect::circumplex(affect::Emotion::kExcited)),
+            adaptive::DecoderMode::kStandard);
+  EXPECT_EQ(adaptive::mode_for_circumplex(
+                affect::circumplex(affect::Emotion::kSleepy)),
+            adaptive::DecoderMode::kCombined);
+}
+
+class RegressorFixture : public ::testing::Test {
+ protected:
+  static affect::AffectRegressor& regressor() {
+    static affect::AffectRegressor reg = [] {
+      affect::CorpusProfile prof;
+      prof.name = "regress";
+      prof.num_speakers = 4;
+      prof.emotions = {affect::Emotion::kAngry, affect::Emotion::kSad,
+                       affect::Emotion::kHappy, affect::Emotion::kCalm};
+      prof.utterances_per_speaker_emotion = 5;
+      prof.utterance_seconds = 1.0;
+      prof.speaker_spread = 0.1;
+      affect::RegressorTrainConfig cfg;
+      cfg.epochs = 12;
+      return affect::train_affect_regressor(prof, cfg);
+    }();
+    return reg;
+  }
+};
+
+TEST_F(RegressorFixture, OutputsBounded) {
+  affect::SpeechSynthesizer synth(11);
+  const auto utt =
+      synth.synthesize(affect::Emotion::kHappy, 1, 1.0, 16000.0, 0.1);
+  const auto p = regressor().estimate(utt.samples);
+  EXPECT_LE(std::abs(p.valence), 1.0);
+  EXPECT_LE(std::abs(p.arousal), 1.0);
+  EXPECT_LE(std::abs(p.dominance), 1.0);
+}
+
+TEST_F(RegressorFixture, ArousalOrdersAngryAboveSad) {
+  affect::SpeechSynthesizer synth(12);
+  double angry_arousal = 0.0, sad_arousal = 0.0;
+  for (int i = 0; i < 6; ++i) {
+    angry_arousal += regressor()
+                         .estimate(synth.synthesize(affect::Emotion::kAngry,
+                                                    40 + i, 1.0, 16000.0, 0.1)
+                                       .samples)
+                         .arousal;
+    sad_arousal += regressor()
+                       .estimate(synth.synthesize(affect::Emotion::kSad,
+                                                  40 + i, 1.0, 16000.0, 0.1)
+                                     .samples)
+                       .arousal;
+  }
+  EXPECT_GT(angry_arousal, sad_arousal);
+}
+
+TEST_F(RegressorFixture, DiscretizedLabelsBeatChance) {
+  affect::SpeechSynthesizer synth(13);
+  const affect::Emotion set[] = {affect::Emotion::kAngry,
+                                 affect::Emotion::kSad,
+                                 affect::Emotion::kHappy,
+                                 affect::Emotion::kCalm};
+  int correct = 0, total = 0;
+  for (int i = 0; i < 16; ++i) {
+    const affect::Emotion truth = set[i % 4];
+    const auto utt = synth.synthesize(truth, 50 + i, 1.0, 16000.0, 0.1);
+    correct += regressor().classify(utt.samples) == truth;
+    ++total;
+  }
+  // 4-way task with an 8-way discretizer: chance is well below 25%.
+  EXPECT_GT(correct, total / 4);
+}
+
+TEST(Battery, CapacityAndHours) {
+  power::BatteryModel cell;
+  // 300 mAh at 3.85 V = 4158 J.
+  EXPECT_NEAR(cell.capacity_j(), 4158.0, 1.0);
+  // 100 mW total draw -> 11.55 hours.
+  EXPECT_NEAR(cell.hours_at_mw(100.0), 11.55, 0.01);
+  EXPECT_EQ(cell.hours_at_mw(0.0), 0.0);
+  // Video at 30 mW with a 30% share implies 100 mW total.
+  EXPECT_NEAR(cell.playback_hours(30.0), 11.55, 0.01);
+}

@@ -1,0 +1,112 @@
+// Tests for workload/trace record & replay.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "affect/signal_io.hpp"
+#include "android/catalog.hpp"
+#include "android/replay.hpp"
+
+namespace affect = affectsys::affect;
+namespace android = affectsys::android;
+
+TEST(UsageReplay, RoundTrip) {
+  std::vector<android::UsageEvent> events = {
+      {0.5, 3, 12.25, affect::Emotion::kExcited},
+      {12.75, 17, 4.0, affect::Emotion::kExcited},
+      {16.75, 3, 30.5, affect::Emotion::kCalm},
+  };
+  std::stringstream ss;
+  android::save_usage_events(ss, events);
+  const auto loaded = android::load_usage_events(ss);
+  ASSERT_EQ(loaded.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded[i].time_s, events[i].time_s);
+    EXPECT_EQ(loaded[i].app, events[i].app);
+    EXPECT_DOUBLE_EQ(loaded[i].dwell_s, events[i].dwell_s);
+    EXPECT_EQ(loaded[i].emotion, events[i].emotion);
+  }
+}
+
+TEST(UsageReplay, GeneratedSequenceRoundTrips) {
+  const auto catalog = android::build_catalog(android::EmulatorSpec{});
+  android::MonkeyScript monkey(catalog, {10.0, 5});
+  affect::EmotionTimeline tl;
+  tl.segments = {{0.0, 300.0, affect::Emotion::kExcited}};
+  const auto events = monkey.generate(tl);
+  std::stringstream ss;
+  android::save_usage_events(ss, events);
+  const auto loaded = android::load_usage_events(ss);
+  ASSERT_EQ(loaded.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(loaded[i].app, events[i].app);
+  }
+}
+
+TEST(UsageReplay, RejectsMalformedInput) {
+  {
+    std::stringstream ss("not a header\n1,2,3,happy\n");
+    EXPECT_THROW(android::load_usage_events(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("time_s,app,dwell_s,emotion\n1,2,3,bogus_emotion\n");
+    EXPECT_THROW(android::load_usage_events(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("time_s,app,dwell_s,emotion\n1,2\n");
+    EXPECT_THROW(android::load_usage_events(ss), std::runtime_error);
+  }
+}
+
+TEST(TraceIo, RoundTripPreservesRateAndSamples) {
+  std::vector<double> trace = {2.0, 2.125, 2.5, 1.75, 2.0625};
+  std::stringstream ss;
+  affect::save_trace_csv(ss, trace, 4.0);
+  double rate = 0.0;
+  const auto loaded = affect::load_trace_csv(ss, &rate);
+  EXPECT_EQ(rate, 4.0);
+  ASSERT_EQ(loaded.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded[i], trace[i]);
+  }
+}
+
+TEST(TraceIo, SclTraceSurvivesArchiving) {
+  affect::SclConfig cfg;
+  affect::SclGenerator gen(cfg);
+  const auto tl = affect::uulmmac_session_timeline();
+  const auto trace = gen.generate(tl);
+  std::stringstream ss;
+  affect::save_trace_csv(ss, trace, cfg.sample_rate_hz);
+  double rate = 0.0;
+  const auto loaded = affect::load_trace_csv(ss, &rate);
+  ASSERT_EQ(loaded.size(), trace.size());
+  // A classifier calibrated on the replayed trace behaves identically.
+  affect::SclEmotionEstimator a, b;
+  a.calibrate(trace, cfg.sample_rate_hz, tl);
+  b.calibrate(loaded, rate, tl);
+  const auto win = static_cast<std::size_t>(30.0 * rate);
+  for (std::size_t start = 0; start + win <= trace.size();
+       start += 7 * win) {
+    EXPECT_EQ(a.classify({trace.data() + start, win}),
+              b.classify({loaded.data() + start, win}));
+  }
+}
+
+TEST(TimelineIo, RoundTrip) {
+  const auto tl = affect::uulmmac_session_timeline();
+  std::stringstream ss;
+  affect::save_timeline_csv(ss, tl);
+  const auto loaded = affect::load_timeline_csv(ss);
+  ASSERT_EQ(loaded.segments.size(), tl.segments.size());
+  for (std::size_t i = 0; i < tl.segments.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded.segments[i].start_s, tl.segments[i].start_s);
+    EXPECT_DOUBLE_EQ(loaded.segments[i].end_s, tl.segments[i].end_s);
+    EXPECT_EQ(loaded.segments[i].emotion, tl.segments[i].emotion);
+  }
+}
+
+TEST(TimelineIo, RejectsGarbage) {
+  std::stringstream ss("garbage");
+  EXPECT_THROW(affect::load_timeline_csv(ss), std::runtime_error);
+}

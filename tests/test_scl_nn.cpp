@@ -1,0 +1,107 @@
+// Tests for the learned SCL classifier and the Perfetto-style JSON trace.
+#include <gtest/gtest.h>
+
+#include "affect/scl_nn.hpp"
+#include "android/catalog.hpp"
+#include "android/trace.hpp"
+
+namespace affect = affectsys::affect;
+namespace android = affectsys::android;
+
+TEST(SclFeatures, DimensionAndDeterminism) {
+  std::vector<double> window(120);
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    window[i] = 2.0 + 0.1 * std::sin(0.2 * static_cast<double>(i));
+  }
+  const auto f1 = affect::scl_window_features(window);
+  const auto f2 = affect::scl_window_features(window);
+  EXPECT_EQ(f1.size(), affect::kSclFeatureDim);
+  EXPECT_EQ(f1, f2);
+}
+
+TEST(SclFeatures, ActiveWindowsDifferFromFlat) {
+  std::vector<double> flat(120, 2.0);
+  std::vector<double> active(120);
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    active[i] = 2.0 + 0.5 * std::exp(-std::abs(static_cast<double>(i) - 60.0) / 8.0);
+  }
+  const auto ff = affect::scl_window_features(flat);
+  const auto fa = affect::scl_window_features(active);
+  // Activity features (index 3: mean |diff|) must separate them.
+  EXPECT_GT(fa[3], ff[3]);
+  EXPECT_GT(fa[2], ff[2]);  // range
+}
+
+class SclNnFixture : public ::testing::Test {
+ protected:
+  static affect::SclNnClassifier& classifier() {
+    static affect::SclNnClassifier clf = [] {
+      affect::SclTrainConfig cfg;
+      cfg.training_traces = 5;
+      cfg.epochs = 25;
+      return affect::train_scl_classifier(
+          affect::uulmmac_session_timeline(), affect::SclConfig{}, cfg);
+    }();
+    return clf;
+  }
+};
+
+TEST_F(SclNnFixture, BeatsThresholdEstimatorOnHeldOutTrace) {
+  const auto timeline = affect::uulmmac_session_timeline();
+  affect::SclConfig test_cfg;
+  test_cfg.seed = 99999;  // unseen recording session
+  affect::SclGenerator gen(test_cfg);
+  const auto trace = gen.generate(timeline);
+
+  affect::SclEmotionEstimator threshold;
+  threshold.calibrate(trace, test_cfg.sample_rate_hz, timeline);
+
+  const double acc_threshold = affect::scl_window_accuracy(
+      trace, test_cfg.sample_rate_hz, timeline, 30.0,
+      [&](std::span<const double> w) { return threshold.classify(w); });
+  const double acc_nn = affect::scl_window_accuracy(
+      trace, test_cfg.sample_rate_hz, timeline, 30.0,
+      [&](std::span<const double> w) { return classifier().classify(w); });
+
+  EXPECT_GT(acc_nn, 0.4);  // 4-way chance is 0.25
+  // The learned classifier should at least match the hand-calibrated
+  // threshold (which got to calibrate on the test trace itself).
+  EXPECT_GT(acc_nn, acc_threshold - 0.1);
+}
+
+TEST_F(SclNnFixture, ProbabilitiesAreDistribution) {
+  affect::SclConfig cfg;
+  affect::SclGenerator gen(cfg);
+  const auto trace = gen.generate(affect::uulmmac_session_timeline());
+  const auto win = static_cast<std::size_t>(30.0 * cfg.sample_rate_hz);
+  const auto probs = classifier().probabilities({trace.data(), win});
+  ASSERT_EQ(probs.size(), 4u);
+  float sum = 0.0f;
+  for (float p : probs) {
+    EXPECT_GE(p, 0.0f);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-5f);
+}
+
+TEST(TraceJson, WellFormedAndComplete) {
+  const auto catalog = android::build_catalog(android::EmulatorSpec{});
+  android::Tracer tracer;
+  tracer.record(1.5, android::TraceEventType::kColdStart, catalog[0].id);
+  tracer.record(2.0, android::TraceEventType::kKill, catalog[0].id,
+                "pressure \"quoted\"");
+  tracer.record(3.0, android::TraceEventType::kEmotionChange, 0, "calm");
+  const std::string json = tracer.to_json(catalog);
+  // Structure: array with one object per event.
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"ts\": 1500000"), std::string::npos);
+  EXPECT_NE(json.find("cold_start"), std::string::npos);
+  EXPECT_NE(json.find("kill"), std::string::npos);
+  EXPECT_NE(json.find("emotion_change"), std::string::npos);
+  EXPECT_NE(json.find(catalog[0].name), std::string::npos);
+  // Quotes in details are escaped.
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  // Balanced braces (rough well-formedness check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}

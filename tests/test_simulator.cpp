@@ -1,0 +1,66 @@
+// End-to-end tests of the whole-system scenario runner.
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+
+namespace core = affectsys::core;
+namespace affect = affectsys::affect;
+namespace adaptive = affectsys::adaptive;
+
+namespace {
+
+adaptive::AdaptiveDecoderSystem& shared_decoder() {
+  static adaptive::AdaptiveDecoderSystem dec{[] {
+    adaptive::PlaybackConfig cfg;
+    cfg.video.frames = 24;
+    return cfg;
+  }()};
+  return dec;
+}
+
+}  // namespace
+
+TEST(SystemScenario, BothSubsystemsSaveUnderEstimatedEmotion) {
+  core::SystemScenarioConfig cfg;
+  cfg.playback.video.frames = 24;
+  const auto report = core::run_system_scenario(cfg, shared_decoder());
+
+  // Sensing is imperfect but informative.
+  EXPECT_GT(report.window_accuracy, 0.4);
+  EXPECT_LT(report.window_accuracy, 1.0);
+  EXPECT_GE(report.mode_changes, 1u);
+  EXPECT_FALSE(report.estimated_timeline.segments.empty());
+  EXPECT_NEAR(report.estimated_timeline.duration_s(),
+              cfg.timeline.duration_s(), 1e-9);
+
+  // Despite classification errors, both managers still save.
+  EXPECT_GT(report.playback.energy_saving(), 0.05);
+  EXPECT_GT(report.app_memory_saving(), 0.0);
+}
+
+TEST(SystemScenario, SmoothingBoundsModeChanges) {
+  core::SystemScenarioConfig aggressive;
+  aggressive.playback.video.frames = 24;
+  aggressive.smoothing = {1, 0.0};  // no smoothing
+  const auto noisy = core::run_system_scenario(aggressive, shared_decoder());
+
+  core::SystemScenarioConfig smoothed;
+  smoothed.playback.video.frames = 24;
+  smoothed.smoothing = {5, 120.0};
+  const auto stable = core::run_system_scenario(smoothed, shared_decoder());
+
+  EXPECT_LT(stable.mode_changes, noisy.mode_changes);
+}
+
+TEST(SystemScenario, EstimatedTimelineCoversSessionContiguously) {
+  core::SystemScenarioConfig cfg;
+  cfg.playback.video.frames = 24;
+  const auto report = core::run_system_scenario(cfg, shared_decoder());
+  double prev_end = 0.0;
+  for (const auto& seg : report.estimated_timeline.segments) {
+    EXPECT_NEAR(seg.start_s, prev_end, 1e-9);
+    EXPECT_GT(seg.end_s, seg.start_s);
+    prev_end = seg.end_s;
+  }
+  EXPECT_NEAR(prev_end, cfg.timeline.duration_s(), 1e-9);
+}

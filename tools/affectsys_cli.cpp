@@ -1,0 +1,203 @@
+// affectsys command-line tool: synthesize, archive and replay the
+// experiment artifacts (biosignal traces, usage workloads, sessions)
+// without writing C++.
+//
+//   affectsys_cli synth-scl <out.csv> [seed]        SCL trace, uulmMAC session
+//   affectsys_cli synth-usage <out.csv> [seed]      monkey workload, Fig 9 session
+//   affectsys_cli classify <scl.csv>                label a trace, print segments
+//   affectsys_cli playback <scl.csv>                affect-driven playback report
+//   affectsys_cli manager <usage.csv> [fifo|lru|frequency]
+//                                                   replay under baseline vs emotional
+//   affectsys_cli modes                             decoder mode power table
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <iostream>
+
+#include "adaptive/playback.hpp"
+#include "affect/signal_io.hpp"
+#include "android/replay.hpp"
+#include "core/emotional_policy.hpp"
+#include "core/manager_experiment.hpp"
+
+using namespace affectsys;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: affectsys_cli <synth-scl|synth-usage|classify|"
+               "playback|manager|modes> [args]\n");
+  return 2;
+}
+
+int cmd_synth_scl(int argc, char** argv) {
+  if (argc < 1) return usage();
+  affect::SclConfig cfg;
+  if (argc > 1) cfg.seed = static_cast<unsigned>(std::atoi(argv[1]));
+  affect::SclGenerator gen(cfg);
+  const auto trace = gen.generate(affect::uulmmac_session_timeline());
+  std::ofstream os(argv[0]);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", argv[0]);
+    return 1;
+  }
+  affect::save_trace_csv(os, trace, cfg.sample_rate_hz);
+  std::printf("wrote %zu samples (%.0f min @ %.0f Hz) to %s\n", trace.size(),
+              affect::uulmmac_session_timeline().duration_s() / 60.0,
+              cfg.sample_rate_hz, argv[0]);
+  return 0;
+}
+
+int cmd_synth_usage(int argc, char** argv) {
+  if (argc < 1) return usage();
+  core::ManagerExperimentConfig cfg;
+  if (argc > 1) cfg.monkey.seed = static_cast<unsigned>(std::atoi(argv[1]));
+  const auto catalog = android::build_catalog(cfg.emulator, cfg.catalog_seed);
+  android::MonkeyScript monkey(catalog, cfg.monkey);
+  const auto events = monkey.generate(cfg.timeline);
+  std::ofstream os(argv[0]);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", argv[0]);
+    return 1;
+  }
+  android::save_usage_events(os, events);
+  std::printf("wrote %zu launches (%.0f min session) to %s\n", events.size(),
+              cfg.timeline.duration_s() / 60.0, argv[0]);
+  return 0;
+}
+
+std::vector<double> read_trace(const char* path, double* rate) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error(std::string("cannot read ") + path);
+  return affect::load_trace_csv(is, rate);
+}
+
+int cmd_classify(int argc, char** argv) {
+  if (argc < 1) return usage();
+  double rate = 4.0;
+  const auto trace = read_trace(argv[0], &rate);
+  const auto tl = affect::uulmmac_session_timeline();
+  affect::SclEmotionEstimator est;
+  est.calibrate(trace, rate, tl);
+  const auto win = static_cast<std::size_t>(30.0 * rate);
+  affect::Emotion prev = affect::Emotion::kNeutral;
+  for (std::size_t start = 0; start + win <= trace.size(); start += win) {
+    const double t = static_cast<double>(start) / rate;
+    const auto e = est.classify({trace.data() + start, win});
+    if (e != prev) {
+      std::printf("%7.1f min  %s\n", t / 60.0, affect::emotion_name(e).data());
+      prev = e;
+    }
+  }
+  return 0;
+}
+
+int cmd_playback(int argc, char** argv) {
+  if (argc < 1) return usage();
+  double rate = 4.0;
+  const auto trace = read_trace(argv[0], &rate);
+  adaptive::PlaybackConfig cfg;
+  adaptive::AdaptiveDecoderSystem sys(cfg);
+  affect::SclEmotionEstimator est;
+  est.calibrate(trace, rate, affect::uulmmac_session_timeline());
+  const auto report = adaptive::simulate_playback_from_scl(
+      sys, trace, rate, est, adaptive::AffectVideoPolicy{});
+  for (const auto& seg : report.segments) {
+    std::printf("%6.1f-%6.1f min  %-13s %-16s %8.2f mJ\n", seg.start_s / 60.0,
+                seg.end_s / 60.0, affect::emotion_name(seg.emotion).data(),
+                adaptive::mode_name(seg.mode).data(), seg.energy_nj / 1e6);
+  }
+  std::printf("energy saving vs standard: %.1f%%\n",
+              100.0 * report.energy_saving());
+  return 0;
+}
+
+int cmd_manager(int argc, char** argv) {
+  if (argc < 1) return usage();
+  std::ifstream is(argv[0]);
+  if (!is) {
+    std::fprintf(stderr, "cannot read %s\n", argv[0]);
+    return 1;
+  }
+  const auto events = android::load_usage_events(is);
+  const std::string baseline = argc > 1 ? argv[1] : "fifo";
+
+  const android::EmulatorSpec spec;
+  const auto catalog = android::build_catalog(spec);
+  android::ProcessManagerConfig pm_cfg;
+  pm_cfg.process_limit = static_cast<std::size_t>(spec.process_limit);
+  pm_cfg.ram_bytes = spec.ram_bytes;
+
+  auto base_policy = core::make_baseline_policy(baseline);
+  android::ProcessManager pm_base(catalog, pm_cfg, *base_policy);
+  for (const auto& ev : events) pm_base.launch(ev.app, ev.time_s);
+
+  core::AppAffectTable table;
+  std::set<affect::Emotion> seen;
+  for (const auto& ev : events) {
+    if (seen.insert(ev.emotion).second) {
+      table.learn_from_profile(ev.emotion,
+                               android::profile_for_emotion(ev.emotion),
+                               catalog);
+    }
+  }
+  core::EmotionalKillPolicy emotional(table);
+  android::ProcessManager pm_emo(catalog, pm_cfg, emotional);
+  for (const auto& ev : events) {
+    emotional.set_emotion(ev.emotion);
+    pm_emo.launch(ev.app, ev.time_s);
+  }
+
+  const auto& b = pm_base.metrics();
+  const auto& p = pm_emo.metrics();
+  std::printf("replayed %zu launches\n", events.size());
+  std::printf("%-24s %14s %14s\n", "", baseline.c_str(), "emotional");
+  std::printf("%-24s %14.2f %14.2f\n", "memory loaded (GB)",
+              static_cast<double>(b.memory_loaded_bytes) / 1e9,
+              static_cast<double>(p.memory_loaded_bytes) / 1e9);
+  std::printf("%-24s %14.1f %14.1f\n", "loading time (s)", b.loading_time_s,
+              p.loading_time_s);
+  std::printf("%-24s %14llu %14llu\n", "cold starts",
+              static_cast<unsigned long long>(b.cold_starts),
+              static_cast<unsigned long long>(p.cold_starts));
+  return 0;
+}
+
+int cmd_modes() {
+  adaptive::PlaybackConfig cfg;
+  adaptive::AdaptiveDecoderSystem sys(cfg);
+  std::printf("%-16s %12s %10s\n", "mode", "norm.power", "PSNR(dB)");
+  for (auto m :
+       {adaptive::DecoderMode::kStandard, adaptive::DecoderMode::kDeletion,
+        adaptive::DecoderMode::kDeblockOff,
+        adaptive::DecoderMode::kCombined}) {
+    const auto& p = sys.profile(m);
+    std::printf("%-16s %12.3f %10.2f\n", adaptive::mode_name(m).data(),
+                p.norm_power, p.psnr_db);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const char* cmd = argv[1];
+  try {
+    if (!std::strcmp(cmd, "synth-scl")) return cmd_synth_scl(argc - 2, argv + 2);
+    if (!std::strcmp(cmd, "synth-usage")) {
+      return cmd_synth_usage(argc - 2, argv + 2);
+    }
+    if (!std::strcmp(cmd, "classify")) return cmd_classify(argc - 2, argv + 2);
+    if (!std::strcmp(cmd, "playback")) return cmd_playback(argc - 2, argv + 2);
+    if (!std::strcmp(cmd, "manager")) return cmd_manager(argc - 2, argv + 2);
+    if (!std::strcmp(cmd, "modes")) return cmd_modes();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,13 @@
+# CLI smoke test: every subcommand must succeed on artifacts it produced.
+function(run)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGV}")
+  endif()
+endfunction()
+
+run(${CLI} synth-scl ${WORKDIR}/scl.csv 5)
+run(${CLI} synth-usage ${WORKDIR}/usage.csv 5)
+run(${CLI} classify ${WORKDIR}/scl.csv)
+run(${CLI} manager ${WORKDIR}/usage.csv fifo)
+run(${CLI} manager ${WORKDIR}/usage.csv lru)
