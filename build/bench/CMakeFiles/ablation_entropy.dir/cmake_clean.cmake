@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_entropy.dir/ablation_entropy.cpp.o"
+  "CMakeFiles/ablation_entropy.dir/ablation_entropy.cpp.o.d"
+  "ablation_entropy"
+  "ablation_entropy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_entropy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_models.dir/ablation_models.cpp.o"
+  "CMakeFiles/ablation_models.dir/ablation_models.cpp.o.d"
+  "ablation_models"
+  "ablation_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

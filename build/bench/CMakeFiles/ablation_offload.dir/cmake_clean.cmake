@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_offload.dir/ablation_offload.cpp.o"
+  "CMakeFiles/ablation_offload.dir/ablation_offload.cpp.o.d"
+  "ablation_offload"
+  "ablation_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_prefetch.dir/ablation_prefetch.cpp.o"
+  "CMakeFiles/ablation_prefetch.dir/ablation_prefetch.cpp.o.d"
+  "ablation_prefetch"
+  "ablation_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_selector_sweep.dir/ablation_selector_sweep.cpp.o"
+  "CMakeFiles/ablation_selector_sweep.dir/ablation_selector_sweep.cpp.o.d"
+  "ablation_selector_sweep"
+  "ablation_selector_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_selector_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_smoothing.dir/ablation_smoothing.cpp.o"
+  "CMakeFiles/ablation_smoothing.dir/ablation_smoothing.cpp.o.d"
+  "ablation_smoothing"
+  "ablation_smoothing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_smoothing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_zram.dir/ablation_zram.cpp.o"
+  "CMakeFiles/ablation_zram.dir/ablation_zram.cpp.o.d"
+  "ablation_zram"
+  "ablation_zram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_zram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig10_memory_loading.cpp" "bench/CMakeFiles/fig10_memory_loading.dir/fig10_memory_loading.cpp.o" "gcc" "bench/CMakeFiles/fig10_memory_loading.dir/fig10_memory_loading.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/affect_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/android/CMakeFiles/affect_android.dir/DependInfo.cmake"
+  "/root/repo/build/src/adaptive/CMakeFiles/affect_adaptive.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/affect_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/h264/CMakeFiles/affect_h264.dir/DependInfo.cmake"
+  "/root/repo/build/src/affect/CMakeFiles/affect_affect.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/affect_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/affect_signal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

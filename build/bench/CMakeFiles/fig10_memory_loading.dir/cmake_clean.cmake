@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_memory_loading.dir/fig10_memory_loading.cpp.o"
+  "CMakeFiles/fig10_memory_loading.dir/fig10_memory_loading.cpp.o.d"
+  "fig10_memory_loading"
+  "fig10_memory_loading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_memory_loading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

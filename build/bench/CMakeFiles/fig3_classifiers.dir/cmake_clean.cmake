@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_classifiers.dir/fig3_classifiers.cpp.o"
+  "CMakeFiles/fig3_classifiers.dir/fig3_classifiers.cpp.o.d"
+  "fig3_classifiers"
+  "fig3_classifiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_classifiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

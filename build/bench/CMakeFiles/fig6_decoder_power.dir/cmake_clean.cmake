@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_decoder_power.dir/fig6_decoder_power.cpp.o"
+  "CMakeFiles/fig6_decoder_power.dir/fig6_decoder_power.cpp.o.d"
+  "fig6_decoder_power"
+  "fig6_decoder_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_decoder_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_app_usage.dir/fig7_app_usage.cpp.o"
+  "CMakeFiles/fig7_app_usage.dir/fig7_app_usage.cpp.o.d"
+  "fig7_app_usage"
+  "fig7_app_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_app_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_app_usage.
+# This may be replaced when dependencies are built.

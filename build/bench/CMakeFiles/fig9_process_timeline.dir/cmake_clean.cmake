@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_process_timeline.dir/fig9_process_timeline.cpp.o"
+  "CMakeFiles/fig9_process_timeline.dir/fig9_process_timeline.cpp.o.d"
+  "fig9_process_timeline"
+  "fig9_process_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_process_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/affect_video_player.dir/affect_video_player.cpp.o"
+  "CMakeFiles/affect_video_player.dir/affect_video_player.cpp.o.d"
+  "affect_video_player"
+  "affect_video_player.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/affect_video_player.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

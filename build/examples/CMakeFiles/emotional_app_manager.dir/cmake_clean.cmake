@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emotional_app_manager.dir/emotional_app_manager.cpp.o"
+  "CMakeFiles/emotional_app_manager.dir/emotional_app_manager.cpp.o.d"
+  "emotional_app_manager"
+  "emotional_app_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emotional_app_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for emotional_app_manager.
+# This may be replaced when dependencies are built.

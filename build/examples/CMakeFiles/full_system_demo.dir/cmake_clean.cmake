@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_system_demo.dir/full_system_demo.cpp.o"
+  "CMakeFiles/full_system_demo.dir/full_system_demo.cpp.o.d"
+  "full_system_demo"
+  "full_system_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_system_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_affect_classifier.dir/train_affect_classifier.cpp.o"
+  "CMakeFiles/train_affect_classifier.dir/train_affect_classifier.cpp.o.d"
+  "train_affect_classifier"
+  "train_affect_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_affect_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("signal")
+subdirs("nn")
+subdirs("affect")
+subdirs("h264")
+subdirs("power")
+subdirs("adaptive")
+subdirs("android")
+subdirs("core")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adaptive/input_selector.cpp" "src/adaptive/CMakeFiles/affect_adaptive.dir/input_selector.cpp.o" "gcc" "src/adaptive/CMakeFiles/affect_adaptive.dir/input_selector.cpp.o.d"
+  "/root/repo/src/adaptive/modes.cpp" "src/adaptive/CMakeFiles/affect_adaptive.dir/modes.cpp.o" "gcc" "src/adaptive/CMakeFiles/affect_adaptive.dir/modes.cpp.o.d"
+  "/root/repo/src/adaptive/playback.cpp" "src/adaptive/CMakeFiles/affect_adaptive.dir/playback.cpp.o" "gcc" "src/adaptive/CMakeFiles/affect_adaptive.dir/playback.cpp.o.d"
+  "/root/repo/src/adaptive/prestore.cpp" "src/adaptive/CMakeFiles/affect_adaptive.dir/prestore.cpp.o" "gcc" "src/adaptive/CMakeFiles/affect_adaptive.dir/prestore.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/h264/CMakeFiles/affect_h264.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/affect_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/affect/CMakeFiles/affect_affect.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/affect_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/affect_signal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

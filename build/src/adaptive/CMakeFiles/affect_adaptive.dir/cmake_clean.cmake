@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/affect_adaptive.dir/input_selector.cpp.o"
+  "CMakeFiles/affect_adaptive.dir/input_selector.cpp.o.d"
+  "CMakeFiles/affect_adaptive.dir/modes.cpp.o"
+  "CMakeFiles/affect_adaptive.dir/modes.cpp.o.d"
+  "CMakeFiles/affect_adaptive.dir/playback.cpp.o"
+  "CMakeFiles/affect_adaptive.dir/playback.cpp.o.d"
+  "CMakeFiles/affect_adaptive.dir/prestore.cpp.o"
+  "CMakeFiles/affect_adaptive.dir/prestore.cpp.o.d"
+  "libaffect_adaptive.a"
+  "libaffect_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/affect_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

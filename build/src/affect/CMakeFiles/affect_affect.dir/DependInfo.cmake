@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/affect/classifier.cpp" "src/affect/CMakeFiles/affect_affect.dir/classifier.cpp.o" "gcc" "src/affect/CMakeFiles/affect_affect.dir/classifier.cpp.o.d"
+  "/root/repo/src/affect/dataset.cpp" "src/affect/CMakeFiles/affect_affect.dir/dataset.cpp.o" "gcc" "src/affect/CMakeFiles/affect_affect.dir/dataset.cpp.o.d"
+  "/root/repo/src/affect/ecg.cpp" "src/affect/CMakeFiles/affect_affect.dir/ecg.cpp.o" "gcc" "src/affect/CMakeFiles/affect_affect.dir/ecg.cpp.o.d"
+  "/root/repo/src/affect/emotion.cpp" "src/affect/CMakeFiles/affect_affect.dir/emotion.cpp.o" "gcc" "src/affect/CMakeFiles/affect_affect.dir/emotion.cpp.o.d"
+  "/root/repo/src/affect/features.cpp" "src/affect/CMakeFiles/affect_affect.dir/features.cpp.o" "gcc" "src/affect/CMakeFiles/affect_affect.dir/features.cpp.o.d"
+  "/root/repo/src/affect/imu.cpp" "src/affect/CMakeFiles/affect_affect.dir/imu.cpp.o" "gcc" "src/affect/CMakeFiles/affect_affect.dir/imu.cpp.o.d"
+  "/root/repo/src/affect/ppg.cpp" "src/affect/CMakeFiles/affect_affect.dir/ppg.cpp.o" "gcc" "src/affect/CMakeFiles/affect_affect.dir/ppg.cpp.o.d"
+  "/root/repo/src/affect/realtime.cpp" "src/affect/CMakeFiles/affect_affect.dir/realtime.cpp.o" "gcc" "src/affect/CMakeFiles/affect_affect.dir/realtime.cpp.o.d"
+  "/root/repo/src/affect/regressor.cpp" "src/affect/CMakeFiles/affect_affect.dir/regressor.cpp.o" "gcc" "src/affect/CMakeFiles/affect_affect.dir/regressor.cpp.o.d"
+  "/root/repo/src/affect/scl.cpp" "src/affect/CMakeFiles/affect_affect.dir/scl.cpp.o" "gcc" "src/affect/CMakeFiles/affect_affect.dir/scl.cpp.o.d"
+  "/root/repo/src/affect/scl_nn.cpp" "src/affect/CMakeFiles/affect_affect.dir/scl_nn.cpp.o" "gcc" "src/affect/CMakeFiles/affect_affect.dir/scl_nn.cpp.o.d"
+  "/root/repo/src/affect/signal_io.cpp" "src/affect/CMakeFiles/affect_affect.dir/signal_io.cpp.o" "gcc" "src/affect/CMakeFiles/affect_affect.dir/signal_io.cpp.o.d"
+  "/root/repo/src/affect/speech_synth.cpp" "src/affect/CMakeFiles/affect_affect.dir/speech_synth.cpp.o" "gcc" "src/affect/CMakeFiles/affect_affect.dir/speech_synth.cpp.o.d"
+  "/root/repo/src/affect/stream.cpp" "src/affect/CMakeFiles/affect_affect.dir/stream.cpp.o" "gcc" "src/affect/CMakeFiles/affect_affect.dir/stream.cpp.o.d"
+  "/root/repo/src/affect/vad.cpp" "src/affect/CMakeFiles/affect_affect.dir/vad.cpp.o" "gcc" "src/affect/CMakeFiles/affect_affect.dir/vad.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/signal/CMakeFiles/affect_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/affect_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

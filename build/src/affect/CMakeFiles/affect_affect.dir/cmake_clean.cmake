@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/affect_affect.dir/classifier.cpp.o"
+  "CMakeFiles/affect_affect.dir/classifier.cpp.o.d"
+  "CMakeFiles/affect_affect.dir/dataset.cpp.o"
+  "CMakeFiles/affect_affect.dir/dataset.cpp.o.d"
+  "CMakeFiles/affect_affect.dir/ecg.cpp.o"
+  "CMakeFiles/affect_affect.dir/ecg.cpp.o.d"
+  "CMakeFiles/affect_affect.dir/emotion.cpp.o"
+  "CMakeFiles/affect_affect.dir/emotion.cpp.o.d"
+  "CMakeFiles/affect_affect.dir/features.cpp.o"
+  "CMakeFiles/affect_affect.dir/features.cpp.o.d"
+  "CMakeFiles/affect_affect.dir/imu.cpp.o"
+  "CMakeFiles/affect_affect.dir/imu.cpp.o.d"
+  "CMakeFiles/affect_affect.dir/ppg.cpp.o"
+  "CMakeFiles/affect_affect.dir/ppg.cpp.o.d"
+  "CMakeFiles/affect_affect.dir/realtime.cpp.o"
+  "CMakeFiles/affect_affect.dir/realtime.cpp.o.d"
+  "CMakeFiles/affect_affect.dir/regressor.cpp.o"
+  "CMakeFiles/affect_affect.dir/regressor.cpp.o.d"
+  "CMakeFiles/affect_affect.dir/scl.cpp.o"
+  "CMakeFiles/affect_affect.dir/scl.cpp.o.d"
+  "CMakeFiles/affect_affect.dir/scl_nn.cpp.o"
+  "CMakeFiles/affect_affect.dir/scl_nn.cpp.o.d"
+  "CMakeFiles/affect_affect.dir/signal_io.cpp.o"
+  "CMakeFiles/affect_affect.dir/signal_io.cpp.o.d"
+  "CMakeFiles/affect_affect.dir/speech_synth.cpp.o"
+  "CMakeFiles/affect_affect.dir/speech_synth.cpp.o.d"
+  "CMakeFiles/affect_affect.dir/stream.cpp.o"
+  "CMakeFiles/affect_affect.dir/stream.cpp.o.d"
+  "CMakeFiles/affect_affect.dir/vad.cpp.o"
+  "CMakeFiles/affect_affect.dir/vad.cpp.o.d"
+  "libaffect_affect.a"
+  "libaffect_affect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/affect_affect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

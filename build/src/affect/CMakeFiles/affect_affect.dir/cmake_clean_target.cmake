@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaffect_affect.a"
+)

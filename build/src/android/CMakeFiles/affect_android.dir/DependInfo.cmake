@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/android/app.cpp" "src/android/CMakeFiles/affect_android.dir/app.cpp.o" "gcc" "src/android/CMakeFiles/affect_android.dir/app.cpp.o.d"
+  "/root/repo/src/android/catalog.cpp" "src/android/CMakeFiles/affect_android.dir/catalog.cpp.o" "gcc" "src/android/CMakeFiles/affect_android.dir/catalog.cpp.o.d"
+  "/root/repo/src/android/flash.cpp" "src/android/CMakeFiles/affect_android.dir/flash.cpp.o" "gcc" "src/android/CMakeFiles/affect_android.dir/flash.cpp.o.d"
+  "/root/repo/src/android/monkey.cpp" "src/android/CMakeFiles/affect_android.dir/monkey.cpp.o" "gcc" "src/android/CMakeFiles/affect_android.dir/monkey.cpp.o.d"
+  "/root/repo/src/android/personality.cpp" "src/android/CMakeFiles/affect_android.dir/personality.cpp.o" "gcc" "src/android/CMakeFiles/affect_android.dir/personality.cpp.o.d"
+  "/root/repo/src/android/policy.cpp" "src/android/CMakeFiles/affect_android.dir/policy.cpp.o" "gcc" "src/android/CMakeFiles/affect_android.dir/policy.cpp.o.d"
+  "/root/repo/src/android/process.cpp" "src/android/CMakeFiles/affect_android.dir/process.cpp.o" "gcc" "src/android/CMakeFiles/affect_android.dir/process.cpp.o.d"
+  "/root/repo/src/android/replay.cpp" "src/android/CMakeFiles/affect_android.dir/replay.cpp.o" "gcc" "src/android/CMakeFiles/affect_android.dir/replay.cpp.o.d"
+  "/root/repo/src/android/trace.cpp" "src/android/CMakeFiles/affect_android.dir/trace.cpp.o" "gcc" "src/android/CMakeFiles/affect_android.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/affect/CMakeFiles/affect_affect.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/affect_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/affect_signal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/affect_android.dir/app.cpp.o"
+  "CMakeFiles/affect_android.dir/app.cpp.o.d"
+  "CMakeFiles/affect_android.dir/catalog.cpp.o"
+  "CMakeFiles/affect_android.dir/catalog.cpp.o.d"
+  "CMakeFiles/affect_android.dir/flash.cpp.o"
+  "CMakeFiles/affect_android.dir/flash.cpp.o.d"
+  "CMakeFiles/affect_android.dir/monkey.cpp.o"
+  "CMakeFiles/affect_android.dir/monkey.cpp.o.d"
+  "CMakeFiles/affect_android.dir/personality.cpp.o"
+  "CMakeFiles/affect_android.dir/personality.cpp.o.d"
+  "CMakeFiles/affect_android.dir/policy.cpp.o"
+  "CMakeFiles/affect_android.dir/policy.cpp.o.d"
+  "CMakeFiles/affect_android.dir/process.cpp.o"
+  "CMakeFiles/affect_android.dir/process.cpp.o.d"
+  "CMakeFiles/affect_android.dir/replay.cpp.o"
+  "CMakeFiles/affect_android.dir/replay.cpp.o.d"
+  "CMakeFiles/affect_android.dir/trace.cpp.o"
+  "CMakeFiles/affect_android.dir/trace.cpp.o.d"
+  "libaffect_android.a"
+  "libaffect_android.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/affect_android.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

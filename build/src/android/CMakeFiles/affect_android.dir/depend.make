@@ -1,0 +1,2 @@
+# Empty dependencies file for affect_android.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/affect_core.dir/affect_table.cpp.o"
+  "CMakeFiles/affect_core.dir/affect_table.cpp.o.d"
+  "CMakeFiles/affect_core.dir/controller.cpp.o"
+  "CMakeFiles/affect_core.dir/controller.cpp.o.d"
+  "CMakeFiles/affect_core.dir/emotional_policy.cpp.o"
+  "CMakeFiles/affect_core.dir/emotional_policy.cpp.o.d"
+  "CMakeFiles/affect_core.dir/manager_experiment.cpp.o"
+  "CMakeFiles/affect_core.dir/manager_experiment.cpp.o.d"
+  "CMakeFiles/affect_core.dir/simulator.cpp.o"
+  "CMakeFiles/affect_core.dir/simulator.cpp.o.d"
+  "libaffect_core.a"
+  "libaffect_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/affect_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/h264/arith.cpp" "src/h264/CMakeFiles/affect_h264.dir/arith.cpp.o" "gcc" "src/h264/CMakeFiles/affect_h264.dir/arith.cpp.o.d"
+  "/root/repo/src/h264/bitstream.cpp" "src/h264/CMakeFiles/affect_h264.dir/bitstream.cpp.o" "gcc" "src/h264/CMakeFiles/affect_h264.dir/bitstream.cpp.o.d"
+  "/root/repo/src/h264/deblock.cpp" "src/h264/CMakeFiles/affect_h264.dir/deblock.cpp.o" "gcc" "src/h264/CMakeFiles/affect_h264.dir/deblock.cpp.o.d"
+  "/root/repo/src/h264/decoder.cpp" "src/h264/CMakeFiles/affect_h264.dir/decoder.cpp.o" "gcc" "src/h264/CMakeFiles/affect_h264.dir/decoder.cpp.o.d"
+  "/root/repo/src/h264/encoder.cpp" "src/h264/CMakeFiles/affect_h264.dir/encoder.cpp.o" "gcc" "src/h264/CMakeFiles/affect_h264.dir/encoder.cpp.o.d"
+  "/root/repo/src/h264/entropy.cpp" "src/h264/CMakeFiles/affect_h264.dir/entropy.cpp.o" "gcc" "src/h264/CMakeFiles/affect_h264.dir/entropy.cpp.o.d"
+  "/root/repo/src/h264/frame.cpp" "src/h264/CMakeFiles/affect_h264.dir/frame.cpp.o" "gcc" "src/h264/CMakeFiles/affect_h264.dir/frame.cpp.o.d"
+  "/root/repo/src/h264/inter.cpp" "src/h264/CMakeFiles/affect_h264.dir/inter.cpp.o" "gcc" "src/h264/CMakeFiles/affect_h264.dir/inter.cpp.o.d"
+  "/root/repo/src/h264/intra.cpp" "src/h264/CMakeFiles/affect_h264.dir/intra.cpp.o" "gcc" "src/h264/CMakeFiles/affect_h264.dir/intra.cpp.o.d"
+  "/root/repo/src/h264/intra4.cpp" "src/h264/CMakeFiles/affect_h264.dir/intra4.cpp.o" "gcc" "src/h264/CMakeFiles/affect_h264.dir/intra4.cpp.o.d"
+  "/root/repo/src/h264/nal.cpp" "src/h264/CMakeFiles/affect_h264.dir/nal.cpp.o" "gcc" "src/h264/CMakeFiles/affect_h264.dir/nal.cpp.o.d"
+  "/root/repo/src/h264/quality.cpp" "src/h264/CMakeFiles/affect_h264.dir/quality.cpp.o" "gcc" "src/h264/CMakeFiles/affect_h264.dir/quality.cpp.o.d"
+  "/root/repo/src/h264/ratecontrol.cpp" "src/h264/CMakeFiles/affect_h264.dir/ratecontrol.cpp.o" "gcc" "src/h264/CMakeFiles/affect_h264.dir/ratecontrol.cpp.o.d"
+  "/root/repo/src/h264/sei.cpp" "src/h264/CMakeFiles/affect_h264.dir/sei.cpp.o" "gcc" "src/h264/CMakeFiles/affect_h264.dir/sei.cpp.o.d"
+  "/root/repo/src/h264/testvideo.cpp" "src/h264/CMakeFiles/affect_h264.dir/testvideo.cpp.o" "gcc" "src/h264/CMakeFiles/affect_h264.dir/testvideo.cpp.o.d"
+  "/root/repo/src/h264/transform.cpp" "src/h264/CMakeFiles/affect_h264.dir/transform.cpp.o" "gcc" "src/h264/CMakeFiles/affect_h264.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cpp" "src/nn/CMakeFiles/affect_nn.dir/activation.cpp.o" "gcc" "src/nn/CMakeFiles/affect_nn.dir/activation.cpp.o.d"
+  "/root/repo/src/nn/conv1d.cpp" "src/nn/CMakeFiles/affect_nn.dir/conv1d.cpp.o" "gcc" "src/nn/CMakeFiles/affect_nn.dir/conv1d.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/nn/CMakeFiles/affect_nn.dir/dense.cpp.o" "gcc" "src/nn/CMakeFiles/affect_nn.dir/dense.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "src/nn/CMakeFiles/affect_nn.dir/dropout.cpp.o" "gcc" "src/nn/CMakeFiles/affect_nn.dir/dropout.cpp.o.d"
+  "/root/repo/src/nn/gru.cpp" "src/nn/CMakeFiles/affect_nn.dir/gru.cpp.o" "gcc" "src/nn/CMakeFiles/affect_nn.dir/gru.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/affect_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/affect_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/lstm.cpp" "src/nn/CMakeFiles/affect_nn.dir/lstm.cpp.o" "gcc" "src/nn/CMakeFiles/affect_nn.dir/lstm.cpp.o.d"
+  "/root/repo/src/nn/matrix.cpp" "src/nn/CMakeFiles/affect_nn.dir/matrix.cpp.o" "gcc" "src/nn/CMakeFiles/affect_nn.dir/matrix.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/nn/CMakeFiles/affect_nn.dir/model.cpp.o" "gcc" "src/nn/CMakeFiles/affect_nn.dir/model.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/affect_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/affect_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/pooling.cpp" "src/nn/CMakeFiles/affect_nn.dir/pooling.cpp.o" "gcc" "src/nn/CMakeFiles/affect_nn.dir/pooling.cpp.o.d"
+  "/root/repo/src/nn/quantize.cpp" "src/nn/CMakeFiles/affect_nn.dir/quantize.cpp.o" "gcc" "src/nn/CMakeFiles/affect_nn.dir/quantize.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/nn/CMakeFiles/affect_nn.dir/trainer.cpp.o" "gcc" "src/nn/CMakeFiles/affect_nn.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/signal/CMakeFiles/affect_signal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/affect_nn.dir/activation.cpp.o"
+  "CMakeFiles/affect_nn.dir/activation.cpp.o.d"
+  "CMakeFiles/affect_nn.dir/conv1d.cpp.o"
+  "CMakeFiles/affect_nn.dir/conv1d.cpp.o.d"
+  "CMakeFiles/affect_nn.dir/dense.cpp.o"
+  "CMakeFiles/affect_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/affect_nn.dir/dropout.cpp.o"
+  "CMakeFiles/affect_nn.dir/dropout.cpp.o.d"
+  "CMakeFiles/affect_nn.dir/gru.cpp.o"
+  "CMakeFiles/affect_nn.dir/gru.cpp.o.d"
+  "CMakeFiles/affect_nn.dir/loss.cpp.o"
+  "CMakeFiles/affect_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/affect_nn.dir/lstm.cpp.o"
+  "CMakeFiles/affect_nn.dir/lstm.cpp.o.d"
+  "CMakeFiles/affect_nn.dir/matrix.cpp.o"
+  "CMakeFiles/affect_nn.dir/matrix.cpp.o.d"
+  "CMakeFiles/affect_nn.dir/model.cpp.o"
+  "CMakeFiles/affect_nn.dir/model.cpp.o.d"
+  "CMakeFiles/affect_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/affect_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/affect_nn.dir/pooling.cpp.o"
+  "CMakeFiles/affect_nn.dir/pooling.cpp.o.d"
+  "CMakeFiles/affect_nn.dir/quantize.cpp.o"
+  "CMakeFiles/affect_nn.dir/quantize.cpp.o.d"
+  "CMakeFiles/affect_nn.dir/trainer.cpp.o"
+  "CMakeFiles/affect_nn.dir/trainer.cpp.o.d"
+  "libaffect_nn.a"
+  "libaffect_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/affect_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/area.cpp" "src/power/CMakeFiles/affect_power.dir/area.cpp.o" "gcc" "src/power/CMakeFiles/affect_power.dir/area.cpp.o.d"
+  "/root/repo/src/power/model.cpp" "src/power/CMakeFiles/affect_power.dir/model.cpp.o" "gcc" "src/power/CMakeFiles/affect_power.dir/model.cpp.o.d"
+  "/root/repo/src/power/offload.cpp" "src/power/CMakeFiles/affect_power.dir/offload.cpp.o" "gcc" "src/power/CMakeFiles/affect_power.dir/offload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/h264/CMakeFiles/affect_h264.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+src/power/CMakeFiles/affect_power.dir/area.cpp.o: \
+ /root/repo/src/power/area.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/power/area.hpp

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/affect_power.dir/area.cpp.o"
+  "CMakeFiles/affect_power.dir/area.cpp.o.d"
+  "CMakeFiles/affect_power.dir/model.cpp.o"
+  "CMakeFiles/affect_power.dir/model.cpp.o.d"
+  "CMakeFiles/affect_power.dir/offload.cpp.o"
+  "CMakeFiles/affect_power.dir/offload.cpp.o.d"
+  "libaffect_power.a"
+  "libaffect_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/affect_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

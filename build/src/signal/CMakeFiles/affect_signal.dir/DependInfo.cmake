@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/signal/features.cpp" "src/signal/CMakeFiles/affect_signal.dir/features.cpp.o" "gcc" "src/signal/CMakeFiles/affect_signal.dir/features.cpp.o.d"
+  "/root/repo/src/signal/fft.cpp" "src/signal/CMakeFiles/affect_signal.dir/fft.cpp.o" "gcc" "src/signal/CMakeFiles/affect_signal.dir/fft.cpp.o.d"
+  "/root/repo/src/signal/mel.cpp" "src/signal/CMakeFiles/affect_signal.dir/mel.cpp.o" "gcc" "src/signal/CMakeFiles/affect_signal.dir/mel.cpp.o.d"
+  "/root/repo/src/signal/stats.cpp" "src/signal/CMakeFiles/affect_signal.dir/stats.cpp.o" "gcc" "src/signal/CMakeFiles/affect_signal.dir/stats.cpp.o.d"
+  "/root/repo/src/signal/window.cpp" "src/signal/CMakeFiles/affect_signal.dir/window.cpp.o" "gcc" "src/signal/CMakeFiles/affect_signal.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/affect_signal.dir/features.cpp.o"
+  "CMakeFiles/affect_signal.dir/features.cpp.o.d"
+  "CMakeFiles/affect_signal.dir/fft.cpp.o"
+  "CMakeFiles/affect_signal.dir/fft.cpp.o.d"
+  "CMakeFiles/affect_signal.dir/mel.cpp.o"
+  "CMakeFiles/affect_signal.dir/mel.cpp.o.d"
+  "CMakeFiles/affect_signal.dir/stats.cpp.o"
+  "CMakeFiles/affect_signal.dir/stats.cpp.o.d"
+  "CMakeFiles/affect_signal.dir/window.cpp.o"
+  "CMakeFiles/affect_signal.dir/window.cpp.o.d"
+  "libaffect_signal.a"
+  "libaffect_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/affect_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

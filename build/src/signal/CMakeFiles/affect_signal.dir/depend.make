@@ -1,0 +1,2 @@
+# Empty dependencies file for affect_signal.
+# This may be replaced when dependencies are built.

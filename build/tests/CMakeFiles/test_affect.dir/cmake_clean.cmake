@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_affect.dir/test_affect.cpp.o"
+  "CMakeFiles/test_affect.dir/test_affect.cpp.o.d"
+  "test_affect"
+  "test_affect.pdb"
+  "test_affect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_affect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_android.dir/test_android.cpp.o"
+  "CMakeFiles/test_android.dir/test_android.cpp.o.d"
+  "test_android"
+  "test_android.pdb"
+  "test_android[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_android.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

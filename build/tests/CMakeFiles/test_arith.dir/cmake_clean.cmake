@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arith.dir/test_arith.cpp.o"
+  "CMakeFiles/test_arith.dir/test_arith.cpp.o.d"
+  "test_arith"
+  "test_arith.pdb"
+  "test_arith[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arith.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_h264_bitstream.dir/test_h264_bitstream.cpp.o"
+  "CMakeFiles/test_h264_bitstream.dir/test_h264_bitstream.cpp.o.d"
+  "test_h264_bitstream"
+  "test_h264_bitstream.pdb"
+  "test_h264_bitstream[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_h264_bitstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

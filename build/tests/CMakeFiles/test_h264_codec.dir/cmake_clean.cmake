@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_h264_codec.dir/test_h264_codec.cpp.o"
+  "CMakeFiles/test_h264_codec.dir/test_h264_codec.cpp.o.d"
+  "test_h264_codec"
+  "test_h264_codec.pdb"
+  "test_h264_codec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_h264_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_h264_robustness.dir/test_h264_robustness.cpp.o"
+  "CMakeFiles/test_h264_robustness.dir/test_h264_robustness.cpp.o.d"
+  "test_h264_robustness"
+  "test_h264_robustness.pdb"
+  "test_h264_robustness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_h264_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

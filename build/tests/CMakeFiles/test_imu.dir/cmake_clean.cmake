@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_imu.dir/test_imu.cpp.o"
+  "CMakeFiles/test_imu.dir/test_imu.cpp.o.d"
+  "test_imu"
+  "test_imu.pdb"
+  "test_imu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_imu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

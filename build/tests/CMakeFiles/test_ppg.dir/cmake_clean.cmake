@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ppg.dir/test_ppg.cpp.o"
+  "CMakeFiles/test_ppg.dir/test_ppg.cpp.o.d"
+  "test_ppg"
+  "test_ppg.pdb"
+  "test_ppg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ppg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_regressor.dir/test_regressor.cpp.o"
+  "CMakeFiles/test_regressor.dir/test_regressor.cpp.o.d"
+  "test_regressor"
+  "test_regressor.pdb"
+  "test_regressor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_regressor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

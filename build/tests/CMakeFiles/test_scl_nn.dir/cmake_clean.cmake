@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scl_nn.dir/test_scl_nn.cpp.o"
+  "CMakeFiles/test_scl_nn.dir/test_scl_nn.cpp.o.d"
+  "test_scl_nn"
+  "test_scl_nn.pdb"
+  "test_scl_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scl_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_signal.dir/test_signal.cpp.o"
+  "CMakeFiles/test_signal.dir/test_signal.cpp.o.d"
+  "test_signal"
+  "test_signal.pdb"
+  "test_signal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sweeps.dir/test_sweeps.cpp.o"
+  "CMakeFiles/test_sweeps.dir/test_sweeps.cpp.o.d"
+  "test_sweeps"
+  "test_sweeps.pdb"
+  "test_sweeps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_signal[1]_include.cmake")
+include("/root/repo/build/tests/test_nn[1]_include.cmake")
+include("/root/repo/build/tests/test_affect[1]_include.cmake")
+include("/root/repo/build/tests/test_h264_bitstream[1]_include.cmake")
+include("/root/repo/build/tests/test_h264_codec[1]_include.cmake")
+include("/root/repo/build/tests/test_power[1]_include.cmake")
+include("/root/repo/build/tests/test_adaptive[1]_include.cmake")
+include("/root/repo/build/tests/test_android[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_h264_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_ppg[1]_include.cmake")
+include("/root/repo/build/tests/test_regressor[1]_include.cmake")
+include("/root/repo/build/tests/test_realtime[1]_include.cmake")
+include("/root/repo/build/tests/test_arith[1]_include.cmake")
+include("/root/repo/build/tests/test_scl_nn[1]_include.cmake")
+include("/root/repo/build/tests/test_simulator[1]_include.cmake")
+include("/root/repo/build/tests/test_imu[1]_include.cmake")
+include("/root/repo/build/tests/test_replay[1]_include.cmake")
+include("/root/repo/build/tests/test_golden[1]_include.cmake")
+include("/root/repo/build/tests/test_sweeps[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/affectsys_cli.dir/affectsys_cli.cpp.o"
+  "CMakeFiles/affectsys_cli.dir/affectsys_cli.cpp.o.d"
+  "affectsys_cli"
+  "affectsys_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/affectsys_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

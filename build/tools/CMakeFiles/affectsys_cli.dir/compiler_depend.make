@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for affectsys_cli.
+# This may be replaced when dependencies are built.

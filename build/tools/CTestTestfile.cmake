@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_synth_and_replay "/usr/bin/cmake" "-DCLI=/root/repo/build/tools/affectsys_cli" "-DWORKDIR=/root/repo/build/tools" "-P" "/root/repo/tools/cli_smoke.cmake")
+set_tests_properties(cli_synth_and_replay PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
