@@ -1,0 +1,228 @@
+// Observability benchmark runner: exercises the four instrumented hot
+// layers (H.264 decode, real-time affect pipeline, Input Selector, full
+// system scenario) and dumps a machine-readable BENCH_observability.json
+// snapshot — wall times, windows/sec, NAL filter throughput, decode
+// ns/frame, plus the complete metrics-registry dump.  Future PRs regress
+// hot-path performance against this file.
+//
+// Usage: bench_main [output.json]   (default: BENCH_observability.json)
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "adaptive/input_selector.hpp"
+#include "affect/realtime.hpp"
+#include "affect/speech_synth.hpp"
+#include "core/simulator.hpp"
+#include "h264/decoder.hpp"
+#include "h264/encoder.hpp"
+#include "h264/testvideo.hpp"
+#include "nn/model.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+using namespace affectsys;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::vector<std::uint8_t> make_stream() {
+  h264::VideoConfig vc{64, 64, 24, 1.2, 0.6, 2.5, 77};
+  const auto video = h264::generate_mixed_video(vc, 0.25);
+  h264::Encoder enc(h264::EncoderConfig{64, 64, 24, 12, 2, 4, true});
+  return enc.encode_annexb(video);
+}
+
+struct Summary {
+  double wall_s = 0.0;
+  double decode_ns_per_frame_wall = 0.0;
+  double decode_ns_per_frame_observed = 0.0;
+  std::uint64_t frames_decoded = 0;
+  double affect_windows_per_sec = 0.0;
+  std::uint64_t affect_windows = 0;
+  double selector_mb_per_sec = 0.0;
+  std::uint64_t selector_bytes = 0;
+  double full_system_s = 0.0;
+  double playback_energy_saving = 0.0;
+  double app_memory_saving = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : "BENCH_observability.json";
+  obs::Registry& reg = obs::Registry::global();
+  Summary sum;
+  const auto bench_start = Clock::now();
+
+  // --- H.264 decode: ns/frame ---------------------------------------------
+  std::printf("[1/4] h264 decode...\n");
+  const auto stream = make_stream();
+  {
+    const auto t0 = Clock::now();
+    std::uint64_t frames = 0;
+    constexpr int kReps = 8;
+    for (int i = 0; i < kReps; ++i) {
+      h264::Decoder dec;
+      frames += dec.decode_annexb(stream).size();
+    }
+    const double dt = seconds_since(t0);
+    sum.frames_decoded = frames;
+    sum.decode_ns_per_frame_wall = dt * 1e9 / static_cast<double>(frames);
+  }
+
+  // --- Real-time affect pipeline: windows/sec ------------------------------
+  std::printf("[2/4] affect pipeline (training a small classifier)...\n");
+  {
+    affect::CorpusProfile prof;
+    prof.name = "bench";
+    prof.num_speakers = 4;
+    prof.emotions = {affect::Emotion::kAngry, affect::Emotion::kCalm};
+    prof.utterances_per_speaker_emotion = 6;
+    prof.utterance_seconds = 1.0;
+    prof.speaker_spread = 0.1;
+    nn::TrainConfig tc;
+    tc.epochs = 6;
+    tc.batch_size = 8;
+    tc.learning_rate = 2e-3f;
+    affect::AffectClassifier clf =
+        affect::train_affect_classifier(nn::ModelKind::kMlp, prof, tc);
+
+    affect::RealtimePipeline pipe(clf, affect::RealtimeConfig{});
+    affect::SpeechSynthesizer synth(7);
+    const auto t0 = Clock::now();
+    double t = 0.0;
+    for (int u = 0; u < 12; ++u) {
+      const auto utt = synth.synthesize(
+          u % 2 ? affect::Emotion::kCalm : affect::Emotion::kAngry, 40 + u,
+          1.0, 16000.0, 0.1);
+      for (std::size_t off = 0; off < utt.samples.size(); off += 1600) {
+        const std::size_t n =
+            std::min<std::size_t>(1600, utt.samples.size() - off);
+        pipe.push_audio(t, {utt.samples.data() + off, n});
+        t += 0.1;
+      }
+    }
+    const double dt = seconds_since(t0);
+    sum.affect_windows = pipe.stats().windows_considered;
+    sum.affect_windows_per_sec =
+        static_cast<double>(sum.affect_windows) / dt;
+  }
+
+  // --- Input Selector: NAL filter throughput -------------------------------
+  std::printf("[3/4] input selector...\n");
+  {
+    const auto t0 = Clock::now();
+    std::uint64_t bytes = 0;
+    constexpr int kReps = 64;
+    for (int i = 0; i < kReps; ++i) {
+      adaptive::InputSelector sel({140, 1});
+      sel.filter_annexb(stream);
+      bytes += sel.stats().bytes_in;
+    }
+    const double dt = seconds_since(t0);
+    sum.selector_bytes = bytes;
+    sum.selector_mb_per_sec = static_cast<double>(bytes) / 1e6 / dt;
+  }
+
+  // --- Full-system demo path ----------------------------------------------
+  std::printf("[4/4] full-system scenario...\n");
+  {
+    const auto t0 = Clock::now();
+    core::SystemScenarioConfig cfg;
+    adaptive::AdaptiveDecoderSystem dec(cfg.playback);
+    const auto report = core::run_system_scenario(cfg, dec);
+    sum.full_system_s = seconds_since(t0);
+    sum.playback_energy_saving = report.playback.energy_saving();
+    sum.app_memory_saving = report.app_memory_saving();
+  }
+
+  sum.wall_s = seconds_since(bench_start);
+  sum.decode_ns_per_frame_observed =
+      reg.histogram("h264.decode_ns").mean();
+
+  // --- Counter sanity: the demo path must light up every subsystem ---------
+  int missing = 0;
+#if defined(AFFECTSYS_METRICS) && AFFECTSYS_METRICS
+  const char* required[] = {
+      "h264.nal_units",           "h264.frames_decoded",
+      "h264.mbs_decoded",         "h264.residual_blocks_decoded",
+      "h264.deblock_edges_examined", "h264.deblock_edges_filtered",
+      "affect.samples_in",        "affect.windows_considered",
+      "affect.windows_classified", "affect.inferences",
+      "adaptive.selector_units_in", "adaptive.selector_units_deleted",
+      "adaptive.modes_profiled",  "adaptive.playback_segments",
+      "android.cold_starts",      "android.warm_starts",
+      "android.kills",            "android.victim_selections",
+  };
+  for (const char* name : required) {
+    if (reg.counter(name).value() == 0) {
+      std::fprintf(stderr, "MISSING: counter %s is zero\n", name);
+      ++missing;
+    }
+  }
+#else
+  std::printf("metrics disabled (AFFECTSYS_METRICS=OFF): snapshot will be "
+              "empty\n");
+#endif
+
+  // --- Report --------------------------------------------------------------
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("observability");
+  w.key("metrics_enabled")
+      .value(static_cast<bool>(
+#if defined(AFFECTSYS_METRICS) && AFFECTSYS_METRICS
+          true
+#else
+          false
+#endif
+          ));
+  w.key("summary").begin_object();
+  w.key("wall_s").value(sum.wall_s);
+  w.key("decode_ns_per_frame_wall").value(sum.decode_ns_per_frame_wall);
+  w.key("decode_ns_per_frame_observed")
+      .value(sum.decode_ns_per_frame_observed);
+  w.key("frames_decoded").value(sum.frames_decoded);
+  w.key("affect_windows_per_sec").value(sum.affect_windows_per_sec);
+  w.key("affect_windows").value(sum.affect_windows);
+  w.key("selector_mb_per_sec").value(sum.selector_mb_per_sec);
+  w.key("selector_bytes").value(sum.selector_bytes);
+  w.key("full_system_s").value(sum.full_system_s);
+  w.key("playback_energy_saving").value(sum.playback_energy_saving);
+  w.key("app_memory_saving").value(sum.app_memory_saving);
+  w.end_object();
+  w.key("metrics").raw_value(reg.to_json());
+  w.end_object();
+
+  std::ofstream out(out_path);
+  out << w.str() << "\n";
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+    return 1;
+  }
+
+  std::printf("\ndecode:   %.0f ns/frame (wall), %.0f ns/frame (observed)\n",
+              sum.decode_ns_per_frame_wall, sum.decode_ns_per_frame_observed);
+  std::printf("affect:   %.1f windows/sec\n", sum.affect_windows_per_sec);
+  std::printf("selector: %.1f MB/s\n", sum.selector_mb_per_sec);
+  std::printf("system:   %.2f s, playback saving %.1f%%, memory saving "
+              "%.1f%%\n",
+              sum.full_system_s, 100.0 * sum.playback_energy_saving,
+              100.0 * sum.app_memory_saving);
+  std::printf("wrote %s\n", out_path.c_str());
+  if (missing > 0) {
+    std::fprintf(stderr, "%d required counters were zero\n", missing);
+    return 1;
+  }
+  return 0;
+}

@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include <random>
+#include <string>
 
 #include "adaptive/input_selector.hpp"
 #include "affect/dataset.hpp"
@@ -16,6 +17,7 @@
 #include "h264/testvideo.hpp"
 #include "nn/model.hpp"
 #include "nn/quantize.hpp"
+#include "obs/metrics.hpp"
 #include "signal/mel.hpp"
 
 using namespace affectsys;
@@ -159,3 +161,65 @@ static void BM_AffectTableRank(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AffectTableRank);
+
+// --- Observability layer overhead (src/obs) --------------------------------
+// These bound the per-event cost the AFFECTSYS_* macros add to
+// instrumented hot loops: a cached-handle counter add and histogram
+// observe should be a few ns, a cold registry lookup tens of ns.
+
+static void BM_ObsCounterAdd(benchmark::State& state) {
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("bench.counter");
+  for (auto _ : state) {
+    c.add(1);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounterAdd);
+
+static void BM_ObsHistogramObserve(benchmark::State& state) {
+  obs::Registry reg;
+  obs::Histogram& h = reg.histogram("bench.hist");
+  double v = 1.0;
+  for (auto _ : state) {
+    h.observe(v);
+    v = v < 1e9 ? v * 3.0 : 1.0;  // walk across buckets
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
+static void BM_ObsScopedTimer(benchmark::State& state) {
+  obs::Registry reg;
+  obs::Histogram& h = reg.histogram("bench.timer_ns");
+  for (auto _ : state) {
+    obs::ScopedTimerNs timer(h);
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsScopedTimer);
+
+static void BM_ObsRegistryLookup(benchmark::State& state) {
+  obs::Registry reg;
+  reg.counter("bench.lookup");  // pre-registered: measures the hot find
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reg.counter("bench.lookup"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsRegistryLookup);
+
+static void BM_ObsRegistrySnapshot(benchmark::State& state) {
+  obs::Registry reg;
+  for (int i = 0; i < 64; ++i) {
+    reg.counter("bench.c" + std::to_string(i)).add(static_cast<unsigned>(i));
+    reg.histogram("bench.h" + std::to_string(i)).observe(i * 100.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reg.to_json());
+  }
+}
+BENCHMARK(BM_ObsRegistrySnapshot)->Unit(benchmark::kMicrosecond);

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace affectsys::adaptive {
 
 InputSelector::InputSelector(const SelectorParams& params) : params_(params) {
@@ -29,6 +31,8 @@ bool InputSelector::should_delete(const h264::NalUnit& nal) {
 
 std::vector<h264::NalUnit> InputSelector::filter(
     std::vector<h264::NalUnit> units) {
+  AFFECTSYS_TIME_SCOPE("adaptive.selector_filter_ns");
+  [[maybe_unused]] const SelectorStats before = stats_;
   std::vector<h264::NalUnit> kept;
   kept.reserve(units.size());
   for (h264::NalUnit& nal : units) {
@@ -42,6 +46,13 @@ std::vector<h264::NalUnit> InputSelector::filter(
     ++stats_.units_out;
     kept.push_back(std::move(nal));
   }
+  AFFECTSYS_COUNT("adaptive.selector_units_in", stats_.units_in - before.units_in);
+  AFFECTSYS_COUNT("adaptive.selector_units_deleted",
+                  stats_.deleted - before.deleted);
+  AFFECTSYS_COUNT("adaptive.selector_bytes_in", stats_.bytes_in - before.bytes_in);
+  AFFECTSYS_COUNT("adaptive.selector_bytes_deleted",
+                  (stats_.bytes_in - before.bytes_in) -
+                      (stats_.bytes_out - before.bytes_out));
   return kept;
 }
 

@@ -4,6 +4,7 @@
 
 #include "h264/decoder.hpp"
 #include "h264/quality.hpp"
+#include "obs/metrics.hpp"
 
 namespace affectsys::adaptive {
 
@@ -25,9 +26,17 @@ const ModeProfile& AdaptiveDecoderSystem::profile(DecoderMode m) {
   if (!slot) {
     slot = measure(m);
     // norm_power needs the Standard reference; compute it on demand.
-    if (m != DecoderMode::kStandard) {
+    // Standard itself is assigned explicitly (it is 1.0 by definition)
+    // rather than relying on the ModeProfile default, so the value is
+    // correct no matter which mode is profiled first.
+    if (m == DecoderMode::kStandard) {
+      slot->norm_power = 1.0;
+    } else {
       auto& std_slot = profiles_[static_cast<std::size_t>(DecoderMode::kStandard)];
-      if (!std_slot) std_slot = measure(DecoderMode::kStandard);
+      if (!std_slot) {
+        std_slot = measure(DecoderMode::kStandard);
+        std_slot->norm_power = 1.0;
+      }
       slot->norm_power =
           slot->energy.total_nj() / std_slot->energy.total_nj();
     }
@@ -36,6 +45,8 @@ const ModeProfile& AdaptiveDecoderSystem::profile(DecoderMode m) {
 }
 
 ModeProfile AdaptiveDecoderSystem::measure(DecoderMode m) const {
+  AFFECTSYS_COUNT("adaptive.modes_profiled", 1);
+  AFFECTSYS_TIME_SCOPE("adaptive.mode_profile_ns");
   const ModeConfig mc = mode_config(m, cfg_.s_th, cfg_.f);
   ModeProfile prof;
   prof.mode = m;
@@ -91,6 +102,10 @@ PlaybackReport simulate_playback(AdaptiveDecoderSystem& system,
     report.total_energy_nj += out.energy_nj;
     report.standard_energy_nj += std_energy_per_clip * clips;
   }
+  AFFECTSYS_COUNT("adaptive.playback_sessions", 1);
+  AFFECTSYS_COUNT("adaptive.playback_segments", report.segments.size());
+  AFFECTSYS_GAUGE_SET("adaptive.playback_energy_saving",
+                      report.energy_saving());
   return report;
 }
 

@@ -42,7 +42,9 @@ struct ModeProfile {
   DecoderMode mode = DecoderMode::kStandard;
   power::EnergyBreakdown energy;  ///< one pass over the prototype clip
   double psnr_db = 0.0;           ///< vs the uncompressed source
-  double norm_power = 1.0;        ///< energy relative to Standard
+  /// Energy relative to Standard; 0 until assigned by profile() (every
+  /// mode, Standard included, gets an explicit value there).
+  double norm_power = 0.0;
   SelectorStats selector;         ///< deletion statistics (if any)
 };
 

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "nn/loss.hpp"
+#include "obs/metrics.hpp"
 
 namespace affectsys::affect {
 
@@ -19,11 +20,17 @@ AffectClassifier::AffectClassifier(nn::Sequential model,
 
 ClassificationResult AffectClassifier::classify(
     std::span<const double> samples) {
-  return classify_features(fx_.extract(samples));
+  nn::Matrix features = [&] {
+    AFFECTSYS_TIME_SCOPE("affect.feature_extract_ns");
+    return fx_.extract(samples);
+  }();
+  return classify_features(features);
 }
 
 ClassificationResult AffectClassifier::classify_features(
     const nn::Matrix& features) {
+  AFFECTSYS_COUNT("affect.inferences", 1);
+  AFFECTSYS_TIME_SCOPE("affect.inference_ns");
   const nn::Matrix logits = model_.forward(features);
   ClassificationResult res;
   res.probabilities = nn::softmax_probs(logits);

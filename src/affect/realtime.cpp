@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace affectsys::affect {
 
 RealtimePipeline::RealtimePipeline(AffectClassifier& classifier,
@@ -12,6 +14,7 @@ RealtimePipeline::RealtimePipeline(AffectClassifier& classifier,
 std::optional<Emotion> RealtimePipeline::push_audio(
     double t_s, std::span<const double> chunk) {
   stats_.samples_in += chunk.size();
+  AFFECTSYS_COUNT("affect.samples_in", chunk.size());
   buffer_.insert(buffer_.end(), chunk.begin(), chunk.end());
   buffer_end_t_ =
       t_s + static_cast<double>(chunk.size()) / cfg_.sample_rate_hz;
@@ -26,18 +29,31 @@ std::optional<Emotion> RealtimePipeline::push_audio(
 
   std::optional<Emotion> changed;
   while (buffer_.size() >= window_len && buffer_end_t_ >= next_window_t_) {
-    next_window_t_ = buffer_end_t_ + cfg_.window_stride_s;
+    // The deadline clock is anchored once, when the first full window is
+    // available, and then advances by exactly one stride per considered
+    // window.  Advancing from buffer_end_t_ instead would quantize the
+    // stride up to the chunk boundary (drift), and a chunk longer than
+    // the stride would silently skip classification windows.
+    if (!window_clock_started_) {
+      window_clock_started_ = true;
+      next_window_t_ = buffer_end_t_;
+    }
+    next_window_t_ += cfg_.window_stride_s;
     ++stats_.windows_considered;
+    AFFECTSYS_COUNT("affect.windows_considered", 1);
     const std::span<const double> window{
         buffer_.data() + buffer_.size() - window_len, window_len};
     if (vad_.speech_fraction(window) < cfg_.min_speech_fraction) {
       continue;  // silence: save the classifier invocation
     }
     ++stats_.windows_classified;
+    AFFECTSYS_COUNT("affect.windows_classified", 1);
+    AFFECTSYS_TIME_SCOPE("affect.window_classify_ns");
     const ClassificationResult res = classifier_.classify(window);
     if (raw_cb_) raw_cb_(buffer_end_t_, res.emotion, res.confidence);
     if (auto c = stream_.push(buffer_end_t_, res.emotion)) {
       ++stats_.stable_changes;
+      AFFECTSYS_COUNT("affect.stable_changes", 1);
       changed = c;
     }
   }

@@ -63,6 +63,9 @@ class RealtimePipeline {
   std::vector<double> buffer_;  ///< sliding window of recent samples
   double buffer_end_t_ = 0.0;
   double next_window_t_ = 0.0;
+  /// False until the first full window fires; the first deadline anchors
+  /// to that moment and subsequent ones advance by exactly one stride.
+  bool window_clock_started_ = false;
   std::function<void(double, Emotion, float)> raw_cb_;
 };
 

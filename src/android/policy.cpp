@@ -2,10 +2,13 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace affectsys::android {
 
 std::optional<AppId> FifoKillPolicy::select_victim(
     const std::vector<VictimCandidate>& candidates) {
+  AFFECTSYS_COUNT("android.victim_selections", 1);
   const auto it = std::min_element(
       candidates.begin(), candidates.end(),
       [](const auto& a, const auto& b) { return a.loaded_at_s < b.loaded_at_s; });
@@ -15,6 +18,7 @@ std::optional<AppId> FifoKillPolicy::select_victim(
 
 std::optional<AppId> LruKillPolicy::select_victim(
     const std::vector<VictimCandidate>& candidates) {
+  AFFECTSYS_COUNT("android.victim_selections", 1);
   const auto it = std::min_element(
       candidates.begin(), candidates.end(),
       [](const auto& a, const auto& b) { return a.last_used_s < b.last_used_s; });
@@ -24,6 +28,7 @@ std::optional<AppId> LruKillPolicy::select_victim(
 
 std::optional<AppId> FrequencyKillPolicy::select_victim(
     const std::vector<VictimCandidate>& candidates) {
+  AFFECTSYS_COUNT("android.victim_selections", 1);
   const auto it = std::min_element(
       candidates.begin(), candidates.end(), [](const auto& a, const auto& b) {
         return a.launch_count != b.launch_count

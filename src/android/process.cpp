@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace affectsys::android {
 
 ProcessManager::ProcessManager(std::vector<App> catalog,
@@ -59,6 +61,7 @@ std::size_t ProcessManager::compressed_count() const {
 void ProcessManager::kill(AppId app, double time_s, std::string_view reason) {
   running_.erase(app);
   ++metrics_.kills;
+  AFFECTSYS_COUNT("android.kills", 1);
   if (tracer_) {
     tracer_->record(time_s, TraceEventType::kKill, app, std::string(reason));
   }
@@ -119,6 +122,7 @@ void ProcessManager::make_room(std::uint64_t need_bytes, double time_s,
 }
 
 LoadCost ProcessManager::launch(AppId app, double time_s) {
+  AFFECTSYS_TIME_SCOPE("android.launch_ns");
   const App& info = app_info(app);
   ++lifetime_launches_[app];
 
@@ -131,6 +135,7 @@ LoadCost ProcessManager::launch(AppId app, double time_s) {
   if (auto it = running_.find(app); it != running_.end()) {
     // Warm start; a compressed resident set must be decompressed first.
     ++metrics_.warm_starts;
+    AFFECTSYS_COUNT("android.warm_starts", 1);
     if (it->second.compressed) {
       it->second.compressed = false;
       ++metrics_.decompressions;
@@ -154,6 +159,9 @@ LoadCost ProcessManager::launch(AppId app, double time_s) {
     cost = flash_.read_and_account(info.image_bytes);
     cost.time_s += info.init_time_s;
     ++metrics_.cold_starts;
+    AFFECTSYS_COUNT("android.cold_starts", 1);
+    AFFECTSYS_COUNT("android.memory_loaded_bytes",
+                    info.image_bytes + info.memory_bytes);
     metrics_.memory_loaded_bytes += info.image_bytes + info.memory_bytes;
     metrics_.loading_time_s += cost.time_s;
     metrics_.flash_energy_nj += cost.energy_nj;

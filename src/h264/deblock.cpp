@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/metrics.hpp"
+
 namespace affectsys::h264 {
 namespace {
 
@@ -125,6 +127,7 @@ int boundary_strength(const MbInfo& p, int p_blk, const MbInfo& q, int q_blk,
 
 DeblockStats deblock_frame(YuvFrame& frame, const std::vector<MbInfo>& mb_info,
                            int qp) {
+  AFFECTSYS_TIME_SCOPE("h264.deblock_ns");
   DeblockStats stats;
   qp = std::clamp(qp, 0, 51);
   const int mb_cols = frame.mb_cols();
@@ -236,6 +239,9 @@ DeblockStats deblock_frame(YuvFrame& frame, const std::vector<MbInfo>& mb_info,
       }
     }
   }
+  AFFECTSYS_COUNT("h264.deblock_edges_examined", stats.edges_examined);
+  AFFECTSYS_COUNT("h264.deblock_edges_filtered", stats.edges_filtered);
+  AFFECTSYS_COUNT("h264.deblock_pixels", stats.pixels_modified);
   return stats;
 }
 

@@ -10,6 +10,7 @@
 #include "h264/intra.hpp"
 #include "h264/intra4.hpp"
 #include "h264/transform.hpp"
+#include "obs/metrics.hpp"
 
 namespace affectsys::h264 {
 namespace {
@@ -51,6 +52,8 @@ DecodeActivity& DecodeActivity::operator+=(const DecodeActivity& o) {
 std::optional<DecodedPicture> Decoder::decode_nal(const NalUnit& nal) {
   ++activity_.nal_units;
   activity_.bytes_in += nal.byte_size();
+  AFFECTSYS_COUNT("h264.nal_units", 1);
+  AFFECTSYS_COUNT("h264.bytes_in", nal.byte_size());
   const std::vector<std::uint8_t> rbsp =
       remove_emulation_prevention(nal.payload);
   switch (nal.type) {
@@ -85,6 +88,7 @@ std::optional<DecodedPicture> Decoder::decode_nal(const NalUnit& nal) {
 }
 
 DecodedPicture Decoder::decode_slice(const NalUnit& nal) {
+  AFFECTSYS_TIME_SCOPE("h264.decode_ns");
   const std::vector<std::uint8_t> rbsp =
       remove_emulation_prevention(nal.payload);
   BitReader br(rbsp);
@@ -294,6 +298,9 @@ DecodedPicture Decoder::decode_slice(const NalUnit& nal) {
     }
   }
   activity_.bits_parsed += br.bits_consumed();
+  AFFECTSYS_COUNT("h264.mbs_decoded",
+                  static_cast<std::uint64_t>(mb_cols) * mb_rows);
+  AFFECTSYS_COUNT("h264.bits_parsed", br.bits_consumed());
 
   if (deblock_enabled()) {
     const DeblockStats st = deblock_frame(recon, mb_info, qp);
@@ -302,6 +309,7 @@ DecodedPicture Decoder::decode_slice(const NalUnit& nal) {
     activity_.deblock_pixels += st.pixels_modified;
   }
   ++activity_.frames_decoded;
+  AFFECTSYS_COUNT("h264.frames_decoded", 1);
 
   // Reference management: I/P pictures (ref_idc > 0) become references.
   if (nal.ref_idc > 0) {

@@ -1,0 +1,56 @@
+// Minimal streaming JSON writer for metric snapshots and benchmark
+// reports.  Emits pretty-printed, deterministic output (callers control
+// key order); handles string escaping and non-finite doubles (written as
+// null, since JSON has no NaN/Inf).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace affectsys::obs {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(int indent_width = 2) : indent_width_(indent_width) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Writes the key of the next value inside an object.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+
+  /// Splices a pre-serialized JSON document in value position (e.g. a
+  /// Registry::to_json() snapshot).  The caller guarantees validity.
+  JsonWriter& raw_value(std::string_view json);
+
+  /// The document so far.  Valid JSON once all containers are closed.
+  const std::string& str() const { return out_; }
+
+  static std::string escape(std::string_view s);
+
+ private:
+  void before_value();
+  void newline_indent();
+
+  std::string out_;
+  int indent_width_;
+  int depth_ = 0;
+  /// Whether the current container already holds a member (drives comma
+  /// placement); index 0 is the document root.
+  std::vector<bool> has_member_{false};
+  bool pending_key_ = false;
+};
+
+}  // namespace affectsys::obs

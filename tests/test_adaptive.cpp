@@ -321,3 +321,157 @@ TEST_F(PlaybackFixture, SclDrivenPlaybackSavesEnergy) {
   EXPECT_LT(report.energy_saving(), 0.45);
   EXPECT_FALSE(report.segments.empty());
 }
+
+// ----------------------------------------- InputSelector periodicity / reset
+
+namespace {
+
+/// Minimal synthetic P-slice NAL: header bits ue(0) ue(0) decode as
+/// first_mb_in_slice = 0, slice_type = P; the rest is opaque padding that
+/// only contributes to byte_size().  `tag` marks the unit so deletion
+/// patterns can be recovered from the kept sequence.
+h264::NalUnit make_p_nal(std::size_t byte_size, std::uint8_t tag = 0) {
+  h264::NalUnit nal;
+  nal.type = h264::NalType::kSliceNonIdr;
+  nal.ref_idc = 0;
+  nal.payload.assign(byte_size - 1, 0x55);
+  nal.payload[0] = 0xC0;  // "11" + padding
+  if (nal.payload.size() > 1) nal.payload[1] = tag;
+  return nal;
+}
+
+/// Synthetic IDR (I-slice) NAL: ue(0) then ue(2) ("1" + "011") = 0xB0.
+h264::NalUnit make_i_nal(std::size_t byte_size) {
+  h264::NalUnit nal;
+  nal.type = h264::NalType::kSliceIdr;
+  nal.ref_idc = 3;
+  nal.payload.assign(byte_size - 1, 0x55);
+  nal.payload[0] = 0xB0;
+  return nal;
+}
+
+}  // namespace
+
+TEST(InputSelector, DeletionPatternIsPeriodicInF) {
+  constexpr std::size_t kCandidates = 12;
+  for (unsigned f : {1u, 2u, 4u}) {
+    std::vector<h264::NalUnit> units;
+    for (std::size_t i = 0; i < kCandidates; ++i) {
+      units.push_back(make_p_nal(20, static_cast<std::uint8_t>(i)));
+    }
+    adaptive::InputSelector sel({100, f});
+    const auto kept = sel.filter(units);
+    // The first candidate of each group of f is deleted: candidate i
+    // survives iff i % f != 0.
+    std::vector<std::uint8_t> expect_tags;
+    for (std::size_t i = 0; i < kCandidates; ++i) {
+      if (i % f != 0) expect_tags.push_back(static_cast<std::uint8_t>(i));
+    }
+    ASSERT_EQ(kept.size(), expect_tags.size()) << "f=" << f;
+    for (std::size_t k = 0; k < kept.size(); ++k) {
+      EXPECT_EQ(kept[k].payload[1], expect_tags[k]) << "f=" << f << " k=" << k;
+    }
+    EXPECT_EQ(sel.stats().candidates, kCandidates);
+    EXPECT_EQ(sel.stats().deleted, (kCandidates + f - 1) / f);
+  }
+}
+
+TEST(InputSelector, ResetClearsCandidatePhaseAndStats) {
+  adaptive::InputSelector sel({100, 4});
+  // Three candidates advance the phase counter to 3 (one deleted).
+  sel.filter({make_p_nal(20, 0), make_p_nal(20, 1), make_p_nal(20, 2)});
+  ASSERT_EQ(sel.stats().deleted, 1u);
+
+  sel.reset();
+  EXPECT_EQ(sel.stats().units_in, 0u);
+  EXPECT_EQ(sel.stats().candidates, 0u);
+  EXPECT_EQ(sel.stats().deleted, 0u);
+  EXPECT_EQ(sel.stats().bytes_in, 0u);
+
+  // After reset the very next candidate starts a fresh group of f and is
+  // deleted again; without the phase reset it would have survived (the
+  // pre-reset counter stood at 3 of 4).
+  const auto kept = sel.filter({make_p_nal(20, 7), make_p_nal(20, 8)});
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].payload[1], 8);
+  EXPECT_EQ(sel.stats().deleted, 1u);
+}
+
+TEST(InputSelector, SyntheticStreamStatsInvariants) {
+  // Mixed stream: I slices (never candidates), P slices above and below
+  // S_th, across several filter() calls on the same selector.
+  adaptive::InputSelector sel({64, 2});
+  std::vector<h264::NalUnit> batch1{make_i_nal(40), make_p_nal(20, 0),
+                                    make_p_nal(200, 1), make_p_nal(30, 2)};
+  std::vector<h264::NalUnit> batch2{make_p_nal(64, 3), make_p_nal(65, 4),
+                                    make_i_nal(300)};
+  std::size_t bytes_total = 0, units_total = 0;
+  for (const auto* batch : {&batch1, &batch2}) {
+    for (const auto& u : *batch) {
+      bytes_total += u.byte_size();
+      ++units_total;
+    }
+  }
+  std::size_t bytes_kept = 0;
+  std::size_t units_kept = 0;
+  for (const auto& nal : sel.filter(batch1)) {
+    bytes_kept += nal.byte_size();
+    ++units_kept;
+  }
+  for (const auto& nal : sel.filter(batch2)) {
+    bytes_kept += nal.byte_size();
+    ++units_kept;
+  }
+  const auto& st = sel.stats();
+  EXPECT_EQ(st.units_in, units_total);
+  EXPECT_EQ(st.bytes_in, bytes_total);
+  EXPECT_EQ(st.units_out, units_kept);
+  EXPECT_EQ(st.bytes_out, bytes_kept);
+  // Conservation: everything in is either out or deleted.
+  EXPECT_EQ(st.units_in, st.units_out + st.deleted);
+  EXPECT_EQ(st.bytes_in - st.bytes_out,
+            bytes_total - bytes_kept);
+  // Candidates: sizes <= 64 among P slices -> tags 0, 2, 3 (size 64
+  // inclusive); with f=2 the first of each pair is deleted.
+  EXPECT_EQ(st.candidates, 3u);
+  EXPECT_EQ(st.deleted, 2u);
+}
+
+// --------------------------------------------------- norm_power regression
+
+TEST(Playback, NormPowerConsistentRegardlessOfProfilingOrder) {
+  adaptive::PlaybackConfig cfg;
+  cfg.video.frames = 8;  // tiny clip: this test profiles two systems
+
+  // Standard profiled FIRST.
+  adaptive::AdaptiveDecoderSystem first(cfg);
+  const double std_first =
+      first.profile(adaptive::DecoderMode::kStandard).norm_power;
+  const double comb_first =
+      first.profile(adaptive::DecoderMode::kCombined).norm_power;
+
+  // Standard profiled LAST (other modes trigger the lazy reference).
+  adaptive::AdaptiveDecoderSystem last(cfg);
+  const double comb_last =
+      last.profile(adaptive::DecoderMode::kCombined).norm_power;
+  const double df_last =
+      last.profile(adaptive::DecoderMode::kDeblockOff).norm_power;
+  const double std_last =
+      last.profile(adaptive::DecoderMode::kStandard).norm_power;
+
+  // Standard is the reference: exactly 1.0, assigned explicitly in both
+  // orders (not inherited from the ModeProfile default, which is 0).
+  EXPECT_EQ(std_first, 1.0);
+  EXPECT_EQ(std_last, 1.0);
+  // Every profiled mode carries an assigned (nonzero) normalization, and
+  // the same mode agrees across profiling orders.
+  EXPECT_GT(comb_first, 0.0);
+  EXPECT_GT(df_last, 0.0);
+  EXPECT_DOUBLE_EQ(comb_first, comb_last);
+  // Consistency with the underlying energies.
+  EXPECT_NEAR(comb_last,
+              last.profile(adaptive::DecoderMode::kCombined).energy.total_nj() /
+                  last.profile(adaptive::DecoderMode::kStandard)
+                      .energy.total_nj(),
+              1e-12);
+}

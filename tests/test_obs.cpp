@@ -1,0 +1,162 @@
+// Tests for the observability layer: registry semantics, histogram
+// bucketing, scoped timers and JSON serialization.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace obs = affectsys::obs;
+
+TEST(Registry, SameNameReturnsSameMetric) {
+  obs::Registry reg;
+  obs::Counter& a = reg.counter("x.count");
+  obs::Counter& b = reg.counter("x.count");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_EQ(&reg.gauge("x.gauge"), &reg.gauge("x.gauge"));
+  EXPECT_EQ(&reg.histogram("x.hist"), &reg.histogram("x.hist"));
+}
+
+TEST(Registry, ResetValuesKeepsRegistrations) {
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("y.count");
+  obs::Gauge& g = reg.gauge("y.gauge");
+  obs::Histogram& h = reg.histogram("y.hist");
+  c.add(5);
+  g.set(2.5);
+  h.observe(100.0);
+  reg.reset_values();
+  // Same objects (cached references stay valid), zeroed values.
+  EXPECT_EQ(&reg.counter("y.count"), &c);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+}
+
+TEST(Counter, ConcurrentAddsDoNotLoseIncrements) {
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("t.count");
+  constexpr int kThreads = 4;
+  constexpr int kAdds = 50000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (int i = 0; i < kAdds; ++i) c.add(1);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kAdds);
+}
+
+TEST(Histogram, ObservationsLandInTheRightBuckets) {
+  const double bounds[] = {10.0, 100.0, 1000.0};
+  obs::Histogram h{bounds};
+  h.observe(5.0);     // <= 10
+  h.observe(10.0);    // inclusive upper edge
+  h.observe(50.0);    // <= 100
+  h.observe(5000.0);  // overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 0u);
+  EXPECT_EQ(h.bucket_count(3), 1u);  // overflow bucket
+  EXPECT_DOUBLE_EQ(h.sum(), 5065.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 5065.0 / 4.0);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  const double unsorted[] = {5.0, 1.0};
+  EXPECT_THROW(obs::Histogram{unsorted}, std::invalid_argument);
+  std::vector<double> too_many(obs::Histogram::kMaxBounds + 1);
+  for (std::size_t i = 0; i < too_many.size(); ++i) {
+    too_many[i] = static_cast<double>(i);
+  }
+  EXPECT_THROW(obs::Histogram{too_many}, std::invalid_argument);
+}
+
+TEST(ScopedTimer, RecordsPositiveDurations) {
+  obs::Registry reg;
+  obs::Histogram& h = reg.histogram("t.ns");
+  {
+    obs::ScopedTimerNs timer(h);
+    // A handful of volatile stores so the scope is not empty.
+    volatile int sink = 0;
+    for (int i = 0; i < 1000; ++i) sink = i;
+    (void)sink;
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GT(h.sum(), 0.0);
+}
+
+#if defined(AFFECTSYS_METRICS) && AFFECTSYS_METRICS
+TEST(Macros, RecordIntoGlobalRegistry) {
+  obs::Counter& c = obs::Registry::global().counter("obstest.macro_count");
+  const std::uint64_t before = c.value();
+  AFFECTSYS_COUNT("obstest.macro_count", 2);
+  AFFECTSYS_COUNT("obstest.macro_count", 3);
+  EXPECT_EQ(c.value(), before + 5);
+
+  AFFECTSYS_GAUGE_SET("obstest.macro_gauge", 1.5);
+  EXPECT_EQ(obs::Registry::global().gauge("obstest.macro_gauge").value(), 1.5);
+
+  {
+    AFFECTSYS_TIME_SCOPE("obstest.macro_ns");
+  }
+  EXPECT_GE(obs::Registry::global().histogram("obstest.macro_ns").count(), 1u);
+}
+#endif
+
+TEST(Json, WriterEscapesAndNests) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("quote\"key").value("line\nbreak");
+  w.key("nums").begin_array();
+  w.value(std::uint64_t{42});
+  w.value(2.5);
+  w.value(true);
+  w.end_array();
+  w.end_object();
+  const std::string& s = w.str();
+  EXPECT_NE(s.find("\"quote\\\"key\""), std::string::npos);
+  EXPECT_NE(s.find("line\\nbreak"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_NE(s.find("2.5"), std::string::npos);
+  EXPECT_NE(s.find("true"), std::string::npos);
+  // Balanced delimiters.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '{'),
+            std::count(s.begin(), s.end(), '}'));
+  EXPECT_EQ(std::count(s.begin(), s.end(), '['),
+            std::count(s.begin(), s.end(), ']'));
+}
+
+TEST(Json, NonFiniteDoublesSerializeAsNull) {
+  obs::JsonWriter w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.end_array();
+  EXPECT_EQ(w.str().find("inf"), std::string::npos);
+  EXPECT_NE(w.str().find("null"), std::string::npos);
+}
+
+TEST(Json, RegistrySnapshotContainsAllSections) {
+  obs::Registry reg;
+  reg.counter("a.frames").add(7);
+  reg.gauge("a.saving").set(0.25);
+  reg.histogram("a.ns").observe(123.0);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.frames\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"a.saving\": 0.25"), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"mean\": 123"), std::string::npos);
+}

@@ -2,6 +2,7 @@
 // and the offload placement study.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <random>
 
 #include "affect/realtime.hpp"
@@ -116,6 +117,49 @@ TEST_F(PipelineFixture, SustainedSpeechConvergesToTruth) {
   EXPECT_GT(pipe.stats().windows_classified, 4u);
   EXPECT_GT(raw_labels, 0);
   EXPECT_EQ(pipe.stable_emotion(), affect::Emotion::kAngry);
+}
+
+// Regression test for the window-scheduler drift bug: the next deadline
+// used to be anchored to buffer_end_t_, so the effective stride was
+// quantized up to the chunk boundary (chunks not dividing the stride)
+// and chunks longer than the stride considered only one window per
+// chunk, silently skipping the rest.  The deadline clock must tick in
+// exact strides from the moment the first full window is available,
+// independent of chunk size.
+TEST_F(PipelineFixture, WindowCountMatchesAnalyticRegardlessOfChunkSize) {
+  // All durations are binary-representable so the analytic count below is
+  // exact: window 1.0 s, stride 0.5 s, chunks of 0.375 s (< stride, not a
+  // divisor of it) and 0.75 s (> stride).
+  for (const double chunk_s : {0.375, 0.75}) {
+    affect::RealtimeConfig cfg;
+    ASSERT_EQ(cfg.window_s, 1.0);
+    ASSERT_EQ(cfg.window_stride_s, 0.5);
+    affect::RealtimePipeline pipe(classifier(), cfg);
+
+    const auto chunk_len =
+        static_cast<std::size_t>(chunk_s * cfg.sample_rate_hz);
+    const std::vector<double> silence(chunk_len, 0.0);
+    const std::size_t n_chunks =
+        static_cast<std::size_t>(30.0 / chunk_s);  // 30 s total
+    for (std::size_t i = 0; i < n_chunks; ++i) {
+      pipe.push_audio(static_cast<double>(i) * chunk_s, silence);
+    }
+
+    // First window fires once one full window of audio has arrived, i.e.
+    // after ceil(window / chunk) chunks; one more window per stride after
+    // that, up to the stream end.
+    const auto chunks_to_fill = static_cast<std::size_t>(
+        std::ceil(cfg.window_s / chunk_s));
+    const double t_first = static_cast<double>(chunks_to_fill) * chunk_s;
+    const double total_s = static_cast<double>(n_chunks) * chunk_s;
+    const auto expected =
+        static_cast<std::uint64_t>((total_s - t_first) /
+                                   cfg.window_stride_s) + 1;
+    EXPECT_EQ(pipe.stats().windows_considered, expected)
+        << "chunk_s=" << chunk_s;
+    // Silence: the VAD gate saves every classifier invocation.
+    EXPECT_EQ(pipe.stats().windows_classified, 0u);
+  }
 }
 
 // ------------------------------------------------------------------ offload

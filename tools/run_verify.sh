@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Tier-1 verification under both the default build and the ASan+UBSan
+# build (-DAFFECTSYS_SANITIZE=ON).  Run from the repo root:
+#
+#   tools/run_verify.sh            # both passes
+#   tools/run_verify.sh default    # default build only
+#   tools/run_verify.sh sanitize   # sanitizer build only
+#
+# Build trees: build/ (default) and build-asan/ (sanitized).  Tests carry
+# the ctest label "tier1"; the sanitized configuration additionally
+# labels them "sanitize".
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs=$(nproc 2>/dev/null || echo 4)
+mode="${1:-all}"
+
+run_pass() {
+  local dir="$1"; shift
+  local label="$1"; shift
+  echo "=== [$label] configure + build ($dir) ==="
+  cmake -B "$dir" -S . "$@"
+  cmake --build "$dir" -j "$jobs"
+  echo "=== [$label] ctest ==="
+  (cd "$dir" && ctest --output-on-failure -j "$jobs" -L tier1)
+}
+
+case "$mode" in
+  default)  run_pass build default ;;
+  sanitize) run_pass build-asan sanitize -DAFFECTSYS_SANITIZE=ON ;;
+  all)
+    run_pass build default
+    run_pass build-asan sanitize -DAFFECTSYS_SANITIZE=ON
+    ;;
+  *) echo "usage: $0 [default|sanitize|all]" >&2; exit 2 ;;
+esac
+
+echo "verification passed ($mode)"
