@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/thread_pool.hpp"
 #include "obs/metrics.hpp"
 
 namespace affectsys::affect {
@@ -10,6 +11,8 @@ RealtimePipeline::RealtimePipeline(AffectClassifier& classifier,
                                    const RealtimeConfig& cfg)
     : classifier_(classifier), cfg_(cfg), vad_(cfg.vad),
       stream_(cfg.stream) {}
+
+RealtimePipeline::~RealtimePipeline() { drain(); }
 
 std::optional<Emotion> RealtimePipeline::push_audio(
     double t_s, std::span<const double> chunk) {
@@ -48,16 +51,85 @@ std::optional<Emotion> RealtimePipeline::push_audio(
     }
     ++stats_.windows_classified;
     AFFECTSYS_COUNT("affect.windows_classified", 1);
-    AFFECTSYS_TIME_SCOPE("affect.window_classify_ns");
-    const ClassificationResult res = classifier_.classify(window);
-    if (raw_cb_) raw_cb_(buffer_end_t_, res.emotion, res.confidence);
-    if (auto c = stream_.push(buffer_end_t_, res.emotion)) {
-      ++stats_.stable_changes;
-      AFFECTSYS_COUNT("affect.stable_changes", 1);
-      changed = c;
+    if (cfg_.async) {
+      enqueue_window(buffer_end_t_, window);
+      continue;
     }
+    if (auto c = classify_and_apply(buffer_end_t_, window)) changed = c;
   }
   return changed;
+}
+
+std::optional<Emotion> RealtimePipeline::classify_and_apply(
+    double t_end, std::span<const double> window) {
+  AFFECTSYS_TIME_SCOPE("affect.window_classify_ns");
+  const ClassificationResult res = classifier_.classify(window);
+  if (raw_cb_) raw_cb_(t_end, res.emotion, res.confidence);
+  std::lock_guard<std::mutex> lk(mu_);
+  if (auto c = stream_.push(t_end, res.emotion)) {
+    ++stats_.stable_changes;
+    AFFECTSYS_COUNT("affect.stable_changes", 1);
+    return c;
+  }
+  return std::nullopt;
+}
+
+void RealtimePipeline::enqueue_window(double t_end,
+                                      std::span<const double> window) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (pending_.size() >= cfg_.max_inflight) {
+      // Capture must not block on a saturated classifier: shed the
+      // newest window and account for it.
+      ++stats_.windows_dropped;
+      AFFECTSYS_COUNT("affect.windows_dropped", 1);
+      return;
+    }
+    pending_.push_back(
+        PendingWindow{t_end, std::vector<double>(window.begin(), window.end())});
+    AFFECTSYS_GAUGE_SET("affect.inflight_windows", pending_.size());
+    if (worker_active_) return;  // running worker will pick it up
+    worker_active_ = true;
+  }
+  // One worker at a time: inference mutates layer activation caches, and
+  // FIFO application keeps smoothing identical to the sync pipeline.
+  // With an inline (serial) pool this executes before submit returns,
+  // degrading async mode to the synchronous behaviour.
+  core::global_pool().submit([this] { drain_queue(); });
+}
+
+void RealtimePipeline::drain_queue() {
+  for (;;) {
+    PendingWindow w;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (pending_.empty()) {
+        worker_active_ = false;
+        idle_cv_.notify_all();
+        return;
+      }
+      w = std::move(pending_.front());
+      pending_.pop_front();
+      AFFECTSYS_GAUGE_SET("affect.inflight_windows", pending_.size());
+    }
+    try {
+      classify_and_apply(w.t_end, w.samples);
+    } catch (...) {
+      // A window that fails to classify must not wedge the worker (and
+      // with it drain()); count it and keep consuming.
+      AFFECTSYS_COUNT("affect.async_classify_errors", 1);
+    }
+  }
+}
+
+void RealtimePipeline::drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [this] { return pending_.empty() && !worker_active_; });
+}
+
+Emotion RealtimePipeline::stable_emotion() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stream_.stable();
 }
 
 }  // namespace affectsys::affect

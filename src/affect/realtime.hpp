@@ -6,9 +6,23 @@
 // the VAD saw enough speech, and stable emotions pop out the other end.
 // The pipeline also counts classifier invocations, which the offload
 // energy study consumes.
+//
+// Async mode (RealtimeConfig::async): windows surviving the VAD gate
+// are copied into a bounded pending queue and classified by a single
+// in-order worker task on the global thread pool, so push_audio() —
+// the capture path — never blocks on inference.  At most one worker
+// runs at a time (the model caches activations, so inference is not
+// reentrant), which also keeps the EmotionStream update order identical
+// to the synchronous pipeline; after drain() the stable emotion and
+// stats match the sync run exactly.  When the queue is full the newest
+// window is dropped and counted, mirroring what a saturated capture
+// path must do on-device.
 #pragma once
 
+#include <condition_variable>
+#include <deque>
 #include <functional>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -27,12 +41,18 @@ struct RealtimeConfig {
   double min_speech_fraction = 0.3;
   VadConfig vad{};
   StreamConfig stream{3, 2.0};
+  /// Classify on the global thread pool instead of inside push_audio().
+  bool async = false;
+  /// Bound on pending (accepted, not yet classified) windows in async
+  /// mode; overflow drops the newest window and counts it.
+  std::size_t max_inflight = 8;
 };
 
 struct RealtimeStats {
   std::uint64_t samples_in = 0;
   std::uint64_t windows_considered = 0;
   std::uint64_t windows_classified = 0;  ///< survived the VAD gate
+  std::uint64_t windows_dropped = 0;     ///< async queue overflow
   std::uint64_t stable_changes = 0;
 };
 
@@ -40,21 +60,53 @@ class RealtimePipeline {
  public:
   /// The classifier must outlive the pipeline.
   RealtimePipeline(AffectClassifier& classifier, const RealtimeConfig& cfg);
+  /// Drains outstanding async work before destruction.
+  ~RealtimePipeline();
+
+  RealtimePipeline(const RealtimePipeline&) = delete;
+  RealtimePipeline& operator=(const RealtimePipeline&) = delete;
 
   /// Feeds a chunk of audio stamped at `t_s` (chunk start).  Returns the
-  /// new stable emotion if this chunk's processing changed it.
+  /// new stable emotion if this chunk's processing changed it.  In async
+  /// mode classification completes in the background, so this always
+  /// returns nullopt; observe results via drain() + stable_emotion() or
+  /// the raw-label callback.
   std::optional<Emotion> push_audio(double t_s,
                                     std::span<const double> chunk);
 
-  Emotion stable_emotion() const { return stream_.stable(); }
+  /// Barrier: blocks until every accepted window has been classified
+  /// and applied to the stream.  No-op in sync mode.  Makes async runs
+  /// deterministic for tests and benchmarks.
+  void drain();
+
+  Emotion stable_emotion() const;
+  /// In async mode, call drain() first — the worker updates the
+  /// smoothing stream and stable-change counters concurrently.
   const RealtimeStats& stats() const { return stats_; }
 
-  /// Observer of every raw (pre-smoothing) classification.
+  /// Observer of every raw (pre-smoothing) classification.  In async
+  /// mode it is invoked from the pool worker (windows in order, calls
+  /// never overlapping) and must not call back into the pipeline.
+  /// Set before the first push_audio().
   void on_raw_label(std::function<void(double, Emotion, float)> cb) {
     raw_cb_ = std::move(cb);
   }
 
  private:
+  struct PendingWindow {
+    double t_end = 0.0;
+    std::vector<double> samples;
+  };
+
+  /// Classifies one window and pushes it through the smoothing stream;
+  /// returns the new stable emotion on change.
+  std::optional<Emotion> classify_and_apply(double t_end,
+                                            std::span<const double> window);
+  void enqueue_window(double t_end, std::span<const double> window);
+  /// Worker body: classifies pending windows FIFO until the queue is
+  /// empty, then retires itself.
+  void drain_queue();
+
   AffectClassifier& classifier_;
   RealtimeConfig cfg_;
   VoiceActivityDetector vad_;
@@ -67,6 +119,14 @@ class RealtimePipeline {
   /// to that moment and subsequent ones advance by exactly one stride.
   bool window_clock_started_ = false;
   std::function<void(double, Emotion, float)> raw_cb_;
+
+  /// Guards pending_, worker_active_, stream_ and stats_.stable_changes
+  /// against the async worker; uncontended (and the worker path unused)
+  /// in sync mode.
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  std::deque<PendingWindow> pending_;
+  bool worker_active_ = false;
 };
 
 }  // namespace affectsys::affect

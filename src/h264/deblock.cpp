@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "core/thread_pool.hpp"
 #include "obs/metrics.hpp"
 
 namespace affectsys::h264 {
@@ -138,62 +139,106 @@ DeblockStats deblock_frame(YuvFrame& frame, const std::vector<MbInfo>& mb_info,
     return mb_info[static_cast<std::size_t>(mby) * mb_cols + mbx];
   };
 
-  // Vertical edges (filter across x = 4k boundaries), then horizontal.
-  for (int mby = 0; mby < mb_rows; ++mby) {
-    for (int mbx = 0; mbx < mb_cols; ++mbx) {
-      const MbInfo& cur = mb_at(mbx, mby);
-      for (int edge = 0; edge < 4; ++edge) {
-        const int x = mbx * kMbSize + edge * 4;
-        if (x == 0) continue;  // frame boundary
-        const bool mb_edge = edge == 0;
-        const MbInfo& left = mb_edge ? mb_at(mbx - 1, mby) : cur;
-        for (int y4 = 0; y4 < 4; ++y4) {
-          const int q_blk = y4 * 4 + edge;
-          const int p_blk = mb_edge ? y4 * 4 + 3 : y4 * 4 + edge - 1;
-          const int bs = boundary_strength(left, p_blk, cur, q_blk, mb_edge);
-          ++stats.edges_examined;
-          if (bs == 0) continue;
-          ++stats.edges_filtered;
-          const int y0 = mby * kMbSize + y4 * 4;
-          for (int line = 0; line < 4; ++line) {
-            const int yy = y0 + line;
-            stats.pixels_modified += static_cast<std::uint64_t>(filter_line(
-                bs, qp,
-                [&](int off) { return static_cast<int>(Y.at(x + off, yy)); },
-                [&](int off, int v) { Y.at(x + off, yy) = clamp_pixel(v); }));
+  // Vertical edges (filter across x = 4k boundaries), then horizontal —
+  // the spec's pass ordering.  The vertical pass only touches pixels
+  // inside its own 16-line macroblock row, so it runs parallel over MB
+  // rows.  The horizontal pass filters each pixel column independently
+  // (every filtered line is vertical, at a fixed x), so it runs
+  // parallel over MB columns; within a column the serial top-to-bottom
+  // edge order is preserved, which keeps the output bit-exact against
+  // the serial build for any thread count.  Each task accumulates stats
+  // into its own slot; the deterministic sum below keeps DecodeActivity
+  // identical too.
+  {
+    AFFECTSYS_TIME_SCOPE("h264.deblock_v_ns");
+    std::vector<DeblockStats> row_stats(static_cast<std::size_t>(mb_rows));
+    core::parallel_for(
+        0, static_cast<std::size_t>(mb_rows), 1,
+        [&](std::size_t r0, std::size_t r1) {
+          for (std::size_t r = r0; r < r1; ++r) {
+            const int mby = static_cast<int>(r);
+            DeblockStats& st = row_stats[r];
+            for (int mbx = 0; mbx < mb_cols; ++mbx) {
+              const MbInfo& cur = mb_at(mbx, mby);
+              for (int edge = 0; edge < 4; ++edge) {
+                const int x = mbx * kMbSize + edge * 4;
+                if (x == 0) continue;  // frame boundary
+                const bool mb_edge = edge == 0;
+                const MbInfo& left = mb_edge ? mb_at(mbx - 1, mby) : cur;
+                for (int y4 = 0; y4 < 4; ++y4) {
+                  const int q_blk = y4 * 4 + edge;
+                  const int p_blk = mb_edge ? y4 * 4 + 3 : y4 * 4 + edge - 1;
+                  const int bs =
+                      boundary_strength(left, p_blk, cur, q_blk, mb_edge);
+                  ++st.edges_examined;
+                  if (bs == 0) continue;
+                  ++st.edges_filtered;
+                  const int y0 = mby * kMbSize + y4 * 4;
+                  for (int line = 0; line < 4; ++line) {
+                    const int yy = y0 + line;
+                    st.pixels_modified +=
+                        static_cast<std::uint64_t>(filter_line(
+                            bs, qp,
+                            [&](int off) {
+                              return static_cast<int>(Y.at(x + off, yy));
+                            },
+                            [&](int off, int v) {
+                              Y.at(x + off, yy) = clamp_pixel(v);
+                            }));
+                  }
+                }
+              }
+            }
           }
-        }
-      }
-    }
+        });
+    for (const DeblockStats& st : row_stats) stats += st;
   }
-  for (int mby = 0; mby < mb_rows; ++mby) {
-    for (int mbx = 0; mbx < mb_cols; ++mbx) {
-      const MbInfo& cur = mb_at(mbx, mby);
-      for (int edge = 0; edge < 4; ++edge) {
-        const int y = mby * kMbSize + edge * 4;
-        if (y == 0) continue;
-        const bool mb_edge = edge == 0;
-        const MbInfo& top = mb_edge ? mb_at(mbx, mby - 1) : cur;
-        for (int x4 = 0; x4 < 4; ++x4) {
-          const int q_blk = edge * 4 + x4;
-          const int p_blk = mb_edge ? 3 * 4 + x4 : (edge - 1) * 4 + x4;
-          const int bs = boundary_strength(top, p_blk, cur, q_blk, mb_edge);
-          ++stats.edges_examined;
-          if (bs == 0) continue;
-          ++stats.edges_filtered;
-          const int x0 = mbx * kMbSize + x4 * 4;
-          for (int line = 0; line < 4; ++line) {
-            const int xx = x0 + line;
-            stats.pixels_modified += static_cast<std::uint64_t>(filter_line(
-                bs, qp,
-                [&](int off) { return static_cast<int>(Y.at(xx, y + off)); },
-                [&](int off, int v) { Y.at(xx, y + off) = clamp_pixel(v); }));
+  {
+    AFFECTSYS_TIME_SCOPE("h264.deblock_h_ns");
+    std::vector<DeblockStats> col_stats(static_cast<std::size_t>(mb_cols));
+    core::parallel_for(
+        0, static_cast<std::size_t>(mb_cols), 1,
+        [&](std::size_t c0, std::size_t c1) {
+          for (std::size_t c = c0; c < c1; ++c) {
+            const int mbx = static_cast<int>(c);
+            DeblockStats& st = col_stats[c];
+            for (int mby = 0; mby < mb_rows; ++mby) {
+              const MbInfo& cur = mb_at(mbx, mby);
+              for (int edge = 0; edge < 4; ++edge) {
+                const int y = mby * kMbSize + edge * 4;
+                if (y == 0) continue;
+                const bool mb_edge = edge == 0;
+                const MbInfo& top = mb_edge ? mb_at(mbx, mby - 1) : cur;
+                for (int x4 = 0; x4 < 4; ++x4) {
+                  const int q_blk = edge * 4 + x4;
+                  const int p_blk = mb_edge ? 3 * 4 + x4 : (edge - 1) * 4 + x4;
+                  const int bs =
+                      boundary_strength(top, p_blk, cur, q_blk, mb_edge);
+                  ++st.edges_examined;
+                  if (bs == 0) continue;
+                  ++st.edges_filtered;
+                  const int x0 = mbx * kMbSize + x4 * 4;
+                  for (int line = 0; line < 4; ++line) {
+                    const int xx = x0 + line;
+                    st.pixels_modified +=
+                        static_cast<std::uint64_t>(filter_line(
+                            bs, qp,
+                            [&](int off) {
+                              return static_cast<int>(Y.at(xx, y + off));
+                            },
+                            [&](int off, int v) {
+                              Y.at(xx, y + off) = clamp_pixel(v);
+                            }));
+                  }
+                }
+              }
+            }
           }
-        }
-      }
-    }
+        });
+    for (const DeblockStats& st : col_stats) stats += st;
   }
 
+  AFFECTSYS_TIME_SCOPE("h264.deblock_chroma_ns");
   // Chroma: filter macroblock-boundary edges only, using the bs of the
   // co-located luma edge class (2 if either MB coded, 4 if intra).
   for (Plane* C : {&frame.cb, &frame.cr}) {

@@ -36,6 +36,13 @@ struct DeblockStats {
   std::uint64_t edges_examined = 0;
   std::uint64_t edges_filtered = 0;
   std::uint64_t pixels_modified = 0;
+
+  DeblockStats& operator+=(const DeblockStats& o) {
+    edges_examined += o.edges_examined;
+    edges_filtered += o.edges_filtered;
+    pixels_modified += o.pixels_modified;
+    return *this;
+  }
 };
 
 /// Filters a reconstructed frame in place.  `mb_info` is raster-ordered

@@ -54,10 +54,14 @@ std::optional<DecodedPicture> Decoder::decode_nal(const NalUnit& nal) {
   activity_.bytes_in += nal.byte_size();
   AFFECTSYS_COUNT("h264.nal_units", 1);
   AFFECTSYS_COUNT("h264.bytes_in", nal.byte_size());
-  const std::vector<std::uint8_t> rbsp =
-      remove_emulation_prevention(nal.payload);
+  // Emulation-prevention removal is done per branch: decode_slice()
+  // de-escapes its own payload, and doing it here as well copied every
+  // slice payload twice (measurable as wall-vs-observed skew in
+  // bench_main, since the duplicate ran outside the decode_ns scope).
   switch (nal.type) {
     case NalType::kSps: {
+      const std::vector<std::uint8_t> rbsp =
+          remove_emulation_prevention(nal.payload);
       BitReader br(rbsp);
       br.get_bits(24);  // profile / constraints / level
       br.get_ue();      // sps_id
@@ -68,6 +72,8 @@ std::optional<DecodedPicture> Decoder::decode_nal(const NalUnit& nal) {
       return std::nullopt;
     }
     case NalType::kPps: {
+      const std::vector<std::uint8_t> rbsp =
+          remove_emulation_prevention(nal.payload);
       BitReader br(rbsp);
       br.get_ue();  // pps_id
       br.get_ue();  // sps_id

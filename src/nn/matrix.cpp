@@ -1,9 +1,34 @@
 #include "nn/matrix.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
+#include "core/thread_pool.hpp"
+
 namespace affectsys::nn {
+namespace {
+
+/// Below this many multiply-adds a GEMM stays on the caller thread:
+/// pool dispatch costs more than the loop.  Classifier-scale products
+/// (hundreds of rows/cols) clear it; per-timestep recurrent steps
+/// don't.
+constexpr std::size_t kParallelFlopThreshold = 1u << 18;
+
+/// k-tile edge for the blocked kernel: 64 rows of a float matrix with
+/// a few hundred columns stay L1/L2-resident while a row block streams
+/// over them.  Tiling does not reorder the per-element accumulation
+/// (k still ascends within each output row), so blocked == unblocked
+/// bit-for-bit.
+constexpr std::size_t kKBlock = 64;
+
+std::size_t row_grain(std::size_t rows) {
+  // Aim for a few chunks per worker so the tail imbalance stays small.
+  const std::size_t workers = std::max<std::size_t>(1, core::global_threads());
+  return std::max<std::size_t>(1, rows / (4 * workers));
+}
+
+}  // namespace
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, float fill)
     : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
@@ -52,14 +77,28 @@ void Matrix::fill(float v) {
 Matrix Matrix::matmul(const Matrix& o) const {
   if (cols_ != o.rows_) throw std::invalid_argument("matmul: shape mismatch");
   Matrix out(rows_, o.cols_);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    for (std::size_t k = 0; k < cols_; ++k) {
-      const float a = (*this)(r, k);
-      if (a == 0.0f) continue;
-      const float* orow = &o.data_[k * o.cols_];
-      float* out_row = &out.data_[r * o.cols_];
-      for (std::size_t c = 0; c < o.cols_; ++c) out_row[c] += a * orow[c];
+  // Output rows are independent, so the row range splits across the
+  // pool; within a row, k ascends tile by tile — the same accumulation
+  // order as the plain loop, so serial and parallel results match
+  // bit-for-bit.
+  auto kernel = [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t k0 = 0; k0 < cols_; k0 += kKBlock) {
+      const std::size_t k1 = std::min(cols_, k0 + kKBlock);
+      for (std::size_t r = r0; r < r1; ++r) {
+        float* out_row = &out.data_[r * o.cols_];
+        for (std::size_t k = k0; k < k1; ++k) {
+          const float a = (*this)(r, k);
+          if (a == 0.0f) continue;
+          const float* orow = &o.data_[k * o.cols_];
+          for (std::size_t c = 0; c < o.cols_; ++c) out_row[c] += a * orow[c];
+        }
+      }
     }
+  };
+  if (rows_ * cols_ * o.cols_ >= kParallelFlopThreshold) {
+    core::parallel_for(0, rows_, row_grain(rows_), kernel);
+  } else {
+    kernel(0, rows_);
   }
   return out;
 }
@@ -86,14 +125,21 @@ Matrix Matrix::matmul_transposed(const Matrix& o) const {
     throw std::invalid_argument("matmul_transposed: shape mismatch");
   }
   Matrix out(rows_, o.rows_);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    for (std::size_t c = 0; c < o.rows_; ++c) {
-      float acc = 0.0f;
-      const float* arow = &data_[r * cols_];
-      const float* brow = &o.data_[c * o.cols_];
-      for (std::size_t k = 0; k < cols_; ++k) acc += arow[k] * brow[k];
-      out(r, c) = acc;
+  auto kernel = [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+      for (std::size_t c = 0; c < o.rows_; ++c) {
+        float acc = 0.0f;
+        const float* arow = &data_[r * cols_];
+        const float* brow = &o.data_[c * o.cols_];
+        for (std::size_t k = 0; k < cols_; ++k) acc += arow[k] * brow[k];
+        out(r, c) = acc;
+      }
     }
+  };
+  if (rows_ * cols_ * o.rows_ >= kParallelFlopThreshold) {
+    core::parallel_for(0, rows_, row_grain(rows_), kernel);
+  } else {
+    kernel(0, rows_);
   }
   return out;
 }

@@ -2,6 +2,8 @@
 
 #include <bit>
 #include <cmath>
+#include <map>
+#include <mutex>
 #include <numbers>
 #include <stdexcept>
 
@@ -12,34 +14,71 @@ std::size_t next_pow2(std::size_t n) {
   return std::bit_ceil(n);
 }
 
+FftPlan::FftPlan(std::size_t n) : n_(n) {
+  if (n == 0 || !std::has_single_bit(n)) {
+    throw std::invalid_argument("FftPlan: size must be a power of two");
+  }
+  bitrev_.resize(n);
+  bitrev_[0] = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    bitrev_[i] = static_cast<std::uint32_t>(
+        (bitrev_[i >> 1] >> 1) | ((i & 1) ? (n >> 1) : 0));
+  }
+  twiddle_.reserve(n > 1 ? n - 1 : 0);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    for (std::size_t k = 0; k < len / 2; ++k) {
+      twiddle_.push_back(std::polar(
+          1.0, -2.0 * std::numbers::pi * static_cast<double>(k) /
+                   static_cast<double>(len)));
+    }
+  }
+}
+
+void FftPlan::execute(std::span<std::complex<double>> data,
+                      bool inverse) const {
+  if (data.size() != n_) {
+    throw std::invalid_argument("FftPlan::execute: buffer/plan size mismatch");
+  }
+  // Bit-reversal permutation from the cached index table.
+  for (std::size_t i = 1; i < n_; ++i) {
+    const std::size_t j = bitrev_[i];
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Danielson-Lanczos butterflies, twiddles from the plan table.
+  const std::complex<double>* w_stage = twiddle_.data();
+  for (std::size_t len = 2; len <= n_; len <<= 1) {
+    const std::size_t half = len / 2;
+    for (std::size_t i = 0; i < n_; i += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const std::complex<double> w =
+            inverse ? std::conj(w_stage[k]) : w_stage[k];
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + half] * w;
+        data[i + k] = u + v;
+        data[i + k + half] = u - v;
+      }
+    }
+    w_stage += half;
+  }
+}
+
+std::shared_ptr<const FftPlan> FftPlan::cached(std::size_t n) {
+  static std::mutex mu;
+  static std::map<std::size_t, std::shared_ptr<const FftPlan>> plans;
+  std::lock_guard<std::mutex> lk(mu);
+  auto it = plans.find(n);
+  if (it == plans.end()) {
+    it = plans.emplace(n, std::make_shared<const FftPlan>(n)).first;
+  }
+  return it->second;
+}
+
 void fft_inplace(std::span<std::complex<double>> data, bool inverse) {
   const std::size_t n = data.size();
   if (n == 0 || !std::has_single_bit(n)) {
     throw std::invalid_argument("fft_inplace: size must be a power of two");
   }
-  // Bit-reversal permutation.
-  for (std::size_t i = 1, j = 0; i < n; ++i) {
-    std::size_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j ^= bit;
-    if (i < j) std::swap(data[i], data[j]);
-  }
-  // Danielson-Lanczos butterflies.
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double ang =
-        2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1.0 : -1.0);
-    const std::complex<double> wlen{std::cos(ang), std::sin(ang)};
-    for (std::size_t i = 0; i < n; i += len) {
-      std::complex<double> w{1.0, 0.0};
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const std::complex<double> u = data[i + k];
-        const std::complex<double> v = data[i + k + len / 2] * w;
-        data[i + k] = u + v;
-        data[i + k + len / 2] = u - v;
-        w *= wlen;
-      }
-    }
-  }
+  FftPlan::cached(n)->execute(data, inverse);
 }
 
 std::vector<std::complex<double>> fft_real(std::span<const double> x) {

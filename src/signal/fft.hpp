@@ -6,6 +6,8 @@
 #pragma once
 
 #include <complex>
+#include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -14,7 +16,52 @@ namespace affectsys::signal {
 /// Smallest power of two >= n (n >= 1).
 std::size_t next_pow2(std::size_t n);
 
-/// In-place iterative radix-2 Cooley-Tukey FFT.
+/// Precomputed transform of one power-of-two size: the bit-reversal
+/// permutation and per-stage twiddle tables.  Each twiddle is generated
+/// directly as exp(-2*pi*i*k/len) (std::polar), not via the
+/// multiplicative `w *= wlen` recurrence the unplanned kernel used —
+/// that recurrence accumulates one rounding error per butterfly, which
+/// shows up as ~1e-10-level drift in long transforms.  Feature
+/// extraction calls the FFT once per analysis window, so planning also
+/// removes every per-call cos/sin evaluation from the hot path.
+///
+/// The plan is immutable after construction; execute() is const and
+/// safe to share across pool threads.
+class FftPlan {
+ public:
+  /// @throws std::invalid_argument unless n is a power of two (n >= 1).
+  explicit FftPlan(std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  /// In-place transform of a buffer of exactly size() samples.
+  /// @throws std::invalid_argument on size mismatch
+  void execute(std::span<std::complex<double>> data,
+               bool inverse = false) const;
+  void forward(std::span<std::complex<double>> data) const {
+    execute(data, false);
+  }
+  /// Unscaled inverse transform (callers divide by size()).
+  void inverse(std::span<std::complex<double>> data) const {
+    execute(data, true);
+  }
+
+  /// Process-wide plan cache keyed by size; thread-safe.  The handful
+  /// of distinct sizes in use (analysis windows, autocorrelation pads)
+  /// keeps the cache tiny, and plans are shared, never evicted.
+  static std::shared_ptr<const FftPlan> cached(std::size_t n);
+
+ private:
+  std::size_t n_;
+  std::vector<std::uint32_t> bitrev_;
+  /// Stage-major forward twiddles: for each len = 2,4,...,n the len/2
+  /// factors exp(-2*pi*i*k/len); n-1 entries total.  The inverse
+  /// transform conjugates on the fly.
+  std::vector<std::complex<double>> twiddle_;
+};
+
+/// In-place iterative radix-2 Cooley-Tukey FFT (via the cached plan for
+/// the buffer's size).
 /// @param data  complex buffer whose size must be a power of two
 /// @param inverse  when true computes the unscaled inverse transform
 /// @throws std::invalid_argument if size is not a power of two

@@ -1,0 +1,190 @@
+// Bit-exactness of the parallel decompositions.  The serial build
+// (threads 0) is the reference; decode+deblock and GEMM must produce
+// byte-identical results at every thread count, and the decoder's
+// activity counters must match exactly too (see DESIGN.md "Parallel
+// runtime" for why each decomposition preserves the serial order).
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "h264/deblock.hpp"
+#include "h264/decoder.hpp"
+#include "h264/encoder.hpp"
+#include "h264/testvideo.hpp"
+#include "nn/matrix.hpp"
+
+namespace core = affectsys::core;
+namespace h264 = affectsys::h264;
+namespace nn = affectsys::nn;
+
+namespace {
+
+/// Every test in this file sweeps the global pool size; restore the
+/// default in teardown so later suites see the stock configuration.
+class ParallelDeterminism : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    core::set_global_threads(core::default_thread_count());
+  }
+
+  static constexpr std::size_t kSweep[] = {1, 2, 4};
+};
+
+void expect_frames_identical(const h264::YuvFrame& a, const h264::YuvFrame& b,
+                             const char* what) {
+  ASSERT_TRUE(a.same_size(b)) << what;
+  EXPECT_EQ(a.y.data, b.y.data) << what << ": luma differs";
+  EXPECT_EQ(a.cb.data, b.cb.data) << what << ": Cb differs";
+  EXPECT_EQ(a.cr.data, b.cr.data) << what << ": Cr differs";
+}
+
+void expect_activity_identical(const h264::DecodeActivity& a,
+                               const h264::DecodeActivity& b,
+                               const char* what) {
+  EXPECT_EQ(a.nal_units, b.nal_units) << what;
+  EXPECT_EQ(a.bytes_in, b.bytes_in) << what;
+  EXPECT_EQ(a.bits_parsed, b.bits_parsed) << what;
+  EXPECT_EQ(a.residual_blocks, b.residual_blocks) << what;
+  EXPECT_EQ(a.coefficients, b.coefficients) << what;
+  EXPECT_EQ(a.iqit_blocks, b.iqit_blocks) << what;
+  EXPECT_EQ(a.intra_mbs, b.intra_mbs) << what;
+  EXPECT_EQ(a.inter_mbs, b.inter_mbs) << what;
+  EXPECT_EQ(a.skip_mbs, b.skip_mbs) << what;
+  EXPECT_EQ(a.deblock_edges_examined, b.deblock_edges_examined) << what;
+  EXPECT_EQ(a.deblock_edges_filtered, b.deblock_edges_filtered) << what;
+  EXPECT_EQ(a.deblock_pixels, b.deblock_pixels) << what;
+  EXPECT_EQ(a.frames_decoded, b.frames_decoded) << what;
+  EXPECT_EQ(a.frames_concealed, b.frames_concealed) << what;
+}
+
+/// Deterministic textured frame plus a mixed intra/inter/skip mb_info
+/// layout so every boundary-strength class (4, 3, 2, 1, 0) occurs.
+std::pair<h264::YuvFrame, std::vector<h264::MbInfo>> make_deblock_case(
+    int width, int height) {
+  h264::YuvFrame frame(width, height);
+  std::mt19937 rng(99);
+  std::uniform_int_distribution<int> pix(0, 255);
+  for (auto& v : frame.y.data) v = static_cast<std::uint8_t>(pix(rng));
+  for (auto& v : frame.cb.data) v = static_cast<std::uint8_t>(pix(rng));
+  for (auto& v : frame.cr.data) v = static_cast<std::uint8_t>(pix(rng));
+
+  std::vector<h264::MbInfo> mbs(static_cast<std::size_t>(frame.mb_count()));
+  std::uniform_int_distribution<int> kind(0, 3);
+  std::uniform_int_distribution<int> mv(-8, 8);
+  std::bernoulli_distribution coded(0.5);
+  for (auto& mb : mbs) {
+    switch (kind(rng)) {
+      case 0:
+        mb.intra = true;
+        break;
+      case 1:
+        mb.skipped = true;
+        break;
+      default:
+        mb.mv = {mv(rng), mv(rng)};
+        break;
+    }
+    for (auto& nz : mb.nonzero) nz = !mb.skipped && coded(rng);
+  }
+  return {std::move(frame), std::move(mbs)};
+}
+
+}  // namespace
+
+TEST_F(ParallelDeterminism, DecodeIsByteIdenticalAcrossThreadCounts) {
+  h264::VideoConfig vc;
+  vc.width = 64;
+  vc.height = 64;
+  vc.frames = 10;
+  vc.motion = 1.5;
+  const auto video = h264::generate_test_video(vc);
+
+  h264::EncoderConfig ec;
+  ec.width = vc.width;
+  ec.height = vc.height;
+  ec.qp = 26;
+  ec.gop_size = 6;
+  ec.b_frames = 1;
+  h264::Encoder enc(ec);
+  const auto stream = enc.encode_annexb(video);
+
+  core::set_global_threads(0);
+  h264::Decoder ref_dec;
+  const auto ref = ref_dec.decode_annexb(stream);
+  ASSERT_EQ(ref.size(), video.size());
+
+  for (const std::size_t threads : kSweep) {
+    core::set_global_threads(threads);
+    h264::Decoder dec;
+    const auto got = dec.decode_annexb(stream);
+    ASSERT_EQ(got.size(), ref.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      SCOPED_TRACE(::testing::Message() << "threads=" << threads
+                                        << " picture=" << i);
+      EXPECT_EQ(got[i].poc, ref[i].poc);
+      expect_frames_identical(got[i].frame, ref[i].frame, "decoded picture");
+    }
+    expect_activity_identical(dec.activity(), ref_dec.activity(),
+                              "decode activity");
+  }
+}
+
+TEST_F(ParallelDeterminism, DeblockFrameIsByteIdenticalAcrossThreadCounts) {
+  const auto [clean, mbs] = make_deblock_case(128, 128);
+
+  core::set_global_threads(0);
+  h264::YuvFrame ref = clean;
+  const auto ref_stats = h264::deblock_frame(ref, mbs, 32);
+  // The filter must actually have modified pixels for this test to bite.
+  ASSERT_GT(ref_stats.pixels_modified, 0u);
+  ASSERT_NE(ref.y.data, clean.y.data);
+
+  for (const std::size_t threads : kSweep) {
+    core::set_global_threads(threads);
+    h264::YuvFrame got = clean;
+    const auto stats = h264::deblock_frame(got, mbs, 32);
+    SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+    expect_frames_identical(got, ref, "deblocked frame");
+    EXPECT_EQ(stats.edges_examined, ref_stats.edges_examined);
+    EXPECT_EQ(stats.edges_filtered, ref_stats.edges_filtered);
+    EXPECT_EQ(stats.pixels_modified, ref_stats.pixels_modified);
+  }
+}
+
+TEST_F(ParallelDeterminism, MatmulIsBitIdenticalAcrossThreadCounts) {
+  // 96^3 = 884736 multiply-adds, comfortably above the parallel
+  // dispatch threshold, so the sweep exercises the pooled path.
+  constexpr std::size_t kN = 96;
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<float> d(-1.0f, 1.0f);
+  nn::Matrix a(kN, kN), b(kN, kN);
+  for (std::size_t r = 0; r < kN; ++r) {
+    for (std::size_t c = 0; c < kN; ++c) {
+      a.at(r, c) = d(rng);
+      b.at(r, c) = d(rng);
+    }
+  }
+
+  core::set_global_threads(0);
+  const nn::Matrix ref = a.matmul(b);
+  const nn::Matrix ref_t = a.matmul_transposed(b);
+
+  for (const std::size_t threads : kSweep) {
+    core::set_global_threads(threads);
+    const nn::Matrix got = a.matmul(b);
+    const nn::Matrix got_t = a.matmul_transposed(b);
+    for (std::size_t r = 0; r < kN; ++r) {
+      for (std::size_t c = 0; c < kN; ++c) {
+        // Exact float equality: row splits and k-tiling must not change
+        // the accumulation order.
+        ASSERT_EQ(got.at(r, c), ref.at(r, c))
+            << "matmul threads=" << threads << " at " << r << "," << c;
+        ASSERT_EQ(got_t.at(r, c), ref_t.at(r, c))
+            << "matmul_transposed threads=" << threads << " at " << r << ","
+            << c;
+      }
+    }
+  }
+}

@@ -7,6 +7,7 @@
 
 #include "affect/realtime.hpp"
 #include "affect/speech_synth.hpp"
+#include "core/thread_pool.hpp"
 #include "nn/model.hpp"
 #include "power/offload.hpp"
 
@@ -160,6 +161,109 @@ TEST_F(PipelineFixture, WindowCountMatchesAnalyticRegardlessOfChunkSize) {
     // Silence: the VAD gate saves every classifier invocation.
     EXPECT_EQ(pipe.stats().windows_classified, 0u);
   }
+}
+
+// ------------------------------------------------------------ async pipeline
+
+namespace {
+
+namespace core = affectsys::core;
+
+/// Restores the global pool to its default size on scope exit.
+struct GlobalPoolGuard {
+  ~GlobalPoolGuard() { core::set_global_threads(core::default_thread_count()); }
+};
+
+/// Streams 6 seconds of angry speech into `pipe` in 100 ms chunks.
+/// Returns the raw-label timestamps observed via the callback.
+std::vector<double> feed_angry_speech(affect::RealtimePipeline& pipe,
+                                      bool async) {
+  std::vector<double> label_times;
+  pipe.on_raw_label(
+      [&](double t, affect::Emotion, float) { label_times.push_back(t); });
+  affect::SpeechSynthesizer synth(3);
+  double t = 0.0;
+  for (int u = 0; u < 6; ++u) {
+    const auto utt =
+        synth.synthesize(affect::Emotion::kAngry, 40 + u, 1.0, 16000.0, 0.1);
+    for (std::size_t off = 0; off < utt.samples.size(); off += 1600) {
+      const std::size_t n =
+          std::min<std::size_t>(1600, utt.samples.size() - off);
+      const auto changed = pipe.push_audio(t, {utt.samples.data() + off, n});
+      // Async mode defers classification, so the capture path can never
+      // report a stable change inline.
+      if (async) EXPECT_FALSE(changed.has_value());
+      t += 0.1;
+    }
+  }
+  // The worker may still be appending to label_times; drain before the
+  // vector leaves this scope (idempotent, no-op in sync mode).
+  pipe.drain();
+  return label_times;
+}
+
+}  // namespace
+
+TEST_F(PipelineFixture, AsyncMatchesSyncAfterDrain) {
+  GlobalPoolGuard guard;
+  core::set_global_threads(2);
+
+  affect::RealtimeConfig sync_cfg;
+  sync_cfg.stream.vote_window = 3;
+  sync_cfg.stream.min_dwell_s = 0.0;
+  affect::RealtimeConfig async_cfg = sync_cfg;
+  async_cfg.async = true;
+  async_cfg.max_inflight = 64;  // deep enough that nothing sheds
+
+  affect::RealtimePipeline sync_pipe(classifier(), sync_cfg);
+  affect::RealtimePipeline async_pipe(classifier(), async_cfg);
+  const auto sync_labels = feed_angry_speech(sync_pipe, false);
+  const auto async_labels = feed_angry_speech(async_pipe, true);
+  async_pipe.drain();
+
+  // The single in-order worker makes the async run equivalent to the
+  // sync one: same windows, same classifications, same smoothing.
+  EXPECT_EQ(async_pipe.stats().windows_considered,
+            sync_pipe.stats().windows_considered);
+  EXPECT_EQ(async_pipe.stats().windows_classified,
+            sync_pipe.stats().windows_classified);
+  EXPECT_EQ(async_pipe.stats().stable_changes,
+            sync_pipe.stats().stable_changes);
+  EXPECT_EQ(async_pipe.stats().windows_dropped, 0u);
+  EXPECT_EQ(async_pipe.stable_emotion(), sync_pipe.stable_emotion());
+  EXPECT_EQ(async_labels, sync_labels);  // FIFO worker: same order, same times
+}
+
+TEST_F(PipelineFixture, AsyncZeroInflightShedsEveryWindow) {
+  GlobalPoolGuard guard;
+  core::set_global_threads(2);
+  affect::RealtimeConfig cfg;
+  cfg.async = true;
+  cfg.max_inflight = 0;  // queue admits nothing: every window sheds
+  affect::RealtimePipeline pipe(classifier(), cfg);
+  const auto labels = feed_angry_speech(pipe, true);
+  pipe.drain();
+  EXPECT_GT(pipe.stats().windows_classified, 0u);
+  EXPECT_EQ(pipe.stats().windows_dropped, pipe.stats().windows_classified);
+  EXPECT_EQ(pipe.stats().stable_changes, 0u);
+  EXPECT_TRUE(labels.empty());
+}
+
+TEST_F(PipelineFixture, DrainIsIdempotentAndSyncNoop) {
+  affect::RealtimeConfig cfg;
+  affect::RealtimePipeline sync_pipe(classifier(), cfg);
+  sync_pipe.drain();  // no async work: must return immediately
+  sync_pipe.drain();
+
+  GlobalPoolGuard guard;
+  core::set_global_threads(1);
+  cfg.async = true;
+  affect::RealtimePipeline async_pipe(classifier(), cfg);
+  feed_angry_speech(async_pipe, true);
+  async_pipe.drain();
+  const auto classified = async_pipe.stats().windows_classified;
+  async_pipe.drain();  // second drain on an idle pipeline is a no-op
+  EXPECT_EQ(async_pipe.stats().windows_classified, classified);
 }
 
 // ------------------------------------------------------------------ offload

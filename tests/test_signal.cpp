@@ -55,6 +55,74 @@ TEST(Fft, ForwardInverseRoundTrip) {
   }
 }
 
+// Regression test for the twiddle-recurrence precision bug: the kernel
+// used to generate twiddles with `w *= wlen` per butterfly, losing one
+// ulp per step, which showed up as ~1e-10 drift at long sizes.  Planned
+// twiddles come from std::polar directly, so a 4096-point round trip
+// must stay at 1e-9.
+TEST(Fft, RoundTripStaysTightAtN4096) {
+  constexpr std::size_t kN = 4096;
+  std::mt19937 rng(11);
+  std::normal_distribution<double> d(0.0, 1.0);
+  std::vector<std::complex<double>> x(kN);
+  for (auto& v : x) v = {d(rng), d(rng)};
+  auto buf = x;
+  sig::fft_inplace(buf, false);
+  sig::fft_inplace(buf, true);
+  for (std::size_t i = 0; i < kN; ++i) {
+    // The inverse is unscaled; fold the 1/N in here.
+    EXPECT_NEAR(buf[i].real() / kN, x[i].real(), 1e-9) << "bin " << i;
+    EXPECT_NEAR(buf[i].imag() / kN, x[i].imag(), 1e-9) << "bin " << i;
+  }
+}
+
+TEST(FftPlan, MatchesNaiveDftAtHighPrecision) {
+  constexpr std::size_t kN = 512;
+  std::mt19937 rng(12);
+  std::normal_distribution<double> d(0.0, 1.0);
+  std::vector<std::complex<double>> x(kN);
+  for (auto& v : x) v = {d(rng), d(rng)};
+
+  // O(n^2) reference with per-bin std::polar phases.
+  std::vector<std::complex<double>> want(kN);
+  for (std::size_t k = 0; k < kN; ++k) {
+    std::complex<double> acc{0.0, 0.0};
+    for (std::size_t j = 0; j < kN; ++j) {
+      acc += x[j] * std::polar(1.0, -2.0 * std::numbers::pi *
+                                        static_cast<double>(k * j % kN) / kN);
+    }
+    want[k] = acc;
+  }
+
+  auto got = x;
+  sig::FftPlan(kN).forward(got);
+  for (std::size_t k = 0; k < kN; ++k) {
+    EXPECT_NEAR(got[k].real(), want[k].real(), 1e-9) << "bin " << k;
+    EXPECT_NEAR(got[k].imag(), want[k].imag(), 1e-9) << "bin " << k;
+  }
+}
+
+TEST(FftPlan, RejectsNonPowerOfTwoSizes) {
+  EXPECT_THROW(sig::FftPlan(0), std::invalid_argument);
+  EXPECT_THROW(sig::FftPlan(3), std::invalid_argument);
+  EXPECT_THROW(sig::FftPlan(96), std::invalid_argument);
+}
+
+TEST(FftPlan, RejectsMismatchedBufferSize) {
+  sig::FftPlan plan(8);
+  std::vector<std::complex<double>> buf(16);
+  EXPECT_THROW(plan.forward(buf), std::invalid_argument);
+}
+
+TEST(FftPlan, CacheReturnsSharedImmutablePlans) {
+  const auto a = sig::FftPlan::cached(1024);
+  const auto b = sig::FftPlan::cached(1024);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a.get(), b.get());  // one plan per size, shared
+  EXPECT_EQ(a->size(), 1024u);
+  EXPECT_NE(a.get(), sig::FftPlan::cached(2048).get());
+}
+
 TEST(Fft, ParsevalEnergyConservation) {
   std::mt19937 rng(2);
   std::normal_distribution<double> d(0.0, 1.0);

@@ -1,14 +1,19 @@
 #!/usr/bin/env bash
-# Tier-1 verification under both the default build and the ASan+UBSan
-# build (-DAFFECTSYS_SANITIZE=ON).  Run from the repo root:
+# Tier-1 verification across the build matrix.  Run from the repo root:
 #
-#   tools/run_verify.sh            # both passes
-#   tools/run_verify.sh default    # default build only
-#   tools/run_verify.sh sanitize   # sanitizer build only
+#   tools/run_verify.sh            # every pass below
+#   tools/run_verify.sh default    # stock build (threads ON) only
+#   tools/run_verify.sh nothreads  # serial reference (-DAFFECTSYS_THREADS=OFF)
+#   tools/run_verify.sh sanitize   # ASan+UBSan build
+#   tools/run_verify.sh tsan       # TSan build, race-sensitive tests only
 #
-# Build trees: build/ (default) and build-asan/ (sanitized).  Tests carry
-# the ctest label "tier1"; the sanitized configuration additionally
-# labels them "sanitize".
+# Build trees: build/ (default), build-nothreads/, build-asan/ and
+# build-tsan/.  Tests carry the ctest label "tier1"; the sanitized
+# configuration additionally labels them "sanitize", and the
+# concurrency-sensitive suites (thread pool, parallel determinism,
+# async realtime pipeline) carry "tsan", which is all the TSan pass
+# runs — serial suites cannot race and TSan slows them ~10x for
+# nothing.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,21 +23,33 @@ mode="${1:-all}"
 run_pass() {
   local dir="$1"; shift
   local label="$1"; shift
+  local ctest_label="$1"; shift
   echo "=== [$label] configure + build ($dir) ==="
   cmake -B "$dir" -S . "$@"
   cmake --build "$dir" -j "$jobs"
-  echo "=== [$label] ctest ==="
-  (cd "$dir" && ctest --output-on-failure -j "$jobs" -L tier1)
+  echo "=== [$label] ctest -L $ctest_label ==="
+  (cd "$dir" && ctest --output-on-failure -j "$jobs" -L "$ctest_label")
 }
 
+pass_default()   { run_pass build default tier1; }
+pass_nothreads() { run_pass build-nothreads nothreads tier1 -DAFFECTSYS_THREADS=OFF; }
+pass_sanitize()  { run_pass build-asan sanitize tier1 -DAFFECTSYS_SANITIZE=ON; }
+# The parallel suites force worker threads via set_global_threads(), so
+# TSan sees real cross-thread traffic even on a single-core host.
+pass_tsan()      { run_pass build-tsan tsan tsan -DAFFECTSYS_SANITIZE=thread; }
+
 case "$mode" in
-  default)  run_pass build default ;;
-  sanitize) run_pass build-asan sanitize -DAFFECTSYS_SANITIZE=ON ;;
+  default)   pass_default ;;
+  nothreads) pass_nothreads ;;
+  sanitize)  pass_sanitize ;;
+  tsan)      pass_tsan ;;
   all)
-    run_pass build default
-    run_pass build-asan sanitize -DAFFECTSYS_SANITIZE=ON
+    pass_default
+    pass_nothreads
+    pass_sanitize
+    pass_tsan
     ;;
-  *) echo "usage: $0 [default|sanitize|all]" >&2; exit 2 ;;
+  *) echo "usage: $0 [default|nothreads|sanitize|tsan|all]" >&2; exit 2 ;;
 esac
 
 echo "verification passed ($mode)"
