@@ -20,9 +20,9 @@ AffectClassifier::AffectClassifier(nn::Sequential model,
 
 ClassificationResult AffectClassifier::classify(
     std::span<const double> samples) {
-  nn::Matrix features = [&] {
+  const nn::Matrix& features = [&]() -> const nn::Matrix& {
     AFFECTSYS_TIME_SCOPE("affect.feature_extract_ns");
-    return fx_.extract(samples);
+    return fx_.extract_into(samples, fx_ws_);
   }();
   return classify_features(features);
 }

@@ -41,6 +41,10 @@ class AffectClassifier {
   nn::Sequential model_;
   std::vector<Emotion> label_set_;
   FeatureExtractor fx_;
+  /// Reused across classify() calls so the steady-state path performs no
+  /// per-window heap allocation.  Makes classify() non-reentrant, which
+  /// it already was (model forward state).
+  FeatureWorkspace fx_ws_;
 };
 
 /// Convenience: trains a classifier of the given kind on a synthesized

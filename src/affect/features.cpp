@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "signal/features.hpp"
+#include "signal/fft.hpp"
 #include "signal/window.hpp"
 
 namespace affectsys::affect {
@@ -11,6 +12,73 @@ FeatureExtractor::FeatureExtractor(const FeatureConfig& cfg)
     : cfg_(cfg), mfcc_(cfg.mfcc) {}
 
 nn::Matrix FeatureExtractor::extract(std::span<const double> samples) const {
+  FeatureWorkspace ws;
+  return extract_into(samples, ws);  // copies out of the workspace
+}
+
+const nn::Matrix& FeatureExtractor::extract_into(
+    std::span<const double> samples, FeatureWorkspace& ws) const {
+  const auto& mc = cfg_.mfcc;
+  const std::size_t dim = feature_dim();
+
+  // Lazy sizing: no-ops once the workspace has seen one window.
+  ws.frame.resize(mc.frame_len);
+  ws.mfcc_out.resize(std::min(mc.num_coeffs, mc.num_filters));
+  ws.acorr.resize(mc.frame_len);
+  ws.acorr_work.resize(signal::next_pow2(2 * mc.frame_len) + 1);
+  ws.mag.resize(mc.fft_size / 2 + 1);
+  ws.mag_work.resize(mc.fft_size + 1);
+  if (ws.features.rows() != cfg_.timesteps || ws.features.cols() != dim) {
+    ws.features = nn::Matrix(cfg_.timesteps, dim);
+  } else {
+    ws.features.fill(0.0f);
+  }
+  nn::Matrix& out = ws.features;
+
+  const std::size_t frames =
+      signal::frame_count(samples.size(), mc.frame_len, mc.hop);
+  const std::size_t T = std::min(frames, cfg_.timesteps);
+  for (std::size_t t = 0; t < T; ++t) {
+    signal::copy_frame(samples, t, mc.hop, ws.frame);
+    const std::span<const double> frame = ws.frame;
+    mfcc_.extract_frame(frame, ws.mfcc_out, ws.mfcc);
+    for (std::size_t c = 0; c < ws.mfcc_out.size(); ++c) {
+      out(t, c) = static_cast<float>(ws.mfcc_out[c]);
+    }
+    std::size_t c = ws.mfcc_out.size();
+    out(t, c++) = static_cast<float>(signal::zero_crossing_rate(frame));
+    out(t, c++) = static_cast<float>(signal::rms(frame));
+    const auto pitch = signal::estimate_pitch(frame, mc.sample_rate, 60.0,
+                                              400.0, 0.3, ws.acorr,
+                                              ws.acorr_work);
+    // Unvoiced frames carry pitch 0; voiced pitch is scaled to O(1).
+    out(t, c++) = static_cast<float>(pitch.value_or(0.0) / 400.0);
+    out(t, c++) = static_cast<float>(
+        signal::mean_magnitude(frame, mc.fft_size, ws.mag, ws.mag_work));
+  }
+
+  if (cfg_.standardize && T > 1) {
+    for (std::size_t c = 0; c < dim; ++c) {
+      double mean = 0.0;
+      for (std::size_t t = 0; t < T; ++t) mean += out(t, c);
+      mean /= static_cast<double>(T);
+      double var = 0.0;
+      for (std::size_t t = 0; t < T; ++t) {
+        const double d = out(t, c) - mean;
+        var += d * d;
+      }
+      var /= static_cast<double>(T);
+      const double sd = std::sqrt(var) + 1e-6;
+      for (std::size_t t = 0; t < cfg_.timesteps; ++t) {
+        out(t, c) = static_cast<float>((out(t, c) - mean) / sd);
+      }
+    }
+  }
+  return out;
+}
+
+nn::Matrix FeatureExtractor::extract_ref(
+    std::span<const double> samples) const {
   const auto& mc = cfg_.mfcc;
   const auto frames = signal::frame_signal(samples, mc.frame_len, mc.hop);
   const std::size_t dim = feature_dim();
@@ -19,7 +87,7 @@ nn::Matrix FeatureExtractor::extract(std::span<const double> samples) const {
   const std::size_t T = std::min(frames.size(), cfg_.timesteps);
   for (std::size_t t = 0; t < T; ++t) {
     const auto& frame = frames[t];
-    const std::vector<double> mfcc = mfcc_.extract_frame(frame);
+    const std::vector<double> mfcc = mfcc_.extract_frame_ref(frame);
     for (std::size_t c = 0; c < mfcc.size(); ++c) {
       out(t, c) = static_cast<float>(mfcc[c]);
     }
@@ -27,11 +95,17 @@ nn::Matrix FeatureExtractor::extract(std::span<const double> samples) const {
     out(t, c++) = static_cast<float>(signal::zero_crossing_rate(frame));
     out(t, c++) = static_cast<float>(signal::rms(frame));
     const auto pitch =
-        signal::estimate_pitch(frame, mc.sample_rate, 60.0, 400.0);
-    // Unvoiced frames carry pitch 0; voiced pitch is scaled to O(1).
+        signal::estimate_pitch_ref(frame, mc.sample_rate, 60.0, 400.0);
     out(t, c++) = static_cast<float>(pitch.value_or(0.0) / 400.0);
-    out(t, c++) =
-        static_cast<float>(signal::mean_magnitude(frame, mc.fft_size));
+    // The reference magnitude path goes through the full complex FFT at
+    // the configured transform size (the pre-PR magnitude_spectrum).
+    std::vector<std::complex<double>> buf(mc.fft_size);
+    for (std::size_t i = 0; i < frame.size(); ++i) buf[i] = {frame[i], 0.0};
+    signal::fft_inplace(buf);
+    double acc = 0.0;
+    const std::size_t nbins = mc.fft_size / 2 + 1;
+    for (std::size_t k = 0; k < nbins; ++k) acc += std::abs(buf[k]);
+    out(t, c++) = static_cast<float>(acc / static_cast<double>(nbins));
   }
 
   if (cfg_.standardize && T > 1) {

@@ -17,6 +17,12 @@
 // stats match the sync run exactly.  When the queue is full the newest
 // window is dropped and counted, mirroring what a saturated capture
 // path must do on-device.
+//
+// Steady-state the per-window path is allocation-free: feature
+// extraction reuses the FeatureWorkspace owned by the AffectClassifier
+// (classify() is serialized, so one workspace suffices) and VAD stages
+// frames through a reused buffer; only the sliding window copy into the
+// async queue allocates, and only until the deque's nodes are warm.
 #pragma once
 
 #include <condition_variable>

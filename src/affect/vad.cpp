@@ -44,11 +44,16 @@ double VoiceActivityDetector::speech_fraction(
     std::span<const double> signal) {
   // Deliberately does NOT reset(): the noise floor keeps adapting across
   // calls, which is what a continuously-running wearable detector does.
-  std::size_t speech = 0, total = 0;
-  for (const auto& frame :
-       signal::frame_signal(signal, cfg_.frame_len, cfg_.hop)) {
-    speech += process_frame(frame);
-    ++total;
+  // Frames are staged through one reused buffer instead of materializing
+  // the whole frame list; the zero-padded copy matches frame_signal's
+  // output, so the decisions are identical.
+  const std::size_t total =
+      signal::frame_count(signal.size(), cfg_.frame_len, cfg_.hop);
+  frame_buf_.resize(cfg_.frame_len);
+  std::size_t speech = 0;
+  for (std::size_t t = 0; t < total; ++t) {
+    signal::copy_frame(signal, t, cfg_.hop, frame_buf_);
+    speech += process_frame(frame_buf_);
   }
   return total ? static_cast<double>(speech) / static_cast<double>(total)
                : 0.0;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <span>
+#include <vector>
 
 namespace affectsys::affect {
 
@@ -44,6 +45,9 @@ class VoiceActivityDetector {
   VadConfig cfg_;
   double noise_floor_ = 1e-4;
   int hangover_ = 0;
+  /// Frame scratch reused across speech_fraction() calls (zero
+  /// allocation steady-state).
+  std::vector<double> frame_buf_;
 };
 
 }  // namespace affectsys::affect

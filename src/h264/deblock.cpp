@@ -39,6 +39,8 @@ struct EdgePixels {
 };
 
 /// Filters one line of an edge; returns number of pixels modified.
+/// This is the pre-optimization accessor-based core, retained for
+/// deblock_frame_reference (the bit-exactness baseline).
 template <typename Get, typename Set>
 int filter_line(int bs, int qp, Get get, Set set) {
   const int alpha = kAlpha[qp];
@@ -106,6 +108,119 @@ int filter_line(int bs, int qp, Get get, Set set) {
   return modified;
 }
 
+// ---------------------------------------------------------------------------
+// Optimized strided-pointer core.
+//
+// deblock_frame below works directly on plane memory: `q0` points at the
+// first q-side pixel of an edge line, `pix` strides across the edge
+// (p-side at negative multiples) and `line` advances to the next line of
+// the same edge.  Every footprint is in-bounds by construction — luma
+// edges start at x (or y) >= 4 and YuvFrame luma dimensions are
+// multiples of 16; chroma only filters macroblock edges (x, y >= 8 in
+// half-resolution planes) — so the reference's at_clamped reads and
+// guarded writes are no-ops there and the pointer core is byte-identical.
+// All eight pixels are loaded before any store, matching the reference's
+// up-front EdgePixels fetch.
+
+/// Per-frame thresholds: QP is constant across a frame, so the table
+/// lookups happen once instead of once per filtered line.
+struct EdgeThresholds {
+  int alpha = 0;
+  int beta = 0;
+  int tc0_by_bs[4] = {0, 0, 0, 0};  ///< index by bs (1..3)
+
+  explicit EdgeThresholds(int qp)
+      : alpha(kAlpha[qp]), beta(kBeta[qp]),
+        tc0_by_bs{0, kTc0[0][qp], kTc0[1][qp], kTc0[2][qp]} {}
+};
+
+inline int filter_line_strong(const int alpha, const int beta,
+                              std::uint8_t* __restrict q0p,
+                              const std::ptrdiff_t pix) {
+  const int p0 = q0p[-pix], p1 = q0p[-2 * pix], p2 = q0p[-3 * pix],
+            p3 = q0p[-4 * pix];
+  const int q0 = q0p[0], q1 = q0p[pix], q2 = q0p[2 * pix], q3 = q0p[3 * pix];
+  if (std::abs(p0 - q0) >= alpha || std::abs(p1 - p0) >= beta ||
+      std::abs(q1 - q0) >= beta) {
+    return 0;
+  }
+  const bool strong_p =
+      std::abs(p2 - p0) < beta && std::abs(p0 - q0) < (alpha >> 2) + 2;
+  const bool strong_q =
+      std::abs(q2 - q0) < beta && std::abs(p0 - q0) < (alpha >> 2) + 2;
+  int modified = 0;
+  if (strong_p) {
+    q0p[-pix] = clamp_pixel((p2 + 2 * p1 + 2 * p0 + 2 * q0 + q1 + 4) >> 3);
+    q0p[-2 * pix] = clamp_pixel((p2 + p1 + p0 + q0 + 2) >> 2);
+    q0p[-3 * pix] = clamp_pixel((2 * p3 + 3 * p2 + p1 + p0 + q0 + 4) >> 3);
+    modified += 3;
+  } else {
+    q0p[-pix] = clamp_pixel((2 * p1 + p0 + q1 + 2) >> 2);
+    modified += 1;
+  }
+  if (strong_q) {
+    q0p[0] = clamp_pixel((q2 + 2 * q1 + 2 * q0 + 2 * p0 + p1 + 4) >> 3);
+    q0p[pix] = clamp_pixel((q2 + q1 + q0 + p0 + 2) >> 2);
+    q0p[2 * pix] = clamp_pixel((2 * q3 + 3 * q2 + q1 + q0 + p0 + 4) >> 3);
+    modified += 3;
+  } else {
+    q0p[0] = clamp_pixel((2 * q1 + q0 + p1 + 2) >> 2);
+    modified += 1;
+  }
+  return modified;
+}
+
+inline int filter_line_normal(const int alpha, const int beta, const int tc0,
+                              std::uint8_t* __restrict q0p,
+                              const std::ptrdiff_t pix) {
+  const int p0 = q0p[-pix], p1 = q0p[-2 * pix], p2 = q0p[-3 * pix];
+  const int q0 = q0p[0], q1 = q0p[pix], q2 = q0p[2 * pix];
+  if (std::abs(p0 - q0) >= alpha || std::abs(p1 - p0) >= beta ||
+      std::abs(q1 - q0) >= beta) {
+    return 0;
+  }
+  const int ap = std::abs(p2 - p0);
+  const int aq = std::abs(q2 - q0);
+  const int tc = tc0 + (ap < beta ? 1 : 0) + (aq < beta ? 1 : 0);
+  const int delta =
+      std::clamp(((q0 - p0) * 4 + (p1 - q1) + 4) >> 3, -tc, tc);
+  q0p[-pix] = clamp_pixel(std::clamp(p0 + delta, 0, 255));
+  q0p[0] = clamp_pixel(std::clamp(q0 - delta, 0, 255));
+  int modified = 2;
+  if (ap < beta && tc0 > 0) {
+    const int dp = std::clamp(
+        (p2 + ((p0 + q0 + 1) >> 1) - 2 * p1) >> 1, -tc0, tc0);
+    q0p[-2 * pix] = clamp_pixel(p1 + dp);
+    ++modified;
+  }
+  if (aq < beta && tc0 > 0) {
+    const int dq = std::clamp(
+        (q2 + ((p0 + q0 + 1) >> 1) - 2 * q1) >> 1, -tc0, tc0);
+    q0p[pix] = clamp_pixel(q1 + dq);
+    ++modified;
+  }
+  return modified;
+}
+
+/// Filters `nlines` consecutive lines of one edge; the bs==4 branch
+/// decision is hoisted out of the line loop.  Returns pixels modified.
+inline int filter_edge(const int bs, const EdgeThresholds& th,
+                       std::uint8_t* q0, const std::ptrdiff_t pix,
+                       const std::ptrdiff_t line, const int nlines) {
+  int modified = 0;
+  if (bs == 4) {
+    for (int l = 0; l < nlines; ++l, q0 += line) {
+      modified += filter_line_strong(th.alpha, th.beta, q0, pix);
+    }
+  } else {
+    const int tc0 = th.tc0_by_bs[bs];
+    for (int l = 0; l < nlines; ++l, q0 += line) {
+      modified += filter_line_normal(th.alpha, th.beta, tc0, q0, pix);
+    }
+  }
+  return modified;
+}
+
 }  // namespace
 
 int deblock_alpha(int qp) { return kAlpha[std::clamp(qp, 0, 51)]; }
@@ -131,9 +246,12 @@ DeblockStats deblock_frame(YuvFrame& frame, const std::vector<MbInfo>& mb_info,
   AFFECTSYS_TIME_SCOPE("h264.deblock_ns");
   DeblockStats stats;
   qp = std::clamp(qp, 0, 51);
+  const EdgeThresholds th(qp);
   const int mb_cols = frame.mb_cols();
   const int mb_rows = frame.mb_rows();
   Plane& Y = frame.y;
+  const std::ptrdiff_t yw = Y.width;
+  std::uint8_t* const ydata = Y.data.data();
 
   auto mb_at = [&](int mbx, int mby) -> const MbInfo& {
     return mb_info[static_cast<std::size_t>(mby) * mb_cols + mbx];
@@ -174,18 +292,10 @@ DeblockStats deblock_frame(YuvFrame& frame, const std::vector<MbInfo>& mb_info,
                   if (bs == 0) continue;
                   ++st.edges_filtered;
                   const int y0 = mby * kMbSize + y4 * 4;
-                  for (int line = 0; line < 4; ++line) {
-                    const int yy = y0 + line;
-                    st.pixels_modified +=
-                        static_cast<std::uint64_t>(filter_line(
-                            bs, qp,
-                            [&](int off) {
-                              return static_cast<int>(Y.at(x + off, yy));
-                            },
-                            [&](int off, int v) {
-                              Y.at(x + off, yy) = clamp_pixel(v);
-                            }));
-                  }
+                  // Edge lines run down the plane: pixel stride 1,
+                  // line stride = row pitch.
+                  st.pixels_modified += static_cast<std::uint64_t>(
+                      filter_edge(bs, th, ydata + y0 * yw + x, 1, yw, 4));
                 }
               }
             }
@@ -218,18 +328,10 @@ DeblockStats deblock_frame(YuvFrame& frame, const std::vector<MbInfo>& mb_info,
                   if (bs == 0) continue;
                   ++st.edges_filtered;
                   const int x0 = mbx * kMbSize + x4 * 4;
-                  for (int line = 0; line < 4; ++line) {
-                    const int xx = x0 + line;
-                    st.pixels_modified +=
-                        static_cast<std::uint64_t>(filter_line(
-                            bs, qp,
-                            [&](int off) {
-                              return static_cast<int>(Y.at(xx, y + off));
-                            },
-                            [&](int off, int v) {
-                              Y.at(xx, y + off) = clamp_pixel(v);
-                            }));
-                  }
+                  // Edge lines run across the plane: pixel stride =
+                  // row pitch, line stride 1.
+                  st.pixels_modified += static_cast<std::uint64_t>(
+                      filter_edge(bs, th, ydata + y * yw + x0, yw, 1, 4));
                 }
               }
             }
@@ -241,6 +343,110 @@ DeblockStats deblock_frame(YuvFrame& frame, const std::vector<MbInfo>& mb_info,
   AFFECTSYS_TIME_SCOPE("h264.deblock_chroma_ns");
   // Chroma: filter macroblock-boundary edges only, using the bs of the
   // co-located luma edge class (2 if either MB coded, 4 if intra).
+  for (Plane* C : {&frame.cb, &frame.cr}) {
+    const std::ptrdiff_t cw = C->width;
+    std::uint8_t* const cdata = C->data.data();
+    for (int mby = 0; mby < mb_rows; ++mby) {
+      for (int mbx = 0; mbx < mb_cols; ++mbx) {
+        const MbInfo& cur = mb_at(mbx, mby);
+        if (mbx > 0) {
+          const MbInfo& left = mb_at(mbx - 1, mby);
+          const int bs = boundary_strength(left, 3, cur, 0, true);
+          ++stats.edges_examined;
+          if (bs > 0) {
+            ++stats.edges_filtered;
+            const int x = mbx * 8;
+            stats.pixels_modified += static_cast<std::uint64_t>(filter_edge(
+                std::min(bs, 3), th, cdata + (mby * 8) * cw + x, 1, cw, 8));
+          }
+        }
+        if (mby > 0) {
+          const MbInfo& top = mb_at(mbx, mby - 1);
+          const int bs = boundary_strength(top, 12, cur, 0, true);
+          ++stats.edges_examined;
+          if (bs > 0) {
+            ++stats.edges_filtered;
+            const int y = mby * 8;
+            stats.pixels_modified += static_cast<std::uint64_t>(filter_edge(
+                std::min(bs, 3), th, cdata + y * cw + mbx * 8, cw, 1, 8));
+          }
+        }
+      }
+    }
+  }
+  AFFECTSYS_COUNT("h264.deblock_edges_examined", stats.edges_examined);
+  AFFECTSYS_COUNT("h264.deblock_edges_filtered", stats.edges_filtered);
+  AFFECTSYS_COUNT("h264.deblock_pixels", stats.pixels_modified);
+  return stats;
+}
+
+DeblockStats deblock_frame_reference(YuvFrame& frame,
+                                     const std::vector<MbInfo>& mb_info,
+                                     int qp) {
+  DeblockStats stats;
+  qp = std::clamp(qp, 0, 51);
+  const int mb_cols = frame.mb_cols();
+  const int mb_rows = frame.mb_rows();
+  Plane& Y = frame.y;
+
+  auto mb_at = [&](int mbx, int mby) -> const MbInfo& {
+    return mb_info[static_cast<std::size_t>(mby) * mb_cols + mbx];
+  };
+
+  for (int mby = 0; mby < mb_rows; ++mby) {
+    for (int mbx = 0; mbx < mb_cols; ++mbx) {
+      const MbInfo& cur = mb_at(mbx, mby);
+      for (int edge = 0; edge < 4; ++edge) {
+        const int x = mbx * kMbSize + edge * 4;
+        if (x == 0) continue;  // frame boundary
+        const bool mb_edge = edge == 0;
+        const MbInfo& left = mb_edge ? mb_at(mbx - 1, mby) : cur;
+        for (int y4 = 0; y4 < 4; ++y4) {
+          const int q_blk = y4 * 4 + edge;
+          const int p_blk = mb_edge ? y4 * 4 + 3 : y4 * 4 + edge - 1;
+          const int bs = boundary_strength(left, p_blk, cur, q_blk, mb_edge);
+          ++stats.edges_examined;
+          if (bs == 0) continue;
+          ++stats.edges_filtered;
+          const int y0 = mby * kMbSize + y4 * 4;
+          for (int line = 0; line < 4; ++line) {
+            const int yy = y0 + line;
+            stats.pixels_modified += static_cast<std::uint64_t>(filter_line(
+                bs, qp,
+                [&](int off) { return static_cast<int>(Y.at(x + off, yy)); },
+                [&](int off, int v) { Y.at(x + off, yy) = clamp_pixel(v); }));
+          }
+        }
+      }
+    }
+  }
+  for (int mbx = 0; mbx < mb_cols; ++mbx) {
+    for (int mby = 0; mby < mb_rows; ++mby) {
+      const MbInfo& cur = mb_at(mbx, mby);
+      for (int edge = 0; edge < 4; ++edge) {
+        const int y = mby * kMbSize + edge * 4;
+        if (y == 0) continue;
+        const bool mb_edge = edge == 0;
+        const MbInfo& top = mb_edge ? mb_at(mbx, mby - 1) : cur;
+        for (int x4 = 0; x4 < 4; ++x4) {
+          const int q_blk = edge * 4 + x4;
+          const int p_blk = mb_edge ? 3 * 4 + x4 : (edge - 1) * 4 + x4;
+          const int bs = boundary_strength(top, p_blk, cur, q_blk, mb_edge);
+          ++stats.edges_examined;
+          if (bs == 0) continue;
+          ++stats.edges_filtered;
+          const int x0 = mbx * kMbSize + x4 * 4;
+          for (int line = 0; line < 4; ++line) {
+            const int xx = x0 + line;
+            stats.pixels_modified += static_cast<std::uint64_t>(filter_line(
+                bs, qp,
+                [&](int off) { return static_cast<int>(Y.at(xx, y + off)); },
+                [&](int off, int v) { Y.at(xx, y + off) = clamp_pixel(v); }));
+          }
+        }
+      }
+    }
+  }
   for (Plane* C : {&frame.cb, &frame.cr}) {
     for (int mby = 0; mby < mb_rows; ++mby) {
       for (int mbx = 0; mbx < mb_cols; ++mbx) {
@@ -255,7 +461,9 @@ DeblockStats deblock_frame(YuvFrame& frame, const std::vector<MbInfo>& mb_info,
             for (int yy = mby * 8; yy < (mby + 1) * 8; ++yy) {
               stats.pixels_modified += static_cast<std::uint64_t>(filter_line(
                   std::min(bs, 3), qp,
-                  [&](int off) { return static_cast<int>(C->at_clamped(x + off, yy)); },
+                  [&](int off) {
+                    return static_cast<int>(C->at_clamped(x + off, yy));
+                  },
                   [&](int off, int v) {
                     if (x + off >= 0 && x + off < C->width)
                       C->at(x + off, yy) = clamp_pixel(v);
@@ -273,7 +481,9 @@ DeblockStats deblock_frame(YuvFrame& frame, const std::vector<MbInfo>& mb_info,
             for (int xx = mbx * 8; xx < (mbx + 1) * 8; ++xx) {
               stats.pixels_modified += static_cast<std::uint64_t>(filter_line(
                   std::min(bs, 3), qp,
-                  [&](int off) { return static_cast<int>(C->at_clamped(xx, y + off)); },
+                  [&](int off) {
+                    return static_cast<int>(C->at_clamped(xx, y + off));
+                  },
                   [&](int off, int v) {
                     if (y + off >= 0 && y + off < C->height)
                       C->at(xx, y + off) = clamp_pixel(v);
@@ -284,9 +494,6 @@ DeblockStats deblock_frame(YuvFrame& frame, const std::vector<MbInfo>& mb_info,
       }
     }
   }
-  AFFECTSYS_COUNT("h264.deblock_edges_examined", stats.edges_examined);
-  AFFECTSYS_COUNT("h264.deblock_edges_filtered", stats.edges_filtered);
-  AFFECTSYS_COUNT("h264.deblock_pixels", stats.pixels_modified);
   return stats;
 }
 

@@ -50,6 +50,14 @@ struct DeblockStats {
 DeblockStats deblock_frame(YuvFrame& frame, const std::vector<MbInfo>& mb_info,
                            int qp);
 
+/// Pre-optimization accessor-based filter (serial, at()/at_clamped pixel
+/// access, per-line table lookups).  Byte-identical to deblock_frame;
+/// kept callable so the kernel suite proves it and bench_kernels
+/// measures the strided-pointer core against the pre-PR behaviour.
+DeblockStats deblock_frame_reference(YuvFrame& frame,
+                                     const std::vector<MbInfo>& mb_info,
+                                     int qp);
+
 /// Spec alpha/beta thresholds (Table 8-16), exposed for tests.
 int deblock_alpha(int qp);
 int deblock_beta(int qp);

@@ -333,8 +333,10 @@ DecodedPicture Decoder::decode_slice(const NalUnit& nal) {
 
 std::vector<DecodedPicture> Decoder::decode_annexb(
     std::span<const std::uint8_t> stream) {
+  const std::vector<NalUnit> units = unpack_annexb(stream);
   std::vector<DecodedPicture> out;
-  for (const NalUnit& nal : unpack_annexb(stream)) {
+  out.reserve(units.size());  // upper bound: not every NAL yields a picture
+  for (const NalUnit& nal : units) {
     if (auto pic = decode_nal(nal)) out.push_back(std::move(*pic));
   }
   return out;

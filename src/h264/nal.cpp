@@ -6,6 +6,9 @@ namespace affectsys::h264 {
 
 std::vector<std::uint8_t> pack_annexb(std::span<const NalUnit> units) {
   std::vector<std::uint8_t> out;
+  std::size_t total = 0;
+  for (const NalUnit& nal : units) total += nal.payload.size() + 5;
+  out.reserve(total);
   bool first = true;
   for (const NalUnit& nal : units) {
     const bool long_code =
@@ -35,6 +38,7 @@ std::vector<NalUnit> unpack_annexb(std::span<const std::uint8_t> stream) {
       ++i;
     }
   }
+  units.reserve(starts.size());
   for (std::size_t s = 0; s < starts.size(); ++s) {
     std::size_t begin = starts[s];
     std::size_t end = s + 1 < starts.size() ? starts[s + 1] : stream.size();

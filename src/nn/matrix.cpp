@@ -77,10 +77,111 @@ void Matrix::fill(float v) {
 Matrix Matrix::matmul(const Matrix& o) const {
   if (cols_ != o.rows_) throw std::invalid_argument("matmul: shape mismatch");
   Matrix out(rows_, o.cols_);
-  // Output rows are independent, so the row range splits across the
-  // pool; within a row, k ascends tile by tile — the same accumulation
-  // order as the plain loop, so serial and parallel results match
-  // bit-for-bit.
+  const std::size_t oc = o.cols_;
+  const float* __restrict adata = data_.data();
+  const float* __restrict bdata = o.data_.data();
+  float* __restrict odata = out.data_.data();
+
+  // Register-blocked micro-kernel: kMr output rows x kNr output columns
+  // accumulate in a local register tile across one k-tile, then flush
+  // with out += acc.  Every output element — whether it lands in the
+  // 4-row block, the 1-row row tail, or the scalar column tail —
+  // performs the identical per-element sequence (acc = 0; acc += a*b
+  // for k ascending through the tile; out += acc), so the result is
+  // independent of where parallel_for splits the row range and serial
+  // and threaded builds match bit-for-bit.
+  // 4x32 floats of accumulator exactly fill AVX2's sixteen 8-lane
+  // registers (the ISA the build targets by default, see
+  // AFFECTSYS_ARCH_V3); twelve-plus independent FMA chains are what
+  // hides the 4-5 cycle FMA latency behind both FMA ports.
+  constexpr std::size_t kMr = 4;
+  constexpr std::size_t kNr = 32;
+  auto kernel = [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t k0 = 0; k0 < cols_; k0 += kKBlock) {
+      const std::size_t k1 = std::min(cols_, k0 + kKBlock);
+      std::size_t r = r0;
+      for (; r + kMr <= r1; r += kMr) {
+        const float* __restrict a0 = adata + (r + 0) * cols_;
+        const float* __restrict a1 = adata + (r + 1) * cols_;
+        const float* __restrict a2 = adata + (r + 2) * cols_;
+        const float* __restrict a3 = adata + (r + 3) * cols_;
+        float* __restrict o0 = odata + (r + 0) * oc;
+        float* __restrict o1 = odata + (r + 1) * oc;
+        float* __restrict o2 = odata + (r + 2) * oc;
+        float* __restrict o3 = odata + (r + 3) * oc;
+        std::size_t c0 = 0;
+        for (; c0 + kNr <= oc; c0 += kNr) {
+          float acc[kMr][kNr] = {};
+          for (std::size_t k = k0; k < k1; ++k) {
+            const float* __restrict b = bdata + k * oc + c0;
+            const float av0 = a0[k], av1 = a1[k], av2 = a2[k], av3 = a3[k];
+            for (std::size_t j = 0; j < kNr; ++j) {
+              acc[0][j] += av0 * b[j];
+              acc[1][j] += av1 * b[j];
+              acc[2][j] += av2 * b[j];
+              acc[3][j] += av3 * b[j];
+            }
+          }
+          for (std::size_t j = 0; j < kNr; ++j) {
+            o0[c0 + j] += acc[0][j];
+            o1[c0 + j] += acc[1][j];
+            o2[c0 + j] += acc[2][j];
+            o3[c0 + j] += acc[3][j];
+          }
+        }
+        for (std::size_t c = c0; c < oc; ++c) {
+          float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+          for (std::size_t k = k0; k < k1; ++k) {
+            const float bv = bdata[k * oc + c];
+            s0 += a0[k] * bv;
+            s1 += a1[k] * bv;
+            s2 += a2[k] * bv;
+            s3 += a3[k] * bv;
+          }
+          o0[c] += s0;
+          o1[c] += s1;
+          o2[c] += s2;
+          o3[c] += s3;
+        }
+      }
+      for (; r < r1; ++r) {
+        const float* __restrict arow = adata + r * cols_;
+        float* __restrict orow_out = odata + r * oc;
+        std::size_t c0 = 0;
+        for (; c0 + kNr <= oc; c0 += kNr) {
+          float acc[kNr] = {};
+          for (std::size_t k = k0; k < k1; ++k) {
+            const float* __restrict b = bdata + k * oc + c0;
+            const float av = arow[k];
+            for (std::size_t j = 0; j < kNr; ++j) acc[j] += av * b[j];
+          }
+          for (std::size_t j = 0; j < kNr; ++j) orow_out[c0 + j] += acc[j];
+        }
+        for (std::size_t c = c0; c < oc; ++c) {
+          float s = 0.0f;
+          for (std::size_t k = k0; k < k1; ++k) {
+            s += arow[k] * bdata[k * oc + c];
+          }
+          orow_out[c] += s;
+        }
+      }
+    }
+  };
+  if (rows_ * cols_ * o.cols_ >= kParallelFlopThreshold) {
+    core::parallel_for(0, rows_, row_grain(rows_), kernel);
+  } else {
+    kernel(0, rows_);
+  }
+  return out;
+}
+
+Matrix Matrix::matmul_reference(const Matrix& o) const {
+  if (cols_ != o.rows_) throw std::invalid_argument("matmul: shape mismatch");
+  Matrix out(rows_, o.cols_);
+  // Pre-optimization kernel: k-tiled axpy accumulating straight into
+  // the output row, with the sparse-activation zero skip.  Kept
+  // callable as the bench_kernels baseline and the tolerance reference
+  // for the micro-kernel above.
   auto kernel = [&](std::size_t r0, std::size_t r1) {
     for (std::size_t k0 = 0; k0 < cols_; k0 += kKBlock) {
       const std::size_t k1 = std::min(cols_, k0 + kKBlock);
@@ -125,14 +226,38 @@ Matrix Matrix::matmul_transposed(const Matrix& o) const {
     throw std::invalid_argument("matmul_transposed: shape mismatch");
   }
   Matrix out(rows_, o.rows_);
+  // Four dot products share each arow[k] load.  Every output element
+  // still owns one scalar accumulator over the full k range ascending,
+  // so the blocked and unblocked loops agree bit-for-bit (and the
+  // result stays independent of the parallel_for row partition).
   auto kernel = [&](std::size_t r0, std::size_t r1) {
     for (std::size_t r = r0; r < r1; ++r) {
-      for (std::size_t c = 0; c < o.rows_; ++c) {
+      const float* __restrict arow = &data_[r * cols_];
+      float* __restrict orow = &out.data_[r * o.rows_];
+      std::size_t c = 0;
+      for (; c + 4 <= o.rows_; c += 4) {
+        const float* __restrict b0 = &o.data_[(c + 0) * o.cols_];
+        const float* __restrict b1 = &o.data_[(c + 1) * o.cols_];
+        const float* __restrict b2 = &o.data_[(c + 2) * o.cols_];
+        const float* __restrict b3 = &o.data_[(c + 3) * o.cols_];
+        float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+        for (std::size_t k = 0; k < cols_; ++k) {
+          const float av = arow[k];
+          s0 += av * b0[k];
+          s1 += av * b1[k];
+          s2 += av * b2[k];
+          s3 += av * b3[k];
+        }
+        orow[c + 0] = s0;
+        orow[c + 1] = s1;
+        orow[c + 2] = s2;
+        orow[c + 3] = s3;
+      }
+      for (; c < o.rows_; ++c) {
+        const float* __restrict brow = &o.data_[c * o.cols_];
         float acc = 0.0f;
-        const float* arow = &data_[r * cols_];
-        const float* brow = &o.data_[c * o.cols_];
         for (std::size_t k = 0; k < cols_; ++k) acc += arow[k] * brow[k];
-        out(r, c) = acc;
+        orow[c] = acc;
       }
     }
   };

@@ -47,6 +47,11 @@ class Matrix {
 
   /// this (r x k) times o (k x c) -> (r x c).
   Matrix matmul(const Matrix& o) const;
+  /// Pre-optimization matmul kernel (k-tiled axpy with zero skip).
+  /// Same shape contract as matmul(); results agree to float rounding
+  /// (the micro-kernel accumulates each k-tile in registers).  Kept for
+  /// bench_kernels and the kernel tolerance suite.
+  Matrix matmul_reference(const Matrix& o) const;
   /// this^T (k x r) times o — avoids materializing the transpose.
   Matrix transposed_matmul(const Matrix& o) const;
   /// this (r x k) times o^T (c x k) -> (r x c).

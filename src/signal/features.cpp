@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "signal/fft.hpp"
 #include "signal/window.hpp"
@@ -31,11 +32,14 @@ std::vector<double> rms_contour(std::span<const double> x,
   return out;
 }
 
-std::optional<double> estimate_pitch(std::span<const double> x,
-                                     double sample_rate, double fmin,
-                                     double fmax, double voicing_threshold) {
-  if (x.size() < 16 || fmin <= 0.0 || fmax <= fmin) return std::nullopt;
-  const std::vector<double> r = autocorrelation(x);
+namespace {
+
+/// Peak search + parabolic interpolation shared by the optimized and
+/// reference pitch paths (identical on identical autocorrelations).
+std::optional<double> pitch_from_autocorrelation(std::span<const double> r,
+                                                 double sample_rate,
+                                                 double fmin, double fmax,
+                                                 double voicing_threshold) {
   if (r[0] <= 1e-12) return std::nullopt;  // silence
   const auto lag_min = static_cast<std::size_t>(sample_rate / fmax);
   const auto lag_max = std::min(
@@ -57,6 +61,43 @@ std::optional<double> estimate_pitch(std::span<const double> x,
   return sample_rate / lag;
 }
 
+}  // namespace
+
+std::optional<double> estimate_pitch(std::span<const double> x,
+                                     double sample_rate, double fmin,
+                                     double fmax, double voicing_threshold) {
+  if (x.size() < 16 || fmin <= 0.0 || fmax <= fmin) return std::nullopt;
+  std::vector<double> r(x.size());
+  std::vector<std::complex<double>> work(next_pow2(2 * x.size()) + 1);
+  return estimate_pitch(x, sample_rate, fmin, fmax, voicing_threshold, r,
+                        work);
+}
+
+std::optional<double> estimate_pitch(std::span<const double> x,
+                                     double sample_rate, double fmin,
+                                     double fmax, double voicing_threshold,
+                                     std::span<double> r_buf,
+                                     std::span<std::complex<double>> work) {
+  if (x.size() < 16 || fmin <= 0.0 || fmax <= fmin) return std::nullopt;
+  if (r_buf.size() < x.size()) {
+    throw std::invalid_argument("estimate_pitch: r buffer too small");
+  }
+  const std::span<double> r = r_buf.first(x.size());
+  autocorrelation(x, r, work);
+  return pitch_from_autocorrelation(r, sample_rate, fmin, fmax,
+                                    voicing_threshold);
+}
+
+std::optional<double> estimate_pitch_ref(std::span<const double> x,
+                                         double sample_rate, double fmin,
+                                         double fmax,
+                                         double voicing_threshold) {
+  if (x.size() < 16 || fmin <= 0.0 || fmax <= fmin) return std::nullopt;
+  const std::vector<double> r = autocorrelation_ref(x);
+  return pitch_from_autocorrelation(r, sample_rate, fmin, fmax,
+                                    voicing_threshold);
+}
+
 double spectral_centroid(std::span<const double> magnitude,
                          double sample_rate, std::size_t fft_size) {
   const double bin_hz = sample_rate / static_cast<double>(fft_size);
@@ -69,10 +110,19 @@ double spectral_centroid(std::span<const double> magnitude,
 }
 
 double mean_magnitude(std::span<const double> x, std::size_t fft_size) {
-  const std::vector<double> mag = magnitude_spectrum(x, fft_size);
+  std::vector<double> mag(fft_size / 2 + 1);
+  std::vector<std::complex<double>> work(fft_size + 1);
+  return mean_magnitude(x, fft_size, mag, work);
+}
+
+double mean_magnitude(std::span<const double> x, std::size_t fft_size,
+                      std::span<double> mag,
+                      std::span<std::complex<double>> work) {
+  const std::size_t nbins = fft_size / 2 + 1;
+  magnitude_spectrum(x, fft_size, mag, work);
   double acc = 0.0;
-  for (double m : mag) acc += m;
-  return acc / static_cast<double>(mag.size());
+  for (std::size_t k = 0; k < nbins; ++k) acc += mag[k];
+  return acc / static_cast<double>(nbins);
 }
 
 double spectral_rolloff(std::span<const double> magnitude, double sample_rate,

@@ -4,6 +4,7 @@
 // magnitude").
 #pragma once
 
+#include <complex>
 #include <optional>
 #include <span>
 #include <vector>
@@ -30,6 +31,24 @@ std::optional<double> estimate_pitch(std::span<const double> x,
                                      double fmax = 500.0,
                                      double voicing_threshold = 0.3);
 
+/// Allocation-free estimate_pitch: `r` must hold x.size() doubles and
+/// `work` next_pow2(2 * x.size()) + 1 complex elements (the
+/// autocorrelation buffers).  Bit-identical to the allocating overload.
+std::optional<double> estimate_pitch(std::span<const double> x,
+                                     double sample_rate, double fmin,
+                                     double fmax, double voicing_threshold,
+                                     std::span<double> r,
+                                     std::span<std::complex<double>> work);
+
+/// Reference pitch estimator over the complex-FFT autocorrelation (the
+/// pre-RfftPlan pipeline); agrees with estimate_pitch() to rounding.
+/// Kept callable for bench_kernels and the kernel tolerance suite.
+std::optional<double> estimate_pitch_ref(std::span<const double> x,
+                                         double sample_rate,
+                                         double fmin = 60.0,
+                                         double fmax = 500.0,
+                                         double voicing_threshold = 0.3);
+
 /// Spectral centroid in Hz of the one-sided magnitude spectrum.
 double spectral_centroid(std::span<const double> magnitude,
                          double sample_rate, std::size_t fft_size);
@@ -37,6 +56,14 @@ double spectral_centroid(std::span<const double> magnitude,
 /// Mean of the one-sided magnitude spectrum (the paper's "magnitude"
 /// feature).
 double mean_magnitude(std::span<const double> x, std::size_t fft_size);
+
+/// Allocation-free mean_magnitude: `mag` must hold fft_size/2 + 1
+/// doubles and `work` fft_size + 1 complex elements (the
+/// magnitude_spectrum span contract).  Bit-identical to the allocating
+/// overload.
+double mean_magnitude(std::span<const double> x, std::size_t fft_size,
+                      std::span<double> mag,
+                      std::span<std::complex<double>> work);
 
 /// Spectral rolloff frequency: lowest Hz below which `fraction` of the
 /// total spectral energy lies.

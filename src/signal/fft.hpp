@@ -60,6 +60,63 @@ class FftPlan {
   std::vector<std::complex<double>> twiddle_;
 };
 
+/// Real-input FFT plan: an N-point real transform computed as an
+/// N/2-point complex FFT of the even/odd-packed signal plus Hermitian
+/// unpacking, halving the butterfly work of the complex path for every
+/// spectral-feature call.  Only the one-sided spectrum (bins 0..N/2) is
+/// produced — exactly what power/magnitude consumers read.
+///
+/// The unpacking identity: with z[j] = x[2j] + i*x[2j+1] and Z = FFT(z),
+///   X[k] = (Z[k] + conj(Z[N/2-k]))/2
+///        + exp(-2*pi*i*k/N) * (Z[k] - conj(Z[N/2-k]))/(2i)
+/// for k in [0, N/2], reading Z[N/2] as Z[0].  The twiddles
+/// exp(-2*pi*i*k/N) are precomputed, so execute() does no trig.
+///
+/// Like FftPlan the plan is immutable after construction; execute() is
+/// const and shares across threads.  The caller provides both the output
+/// and the N/2-element scratch buffer, so steady-state use allocates
+/// nothing (the workspace idiom of DESIGN.md "Kernel optimization").
+class RfftPlan {
+ public:
+  /// @throws std::invalid_argument unless n is a power of two >= 2.
+  explicit RfftPlan(std::size_t n);
+
+  std::size_t size() const { return n_; }
+  /// One-sided output bins: n/2 + 1.
+  std::size_t bins() const { return n_ / 2 + 1; }
+  /// Required scratch elements for execute(): n/2.
+  std::size_t work_size() const { return n_ / 2; }
+
+  /// One-sided spectrum of `x` zero-padded to size().  `out` receives
+  /// bins() values; `work` must hold at least work_size() elements.
+  /// @throws std::invalid_argument if x is longer than size() or a
+  ///         buffer is too small
+  void execute(std::span<const double> x, std::span<std::complex<double>> out,
+               std::span<std::complex<double>> work) const;
+
+  /// Inverse real FFT: reconstructs the real signal whose one-sided
+  /// Hermitian spectrum is `spec` (bins() values, normalized like
+  /// execute()'s output).  Packs the spectrum into an N/2-point complex
+  /// sequence, runs one half-size inverse FFT, and interleaves —
+  /// mirroring execute().  Writes min(size(), out.size()) leading
+  /// samples, so callers needing only a prefix (autocorrelation lags)
+  /// can pass a short buffer.  `spec` and `work` must not overlap;
+  /// `work` needs work_size() elements.
+  void inverse(std::span<const std::complex<double>> spec,
+               std::span<double> out,
+               std::span<std::complex<double>> work) const;
+
+  /// Process-wide plan cache keyed by size; thread-safe (same policy as
+  /// FftPlan::cached).
+  static std::shared_ptr<const RfftPlan> cached(std::size_t n);
+
+ private:
+  std::size_t n_;
+  std::shared_ptr<const FftPlan> half_;  ///< N/2-point complex plan
+  /// exp(-2*pi*i*k/N) for k in [0, n/2] (unpacking twiddles).
+  std::vector<std::complex<double>> unpack_;
+};
+
 /// In-place iterative radix-2 Cooley-Tukey FFT (via the cached plan for
 /// the buffer's size).
 /// @param data  complex buffer whose size must be a power of two
@@ -71,21 +128,60 @@ void fft_inplace(std::span<std::complex<double>> data, bool inverse = false);
 /// Returns the full complex spectrum (size = padded length).
 std::vector<std::complex<double>> fft_real(std::span<const double> x);
 
+/// Allocation-free fft_real: computes the full complex spectrum of `x`
+/// zero-padded to out.size() in place in `out` (whose size must be a
+/// power of two >= x.size()).
+void fft_real(std::span<const double> x, std::span<std::complex<double>> out);
+
 /// Inverse FFT returning the real part, scaled by 1/N.
 std::vector<double> ifft_real(std::span<const std::complex<double>> spectrum);
 
 /// Magnitude of the one-sided spectrum (bins 0..N/2 inclusive) of a real
 /// signal zero-padded to `fft_size` (must be a power of two >= x.size()).
+/// Computed via RfftPlan; bit-identical to the span overload below.
 std::vector<double> magnitude_spectrum(std::span<const double> x,
                                        std::size_t fft_size);
+
+/// Allocation-free magnitude_spectrum: `out` receives fft_size/2 + 1
+/// bins, `work` must hold at least fft_size + 1 complex elements (the
+/// half-size FFT scratch plus the staged one-sided complex spectrum).
+void magnitude_spectrum(std::span<const double> x, std::size_t fft_size,
+                        std::span<double> out,
+                        std::span<std::complex<double>> work);
 
 /// Power spectrum |X[k]|^2 over the one-sided range, same layout as
 /// magnitude_spectrum().
 std::vector<double> power_spectrum(std::span<const double> x,
                                    std::size_t fft_size);
 
+/// Allocation-free power_spectrum (same buffer contract as the
+/// magnitude_spectrum span overload).
+void power_spectrum(std::span<const double> x, std::size_t fft_size,
+                    std::span<double> out,
+                    std::span<std::complex<double>> work);
+
+/// Reference power spectrum via the full complex FFT (the pre-RfftPlan
+/// implementation).  Kept callable so bench_kernels and the kernel test
+/// suite measure/validate the optimized path against it in-repo.
+std::vector<double> power_spectrum_ref(std::span<const double> x,
+                                       std::size_t fft_size);
+
 /// Circular autocorrelation via FFT; r[k] for k in [0, x.size()).
-/// Used by the pitch estimator.
+/// Used by the pitch estimator.  Computed with the real-input plan in
+/// both directions (forward RfftPlan, half-size packed inverse), so the
+/// transforms are half the length of the complex path's.
 std::vector<double> autocorrelation(std::span<const double> x);
+
+/// Allocation-free autocorrelation: writes r[k] for k in [0, r.size())
+/// (r.size() <= x.size()); `work` must hold next_pow2(2 * x.size()) + 1
+/// complex elements (one-sided spectrum plus half-size scratch).
+/// Bit-identical to the allocating overload.
+void autocorrelation(std::span<const double> x, std::span<double> r,
+                     std::span<std::complex<double>> work);
+
+/// Reference autocorrelation via the full complex FFT (the pre-RfftPlan
+/// implementation); agrees with autocorrelation() to rounding.  Kept
+/// callable for bench_kernels and the kernel tolerance suite.
+std::vector<double> autocorrelation_ref(std::span<const double> x);
 
 }  // namespace affectsys::signal

@@ -6,9 +6,10 @@
 #   tools/run_verify.sh nothreads  # serial reference (-DAFFECTSYS_THREADS=OFF)
 #   tools/run_verify.sh sanitize   # ASan+UBSan build
 #   tools/run_verify.sh tsan       # TSan build, race-sensitive tests only
+#   tools/run_verify.sh kernels    # Release build: kernel suite + bench
 #
-# Build trees: build/ (default), build-nothreads/, build-asan/ and
-# build-tsan/.  Tests carry the ctest label "tier1"; the sanitized
+# Build trees: build/ (default), build-nothreads/, build-asan/,
+# build-tsan/ and build-release/ (kernels).  Tests carry the ctest label "tier1"; the sanitized
 # configuration additionally labels them "sanitize", and the
 # concurrency-sensitive suites (thread pool, parallel determinism,
 # async realtime pipeline) carry "tsan", which is all the TSan pass
@@ -38,18 +39,48 @@ pass_sanitize()  { run_pass build-asan sanitize tier1 -DAFFECTSYS_SANITIZE=ON; }
 # TSan sees real cross-thread traffic even on a single-core host.
 pass_tsan()      { run_pass build-tsan tsan tsan -DAFFECTSYS_SANITIZE=thread; }
 
+# Kernel pass: Release build (benchmarks must not time RelWithDebInfo
+# artifacts), the optimized-vs-reference proof suite (label "kernels"),
+# then bench_kernels regenerating BENCH_kernels.json.  If a committed
+# BENCH_kernels.json exists, the feature-pipeline throughput is
+# soft-checked: a fresh windows_per_sec more than 10% below the
+# committed number fails the pass (the other kernels are ratio-checked
+# implicitly — bench_kernels itself exits nonzero on a byte mismatch).
+pass_kernels() {
+  run_pass build-release kernels kernels -DCMAKE_BUILD_TYPE=Release
+  echo "=== [kernels] bench_kernels ==="
+  local fresh="build-release/BENCH_kernels.json"
+  ./build-release/bench/bench_kernels "$fresh"
+  if [[ -f BENCH_kernels.json ]]; then
+    # obs::JsonWriter emits one key per line; the leading quote keeps
+    # "windows_per_sec" from matching the ref_windows_per_sec line.
+    local committed_wps fresh_wps
+    committed_wps=$(grep -o '"windows_per_sec": [0-9.]*' BENCH_kernels.json | head -1 | awk '{print $2}')
+    fresh_wps=$(grep -o '"windows_per_sec": [0-9.]*' "$fresh" | head -1 | awk '{print $2}')
+    echo "feature windows_per_sec: committed=$committed_wps fresh=$fresh_wps"
+    if ! awk -v f="$fresh_wps" -v c="$committed_wps" 'BEGIN { exit !(f >= 0.9 * c) }'; then
+      echo "FAIL: feature throughput regressed >10% vs committed BENCH_kernels.json" >&2
+      exit 1
+    fi
+  else
+    echo "no committed BENCH_kernels.json; skipping throughput check"
+  fi
+}
+
 case "$mode" in
   default)   pass_default ;;
   nothreads) pass_nothreads ;;
   sanitize)  pass_sanitize ;;
   tsan)      pass_tsan ;;
+  kernels)   pass_kernels ;;
   all)
     pass_default
     pass_nothreads
     pass_sanitize
     pass_tsan
+    pass_kernels
     ;;
-  *) echo "usage: $0 [default|nothreads|sanitize|tsan|all]" >&2; exit 2 ;;
+  *) echo "usage: $0 [default|nothreads|sanitize|tsan|kernels|all]" >&2; exit 2 ;;
 esac
 
 echo "verification passed ($mode)"
