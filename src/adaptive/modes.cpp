@@ -38,6 +38,22 @@ ModeConfig mode_config(DecoderMode m, std::size_t s_th, unsigned f) {
   return cfg;
 }
 
+DecoderMode degraded_mode(DecoderMode m, int level) {
+  if (level <= 0) return m;
+  if (level >= 2) return DecoderMode::kCombined;
+  // Level 1: add NAL deletion on top of whatever the policy chose.
+  switch (m) {
+    case DecoderMode::kStandard:
+      return DecoderMode::kDeletion;
+    case DecoderMode::kDeblockOff:
+      return DecoderMode::kCombined;
+    case DecoderMode::kDeletion:
+    case DecoderMode::kCombined:
+      return m;
+  }
+  return m;
+}
+
 DecoderMode mode_for_circumplex(const affect::CircumplexPoint& p) {
   if (p.arousal > 0.5) return DecoderMode::kStandard;
   if (p.arousal > 0.0) return DecoderMode::kDeletion;

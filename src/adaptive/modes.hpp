@@ -31,6 +31,14 @@ struct ModeConfig {
 /// The paper's mode parameterization: S_th = 140 bytes, f = 1.
 ModeConfig mode_config(DecoderMode m, std::size_t s_th = 140, unsigned f = 1);
 
+/// Overload degradation ladder for the session server: forces a mode at
+/// least as cheap as the affect policy chose.  Level 0 returns `m`
+/// unchanged; level 1 turns NAL deletion on (Standard -> Deletion,
+/// DeblockOff -> Combined); level >= 2 forces Combined (deletion + DF
+/// off).  Frame dropping — the step *after* every affect-adaptive knob
+/// is exhausted — is the server's decision, not a decoder mode.
+DecoderMode degraded_mode(DecoderMode m, int level);
+
 /// Programmable mapping from detected emotion to decoder mode.  The
 /// default implements the Section 4 case-study policy:
 ///   distracted           -> Combined (max saving; quality not critical)

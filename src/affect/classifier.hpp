@@ -36,6 +36,10 @@ class AffectClassifier {
 
   const std::vector<Emotion>& label_set() const { return label_set_; }
   nn::Sequential& model() { return model_; }
+  /// Feature geometry this classifier was trained with — the session
+  /// server builds per-session extractors from it so concurrent feature
+  /// extraction never contends on (or diverges from) fx_.
+  const FeatureConfig& feature_config() const { return fx_.config(); }
 
  private:
   nn::Sequential model_;

@@ -1,6 +1,7 @@
 #include "affect/realtime.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "core/thread_pool.hpp"
 #include "obs/metrics.hpp"
@@ -10,7 +11,20 @@ namespace affectsys::affect {
 RealtimePipeline::RealtimePipeline(AffectClassifier& classifier,
                                    const RealtimeConfig& cfg)
     : classifier_(classifier), cfg_(cfg), vad_(cfg.vad),
-      stream_(cfg.stream) {}
+      stream_(cfg.stream) {
+  if (!cfg_.obs_scope.empty()) {
+    scoped_dropped_ =
+        &obs::MetricScope(cfg_.obs_scope).counter("affect.windows_dropped");
+  }
+}
+
+void RealtimePipeline::set_window_sink(WindowSink sink) {
+  if (cfg_.async && sink) {
+    throw std::logic_error(
+        "RealtimePipeline: window sink requires sync mode (async=false)");
+  }
+  sink_ = std::move(sink);
+}
 
 RealtimePipeline::~RealtimePipeline() { drain(); }
 
@@ -49,6 +63,24 @@ std::optional<Emotion> RealtimePipeline::push_audio(
     if (vad_.speech_fraction(window) < cfg_.min_speech_fraction) {
       continue;  // silence: save the classifier invocation
     }
+    if (sink_) {
+      // Sink mode: the window is classified externally (the session
+      // server's batcher); enforce the same drop-newest bound the async
+      // queue applies, against the count of results not yet returned
+      // via apply_label().
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (outstanding_ >= cfg_.max_inflight) {
+          record_drop();
+          continue;
+        }
+        ++outstanding_;
+      }
+      ++stats_.windows_classified;
+      AFFECTSYS_COUNT("affect.windows_classified", 1);
+      sink_(buffer_end_t_, window);
+      continue;
+    }
     ++stats_.windows_classified;
     AFFECTSYS_COUNT("affect.windows_classified", 1);
     if (cfg_.async) {
@@ -81,8 +113,7 @@ void RealtimePipeline::enqueue_window(double t_end,
     if (pending_.size() >= cfg_.max_inflight) {
       // Capture must not block on a saturated classifier: shed the
       // newest window and account for it.
-      ++stats_.windows_dropped;
-      AFFECTSYS_COUNT("affect.windows_dropped", 1);
+      record_drop();
       return;
     }
     pending_.push_back(
@@ -120,6 +151,30 @@ void RealtimePipeline::drain_queue() {
       AFFECTSYS_COUNT("affect.async_classify_errors", 1);
     }
   }
+}
+
+void RealtimePipeline::record_drop() {
+  // Caller holds mu_.
+  ++stats_.windows_dropped;
+  AFFECTSYS_COUNT("affect.windows_dropped", 1);
+  if (scoped_dropped_) scoped_dropped_->add(1);
+}
+
+std::optional<Emotion> RealtimePipeline::apply_label(double t_end,
+                                                     Emotion raw) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (outstanding_ > 0) --outstanding_;
+  if (auto c = stream_.push(t_end, raw)) {
+    ++stats_.stable_changes;
+    AFFECTSYS_COUNT("affect.stable_changes", 1);
+    return c;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t RealtimePipeline::dropped() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_.windows_dropped;
 }
 
 void RealtimePipeline::drain() {

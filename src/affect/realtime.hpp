@@ -26,15 +26,19 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <optional>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "affect/classifier.hpp"
 #include "affect/stream.hpp"
 #include "affect/vad.hpp"
+#include "obs/metrics.hpp"
 
 namespace affectsys::affect {
 
@@ -50,8 +54,14 @@ struct RealtimeConfig {
   /// Classify on the global thread pool instead of inside push_audio().
   bool async = false;
   /// Bound on pending (accepted, not yet classified) windows in async
-  /// mode; overflow drops the newest window and counts it.
+  /// or sink mode; overflow drops the newest window and counts it.
   std::size_t max_inflight = 8;
+  /// Optional obs namespace (e.g. "serve.s3"): when non-empty, shed
+  /// windows are additionally counted into
+  /// `<obs_scope>.affect.windows_dropped`, so concurrent pipelines stay
+  /// distinguishable.  The un-prefixed aggregate names are recorded
+  /// either way (single-session tools keep working unchanged).
+  std::string obs_scope;
 };
 
 struct RealtimeStats {
@@ -98,6 +108,29 @@ class RealtimePipeline {
     raw_cb_ = std::move(cb);
   }
 
+  /// External-inference (sink) mode: windows surviving the VAD gate are
+  /// handed to `sink` instead of being classified here — the session
+  /// server routes them through its cross-session batcher and reports
+  /// each result back via apply_label().  The drop-newest bound applies
+  /// unchanged: while max_inflight windows are outstanding (delivered
+  /// to the sink, result not yet applied), further windows are shed and
+  /// counted exactly like the async queue overflow.  Sync mode only
+  /// (throws std::logic_error if cfg.async); set before the first
+  /// push_audio().  The sink runs inline inside push_audio.
+  using WindowSink = std::function<void(double, std::span<const double>)>;
+  void set_window_sink(WindowSink sink);
+
+  /// Applies one externally-classified raw label (sink mode): retires
+  /// the oldest outstanding window and pushes the label through the
+  /// smoothing stream, returning the new stable emotion on change —
+  /// byte-identical stream evolution to the in-pipeline classify path.
+  std::optional<Emotion> apply_label(double t_end, Emotion raw);
+
+  /// Windows shed by the drop-newest bound (async queue overflow or
+  /// sink-mode backpressure).  Thread-safe, unlike stats(): the session
+  /// server's overload logic polls it while the pipeline runs.
+  std::uint64_t dropped() const;
+
  private:
   struct PendingWindow {
     double t_end = 0.0;
@@ -109,6 +142,8 @@ class RealtimePipeline {
   std::optional<Emotion> classify_and_apply(double t_end,
                                             std::span<const double> window);
   void enqueue_window(double t_end, std::span<const double> window);
+  /// Counts one shed window (aggregate + scoped obs).  Caller holds mu_.
+  void record_drop();
   /// Worker body: classifies pending windows FIFO until the queue is
   /// empty, then retires itself.
   void drain_queue();
@@ -125,6 +160,13 @@ class RealtimePipeline {
   /// to that moment and subsequent ones advance by exactly one stride.
   bool window_clock_started_ = false;
   std::function<void(double, Emotion, float)> raw_cb_;
+  WindowSink sink_;
+  /// Sink-mode windows delivered but not yet retired by apply_label();
+  /// guarded by mu_.
+  std::size_t outstanding_ = 0;
+  /// Scoped drop counter resolved once at construction when
+  /// cfg.obs_scope is set (null otherwise).
+  obs::Counter* scoped_dropped_ = nullptr;
 
   /// Guards pending_, worker_active_, stream_ and stats_.stable_changes
   /// against the async worker; uncontended (and the worker path unused)

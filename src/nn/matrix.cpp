@@ -22,10 +22,23 @@ constexpr std::size_t kParallelFlopThreshold = 1u << 18;
 /// bit-for-bit.
 constexpr std::size_t kKBlock = 64;
 
+/// Rows per register block in the matmul micro-kernel below (kMr).
+constexpr std::size_t kRowBlock = 4;
+
 std::size_t row_grain(std::size_t rows) {
   // Aim for a few chunks per worker so the tail imbalance stays small.
   const std::size_t workers = std::max<std::size_t>(1, core::global_threads());
-  return std::max<std::size_t>(1, rows / (4 * workers));
+  std::size_t grain = std::max<std::size_t>(1, rows / (4 * workers));
+  // Never split below the 4-row register block: a finer grain would
+  // route every row through the kernel's single-row tail, forfeiting
+  // the weight-reuse the block exists for (batched inference on a
+  // low-thread host hits exactly this).  Chunk boundaries change, but
+  // the per-element accumulation order does not, so results stay
+  // bit-identical.
+  if (rows >= kRowBlock) {
+    grain = (grain + kRowBlock - 1) / kRowBlock * kRowBlock;
+  }
+  return grain;
 }
 
 }  // namespace
@@ -94,7 +107,7 @@ Matrix Matrix::matmul(const Matrix& o) const {
   // registers (the ISA the build targets by default, see
   // AFFECTSYS_ARCH_V3); twelve-plus independent FMA chains are what
   // hides the 4-5 cycle FMA latency behind both FMA ports.
-  constexpr std::size_t kMr = 4;
+  constexpr std::size_t kMr = kRowBlock;
   constexpr std::size_t kNr = 32;
   auto kernel = [&](std::size_t r0, std::size_t r1) {
     for (std::size_t k0 = 0; k0 < cols_; k0 += kKBlock) {

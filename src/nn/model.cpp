@@ -72,6 +72,17 @@ Matrix Sequential::forward(const Matrix& x) {
   return cur;
 }
 
+Matrix Sequential::forward_from(std::size_t first, const Matrix& x) {
+  if (first > layers_.size()) {
+    throw std::out_of_range("Sequential::forward_from: layer index");
+  }
+  Matrix cur = x;
+  for (std::size_t i = first; i < layers_.size(); ++i) {
+    cur = layers_[i]->forward(cur);
+  }
+  return cur;
+}
+
 Matrix Sequential::backward(const Matrix& grad_out) {
   Matrix cur = grad_out;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {

@@ -23,6 +23,13 @@ class Sequential {
   Sequential& add(std::unique_ptr<Layer> layer);
 
   Matrix forward(const Matrix& x);
+  /// Forward through layers [first, layer_count()) only.  The batched
+  /// inference path uses this to run a stacked (batch x flat) matrix
+  /// through the dense stage of a Flatten-headed model: each batch row
+  /// is exactly one sample's Flatten output, and the GEMM kernel's
+  /// per-element accumulation order is row-count-invariant, so batched
+  /// rows match per-sample forward() bit for bit.
+  Matrix forward_from(std::size_t first, const Matrix& x);
   /// Backward through all layers; returns dL/d(input).
   Matrix backward(const Matrix& grad_out);
 

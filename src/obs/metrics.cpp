@@ -45,6 +45,16 @@ std::span<const double> default_latency_bounds_ns() {
   return kBounds;
 }
 
+std::string scoped_metric_name(std::string_view scope, std::string_view name) {
+  if (scope.empty()) return std::string(name);
+  std::string out;
+  out.reserve(scope.size() + 1 + name.size());
+  out.append(scope);
+  out.push_back('.');
+  out.append(name);
+  return out;
+}
+
 Registry& Registry::global() {
   static Registry r;
   return r;

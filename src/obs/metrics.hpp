@@ -125,6 +125,50 @@ class Registry {
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
 
+/// Builds the registry name for a metric inside a namespace scope:
+/// "scope.name" — or `name` unchanged when `scope` is empty, so code
+/// written against the un-prefixed conventions keeps producing the
+/// exact names single-session tools already parse.
+std::string scoped_metric_name(std::string_view scope, std::string_view name);
+
+/// A per-instance metric namespace: every lookup goes through
+/// scoped_metric_name(), so N concurrent sessions each get their own
+/// `serve.s3.affect.windows_dropped`-style series instead of colliding
+/// into one aggregate counter.  A default-constructed (empty-scope)
+/// MetricScope resolves the legacy un-prefixed names, byte-compatible
+/// with the AFFECTSYS_* macro sites.
+///
+/// Lookups take the registry mutex; callers on hot paths should resolve
+/// once at construction and cache the returned references (they stay
+/// valid for the registry's lifetime).
+class MetricScope {
+ public:
+  MetricScope() : reg_(&Registry::global()) {}
+  explicit MetricScope(std::string scope, Registry& reg = Registry::global())
+      : scope_(std::move(scope)), reg_(&reg) {}
+
+  Counter& counter(std::string_view name) const {
+    return reg_->counter(scoped_metric_name(scope_, name));
+  }
+  Gauge& gauge(std::string_view name) const {
+    return reg_->gauge(scoped_metric_name(scope_, name));
+  }
+  Histogram& histogram(std::string_view name) const {
+    return reg_->histogram(scoped_metric_name(scope_, name));
+  }
+  Histogram& histogram(std::string_view name,
+                       std::span<const double> bounds) const {
+    return reg_->histogram(scoped_metric_name(scope_, name), bounds);
+  }
+
+  const std::string& scope() const { return scope_; }
+  Registry& registry() const { return *reg_; }
+
+ private:
+  std::string scope_;
+  Registry* reg_;
+};
+
 /// Records the lifetime of a scope into a histogram, in nanoseconds,
 /// using the monotonic (steady) clock.
 class ScopedTimerNs {

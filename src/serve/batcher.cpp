@@ -1,0 +1,110 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "nn/loss.hpp"
+#include "nn/model.hpp"
+#include "obs/metrics.hpp"
+
+namespace affectsys::serve {
+
+namespace {
+
+/// Layers whose forward is an independent per-row map, so a stacked
+/// batch runs them bit-identically to row-at-a-time execution.
+bool row_wise(const std::string& kind) {
+  return kind == "dense" || kind == "relu" || kind == "tanh" ||
+         kind == "sigmoid";
+}
+
+}  // namespace
+
+InferenceBatcher::InferenceBatcher(affect::AffectClassifier& classifier,
+                                   const BatcherConfig& cfg)
+    : classifier_(classifier), cfg_(cfg) {
+  if (cfg_.max_batch == 0) {
+    throw std::invalid_argument("InferenceBatcher: max_batch must be >= 1");
+  }
+  nn::Sequential& model = classifier_.model();
+  batchable_ = model.layer_count() >= 2 && model.layer(0).kind() == "flatten";
+  for (std::size_t i = 1; batchable_ && i < model.layer_count(); ++i) {
+    batchable_ = row_wise(model.layer(i).kind());
+  }
+}
+
+void InferenceBatcher::enqueue(InferenceRequest req) {
+  pending_.push_back(std::move(req));
+}
+
+bool InferenceBatcher::should_flush(std::uint64_t now_tick) const {
+  if (pending_.empty()) return false;
+  if (pending_.size() >= cfg_.max_batch) return true;
+  return now_tick - pending_.front().enqueue_tick >= cfg_.max_delay_ticks;
+}
+
+affect::ClassificationResult InferenceBatcher::row_result(
+    const nn::Matrix& logits_row) const {
+  affect::ClassificationResult res;
+  res.probabilities = nn::softmax_probs(logits_row);
+  const std::size_t idx = nn::argmax(res.probabilities);
+  if (idx >= classifier_.label_set().size()) {
+    throw std::logic_error("InferenceBatcher: model output wider than labels");
+  }
+  res.emotion = classifier_.label_set()[idx];
+  res.confidence = res.probabilities[idx];
+  return res;
+}
+
+std::vector<RoutedResult> InferenceBatcher::flush() {
+  const std::size_t n = std::min(pending_.size(), cfg_.max_batch);
+  std::vector<RoutedResult> out;
+  if (n == 0) return out;
+  out.reserve(n);
+
+  ++stats_.flushes;
+  stats_.windows += n;
+  stats_.max_batch_rows = std::max(stats_.max_batch_rows, n);
+  AFFECTSYS_COUNT("serve.batch.flushes", 1);
+  AFFECTSYS_OBSERVE("serve.batch.rows", n);
+  AFFECTSYS_COUNT("affect.inferences", n);
+  AFFECTSYS_TIME_SCOPE("serve.batch.infer_ns");
+
+  if (cfg_.batched && batchable_ && n > 1) {
+    stats_.batched_windows += n;
+    const std::size_t flat = pending_.front().features.size();
+    nn::Matrix batch(n, flat);
+    for (std::size_t r = 0; r < n; ++r) {
+      const nn::Matrix& f = pending_[r].features;
+      if (f.size() != flat) {
+        throw std::invalid_argument(
+            "InferenceBatcher: inconsistent feature geometry in batch");
+      }
+      // Flatten is a row-major copy, so the sample's flat() span IS its
+      // Flatten output.
+      std::memcpy(batch.row(r).data(), f.flat().data(),
+                  flat * sizeof(float));
+    }
+    const nn::Matrix logits = classifier_.model().forward_from(1, batch);
+    for (std::size_t r = 0; r < n; ++r) {
+      const InferenceRequest& req = pending_[r];
+      out.push_back(RoutedResult{req.session, req.seq, req.t_end,
+                                 row_result(nn::Matrix::row_vector(
+                                     logits.row(r)))});
+    }
+  } else {
+    for (std::size_t r = 0; r < n; ++r) {
+      const InferenceRequest& req = pending_[r];
+      const nn::Matrix logits = classifier_.model().forward(req.features);
+      out.push_back(
+          RoutedResult{req.session, req.seq, req.t_end, row_result(logits)});
+    }
+  }
+  pending_.erase(pending_.begin(),
+                 pending_.begin() + static_cast<std::ptrdiff_t>(n));
+  return out;
+}
+
+}  // namespace affectsys::serve

@@ -1,0 +1,112 @@
+// Cross-session inference batcher: coalesces pending classifier
+// windows from many sessions into one stacked GEMM.
+//
+// The PR 3 micro-kernel made a single-window forward fast; what it
+// cannot do from inside one session is amortize the weight-matrix
+// traffic — a (1 x 1088) x (1088 x 416) product streams 1.8 MB of
+// weights from L2/L3 for 0.9 MFLOP of work.  Stacking B windows from B
+// sessions into a (B x 1088) activation matrix re-uses every weight
+// read across the kernel's 4-row register block, which is where the
+// batched-vs-per-session throughput win in BENCH_serve.json comes
+// from.
+//
+// Correctness contract: a batch row's result is bit-identical to
+// AffectClassifier::classify_features() on the same feature matrix.
+// This holds because (a) Flatten is a row-major copy, so batch row i is
+// exactly sample i's Flatten output, and (b) the GEMM kernel performs
+// the identical per-output-element accumulation sequence regardless of
+// how many rows the product has (see nn/matrix.cpp) — bias adds and
+// activations are elementwise.  Models that are not Flatten-headed
+// row-wise stacks (CNN/LSTM) fall back to per-window forward through
+// the same queue, so the serving layer works for every ModelKind and
+// batches where it is provably safe.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "affect/classifier.hpp"
+#include "nn/matrix.hpp"
+
+namespace affectsys::serve {
+
+/// Monotonically assigned session handle (never reused within one
+/// SessionManager; reuse of capacity slots still mints a fresh id).
+using SessionId = std::uint64_t;
+
+/// One VAD-surviving window awaiting inference.
+struct InferenceRequest {
+  SessionId session = 0;
+  std::uint64_t seq = 0;          ///< per-session window sequence number
+  std::uint64_t enqueue_tick = 0; ///< server tick the window was staged
+  double t_end = 0.0;             ///< media-time window end
+  nn::Matrix features;            ///< (timesteps x feature_dim)
+};
+
+/// A classified window routed back to its session.
+struct RoutedResult {
+  SessionId session = 0;
+  std::uint64_t seq = 0;
+  double t_end = 0.0;
+  affect::ClassificationResult result;
+};
+
+struct BatcherConfig {
+  /// Rows per batched forward; also the per-flush service capacity, so
+  /// it bounds how fast the server drains backlog (the admission /
+  /// shedding tests overload exactly this).
+  std::size_t max_batch = 16;
+  /// Flush deadline: a flush is due once the oldest pending window has
+  /// waited this many ticks (0 = flush every tick something is
+  /// pending — the single-session bit-exactness configuration).
+  std::uint64_t max_delay_ticks = 1;
+  /// False runs every window through an individual forward (the
+  /// per-session baseline the bench compares against).
+  bool batched = true;
+};
+
+struct BatcherStats {
+  std::uint64_t flushes = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t batched_windows = 0;  ///< went through the stacked GEMM
+  std::size_t max_batch_rows = 0;
+};
+
+class InferenceBatcher {
+ public:
+  /// The classifier must outlive the batcher.  Inference is serialized
+  /// through flush(); the model's activation caches are never touched
+  /// concurrently.
+  InferenceBatcher(affect::AffectClassifier& classifier,
+                   const BatcherConfig& cfg);
+
+  /// True when the model shape admits stacked-row batching (Flatten
+  /// head followed by dense/elementwise layers only).
+  bool batchable() const { return batchable_; }
+
+  void enqueue(InferenceRequest req);
+  std::size_t pending() const { return pending_.size(); }
+
+  /// True when a flush is due: the batch is full, or the oldest pending
+  /// window has aged past the deadline.
+  bool should_flush(std::uint64_t now_tick) const;
+
+  /// Classifies up to max_batch pending windows (FIFO) and returns the
+  /// routed results in (enqueue) order.
+  std::vector<RoutedResult> flush();
+
+  const BatcherStats& stats() const { return stats_; }
+  const BatcherConfig& config() const { return cfg_; }
+
+ private:
+  affect::ClassificationResult row_result(const nn::Matrix& logits_row) const;
+
+  affect::AffectClassifier& classifier_;
+  BatcherConfig cfg_;
+  bool batchable_ = false;
+  std::deque<InferenceRequest> pending_;
+  BatcherStats stats_;
+};
+
+}  // namespace affectsys::serve

@@ -1,0 +1,137 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+
+#include "core/thread_pool.hpp"
+#include "obs/metrics.hpp"
+
+namespace affectsys::serve {
+
+SessionManager::SessionManager(const ServerConfig& cfg, const SessionEnv& env)
+    : cfg_(cfg), env_(env), batcher_(*env.classifier, cfg.batcher) {
+  if (cfg_.max_sessions == 0) {
+    throw std::invalid_argument("SessionManager: max_sessions must be >= 1");
+  }
+  if (cfg_.backlog_lo > cfg_.backlog_hi) {
+    throw std::invalid_argument(
+        "SessionManager: backlog_lo must not exceed backlog_hi");
+  }
+}
+
+SessionId SessionManager::create_session(const SessionConfig& cfg) {
+  if (sessions_.size() >= cfg_.max_sessions) {
+    ++stats_.sessions_rejected;
+    AFFECTSYS_COUNT("serve.sessions_rejected", 1);
+    throw AdmissionError(sessions_.size(), cfg_.max_sessions);
+  }
+  const SessionId id = next_id_++;
+  sessions_.emplace(id, std::make_unique<Session>(id, cfg, env_,
+                                                  /*inline_inference=*/false));
+  ++stats_.sessions_created;
+  AFFECTSYS_COUNT("serve.sessions_created", 1);
+  AFFECTSYS_GAUGE_SET("serve.sessions_open",
+                      static_cast<double>(sessions_.size()));
+  return id;
+}
+
+SessionId SessionManager::create_session() {
+  SessionConfig cfg = cfg_.session;
+  cfg.seed = static_cast<unsigned>(next_id_);
+  return create_session(cfg);
+}
+
+void SessionManager::close_session(SessionId id) {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    throw std::out_of_range("SessionManager: unknown session id");
+  }
+  sessions_.erase(it);
+  ++stats_.sessions_closed;
+  AFFECTSYS_COUNT("serve.sessions_closed", 1);
+  AFFECTSYS_GAUGE_SET("serve.sessions_open",
+                      static_cast<double>(sessions_.size()));
+}
+
+std::size_t SessionManager::backlog() const { return batcher_.pending(); }
+
+void SessionManager::update_degrade_level() {
+  // One step per tick in either direction: the ladder reacts within a
+  // few ticks but cannot thrash inside the hysteresis band.
+  const std::size_t b = backlog();
+  if (b >= cfg_.backlog_hi) {
+    degrade_level_ = std::min(degrade_level_ + 1, kFrameShedLevel);
+  } else if (b <= cfg_.backlog_lo && degrade_level_ > 0) {
+    --degrade_level_;
+  }
+  stats_.max_degrade_level = std::max(stats_.max_degrade_level,
+                                      degrade_level_);
+  if (degrade_level_ > 0) ++stats_.degrade_ticks;
+  AFFECTSYS_GAUGE_SET("serve.degrade_level",
+                      static_cast<double>(degrade_level_));
+  AFFECTSYS_GAUGE_SET("serve.backlog", static_cast<double>(b));
+}
+
+void SessionManager::route(const std::vector<RoutedResult>& results) {
+  for (const RoutedResult& r : results) {
+    const auto it = sessions_.find(r.session);
+    // A result for a since-closed session is dropped; its slot owner is
+    // gone and nobody is waiting.
+    if (it == sessions_.end()) continue;
+    it->second->apply_result(r);
+    ++stats_.results_routed;
+  }
+}
+
+void SessionManager::tick() {
+  AFFECTSYS_TIME_SCOPE("serve.tick_ns");
+  ++stats_.ticks;
+
+  // Stage A: audio in parallel.  Indexing through a snapshot of the
+  // session pointers keeps parallel_for's chunking stable.
+  std::vector<Session*> order;
+  order.reserve(sessions_.size());
+  for (auto& [id, s] : sessions_) order.push_back(s.get());
+  core::parallel_for(0, order.size(), 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) order[i]->pump_audio(now_tick_);
+  });
+
+  // Stage B: deterministic batch assembly + serialized inference.
+  for (Session* s : order) {
+    for (InferenceRequest& req : s->take_staged()) {
+      batcher_.enqueue(std::move(req));
+    }
+  }
+  // At most one flush per tick: the service capacity is max_batch rows
+  // per tick, so sustained offered load beyond that grows the backlog
+  // and trips the shedding watermarks instead of silently stretching
+  // the tick.
+  if (batcher_.should_flush(now_tick_)) route(batcher_.flush());
+
+  update_degrade_level();
+
+  // Stage C: media in parallel under the shared degrade level.
+  const int level = degrade_level_;
+  core::parallel_for(0, order.size(), 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) order[i]->tick_media(now_tick_, level);
+  });
+
+  ++now_tick_;
+}
+
+void SessionManager::drain() {
+  while (batcher_.pending() > 0) route(batcher_.flush());
+}
+
+const Session& SessionManager::session(SessionId id) const {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    throw std::out_of_range("SessionManager: unknown session id");
+  }
+  return *it->second;
+}
+
+SessionReport SessionManager::report(SessionId id) const {
+  return session(id).report();
+}
+
+}  // namespace affectsys::serve

@@ -1,0 +1,153 @@
+// SessionManager: the multi-tenant session server.  Runs N concurrent
+// end-to-end sessions in one process on the existing thread pool, with
+// cross-session batched inference, admission control and graceful load
+// shedding.
+//
+// One tick is three stages:
+//   A. pump_audio over every open session (parallel_for; session state
+//      is private, shared state read-only),
+//   B. collect staged windows in session-id order (serial, so batch
+//      assembly is deterministic), feed the batcher, flush at most one
+//      batch (service capacity = max_batch rows per tick) and route the
+//      results back (serial — the model's activation caches make
+//      inference non-reentrant),
+//   C. tick_media over every open session (parallel_for) under the
+//      current degrade level.
+//
+// Determinism: nothing in the control loop reads a wall clock.  The
+// flush deadline is counted in ticks, service capacity is max_batch
+// rows per flush, and the degrade level is a pure function of the
+// global backlog vs. the watermarks — so an overloaded run is exactly
+// replayable under a fixed seed, which is what the shedding tests
+// assert.
+//
+// Load shedding ladder (cheapest first), per the paper's own
+// affect-adaptive knobs before anything user-visible is dropped:
+//   level 0: every session runs its affect-chosen mode;
+//   level 1: NAL deletion forced on (Standard->Deletion,
+//            DeblockOff->Combined);
+//   level 2: Combined forced (deletion + deblocking off);
+//   level 3: this tick's frames shed outright.
+// Per-session window backpressure is separate: each session's
+// RealtimePipeline drops the newest window once max_inflight are
+// outstanding, so one chatty tenant cannot monopolize the batcher.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "serve/batcher.hpp"
+#include "serve/session.hpp"
+#include "serve/workload.hpp"
+
+namespace affectsys::serve {
+
+/// Typed admission failure: thrown by create_session() once the server
+/// is at capacity.  Callers treat this as backpressure, not a bug.
+class AdmissionError : public std::runtime_error {
+ public:
+  AdmissionError(std::size_t open, std::size_t limit)
+      : std::runtime_error("session server at capacity: " +
+                          std::to_string(open) + "/" +
+                          std::to_string(limit) + " sessions open"),
+        open_(open),
+        limit_(limit) {}
+
+  std::size_t open_sessions() const { return open_; }
+  std::size_t limit() const { return limit_; }
+
+ private:
+  std::size_t open_;
+  std::size_t limit_;
+};
+
+struct ServerConfig {
+  /// Admission limit: create_session() past this throws AdmissionError.
+  std::size_t max_sessions = 64;
+  /// Global backlog watermarks (windows staged + in flight, summed over
+  /// sessions).  Crossing `hi` raises the degrade level one step per
+  /// tick; falling below `lo` lowers it one step per tick.  The
+  /// hysteresis gap keeps the ladder from oscillating every tick.
+  std::size_t backlog_hi = 48;
+  std::size_t backlog_lo = 16;
+  BatcherConfig batcher{};
+  /// Defaults applied to sessions created without an explicit config
+  /// (seed is replaced by a per-session value derived from the id).
+  SessionConfig session{};
+};
+
+struct ServerStats {
+  std::uint64_t ticks = 0;
+  std::uint64_t sessions_created = 0;
+  std::uint64_t sessions_closed = 0;
+  std::uint64_t sessions_rejected = 0;
+  std::uint64_t results_routed = 0;
+  std::uint64_t degrade_ticks = 0;  ///< ticks spent at level >= 1
+  int max_degrade_level = 0;
+};
+
+class SessionManager {
+ public:
+  /// The env members (workload, classifier, optional app table/catalog)
+  /// must outlive the manager.
+  SessionManager(const ServerConfig& cfg, const SessionEnv& env);
+
+  /// Admits a new session, or throws AdmissionError at capacity.
+  /// Returns the session id (monotonic; never reused even after
+  /// close_session frees the capacity slot).
+  SessionId create_session(const SessionConfig& cfg);
+  /// Admits with the server's default session config and a seed derived
+  /// from the new id.
+  SessionId create_session();
+
+  /// Closes a session, freeing its admission slot.  Results still in
+  /// the batcher for it are dropped on arrival.  Throws
+  /// std::out_of_range for unknown ids.
+  void close_session(SessionId id);
+
+  bool has_session(SessionId id) const { return sessions_.contains(id); }
+  std::size_t open_sessions() const { return sessions_.size(); }
+
+  /// Advances every open session by one tick (stages A/B/C above).
+  void tick();
+
+  /// Runs the batcher dry: flushes until no windows are pending and
+  /// routes everything back.  Call after the last tick so reports see
+  /// every staged window applied.
+  void drain();
+
+  /// Snapshot of one session's run; throws std::out_of_range for
+  /// unknown (including closed) ids.
+  SessionReport report(SessionId id) const;
+  const Session& session(SessionId id) const;
+
+  int degrade_level() const { return degrade_level_; }
+  /// Windows pending inference at the batcher (after stage B every
+  /// session's staging buffer is empty, so this is the whole backlog).
+  std::size_t backlog() const;
+  const ServerStats& stats() const { return stats_; }
+  const BatcherStats& batcher_stats() const { return batcher_.stats(); }
+  const ServerConfig& config() const { return cfg_; }
+
+ private:
+  void route(const std::vector<RoutedResult>& results);
+  void update_degrade_level();
+
+  ServerConfig cfg_;
+  SessionEnv env_;
+  InferenceBatcher batcher_;
+  /// Ordered by id: iteration order (and thus batch assembly and
+  /// parallel_for indexing) is deterministic.
+  std::map<SessionId, std::unique_ptr<Session>> sessions_;
+  SessionId next_id_ = 1;
+  std::uint64_t now_tick_ = 0;
+  int degrade_level_ = 0;
+  ServerStats stats_;
+};
+
+}  // namespace affectsys::serve

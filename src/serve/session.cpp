@@ -1,0 +1,230 @@
+#include "serve/session.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace affectsys::serve {
+
+namespace {
+
+/// FNV-1a over a byte plane; order-sensitive, so two digests match only
+/// when every decoded pixel matched in sequence.
+void fnv_plane(std::uint64_t& h, const h264::Plane& p) {
+  for (std::uint8_t b : p.data) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+}
+
+}  // namespace
+
+Session::Session(SessionId id, const SessionConfig& cfg, const SessionEnv& env,
+                 bool inline_inference)
+    : id_(id),
+      cfg_([&] {
+        SessionConfig c = cfg;
+        if (c.realtime.async) {
+          throw std::invalid_argument(
+              "Session: realtime.async must be false (server owns inference)");
+        }
+        if (c.realtime.obs_scope.empty()) {
+          c.realtime.obs_scope = "serve.s" + std::to_string(id);
+        }
+        return c;
+      }()),
+      env_([&] {
+        // Checked here (not in the body): members below dereference both.
+        if (env.workload == nullptr || env.classifier == nullptr) {
+          throw std::invalid_argument(
+              "Session: workload and classifier required");
+        }
+        return env;
+      }()),
+      inline_inference_(inline_inference),
+      scope_(cfg_.realtime.obs_scope),
+      pipeline_(*env.classifier, cfg_.realtime),
+      fx_(env.classifier->feature_config()),
+      selector_(cfg_.selector),
+      app_rng_(cfg_.seed ^ 0x9e3779b9u) {
+  script_ = env_.workload->make_script(cfg_.seed, cfg_.script_segments);
+  if (script_.empty()) {
+    throw std::invalid_argument("Session: script_segments must be >= 1");
+  }
+  chunk_.resize(static_cast<std::size_t>(
+      std::llround(cfg_.tick_s * cfg_.realtime.sample_rate_hz)));
+
+  if (env_.app_table != nullptr && env_.catalog != nullptr &&
+      !env_.catalog->empty()) {
+    kill_policy_ = std::make_unique<core::EmotionalKillPolicy>(*env_.app_table);
+    pm_ = std::make_unique<android::ProcessManager>(
+        *env_.catalog, android::ProcessManagerConfig{}, *kill_policy_);
+  }
+
+  c_windows_ = &scope_.counter("serve.windows");
+  c_frames_ = &scope_.counter("serve.frames_decoded");
+  c_frames_dropped_ = &scope_.counter("serve.frames_dropped");
+  c_nals_deleted_ = &scope_.counter("serve.nals_deleted");
+  c_mode_switches_ = &scope_.counter("serve.mode_switches");
+
+  pipeline_.set_window_sink(
+      [this](double t_end, std::span<const double> window) {
+        on_window(t_end, window);
+      });
+}
+
+void Session::fill_chunk(std::vector<double>& chunk) {
+  const double rate = cfg_.realtime.sample_rate_hz;
+  for (double& sample : chunk) {
+    const ScriptSegment* seg = &script_[script_idx_];
+    auto speech_n = static_cast<std::size_t>(seg->speech_s * rate);
+    auto total_n =
+        speech_n + static_cast<std::size_t>(seg->silence_s * rate);
+    while (script_offset_ >= total_n) {
+      script_offset_ = 0;
+      script_idx_ = (script_idx_ + 1) % script_.size();
+      seg = &script_[script_idx_];
+      speech_n = static_cast<std::size_t>(seg->speech_s * rate);
+      total_n = speech_n + static_cast<std::size_t>(seg->silence_s * rate);
+    }
+    if (script_offset_ < speech_n) {
+      const std::span<const double> utt = env_.workload->utterance(seg->emotion);
+      sample = utt[script_offset_ % utt.size()];
+    } else {
+      sample = 0.0;
+    }
+    ++script_offset_;
+  }
+}
+
+void Session::pump_audio(std::uint64_t tick) {
+  ++stats_.ticks;
+  fill_chunk(chunk_);
+  current_tick_ = tick;
+  pipeline_.push_audio(static_cast<double>(tick) * cfg_.tick_s, chunk_);
+}
+
+void Session::on_window(double t_end, std::span<const double> window) {
+  const nn::Matrix& features = fx_.extract_into(window, fx_ws_);
+  ++stats_.windows_enqueued;
+  c_windows_->add(1);
+  if (inline_inference_) {
+    // Standalone reference path: classify at the sink, exactly where a
+    // non-served pipeline would.
+    record_result(next_seq_++, t_end,
+                  env_.classifier->classify_features(features));
+    return;
+  }
+  InferenceRequest req;
+  req.session = id_;
+  req.seq = next_seq_++;
+  req.enqueue_tick = current_tick_;
+  req.t_end = t_end;
+  req.features = features;  // copy out of the reused workspace
+  staged_.push_back(std::move(req));
+}
+
+std::vector<InferenceRequest> Session::take_staged() {
+  inflight_ += staged_.size();
+  std::vector<InferenceRequest> out;
+  out.swap(staged_);
+  return out;
+}
+
+void Session::apply_result(const RoutedResult& r) {
+  if (inflight_ == 0) {
+    throw std::logic_error("Session: result applied with nothing in flight");
+  }
+  --inflight_;
+  record_result(r.seq, r.t_end, r.result);
+}
+
+void Session::record_result(std::uint64_t seq, double t_end,
+                            const affect::ClassificationResult& res) {
+  windows_.push_back(
+      WindowRecord{seq, t_end, res.emotion, res.confidence, res.probabilities});
+  ++stats_.results_applied;
+  if (const auto stable = pipeline_.apply_label(t_end, res.emotion)) {
+    stable_trace_.emplace_back(t_end, *stable);
+    policy_mode_ = policy_.mode_for(*stable);
+    if (kill_policy_) kill_policy_->set_emotion(*stable);
+    ++stats_.mode_switches;
+    c_mode_switches_->add(1);
+  }
+}
+
+void Session::tick_media(std::uint64_t tick, int degrade_level) {
+  effective_mode_ = adaptive::degraded_mode(policy_mode_, degrade_level);
+  frame_carry_ += cfg_.fps * cfg_.tick_s;
+  const auto budget = static_cast<std::size_t>(frame_carry_);
+  frame_carry_ -= static_cast<double>(budget);
+
+  if (degrade_level >= kFrameShedLevel) {
+    // Every affect-adaptive knob is already exhausted at Combined;
+    // beyond that the server sheds this tick's frames outright.
+    stats_.frames_dropped += budget;
+    c_frames_dropped_->add(budget);
+  } else if (budget > 0) {
+    decode_pictures(budget,
+                    adaptive::mode_config(effective_mode_, cfg_.selector.s_th,
+                                          cfg_.selector.f));
+  }
+
+  if (pm_ && cfg_.app_launch_period_ticks != 0 &&
+      tick % cfg_.app_launch_period_ticks == 0) {
+    std::uniform_int_distribution<std::size_t> pick(0,
+                                                    env_.catalog->size() - 1);
+    pm_->launch((*env_.catalog)[pick(app_rng_)].id,
+                static_cast<double>(tick) * cfg_.tick_s);
+    ++stats_.app_launches;
+  }
+}
+
+void Session::decode_pictures(std::size_t budget,
+                              const adaptive::ModeConfig& mc) {
+  const std::vector<h264::NalUnit>& nals = env_.workload->nal_units();
+  decoder_.set_deblock_enabled(mc.deblock);
+  std::size_t pictures = 0;
+  while (pictures < budget) {
+    if (nal_cursor_ >= nals.size()) {
+      // Loop the clip with fresh decoder/selector state so every pass
+      // is decoded the same way (mode changes aside).
+      nal_cursor_ = 0;
+      decoder_ = h264::Decoder(h264::DecoderConfig{mc.deblock});
+      selector_.reset();
+    }
+    const h264::NalUnit& nal = nals[nal_cursor_++];
+    const bool slice = h264::is_slice(nal);
+    if (slice && mc.delete_nals) {
+      std::vector<h264::NalUnit> one{nal};
+      if (selector_.filter(std::move(one)).empty()) {
+        ++stats_.nals_deleted;
+        c_nals_deleted_->add(1);
+        ++pictures;  // the deleted picture consumed its display slot
+        continue;
+      }
+    }
+    if (const auto pic = decoder_.decode_nal(nal)) {
+      fnv_plane(digest_, pic->frame.y);
+      fnv_plane(digest_, pic->frame.cb);
+      fnv_plane(digest_, pic->frame.cr);
+      ++stats_.frames_decoded;
+      c_frames_->add(1);
+      ++pictures;
+    }
+  }
+}
+
+SessionReport Session::report() const {
+  SessionReport rep;
+  rep.windows = windows_;
+  rep.stable_trace = stable_trace_;
+  rep.decode_digest = digest_;
+  rep.stats = stats_;
+  rep.realtime = pipeline_.stats();
+  if (pm_) rep.apps = pm_->metrics();
+  return rep;
+}
+
+}  // namespace affectsys::serve

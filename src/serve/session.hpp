@@ -1,0 +1,207 @@
+// One tenant of the session server: a seeded end-to-end pipeline
+// (audio affect stream -> emotion state -> adaptive decode + emotional
+// app manager) advanced in fixed media-time ticks.
+//
+// A session owns only cursors and per-user state — the media it
+// consumes lives in the shared read-only SharedWorkload.  Its audio
+// path IS the standalone RealtimePipeline (embedded in sync mode with
+// a window sink), so the windowing/VAD/smoothing behaviour of a served
+// session is the standalone behaviour by construction; the sink hands
+// extracted feature windows to the server's cross-session batcher, and
+// batched results come back through apply_result().  With
+// inline_inference (the standalone reference configuration) the sink
+// classifies immediately instead — tests prove the served single-
+// session run byte-identical to this.
+//
+// Thread-safety: the server advances sessions concurrently
+// (parallel_for over sessions), but each Session instance is only ever
+// touched by one task at a time, and everything it shares is read-only
+// — except the classifier, which only the inline_inference path calls
+// (the server never sets that flag, so its sessions never touch the
+// shared model; the serialized batcher does).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "adaptive/input_selector.hpp"
+#include "adaptive/modes.hpp"
+#include "affect/realtime.hpp"
+#include "android/process.hpp"
+#include "core/emotional_policy.hpp"
+#include "h264/decoder.hpp"
+#include "obs/metrics.hpp"
+#include "serve/batcher.hpp"
+#include "serve/workload.hpp"
+
+namespace affectsys::serve {
+
+/// Degrade level at which tick_media() stops decoding and sheds the
+/// tick's frames outright — one past the deepest affect-adaptive mode
+/// (level 2 = forced Combined).
+inline constexpr int kFrameShedLevel = 3;
+
+struct SessionConfig {
+  /// Drives the emotion script, silence gaps and app-launch trace;
+  /// everything a session does is a pure function of this seed plus the
+  /// server's scheduling decisions.
+  unsigned seed = 1;
+  double tick_s = 0.1;   ///< media time advanced per tick
+  double fps = 25.0;     ///< video frames per media second
+  std::size_t script_segments = 6;
+  /// Launch one app from the seeded trace every N ticks (0 = no app
+  /// manager traffic).
+  std::size_t app_launch_period_ticks = 25;
+  /// Audio pipeline shape; async must stay false (the server supplies
+  /// the window sink).  max_inflight is the per-session queue bound —
+  /// the drop-newest shedding knob.
+  affect::RealtimeConfig realtime{};
+  adaptive::SelectorParams selector{140, 1};
+};
+
+struct SessionStats {
+  std::uint64_t ticks = 0;
+  std::uint64_t windows_enqueued = 0;  ///< handed to the batcher
+  std::uint64_t results_applied = 0;
+  std::uint64_t frames_decoded = 0;
+  std::uint64_t frames_dropped = 0;  ///< shed by overload level >= 3
+  std::uint64_t nals_deleted = 0;
+  std::uint64_t app_launches = 0;
+  std::uint64_t mode_switches = 0;
+};
+
+/// Raw per-window classification, recorded for replay comparison.
+struct WindowRecord {
+  std::uint64_t seq = 0;
+  double t_end = 0.0;
+  affect::Emotion emotion = affect::Emotion::kNeutral;
+  float confidence = 0.0f;
+  std::vector<float> probabilities;
+};
+
+/// Everything a byte-identity comparison needs: raw windows, the
+/// smoothed emotion trace, a digest of every decoded pixel, and the
+/// counters.
+struct SessionReport {
+  std::vector<WindowRecord> windows;
+  std::vector<std::pair<double, affect::Emotion>> stable_trace;
+  std::uint64_t decode_digest = 1469598103934665603ull;  ///< FNV-1a basis
+  SessionStats stats;
+  affect::RealtimeStats realtime;
+  android::LoadingMetrics apps;
+};
+
+/// Shared server context handed to every session; must outlive them.
+struct SessionEnv {
+  const SharedWorkload* workload = nullptr;
+  affect::AffectClassifier* classifier = nullptr;
+  /// Both null disables app-manager traffic.
+  const core::AppAffectTable* app_table = nullptr;
+  const std::vector<android::App>* catalog = nullptr;
+};
+
+class Session {
+ public:
+  /// `inline_inference` classifies windows synchronously at the sink
+  /// (the standalone reference path); the server always passes false.
+  Session(SessionId id, const SessionConfig& cfg, const SessionEnv& env,
+          bool inline_inference);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  SessionId id() const { return id_; }
+
+  /// Stage A (parallel across sessions): advance one tick of audio
+  /// through the embedded pipeline.  Surviving windows are feature-
+  /// extracted here (per-session workspace) and staged for the batcher
+  /// — or classified inline in standalone mode.
+  void pump_audio(std::uint64_t tick);
+
+  /// Moves this tick's staged windows out (server: serial, in session
+  /// order, so batch assembly is deterministic).
+  std::vector<InferenceRequest> take_staged();
+
+  /// Delivers one batched classification (seq order per session).
+  void apply_result(const RoutedResult& r);
+
+  /// Stage C (parallel across sessions): decode this tick's share of
+  /// video under degraded_mode(policy mode, degrade_level) — level >= 3
+  /// sheds the frames outright — and replay the app-launch trace.
+  void tick_media(std::uint64_t tick, int degrade_level);
+
+  /// Pending windows this session is responsible for (staged here plus
+  /// in flight at the batcher) — the server's backlog input.
+  std::size_t outstanding() const { return staged_.size() + inflight_; }
+  std::uint64_t dropped_windows() const { return pipeline_.dropped(); }
+
+  adaptive::DecoderMode policy_mode() const { return policy_mode_; }
+  adaptive::DecoderMode last_effective_mode() const { return effective_mode_; }
+  const SessionStats& stats() const { return stats_; }
+
+  /// Drains nothing — snapshots the run so far.  Call only between
+  /// ticks (or after close) with no results in flight.
+  SessionReport report() const;
+
+ private:
+  void on_window(double t_end, std::span<const double> window);
+  void record_result(std::uint64_t seq, double t_end,
+                     const affect::ClassificationResult& res);
+  void fill_chunk(std::vector<double>& chunk);
+  void decode_pictures(std::size_t budget, const adaptive::ModeConfig& mc);
+
+  SessionId id_;
+  SessionConfig cfg_;
+  SessionEnv env_;
+  bool inline_inference_;
+  obs::MetricScope scope_;
+
+  // Audio/affect path.
+  affect::RealtimePipeline pipeline_;
+  affect::FeatureExtractor fx_;
+  affect::FeatureWorkspace fx_ws_;
+  std::vector<ScriptSegment> script_;
+  std::size_t script_idx_ = 0;
+  std::size_t script_offset_ = 0;  ///< samples into the current segment
+  std::vector<double> chunk_;
+  std::uint64_t current_tick_ = 0;  ///< stamped onto staged requests
+  std::uint64_t next_seq_ = 0;
+  std::size_t inflight_ = 0;  ///< at the batcher, result not yet applied
+  std::vector<InferenceRequest> staged_;
+
+  // Emotion -> mode state.
+  adaptive::AffectVideoPolicy policy_;
+  adaptive::DecoderMode policy_mode_ = adaptive::DecoderMode::kStandard;
+  adaptive::DecoderMode effective_mode_ = adaptive::DecoderMode::kStandard;
+
+  // Video path.
+  h264::Decoder decoder_;
+  adaptive::InputSelector selector_;
+  std::size_t nal_cursor_ = 0;
+  double frame_carry_ = 0.0;
+
+  // App/memory manager path (optional; both null when SessionEnv does
+  // not supply a table + catalog).
+  std::unique_ptr<core::EmotionalKillPolicy> kill_policy_;
+  std::unique_ptr<android::ProcessManager> pm_;
+  std::mt19937 app_rng_;
+
+  // Replay log.
+  std::vector<WindowRecord> windows_;
+  std::vector<std::pair<double, affect::Emotion>> stable_trace_;
+  std::uint64_t digest_ = 1469598103934665603ull;
+  SessionStats stats_;
+
+  // Cached scoped metric handles (one registry lookup each, ever).
+  obs::Counter* c_windows_ = nullptr;
+  obs::Counter* c_frames_ = nullptr;
+  obs::Counter* c_frames_dropped_ = nullptr;
+  obs::Counter* c_nals_deleted_ = nullptr;
+  obs::Counter* c_mode_switches_ = nullptr;
+};
+
+}  // namespace affectsys::serve

@@ -1,0 +1,78 @@
+// Deterministic multi-tenant load: the read-only media assets every
+// session shares, and the per-session seeded script that drives one
+// user's traffic over them.
+//
+// The server's scaling story depends on sessions sharing immutable
+// state: one synthesized utterance bank (a few hundred KB) and one
+// encoded prototype clip stand in for the per-user audio capture and
+// video stream, so 64 concurrent sessions cost 64 cursors — not 64
+// copies of the media.  Each session derives its entire behaviour
+// (emotion script, silence gaps, app-launch trace) from a single seed,
+// which is what makes server runs replayable: same seed, same traffic,
+// same sheds, byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "affect/emotion.hpp"
+#include "h264/encoder.hpp"
+#include "h264/nal.hpp"
+#include "h264/testvideo.hpp"
+
+namespace affectsys::serve {
+
+struct WorkloadConfig {
+  double sample_rate_hz = 16000.0;
+  /// Length of each banked utterance.
+  double utterance_s = 1.2;
+  /// Emotions with a banked utterance; session scripts draw from these.
+  /// Defaults to the uulmMAC-style pair the small test classifiers are
+  /// trained on.
+  std::vector<affect::Emotion> emotions = {affect::Emotion::kAngry,
+                                           affect::Emotion::kCalm};
+  unsigned synth_seed = 7;
+  /// Prototype clip (matches adaptive::PlaybackConfig calibration: busy
+  /// scenes produce B NALs just above S_th = 140, quiet scenes below).
+  h264::VideoConfig video{64, 64, 48, 1.2, 0.6, 2.5, 77};
+  h264::EncoderConfig encoder{64, 64, 24, 12, 2, 4, true};
+  double quiet_fraction = 0.25;
+};
+
+/// One segment of a session's emotion script: `speech_s` seconds of the
+/// banked utterance for `emotion`, then `silence_s` seconds of silence.
+struct ScriptSegment {
+  affect::Emotion emotion = affect::Emotion::kNeutral;
+  double speech_s = 2.0;
+  double silence_s = 0.5;
+};
+
+/// Immutable assets shared by every session of one server: the
+/// per-emotion utterance bank and the encoded prototype clip, unpacked
+/// to NAL units once.  Thread-safe by construction (read-only after the
+/// constructor).
+class SharedWorkload {
+ public:
+  explicit SharedWorkload(const WorkloadConfig& cfg);
+
+  const WorkloadConfig& config() const { return cfg_; }
+  /// Banked utterance samples for an emotion in config().emotions.
+  std::span<const double> utterance(affect::Emotion e) const;
+  const std::vector<h264::NalUnit>& nal_units() const { return nals_; }
+  /// Coded pictures per loop of the clip (slice NAL count).
+  std::size_t clip_pictures() const { return clip_pictures_; }
+
+  /// Deterministic per-session emotion script: `segments` entries drawn
+  /// from config().emotions with seeded speech/silence jitter.
+  std::vector<ScriptSegment> make_script(unsigned seed,
+                                         std::size_t segments) const;
+
+ private:
+  WorkloadConfig cfg_;
+  std::vector<std::vector<double>> bank_;  ///< parallel to cfg_.emotions
+  std::vector<h264::NalUnit> nals_;
+  std::size_t clip_pictures_ = 0;
+};
+
+}  // namespace affectsys::serve

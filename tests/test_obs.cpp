@@ -160,3 +160,46 @@ TEST(Json, RegistrySnapshotContainsAllSections) {
   EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
   EXPECT_NE(json.find("\"mean\": 123"), std::string::npos);
 }
+
+// ------------------------------------------------------------- MetricScope
+
+TEST(MetricScope, PrefixesNamesWithScope) {
+  obs::Registry reg;
+  obs::MetricScope scope("serve.s3", reg);
+  scope.counter("affect.windows_dropped").add(2);
+  scope.gauge("backlog").set(5.0);
+  scope.histogram("tick_ns").observe(10.0);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"serve.s3.affect.windows_dropped\": 2"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"serve.s3.backlog\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"serve.s3.tick_ns\""), std::string::npos);
+}
+
+// Un-prefixed names must stay byte-compatible: an empty scope resolves
+// to exactly the same metric object as an unscoped registry lookup, so
+// every pre-existing dashboard/grep keeps working.
+TEST(MetricScope, EmptyScopeIsByteCompatibleWithUnscopedNames) {
+  obs::Registry reg;
+  obs::MetricScope scope("", reg);
+  EXPECT_EQ(&scope.counter("affect.windows_dropped"),
+            &reg.counter("affect.windows_dropped"));
+  EXPECT_EQ(obs::scoped_metric_name("", "a.b"), "a.b");
+  EXPECT_EQ(obs::scoped_metric_name("serve.s1", "a.b"), "serve.s1.a.b");
+}
+
+TEST(MetricScope, DistinctScopesIsolateSessions) {
+  obs::Registry reg;
+  obs::MetricScope s1("serve.s1", reg);
+  obs::MetricScope s2("serve.s2", reg);
+  s1.counter("frames").add(3);
+  s2.counter("frames").add(9);
+  EXPECT_EQ(reg.counter("serve.s1.frames").value(), 3u);
+  EXPECT_EQ(reg.counter("serve.s2.frames").value(), 9u);
+}
+
+TEST(MetricScope, DefaultConstructedUsesGlobalRegistryUnprefixed) {
+  obs::MetricScope scope;
+  EXPECT_EQ(&scope.registry(), &obs::Registry::global());
+  EXPECT_TRUE(scope.scope().empty());
+}

@@ -313,3 +313,95 @@ TEST(Offload, CrossoverMonotoneInPayload) {
   EXPECT_NEAR(r.local_watch_nj, r.offload_watch_nj,
               r.local_watch_nj * 0.01);
 }
+
+// ---------------------------------------------------- sink (server) mode
+
+// Sink mode is the session server's attachment point: windows that
+// survive the VAD gate are handed out for external (batched) inference
+// and results come back through apply_label().
+
+TEST_F(PipelineFixture, SinkReceivesEveryVadSurvivingWindow) {
+  affect::RealtimeConfig cfg;
+  affect::RealtimePipeline pipe(classifier(), cfg);
+  std::vector<std::pair<double, std::size_t>> delivered;
+  pipe.set_window_sink([&](double t_end, std::span<const double> w) {
+    delivered.emplace_back(t_end, w.size());
+    // Apply a result immediately, as an unloaded server would.
+    pipe.apply_label(t_end, affect::Emotion::kAngry);
+  });
+
+  affect::SpeechSynthesizer synth(3);
+  double t = 0.0;
+  for (int u = 0; u < 4; ++u) {
+    const auto utt =
+        synth.synthesize(affect::Emotion::kAngry, 60 + u, 1.0, 16000.0, 0.1);
+    for (std::size_t off = 0; off < utt.samples.size(); off += 1600) {
+      const std::size_t n =
+          std::min<std::size_t>(1600, utt.samples.size() - off);
+      pipe.push_audio(t, {utt.samples.data() + off, n});
+      t += 0.1;
+    }
+  }
+  ASSERT_FALSE(delivered.empty());
+  EXPECT_EQ(delivered.size(), pipe.stats().windows_classified);
+  EXPECT_EQ(pipe.dropped(), 0u);
+  const std::size_t window_len = static_cast<std::size_t>(16000.0 * 1.0);
+  for (const auto& [t_end, n] : delivered) EXPECT_EQ(n, window_len);
+  // Labels applied through apply_label() drive the smoothing stream
+  // exactly like internal classification would.
+  EXPECT_EQ(pipe.stable_emotion(), affect::Emotion::kAngry);
+  EXPECT_GT(pipe.stats().stable_changes, 0u);
+}
+
+TEST_F(PipelineFixture, SinkModeShedsNewestWindowBeyondMaxInflight) {
+  affect::RealtimeConfig cfg;
+  cfg.max_inflight = 2;
+  cfg.obs_scope = "rt.test.shed";  // unique per test: registry is global
+  affect::RealtimePipeline pipe(classifier(), cfg);
+  std::vector<double> pending_t;
+  pipe.set_window_sink(
+      [&](double t_end, std::span<const double>) { pending_t.push_back(t_end); });
+
+  affect::SpeechSynthesizer synth(3);
+  double t = 0.0;
+  for (int u = 0; u < 6; ++u) {
+    const auto utt =
+        synth.synthesize(affect::Emotion::kAngry, 30 + u, 1.0, 16000.0, 0.1);
+    for (std::size_t off = 0; off < utt.samples.size(); off += 1600) {
+      const std::size_t n =
+          std::min<std::size_t>(1600, utt.samples.size() - off);
+      pipe.push_audio(t, {utt.samples.data() + off, n});
+      t += 0.1;
+    }
+  }
+  // Nobody applied results, so only max_inflight windows were ever
+  // delivered; the rest were shed (drop-newest) and counted.
+  EXPECT_EQ(pending_t.size(), cfg.max_inflight);
+  EXPECT_GT(pipe.dropped(), 0u);
+  EXPECT_EQ(pipe.dropped(), pipe.stats().windows_dropped);
+  // The scoped per-session counter saw the same sheds as the aggregate.
+  EXPECT_EQ(affectsys::obs::Registry::global()
+                .counter("rt.test.shed.affect.windows_dropped")
+                .value(),
+            pipe.dropped());
+
+  // Applying a result frees a slot: the next surviving window flows.
+  pipe.apply_label(pending_t.front(), affect::Emotion::kAngry);
+  const auto before = pending_t.size();
+  const auto utt =
+      synth.synthesize(affect::Emotion::kAngry, 99, 1.5, 16000.0, 0.1);
+  for (std::size_t off = 0; off < utt.samples.size(); off += 1600) {
+    const std::size_t n = std::min<std::size_t>(1600, utt.samples.size() - off);
+    pipe.push_audio(t, {utt.samples.data() + off, n});
+    t += 0.1;
+  }
+  EXPECT_GT(pending_t.size(), before);
+}
+
+TEST_F(PipelineFixture, SinkModeRejectsAsyncConfig) {
+  affect::RealtimeConfig cfg;
+  cfg.async = true;
+  affect::RealtimePipeline pipe(classifier(), cfg);
+  EXPECT_THROW(pipe.set_window_sink([](double, std::span<const double>) {}),
+               std::logic_error);
+}

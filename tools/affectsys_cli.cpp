@@ -9,6 +9,7 @@
 //   affectsys_cli manager <usage.csv> [fifo|lru|frequency]
 //                                                   replay under baseline vs emotional
 //   affectsys_cli modes                             decoder mode power table
+//   affectsys_cli serve [sessions] [ticks]          multi-tenant smoke load
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,6 +22,7 @@
 #include "android/replay.hpp"
 #include "core/emotional_policy.hpp"
 #include "core/manager_experiment.hpp"
+#include "serve/server.hpp"
 
 using namespace affectsys;
 
@@ -29,7 +31,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: affectsys_cli <synth-scl|synth-usage|classify|"
-               "playback|manager|modes> [args]\n");
+               "playback|manager|modes|serve> [args]\n");
   return 2;
 }
 
@@ -181,6 +183,78 @@ int cmd_modes() {
   return 0;
 }
 
+// Multi-tenant smoke load: N sessions through the session server for a
+// fixed number of ticks, then a per-session summary table.  The quick
+// way to watch the serving layer (batching, backlog, shedding ladder)
+// without building the bench.
+int cmd_serve(int argc, char** argv) {
+  const std::size_t n =
+      argc > 0 ? static_cast<std::size_t>(std::atoi(argv[0])) : 4;
+  const int ticks = argc > 1 ? std::atoi(argv[1]) : 200;
+  if (n == 0 || ticks <= 0) return usage();
+
+  std::printf("training classifier + synthesizing shared workload...\n");
+  serve::SharedWorkload workload{serve::WorkloadConfig{}};
+  affect::CorpusProfile prof;
+  prof.name = "cli";
+  prof.num_speakers = 4;
+  prof.emotions = {affect::Emotion::kAngry, affect::Emotion::kCalm};
+  prof.utterances_per_speaker_emotion = 6;
+  prof.utterance_seconds = 1.0;
+  prof.speaker_spread = 0.1;
+  nn::TrainConfig tc;
+  tc.epochs = 8;
+  tc.batch_size = 8;
+  tc.learning_rate = 2e-3f;
+  auto classifier = affect::train_affect_classifier(nn::ModelKind::kMlp, prof, tc);
+  const auto catalog = android::build_catalog(android::EmulatorSpec{});
+  core::AppAffectTable table;
+  for (const auto e : {affect::Emotion::kAngry, affect::Emotion::kCalm}) {
+    table.learn_from_profile(e, android::profile_for_emotion(e), catalog);
+  }
+
+  serve::SessionEnv env;
+  env.workload = &workload;
+  env.classifier = &classifier;
+  env.app_table = &table;
+  env.catalog = &catalog;
+  serve::ServerConfig cfg;
+  cfg.max_sessions = n;
+  serve::SessionManager server(cfg, env);
+  std::vector<serve::SessionId> ids;
+  for (std::size_t i = 0; i < n; ++i) ids.push_back(server.create_session());
+  for (int t = 0; t < ticks; ++t) server.tick();
+  server.drain();
+
+  std::printf("%zu sessions x %d ticks (%.1f s media each)\n", n, ticks,
+              ticks * cfg.session.tick_s);
+  std::printf("%4s %8s %8s %8s %8s %8s %8s  %s\n", "id", "windows", "shed",
+              "frames", "dropped", "nals-del", "apps", "mode");
+  for (const auto id : ids) {
+    const auto rep = server.report(id);
+    std::printf("%4llu %8llu %8llu %8llu %8llu %8llu %8llu  %s\n",
+                static_cast<unsigned long long>(id),
+                static_cast<unsigned long long>(rep.stats.results_applied),
+                static_cast<unsigned long long>(rep.realtime.windows_dropped),
+                static_cast<unsigned long long>(rep.stats.frames_decoded),
+                static_cast<unsigned long long>(rep.stats.frames_dropped),
+                static_cast<unsigned long long>(rep.stats.nals_deleted),
+                static_cast<unsigned long long>(rep.stats.app_launches),
+                adaptive::mode_name(server.session(id).policy_mode()).data());
+  }
+  const auto& bs = server.batcher_stats();
+  std::printf("batcher: %llu windows in %llu flushes (%llu batched, "
+              "largest batch %zu)\n",
+              static_cast<unsigned long long>(bs.windows),
+              static_cast<unsigned long long>(bs.flushes),
+              static_cast<unsigned long long>(bs.batched_windows),
+              bs.max_batch_rows);
+  std::printf("degrade level %d (max %d, %llu degraded ticks)\n",
+              server.degrade_level(), server.stats().max_degrade_level,
+              static_cast<unsigned long long>(server.stats().degrade_ticks));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -195,6 +269,7 @@ int main(int argc, char** argv) {
     if (!std::strcmp(cmd, "playback")) return cmd_playback(argc - 2, argv + 2);
     if (!std::strcmp(cmd, "manager")) return cmd_manager(argc - 2, argv + 2);
     if (!std::strcmp(cmd, "modes")) return cmd_modes();
+    if (!std::strcmp(cmd, "serve")) return cmd_serve(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

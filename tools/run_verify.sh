@@ -7,6 +7,7 @@
 #   tools/run_verify.sh sanitize   # ASan+UBSan build
 #   tools/run_verify.sh tsan       # TSan build, race-sensitive tests only
 #   tools/run_verify.sh kernels    # Release build: kernel suite + bench
+#   tools/run_verify.sh serve      # Release build: session-server suite + bench
 #
 # Build trees: build/ (default), build-nothreads/, build-asan/,
 # build-tsan/ and build-release/ (kernels).  Tests carry the ctest label "tier1"; the sanitized
@@ -67,20 +68,47 @@ pass_kernels() {
   fi
 }
 
+# Serve pass: Release build, the session-server suite (label "serve"),
+# then bench_serve regenerating BENCH_serve.json.  The sustained
+# real-time session count is soft-checked against the committed copy
+# (>10% regression fails); bench_serve itself exits nonzero when
+# batched inference loses to per-session forwards at 8 rows or the two
+# stop being bit-identical, so those gates need no shell logic.
+pass_serve() {
+  run_pass build-release serve serve -DCMAKE_BUILD_TYPE=Release
+  echo "=== [serve] bench_serve ==="
+  local fresh="build-release/BENCH_serve.json"
+  ./build-release/bench/bench_serve "$fresh"
+  if [[ -f BENCH_serve.json ]]; then
+    local committed_n fresh_n
+    committed_n=$(grep -o '"sustained_sessions": [0-9]*' BENCH_serve.json | awk '{print $2}')
+    fresh_n=$(grep -o '"sustained_sessions": [0-9]*' "$fresh" | awk '{print $2}')
+    echo "sustained_sessions: committed=$committed_n fresh=$fresh_n"
+    if ! awk -v f="$fresh_n" -v c="$committed_n" 'BEGIN { exit !(f >= 0.9 * c) }'; then
+      echo "FAIL: sustained session count regressed >10% vs committed BENCH_serve.json" >&2
+      exit 1
+    fi
+  else
+    echo "no committed BENCH_serve.json; skipping sustained-sessions check"
+  fi
+}
+
 case "$mode" in
   default)   pass_default ;;
   nothreads) pass_nothreads ;;
   sanitize)  pass_sanitize ;;
   tsan)      pass_tsan ;;
   kernels)   pass_kernels ;;
+  serve)     pass_serve ;;
   all)
     pass_default
     pass_nothreads
     pass_sanitize
     pass_tsan
     pass_kernels
+    pass_serve
     ;;
-  *) echo "usage: $0 [default|nothreads|sanitize|tsan|kernels|all]" >&2; exit 2 ;;
+  *) echo "usage: $0 [default|nothreads|sanitize|tsan|kernels|serve|all]" >&2; exit 2 ;;
 esac
 
 echo "verification passed ($mode)"
