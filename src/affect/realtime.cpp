@@ -30,6 +30,17 @@ RealtimePipeline::~RealtimePipeline() { drain(); }
 
 std::optional<Emotion> RealtimePipeline::push_audio(
     double t_s, std::span<const double> chunk) {
+  if (cfg_.gap_tolerance_s > 0.0 && !buffer_.empty() &&
+      t_s > buffer_end_t_ + cfg_.gap_tolerance_s) {
+    // Capture gap: the buffered tail is stale audio from before the
+    // stall.  Windows spanning the gap would splice unrelated speech,
+    // and the anchored deadline clock would classify stride-by-stride
+    // through the dead time — drop the tail and re-anchor instead.
+    buffer_.clear();
+    window_clock_started_ = false;
+    ++stats_.gap_resyncs;
+    AFFECTSYS_COUNT("affect.gap_resyncs", 1);
+  }
   stats_.samples_in += chunk.size();
   AFFECTSYS_COUNT("affect.samples_in", chunk.size());
   buffer_.insert(buffer_.end(), chunk.begin(), chunk.end());

@@ -51,6 +51,14 @@ struct RealtimeConfig {
   double min_speech_fraction = 0.3;
   VadConfig vad{};
   StreamConfig stream{3, 2.0};
+  /// Capture-gap tolerance: when a pushed chunk starts more than this
+  /// many seconds after the end of the buffered audio (a stalled or
+  /// faulted capture path), the stale window buffer is discarded and
+  /// the window deadline clock re-anchors at the next full window,
+  /// instead of spinning stride-by-stride over stale samples to catch
+  /// the clock up.  <= 0 disables gap detection (pre-existing
+  /// behaviour).  Contiguous feeds never trigger it.
+  double gap_tolerance_s = 1.0;
   /// Classify on the global thread pool instead of inside push_audio().
   bool async = false;
   /// Bound on pending (accepted, not yet classified) windows in async
@@ -70,6 +78,7 @@ struct RealtimeStats {
   std::uint64_t windows_classified = 0;  ///< survived the VAD gate
   std::uint64_t windows_dropped = 0;     ///< async queue overflow
   std::uint64_t stable_changes = 0;
+  std::uint64_t gap_resyncs = 0;  ///< buffer resets after capture gaps
 };
 
 class RealtimePipeline {

@@ -1,0 +1,34 @@
+#include "fault/audio_faults.hpp"
+
+#include <algorithm>
+
+namespace affectsys::fault {
+
+bool maybe_fault_audio(std::span<double> chunk, FaultPlan& plan,
+                       FaultCounts& counts) {
+  const auto kind = plan.next(kAudioKinds);
+  if (!kind) return true;
+  counts.record(*kind);
+  switch (*kind) {
+    case FaultKind::kAudioDrop:
+      return false;
+    case FaultKind::kAudioZero:
+      std::fill(chunk.begin(), chunk.end(), 0.0);
+      return true;
+    case FaultKind::kAudioClip:
+      // Overdriven capture: 8x gain into a hard limiter.
+      for (double& s : chunk) s = std::clamp(8.0 * s, -1.0, 1.0);
+      return true;
+    case FaultKind::kAudioRateGlitch:
+      // Sample-and-hold at half rate: a clock glitch halving the
+      // effective sample rate for this chunk.
+      for (std::size_t i = 1; i < chunk.size(); i += 2) {
+        chunk[i] = chunk[i - 1];
+      }
+      return true;
+    default:
+      return true;  // masked out by kAudioKinds
+  }
+}
+
+}  // namespace affectsys::fault

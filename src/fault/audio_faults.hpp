@@ -1,0 +1,20 @@
+// Audio fault injector: plan-driven damage to one capture chunk, in
+// place.  Models the capture-path failures an edge device actually
+// sees: lost DMA buffers (drop), muted or dead mics (zero), overdriven
+// input (clip) and clock glitches (effective sample-rate halving).
+#pragma once
+
+#include <span>
+
+#include "fault/plan.hpp"
+
+namespace affectsys::fault {
+
+/// Consults the plan for this chunk site (kAudioKinds).  Mutates the
+/// chunk in place for delivered-but-damaged kinds; returns false when
+/// the chunk is dropped entirely — the caller must skip delivery, which
+/// opens a real time gap in the stream.
+bool maybe_fault_audio(std::span<double> chunk, FaultPlan& plan,
+                       FaultCounts& counts);
+
+}  // namespace affectsys::fault

@@ -1,0 +1,98 @@
+#include "fault/bitstream_faults.hpp"
+
+#include <utility>
+
+namespace affectsys::fault {
+
+namespace {
+
+void flip_payload_bits(h264::NalUnit& nal, FaultPlan& plan) {
+  if (nal.payload.empty()) {
+    // Header-only unit: the only bits to damage are the type/ref_idc
+    // fields, so re-type it to a random (possibly reserved) value.
+    nal.type = static_cast<h264::NalType>(plan.draw(32));
+    nal.ref_idc = static_cast<std::uint8_t>(plan.draw(4));
+    return;
+  }
+  const std::uint64_t flips = 1 + plan.draw(7);
+  for (std::uint64_t f = 0; f < flips; ++f) {
+    const std::uint64_t pos = plan.draw(nal.payload.size());
+    nal.payload[pos] ^= static_cast<std::uint8_t>(1u << plan.draw(8));
+  }
+}
+
+}  // namespace
+
+std::optional<std::vector<h264::NalUnit>> maybe_fault_nal(
+    const h264::NalUnit& nal, FaultPlan& plan, FaultCounts& counts) {
+  const auto kind = plan.next(kNalUnitKinds);
+  if (!kind) return std::nullopt;
+  counts.record(*kind);
+  h264::NalUnit copy = nal;
+  switch (*kind) {
+    case FaultKind::kNalBitFlip:
+      flip_payload_bits(copy, plan);
+      break;
+    case FaultKind::kNalTruncate:
+      // 0..size surviving bytes: zero models a start code immediately
+      // followed by the next start code (header-only unit lost too).
+      copy.payload.resize(plan.draw(copy.payload.size() + 1));
+      break;
+    case FaultKind::kNalDuplicate: {
+      std::vector<h264::NalUnit> two;
+      two.push_back(copy);
+      two.push_back(std::move(copy));
+      return two;
+    }
+    default:
+      break;  // masked out by kNalUnitKinds
+  }
+  std::vector<h264::NalUnit> one;
+  one.push_back(std::move(copy));
+  return one;
+}
+
+std::vector<std::uint8_t> inject_annexb_faults(
+    std::span<const std::uint8_t> stream, FaultPlan& plan,
+    FaultCounts& counts) {
+  if (!plan.enabled()) return {stream.begin(), stream.end()};
+
+  std::vector<h264::NalUnit> units = h264::unpack_annexb(stream);
+  std::vector<h264::NalUnit> out;
+  out.reserve(units.size() + 4);
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    // Reorder is a cross-unit fault: decided first, and the swap
+    // consumes both units before their per-unit sites are drawn.
+    if (i + 1 < units.size() &&
+        plan.next(kind_bit(FaultKind::kNalReorder))) {
+      counts.record(FaultKind::kNalReorder);
+      out.push_back(std::move(units[i + 1]));
+      out.push_back(std::move(units[i]));
+      ++i;
+      continue;
+    }
+    if (auto faulted = maybe_fault_nal(units[i], plan, counts)) {
+      for (h264::NalUnit& u : *faulted) out.push_back(std::move(u));
+    } else {
+      out.push_back(std::move(units[i]));
+    }
+  }
+
+  std::vector<std::uint8_t> bytes = h264::pack_annexb(out);
+  // Start-code damage: every code in the repacked stream is a site.  A
+  // damaged code fuses its unit into the previous payload — exactly the
+  // framing loss a corrupted transport produces.
+  for (std::size_t i = 0; i + 2 < bytes.size(); ++i) {
+    if (bytes[i] == 0 && bytes[i + 1] == 0 && bytes[i + 2] == 1) {
+      if (plan.next(kind_bit(FaultKind::kStartCodeDamage))) {
+        counts.record(FaultKind::kStartCodeDamage);
+        bytes[i + plan.draw(3)] =
+            static_cast<std::uint8_t>(2 + plan.draw(254));
+      }
+      i += 2;
+    }
+  }
+  return bytes;
+}
+
+}  // namespace affectsys::fault

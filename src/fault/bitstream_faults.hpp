@@ -1,0 +1,40 @@
+// Bitstream fault injectors: plan-driven corruption of NAL units and
+// Annex-B byte streams.  Two granularities:
+//
+//  - maybe_fault_nal(): one NAL unit about to be decoded (the session
+//    server's hot path).  Returns nothing when no fault fires, so the
+//    clean path never copies a payload.
+//  - inject_annexb_faults(): a whole packed stream (the fuzz harness's
+//    path) — adds the cross-unit kinds (reorder, start-code damage) the
+//    per-unit site cannot express.
+//
+// Both consume RNG state only when a fault actually fires, and record
+// what they applied into FaultCounts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "h264/nal.hpp"
+
+namespace affectsys::fault {
+
+/// Consults the plan for this NAL-unit site (kNalUnitKinds: bit flip,
+/// truncate, duplicate).  Returns nullopt when no fault fires — the
+/// caller decodes the original unit untouched — or the faulted unit
+/// sequence replacing it (two entries for a duplicate).
+std::optional<std::vector<h264::NalUnit>> maybe_fault_nal(
+    const h264::NalUnit& nal, FaultPlan& plan, FaultCounts& counts);
+
+/// Applies the full bitstream fault taxonomy to a packed Annex-B
+/// stream: per-unit faults plus adjacent-unit reorder, then byte-level
+/// start-code damage on the repacked stream.  With a disabled plan the
+/// input is returned byte-identically.
+std::vector<std::uint8_t> inject_annexb_faults(
+    std::span<const std::uint8_t> stream, FaultPlan& plan,
+    FaultCounts& counts);
+
+}  // namespace affectsys::fault

@@ -1,0 +1,73 @@
+#include "fault/plan.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace affectsys::fault {
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNalBitFlip: return "nal_bit_flip";
+    case FaultKind::kNalTruncate: return "nal_truncate";
+    case FaultKind::kNalDuplicate: return "nal_duplicate";
+    case FaultKind::kNalReorder: return "nal_reorder";
+    case FaultKind::kStartCodeDamage: return "start_code_damage";
+    case FaultKind::kAudioDrop: return "audio_drop";
+    case FaultKind::kAudioZero: return "audio_zero";
+    case FaultKind::kAudioClip: return "audio_clip";
+    case FaultKind::kAudioRateGlitch: return "audio_rate_glitch";
+    case FaultKind::kSessionStall: return "session_stall";
+    case FaultKind::kBatcherFallback: return "batcher_fallback";
+    case FaultKind::kAdmissionBurst: return "admission_burst";
+  }
+  return "unknown";
+}
+
+FaultCounts& FaultCounts::operator+=(const FaultCounts& o) {
+  for (std::size_t i = 0; i < kNumFaultKinds; ++i) by_kind[i] += o.by_kind[i];
+  total += o.total;
+  return *this;
+}
+
+FaultPlan::FaultPlan(const FaultConfig& cfg) : cfg_(cfg), state_(cfg.seed) {
+  if (cfg_.rate < 0.0 || cfg_.rate > 1.0) {
+    throw std::invalid_argument("FaultPlan: rate must be in [0, 1]");
+  }
+}
+
+std::uint64_t FaultPlan::next_u64() {
+  // splitmix64: tiny, seedable, and every output is a pure function of
+  // (seed, step) — the whole replay guarantee rests on this.
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t FaultPlan::draw(std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("FaultPlan::draw: n must be >= 1");
+  // Modulo bias is irrelevant for fault shaping; determinism is not.
+  return next_u64() % n;
+}
+
+std::optional<FaultKind> FaultPlan::next(std::uint32_t site_mask) {
+  const std::uint32_t mask = cfg_.kinds & site_mask;
+  if (!enabled() || mask == 0) return std::nullopt;
+  ++decisions_;
+  // 53-bit mantissa draw in [0, 1).
+  const double u =
+      static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  if (u >= cfg_.rate) return std::nullopt;
+  auto pick = static_cast<int>(draw(static_cast<std::uint64_t>(
+      std::popcount(mask))));
+  for (std::size_t k = 0; k < kNumFaultKinds; ++k) {
+    if ((mask & (1u << k)) == 0) continue;
+    if (pick-- == 0) {
+      ++faults_;
+      return static_cast<FaultKind>(k);
+    }
+  }
+  return std::nullopt;  // unreachable: popcount bounds the pick
+}
+
+}  // namespace affectsys::fault

@@ -1,0 +1,106 @@
+// Replayable fuzz scenarios: the end-to-end runs the fault suite
+// executes, factored out of the tests so the same seed reproduces the
+// same run everywhere — tests/test_fault.cpp, bench/bench_fault.cpp and
+// `affectsys_cli fault-replay <suite> <seed> [rate]` all call these.
+//
+// Every scenario is a pure function of its ScenarioConfig: it builds
+// its media from process-lifetime shared fixtures (seeded synthesis,
+// trained classifier), injects plan-driven faults and digests what came
+// out.  Result structs compare with ==, which is the replay-identity
+// check: same config, same result, bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "h264/decoder.hpp"
+#include "serve/session.hpp"
+
+namespace affectsys::fault {
+
+inline constexpr std::uint64_t kFnvBasis = 1469598103934665603ull;
+
+/// FNV-1a over bytes (chainable via `h`): the digest primitive every
+/// scenario and identity test shares.
+std::uint64_t fnv1a_bytes(std::span<const std::uint8_t> bytes,
+                          std::uint64_t h = kFnvBasis);
+
+/// Order-sensitive digest of decoded pictures (poc, type, every pixel).
+std::uint64_t digest_pictures(std::span<const h264::DecodedPicture> pics,
+                              std::uint64_t h = kFnvBasis);
+
+/// The 12-frame reference clip the bitstream suite corrupts (encoded
+/// once per process).
+std::span<const std::uint8_t> scenario_reference_stream();
+
+/// The scenarios' process-lifetime serve fixtures (workload, trained
+/// classifier, app table, catalog), for tests that build their own
+/// SessionManager against the same world.  Valid for the process
+/// lifetime.
+serve::SessionEnv scenario_env();
+
+struct ScenarioConfig {
+  std::uint64_t seed = 1;
+  double rate = 0.1;
+  /// Intersected with each suite's own kind mask.
+  std::uint32_t kinds = kAllKinds;
+};
+
+struct BitstreamScenarioResult {
+  std::uint64_t stream_digest = 0;  ///< faulted Annex-B bytes
+  std::uint64_t pixel_digest = 0;   ///< every decoded picture, in order
+  std::uint64_t pictures = 0;
+  std::uint64_t faults = 0;
+  std::uint64_t nal_errors = 0;
+  std::uint64_t resyncs = 0;
+
+  bool operator==(const BitstreamScenarioResult&) const = default;
+};
+
+/// Injects plan-driven faults into the reference clip and decodes the
+/// result with a resilient decoder.  Never throws BitstreamError: any
+/// escape is a recovery-policy bug the fuzz suite must surface.
+BitstreamScenarioResult run_bitstream_scenario(const ScenarioConfig& cfg);
+
+struct AudioScenarioResult {
+  std::uint64_t label_digest = 0;  ///< every raw label (t, emotion, conf)
+  std::uint64_t windows_classified = 0;
+  std::uint64_t gap_resyncs = 0;
+  std::uint64_t stable_changes = 0;
+  std::uint64_t faults = 0;
+  std::uint64_t chunks_dropped = 0;
+
+  bool operator==(const AudioScenarioResult&) const = default;
+};
+
+/// Streams a scripted 8 s capture through a RealtimePipeline in 100 ms
+/// chunks, damaging chunks per the plan (drops open real time gaps).
+AudioScenarioResult run_audio_scenario(const ScenarioConfig& cfg);
+
+struct ServeScenarioResult {
+  /// Per session, in id order (the fault-free baseline aligns by index).
+  std::vector<std::uint64_t> decode_digests;
+  std::vector<std::uint64_t> window_digests;
+  std::vector<std::uint64_t> session_faults;
+  std::uint64_t results_routed = 0;
+  std::uint64_t sessions_quarantined = 0;
+  std::uint64_t sessions_restarted = 0;
+  std::uint64_t degrade_ticks = 0;
+  int max_degrade_level = 0;
+
+  bool operator==(const ServeScenarioResult&) const = default;
+};
+
+inline constexpr std::size_t kServeScenarioSessions = 4;
+
+/// Multi-tenant run: kServeScenarioSessions sessions for 40 ticks with
+/// cfg.rate applied to the odd-index sessions only (even-index tenants
+/// run clean) plus server-level batcher-fallback faults.  Watermarks
+/// are set high so the backlog ladder never engages — any difference in
+/// a clean session's digests vs. the rate-0 baseline is quarantine
+/// isolation failing, not shared-ladder coupling.
+ServeScenarioResult run_serve_scenario(const ScenarioConfig& cfg);
+
+}  // namespace affectsys::fault

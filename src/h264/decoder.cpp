@@ -23,6 +23,19 @@ constexpr std::uint32_t kMbIntra = 4;
 
 constexpr std::uint32_t kIntra4x4 = 1;  // intra partition code
 
+// Parse-time sanity bounds: a fuzzed Exp-Golomb field can reach 2^32-1,
+// so every value that feeds arithmetic or table indexing is range-
+// checked before use (overflow and negative-modulo UB otherwise).
+constexpr std::uint32_t kMaxMbPerDim = 256;  // 4096-pixel frames
+constexpr int kMaxMvHalfPel = 1 << 15;
+
+void check_mv(const MotionVector& mv) {
+  if (mv.dx > kMaxMvHalfPel || mv.dx < -kMaxMvHalfPel ||
+      mv.dy > kMaxMvHalfPel || mv.dy < -kMaxMvHalfPel) {
+    throw BitstreamError("Decoder: motion vector out of range");
+  }
+}
+
 void store_block(Plane& p, int x0, int y0, int size, const std::uint8_t* in) {
   for (int y = 0; y < size; ++y) {
     for (int x = 0; x < size; ++x) p.at(x0 + x, y0 + y) = in[y * size + x];
@@ -46,6 +59,9 @@ DecodeActivity& DecodeActivity::operator+=(const DecodeActivity& o) {
   deblock_pixels += o.deblock_pixels;
   frames_decoded += o.frames_decoded;
   frames_concealed += o.frames_concealed;
+  nal_errors += o.nal_errors;
+  resync_skips += o.resync_skips;
+  resyncs += o.resyncs;
   return *this;
 }
 
@@ -54,6 +70,24 @@ std::optional<DecodedPicture> Decoder::decode_nal(const NalUnit& nal) {
   activity_.bytes_in += nal.byte_size();
   AFFECTSYS_COUNT("h264.nal_units", 1);
   AFFECTSYS_COUNT("h264.bytes_in", nal.byte_size());
+  try {
+    return decode_nal_checked(nal);
+  } catch (const BitstreamError& e) {
+    ++activity_.nal_errors;
+    AFFECTSYS_COUNT("h264.nal_errors", 1);
+    if (!cfg_.resilient) throw DecodeError(e.what(), nal.type);
+    if (is_slice(nal)) {
+      // The prediction chain is broken: a lost picture means every
+      // following P/B slice would predict from the wrong frame.  Drop
+      // the references and discard slices until the next keyframe.
+      refs_held_ = 0;
+      awaiting_keyframe_ = true;
+    }
+    return std::nullopt;
+  }
+}
+
+std::optional<DecodedPicture> Decoder::decode_nal_checked(const NalUnit& nal) {
   // Emulation-prevention removal is done per branch: decode_slice()
   // de-escapes its own payload, and doing it here as well copied every
   // slice payload twice (measurable as wall-vs-observed skew in
@@ -65,8 +99,13 @@ std::optional<DecodedPicture> Decoder::decode_nal(const NalUnit& nal) {
       BitReader br(rbsp);
       br.get_bits(24);  // profile / constraints / level
       br.get_ue();      // sps_id
-      width_ = (static_cast<int>(br.get_ue()) + 1) * kMbSize;
-      height_ = (static_cast<int>(br.get_ue()) + 1) * kMbSize;
+      const std::uint32_t wmb = br.get_ue();
+      const std::uint32_t hmb = br.get_ue();
+      if (wmb >= kMaxMbPerDim || hmb >= kMaxMbPerDim) {
+        throw BitstreamError("Decoder: SPS dimensions out of range");
+      }
+      width_ = (static_cast<int>(wmb) + 1) * kMbSize;
+      height_ = (static_cast<int>(hmb) + 1) * kMbSize;
       have_sps_ = true;
       activity_.bits_parsed += br.bits_consumed();
       return std::nullopt;
@@ -77,17 +116,36 @@ std::optional<DecodedPicture> Decoder::decode_nal(const NalUnit& nal) {
       BitReader br(rbsp);
       br.get_ue();  // pps_id
       br.get_ue();  // sps_id
-      qp_ = static_cast<int>(br.get_se()) + 26;
+      const std::int64_t pps_qp =
+          static_cast<std::int64_t>(br.get_se()) + 26;
+      if (pps_qp < 0 || pps_qp > 51) {
+        throw BitstreamError("Decoder: PPS qp out of range");
+      }
+      qp_ = static_cast<int>(pps_qp);
       pps_deblock_ = br.get_bit();
       activity_.bits_parsed += br.bits_consumed();
       return std::nullopt;
     }
     case NalType::kSliceIdr:
-    case NalType::kSliceNonIdr:
+    case NalType::kSliceNonIdr: {
       if (!have_sps_) {
         throw BitstreamError("Decoder: slice before parameter sets");
       }
-      return decode_slice(nal);
+      if (awaiting_keyframe_ && nal.type != NalType::kSliceIdr) {
+        // Resilient resync: everything until the next keyframe predicts
+        // from pictures we no longer trust.
+        ++activity_.resync_skips;
+        AFFECTSYS_COUNT("h264.resync_skips", 1);
+        return std::nullopt;
+      }
+      auto pic = decode_slice(nal);
+      if (awaiting_keyframe_) {
+        awaiting_keyframe_ = false;
+        ++activity_.resyncs;
+        AFFECTSYS_COUNT("h264.resyncs", 1);
+      }
+      return pic;
+    }
     default:
       return std::nullopt;
   }
@@ -103,7 +161,13 @@ DecodedPicture Decoder::decode_slice(const NalUnit& nal) {
   const auto type = static_cast<SliceType>(br.get_ue() % 5);
   br.get_ue();  // frame_num
   const int poc = static_cast<int>(br.get_ue());
-  const int qp = qp_ + static_cast<int>(br.get_se());
+  const std::int64_t qp64 = qp_ + static_cast<std::int64_t>(br.get_se());
+  if (qp64 < 0 || qp64 > 51) {
+    // Out-of-range qp would index the dequant tables with a negative
+    // modulo and left-shift past the value bits — refuse the slice.
+    throw BitstreamError("Decoder: slice qp out of range");
+  }
+  const int qp = static_cast<int>(qp64);
 
   if (type != SliceType::kI && refs_held_ == 0) {
     throw BitstreamError("Decoder: inter slice without references");
@@ -155,11 +219,22 @@ DecodedPicture Decoder::decode_slice(const NalUnit& nal) {
             chroma_mode = static_cast<IntraMode>(br.get_ue() % kNumIntraModes);
           }
         } else if (mb_type != kMbSkip) {
+          if (mb_type > kMbInterBi) {
+            throw BitstreamError("Decoder: invalid mb_type");
+          }
+          if (type != SliceType::kB &&
+              (mb_type == kMbInterBwd || mb_type == kMbInterBi)) {
+            // Backward/bi prediction outside a B slice has no backward
+            // reference to read from (bwd stays null).
+            throw BitstreamError("Decoder: B-type macroblock in non-B slice");
+          }
           mv.dx = br.get_se();
           mv.dy = br.get_se();
+          check_mv(mv);
           if (mb_type == kMbInterBi) {
             mv_bwd.dx = br.get_se();
             mv_bwd.dy = br.get_se();
+            check_mv(mv_bwd);
           }
         }
       }

@@ -8,12 +8,29 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "h264/bitstream.hpp"
 #include "h264/frame.hpp"
 #include "h264/nal.hpp"
 
 namespace affectsys::h264 {
+
+/// Typed decode failure: a malformed (possibly fault-injected) NAL unit
+/// the decoder refused to act on.  Derives from BitstreamError so every
+/// existing parse-error handler keeps working; carries the offending
+/// NAL type for triage.
+class DecodeError : public BitstreamError {
+ public:
+  DecodeError(const std::string& what, NalType type)
+      : BitstreamError(what), type_(type) {}
+
+  NalType nal_type() const { return type_; }
+
+ private:
+  NalType type_;
+};
 
 /// Per-module activity counters incremented while decoding.  The power
 /// model (src/power) converts these into module energies.
@@ -38,6 +55,10 @@ struct DecodeActivity {
   // Frame-level.
   std::uint64_t frames_decoded = 0;
   std::uint64_t frames_concealed = 0;
+  // Error recovery (resilient mode; see DecoderConfig::resilient).
+  std::uint64_t nal_errors = 0;    ///< malformed NALs swallowed or thrown
+  std::uint64_t resync_skips = 0;  ///< non-IDR slices skipped awaiting resync
+  std::uint64_t resyncs = 0;       ///< recoveries completed at an IDR
 
   DecodeActivity& operator+=(const DecodeActivity& o);
 };
@@ -53,6 +74,13 @@ struct DecoderConfig {
   /// Affect-driven DF knob: when false the Deblocking Filter module is
   /// powered down regardless of the PPS flag.
   bool enable_deblock = true;
+  /// Error resilience: when true a malformed NAL is counted and
+  /// swallowed (the picture is lost) instead of raising DecodeError, and
+  /// the decoder drops its references and skips non-IDR slices until the
+  /// next keyframe decodes — resync-to-next-keyframe recovery.  On a
+  /// well-formed stream the resilient decoder is byte-identical to the
+  /// strict one (the error path never runs).
+  bool resilient = false;
 };
 
 class Decoder {
@@ -60,7 +88,10 @@ class Decoder {
   explicit Decoder(const DecoderConfig& cfg = {}) : cfg_(cfg) {}
 
   /// Feeds one NAL unit (parameter set or slice).  Returns the decoded
-  /// picture for slice units, nullopt otherwise.
+  /// picture for slice units, nullopt otherwise.  Malformed units raise
+  /// DecodeError — or, with DecoderConfig::resilient, are counted in
+  /// activity().nal_errors and swallowed (nullopt) while the decoder
+  /// resyncs at the next keyframe.
   std::optional<DecodedPicture> decode_nal(const NalUnit& nal);
 
   /// Decodes an entire Annex-B stream (decode order).
@@ -76,7 +107,12 @@ class Decoder {
   int width() const { return width_; }
   int height() const { return height_; }
 
+  /// True while a resilient decoder is discarding non-IDR slices after
+  /// an error, waiting for the next keyframe.
+  bool awaiting_keyframe() const { return awaiting_keyframe_; }
+
  private:
+  std::optional<DecodedPicture> decode_nal_checked(const NalUnit& nal);
   DecodedPicture decode_slice(const NalUnit& nal);
 
   DecoderConfig cfg_;
@@ -86,6 +122,7 @@ class Decoder {
   int qp_ = 26;
   bool pps_deblock_ = true;
   bool have_sps_ = false;
+  bool awaiting_keyframe_ = false;
 
   YuvFrame ref_a_;  ///< older reference (forward for B pictures)
   YuvFrame ref_b_;  ///< newer reference

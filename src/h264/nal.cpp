@@ -28,7 +28,12 @@ std::vector<std::uint8_t> pack_annexb(std::span<const NalUnit> units) {
 
 std::vector<NalUnit> unpack_annexb(std::span<const std::uint8_t> stream) {
   std::vector<NalUnit> units;
-  // Find all start-code positions.
+  // A start code needs 3 bytes and a unit needs at least a header byte
+  // after it, so anything shorter (including a truncated, partial start
+  // code like "00 00") carries no units at all.
+  if (stream.size() < 4) return units;
+  // Find all start-code positions.  A 4-byte code (00 00 00 01) matches
+  // here at its last three bytes; the leading zero is trimmed below.
   std::vector<std::size_t> starts;  // index of first byte AFTER a start code
   for (std::size_t i = 0; i + 2 < stream.size();) {
     if (stream[i] == 0 && stream[i + 1] == 0 && stream[i + 2] == 1) {
@@ -43,17 +48,26 @@ std::vector<NalUnit> unpack_annexb(std::span<const std::uint8_t> stream) {
     std::size_t begin = starts[s];
     std::size_t end = s + 1 < starts.size() ? starts[s + 1] : stream.size();
     // Trim the next start code (and its possible leading zero) from end.
+    // Adjacent start codes can make end meet begin — that region holds
+    // no unit, not even a header, and is skipped below rather than
+    // indexed.  Zero trimming cannot misfire inside a payload: emulation
+    // prevention guarantees an EBSP never ends in 00 00, and rbsp
+    // trailing bits keep the final payload byte nonzero, so trailing
+    // zeros here are framing (start-code prefix / stream padding), not
+    // data.
     if (s + 1 < starts.size()) {
       end -= 3;  // the 0x000001 itself
       while (end > begin && stream[end - 1] == 0x00) --end;  // 4-byte codes
     } else {
       while (end > begin && stream[end - 1] == 0x00) --end;  // zero padding
     }
-    if (begin >= end) continue;
+    if (begin >= end) continue;  // truncated/empty region: no header byte
     NalUnit nal;
     const std::uint8_t header = stream[begin];
     nal.ref_idc = (header >> 5) & 0x3;
     nal.type = static_cast<NalType>(header & 0x1F);
+    // begin + 1 == end is a header-only unit: preserved with an empty
+    // payload (the decoder rejects it cleanly if it needed a body).
     nal.payload.assign(stream.begin() + static_cast<long>(begin) + 1,
                        stream.begin() + static_cast<long>(end));
     units.push_back(std::move(nal));

@@ -72,7 +72,11 @@ std::vector<RoutedResult> InferenceBatcher::flush() {
   AFFECTSYS_COUNT("affect.inferences", n);
   AFFECTSYS_TIME_SCOPE("serve.batch.infer_ns");
 
-  if (cfg_.batched && batchable_ && n > 1) {
+  if (force_fallback_) {
+    ++stats_.forced_fallback_flushes;
+    AFFECTSYS_COUNT("serve.batch.forced_fallbacks", 1);
+  }
+  if (cfg_.batched && batchable_ && !force_fallback_ && n > 1) {
     stats_.batched_windows += n;
     const std::size_t flat = pending_.front().features.size();
     nn::Matrix batch(n, flat);

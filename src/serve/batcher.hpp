@@ -70,6 +70,7 @@ struct BatcherStats {
   std::uint64_t flushes = 0;
   std::uint64_t windows = 0;
   std::uint64_t batched_windows = 0;  ///< went through the stacked GEMM
+  std::uint64_t forced_fallback_flushes = 0;  ///< fault-forced per-window path
   std::size_t max_batch_rows = 0;
 };
 
@@ -96,6 +97,14 @@ class InferenceBatcher {
   /// routed results in (enqueue) order.
   std::vector<RoutedResult> flush();
 
+  /// Fault-injection hook: while set, flush() routes every window
+  /// through the per-window fallback path even for batchable models.
+  /// Results stay bit-identical (the batching contract), so a flaky
+  /// batcher only costs throughput — which is exactly the degradation
+  /// the fault suite exercises.
+  void force_fallback(bool on) { force_fallback_ = on; }
+  bool forced_fallback() const { return force_fallback_; }
+
   const BatcherStats& stats() const { return stats_; }
   const BatcherConfig& config() const { return cfg_; }
 
@@ -105,6 +114,7 @@ class InferenceBatcher {
   affect::AffectClassifier& classifier_;
   BatcherConfig cfg_;
   bool batchable_ = false;
+  bool force_fallback_ = false;
   std::deque<InferenceRequest> pending_;
   BatcherStats stats_;
 };

@@ -8,7 +8,10 @@
 namespace affectsys::serve {
 
 SessionManager::SessionManager(const ServerConfig& cfg, const SessionEnv& env)
-    : cfg_(cfg), env_(env), batcher_(*env.classifier, cfg.batcher) {
+    : cfg_(cfg),
+      env_(env),
+      batcher_(*env.classifier, cfg.batcher),
+      fault_plan_(cfg.fault) {
   if (cfg_.max_sessions == 0) {
     throw std::invalid_argument("SessionManager: max_sessions must be >= 1");
   }
@@ -25,8 +28,12 @@ SessionId SessionManager::create_session(const SessionConfig& cfg) {
     throw AdmissionError(sessions_.size(), cfg_.max_sessions);
   }
   const SessionId id = next_id_++;
-  sessions_.emplace(id, std::make_unique<Session>(id, cfg, env_,
-                                                  /*inline_inference=*/false));
+  Slot slot;
+  slot.session = std::make_unique<Session>(id, cfg, env_,
+                                           /*inline_inference=*/false);
+  slot.cfg = cfg;
+  slot.window_start_tick = now_tick_;
+  sessions_.emplace(id, std::move(slot));
   ++stats_.sessions_created;
   AFFECTSYS_COUNT("serve.sessions_created", 1);
   AFFECTSYS_GAUGE_SET("serve.sessions_open",
@@ -54,6 +61,14 @@ void SessionManager::close_session(SessionId id) {
 
 std::size_t SessionManager::backlog() const { return batcher_.pending(); }
 
+bool SessionManager::is_quarantined(SessionId id) const {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    throw std::out_of_range("SessionManager: unknown session id");
+  }
+  return it->second.quarantined;
+}
+
 void SessionManager::update_degrade_level() {
   // One step per tick in either direction: the ladder reacts within a
   // few ticks but cannot thrash inside the hysteresis band.
@@ -71,13 +86,46 @@ void SessionManager::update_degrade_level() {
   AFFECTSYS_GAUGE_SET("serve.backlog", static_cast<double>(b));
 }
 
+std::uint64_t SessionManager::session_errors(const Session& s) {
+  return s.stats().decode_errors + s.stats().chunks_dropped;
+}
+
+void SessionManager::update_error_budget() {
+  if (cfg_.error_budget == 0) return;
+  for (auto& [id, slot] : sessions_) {
+    if (slot.quarantined) continue;
+    if (now_tick_ - slot.window_start_tick >= cfg_.error_window_ticks) {
+      slot.window_start_tick = now_tick_;
+      slot.window_start_errors = session_errors(*slot.session);
+    }
+    const std::uint64_t in_window =
+        session_errors(*slot.session) - slot.window_start_errors;
+    if (in_window > cfg_.error_budget) {
+      slot.quarantined = true;
+      slot.release_tick = now_tick_ + 1 + cfg_.quarantine_ticks;
+      slot.results_to_drop = slot.session->inflight();
+      ++stats_.sessions_quarantined;
+      AFFECTSYS_COUNT("serve.sessions_quarantined", 1);
+    }
+  }
+}
+
 void SessionManager::route(const std::vector<RoutedResult>& results) {
   for (const RoutedResult& r : results) {
     const auto it = sessions_.find(r.session);
     // A result for a since-closed session is dropped; its slot owner is
     // gone and nobody is waiting.
     if (it == sessions_.end()) continue;
-    it->second->apply_result(r);
+    Slot& slot = it->second;
+    if (slot.results_to_drop > 0) {
+      // Stale window from before a quarantine: the session that staged
+      // it was (or is about to be) replaced.
+      --slot.results_to_drop;
+      ++stats_.results_dropped_quarantined;
+      AFFECTSYS_COUNT("serve.results_dropped_quarantined", 1);
+      continue;
+    }
+    slot.session->apply_result(r);
     ++stats_.results_routed;
   }
 }
@@ -86,11 +134,28 @@ void SessionManager::tick() {
   AFFECTSYS_TIME_SCOPE("serve.tick_ns");
   ++stats_.ticks;
 
+  // Stage 0 (serial): quarantine releases due this tick restart before
+  // anything runs, so the fresh session sees the full tick.
+  for (auto& [id, slot] : sessions_) {
+    if (slot.quarantined && now_tick_ >= slot.release_tick) {
+      slot.session = std::make_unique<Session>(id, slot.cfg, env_,
+                                               /*inline_inference=*/false);
+      slot.quarantined = false;
+      slot.window_start_tick = now_tick_;
+      slot.window_start_errors = 0;
+      ++stats_.sessions_restarted;
+      AFFECTSYS_COUNT("serve.sessions_restarted", 1);
+    }
+  }
+
   // Stage A: audio in parallel.  Indexing through a snapshot of the
-  // session pointers keeps parallel_for's chunking stable.
+  // active (non-quarantined) session pointers keeps parallel_for's
+  // chunking stable.
   std::vector<Session*> order;
   order.reserve(sessions_.size());
-  for (auto& [id, s] : sessions_) order.push_back(s.get());
+  for (auto& [id, slot] : sessions_) {
+    if (!slot.quarantined) order.push_back(slot.session.get());
+  }
   core::parallel_for(0, order.size(), 1, [&](std::size_t b, std::size_t e) {
     for (std::size_t i = b; i < e; ++i) order[i]->pump_audio(now_tick_);
   });
@@ -100,6 +165,13 @@ void SessionManager::tick() {
     for (InferenceRequest& req : s->take_staged()) {
       batcher_.enqueue(std::move(req));
     }
+  }
+  if (fault_plan_.enabled()) {
+    const bool fallback =
+        fault_plan_.next(fault::kind_bit(fault::FaultKind::kBatcherFallback))
+            .has_value();
+    if (fallback) fault_counts_.record(fault::FaultKind::kBatcherFallback);
+    batcher_.force_fallback(fallback);
   }
   // At most one flush per tick: the service capacity is max_batch rows
   // per tick, so sustained offered load beyond that grows the backlog
@@ -115,6 +187,10 @@ void SessionManager::tick() {
     for (std::size_t i = b; i < e; ++i) order[i]->tick_media(now_tick_, level);
   });
 
+  // Error-budget ladder (serial): offenders spend the next
+  // quarantine_ticks ticks benched, then restart fresh.
+  update_error_budget();
+
   ++now_tick_;
 }
 
@@ -127,7 +203,7 @@ const Session& SessionManager::session(SessionId id) const {
   if (it == sessions_.end()) {
     throw std::out_of_range("SessionManager: unknown session id");
   }
-  return *it->second;
+  return *it->second.session;
 }
 
 SessionReport SessionManager::report(SessionId id) const {

@@ -79,6 +79,19 @@ struct ServerConfig {
   /// Defaults applied to sessions created without an explicit config
   /// (seed is replaced by a per-session value derived from the id).
   SessionConfig session{};
+  /// Error-budget ladder, alongside the backlog ladder: a session whose
+  /// pipeline faults (decode errors + dropped audio chunks) exceed
+  /// `error_budget` within a rolling `error_window_ticks` window is
+  /// quarantined — skipped by every tick stage for `quarantine_ticks`
+  /// ticks, its in-flight batcher results dropped on arrival — then
+  /// auto-restarted from its admission config (same id, same seed,
+  /// fresh state).  error_budget == 0 disables the ladder.
+  std::uint64_t error_budget = 0;
+  std::uint64_t error_window_ticks = 50;
+  std::uint64_t quarantine_ticks = 20;
+  /// Server-level fault injection (kBatcherFallback fires here); the
+  /// per-session kinds ride in each session's own config.
+  fault::FaultConfig fault{};
 };
 
 struct ServerStats {
@@ -89,6 +102,10 @@ struct ServerStats {
   std::uint64_t results_routed = 0;
   std::uint64_t degrade_ticks = 0;  ///< ticks spent at level >= 1
   int max_degrade_level = 0;
+  // Error-budget ladder (zero unless ServerConfig::error_budget is set).
+  std::uint64_t sessions_quarantined = 0;
+  std::uint64_t sessions_restarted = 0;
+  std::uint64_t results_dropped_quarantined = 0;
 };
 
 class SessionManager {
@@ -126,6 +143,10 @@ class SessionManager {
   SessionReport report(SessionId id) const;
   const Session& session(SessionId id) const;
 
+  /// True while a session is serving its quarantine (still admitted,
+  /// not ticked; auto-restarts when the quarantine expires).
+  bool is_quarantined(SessionId id) const;
+
   int degrade_level() const { return degrade_level_; }
   /// Windows pending inference at the batcher (after stage B every
   /// session's staging buffer is empty, so this is the whole backlog).
@@ -135,15 +156,33 @@ class SessionManager {
   const ServerConfig& config() const { return cfg_; }
 
  private:
+  /// One admitted tenant: the live session plus the quarantine state
+  /// and the config needed to auto-restart it.
+  struct Slot {
+    std::unique_ptr<Session> session;
+    SessionConfig cfg;  ///< admission config, for restart
+    bool quarantined = false;
+    std::uint64_t release_tick = 0;       ///< first tick after quarantine
+    std::uint64_t window_start_tick = 0;  ///< rolling error-window origin
+    std::uint64_t window_start_errors = 0;
+    /// Batcher results still in flight at quarantine time; dropped on
+    /// arrival so a restarted session never sees a stale window.
+    std::size_t results_to_drop = 0;
+  };
+
   void route(const std::vector<RoutedResult>& results);
   void update_degrade_level();
+  void update_error_budget();
+  static std::uint64_t session_errors(const Session& s);
 
   ServerConfig cfg_;
   SessionEnv env_;
   InferenceBatcher batcher_;
   /// Ordered by id: iteration order (and thus batch assembly and
   /// parallel_for indexing) is deterministic.
-  std::map<SessionId, std::unique_ptr<Session>> sessions_;
+  std::map<SessionId, Slot> sessions_;
+  fault::FaultPlan fault_plan_;  ///< server-level faults (batcher)
+  fault::FaultCounts fault_counts_;
   SessionId next_id_ = 1;
   std::uint64_t now_tick_ = 0;
   int degrade_level_ = 0;

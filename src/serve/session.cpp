@@ -46,6 +46,16 @@ Session::Session(SessionId id, const SessionConfig& cfg, const SessionEnv& env,
       scope_(cfg_.realtime.obs_scope),
       pipeline_(*env.classifier, cfg_.realtime),
       fx_(env.classifier->feature_config()),
+      fault_plan_([&] {
+        // Mix the session id into the plan seed so identically
+        // configured tenants fault independently (and a restarted
+        // session replays its own schedule, not a neighbour's).
+        fault::FaultConfig fc = cfg.fault;
+        fc.seed ^= 0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(id) + 1);
+        return fc;
+      }()),
+      decoder_(h264::DecoderConfig{/*enable_deblock=*/true,
+                                   /*resilient=*/true}),
       selector_(cfg_.selector),
       app_rng_(cfg_.seed ^ 0x9e3779b9u) {
   script_ = env_.workload->make_script(cfg_.seed, cfg_.script_segments);
@@ -67,6 +77,9 @@ Session::Session(SessionId id, const SessionConfig& cfg, const SessionEnv& env,
   c_frames_dropped_ = &scope_.counter("serve.frames_dropped");
   c_nals_deleted_ = &scope_.counter("serve.nals_deleted");
   c_mode_switches_ = &scope_.counter("serve.mode_switches");
+  c_faults_ = &scope_.counter("serve.faults_injected");
+  c_decode_errors_ = &scope_.counter("serve.decode_errors");
+  c_chunks_dropped_ = &scope_.counter("serve.audio_chunks_dropped");
 
   pipeline_.set_window_sink(
       [this](double t_end, std::span<const double> window) {
@@ -100,8 +113,36 @@ void Session::fill_chunk(std::vector<double>& chunk) {
 
 void Session::pump_audio(std::uint64_t tick) {
   ++stats_.ticks;
-  fill_chunk(chunk_);
   current_tick_ = tick;
+  if (fault_plan_.enabled()) {
+    if (stall_remaining_ > 0) {
+      // Injected stall: media time passes, no audio arrives.  The
+      // pipeline sees the gap when audio resumes and resyncs.
+      --stall_remaining_;
+      ++stats_.stall_ticks;
+      return;
+    }
+    if (fault_plan_.next(fault::kind_bit(fault::FaultKind::kSessionStall))) {
+      fault_counts_.record(fault::FaultKind::kSessionStall);
+      c_faults_->add(1);
+      // 1-3 s of media time at the default 0.1 s tick — long enough to
+      // exceed the pipeline's gap tolerance sometimes, not always.
+      stall_remaining_ = 9 + fault_plan_.draw(21);
+      ++stats_.stall_ticks;
+      return;
+    }
+  }
+  fill_chunk(chunk_);
+  if (fault_plan_.enabled()) {
+    const std::uint64_t before = fault_counts_.total;
+    if (!fault::maybe_fault_audio(chunk_, fault_plan_, fault_counts_)) {
+      c_faults_->add(1);
+      ++stats_.chunks_dropped;
+      c_chunks_dropped_->add(1);
+      return;  // capture gap: the chunk never reaches the pipeline
+    }
+    if (fault_counts_.total != before) c_faults_->add(1);
+  }
   pipeline_.push_audio(static_cast<double>(tick) * cfg_.tick_s, chunk_);
 }
 
@@ -186,12 +227,38 @@ void Session::decode_pictures(std::size_t budget,
   const std::vector<h264::NalUnit>& nals = env_.workload->nal_units();
   decoder_.set_deblock_enabled(mc.deblock);
   std::size_t pictures = 0;
+
+  // Decodes one (possibly faulted) unit.  Every slice consumes its
+  // display slot whether it decoded, erred or was skipped during
+  // resync — a fault storm must not stall the tick loop.
+  const auto decode_one = [&](const h264::NalUnit& unit) {
+    const std::uint64_t errs_before = decoder_.activity().nal_errors;
+    if (const auto pic = decoder_.decode_nal(unit)) {
+      fnv_plane(digest_, pic->frame.y);
+      fnv_plane(digest_, pic->frame.cb);
+      fnv_plane(digest_, pic->frame.cr);
+      ++stats_.frames_decoded;
+      c_frames_->add(1);
+      ++pictures;
+      return;
+    }
+    if (h264::is_slice(unit)) {
+      ++pictures;
+      ++stats_.pictures_lost;
+      if (decoder_.activity().nal_errors != errs_before) {
+        ++stats_.decode_errors;
+        c_decode_errors_->add(1);
+      }
+    }
+  };
+
   while (pictures < budget) {
     if (nal_cursor_ >= nals.size()) {
       // Loop the clip with fresh decoder/selector state so every pass
       // is decoded the same way (mode changes aside).
       nal_cursor_ = 0;
-      decoder_ = h264::Decoder(h264::DecoderConfig{mc.deblock});
+      decoder_ = h264::Decoder(h264::DecoderConfig{mc.deblock,
+                                                   /*resilient=*/true});
       selector_.reset();
     }
     const h264::NalUnit& nal = nals[nal_cursor_++];
@@ -205,14 +272,15 @@ void Session::decode_pictures(std::size_t budget,
         continue;
       }
     }
-    if (const auto pic = decoder_.decode_nal(nal)) {
-      fnv_plane(digest_, pic->frame.y);
-      fnv_plane(digest_, pic->frame.cb);
-      fnv_plane(digest_, pic->frame.cr);
-      ++stats_.frames_decoded;
-      c_frames_->add(1);
-      ++pictures;
+    if (fault_plan_.enabled()) {
+      if (auto faulted =
+              fault::maybe_fault_nal(nal, fault_plan_, fault_counts_)) {
+        c_faults_->add(1);
+        for (const h264::NalUnit& u : *faulted) decode_one(u);
+        continue;
+      }
     }
+    decode_one(nal);
   }
 }
 

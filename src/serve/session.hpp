@@ -33,6 +33,9 @@
 #include "affect/realtime.hpp"
 #include "android/process.hpp"
 #include "core/emotional_policy.hpp"
+#include "fault/audio_faults.hpp"
+#include "fault/bitstream_faults.hpp"
+#include "fault/plan.hpp"
 #include "h264/decoder.hpp"
 #include "obs/metrics.hpp"
 #include "serve/batcher.hpp"
@@ -61,6 +64,11 @@ struct SessionConfig {
   /// the drop-newest shedding knob.
   affect::RealtimeConfig realtime{};
   adaptive::SelectorParams selector{140, 1};
+  /// Per-session fault injection (disabled by default).  The effective
+  /// plan seed mixes in the session id, so identically-configured
+  /// tenants still fault independently; the session's decoder runs
+  /// resilient either way, which is byte-identical on clean streams.
+  fault::FaultConfig fault{};
 };
 
 struct SessionStats {
@@ -72,6 +80,11 @@ struct SessionStats {
   std::uint64_t nals_deleted = 0;
   std::uint64_t app_launches = 0;
   std::uint64_t mode_switches = 0;
+  // Fault exposure and recovery (all zero without fault injection).
+  std::uint64_t decode_errors = 0;   ///< malformed NALs the decoder swallowed
+  std::uint64_t pictures_lost = 0;   ///< display slots lost to faulted slices
+  std::uint64_t chunks_dropped = 0;  ///< audio chunks lost to drop faults
+  std::uint64_t stall_ticks = 0;     ///< ticks spent in an injected stall
 };
 
 /// Raw per-window classification, recorded for replay comparison.
@@ -137,7 +150,13 @@ class Session {
   /// Pending windows this session is responsible for (staged here plus
   /// in flight at the batcher) — the server's backlog input.
   std::size_t outstanding() const { return staged_.size() + inflight_; }
+  /// Windows at the batcher with no result applied yet; the quarantine
+  /// path must drop exactly this many stale results on arrival.
+  std::size_t inflight() const { return inflight_; }
   std::uint64_t dropped_windows() const { return pipeline_.dropped(); }
+
+  /// Faults the per-session plan has actually injected so far.
+  const fault::FaultCounts& fault_counts() const { return fault_counts_; }
 
   adaptive::DecoderMode policy_mode() const { return policy_mode_; }
   adaptive::DecoderMode last_effective_mode() const { return effective_mode_; }
@@ -173,6 +192,11 @@ class Session {
   std::size_t inflight_ = 0;  ///< at the batcher, result not yet applied
   std::vector<InferenceRequest> staged_;
 
+  // Fault injection (plan disabled unless cfg.fault.rate > 0).
+  fault::FaultPlan fault_plan_;
+  fault::FaultCounts fault_counts_;
+  std::uint64_t stall_remaining_ = 0;  ///< injected-stall ticks left
+
   // Emotion -> mode state.
   adaptive::AffectVideoPolicy policy_;
   adaptive::DecoderMode policy_mode_ = adaptive::DecoderMode::kStandard;
@@ -202,6 +226,9 @@ class Session {
   obs::Counter* c_frames_dropped_ = nullptr;
   obs::Counter* c_nals_deleted_ = nullptr;
   obs::Counter* c_mode_switches_ = nullptr;
+  obs::Counter* c_faults_ = nullptr;
+  obs::Counter* c_decode_errors_ = nullptr;
+  obs::Counter* c_chunks_dropped_ = nullptr;
 };
 
 }  // namespace affectsys::serve

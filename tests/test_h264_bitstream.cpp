@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <span>
 
 #include "h264/bitstream.hpp"
 #include "h264/entropy.hpp"
@@ -140,6 +141,88 @@ TEST(Nal, PackUnpackRoundTrip) {
     EXPECT_EQ(parsed[i].type, units[i].type);
     EXPECT_EQ(parsed[i].ref_idc, units[i].ref_idc);
     EXPECT_EQ(parsed[i].payload, units[i].payload);
+  }
+}
+
+TEST(Nal, TruncatedStartCodePrefixYieldsNoUnits) {
+  // Streams cut off inside (or right after) a start code must parse to
+  // zero units — no out-of-bounds header read, no phantom unit.
+  const std::vector<std::vector<std::uint8_t>> truncated = {
+      {},
+      {0x00},
+      {0x00, 0x00},
+      {0x00, 0x00, 0x01},        // complete code, no header byte
+      {0x00, 0x00, 0x00, 0x01},  // 4-byte code, no header byte
+  };
+  for (const auto& stream : truncated) {
+    EXPECT_TRUE(h264::unpack_annexb(stream).empty())
+        << "stream of " << stream.size() << " bytes";
+  }
+}
+
+TEST(Nal, StartCodeTruncatedAtStreamEndIsIgnored) {
+  // A valid unit followed by a dangling start code: the unit survives,
+  // the dangling code is not a unit.
+  std::vector<h264::NalUnit> units(1);
+  units[0].type = h264::NalType::kSliceIdr;
+  units[0].ref_idc = 3;
+  units[0].payload = {0x11, 0x22};
+  auto stream = h264::pack_annexb(units);
+  stream.insert(stream.end(), {0x00, 0x00, 0x01});
+  const auto parsed = h264::unpack_annexb(stream);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].payload, units[0].payload);
+}
+
+TEST(Nal, AdjacentStartCodesYieldNoEmptyUnit) {
+  // "00 00 01 | 00 00 01 | header payload": the zero-byte region
+  // between the codes holds no header and must be skipped cleanly.
+  const std::vector<std::uint8_t> stream = {0x00, 0x00, 0x01, 0x00, 0x00,
+                                            0x01, 0x65, 0xAB, 0xCD};
+  const auto parsed = h264::unpack_annexb(stream);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].type, h264::NalType::kSliceIdr);
+  EXPECT_EQ((parsed[0].payload), (std::vector<std::uint8_t>{0xAB, 0xCD}));
+}
+
+TEST(Nal, ZeroLengthPayloadRoundTrips) {
+  // Header-only units (empty payload) are legal framing and must be
+  // preserved through pack/unpack, in every position.
+  std::vector<h264::NalUnit> units(3);
+  units[0].type = h264::NalType::kSps;
+  units[0].ref_idc = 3;
+  units[0].payload = {};  // leading
+  units[1].type = h264::NalType::kSliceIdr;
+  units[1].ref_idc = 2;
+  units[1].payload = {0x42, 0x17};
+  units[2].type = h264::NalType::kPps;
+  units[2].ref_idc = 1;
+  units[2].payload = {};  // trailing
+  const auto parsed = h264::unpack_annexb(h264::pack_annexb(units));
+  ASSERT_EQ(parsed.size(), units.size());
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    EXPECT_EQ(parsed[i].type, units[i].type) << "unit " << i;
+    EXPECT_EQ(parsed[i].ref_idc, units[i].ref_idc) << "unit " << i;
+    EXPECT_EQ(parsed[i].payload, units[i].payload) << "unit " << i;
+  }
+}
+
+TEST(Nal, UnpackFuzzedTruncationsNeverCrash) {
+  // Every prefix of a real packed stream must parse without throwing
+  // or reading out of bounds (the fault layer truncates mid-NAL and
+  // mid-start-code at will).
+  std::vector<h264::NalUnit> units(2);
+  units[0].type = h264::NalType::kSps;
+  units[0].ref_idc = 3;
+  units[0].payload = {0x42, 0x00, 0x1E, 0x00};
+  units[1].type = h264::NalType::kSliceIdr;
+  units[1].ref_idc = 3;
+  units[1].payload = {0x00, 0x01, 0x00, 0x00, 0x02, 0x00};
+  const auto stream = h264::pack_annexb(units);
+  for (std::size_t len = 0; len <= stream.size(); ++len) {
+    const auto parsed = h264::unpack_annexb(
+        std::span<const std::uint8_t>(stream.data(), len));
+    EXPECT_LE(parsed.size(), units.size()) << "prefix " << len;
   }
 }
 

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "core/thread_pool.hpp"
+#include "fault/bitstream_faults.hpp"
+#include "fault/plan.hpp"
 #include "h264/deblock.hpp"
 #include "h264/decoder.hpp"
 #include "h264/encoder.hpp"
@@ -128,6 +130,57 @@ TEST_F(ParallelDeterminism, DecodeIsByteIdenticalAcrossThreadCounts) {
     }
     expect_activity_identical(dec.activity(), ref_dec.activity(),
                               "decode activity");
+  }
+}
+
+TEST_F(ParallelDeterminism, RateZeroFaultPathMatchesCleanAtEveryThreadCount) {
+  // The fault layer's rate-0 contract: a disabled FaultPlan must leave
+  // the instrumented path byte-identical to the un-instrumented one —
+  // at the serial reference AND at every pool size (the property holds
+  // per decode, not just in aggregate).
+  namespace fault = affectsys::fault;
+
+  h264::VideoConfig vc;
+  vc.width = 64;
+  vc.height = 64;
+  vc.frames = 8;
+  h264::EncoderConfig ec;
+  ec.width = vc.width;
+  ec.height = vc.height;
+  ec.qp = 26;
+  ec.gop_size = 4;
+  ec.b_frames = 1;
+  h264::Encoder enc(ec);
+  const auto stream = enc.encode_annexb(h264::generate_test_video(vc));
+
+  core::set_global_threads(0);
+  h264::Decoder ref_dec;  // strict, un-instrumented
+  const auto ref = ref_dec.decode_annexb(stream);
+
+  for (const std::size_t threads : {std::size_t{0}, std::size_t{1},
+                                    std::size_t{2}, std::size_t{4}}) {
+    core::set_global_threads(threads);
+    SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+
+    fault::FaultPlan plan(fault::FaultConfig{99, 0.0, fault::kAllKinds});
+    fault::FaultCounts counts;
+    const std::vector<std::uint8_t> injected =
+        fault::inject_annexb_faults(stream, plan, counts);
+    ASSERT_EQ(injected, stream);  // byte-identical bitstream
+    EXPECT_EQ(counts.total, 0u);
+    EXPECT_EQ(plan.decisions(), 0u);
+
+    h264::Decoder dec(h264::DecoderConfig{true, /*resilient=*/true});
+    const auto got = dec.decode_annexb(injected);
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      SCOPED_TRACE(::testing::Message() << "picture " << i);
+      EXPECT_EQ(got[i].poc, ref[i].poc);
+      expect_frames_identical(got[i].frame, ref[i].frame,
+                              "rate-0 fault-path picture");
+    }
+    EXPECT_EQ(dec.activity().nal_errors, 0u);
+    EXPECT_EQ(dec.activity().resyncs, 0u);
   }
 }
 

@@ -11,6 +11,7 @@
 #include "android/catalog.hpp"
 #include "android/personality.hpp"
 #include "core/affect_table.hpp"
+#include "fault/plan.hpp"
 #include "nn/model.hpp"
 #include "serve/server.hpp"
 
@@ -263,6 +264,140 @@ TEST(Shedding, OverloadedRunsAreDeterministic) {
   EXPECT_EQ(a.batcher.flushes, b.batcher.flushes);
   EXPECT_EQ(a.batcher.windows, b.batcher.windows);
   EXPECT_EQ(a.final_level, b.final_level);
+}
+
+// ----------------------------------- admission storms under faults
+
+namespace {
+
+namespace fault = affectsys::fault;
+
+/// Outcome of a storm run, shaped for exact two-run comparison.
+struct StormOutcome {
+  std::vector<serve::SessionReport> survivors;  // id order
+  serve::ServerStats server;
+  serve::BatcherStats batcher;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t closed = 0;
+  int final_level = 0;
+};
+
+/// Admission storm against an already-overloaded, fault-injected
+/// server: overload watermarks (service capacity 1 window/tick), every
+/// admitted session carrying bitstream+audio faults, the batcher
+/// randomly forced into fallback, and a plan-driven storm of
+/// create_session bursts against a 4-slot server plus deterministic
+/// churn (oldest session closed every 17 ticks).  Everything — bursts,
+/// burst sizes, faults — comes from seeded FaultPlans, so two runs must
+/// shed, reject and degrade identically.
+StormOutcome run_admission_storm(int ticks) {
+  serve::ServerConfig cfg = overload_config();
+  // Six tenants at capacity 1 window/tick is the proven overload shape
+  // (run_overloaded); the budget is loose enough that quarantines stay
+  // occasional and the offered load keeps the ladder engaged.
+  cfg.max_sessions = 6;
+  cfg.error_budget = 10;
+  cfg.error_window_ticks = 60;
+  cfg.quarantine_ticks = 8;
+  cfg.fault = fault::FaultConfig{
+      0x5702317ull, 0.2, fault::kind_bit(fault::FaultKind::kBatcherFallback)};
+  serve::SessionManager server(cfg, world().env());
+
+  fault::FaultPlan storm(fault::FaultConfig{
+      2024, 0.3, fault::kind_bit(fault::FaultKind::kAdmissionBurst)});
+
+  StormOutcome out;
+  std::vector<serve::SessionId> ids;
+  const auto admit = [&] {
+    serve::SessionConfig scfg;
+    scfg.seed = static_cast<unsigned>(500 + out.admitted + out.rejected);
+    scfg.realtime.max_inflight = 2;
+    scfg.fault =
+        fault::FaultConfig{90 + out.admitted, 0.15,
+                           fault::kNalUnitKinds | fault::kAudioKinds};
+    try {
+      ids.push_back(server.create_session(scfg));
+      ++out.admitted;
+    } catch (const serve::AdmissionError&) {
+      ++out.rejected;  // backpressure, absorbed
+    }
+  };
+
+  for (int i = 0; i < 6; ++i) admit();
+  for (int t = 0; t < ticks; ++t) {
+    if (storm.next(fault::kind_bit(fault::FaultKind::kAdmissionBurst))) {
+      const auto burst = 2 + storm.draw(3);
+      for (std::uint64_t i = 0; i < burst; ++i) admit();
+    }
+    if (t % 17 == 16 && server.open_sessions() > 2) {
+      for (const auto id : ids) {
+        if (server.has_session(id)) {
+          server.close_session(id);
+          ++out.closed;
+          break;
+        }
+      }
+    }
+    server.tick();
+  }
+  server.drain();
+
+  for (const auto id : ids) {
+    if (server.has_session(id)) out.survivors.push_back(server.report(id));
+  }
+  out.server = server.stats();
+  out.batcher = server.batcher_stats();
+  out.final_level = server.degrade_level();
+  return out;
+}
+
+}  // namespace
+
+TEST(AdmissionStorm, ShedsDeterministicallyUnderLadderAndFaults) {
+  const StormOutcome a = run_admission_storm(200);
+  const StormOutcome b = run_admission_storm(200);
+
+  // The storm actually stressed everything at once: rejections at the
+  // admission edge, the backlog ladder engaged, faults fired inside
+  // sessions, and the batcher was forced through its fallback path.
+  EXPECT_GT(a.rejected, 0u);
+  EXPECT_EQ(a.server.sessions_rejected, a.rejected);
+  EXPECT_GT(a.server.degrade_ticks, 0u);
+  EXPECT_GT(a.batcher.forced_fallback_flushes, 0u);
+  EXPECT_GT(a.survivors.size(), 0u);
+
+  // Two-run replay identity, down to every survivor's bytes.
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.closed, b.closed);
+  EXPECT_EQ(a.final_level, b.final_level);
+  EXPECT_EQ(a.server.sessions_created, b.server.sessions_created);
+  EXPECT_EQ(a.server.sessions_rejected, b.server.sessions_rejected);
+  EXPECT_EQ(a.server.sessions_quarantined, b.server.sessions_quarantined);
+  EXPECT_EQ(a.server.sessions_restarted, b.server.sessions_restarted);
+  EXPECT_EQ(a.server.results_routed, b.server.results_routed);
+  EXPECT_EQ(a.server.results_dropped_quarantined,
+            b.server.results_dropped_quarantined);
+  EXPECT_EQ(a.server.degrade_ticks, b.server.degrade_ticks);
+  EXPECT_EQ(a.server.max_degrade_level, b.server.max_degrade_level);
+  EXPECT_EQ(a.batcher.flushes, b.batcher.flushes);
+  EXPECT_EQ(a.batcher.windows, b.batcher.windows);
+  EXPECT_EQ(a.batcher.forced_fallback_flushes,
+            b.batcher.forced_fallback_flushes);
+  ASSERT_EQ(a.survivors.size(), b.survivors.size());
+  for (std::size_t i = 0; i < a.survivors.size(); ++i) {
+    const auto& ra = a.survivors[i];
+    const auto& rb = b.survivors[i];
+    EXPECT_TRUE(windows_bitwise_equal(ra.windows, rb.windows))
+        << "survivor " << i;
+    EXPECT_EQ(ra.stable_trace, rb.stable_trace) << "survivor " << i;
+    EXPECT_EQ(ra.decode_digest, rb.decode_digest) << "survivor " << i;
+    EXPECT_EQ(ra.stats.decode_errors, rb.stats.decode_errors);
+    EXPECT_EQ(ra.stats.chunks_dropped, rb.stats.chunks_dropped);
+    EXPECT_EQ(ra.stats.frames_dropped, rb.stats.frames_dropped);
+    EXPECT_EQ(ra.stats.nals_deleted, rb.stats.nals_deleted);
+  }
 }
 
 // --------------------------------------------------------------- batching

@@ -10,6 +10,9 @@
 //                                                   replay under baseline vs emotional
 //   affectsys_cli modes                             decoder mode power table
 //   affectsys_cli serve [sessions] [ticks]          multi-tenant smoke load
+//   affectsys_cli fault-replay <bitstream|audio|serve> <seed> [rate]
+//                                                   replay one fuzz plan twice,
+//                                                   verify bit-identical
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +25,7 @@
 #include "android/replay.hpp"
 #include "core/emotional_policy.hpp"
 #include "core/manager_experiment.hpp"
+#include "fault/scenario.hpp"
 #include "serve/server.hpp"
 
 using namespace affectsys;
@@ -31,7 +35,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: affectsys_cli <synth-scl|synth-usage|classify|"
-               "playback|manager|modes|serve> [args]\n");
+               "playback|manager|modes|serve|fault-replay> [args]\n");
   return 2;
 }
 
@@ -255,6 +259,70 @@ int cmd_serve(int argc, char** argv) {
   return 0;
 }
 
+/// Reruns one seeded fuzz plan from the fault suites (the exact run a
+/// failing test's SCOPED_TRACE names) and checks replay identity: the
+/// scenario executes twice and every digest must match bit for bit.
+/// Exit 0 = identical, 1 = replay divergence (a determinism bug).
+int cmd_fault_replay(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const char* suite = argv[0];
+  fault::ScenarioConfig cfg;
+  cfg.seed = std::strtoull(argv[1], nullptr, 0);
+  cfg.rate = argc > 2 ? std::atof(argv[2]) : 0.1;
+  if (cfg.rate < 0.0 || cfg.rate > 1.0) return usage();
+  std::printf("fault-replay %s seed=%llu rate=%g\n", suite,
+              static_cast<unsigned long long>(cfg.seed), cfg.rate);
+
+  bool identical = false;
+  if (!std::strcmp(suite, "bitstream")) {
+    const auto a = fault::run_bitstream_scenario(cfg);
+    const auto b = fault::run_bitstream_scenario(cfg);
+    std::printf("  stream digest %016llx  pixel digest %016llx\n",
+                static_cast<unsigned long long>(a.stream_digest),
+                static_cast<unsigned long long>(a.pixel_digest));
+    std::printf("  pictures %llu  faults %llu  nal errors %llu  resyncs "
+                "%llu\n",
+                static_cast<unsigned long long>(a.pictures),
+                static_cast<unsigned long long>(a.faults),
+                static_cast<unsigned long long>(a.nal_errors),
+                static_cast<unsigned long long>(a.resyncs));
+    identical = a == b;
+  } else if (!std::strcmp(suite, "audio")) {
+    const auto a = fault::run_audio_scenario(cfg);
+    const auto b = fault::run_audio_scenario(cfg);
+    std::printf("  label digest %016llx\n",
+                static_cast<unsigned long long>(a.label_digest));
+    std::printf("  windows %llu  faults %llu  chunks dropped %llu  gap "
+                "resyncs %llu  stable changes %llu\n",
+                static_cast<unsigned long long>(a.windows_classified),
+                static_cast<unsigned long long>(a.faults),
+                static_cast<unsigned long long>(a.chunks_dropped),
+                static_cast<unsigned long long>(a.gap_resyncs),
+                static_cast<unsigned long long>(a.stable_changes));
+    identical = a == b;
+  } else if (!std::strcmp(suite, "serve")) {
+    const auto a = fault::run_serve_scenario(cfg);
+    const auto b = fault::run_serve_scenario(cfg);
+    for (std::size_t i = 0; i < a.decode_digests.size(); ++i) {
+      std::printf("  session %zu: decode %016llx  windows %016llx  faults "
+                  "%llu\n",
+                  i, static_cast<unsigned long long>(a.decode_digests[i]),
+                  static_cast<unsigned long long>(a.window_digests[i]),
+                  static_cast<unsigned long long>(a.session_faults[i]));
+    }
+    std::printf("  routed %llu  quarantined %llu  restarted %llu\n",
+                static_cast<unsigned long long>(a.results_routed),
+                static_cast<unsigned long long>(a.sessions_quarantined),
+                static_cast<unsigned long long>(a.sessions_restarted));
+    identical = a == b;
+  } else {
+    return usage();
+  }
+
+  std::printf("replay identity: %s\n", identical ? "PASS" : "FAIL");
+  return identical ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -270,6 +338,9 @@ int main(int argc, char** argv) {
     if (!std::strcmp(cmd, "manager")) return cmd_manager(argc - 2, argv + 2);
     if (!std::strcmp(cmd, "modes")) return cmd_modes();
     if (!std::strcmp(cmd, "serve")) return cmd_serve(argc - 2, argv + 2);
+    if (!std::strcmp(cmd, "fault-replay")) {
+      return cmd_fault_replay(argc - 2, argv + 2);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -8,6 +8,8 @@
 #   tools/run_verify.sh tsan       # TSan build, race-sensitive tests only
 #   tools/run_verify.sh kernels    # Release build: kernel suite + bench
 #   tools/run_verify.sh serve      # Release build: session-server suite + bench
+#   tools/run_verify.sh fault      # fuzz suite under ASan+UBSan, TSan and
+#                                  # Release (+ bench_fault overhead gate)
 #
 # Build trees: build/ (default), build-nothreads/, build-asan/,
 # build-tsan/ and build-release/ (kernels).  Tests carry the ctest label "tier1"; the sanitized
@@ -93,6 +95,34 @@ pass_serve() {
   fi
 }
 
+# Fault pass: the seeded structured-fuzz suite (label "fault", 504
+# plans) run where each class of bug is visible — ASan+UBSan for memory
+# errors on the fault paths, TSan for races between faulted/quarantined
+# sessions, Release for the full plan sweep at speed — then bench_fault,
+# which hard-fails on rate-0 identity loss, replay divergence, or >2%
+# clean-path overhead.  The committed BENCH_fault.json is soft-checked:
+# faulted-decode throughput must stay within 10%.
+pass_fault() {
+  run_pass build-asan fault-asan fault -DAFFECTSYS_SANITIZE=ON
+  run_pass build-tsan fault-tsan fault -DAFFECTSYS_SANITIZE=thread
+  run_pass build-release fault-release fault -DCMAKE_BUILD_TYPE=Release
+  echo "=== [fault] bench_fault ==="
+  local fresh="build-release/BENCH_fault.json"
+  ./build-release/bench/bench_fault "$fresh"
+  if [[ -f BENCH_fault.json ]]; then
+    local committed_mbs fresh_mbs
+    committed_mbs=$(grep -o '"mb_per_sec": [0-9.]*' BENCH_fault.json | head -1 | awk '{print $2}')
+    fresh_mbs=$(grep -o '"mb_per_sec": [0-9.]*' "$fresh" | head -1 | awk '{print $2}')
+    echo "faulted mb_per_sec: committed=$committed_mbs fresh=$fresh_mbs"
+    if ! awk -v f="$fresh_mbs" -v c="$committed_mbs" 'BEGIN { exit !(f >= 0.9 * c) }'; then
+      echo "FAIL: faulted-decode throughput regressed >10% vs committed BENCH_fault.json" >&2
+      exit 1
+    fi
+  else
+    echo "no committed BENCH_fault.json; skipping throughput check"
+  fi
+}
+
 case "$mode" in
   default)   pass_default ;;
   nothreads) pass_nothreads ;;
@@ -100,6 +130,7 @@ case "$mode" in
   tsan)      pass_tsan ;;
   kernels)   pass_kernels ;;
   serve)     pass_serve ;;
+  fault)     pass_fault ;;
   all)
     pass_default
     pass_nothreads
@@ -107,8 +138,9 @@ case "$mode" in
     pass_tsan
     pass_kernels
     pass_serve
+    pass_fault
     ;;
-  *) echo "usage: $0 [default|nothreads|sanitize|tsan|kernels|serve|all]" >&2; exit 2 ;;
+  *) echo "usage: $0 [default|nothreads|sanitize|tsan|kernels|serve|fault|all]" >&2; exit 2 ;;
 esac
 
 echo "verification passed ($mode)"
