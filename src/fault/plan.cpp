@@ -19,6 +19,11 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::kSessionStall: return "session_stall";
     case FaultKind::kBatcherFallback: return "batcher_fallback";
     case FaultKind::kAdmissionBurst: return "admission_burst";
+    case FaultKind::kPacketLoss: return "packet_loss";
+    case FaultKind::kBurstLoss: return "burst_loss";
+    case FaultKind::kPacketDelay: return "packet_delay";
+    case FaultKind::kPacketDuplicate: return "packet_duplicate";
+    case FaultKind::kPacketReorder: return "packet_reorder";
   }
   return "unknown";
 }

@@ -33,9 +33,15 @@ enum class FaultKind : std::uint8_t {
   kSessionStall = 9,     ///< session produces no audio for 1-3 s of media
   kBatcherFallback = 10, ///< batcher forced through per-window forwards
   kAdmissionBurst = 11,  ///< admission storm pressure (driven by tests)
+  // Network faults (per media packet at the transport channel).
+  kPacketLoss = 12,      ///< drop one packet
+  kBurstLoss = 13,       ///< drop this packet and the next 1-3 sent
+  kPacketDelay = 14,     ///< hold the packet 1..max_delay ticks (jitter)
+  kPacketDuplicate = 15, ///< deliver the packet twice
+  kPacketReorder = 16,   ///< deliver after the next-sent packet
 };
 
-inline constexpr std::size_t kNumFaultKinds = 12;
+inline constexpr std::size_t kNumFaultKinds = 17;
 
 constexpr std::uint32_t kind_bit(FaultKind k) {
   return 1u << static_cast<unsigned>(k);
@@ -51,8 +57,17 @@ inline constexpr std::uint32_t kAudioKinds =
 inline constexpr std::uint32_t kServeKinds =
     kind_bit(FaultKind::kSessionStall) | kind_bit(FaultKind::kBatcherFallback) |
     kind_bit(FaultKind::kAdmissionBurst);
+inline constexpr std::uint32_t kNetKinds =
+    kind_bit(FaultKind::kPacketLoss) | kind_bit(FaultKind::kBurstLoss) |
+    kind_bit(FaultKind::kPacketDelay) | kind_bit(FaultKind::kPacketDuplicate) |
+    kind_bit(FaultKind::kPacketReorder);
+/// Adding kNetKinds here cannot perturb pre-existing plans: every site
+/// passes its own mask and the suite masks are disjoint, so a bitstream
+/// (or audio, or serve) site's `cfg.kinds & site_mask` intersection is
+/// unchanged by the new bits, and net sites consulted with a plan whose
+/// mask excludes them never advance the RNG (see FaultPlan::next).
 inline constexpr std::uint32_t kAllKinds =
-    kBitstreamKinds | kAudioKinds | kServeKinds;
+    kBitstreamKinds | kAudioKinds | kServeKinds | kNetKinds;
 
 /// Per-NAL faults a session's decode loop can apply in place (reorder
 /// needs the whole stream, start-code damage needs packed bytes).

@@ -265,4 +265,77 @@ ServeScenarioResult run_serve_scenario(const ScenarioConfig& cfg) {
   return res;
 }
 
+net::TransportConfig net_scenario_transport(bool fec) {
+  net::TransportConfig tc;
+  tc.enabled = true;
+  tc.packetizer.mtu = 96;  // slices fragment, SPS+PPS aggregate
+  tc.jitter.depth_ticks = 2;
+  tc.channel.max_delay_ticks = 3;
+  tc.fec.enabled = fec;
+  tc.fec.group = 4;
+  return tc;
+}
+
+NetScenarioResult run_net_scenario(const ScenarioConfig& cfg,
+                                   const net::TransportConfig& tcfg) {
+  FaultPlan plan(FaultConfig{cfg.seed, cfg.rate, cfg.kinds & kNetKinds});
+  FaultCounts counts;
+  net::TransportLink link(tcfg, &plan, &counts);
+
+  const std::vector<h264::NalUnit> units =
+      h264::unpack_annexb(scenario_reference_stream());
+  h264::Decoder dec(h264::DecoderConfig{/*enable_deblock=*/true,
+                                        /*resilient=*/true});
+  std::vector<h264::DecodedPicture> pics;
+
+  const auto drain = [&](std::uint64_t now) {
+    for (const net::DepacketizerEvent& ev : link.receive(now)) {
+      if (ev.loss) {
+        dec.notify_loss();
+        continue;
+      }
+      if (auto pic = dec.decode_nal(ev.nal.nal)) {
+        pics.push_back(std::move(*pic));
+      }
+    }
+  };
+
+  // One access unit (leading parameter sets + their slice) per tick.
+  std::uint64_t tick = 0;
+  std::uint32_t au = 0;
+  std::size_t i = 0;
+  while (i < units.size()) {
+    std::vector<h264::NalUnit> au_units;
+    while (i < units.size()) {
+      const h264::NalUnit& u = units[i++];
+      au_units.push_back(u);
+      if (h264::is_slice(u)) break;
+    }
+    link.send(au_units, au++, /*generation=*/0, tick);
+    drain(tick);
+    ++tick;
+  }
+  // Flush delayed packets and timed-out gaps (delay and jitter depth
+  // are both bounded, so this converges quickly).
+  for (int extra = 0; extra < 64 && !link.idle(); ++extra) drain(tick++);
+  drain(tick + tcfg.jitter.depth_ticks + 1);
+
+  NetScenarioResult res;
+  res.pixel_digest = digest_pictures(pics);
+  res.pictures = pics.size();
+  const net::TransportStats ts = link.stats();
+  res.packets_sent = ts.packets_sent + ts.parity_sent;
+  res.packets_dropped = ts.packets_lost;
+  res.packets_recovered = ts.packets_recovered;
+  res.loss_events = ts.loss_events;
+  res.loss_signals = dec.activity().loss_signals;
+  res.resyncs = dec.activity().resyncs;
+  res.faults = counts.total;
+  return res;
+}
+
+NetScenarioResult run_net_scenario(const ScenarioConfig& cfg) {
+  return run_net_scenario(cfg, net_scenario_transport());
+}
+
 }  // namespace affectsys::fault

@@ -16,6 +16,7 @@
 
 #include "fault/plan.hpp"
 #include "h264/decoder.hpp"
+#include "net/transport.hpp"
 #include "serve/session.hpp"
 
 namespace affectsys::fault {
@@ -102,5 +103,33 @@ inline constexpr std::size_t kServeScenarioSessions = 4;
 /// a clean session's digests vs. the rate-0 baseline is quarantine
 /// isolation failing, not shared-ladder coupling.
 ServeScenarioResult run_serve_scenario(const ScenarioConfig& cfg);
+
+struct NetScenarioResult {
+  std::uint64_t pixel_digest = 0;  ///< every decoded picture, decode order
+  std::uint64_t pictures = 0;
+  std::uint64_t packets_sent = 0;  ///< data + parity
+  std::uint64_t packets_dropped = 0;
+  std::uint64_t packets_recovered = 0;
+  std::uint64_t loss_events = 0;   ///< depacketizer loss declarations
+  std::uint64_t loss_signals = 0;  ///< notify_loss calls into the decoder
+  std::uint64_t resyncs = 0;
+  std::uint64_t faults = 0;
+
+  bool operator==(const NetScenarioResult&) const = default;
+};
+
+/// The transport shape the net scenario (and its bench/CLI twins) runs:
+/// MTU small enough that slices fragment and parameter sets aggregate,
+/// jitter depth 2 ticks, channel delays up to 3, XOR FEC over groups of
+/// 4 when `fec` is set.
+net::TransportConfig net_scenario_transport(bool fec = true);
+
+/// Streams the reference clip through a TransportLink — one access unit
+/// per tick, plan-driven packet faults (cfg.kinds & kNetKinds) — into a
+/// resilient decoder fed loss events via notify_loss, then drains the
+/// pipe.  Pure function of (cfg, tcfg).
+NetScenarioResult run_net_scenario(const ScenarioConfig& cfg,
+                                   const net::TransportConfig& tcfg);
+NetScenarioResult run_net_scenario(const ScenarioConfig& cfg);
 
 }  // namespace affectsys::fault

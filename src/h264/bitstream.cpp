@@ -88,6 +88,15 @@ std::vector<std::uint8_t> add_emulation_prevention(
     out.push_back(b);
     zeros = (b == 0x00) ? zeros + 1 : 0;
   }
+  // An RBSP ending in 00 00 needs a trailing guard byte, or the EBSP's
+  // final zeros are indistinguishable from Annex-B framing (the next
+  // unit's start-code prefix / stream padding) and unpack_annexb would
+  // trim them — the asymmetry the transport round-trip tests caught.
+  // Conforming RBSPs end with rbsp_trailing_bits (nonzero last byte), so
+  // this fires only for raw payloads, but the invariant unpack_annexb
+  // relies on — an EBSP never ends in 00 00 — now holds for everything
+  // this function produces.
+  if (zeros >= 2) out.push_back(0x03);
   return out;
 }
 
@@ -97,8 +106,13 @@ std::vector<std::uint8_t> remove_emulation_prevention(
   out.reserve(ebsp.size());
   int zeros = 0;
   for (std::size_t i = 0; i < ebsp.size(); ++i) {
-    if (zeros >= 2 && ebsp[i] == 0x03 && i + 1 < ebsp.size() &&
-        ebsp[i + 1] <= 0x03) {
+    // A 0x03 after two zeros is an emulation-prevention byte when the
+    // byte after it is <= 0x03 — or when there is no byte after it at
+    // all (the trailing guard add_emulation_prevention appends for an
+    // RBSP ending in 00 00; a *data* 0x03 in that position would itself
+    // have been escaped, so stripping here is unambiguous).
+    if (zeros >= 2 && ebsp[i] == 0x03 &&
+        (i + 1 == ebsp.size() || ebsp[i + 1] <= 0x03)) {
       zeros = 0;
       continue;  // skip the emulation-prevention byte
     }

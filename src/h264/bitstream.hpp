@@ -57,11 +57,14 @@ class BitReader {
 };
 
 /// Inserts emulation-prevention bytes (0x03 after 0x0000 when the next
-/// byte is <= 0x03), producing a NAL payload safe to embed in Annex-B.
+/// byte is <= 0x03, plus a trailing 0x03 when the RBSP ends in 0x0000),
+/// producing a NAL payload safe to embed in Annex-B: the output never
+/// contains 00 00 0{0,1} and never ends in 00 00.
 std::vector<std::uint8_t> add_emulation_prevention(
     std::span<const std::uint8_t> rbsp);
 
-/// Strips emulation-prevention bytes.
+/// Strips emulation-prevention bytes (including a trailing guard byte).
+/// remove(add(rbsp)) == rbsp for every input.
 std::vector<std::uint8_t> remove_emulation_prevention(
     std::span<const std::uint8_t> ebsp);
 

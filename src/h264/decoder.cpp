@@ -62,6 +62,7 @@ DecodeActivity& DecodeActivity::operator+=(const DecodeActivity& o) {
   nal_errors += o.nal_errors;
   resync_skips += o.resync_skips;
   resyncs += o.resyncs;
+  loss_signals += o.loss_signals;
   return *this;
 }
 
@@ -85,6 +86,17 @@ std::optional<DecodedPicture> Decoder::decode_nal(const NalUnit& nal) {
     }
     return std::nullopt;
   }
+}
+
+void Decoder::notify_loss() {
+  ++activity_.loss_signals;
+  AFFECTSYS_COUNT("h264.loss_signals", 1);
+  if (!cfg_.resilient) return;
+  // Same recovery as a malformed slice: the prediction chain is broken
+  // at an unknown point, so nothing referencing the current state can
+  // be trusted until the next keyframe.
+  refs_held_ = 0;
+  awaiting_keyframe_ = true;
 }
 
 std::optional<DecodedPicture> Decoder::decode_nal_checked(const NalUnit& nal) {

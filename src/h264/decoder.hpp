@@ -59,6 +59,7 @@ struct DecodeActivity {
   std::uint64_t nal_errors = 0;    ///< malformed NALs swallowed or thrown
   std::uint64_t resync_skips = 0;  ///< non-IDR slices skipped awaiting resync
   std::uint64_t resyncs = 0;       ///< recoveries completed at an IDR
+  std::uint64_t loss_signals = 0;  ///< upstream losses reported via notify_loss
 
   DecodeActivity& operator+=(const DecodeActivity& o);
 };
@@ -110,6 +111,16 @@ class Decoder {
   /// True while a resilient decoder is discarding non-IDR slices after
   /// an error, waiting for the next keyframe.
   bool awaiting_keyframe() const { return awaiting_keyframe_; }
+
+  /// Upstream loss report: a transport depacketizer (or any feeder) has
+  /// detected that a unit it cannot even present was lost — a dropped
+  /// packet, an unreassemblable fragment set.  A resilient decoder
+  /// reacts exactly as it does to a malformed slice: references are
+  /// dropped and non-IDR slices are skipped until the next keyframe, so
+  /// every picture decoded after the resync is bit-exact against a
+  /// clean decode.  A strict decoder only counts the signal (the caller
+  /// opted out of recovery).
+  void notify_loss();
 
  private:
   std::optional<DecodedPicture> decode_nal_checked(const NalUnit& nal);

@@ -47,19 +47,28 @@ std::vector<NalUnit> unpack_annexb(std::span<const std::uint8_t> stream) {
   for (std::size_t s = 0; s < starts.size(); ++s) {
     std::size_t begin = starts[s];
     std::size_t end = s + 1 < starts.size() ? starts[s + 1] : stream.size();
-    // Trim the next start code (and its possible leading zero) from end.
-    // Adjacent start codes can make end meet begin — that region holds
-    // no unit, not even a header, and is skipped below rather than
-    // indexed.  Zero trimming cannot misfire inside a payload: emulation
-    // prevention guarantees an EBSP never ends in 00 00, and rbsp
-    // trailing bits keep the final payload byte nonzero, so trailing
-    // zeros here are framing (start-code prefix / stream padding), not
-    // data.
+    // Trim the next start code from end, plus — only where pack_annexb
+    // writes the 4-byte form (before SPS/PPS units; the stream head's
+    // long code sits before any unit region) — that code's one leading
+    // zero.  Trailing zeros are otherwise payload: stripping them all
+    // used to eat the final 0x00 of a guarded EBSP such as 00 00 03 00
+    // (RBSP 00 00 00), the pack/unpack asymmetry the transport
+    // round-trip tests caught.  add_emulation_prevention guarantees an
+    // EBSP never ends in 00 00, so the single conditional zero is
+    // exactly the framing ambiguity that remains; a payload-final 0x00
+    // before a 4-byte code stays with the payload, because the code's
+    // own leading zero is the one consumed.  Adjacent start codes can
+    // make end meet begin — that region holds no unit, not even a
+    // header, and is skipped below rather than indexed.
     if (s + 1 < starts.size()) {
       end -= 3;  // the 0x000001 itself
-      while (end > begin && stream[end - 1] == 0x00) --end;  // 4-byte codes
-    } else {
-      while (end > begin && stream[end - 1] == 0x00) --end;  // zero padding
+      const std::size_t next = starts[s + 1];
+      const bool next_long =
+          next < stream.size() &&
+          ((stream[next] & 0x1F) ==
+               static_cast<unsigned>(NalType::kSps) ||
+           (stream[next] & 0x1F) == static_cast<unsigned>(NalType::kPps));
+      if (next_long && end > begin && stream[end - 1] == 0x00) --end;
     }
     if (begin >= end) continue;  // truncated/empty region: no header byte
     NalUnit nal;

@@ -44,7 +44,11 @@ struct NalUnit {
 std::vector<std::uint8_t> pack_annexb(std::span<const NalUnit> units);
 
 /// Splits an Annex-B stream back into NAL units.  Tolerates both start
-/// code lengths and trailing zero padding.
+/// code lengths and trailing zero padding.  Inverse of pack_annexb for
+/// every payload produced by add_emulation_prevention (which never ends
+/// in 00 00); payloads ending in a bare 0x00 — only reachable through
+/// deliberate fault truncation — lose their trailing zeros to the
+/// padding trim.
 std::vector<NalUnit> unpack_annexb(std::span<const std::uint8_t> stream);
 
 /// Reads the slice_type from a coded slice NAL unit's header without

@@ -1,0 +1,65 @@
+#include "net/channel.hpp"
+
+#include <algorithm>
+
+namespace affectsys::net {
+
+void NetChannel::send(MediaPacket p, std::uint64_t now) {
+  ++stats_.sent;
+  const bool parity = p.kind == PacketKind::kParity;
+  // An armed burst swallows packets without consulting the plan: the
+  // whole burst was one fault decision.
+  if (burst_remaining_ > 0) {
+    --burst_remaining_;
+    ++stats_.burst_dropped;
+    ++(parity ? stats_.dropped_parity : stats_.dropped_data);
+    return;
+  }
+  std::uint64_t arrival = now;
+  std::uint64_t order = (order_ += 2);
+  if (plan_ != nullptr) {
+    if (const auto kind = plan_->next(fault::kNetKinds)) {
+      if (counts_ != nullptr) counts_->record(*kind);
+      switch (*kind) {
+        case fault::FaultKind::kPacketLoss:
+          ++(parity ? stats_.dropped_parity : stats_.dropped_data);
+          return;
+        case fault::FaultKind::kBurstLoss:
+          burst_remaining_ = 1 + plan_->draw(3);
+          ++stats_.burst_dropped;
+          ++(parity ? stats_.dropped_parity : stats_.dropped_data);
+          return;
+        case fault::FaultKind::kPacketDelay:
+          arrival = now + 1 +
+                    plan_->draw(std::max<std::uint64_t>(cfg_.max_delay_ticks, 1));
+          ++stats_.delayed;
+          break;
+        case fault::FaultKind::kPacketDuplicate:
+          // The copy lands directly behind the original.
+          pending_.emplace(std::make_pair(arrival, order + 1), p);
+          ++stats_.duplicated;
+          break;
+        case fault::FaultKind::kPacketReorder:
+          // One slot past the next send's order key (order_ + 2).
+          order += 3;
+          ++stats_.reordered;
+          break;
+        default:
+          break;  // non-net kinds cannot be returned for this mask
+      }
+    }
+  }
+  pending_.emplace(std::make_pair(arrival, order), std::move(p));
+}
+
+std::vector<MediaPacket> NetChannel::deliver(std::uint64_t now) {
+  std::vector<MediaPacket> out;
+  while (!pending_.empty() && pending_.begin()->first.first <= now) {
+    out.push_back(std::move(pending_.begin()->second));
+    pending_.erase(pending_.begin());
+    ++stats_.delivered;
+  }
+  return out;
+}
+
+}  // namespace affectsys::net

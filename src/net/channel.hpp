@@ -1,0 +1,78 @@
+// Deterministic lossy network channel between packetizer and jitter
+// buffer.
+//
+// Every sent packet is one FaultPlan site consulted with kNetKinds:
+// loss drops it, burst loss drops it and arms a counter that swallows
+// the next 1-3 sends *without* consulting the plan (so a burst is one
+// decision, like every other fault), delay pushes its arrival 1..max
+// ticks into the future, duplication enqueues a second copy, and
+// reorder makes it land just after the next packet sent.  Delivery
+// order is a pure function of (arrival tick, send order, fault
+// outcomes) — no wall clock, no randomness outside the plan — so a
+// seeded run replays byte-identically, and a rate-0 plan never touches
+// the RNG (the clean path is the identity function on the send
+// sequence).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "net/wire.hpp"
+
+namespace affectsys::net {
+
+struct ChannelConfig {
+  /// Upper bound on kPacketDelay holds, in ticks.  Kept below the jitter
+  /// depth the delay is healed silently; above it, it becomes a declared
+  /// loss at the receiver (and a duplicate when the packet finally
+  /// lands).
+  std::uint64_t max_delay_ticks = 3;
+};
+
+struct ChannelStats {
+  std::uint64_t sent = 0;            ///< data + parity handed to the channel
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_data = 0;
+  std::uint64_t dropped_parity = 0;
+  std::uint64_t burst_dropped = 0;   ///< subset of drops from armed bursts
+  std::uint64_t delayed = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t reordered = 0;
+
+  std::uint64_t dropped() const { return dropped_data + dropped_parity; }
+};
+
+class NetChannel {
+ public:
+  /// `plan` and `counts` may be null (perfect channel).  The plan is
+  /// consulted once per send with the kNetKinds site mask.
+  NetChannel(const ChannelConfig& cfg, fault::FaultPlan* plan,
+             fault::FaultCounts* counts)
+      : cfg_(cfg), plan_(plan), counts_(counts) {}
+
+  /// Accepts a packet at tick `now` and applies at most one fault to it.
+  void send(MediaPacket p, std::uint64_t now);
+
+  /// Everything whose arrival tick is <= `now`, in delivery order.
+  std::vector<MediaPacket> deliver(std::uint64_t now);
+
+  bool idle() const { return pending_.empty(); }
+  const ChannelStats& stats() const { return stats_; }
+
+ private:
+  ChannelConfig cfg_;
+  fault::FaultPlan* plan_;
+  fault::FaultCounts* counts_;
+  ChannelStats stats_;
+  /// (arrival tick, order key) -> packet.  Order keys step by 2 per send
+  /// so reorder (+3) lands one slot past the next send and a duplicate
+  /// (+1) lands right behind its original.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, MediaPacket> pending_;
+  std::uint64_t order_ = 0;
+  std::uint64_t burst_remaining_ = 0;
+};
+
+}  // namespace affectsys::net

@@ -1,0 +1,62 @@
+#include "net/jitter.hpp"
+
+#include <utility>
+
+namespace affectsys::net {
+
+bool JitterBuffer::insert(MediaPacket p, std::uint64_t now) {
+  const std::uint64_t ext = unroller_.unroll(p.seq);
+  if (!have_next_) {
+    // The stream starts wherever the first arrival says it does.
+    next_ext_ = ext;
+    have_next_ = true;
+  }
+  if (ext < next_ext_) {
+    ++stats_.late_dropped;
+    return false;
+  }
+  if (buf_.count(ext) != 0) {
+    ++stats_.duplicates_dropped;
+    return false;
+  }
+  buf_.emplace(ext, Entry{std::move(p), now});
+  ++stats_.inserted;
+  return true;
+}
+
+bool JitterBuffer::would_accept(std::uint16_t seq) const {
+  const std::uint64_t ext = unroller_.peek(seq);
+  if (have_next_ && ext < next_ext_) return false;
+  return buf_.count(ext) == 0;
+}
+
+std::vector<Released> JitterBuffer::pop_due(std::uint64_t now) {
+  std::vector<Released> out;
+  while (!buf_.empty()) {
+    auto head = buf_.begin();
+    if (head->first == next_ext_) {
+      out.push_back(Released{false,
+                             static_cast<std::uint16_t>(head->first & 0xFFFF),
+                             std::move(head->second.packet)});
+      buf_.erase(head);
+      ++next_ext_;
+      ++stats_.released;
+      continue;
+    }
+    // Head is blocked on a gap.  Give the missing packets depth_ticks
+    // (measured from the oldest buffered arrival) to show up.
+    if (now >= head->second.arrival + cfg_.depth_ticks) {
+      for (std::uint64_t ext = next_ext_; ext < head->first; ++ext) {
+        out.push_back(
+            Released{true, static_cast<std::uint16_t>(ext & 0xFFFF), {}});
+        ++stats_.lost_declared;
+      }
+      next_ext_ = head->first;
+      continue;
+    }
+    break;
+  }
+  return out;
+}
+
+}  // namespace affectsys::net

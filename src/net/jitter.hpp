@@ -1,0 +1,81 @@
+// Deterministic receive-side jitter buffer.
+//
+// Packets are inserted in network-arrival order and released strictly in
+// sequence order.  Time is the serve tick — no wall clock anywhere — so
+// a given insertion schedule always produces the identical release
+// schedule.  When the head of the buffer is blocked by a missing
+// sequence number, the buffer waits until the oldest *buffered* packet
+// has aged `depth_ticks` ticks, then declares every sequence in the gap
+// lost and resumes.  A delay fault shorter than the configured depth is
+// therefore healed silently; a longer one degrades into an explicit
+// loss event the depacketizer forwards to the decoder's resync path.
+//
+// All ordering runs on SeqUnroller's extended axis, so behaviour is
+// identical across the 65535 -> 0 wrap (the satellite-2 bug class).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/wire.hpp"
+
+namespace affectsys::net {
+
+struct JitterConfig {
+  /// Ticks the oldest buffered packet may wait on a missing predecessor
+  /// before the gap is declared lost.  0 releases/declares immediately.
+  std::uint64_t depth_ticks = 2;
+};
+
+struct JitterStats {
+  std::uint64_t inserted = 0;
+  std::uint64_t released = 0;
+  std::uint64_t lost_declared = 0;      ///< sequence numbers given up on
+  std::uint64_t duplicates_dropped = 0; ///< same seq already buffered/seen
+  std::uint64_t late_dropped = 0;       ///< arrived after seq was passed
+};
+
+/// One jitter-buffer release: either a packet, in sequence order, or an
+/// explicit per-sequence loss declaration.
+struct Released {
+  bool lost = false;  ///< true: `seq` was declared lost, `packet` empty
+  std::uint16_t seq = 0;
+  MediaPacket packet;
+};
+
+class JitterBuffer {
+ public:
+  explicit JitterBuffer(const JitterConfig& cfg) : cfg_(cfg) {}
+
+  /// Buffers a packet that arrived at tick `now`.  Returns false when
+  /// the packet was dropped as a duplicate or as late (its sequence was
+  /// already released or declared lost).
+  bool insert(MediaPacket p, std::uint64_t now);
+
+  /// True when a packet with this sequence would still be accepted —
+  /// the FEC layer uses this to avoid resurrecting already-passed seqs.
+  bool would_accept(std::uint16_t seq) const;
+
+  /// Releases everything due at tick `now`: in-order packets plus loss
+  /// declarations for gaps that timed out.
+  std::vector<Released> pop_due(std::uint64_t now);
+
+  std::size_t buffered() const { return buf_.size(); }
+  const JitterStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    MediaPacket packet;
+    std::uint64_t arrival = 0;
+  };
+
+  JitterConfig cfg_;
+  JitterStats stats_;
+  SeqUnroller unroller_;
+  std::map<std::uint64_t, Entry> buf_;  ///< extended seq -> entry
+  bool have_next_ = false;
+  std::uint64_t next_ext_ = 0;  ///< next extended seq to release
+};
+
+}  // namespace affectsys::net

@@ -1,0 +1,58 @@
+#include "net/transport.hpp"
+
+#include <utility>
+
+namespace affectsys::net {
+
+void TransportLink::send(std::span<const h264::NalUnit> nals,
+                         std::uint32_t timestamp, std::uint32_t generation,
+                         std::uint64_t now) {
+  nals_sent_ += nals.size();
+  std::vector<MediaPacket> packets =
+      packetizer_.packetize(nals, timestamp, generation);
+  for (MediaPacket& p : packets) {
+    ++packets_sent_;
+    // Parity covers the packet exactly as sent (pre-channel).
+    std::optional<MediaPacket> parity = fec_enc_.add(p);
+    channel_.send(std::move(p), now);
+    if (parity) channel_.send(std::move(*parity), now);
+  }
+}
+
+std::vector<DepacketizerEvent> TransportLink::receive(std::uint64_t now) {
+  for (MediaPacket& p : channel_.deliver(now)) {
+    if (p.kind == PacketKind::kParity) {
+      fec_rec_.add_parity(p);
+      continue;
+    }
+    fec_rec_.add_data(p);
+    jitter_.insert(std::move(p), now);
+  }
+  // Feed anything FEC rebuilt back into the buffer — unless its slot
+  // already slipped past (the jitter depth gave up before the parity
+  // and the survivors all arrived).
+  for (MediaPacket& p : fec_rec_.recover()) {
+    if (jitter_.would_accept(p.seq)) {
+      jitter_.insert(std::move(p), now);
+      ++recovered_accepted_;
+    } else {
+      ++recovered_late_;
+    }
+  }
+  return depack_.push(jitter_.pop_due(now));
+}
+
+TransportStats TransportLink::stats() const {
+  TransportStats s;
+  s.nals_sent = nals_sent_;
+  s.packets_sent = packets_sent_;
+  s.parity_sent = fec_enc_.parity_emitted();
+  s.packets_lost = channel_.stats().dropped();
+  s.packets_recovered = recovered_accepted_;
+  s.recovered_late = recovered_late_;
+  s.nals_received = depack_.stats().nals_out;
+  s.loss_events = depack_.stats().loss_events;
+  return s;
+}
+
+}  // namespace affectsys::net

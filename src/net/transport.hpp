@@ -1,0 +1,95 @@
+// Transport facade: packetizer -> (FEC encoder) -> fault channel ->
+// (FEC recovery) -> jitter buffer -> depacketizer, as one object the
+// serve layer ticks.
+//
+// send() packetizes one access unit and pushes it through the channel
+// at the current tick; receive() drains the channel, routes parity to
+// FEC recovery and data into the jitter buffer, feeds any rebuilt
+// packets back in, then releases due packets through the depacketizer.
+// Everything is tick-driven and every random choice comes from the one
+// FaultPlan the caller passes in, so a seeded run replays
+// byte-identically and a rate-0 plan makes the whole stack the identity
+// function on the NAL stream (same units, same order, same tick).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "h264/nal.hpp"
+#include "net/channel.hpp"
+#include "net/fec.hpp"
+#include "net/jitter.hpp"
+#include "net/packetizer.hpp"
+#include "net/wire.hpp"
+
+namespace affectsys::net {
+
+struct TransportConfig {
+  /// Serve-layer switch: when false, Sessions decode in-process and the
+  /// rest of this struct is ignored.
+  bool enabled = false;
+  PacketizerConfig packetizer{};
+  JitterConfig jitter{};
+  ChannelConfig channel{};
+  FecConfig fec{};
+};
+
+/// Cross-layer roll-up (sub-layer stats stay available via accessors).
+struct TransportStats {
+  std::uint64_t nals_sent = 0;
+  std::uint64_t packets_sent = 0;    ///< data packets handed to the channel
+  std::uint64_t parity_sent = 0;
+  std::uint64_t packets_lost = 0;    ///< channel drops, data + parity
+  std::uint64_t packets_recovered = 0;  ///< FEC rebuilds the jitter accepted
+  std::uint64_t recovered_late = 0;  ///< rebuilt after their seq had passed
+  std::uint64_t nals_received = 0;
+  std::uint64_t loss_events = 0;     ///< depacketizer loss declarations
+};
+
+class TransportLink {
+ public:
+  TransportLink(const TransportConfig& cfg, fault::FaultPlan* plan,
+                fault::FaultCounts* counts)
+      : cfg_(cfg),
+        packetizer_(cfg.packetizer),
+        fec_enc_(cfg.fec),
+        channel_(cfg.channel, plan, counts),
+        fec_rec_(cfg.fec),
+        jitter_(cfg.jitter) {}
+
+  /// Sends one access unit at tick `now`.
+  void send(std::span<const h264::NalUnit> nals, std::uint32_t timestamp,
+            std::uint32_t generation, std::uint64_t now);
+
+  /// Receives everything due at tick `now`, in stream order.
+  std::vector<DepacketizerEvent> receive(std::uint64_t now);
+
+  /// True when nothing is in flight or buffered (drain check).
+  bool idle() const { return channel_.idle() && jitter_.buffered() == 0; }
+
+  TransportStats stats() const;
+  const ChannelStats& channel_stats() const { return channel_.stats(); }
+  const JitterStats& jitter_stats() const { return jitter_.stats(); }
+  const FecStats& fec_stats() const { return fec_rec_.stats(); }
+  const DepacketizerStats& depacketizer_stats() const {
+    return depack_.stats();
+  }
+  const TransportConfig& config() const { return cfg_; }
+
+ private:
+  TransportConfig cfg_;
+  Packetizer packetizer_;
+  FecEncoder fec_enc_;
+  NetChannel channel_;
+  FecRecovery fec_rec_;
+  JitterBuffer jitter_;
+  Depacketizer depack_;
+  std::uint64_t nals_sent_ = 0;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t recovered_accepted_ = 0;
+  std::uint64_t recovered_late_ = 0;
+};
+
+}  // namespace affectsys::net

@@ -1,0 +1,66 @@
+#include "net/wire.hpp"
+
+namespace affectsys::net {
+
+namespace {
+
+void put16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+}
+
+void put32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+}
+
+std::uint16_t get16(std::span<const std::uint8_t> b, std::size_t at) {
+  return static_cast<std::uint16_t>((b[at] << 8) | b[at + 1]);
+}
+
+std::uint32_t get32(std::span<const std::uint8_t> b, std::size_t at) {
+  return (static_cast<std::uint32_t>(b[at]) << 24) |
+         (static_cast<std::uint32_t>(b[at + 1]) << 16) |
+         (static_cast<std::uint32_t>(b[at + 2]) << 8) |
+         static_cast<std::uint32_t>(b[at + 3]);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_packet(const MediaPacket& p) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kWireHeaderBytes + p.payload.size());
+  put16(out, p.seq);
+  put32(out, p.timestamp);
+  put32(out, p.generation);
+  out.push_back(static_cast<std::uint8_t>(p.kind));
+  out.push_back(p.marker ? 1 : 0);
+  out.push_back(p.nal_header);
+  put16(out, p.fec_base);
+  out.push_back(p.fec_count);
+  out.insert(out.end(), p.payload.begin(), p.payload.end());
+  return out;
+}
+
+std::optional<MediaPacket> parse_packet(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kWireHeaderBytes) return std::nullopt;
+  const std::uint8_t kind = bytes[10];
+  if (kind > static_cast<std::uint8_t>(PacketKind::kParity)) return std::nullopt;
+  const std::uint8_t marker = bytes[11];
+  if (marker > 1) return std::nullopt;
+  MediaPacket p;
+  p.seq = get16(bytes, 0);
+  p.timestamp = get32(bytes, 2);
+  p.generation = get32(bytes, 6);
+  p.kind = static_cast<PacketKind>(kind);
+  p.marker = marker != 0;
+  p.nal_header = bytes[12];
+  p.fec_base = get16(bytes, 13);
+  p.fec_count = bytes[15];
+  p.payload.assign(bytes.begin() + kWireHeaderBytes, bytes.end());
+  return p;
+}
+
+}  // namespace affectsys::net

@@ -1,0 +1,103 @@
+// Media transport wire layer: the packet every other src/net stage
+// speaks, its byte-exact serialization (what XOR FEC protects and the
+// bench pushes through), and wrap-safe RFC 1982-style serial arithmetic
+// for the 16-bit sequence-number space.
+//
+// The format is RTP-shaped but deliberately minimal: a fixed 16-byte
+// header carrying sequence/timestamp/generation plus a kind tag that
+// folds the H.264 payload structure (single NAL, FU-style fragment,
+// STAP-style aggregate, FEC parity) into one enum instead of RTP's
+// payload-type indirection.  Timestamps count access units, not a
+// 90 kHz clock: every stage in this repo is tick-driven and wall-clock
+// free, and replay identity rests on that.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace affectsys::net {
+
+/// Wrap-safe "a is strictly newer than b" over uint16 sequence numbers:
+/// 0 is newer than 65535.  Naive `a > b` breaks at the wrap — the
+/// jitter-buffer satellite bug this module exists to prevent.
+constexpr bool seq16_newer(std::uint16_t a, std::uint16_t b) {
+  return static_cast<std::int16_t>(static_cast<std::uint16_t>(a - b)) > 0;
+}
+
+/// Signed serial distance a - b in [-32768, 32767].
+constexpr std::int32_t seq16_delta(std::uint16_t a, std::uint16_t b) {
+  return static_cast<std::int16_t>(static_cast<std::uint16_t>(a - b));
+}
+
+/// Unrolls wrap-prone 16-bit sequence numbers onto a monotonic 64-bit
+/// axis (nearest-interpretation relative to the highest value seen), so
+/// ordered containers can key on sequence without a custom comparator
+/// that would violate strict weak ordering across the wrap.
+class SeqUnroller {
+ public:
+  /// Extended sequence for `seq`, updating the high-water mark.
+  std::uint64_t unroll(std::uint16_t seq) {
+    const std::uint64_t ext = peek(seq);
+    if (ext > highest_ || !init_) {
+      highest_ = ext;
+      init_ = true;
+    }
+    return ext;
+  }
+
+  /// Extended sequence without advancing the high-water mark.
+  std::uint64_t peek(std::uint16_t seq) const {
+    if (!init_) {
+      // Bias the first epoch so a backwards wrap at stream start cannot
+      // underflow the extended axis.
+      return (1ull << 16) | seq;
+    }
+    return highest_ +
+           seq16_delta(seq, static_cast<std::uint16_t>(highest_ & 0xFFFF));
+  }
+
+ private:
+  bool init_ = false;
+  std::uint64_t highest_ = 0;
+};
+
+/// Payload structure tag (collapses RTP payload types + FU/STAP headers).
+enum class PacketKind : std::uint8_t {
+  kSingle = 0,     ///< one whole NAL unit
+  kFragStart = 1,  ///< first fragment of a large NAL
+  kFragMiddle = 2, ///< interior fragment
+  kFragEnd = 3,    ///< final fragment
+  kAggregate = 4,  ///< several small NALs ([u16 size][header][payload])*
+  kParity = 5,     ///< XOR FEC parity (its own seq space; see fec.hpp)
+};
+
+/// One transport packet.  Data packets (every kind but kParity) share
+/// one sequence space; parity packets ride their own counter so a lost
+/// parity never shows up as a media gap at the jitter buffer.
+struct MediaPacket {
+  std::uint16_t seq = 0;
+  std::uint32_t timestamp = 0;   ///< access-unit index within generation
+  std::uint32_t generation = 0;  ///< clip-loop count (receiver reset cue)
+  PacketKind kind = PacketKind::kSingle;
+  bool marker = false;           ///< last packet of its access unit
+  std::uint8_t nal_header = 0;   ///< NAL header byte for single/fragment
+  std::uint16_t fec_base = 0;    ///< kParity: first covered data seq
+  std::uint8_t fec_count = 0;    ///< kParity: covered data packets
+  std::vector<std::uint8_t> payload;
+
+  bool operator==(const MediaPacket&) const = default;
+};
+
+inline constexpr std::size_t kWireHeaderBytes = 16;
+
+/// Byte-exact wire form (16-byte big-endian header + payload).  This is
+/// the blob XOR parity protects, so recovery reproduces the entire
+/// packet — header fields included — not just the payload.
+std::vector<std::uint8_t> serialize_packet(const MediaPacket& p);
+
+/// Parses a wire blob; nullopt on truncation or a malformed header.
+std::optional<MediaPacket> parse_packet(std::span<const std::uint8_t> bytes);
+
+}  // namespace affectsys::net

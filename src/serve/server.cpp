@@ -130,6 +130,26 @@ void SessionManager::route(const std::vector<RoutedResult>& results) {
   }
 }
 
+// Fault consultation contract (replay identity depends on this):
+// every plan is consulted at a FIXED per-tick site order, and every
+// site passes a mask DISJOINT from every other suite's sites.
+//
+//   per-session plan (one logical stream, session ticked serially):
+//     1. stage A  pump_audio:            kSessionStall site, then the
+//                                        kAudioKinds chunk site;
+//     2. stage C  tick_transport_media:  kNetKinds site per packet sent
+//                                        (transport mode only), then
+//     3.          decode:                kNalUnitKinds site per NAL
+//                                        reaching the decoder.
+//   server plan: one kBatcherFallback site in stage B.
+//
+// Because the masks are disjoint and a non-intersecting consultation
+// never advances the RNG (FaultPlan::next), two identities hold by
+// construction, not by test luck: a rate-0 run is byte-identical to a
+// no-fault-code run, and enabling one suite's kinds cannot perturb the
+// decision stream any other suite draws — e.g. pre-transport plans
+// replay unchanged with kNetKinds compiled in (tests/test_net.cpp
+// pins both).
 void SessionManager::tick() {
   AFFECTSYS_TIME_SCOPE("serve.tick_ns");
   ++stats_.ticks;

@@ -81,6 +81,15 @@ Session::Session(SessionId id, const SessionConfig& cfg, const SessionEnv& env,
   c_decode_errors_ = &scope_.counter("serve.decode_errors");
   c_chunks_dropped_ = &scope_.counter("serve.audio_chunks_dropped");
 
+  if (cfg_.transport.enabled) {
+    link_ = std::make_unique<net::TransportLink>(cfg_.transport, &fault_plan_,
+                                                 &fault_counts_);
+    c_packets_sent_ = &scope_.counter("serve.net.packets_sent");
+    c_packets_lost_ = &scope_.counter("serve.net.packets_lost");
+    c_packets_recovered_ = &scope_.counter("serve.net.packets_recovered");
+    c_nals_lost_ = &scope_.counter("serve.net.nals_lost");
+  }
+
   pipeline_.set_window_sink(
       [this](double t_end, std::span<const double> window) {
         on_window(t_end, window);
@@ -201,7 +210,21 @@ void Session::tick_media(std::uint64_t tick, int degrade_level) {
   const auto budget = static_cast<std::size_t>(frame_carry_);
   frame_carry_ -= static_cast<double>(budget);
 
-  if (degrade_level >= kFrameShedLevel) {
+  const bool shed = degrade_level >= kFrameShedLevel;
+  if (link_) {
+    // Transport-fed media: under overload the *sender* sheds (nothing
+    // is packetized, so shed frames cost no network bytes), but the
+    // receive side still drains in-flight packets every tick.
+    tick_transport_media(shed ? 0 : budget,
+                         adaptive::mode_config(effective_mode_,
+                                               cfg_.selector.s_th,
+                                               cfg_.selector.f),
+                         tick);
+    if (shed) {
+      stats_.frames_dropped += budget;
+      c_frames_dropped_->add(budget);
+    }
+  } else if (shed) {
     // Every affect-adaptive knob is already exhausted at Combined;
     // beyond that the server sheds this tick's frames outright.
     stats_.frames_dropped += budget;
@@ -232,24 +255,7 @@ void Session::decode_pictures(std::size_t budget,
   // display slot whether it decoded, erred or was skipped during
   // resync — a fault storm must not stall the tick loop.
   const auto decode_one = [&](const h264::NalUnit& unit) {
-    const std::uint64_t errs_before = decoder_.activity().nal_errors;
-    if (const auto pic = decoder_.decode_nal(unit)) {
-      fnv_plane(digest_, pic->frame.y);
-      fnv_plane(digest_, pic->frame.cb);
-      fnv_plane(digest_, pic->frame.cr);
-      ++stats_.frames_decoded;
-      c_frames_->add(1);
-      ++pictures;
-      return;
-    }
-    if (h264::is_slice(unit)) {
-      ++pictures;
-      ++stats_.pictures_lost;
-      if (decoder_.activity().nal_errors != errs_before) {
-        ++stats_.decode_errors;
-        c_decode_errors_->add(1);
-      }
-    }
+    if (decode_unit(unit)) ++pictures;
   };
 
   while (pictures < budget) {
@@ -284,6 +290,121 @@ void Session::decode_pictures(std::size_t budget,
   }
 }
 
+// Decodes one unit, digesting decoded pixels.  Returns true when the
+// unit consumed a display slot (every slice does — decoded, erred or
+// skipped during resync).
+bool Session::decode_unit(const h264::NalUnit& unit) {
+  const std::uint64_t errs_before = decoder_.activity().nal_errors;
+  if (const auto pic = decoder_.decode_nal(unit)) {
+    fnv_plane(digest_, pic->frame.y);
+    fnv_plane(digest_, pic->frame.cb);
+    fnv_plane(digest_, pic->frame.cr);
+    ++stats_.frames_decoded;
+    c_frames_->add(1);
+    return true;
+  }
+  if (h264::is_slice(unit)) {
+    ++stats_.pictures_lost;
+    if (decoder_.activity().nal_errors != errs_before) {
+      ++stats_.decode_errors;
+      c_decode_errors_->add(1);
+    }
+    return true;
+  }
+  return false;
+}
+
+// Transport-fed media tick: packetize `slots` display slots of the
+// shared clip onto the link, then decode everything the network
+// released at this tick.  Per-tick fault consultation order (see the
+// SessionManager::tick contract): the net sites here run after stage
+// A's stall/audio sites and before the receive side's per-NAL
+// bitstream sites, all on this session's one plan.
+void Session::tick_transport_media(std::size_t slots,
+                                   const adaptive::ModeConfig& mc,
+                                   std::uint64_t tick) {
+  const std::vector<h264::NalUnit>& nals = env_.workload->nal_units();
+
+  // Sender.  The Input Selector's NAL deletion happens here — sender-
+  // side shedding — so a deleted slice never costs network bytes; any
+  // parameter sets in front of it still ship.
+  std::size_t sent_slots = 0;
+  std::vector<h264::NalUnit> au;
+  while (sent_slots < slots) {
+    if (nal_cursor_ >= nals.size()) {
+      // Clip wrap: new generation, fresh selector.  The receiver swaps
+      // in a fresh decoder when it sees the generation change, so the
+      // wrap behaves exactly like the in-process path's reset.
+      nal_cursor_ = 0;
+      ++send_gen_;
+      send_au_ = 0;
+      selector_.reset();
+    }
+    au.clear();
+    bool have_slice = false;
+    while (nal_cursor_ < nals.size()) {
+      const h264::NalUnit& nal = nals[nal_cursor_++];
+      if (!h264::is_slice(nal)) {
+        au.push_back(nal);
+        continue;
+      }
+      have_slice = true;
+      if (mc.delete_nals) {
+        std::vector<h264::NalUnit> one{nal};
+        if (selector_.filter(std::move(one)).empty()) {
+          ++stats_.nals_deleted;
+          c_nals_deleted_->add(1);
+          break;  // slice shed before packetization
+        }
+      }
+      au.push_back(nal);
+      break;
+    }
+    if (!au.empty()) link_->send(au, send_au_, send_gen_, tick);
+    ++send_au_;
+    if (have_slice) ++sent_slots;
+  }
+
+  // Receiver: decode in release order.  Declared losses reach the
+  // decoder as resync cues — a dropped packet yields *missing* data,
+  // not malformed data, so without notify_loss it would drift silently.
+  decoder_.set_deblock_enabled(mc.deblock);
+  for (const net::DepacketizerEvent& ev : link_->receive(tick)) {
+    if (ev.loss) {
+      decoder_.notify_loss();
+      ++stats_.nals_lost;
+      c_nals_lost_->add(1);
+      continue;
+    }
+    if (ev.nal.generation != rx_gen_) {
+      rx_gen_ = ev.nal.generation;
+      decoder_ = h264::Decoder(h264::DecoderConfig{mc.deblock,
+                                                   /*resilient=*/true});
+    }
+    const h264::NalUnit& nal = ev.nal.nal;
+    if (fault_plan_.enabled()) {
+      if (auto faulted =
+              fault::maybe_fault_nal(nal, fault_plan_, fault_counts_)) {
+        c_faults_->add(1);
+        for (const h264::NalUnit& u : *faulted) decode_unit(u);
+        continue;
+      }
+    }
+    decode_unit(nal);
+  }
+
+  // Roll link totals into the stats block (obs counters get deltas —
+  // stats_ still holds the previous tick's totals here).
+  const net::TransportStats ts = link_->stats();
+  const std::uint64_t sent = ts.packets_sent + ts.parity_sent;
+  c_packets_sent_->add(sent - stats_.packets_sent);
+  c_packets_lost_->add(ts.packets_lost - stats_.packets_lost);
+  c_packets_recovered_->add(ts.packets_recovered - stats_.packets_recovered);
+  stats_.packets_sent = sent;
+  stats_.packets_lost = ts.packets_lost;
+  stats_.packets_recovered = ts.packets_recovered;
+}
+
 SessionReport Session::report() const {
   SessionReport rep;
   rep.windows = windows_;
@@ -292,6 +413,7 @@ SessionReport Session::report() const {
   rep.stats = stats_;
   rep.realtime = pipeline_.stats();
   if (pm_) rep.apps = pm_->metrics();
+  if (link_) rep.transport = link_->stats();
   return rep;
 }
 

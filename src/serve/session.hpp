@@ -37,6 +37,7 @@
 #include "fault/bitstream_faults.hpp"
 #include "fault/plan.hpp"
 #include "h264/decoder.hpp"
+#include "net/transport.hpp"
 #include "obs/metrics.hpp"
 #include "serve/batcher.hpp"
 #include "serve/workload.hpp"
@@ -69,6 +70,15 @@ struct SessionConfig {
   /// tenants still fault independently; the session's decoder runs
   /// resilient either way, which is byte-identical on clean streams.
   fault::FaultConfig fault{};
+  /// Transport-fed media mode: when enabled, tick_media packetizes the
+  /// clip through an in-session TransportLink (driven by the same fault
+  /// plan, kNetKinds sites) and decodes what survives the jitter buffer
+  /// instead of decoding in-process.  Input Selector NAL deletion moves
+  /// to the sender (shed slices never cost network bytes), and
+  /// transport losses reach the decoder as notify_loss() resync cues.
+  /// With a rate-0 plan the link is the identity function, so the
+  /// decode digest matches the in-process path exactly.
+  net::TransportConfig transport{};
 };
 
 struct SessionStats {
@@ -85,6 +95,14 @@ struct SessionStats {
   std::uint64_t pictures_lost = 0;   ///< display slots lost to faulted slices
   std::uint64_t chunks_dropped = 0;  ///< audio chunks lost to drop faults
   std::uint64_t stall_ticks = 0;     ///< ticks spent in an injected stall
+  // Transport exposure (all zero without cfg.transport.enabled).  Lost
+  // packets deliberately do NOT feed the server's error budget: network
+  // loss is a channel property, not tenant misbehaviour — the decoder's
+  // resync path absorbs it instead of quarantine.
+  std::uint64_t packets_sent = 0;       ///< data + parity sent
+  std::uint64_t packets_lost = 0;       ///< dropped by the channel
+  std::uint64_t packets_recovered = 0;  ///< rebuilt by FEC in time
+  std::uint64_t nals_lost = 0;          ///< loss events fed to notify_loss
 };
 
 /// Raw per-window classification, recorded for replay comparison.
@@ -106,6 +124,7 @@ struct SessionReport {
   SessionStats stats;
   affect::RealtimeStats realtime;
   android::LoadingMetrics apps;
+  net::TransportStats transport;  ///< zeroes without transport mode
 };
 
 /// Shared server context handed to every session; must outlive them.
@@ -172,6 +191,9 @@ class Session {
                      const affect::ClassificationResult& res);
   void fill_chunk(std::vector<double>& chunk);
   void decode_pictures(std::size_t budget, const adaptive::ModeConfig& mc);
+  bool decode_unit(const h264::NalUnit& unit);
+  void tick_transport_media(std::size_t slots, const adaptive::ModeConfig& mc,
+                            std::uint64_t tick);
 
   SessionId id_;
   SessionConfig cfg_;
@@ -208,6 +230,12 @@ class Session {
   std::size_t nal_cursor_ = 0;
   double frame_carry_ = 0.0;
 
+  // Transport-fed media mode (null unless cfg.transport.enabled).
+  std::unique_ptr<net::TransportLink> link_;
+  std::uint32_t send_au_ = 0;   ///< access-unit timestamp within generation
+  std::uint32_t send_gen_ = 0;  ///< sender clip-loop count
+  std::uint32_t rx_gen_ = 0;    ///< last generation the receiver decoded
+
   // App/memory manager path (optional; both null when SessionEnv does
   // not supply a table + catalog).
   std::unique_ptr<core::EmotionalKillPolicy> kill_policy_;
@@ -229,6 +257,12 @@ class Session {
   obs::Counter* c_faults_ = nullptr;
   obs::Counter* c_decode_errors_ = nullptr;
   obs::Counter* c_chunks_dropped_ = nullptr;
+  // Transport counters (registered only in transport mode, so sessions
+  // without it expose an unchanged metric set).
+  obs::Counter* c_packets_sent_ = nullptr;
+  obs::Counter* c_packets_lost_ = nullptr;
+  obs::Counter* c_packets_recovered_ = nullptr;
+  obs::Counter* c_nals_lost_ = nullptr;
 };
 
 }  // namespace affectsys::serve

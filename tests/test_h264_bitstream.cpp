@@ -232,6 +232,91 @@ TEST(Nal, ByteSizeCountsHeader) {
   EXPECT_EQ(nal.byte_size(), 4u);
 }
 
+TEST(EmulationPrevention, GuardsTrailingZeroRun) {
+  // Regression: add_emulation_prevention used to leave an RBSP's final
+  // 00 00 unguarded, so the EBSP ended in a bare zero run that
+  // unpack_annexb's padding trim then ate — the pack/unpack asymmetry.
+  const std::vector<std::vector<std::uint8_t>> rbsps = {
+      {0x00, 0x00},
+      {0x00, 0x00, 0x00},
+      {0x00, 0x00, 0x03},
+      {0xAB, 0x00, 0x00},
+      {0x00, 0x00, 0x00, 0x00},
+      {0x42, 0x00, 0x00, 0x03, 0x00, 0x00},
+  };
+  for (const auto& rbsp : rbsps) {
+    const auto ebsp = h264::add_emulation_prevention(rbsp);
+    ASSERT_GE(ebsp.size(), 2u);
+    EXPECT_FALSE(ebsp[ebsp.size() - 2] == 0 && ebsp.back() == 0)
+        << "EBSP may not end in 00 00";
+    EXPECT_EQ(h264::remove_emulation_prevention(ebsp), rbsp);
+  }
+}
+
+TEST(EmulationPrevention, ExhaustiveZeroHeavyRoundTrip) {
+  // Every payload up to 5 bytes over {00, 01, 02, 03, AB}: covers every
+  // placement of a 00 00 0{0..3} sequence — start, middle, end — plus
+  // overlapping runs.  For each, the EBSP invariant must hold (no
+  // 00 00 0{0,1} anywhere, no trailing 00 00) and the round trip must
+  // be exact.
+  const std::uint8_t alpha[] = {0x00, 0x01, 0x02, 0x03, 0xAB};
+  for (std::size_t len = 0; len <= 5; ++len) {
+    std::vector<std::size_t> idx(len, 0);
+    while (true) {
+      std::vector<std::uint8_t> rbsp(len);
+      for (std::size_t i = 0; i < len; ++i) rbsp[i] = alpha[idx[i]];
+      const auto ebsp = h264::add_emulation_prevention(rbsp);
+      for (std::size_t i = 0; i + 2 < ebsp.size(); ++i) {
+        ASSERT_FALSE(ebsp[i] == 0 && ebsp[i + 1] == 0 && ebsp[i + 2] <= 1)
+            << "emulation at offset " << i;
+      }
+      if (ebsp.size() >= 2) {
+        ASSERT_FALSE(ebsp[ebsp.size() - 2] == 0 && ebsp.back() == 0);
+      }
+      ASSERT_EQ(h264::remove_emulation_prevention(ebsp), rbsp);
+
+      std::size_t k = 0;
+      for (; k < len; ++k) {
+        if (++idx[k] < sizeof(alpha)) break;
+        idx[k] = 0;
+      }
+      if (k == len) break;
+    }
+  }
+}
+
+TEST(Nal, PackUnpackPreservesGuardedTrailingZeros) {
+  // The full framing round trip for zero-tailed payloads, in every NAL
+  // position: RBSP -> EBSP -> Annex-B -> units -> RBSP must be the
+  // identity (trailing-zero padding trim included).
+  const std::vector<std::vector<std::uint8_t>> rbsps = {
+      {0x00, 0x00},
+      {0x11, 0x00, 0x00},
+      {0x00, 0x00, 0x03},
+      {0x00, 0x00, 0x00},
+      {0x7F, 0x00, 0x00, 0x00, 0x00},
+  };
+  for (const auto& rbsp : rbsps) {
+    for (std::size_t pos = 0; pos < 2; ++pos) {
+      std::vector<h264::NalUnit> units(2);
+      units[0].type = h264::NalType::kSps;
+      units[0].ref_idc = 3;
+      units[0].payload = {0x42};
+      units[1].type = h264::NalType::kSliceIdr;
+      units[1].ref_idc = 3;
+      units[1].payload = {0x65};
+      units[pos].payload = h264::add_emulation_prevention(rbsp);
+
+      const auto parsed = h264::unpack_annexb(h264::pack_annexb(units));
+      ASSERT_EQ(parsed.size(), units.size()) << "position " << pos;
+      EXPECT_EQ(parsed[pos].payload, units[pos].payload)
+          << "EBSP changed through pack/unpack at position " << pos;
+      EXPECT_EQ(h264::remove_emulation_prevention(parsed[pos].payload), rbsp)
+          << "RBSP round trip at position " << pos;
+    }
+  }
+}
+
 TEST(Entropy, ZeroBlockIsOneSymbol) {
   h264::Block4x4 zero{};
   h264::BitWriter bw;

@@ -10,7 +10,7 @@
 //                                                   replay under baseline vs emotional
 //   affectsys_cli modes                             decoder mode power table
 //   affectsys_cli serve [sessions] [ticks]          multi-tenant smoke load
-//   affectsys_cli fault-replay <bitstream|audio|serve> <seed> [rate]
+//   affectsys_cli fault-replay <bitstream|audio|serve|net> <seed> [rate]
 //                                                   replay one fuzz plan twice,
 //                                                   verify bit-identical
 #include <cstdio>
@@ -314,6 +314,21 @@ int cmd_fault_replay(int argc, char** argv) {
                 static_cast<unsigned long long>(a.results_routed),
                 static_cast<unsigned long long>(a.sessions_quarantined),
                 static_cast<unsigned long long>(a.sessions_restarted));
+    identical = a == b;
+  } else if (!std::strcmp(suite, "net")) {
+    const auto a = fault::run_net_scenario(cfg);
+    const auto b = fault::run_net_scenario(cfg);
+    std::printf("  pixel digest %016llx\n",
+                static_cast<unsigned long long>(a.pixel_digest));
+    std::printf("  pictures %llu  sent %llu  dropped %llu  recovered %llu  "
+                "nal losses %llu  resyncs %llu  faults %llu\n",
+                static_cast<unsigned long long>(a.pictures),
+                static_cast<unsigned long long>(a.packets_sent),
+                static_cast<unsigned long long>(a.packets_dropped),
+                static_cast<unsigned long long>(a.packets_recovered),
+                static_cast<unsigned long long>(a.loss_signals),
+                static_cast<unsigned long long>(a.resyncs),
+                static_cast<unsigned long long>(a.faults));
     identical = a == b;
   } else {
     return usage();

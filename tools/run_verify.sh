@@ -10,6 +10,8 @@
 #   tools/run_verify.sh serve      # Release build: session-server suite + bench
 #   tools/run_verify.sh fault      # fuzz suite under ASan+UBSan, TSan and
 #                                  # Release (+ bench_fault overhead gate)
+#   tools/run_verify.sh net        # media-transport suite under ASan+UBSan
+#                                  # and Release (+ bench_net tick-overhead gate)
 #
 # Build trees: build/ (default), build-nothreads/, build-asan/,
 # build-tsan/ and build-release/ (kernels).  Tests carry the ctest label "tier1"; the sanitized
@@ -123,6 +125,33 @@ pass_fault() {
   fi
 }
 
+# Net pass: the media-transport suite (label "net": packetizer, jitter
+# buffer, FEC, channel faults and the seeded loss/FEC end-to-end sweep)
+# under ASan+UBSan for the loss/resync paths and Release for the full
+# sweep at speed, then bench_net, which hard-fails on 0-loss digest
+# divergence, replay divergence, or >5% serve-tick transport overhead.
+# The committed BENCH_net.json is soft-checked: packetize throughput
+# must stay within 10%.
+pass_net() {
+  run_pass build-asan net-asan net -DAFFECTSYS_SANITIZE=ON
+  run_pass build-release net-release net -DCMAKE_BUILD_TYPE=Release
+  echo "=== [net] bench_net ==="
+  local fresh="build-release/BENCH_net.json"
+  ./build-release/bench/bench_net "$fresh"
+  if [[ -f BENCH_net.json ]]; then
+    local committed_mbs fresh_mbs
+    committed_mbs=$(grep -o '"packetize_mb_per_sec": [0-9.]*' BENCH_net.json | awk '{print $2}')
+    fresh_mbs=$(grep -o '"packetize_mb_per_sec": [0-9.]*' "$fresh" | awk '{print $2}')
+    echo "packetize_mb_per_sec: committed=$committed_mbs fresh=$fresh_mbs"
+    if ! awk -v f="$fresh_mbs" -v c="$committed_mbs" 'BEGIN { exit !(f >= 0.9 * c) }'; then
+      echo "FAIL: packetize throughput regressed >10% vs committed BENCH_net.json" >&2
+      exit 1
+    fi
+  else
+    echo "no committed BENCH_net.json; skipping throughput check"
+  fi
+}
+
 case "$mode" in
   default)   pass_default ;;
   nothreads) pass_nothreads ;;
@@ -131,6 +160,7 @@ case "$mode" in
   kernels)   pass_kernels ;;
   serve)     pass_serve ;;
   fault)     pass_fault ;;
+  net)       pass_net ;;
   all)
     pass_default
     pass_nothreads
@@ -139,8 +169,9 @@ case "$mode" in
     pass_kernels
     pass_serve
     pass_fault
+    pass_net
     ;;
-  *) echo "usage: $0 [default|nothreads|sanitize|tsan|kernels|serve|fault|all]" >&2; exit 2 ;;
+  *) echo "usage: $0 [default|nothreads|sanitize|tsan|kernels|serve|fault|net|all]" >&2; exit 2 ;;
 esac
 
 echo "verification passed ($mode)"
