@@ -29,6 +29,23 @@ bool InputSelector::should_delete(const h264::NalUnit& nal) {
   return del;
 }
 
+bool InputSelector::keeps(const h264::NalUnit& nal) {
+  AFFECTSYS_TIME_SCOPE("adaptive.selector_filter_ns");
+  ++stats_.units_in;
+  stats_.bytes_in += nal.byte_size();
+  AFFECTSYS_COUNT("adaptive.selector_units_in", 1);
+  AFFECTSYS_COUNT("adaptive.selector_bytes_in", nal.byte_size());
+  if (should_delete(nal)) {
+    ++stats_.deleted;
+    AFFECTSYS_COUNT("adaptive.selector_units_deleted", 1);
+    AFFECTSYS_COUNT("adaptive.selector_bytes_deleted", nal.byte_size());
+    return false;
+  }
+  stats_.bytes_out += nal.byte_size();
+  ++stats_.units_out;
+  return true;
+}
+
 std::vector<h264::NalUnit> InputSelector::filter(
     std::vector<h264::NalUnit> units) {
   AFFECTSYS_TIME_SCOPE("adaptive.selector_filter_ns");

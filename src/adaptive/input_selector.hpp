@@ -42,6 +42,13 @@ class InputSelector {
   /// slice unit of size <= S_th.  Stateless between calls to reset().
   std::vector<h264::NalUnit> filter(std::vector<h264::NalUnit> units);
 
+  /// Single-unit, non-destructive form of filter(): true when the unit
+  /// survives selection.  Stats, metrics, and the candidate counter
+  /// evolve exactly as a one-element filter() call would, so callers
+  /// that previously staged each unit in a one-element vector can test
+  /// it in place with no allocation and no behavioural change.
+  bool keeps(const h264::NalUnit& nal);
+
   /// Convenience: unpack an Annex-B stream, filter, and repack.
   std::vector<std::uint8_t> filter_annexb(
       std::span<const std::uint8_t> stream);

@@ -16,11 +16,9 @@ nn::Matrix FeatureExtractor::extract(std::span<const double> samples) const {
   return extract_into(samples, ws);  // copies out of the workspace
 }
 
-const nn::Matrix& FeatureExtractor::extract_into(
-    std::span<const double> samples, FeatureWorkspace& ws) const {
+void FeatureExtractor::prepare_workspace(FeatureWorkspace& ws) const {
   const auto& mc = cfg_.mfcc;
   const std::size_t dim = feature_dim();
-
   // Lazy sizing: no-ops once the workspace has seen one window.
   ws.frame.resize(mc.frame_len);
   ws.mfcc_out.resize(std::min(mc.num_coeffs, mc.num_filters));
@@ -33,6 +31,54 @@ const nn::Matrix& FeatureExtractor::extract_into(
   } else {
     ws.features.fill(0.0f);
   }
+}
+
+void FeatureExtractor::compute_frame_row(std::span<const double> frame,
+                                         std::span<float> row,
+                                         FeatureWorkspace& ws) const {
+  const auto& mc = cfg_.mfcc;
+  mfcc_.extract_frame(frame, ws.mfcc_out, ws.mfcc);
+  for (std::size_t c = 0; c < ws.mfcc_out.size(); ++c) {
+    row[c] = static_cast<float>(ws.mfcc_out[c]);
+  }
+  std::size_t c = ws.mfcc_out.size();
+  row[c++] = static_cast<float>(signal::zero_crossing_rate(frame));
+  row[c++] = static_cast<float>(signal::rms(frame));
+  const auto pitch = signal::estimate_pitch(frame, mc.sample_rate, 60.0,
+                                            400.0, 0.3, ws.acorr,
+                                            ws.acorr_work);
+  // Unvoiced frames carry pitch 0; voiced pitch is scaled to O(1).
+  row[c++] = static_cast<float>(pitch.value_or(0.0) / 400.0);
+  row[c++] = static_cast<float>(
+      signal::mean_magnitude(frame, mc.fft_size, ws.mag, ws.mag_work));
+}
+
+void FeatureExtractor::standardize_rows(nn::Matrix& out,
+                                        std::size_t frames) const {
+  const std::size_t T = std::min(frames, cfg_.timesteps);
+  if (!cfg_.standardize || T <= 1) return;
+  const std::size_t dim = feature_dim();
+  for (std::size_t c = 0; c < dim; ++c) {
+    double mean = 0.0;
+    for (std::size_t t = 0; t < T; ++t) mean += out(t, c);
+    mean /= static_cast<double>(T);
+    double var = 0.0;
+    for (std::size_t t = 0; t < T; ++t) {
+      const double d = out(t, c) - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(T);
+    const double sd = std::sqrt(var) + 1e-6;
+    for (std::size_t t = 0; t < cfg_.timesteps; ++t) {
+      out(t, c) = static_cast<float>((out(t, c) - mean) / sd);
+    }
+  }
+}
+
+const nn::Matrix& FeatureExtractor::extract_into(
+    std::span<const double> samples, FeatureWorkspace& ws) const {
+  const auto& mc = cfg_.mfcc;
+  prepare_workspace(ws);
   nn::Matrix& out = ws.features;
 
   const std::size_t frames =
@@ -40,40 +86,9 @@ const nn::Matrix& FeatureExtractor::extract_into(
   const std::size_t T = std::min(frames, cfg_.timesteps);
   for (std::size_t t = 0; t < T; ++t) {
     signal::copy_frame(samples, t, mc.hop, ws.frame);
-    const std::span<const double> frame = ws.frame;
-    mfcc_.extract_frame(frame, ws.mfcc_out, ws.mfcc);
-    for (std::size_t c = 0; c < ws.mfcc_out.size(); ++c) {
-      out(t, c) = static_cast<float>(ws.mfcc_out[c]);
-    }
-    std::size_t c = ws.mfcc_out.size();
-    out(t, c++) = static_cast<float>(signal::zero_crossing_rate(frame));
-    out(t, c++) = static_cast<float>(signal::rms(frame));
-    const auto pitch = signal::estimate_pitch(frame, mc.sample_rate, 60.0,
-                                              400.0, 0.3, ws.acorr,
-                                              ws.acorr_work);
-    // Unvoiced frames carry pitch 0; voiced pitch is scaled to O(1).
-    out(t, c++) = static_cast<float>(pitch.value_or(0.0) / 400.0);
-    out(t, c++) = static_cast<float>(
-        signal::mean_magnitude(frame, mc.fft_size, ws.mag, ws.mag_work));
+    compute_frame_row(ws.frame, out.row(t), ws);
   }
-
-  if (cfg_.standardize && T > 1) {
-    for (std::size_t c = 0; c < dim; ++c) {
-      double mean = 0.0;
-      for (std::size_t t = 0; t < T; ++t) mean += out(t, c);
-      mean /= static_cast<double>(T);
-      double var = 0.0;
-      for (std::size_t t = 0; t < T; ++t) {
-        const double d = out(t, c) - mean;
-        var += d * d;
-      }
-      var /= static_cast<double>(T);
-      const double sd = std::sqrt(var) + 1e-6;
-      for (std::size_t t = 0; t < cfg_.timesteps; ++t) {
-        out(t, c) = static_cast<float>((out(t, c) - mean) / sd);
-      }
-    }
-  }
+  standardize_rows(out, T);
   return out;
 }
 

@@ -10,6 +10,7 @@ EmotionStream::EmotionStream(const StreamConfig& cfg) : cfg_(cfg) {
   if (cfg.vote_window == 0) {
     throw std::invalid_argument("EmotionStream: vote_window must be >= 1");
   }
+  window_.reserve(cfg.vote_window);
 }
 
 Emotion EmotionStream::majority() const {
@@ -23,8 +24,12 @@ Emotion EmotionStream::majority() const {
 }
 
 std::optional<Emotion> EmotionStream::push(double t_s, Emotion raw) {
-  window_.push_back(raw);
-  while (window_.size() > cfg_.vote_window) window_.pop_front();
+  if (window_.size() < cfg_.vote_window) {
+    window_.push_back(raw);
+  } else {
+    window_[window_next_] = raw;
+    window_next_ = (window_next_ + 1) % cfg_.vote_window;
+  }
 
   const Emotion candidate = majority();
   if (candidate == stable_) return std::nullopt;

@@ -7,7 +7,6 @@
 // disabling this.
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <optional>
 #include <vector>
@@ -42,7 +41,11 @@ class EmotionStream {
   Emotion majority() const;
 
   StreamConfig cfg_;
-  std::deque<Emotion> window_;
+  /// Ring of the newest vote_window labels (order is irrelevant to the
+  /// majority count, so overwrite-oldest suffices); reserved up front,
+  /// so the steady-state push is allocation-free.
+  std::vector<Emotion> window_;
+  std::size_t window_next_ = 0;  ///< overwrite cursor once the ring is full
   Emotion stable_ = Emotion::kNeutral;
   double last_change_s_ = -1e18;
   std::size_t transitions_ = 0;

@@ -1,0 +1,85 @@
+#include "core/timer_wheel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace affectsys::core {
+
+TimerWheel::TimerWheel() {
+  // ~100 KB up front buys allocation-free steady state for sparse
+  // fleets (a slot's first entry would otherwise heap-grow it, and with
+  // 768 slots "first" keeps happening at test/bench timescales).
+  constexpr std::size_t kReserve = 8;
+  for (auto& level : slots_) {
+    for (auto& slot : level) slot.reserve(kReserve);
+  }
+  cascade_scratch_.reserve(kReserve);
+}
+
+void TimerWheel::schedule_at(std::uint64_t tick, std::uint64_t key) {
+  place(std::max(tick, now_), key);
+  ++scheduled_;
+}
+
+void TimerWheel::place(std::uint64_t due, std::uint64_t key) {
+  // File at the lowest level whose slot index still distinguishes this
+  // due tick from now; clamp anything beyond the top level's horizon
+  // into the top level (the cascade re-files it by its true due tick
+  // each wrap until it comes into range).
+  std::size_t level = kLevels - 1;
+  for (std::size_t l = 0; l < kLevels; ++l) {
+    if ((due >> ((l + 1) * kLevelBits)) == (now_ >> ((l + 1) * kLevelBits))) {
+      level = l;
+      break;
+    }
+  }
+  const std::uint64_t horizon =
+      now_ + (std::uint64_t{1} << (kLevels * kLevelBits)) - 1;
+  const std::uint64_t eff = std::min(due, horizon);
+  const std::size_t idx =
+      static_cast<std::size_t>(eff >> (level * kLevelBits)) & (kSlots - 1);
+  slots_[level][idx].push_back(Entry{due, key});
+}
+
+void TimerWheel::cascade(std::size_t level, std::size_t slot) {
+  auto& src = slots_[level][slot];
+  if (src.empty()) return;
+  // Copy into the scratch first: place() may legally re-file a clamped
+  // far-future entry back into the very slot being cascaded.  (Copy
+  // rather than swap — swapping would trade the slot's warmed capacity
+  // for the scratch's, churning allocations every cascade.)
+  cascade_scratch_.assign(src.begin(), src.end());
+  src.clear();
+  for (const Entry& e : cascade_scratch_) place(e.due, e.key);
+  cascade_scratch_.clear();
+}
+
+void TimerWheel::collect(std::uint64_t tick, std::vector<std::uint64_t>& due) {
+  if (tick != now_) {
+    throw std::logic_error("TimerWheel::collect: tick must equal now()");
+  }
+  const std::size_t idx0 = static_cast<std::size_t>(now_) & (kSlots - 1);
+  if (idx0 == 0) {
+    // Crossing a level-0 block boundary: cascade higher levels first
+    // (top down, so a level-2 entry can land in level 1 and then level
+    // 0 within the same boundary crossing).
+    if ((static_cast<std::size_t>(now_ >> kLevelBits) & (kSlots - 1)) == 0) {
+      cascade(2, static_cast<std::size_t>(now_ >> (2 * kLevelBits)) &
+                     (kSlots - 1));
+    }
+    cascade(1, static_cast<std::size_t>(now_ >> kLevelBits) & (kSlots - 1));
+  }
+  auto& slot = slots_[0][idx0];
+  if (!slot.empty()) {
+    // Every entry here is due exactly now (level 0 only holds entries
+    // inside the current block, distinguished by their low bits).
+    std::sort(slot.begin(), slot.end(),
+              [](const Entry& a, const Entry& b) { return a.key < b.key; });
+    for (const Entry& e : slot) due.push_back(e.key);
+    scheduled_ -= slot.size();
+    slot.clear();  // capacity retained
+  }
+  ++now_;
+}
+
+}  // namespace affectsys::core

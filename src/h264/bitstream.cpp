@@ -103,6 +103,13 @@ std::vector<std::uint8_t> add_emulation_prevention(
 std::vector<std::uint8_t> remove_emulation_prevention(
     std::span<const std::uint8_t> ebsp) {
   std::vector<std::uint8_t> out;
+  remove_emulation_prevention_into(ebsp, out);
+  return out;
+}
+
+void remove_emulation_prevention_into(std::span<const std::uint8_t> ebsp,
+                                      std::vector<std::uint8_t>& out) {
+  out.clear();
   out.reserve(ebsp.size());
   int zeros = 0;
   for (std::size_t i = 0; i < ebsp.size(); ++i) {
@@ -119,7 +126,6 @@ std::vector<std::uint8_t> remove_emulation_prevention(
     out.push_back(ebsp[i]);
     zeros = (ebsp[i] == 0x00) ? zeros + 1 : 0;
   }
-  return out;
 }
 
 }  // namespace affectsys::h264

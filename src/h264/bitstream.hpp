@@ -68,4 +68,10 @@ std::vector<std::uint8_t> add_emulation_prevention(
 std::vector<std::uint8_t> remove_emulation_prevention(
     std::span<const std::uint8_t> ebsp);
 
+/// De-escapes into a caller-owned buffer (cleared first, capacity kept),
+/// so steady-state decode reuses one RBSP staging vector instead of
+/// allocating per NAL.  Byte-identical to remove_emulation_prevention.
+void remove_emulation_prevention_into(std::span<const std::uint8_t> ebsp,
+                                      std::vector<std::uint8_t>& out);
+
 }  // namespace affectsys::h264

@@ -267,11 +267,18 @@ DeblockStats deblock_frame(YuvFrame& frame, const std::vector<MbInfo>& mb_info,
   // the serial build for any thread count.  Each task accumulates stats
   // into its own slot; the deterministic sum below keeps DecodeActivity
   // identical too.
+  // Per-task stat slots live in thread-local scratch (capacity kept
+  // across frames) and the pool-less build runs the task body directly:
+  // a steady-state decode must not allocate (the serve layer pins
+  // this).  Summing slots in index order — or accumulating serially —
+  // gives the same integer totals either way.
+  const bool serial = core::global_threads() == 0;
+  static thread_local std::vector<DeblockStats> pass_stats;
   {
     AFFECTSYS_TIME_SCOPE("h264.deblock_v_ns");
-    std::vector<DeblockStats> row_stats(static_cast<std::size_t>(mb_rows));
-    core::parallel_for(
-        0, static_cast<std::size_t>(mb_rows), 1,
+    std::vector<DeblockStats>& row_stats = pass_stats;
+    row_stats.assign(static_cast<std::size_t>(mb_rows), DeblockStats{});
+    const auto v_task =
         [&](std::size_t r0, std::size_t r1) {
           for (std::size_t r = r0; r < r1; ++r) {
             const int mby = static_cast<int>(r);
@@ -300,14 +307,19 @@ DeblockStats deblock_frame(YuvFrame& frame, const std::vector<MbInfo>& mb_info,
               }
             }
           }
-        });
+        };
+    if (serial) {
+      v_task(0, static_cast<std::size_t>(mb_rows));
+    } else {
+      core::parallel_for(0, static_cast<std::size_t>(mb_rows), 1, v_task);
+    }
     for (const DeblockStats& st : row_stats) stats += st;
   }
   {
     AFFECTSYS_TIME_SCOPE("h264.deblock_h_ns");
-    std::vector<DeblockStats> col_stats(static_cast<std::size_t>(mb_cols));
-    core::parallel_for(
-        0, static_cast<std::size_t>(mb_cols), 1,
+    std::vector<DeblockStats>& col_stats = pass_stats;
+    col_stats.assign(static_cast<std::size_t>(mb_cols), DeblockStats{});
+    const auto h_task =
         [&](std::size_t c0, std::size_t c1) {
           for (std::size_t c = c0; c < c1; ++c) {
             const int mbx = static_cast<int>(c);
@@ -336,7 +348,12 @@ DeblockStats deblock_frame(YuvFrame& frame, const std::vector<MbInfo>& mb_info,
               }
             }
           }
-        });
+        };
+    if (serial) {
+      h_task(0, static_cast<std::size_t>(mb_cols));
+    } else {
+      core::parallel_for(0, static_cast<std::size_t>(mb_cols), 1, h_task);
+    }
     for (const DeblockStats& st : col_stats) stats += st;
   }
 

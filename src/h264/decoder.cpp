@@ -99,6 +99,39 @@ void Decoder::notify_loss() {
   awaiting_keyframe_ = true;
 }
 
+void Decoder::reset(const DecoderConfig& cfg) {
+  cfg_ = cfg;
+  activity_ = {};
+  width_ = 0;
+  height_ = 0;
+  qp_ = 26;
+  pps_deblock_ = true;
+  have_sps_ = false;
+  awaiting_keyframe_ = false;
+  refs_held_ = 0;
+  // ref_a_/ref_b_ contents are stale but unreachable (refs_held_ == 0
+  // guards every read); keeping them preserves their buffer capacity
+  // for the first reference assignments of the next stream.
+}
+
+void Decoder::recycle(YuvFrame&& frame) {
+  if (frame.width() == 0) return;
+  spare_frames_.push_back(std::move(frame));
+}
+
+YuvFrame Decoder::take_frame() {
+  while (!spare_frames_.empty()) {
+    YuvFrame f = std::move(spare_frames_.back());
+    spare_frames_.pop_back();
+    if (f.width() != width_ || f.height() != height_) continue;  // stale size
+    std::fill(f.y.data.begin(), f.y.data.end(), std::uint8_t{0});
+    std::fill(f.cb.data.begin(), f.cb.data.end(), std::uint8_t{0});
+    std::fill(f.cr.data.begin(), f.cr.data.end(), std::uint8_t{0});
+    return f;
+  }
+  return YuvFrame(width_, height_);
+}
+
 std::optional<DecodedPicture> Decoder::decode_nal_checked(const NalUnit& nal) {
   // Emulation-prevention removal is done per branch: decode_slice()
   // de-escapes its own payload, and doing it here as well copied every
@@ -106,9 +139,8 @@ std::optional<DecodedPicture> Decoder::decode_nal_checked(const NalUnit& nal) {
   // bench_main, since the duplicate ran outside the decode_ns scope).
   switch (nal.type) {
     case NalType::kSps: {
-      const std::vector<std::uint8_t> rbsp =
-          remove_emulation_prevention(nal.payload);
-      BitReader br(rbsp);
+      remove_emulation_prevention_into(nal.payload, rbsp_);
+      BitReader br(rbsp_);
       br.get_bits(24);  // profile / constraints / level
       br.get_ue();      // sps_id
       const std::uint32_t wmb = br.get_ue();
@@ -123,9 +155,8 @@ std::optional<DecodedPicture> Decoder::decode_nal_checked(const NalUnit& nal) {
       return std::nullopt;
     }
     case NalType::kPps: {
-      const std::vector<std::uint8_t> rbsp =
-          remove_emulation_prevention(nal.payload);
-      BitReader br(rbsp);
+      remove_emulation_prevention_into(nal.payload, rbsp_);
+      BitReader br(rbsp_);
       br.get_ue();  // pps_id
       br.get_ue();  // sps_id
       const std::int64_t pps_qp =
@@ -165,9 +196,8 @@ std::optional<DecodedPicture> Decoder::decode_nal_checked(const NalUnit& nal) {
 
 DecodedPicture Decoder::decode_slice(const NalUnit& nal) {
   AFFECTSYS_TIME_SCOPE("h264.decode_ns");
-  const std::vector<std::uint8_t> rbsp =
-      remove_emulation_prevention(nal.payload);
-  BitReader br(rbsp);
+  remove_emulation_prevention_into(nal.payload, rbsp_);
+  BitReader br(rbsp_);
 
   br.get_ue();  // first_mb_in_slice
   const auto type = static_cast<SliceType>(br.get_ue() % 5);
@@ -194,10 +224,11 @@ DecodedPicture Decoder::decode_slice(const NalUnit& nal) {
     bwd = &ref_b_;
   }
 
-  YuvFrame recon(width_, height_);
+  YuvFrame recon = take_frame();
   const int mb_cols = width_ / kMbSize;
   const int mb_rows = height_ / kMbSize;
-  std::vector<MbInfo> mb_info(static_cast<std::size_t>(mb_cols) * mb_rows);
+  mb_info_.assign(static_cast<std::size_t>(mb_cols) * mb_rows, MbInfo{});
+  std::vector<MbInfo>& mb_info = mb_info_;
 
   std::uint8_t pred[kMbSize * kMbSize];
   std::uint8_t pred_b[kMbSize * kMbSize];
@@ -405,8 +436,12 @@ DecodedPicture Decoder::decode_slice(const NalUnit& nal) {
   AFFECTSYS_COUNT("h264.frames_decoded", 1);
 
   // Reference management: I/P pictures (ref_idc > 0) become references.
+  // Swap instead of move-assigning ref_b_ into ref_a_ so the retired
+  // ref_a_ buffer lands in ref_b_ and its capacity is reused by the
+  // copy-assignment (state after the two statements is identical to the
+  // old move+copy, minus the allocation).
   if (nal.ref_idc > 0) {
-    ref_a_ = std::move(ref_b_);
+    std::swap(ref_a_, ref_b_);
     ref_b_ = recon;  // copy: recon is also returned for display
     refs_held_ = std::min(refs_held_ + 1, 2);
   }

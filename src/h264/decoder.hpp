@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "h264/bitstream.hpp"
+#include "h264/deblock.hpp"
 #include "h264/frame.hpp"
 #include "h264/nal.hpp"
 
@@ -112,6 +113,19 @@ class Decoder {
   /// an error, waiting for the next keyframe.
   bool awaiting_keyframe() const { return awaiting_keyframe_; }
 
+  /// Re-initializes decode state (parameter sets, references, resync
+  /// state, activity counters) exactly as constructing a fresh
+  /// Decoder(cfg) would, but keeps the scratch buffers' and recycled
+  /// frames' capacity — the allocation-free equivalent of the old
+  /// `decoder = Decoder(cfg)` stream restart.
+  void reset(const DecoderConfig& cfg);
+
+  /// Returns a retired frame to the decoder's spare list.  decode_slice
+  /// reuses spare frames of the current geometry for reconstruction
+  /// (zero-filled first, so recycled and fresh frames are
+  /// byte-identical) instead of allocating a new YuvFrame per picture.
+  void recycle(YuvFrame&& frame);
+
   /// Upstream loss report: a transport depacketizer (or any feeder) has
   /// detected that a unit it cannot even present was lost — a dropped
   /// packet, an unreassemblable fragment set.  A resilient decoder
@@ -125,6 +139,9 @@ class Decoder {
  private:
   std::optional<DecodedPicture> decode_nal_checked(const NalUnit& nal);
   DecodedPicture decode_slice(const NalUnit& nal);
+  /// Zero-filled frame at the current geometry, reusing a recycled
+  /// frame's storage when one fits.
+  YuvFrame take_frame();
 
   DecoderConfig cfg_;
   DecodeActivity activity_;
@@ -138,6 +155,13 @@ class Decoder {
   YuvFrame ref_a_;  ///< older reference (forward for B pictures)
   YuvFrame ref_b_;  ///< newer reference
   int refs_held_ = 0;
+
+  // Steady-state scratch (capacity survives reset()): RBSP de-escape
+  // staging, per-slice macroblock info, and recycled reconstruction
+  // frames.
+  std::vector<std::uint8_t> rbsp_;
+  std::vector<MbInfo> mb_info_;
+  std::vector<YuvFrame> spare_frames_;
 };
 
 /// Reorders decode-order pictures into display order over pocs

@@ -8,10 +8,10 @@ namespace affectsys::net {
 std::optional<MediaPacket> FecEncoder::add(const MediaPacket& p) {
   if (!cfg_.enabled || cfg_.group == 0) return std::nullopt;
   if (members_ == 0) base_ = p.seq;
-  const std::vector<std::uint8_t> blob = serialize_packet(p);
-  if (blob.size() > acc_.size()) acc_.resize(blob.size(), 0);
-  for (std::size_t i = 0; i < blob.size(); ++i) acc_[i] ^= blob[i];
-  len_xor_ ^= static_cast<std::uint16_t>(blob.size());
+  serialize_packet_into(p, blob_);
+  if (blob_.size() > acc_.size()) acc_.resize(blob_.size(), 0);
+  for (std::size_t i = 0; i < blob_.size(); ++i) acc_[i] ^= blob_[i];
+  len_xor_ ^= static_cast<std::uint16_t>(blob_.size());
   if (++members_ < cfg_.group) return std::nullopt;
 
   MediaPacket parity;
@@ -32,10 +32,24 @@ std::optional<MediaPacket> FecEncoder::add(const MediaPacket& p) {
   return parity;
 }
 
+core::BufferRef FecRecovery::make_blob(std::span<const std::uint8_t> bytes) {
+  if (!pool_) {
+    // Sized for the prune() cap (1024 cached blobs) plus slack for the
+    // handful alive mid-recover; 2 KiB blocks cover any MTU-bounded
+    // wire packet, with heap fallback beyond.
+    pool_ = std::make_unique<core::BufferPool>(
+        core::BufferPoolConfig{.block_size = 2048, .blocks = 1100});
+  }
+  core::BufferRef ref = pool_->acquire(bytes.size());
+  std::copy(bytes.begin(), bytes.end(), ref.data());
+  return ref;
+}
+
 void FecRecovery::add_data(const MediaPacket& p) {
   if (!cfg_.enabled) return;
   ++stats_.data_seen;
-  blobs_.emplace(unroller_.unroll(p.seq), serialize_packet(p));
+  serialize_packet_into(p, wire_scratch_);
+  blobs_.emplace(unroller_.unroll(p.seq), make_blob(wire_scratch_));
   prune();
 }
 
@@ -90,7 +104,7 @@ std::vector<MediaPacket> FecRecovery::recover() {
                                    parity.payload[1]);
     for (std::uint64_t ext = base; ext < base + parity.fec_count; ++ext) {
       if (ext == missing_ext) continue;
-      const std::vector<std::uint8_t>& member = blobs_.at(ext);
+      const std::span<const std::uint8_t> member = blobs_.at(ext).span();
       for (std::size_t i = 0; i < member.size() && i < blob.size(); ++i) {
         blob[i] ^= member[i];
       }
@@ -100,7 +114,7 @@ std::vector<MediaPacket> FecRecovery::recover() {
     if (ok) {
       blob.resize(len);
       if (auto packet = parse_packet(blob)) {
-        blobs_.emplace(missing_ext, std::move(blob));
+        blobs_.emplace(missing_ext, make_blob(blob));
         rebuilt.push_back(std::move(*packet));
         ++stats_.packets_recovered;
       } else {

@@ -20,9 +20,11 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "core/buffer_pool.hpp"
 #include "net/wire.hpp"
 
 namespace affectsys::net {
@@ -47,6 +49,7 @@ class FecEncoder {
  private:
   FecConfig cfg_;
   std::vector<std::uint8_t> acc_;       ///< running XOR of member blobs
+  std::vector<std::uint8_t> blob_;      ///< per-add wire staging (reused)
   std::uint16_t len_xor_ = 0;           ///< running XOR of member lengths
   std::uint8_t members_ = 0;
   std::uint16_t base_ = 0;              ///< seq of the group's first member
@@ -81,11 +84,21 @@ class FecRecovery {
 
  private:
   void prune();
+  /// Copies `bytes` into a pooled buffer (the pool is created lazily on
+  /// first use, so FEC-off links pay nothing).
+  core::BufferRef make_blob(std::span<const std::uint8_t> bytes);
 
   FecConfig cfg_;
   FecStats stats_;
   SeqUnroller unroller_;  ///< data-seq space
-  std::map<std::uint64_t, std::vector<std::uint8_t>> blobs_;
+  /// Cached wire blobs live in pooled refcounted buffers instead of
+  /// per-entry vectors: the cache holds at most 1024 blobs (see
+  /// prune()), so a 1100-block pool keeps the steady state entirely
+  /// within one arena.  The pool is declared (and therefore destroyed)
+  /// after the map's refs release back into it.
+  std::unique_ptr<core::BufferPool> pool_;
+  std::map<std::uint64_t, core::BufferRef> blobs_;
+  std::vector<std::uint8_t> wire_scratch_;  ///< add_data serialization
   std::vector<MediaPacket> parities_;
 };
 

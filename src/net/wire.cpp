@@ -31,6 +31,13 @@ std::uint32_t get32(std::span<const std::uint8_t> b, std::size_t at) {
 
 std::vector<std::uint8_t> serialize_packet(const MediaPacket& p) {
   std::vector<std::uint8_t> out;
+  serialize_packet_into(p, out);
+  return out;
+}
+
+void serialize_packet_into(const MediaPacket& p,
+                           std::vector<std::uint8_t>& out) {
+  out.clear();
   out.reserve(kWireHeaderBytes + p.payload.size());
   put16(out, p.seq);
   put32(out, p.timestamp);
@@ -41,7 +48,6 @@ std::vector<std::uint8_t> serialize_packet(const MediaPacket& p) {
   put16(out, p.fec_base);
   out.push_back(p.fec_count);
   out.insert(out.end(), p.payload.begin(), p.payload.end());
-  return out;
 }
 
 std::optional<MediaPacket> parse_packet(std::span<const std::uint8_t> bytes) {

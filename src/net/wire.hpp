@@ -97,6 +97,11 @@ inline constexpr std::size_t kWireHeaderBytes = 16;
 /// packet — header fields included — not just the payload.
 std::vector<std::uint8_t> serialize_packet(const MediaPacket& p);
 
+/// Serializes into a caller-owned buffer (cleared first, capacity
+/// kept), so per-packet senders reuse one wire staging vector.
+void serialize_packet_into(const MediaPacket& p,
+                           std::vector<std::uint8_t>& out);
+
 /// Parses a wire blob; nullopt on truncation or a malformed header.
 std::optional<MediaPacket> parse_packet(std::span<const std::uint8_t> bytes);
 

@@ -39,6 +39,25 @@ Matrix Activation::forward(const Matrix& x) {
   return out;
 }
 
+void Activation::forward_infer(const Matrix& x, Matrix& out) {
+  out.reshape(x.rows(), x.cols());
+  const auto in = x.flat();
+  auto o = out.flat();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    switch (kind_) {
+      case ActKind::kReLU:
+        o[i] = relu(in[i]);
+        break;
+      case ActKind::kTanh:
+        o[i] = std::tanh(in[i]);
+        break;
+      case ActKind::kSigmoid:
+        o[i] = sigmoid(in[i]);
+        break;
+    }
+  }
+}
+
 Matrix Activation::backward(const Matrix& grad_out) {
   Matrix grad_in = grad_out;
   auto g = grad_in.flat();

@@ -19,6 +19,7 @@ class Activation : public Layer {
   explicit Activation(ActKind kind) : kind_(kind) {}
 
   Matrix forward(const Matrix& x) override;
+  void forward_infer(const Matrix& x, Matrix& out) override;
   Matrix backward(const Matrix& grad_out) override;
   std::string kind() const override;
 

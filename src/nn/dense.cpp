@@ -19,6 +19,17 @@ Matrix Dense::forward(const Matrix& x) {
   return out;
 }
 
+void Dense::forward_infer(const Matrix& x, Matrix& out) {
+  // Same GEMM + bias adds as forward(), minus the input_ backward
+  // cache and with the output recycled — bit-identical by matmul_into's
+  // contract.
+  x.matmul_into(weight_.value, out);
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    auto row = out.row(r);
+    for (std::size_t c = 0; c < out.cols(); ++c) row[c] += bias_.value(0, c);
+  }
+}
+
 Matrix Dense::backward(const Matrix& grad_out) {
   // dW = x^T * gOut ; db = column sums of gOut ; dX = gOut * W^T
   weight_.grad += input_.transposed_matmul(grad_out);

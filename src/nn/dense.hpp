@@ -12,6 +12,7 @@ class Dense : public Layer {
   Dense(std::size_t in_features, std::size_t out_features, std::mt19937& rng);
 
   Matrix forward(const Matrix& x) override;
+  void forward_infer(const Matrix& x, Matrix& out) override;
   Matrix backward(const Matrix& grad_out) override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
   std::string kind() const override { return "dense"; }

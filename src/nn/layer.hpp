@@ -34,6 +34,15 @@ class Layer {
 
   /// Forward pass; implementations cache what backward() needs.
   virtual Matrix forward(const Matrix& x) = 0;
+
+  /// Inference-only forward into a caller-owned output matrix.  The
+  /// contract: bit-identical to forward(), but free to skip the
+  /// backward caches and to reuse `out`'s capacity (the serve layer's
+  /// zero-allocation steady state).  The default delegates to
+  /// forward(); row-wise layers override with allocation-free bodies.
+  virtual void forward_infer(const Matrix& x, Matrix& out) {
+    out = forward(x);
+  }
   /// Given dL/d(output), accumulates parameter gradients and returns
   /// dL/d(input).  Must be called after forward() on the same input.
   virtual Matrix backward(const Matrix& grad_out) = 0;

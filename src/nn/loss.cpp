@@ -40,9 +40,15 @@ LossResult mse_loss(const Matrix& pred, std::span<const float> target) {
 }
 
 std::vector<float> softmax_probs(const Matrix& logits) {
-  std::vector<float> p(logits.flat().begin(), logits.flat().end());
-  softmax_inplace(p);
+  std::vector<float> p;
+  softmax_probs_into(logits.flat(), p);
   return p;
+}
+
+void softmax_probs_into(std::span<const float> logits,
+                        std::vector<float>& out) {
+  out.assign(logits.begin(), logits.end());
+  softmax_inplace(out);
 }
 
 std::size_t argmax(std::span<const float> v) {

@@ -25,6 +25,12 @@ LossResult mse_loss(const Matrix& pred, std::span<const float> target);
 /// Softmax probabilities of a logits row (convenience for inference).
 std::vector<float> softmax_probs(const Matrix& logits);
 
+/// Softmax into a caller-owned vector (recycled capacity — the
+/// steady-state serve path's zero-allocation variant).  Bit-identical
+/// to softmax_probs(), which wraps this.
+void softmax_probs_into(std::span<const float> logits,
+                        std::vector<float>& out);
+
 /// Index of the largest logit.
 std::size_t argmax(std::span<const float> v);
 

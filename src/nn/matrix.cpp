@@ -87,9 +87,27 @@ void Matrix::fill(float v) {
   for (float& x : data_) x = v;
 }
 
+void Matrix::reshape(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
+}
+
 Matrix Matrix::matmul(const Matrix& o) const {
+  Matrix out;
+  matmul_into(o, out);
+  return out;
+}
+
+void Matrix::matmul_into(const Matrix& o, Matrix& out) const {
   if (cols_ != o.rows_) throw std::invalid_argument("matmul: shape mismatch");
-  Matrix out(rows_, o.cols_);
+  if (&out == this || &out == &o) {
+    throw std::invalid_argument("matmul_into: output aliases an operand");
+  }
+  // Same zero-then-accumulate the allocating form performed via the
+  // zero-initializing constructor, so both paths are bit-identical.
+  out.reshape(rows_, o.cols_);
+  out.fill(0.0f);
   const std::size_t oc = o.cols_;
   const float* __restrict adata = data_.data();
   const float* __restrict bdata = o.data_.data();
@@ -180,12 +198,17 @@ Matrix Matrix::matmul(const Matrix& o) const {
       }
     }
   };
-  if (rows_ * cols_ * o.cols_ >= kParallelFlopThreshold) {
+  // The serial short-circuit checks the worker count too: wrapping the
+  // kernel in std::function heap-allocates (the capture outgrows the
+  // small-buffer slot), which the pool-less edge configuration must not
+  // pay on its inference hot path (the serve layer's zero-steady-state-
+  // allocation contract pins this).
+  if (core::global_threads() > 0 &&
+      rows_ * cols_ * o.cols_ >= kParallelFlopThreshold) {
     core::parallel_for(0, rows_, row_grain(rows_), kernel);
   } else {
     kernel(0, rows_);
   }
-  return out;
 }
 
 Matrix Matrix::matmul_reference(const Matrix& o) const {

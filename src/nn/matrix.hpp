@@ -45,8 +45,18 @@ class Matrix {
   Matrix& operator*=(float s);
   void fill(float v);
 
+  /// Re-dimensions to (rows x cols) without shrinking the underlying
+  /// capacity — element values are unspecified afterwards (callers
+  /// overwrite or fill).  The zero-allocation inference path uses this
+  /// to recycle one scratch matrix across shapes.
+  void reshape(std::size_t rows, std::size_t cols);
+
   /// this (r x k) times o (k x c) -> (r x c).
   Matrix matmul(const Matrix& o) const;
+  /// matmul writing into a caller-owned output (recycled capacity, no
+  /// allocation once warm).  Bit-identical to matmul(), which wraps
+  /// this.  `out` must not alias either operand.
+  void matmul_into(const Matrix& o, Matrix& out) const;
   /// Pre-optimization matmul kernel (k-tiled axpy with zero skip).
   /// Same shape contract as matmul(); results agree to float rounding
   /// (the micro-kernel accumulates each k-tile in registers).  Kept for

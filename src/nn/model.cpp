@@ -83,6 +83,22 @@ Matrix Sequential::forward_from(std::size_t first, const Matrix& x) {
   return cur;
 }
 
+const Matrix& Sequential::forward_from_infer(std::size_t first,
+                                             const Matrix& x,
+                                             ForwardWorkspace& ws) {
+  if (first > layers_.size()) {
+    throw std::out_of_range("Sequential::forward_from_infer: layer index");
+  }
+  const Matrix* cur = &x;
+  Matrix* nxt = &ws.a;
+  for (std::size_t i = first; i < layers_.size(); ++i) {
+    layers_[i]->forward_infer(*cur, *nxt);
+    cur = nxt;
+    nxt = (nxt == &ws.a) ? &ws.b : &ws.a;
+  }
+  return *cur;
+}
+
 Matrix Sequential::backward(const Matrix& grad_out) {
   Matrix cur = grad_out;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {

@@ -12,6 +12,14 @@
 
 namespace affectsys::nn {
 
+/// Reusable activation scratch for the zero-allocation inference path:
+/// two matrices the layer outputs ping-pong between, recycled across
+/// calls.
+struct ForwardWorkspace {
+  Matrix a;
+  Matrix b;
+};
+
 /// A stack of layers executed in order.  Owns its layers.
 class Sequential {
  public:
@@ -30,6 +38,16 @@ class Sequential {
   /// per-element accumulation order is row-count-invariant, so batched
   /// rows match per-sample forward() bit for bit.
   Matrix forward_from(std::size_t first, const Matrix& x);
+  /// Inference-only forward_from: activations ping-pong through `ws`
+  /// and the returned reference (into ws, or `x` itself when no layer
+  /// runs) stays valid until the next call on the same workspace.
+  /// Bit-identical to forward_from() by each layer's forward_infer
+  /// contract, but allocation-free once the workspace is warm (for
+  /// row-wise layer stacks; layers without an override fall back to
+  /// their allocating forward()).  Skips the backward caches, so
+  /// backward() must not follow this.
+  const Matrix& forward_from_infer(std::size_t first, const Matrix& x,
+                                   ForwardWorkspace& ws);
   /// Backward through all layers; returns dL/d(input).
   Matrix backward(const Matrix& grad_out);
 

@@ -1,0 +1,39 @@
+// Process-wide allocation counting: global operator new/delete
+// replacements (compiled in only under AFFECTSYS_METRICS) feeding two
+// relaxed atomic counters, so a steady-state code path can *prove* it
+// performs zero heap allocation — the gate the pooled serve path and
+// the PR 3 zero-allocation feature extraction run behind.
+//
+// Cost when enabled: one relaxed fetch_add per new/delete.  When
+// AFFECTSYS_METRICS is off the replacement operators are not compiled
+// at all and both counts read 0.
+//
+// Usage pattern (tests / bench):
+//   const auto before = obs::alloc_count();
+//   ... steady-state region ...
+//   EXPECT_EQ(obs::alloc_count() - before, 0u);   // if hooks enabled
+#pragma once
+
+#include <cstdint>
+
+namespace affectsys::obs {
+
+/// True when the counting operator new/delete replacements are linked
+/// in (AFFECTSYS_METRICS builds).
+bool alloc_tracking_enabled() noexcept;
+
+/// operator new invocations (all variants) since process start; 0 when
+/// tracking is off.
+std::uint64_t alloc_count() noexcept;
+
+/// operator delete invocations since process start; 0 when tracking is
+/// off.
+std::uint64_t free_count() noexcept;
+
+/// Publishes the counters into the metric registry gauges
+/// `obs.alloc.news` and `obs.alloc.live` (news - frees).  Call from a
+/// bench/report site; the hooks themselves never touch the registry
+/// (the registry allocates).
+void publish_alloc_gauges();
+
+}  // namespace affectsys::obs

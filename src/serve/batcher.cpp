@@ -1,13 +1,9 @@
 #include "serve/batcher.hpp"
 
 #include <algorithm>
-#include <cstring>
 #include <stdexcept>
-#include <string>
 
 #include "nn/loss.hpp"
-#include "nn/model.hpp"
-#include "obs/metrics.hpp"
 
 namespace affectsys::serve {
 
@@ -33,6 +29,14 @@ InferenceBatcher::InferenceBatcher(affect::AffectClassifier& classifier,
   for (std::size_t i = 1; batchable_ && i < model.layer_count(); ++i) {
     batchable_ = row_wise(model.layer(i).kind());
   }
+  pending_.reserve(cfg_.max_batch * 2);
+
+  const obs::MetricScope scope(cfg_.obs_scope);
+  c_flushes_ = &scope.counter("serve.batch.flushes");
+  c_inferences_ = &scope.counter("affect.inferences");
+  c_forced_fallbacks_ = &scope.counter("serve.batch.forced_fallbacks");
+  h_rows_ = &scope.histogram("serve.batch.rows");
+  h_infer_ns_ = &scope.histogram("serve.batch.infer_ns");
 }
 
 void InferenceBatcher::enqueue(InferenceRequest req) {
@@ -40,74 +44,106 @@ void InferenceBatcher::enqueue(InferenceRequest req) {
 }
 
 bool InferenceBatcher::should_flush(std::uint64_t now_tick) const {
-  if (pending_.empty()) return false;
-  if (pending_.size() >= cfg_.max_batch) return true;
-  return now_tick - pending_.front().enqueue_tick >= cfg_.max_delay_ticks;
+  if (pending() == 0) return false;
+  if (pending() >= cfg_.max_batch) return true;
+  return now_tick - pending_[head_].enqueue_tick >= cfg_.max_delay_ticks;
 }
 
-affect::ClassificationResult InferenceBatcher::row_result(
-    const nn::Matrix& logits_row) const {
-  affect::ClassificationResult res;
-  res.probabilities = nn::softmax_probs(logits_row);
+void InferenceBatcher::row_result_into(std::span<const float> logits_row,
+                                       RoutedResult& out) const {
+  affect::ClassificationResult& res = out.result;
+  nn::softmax_probs_into(logits_row, res.probabilities);
   const std::size_t idx = nn::argmax(res.probabilities);
   if (idx >= classifier_.label_set().size()) {
     throw std::logic_error("InferenceBatcher: model output wider than labels");
   }
   res.emotion = classifier_.label_set()[idx];
   res.confidence = res.probabilities[idx];
-  return res;
 }
 
-std::vector<RoutedResult> InferenceBatcher::flush() {
-  const std::size_t n = std::min(pending_.size(), cfg_.max_batch);
-  std::vector<RoutedResult> out;
-  if (n == 0) return out;
-  out.reserve(n);
+std::size_t InferenceBatcher::flush_into(std::span<RoutedResult> out) {
+  const std::size_t n =
+      std::min({pending(), cfg_.max_batch, out.size()});
+  if (n == 0) return 0;
 
   ++stats_.flushes;
   stats_.windows += n;
   stats_.max_batch_rows = std::max(stats_.max_batch_rows, n);
-  AFFECTSYS_COUNT("serve.batch.flushes", 1);
-  AFFECTSYS_OBSERVE("serve.batch.rows", n);
-  AFFECTSYS_COUNT("affect.inferences", n);
-  AFFECTSYS_TIME_SCOPE("serve.batch.infer_ns");
+  c_flushes_->add(1);
+  h_rows_->observe(static_cast<double>(n));
+  c_inferences_->add(n);
+  obs::ScopedTimerNs timer(*h_infer_ns_);
 
   if (force_fallback_) {
     ++stats_.forced_fallback_flushes;
-    AFFECTSYS_COUNT("serve.batch.forced_fallbacks", 1);
+    c_forced_fallbacks_->add(1);
   }
-  if (cfg_.batched && batchable_ && !force_fallback_ && n > 1) {
-    stats_.batched_windows += n;
-    const std::size_t flat = pending_.front().features.size();
-    nn::Matrix batch(n, flat);
+  const InferenceRequest* reqs = pending_.data() + head_;
+  if (cfg_.batched && batchable_ && !force_fallback_) {
+    // Stacked path (also taken for a single row, where "stack of one"
+    // and full forward are trivially the same product; batched_windows
+    // keeps its historical meaning of rows that shared a GEMM).
+    if (n > 1) stats_.batched_windows += n;
+    const std::size_t flat = reqs[0].size();
+    batch_.reshape(n, flat);
     for (std::size_t r = 0; r < n; ++r) {
-      const nn::Matrix& f = pending_[r].features;
-      if (f.size() != flat) {
+      const InferenceRequest& req = reqs[r];
+      if (req.size() != flat) {
         throw std::invalid_argument(
             "InferenceBatcher: inconsistent feature geometry in batch");
       }
       // Flatten is a row-major copy, so the sample's flat() span IS its
       // Flatten output.
-      std::memcpy(batch.row(r).data(), f.flat().data(),
+      std::memcpy(batch_.row(r).data(), req.flat().data(),
                   flat * sizeof(float));
     }
-    const nn::Matrix logits = classifier_.model().forward_from(1, batch);
+    const nn::Matrix& logits =
+        classifier_.model().forward_from_infer(1, batch_, ws_);
     for (std::size_t r = 0; r < n; ++r) {
-      const InferenceRequest& req = pending_[r];
-      out.push_back(RoutedResult{req.session, req.seq, req.t_end,
-                                 row_result(nn::Matrix::row_vector(
-                                     logits.row(r)))});
+      const InferenceRequest& req = reqs[r];
+      out[r].session = req.session;
+      out[r].seq = req.seq;
+      out[r].t_end = req.t_end;
+      row_result_into(logits.row(r), out[r]);
     }
   } else {
+    // Per-window fallback: non-batchable models, batched=false, or a
+    // fault-forced flush — the full reference forward per request.
     for (std::size_t r = 0; r < n; ++r) {
-      const InferenceRequest& req = pending_[r];
-      const nn::Matrix logits = classifier_.model().forward(req.features);
-      out.push_back(
-          RoutedResult{req.session, req.seq, req.t_end, row_result(logits)});
+      const InferenceRequest& req = reqs[r];
+      fallback_.reshape(req.rows, req.cols);
+      std::memcpy(fallback_.flat().data(), req.flat().data(),
+                  req.size() * sizeof(float));
+      const nn::Matrix logits = classifier_.model().forward(fallback_);
+      out[r].session = req.session;
+      out[r].seq = req.seq;
+      out[r].t_end = req.t_end;
+      row_result_into(logits.flat(), out[r]);
     }
   }
-  pending_.erase(pending_.begin(),
-                 pending_.begin() + static_cast<std::ptrdiff_t>(n));
+
+  // Release the consumed prefix's buffers now (a flushed window must
+  // not pin its pool block until compaction) and compact once drained
+  // or once the dead prefix dominates.
+  for (std::size_t r = 0; r < n; ++r) {
+    pending_[head_ + r].features.reset();
+  }
+  head_ += n;
+  if (head_ == pending_.size()) {
+    pending_.clear();
+    head_ = 0;
+  } else if (head_ >= 64 && head_ * 2 >= pending_.size()) {
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
+  return n;
+}
+
+std::vector<RoutedResult> InferenceBatcher::flush() {
+  std::vector<RoutedResult> out(std::min(pending(), cfg_.max_batch));
+  const std::size_t n = flush_into(out);
+  out.resize(n);
   return out;
 }
 

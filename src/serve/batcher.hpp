@@ -23,11 +23,16 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <cstring>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "affect/classifier.hpp"
+#include "core/buffer_pool.hpp"
 #include "nn/matrix.hpp"
+#include "nn/model.hpp"
+#include "obs/metrics.hpp"
 
 namespace affectsys::serve {
 
@@ -35,13 +40,34 @@ namespace affectsys::serve {
 /// SessionManager; reuse of capacity slots still mints a fresh id).
 using SessionId = std::uint64_t;
 
-/// One VAD-surviving window awaiting inference.
+/// One VAD-surviving window awaiting inference.  The feature matrix
+/// travels as a refcounted pooled buffer (row-major rows x cols floats)
+/// so staging a window moves a pointer instead of copying — and so the
+/// steady-state serve path stays heap-allocation-free.
 struct InferenceRequest {
   SessionId session = 0;
   std::uint64_t seq = 0;          ///< per-session window sequence number
   std::uint64_t enqueue_tick = 0; ///< server tick the window was staged
   double t_end = 0.0;             ///< media-time window end
-  nn::Matrix features;            ///< (timesteps x feature_dim)
+  core::BufferRef features;       ///< rows*cols floats, row-major
+  std::size_t rows = 0;           ///< timesteps
+  std::size_t cols = 0;           ///< feature_dim
+
+  /// Copies a feature matrix into `features` (from `pool` when given,
+  /// heap-backed otherwise).
+  void set_features(const nn::Matrix& m, core::BufferPool* pool = nullptr) {
+    rows = m.rows();
+    cols = m.cols();
+    const std::size_t bytes = rows * cols * sizeof(float);
+    features = pool ? pool->acquire(bytes) : core::BufferRef::heap(bytes);
+    std::memcpy(features.data(), m.flat().data(), bytes);
+  }
+
+  /// The row-major float view (exactly what Flatten would produce).
+  std::span<const float> flat() const {
+    return {reinterpret_cast<const float*>(features.data()), rows * cols};
+  }
+  std::size_t size() const { return rows * cols; }
 };
 
 /// A classified window routed back to its session.
@@ -64,6 +90,11 @@ struct BatcherConfig {
   /// False runs every window through an individual forward (the
   /// per-session baseline the bench compares against).
   bool batched = true;
+  /// Metric namespace for this batcher's counters/histograms.  Empty
+  /// resolves the legacy un-prefixed names ("serve.batch.flushes", ...);
+  /// the sharded server sets "serve.shard<k>" so per-shard batchers
+  /// publish distinct series.
+  std::string obs_scope;
 };
 
 struct BatcherStats {
@@ -87,14 +118,20 @@ class InferenceBatcher {
   bool batchable() const { return batchable_; }
 
   void enqueue(InferenceRequest req);
-  std::size_t pending() const { return pending_.size(); }
+  std::size_t pending() const { return pending_.size() - head_; }
 
   /// True when a flush is due: the batch is full, or the oldest pending
   /// window has aged past the deadline.
   bool should_flush(std::uint64_t now_tick) const;
 
-  /// Classifies up to max_batch pending windows (FIFO) and returns the
-  /// routed results in (enqueue) order.
+  /// Classifies up to min(max_batch, out.size()) pending windows (FIFO)
+  /// into the caller's scratch, reusing each slot's probability-vector
+  /// capacity, and returns how many results were written.  The
+  /// steady-state serving path: no allocation once scratch is warm.
+  std::size_t flush_into(std::span<RoutedResult> out);
+
+  /// Allocating convenience wrapper over flush_into() (classifies up to
+  /// max_batch pending windows, results in enqueue order).
   std::vector<RoutedResult> flush();
 
   /// Fault-injection hook: while set, flush() routes every window
@@ -109,14 +146,34 @@ class InferenceBatcher {
   const BatcherConfig& config() const { return cfg_; }
 
  private:
-  affect::ClassificationResult row_result(const nn::Matrix& logits_row) const;
+  /// Fills `out.result` from one logits row, reusing the probability
+  /// vector's capacity.
+  void row_result_into(std::span<const float> logits_row,
+                       RoutedResult& out) const;
 
   affect::AffectClassifier& classifier_;
   BatcherConfig cfg_;
   bool batchable_ = false;
   bool force_fallback_ = false;
-  std::deque<InferenceRequest> pending_;
+  /// FIFO as a vector plus a consumed-prefix cursor: flushes advance
+  /// head_ and the buffer compacts (capacity kept) once drained or once
+  /// the dead prefix dominates, so steady-state enqueue/flush never
+  /// reallocates.
+  std::vector<InferenceRequest> pending_;
+  std::size_t head_ = 0;
   BatcherStats stats_;
+
+  // Inference scratch, reused across flushes.
+  nn::Matrix batch_;            ///< stacked flat rows
+  nn::ForwardWorkspace ws_;     ///< forward_from_infer ping-pong
+  nn::Matrix fallback_;         ///< per-window matrix for the full forward
+
+  // Cached metric handles (one registry lookup each, at construction).
+  obs::Counter* c_flushes_ = nullptr;
+  obs::Counter* c_inferences_ = nullptr;
+  obs::Counter* c_forced_fallbacks_ = nullptr;
+  obs::Histogram* h_rows_ = nullptr;
+  obs::Histogram* h_infer_ns_ = nullptr;
 };
 
 }  // namespace affectsys::serve

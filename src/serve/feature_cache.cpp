@@ -1,0 +1,53 @@
+#include "serve/feature_cache.hpp"
+
+namespace affectsys::serve {
+
+FeatureBankCache::FeatureBankCache(const SharedWorkload& workload,
+                                   const affect::FeatureConfig& fc)
+    : fc_(fc) {
+  offset_.fill(kNone);
+  utt_len_.fill(0);
+
+  const std::size_t hop = fc_.mfcc.hop;
+  const std::size_t frame_len = fc_.mfcc.frame_len;
+  const std::size_t q = workload.config().script_quantum_samples;
+  if (hop == 0 || frame_len == 0 || q == 0 || q % hop != 0) return;
+  for (affect::Emotion e : workload.config().emotions) {
+    const std::span<const double> utt = workload.utterance(e);
+    if (utt.empty() || utt.size() % hop != 0) return;
+  }
+
+  affect::FeatureExtractor fx(fc_);
+  dim_ = fx.feature_dim();
+  affect::FeatureWorkspace ws;
+  fx.prepare_workspace(ws);
+  std::vector<double> frame(frame_len, 0.0);
+
+  // Silence first: one all-zero frame covers every silent span.
+  silence_.resize(dim_);
+  fx.compute_frame_row(frame, silence_, ws);
+
+  for (affect::Emotion e : workload.config().emotions) {
+    const std::size_t ei = static_cast<std::size_t>(e);
+    if (offset_[ei] != kNone) continue;  // duplicate emotion in config
+    const std::span<const double> utt = workload.utterance(e);
+    const std::size_t phases = utt.size() / hop;
+    offset_[ei] = rows_.size();
+    utt_len_[ei] = utt.size();
+    rows_.resize(rows_.size() + phases * dim_);
+    for (std::size_t p = 0; p < phases; ++p) {
+      // The banked utterance loops modulo its length inside a speech
+      // span (fill_chunk indexes it with `offset % utt.size()`), so the
+      // cached frame wraps the same way.
+      const std::size_t start = p * hop;
+      for (std::size_t i = 0; i < frame_len; ++i) {
+        frame[i] = utt[(start + i) % utt.size()];
+      }
+      const std::size_t base = offset_[ei] + p * dim_;
+      fx.compute_frame_row(frame, {rows_.data() + base, dim_}, ws);
+    }
+  }
+  usable_ = true;
+}
+
+}  // namespace affectsys::serve

@@ -10,7 +10,6 @@ namespace affectsys::serve {
 SessionManager::SessionManager(const ServerConfig& cfg, const SessionEnv& env)
     : cfg_(cfg),
       env_(env),
-      batcher_(*env.classifier, cfg.batcher),
       fault_plan_(cfg.fault) {
   if (cfg_.max_sessions == 0) {
     throw std::invalid_argument("SessionManager: max_sessions must be >= 1");
@@ -19,6 +18,49 @@ SessionManager::SessionManager(const ServerConfig& cfg, const SessionEnv& env)
     throw std::invalid_argument(
         "SessionManager: backlog_lo must not exceed backlog_hi");
   }
+  if (cfg_.shards == 0) {
+    throw std::invalid_argument("SessionManager: shards must be >= 1");
+  }
+  if (env_.workload == nullptr || env_.classifier == nullptr) {
+    throw std::invalid_argument(
+        "SessionManager: workload and classifier required");
+  }
+
+  shards_.resize(cfg_.shards);
+  for (std::size_t k = 0; k < cfg_.shards; ++k) {
+    BatcherConfig bc = cfg_.batcher;
+    // One shard keeps the legacy un-prefixed metric names; K shards
+    // publish distinct per-shard series.
+    if (cfg_.shards > 1) bc.obs_scope = "serve.shard" + std::to_string(k);
+    shards_[k].batcher =
+        std::make_unique<InferenceBatcher>(*env_.classifier, bc);
+  }
+
+  // Pool backing staged feature windows: one block holds one window's
+  // feature matrix.  Sized for a busy fleet's worst realistic backlog;
+  // exhaustion degrades to per-request heap buffers, never failure.
+  if (env_.feature_pool == nullptr) {
+    const affect::FeatureConfig& fc = env_.classifier->feature_config();
+    core::BufferPoolConfig pc;
+    pc.block_size =
+        fc.timesteps * (fc.mfcc.num_coeffs + 4) * sizeof(float);
+    pc.blocks = std::clamp<std::size_t>(4 * cfg_.max_sessions + 64, 128, 4096);
+    feature_pool_ = std::make_unique<core::BufferPool>(pc);
+    env_.feature_pool = feature_pool_.get();
+  }
+  feature_pool_ptr_ = env_.feature_pool;
+
+  // Shared feature-bank cache: only meaningful for quantized workload
+  // scripts (otherwise it marks itself unusable and sessions extract
+  // live).
+  if (cfg_.feature_bank_cache && env_.feature_cache == nullptr &&
+      env_.workload->config().script_quantum_samples != 0) {
+    feature_cache_ = std::make_unique<FeatureBankCache>(
+        *env_.workload, env_.classifier->feature_config());
+    if (feature_cache_->usable()) env_.feature_cache = feature_cache_.get();
+  }
+
+  results_.resize(cfg_.batcher.max_batch);
 }
 
 SessionId SessionManager::create_session(const SessionConfig& cfg) {
@@ -30,9 +72,14 @@ SessionId SessionManager::create_session(const SessionConfig& cfg) {
   const SessionId id = next_id_++;
   Slot slot;
   slot.session = std::make_unique<Session>(id, cfg, env_,
-                                           /*inline_inference=*/false);
+                                           /*inline_inference=*/false,
+                                           /*start_tick=*/now_tick_);
   slot.cfg = cfg;
   slot.window_start_tick = now_tick_;
+  if (cfg_.wheel) {
+    slot.next_wake = now_tick_;
+    wheel_.schedule_at(now_tick_, wake_key(id));
+  }
   sessions_.emplace(id, std::move(slot));
   ++stats_.sessions_created;
   AFFECTSYS_COUNT("serve.sessions_created", 1);
@@ -52,6 +99,8 @@ void SessionManager::close_session(SessionId id) {
   if (it == sessions_.end()) {
     throw std::out_of_range("SessionManager: unknown session id");
   }
+  // Any wheel entry the slot still has goes stale and is ignored when
+  // it fires (no matching slot / next_wake mismatch).
   sessions_.erase(it);
   ++stats_.sessions_closed;
   AFFECTSYS_COUNT("serve.sessions_closed", 1);
@@ -59,7 +108,24 @@ void SessionManager::close_session(SessionId id) {
                       static_cast<double>(sessions_.size()));
 }
 
-std::size_t SessionManager::backlog() const { return batcher_.pending(); }
+std::size_t SessionManager::backlog() const {
+  std::size_t total = 0;
+  for (const Shard& sh : shards_) total += sh.batcher->pending();
+  return total;
+}
+
+BatcherStats SessionManager::batcher_stats() const {
+  BatcherStats agg;
+  for (const Shard& sh : shards_) {
+    const BatcherStats& s = sh.batcher->stats();
+    agg.flushes += s.flushes;
+    agg.windows += s.windows;
+    agg.batched_windows += s.batched_windows;
+    agg.forced_fallback_flushes += s.forced_fallback_flushes;
+    agg.max_batch_rows = std::max(agg.max_batch_rows, s.max_batch_rows);
+  }
+  return agg;
+}
 
 bool SessionManager::is_quarantined(SessionId id) const {
   const auto it = sessions_.find(id);
@@ -106,11 +172,14 @@ void SessionManager::update_error_budget() {
       slot.results_to_drop = slot.session->inflight();
       ++stats_.sessions_quarantined;
       AFFECTSYS_COUNT("serve.sessions_quarantined", 1);
+      if (cfg_.wheel) {
+        wheel_.schedule_at(slot.release_tick, quarantine_key(id));
+      }
     }
   }
 }
 
-void SessionManager::route(const std::vector<RoutedResult>& results) {
+void SessionManager::route(std::span<const RoutedResult> results) {
   for (const RoutedResult& r : results) {
     const auto it = sessions_.find(r.session);
     // A result for a since-closed session is dropped; its slot owner is
@@ -130,6 +199,67 @@ void SessionManager::route(const std::vector<RoutedResult>& results) {
   }
 }
 
+void SessionManager::restart_slot(SessionId id, Slot& slot) {
+  slot.session = std::make_unique<Session>(id, slot.cfg, env_,
+                                           /*inline_inference=*/false,
+                                           /*start_tick=*/now_tick_);
+  slot.quarantined = false;
+  slot.window_start_tick = now_tick_;
+  slot.window_start_errors = 0;
+  ++stats_.sessions_restarted;
+  AFFECTSYS_COUNT("serve.sessions_restarted", 1);
+}
+
+// Compat scheduling: every open, non-quarantined session is due, in id
+// order (map iteration) — the pre-PR 7 tick loop exactly.
+void SessionManager::build_due_compat() {
+  // Quarantine releases due this tick restart before anything runs, so
+  // the fresh session sees the full tick.
+  for (auto& [id, slot] : sessions_) {
+    if (slot.quarantined && now_tick_ >= slot.release_tick) {
+      restart_slot(id, slot);
+    }
+  }
+  for (auto& [id, slot] : sessions_) {
+    if (!slot.quarantined) order_.push_back(slot.session.get());
+  }
+}
+
+// Wheel scheduling: only the keys the wheel fires are touched.  A wake
+// key is honoured iff its slot still exists, is not quarantined, and
+// scheduled exactly this wake (next_wake == now) — anything else is a
+// stale entry from a closed/restarted/rescheduled slot and is skipped.
+// collect() returns keys ascending, so quarantine releases (kind 0)
+// process before wake-ups (kind 1) and the restarted session joins this
+// tick's due list; last_run dedups a same-tick release + stale wake.
+void SessionManager::build_due_wheel() {
+  due_keys_.clear();
+  wheel_.collect(now_tick_, due_keys_);
+  for (const std::uint64_t key : due_keys_) {
+    const SessionId id = key & ((std::uint64_t{1} << kKindShift) - 1);
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) continue;
+    Slot& slot = it->second;
+    const bool is_wake = (key >> kKindShift) != 0;
+    if (is_wake) {
+      if (slot.quarantined || slot.next_wake != now_tick_ ||
+          slot.last_run == now_tick_) {
+        continue;
+      }
+    } else {
+      if (!slot.quarantined || now_tick_ < slot.release_tick) continue;
+      restart_slot(id, slot);
+      slot.next_wake = now_tick_;
+    }
+    slot.last_run = now_tick_;
+    order_.push_back(slot.session.get());
+  }
+  // Keys arrive (quarantine..., wake...) each id-ascending within kind;
+  // batch assembly wants one id-ascending list.
+  std::sort(order_.begin(), order_.end(),
+            [](const Session* a, const Session* b) { return a->id() < b->id(); });
+}
+
 // Fault consultation contract (replay identity depends on this):
 // every plan is consulted at a FIXED per-tick site order, and every
 // site passes a mask DISJOINT from every other suite's sites.
@@ -141,7 +271,14 @@ void SessionManager::route(const std::vector<RoutedResult>& results) {
 //                                        (transport mode only), then
 //     3.          decode:                kNalUnitKinds site per NAL
 //                                        reaching the decoder.
-//   server plan: one kBatcherFallback site in stage B.
+//   server plan: one kBatcherFallback site in stage B — consulted ONCE
+//   per tick regardless of shard count, with the decision applied to
+//   every shard's batcher.  The server plan's decision stream is
+//   therefore invariant across shards/wheel/work_steal, and a session's
+//   plan advances only on ticks the session actually runs (its sites
+//   live inside its own stages), so per-session fault schedules are a
+//   function of the session's local tick — identical across scheduler
+//   configurations by construction.
 //
 // Because the masks are disjoint and a non-intersecting consultation
 // never advances the RNG (FaultPlan::next), two identities hold by
@@ -154,36 +291,45 @@ void SessionManager::tick() {
   AFFECTSYS_TIME_SCOPE("serve.tick_ns");
   ++stats_.ticks;
 
-  // Stage 0 (serial): quarantine releases due this tick restart before
-  // anything runs, so the fresh session sees the full tick.
-  for (auto& [id, slot] : sessions_) {
-    if (slot.quarantined && now_tick_ >= slot.release_tick) {
-      slot.session = std::make_unique<Session>(id, slot.cfg, env_,
-                                               /*inline_inference=*/false);
-      slot.quarantined = false;
-      slot.window_start_tick = now_tick_;
-      slot.window_start_errors = 0;
-      ++stats_.sessions_restarted;
-      AFFECTSYS_COUNT("serve.sessions_restarted", 1);
+  // Stage 0 (serial): build this tick's due list.
+  order_.clear();
+  if (cfg_.wheel) {
+    build_due_wheel();
+  } else {
+    build_due_compat();
+  }
+  stats_.session_runs += order_.size();
+
+  // Stage A: audio in parallel over the due list (its indexing keeps
+  // parallel_for's chunking stable).
+  if (cfg_.work_steal || cfg_.shards == 1) {
+    core::parallel_for(0, order_.size(), 1, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) order_[i]->pump_audio(now_tick_);
+    });
+  } else {
+    for (Shard& sh : shards_) sh.due.clear();
+    for (Session* s : order_) {
+      shards_[s->id() % cfg_.shards].due.push_back(s);
+    }
+    for (Shard& sh : shards_) {
+      core::parallel_for(0, sh.due.size(), 1,
+                         [&](std::size_t b, std::size_t e) {
+                           for (std::size_t i = b; i < e; ++i) {
+                             sh.due[i]->pump_audio(now_tick_);
+                           }
+                         });
     }
   }
 
-  // Stage A: audio in parallel.  Indexing through a snapshot of the
-  // active (non-quarantined) session pointers keeps parallel_for's
-  // chunking stable.
-  std::vector<Session*> order;
-  order.reserve(sessions_.size());
-  for (auto& [id, slot] : sessions_) {
-    if (!slot.quarantined) order.push_back(slot.session.get());
-  }
-  core::parallel_for(0, order.size(), 1, [&](std::size_t b, std::size_t e) {
-    for (std::size_t i = b; i < e; ++i) order[i]->pump_audio(now_tick_);
-  });
-
-  // Stage B: deterministic batch assembly + serialized inference.
-  for (Session* s : order) {
-    for (InferenceRequest& req : s->take_staged()) {
-      batcher_.enqueue(std::move(req));
+  // Stage B: deterministic batch assembly + serialized inference,
+  // shards in ascending order, sessions in id order within each.
+  if (cfg_.shards == 1) {
+    for (Session* s : order_) s->drain_staged(*shards_[0].batcher);
+  } else {
+    for (std::size_t k = 0; k < cfg_.shards; ++k) {
+      for (Session* s : order_) {
+        if (s->id() % cfg_.shards == k) s->drain_staged(*shards_[k].batcher);
+      }
     }
   }
   if (fault_plan_.enabled()) {
@@ -191,31 +337,67 @@ void SessionManager::tick() {
         fault_plan_.next(fault::kind_bit(fault::FaultKind::kBatcherFallback))
             .has_value();
     if (fallback) fault_counts_.record(fault::FaultKind::kBatcherFallback);
-    batcher_.force_fallback(fallback);
+    for (Shard& sh : shards_) sh.batcher->force_fallback(fallback);
   }
-  // At most one flush per tick: the service capacity is max_batch rows
-  // per tick, so sustained offered load beyond that grows the backlog
-  // and trips the shedding watermarks instead of silently stretching
-  // the tick.
-  if (batcher_.should_flush(now_tick_)) route(batcher_.flush());
+  // At most one flush per shard per tick: the service capacity is
+  // max_batch rows per shard per tick, so sustained offered load beyond
+  // that grows the backlog and trips the shedding watermarks instead of
+  // silently stretching the tick.
+  for (Shard& sh : shards_) {
+    if (sh.batcher->should_flush(now_tick_)) {
+      const std::size_t n = sh.batcher->flush_into(results_);
+      route({results_.data(), n});
+    }
+  }
 
   update_degrade_level();
 
   // Stage C: media in parallel under the shared degrade level.
   const int level = degrade_level_;
-  core::parallel_for(0, order.size(), 1, [&](std::size_t b, std::size_t e) {
-    for (std::size_t i = b; i < e; ++i) order[i]->tick_media(now_tick_, level);
-  });
+  if (cfg_.work_steal || cfg_.shards == 1) {
+    core::parallel_for(0, order_.size(), 1, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) {
+        order_[i]->tick_media(now_tick_, level);
+      }
+    });
+  } else {
+    for (Shard& sh : shards_) {
+      core::parallel_for(0, sh.due.size(), 1,
+                         [&](std::size_t b, std::size_t e) {
+                           for (std::size_t i = b; i < e; ++i) {
+                             sh.due[i]->tick_media(now_tick_, level);
+                           }
+                         });
+    }
+  }
 
   // Error-budget ladder (serial): offenders spend the next
   // quarantine_ticks ticks benched, then restart fresh.
   update_error_budget();
 
+  // Reschedule: every session that ran (and was not just quarantined)
+  // files its next wake-up.  Quarantined slots already filed their
+  // release key in update_error_budget().
+  if (cfg_.wheel) {
+    for (Session* s : order_) {
+      const auto it = sessions_.find(s->id());
+      if (it == sessions_.end() || it->second.quarantined) continue;
+      const std::uint64_t at = now_tick_ + s->next_wake_delay();
+      it->second.next_wake = at;
+      wheel_.schedule_at(at, wake_key(s->id()));
+    }
+  }
+
   ++now_tick_;
 }
 
 void SessionManager::drain() {
-  while (batcher_.pending() > 0) route(batcher_.flush());
+  for (Shard& sh : shards_) {
+    while (sh.batcher->pending() > 0) {
+      const std::size_t n = sh.batcher->flush_into(results_);
+      route({results_.data(), n});
+    }
+  }
 }
 
 const Session& SessionManager::session(SessionId id) const {

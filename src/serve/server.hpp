@@ -4,15 +4,37 @@
 // shedding.
 //
 // One tick is three stages:
-//   A. pump_audio over every open session (parallel_for; session state
+//   A. pump_audio over every due session (parallel_for; session state
 //      is private, shared state read-only),
 //   B. collect staged windows in session-id order (serial, so batch
-//      assembly is deterministic), feed the batcher, flush at most one
-//      batch (service capacity = max_batch rows per tick) and route the
-//      results back (serial — the model's activation caches make
-//      inference non-reentrant),
-//   C. tick_media over every open session (parallel_for) under the
+//      assembly is deterministic), feed each session's shard batcher,
+//      flush at most one batch per shard (service capacity = max_batch
+//      rows per shard per tick) and route the results back (serial —
+//      the model's activation caches make inference non-reentrant),
+//   C. tick_media over every due session (parallel_for) under the
 //      current degrade level.
+//
+// Scheduling has two modes:
+//   - compat (wheel=false, the default): every open session is due
+//     every tick — the pre-PR 7 global tick, byte-identical to it.
+//   - event-driven (wheel=true): a hierarchical timer wheel
+//     (core/timer_wheel) holds one wake-up entry per session; a tick
+//     only touches sessions the wheel hands back, so a fleet of
+//     mostly-idle (duty-cycled) sessions costs O(due) per tick instead
+//     of O(open).  Sessions run on their *local* tick clock, which
+//     advances only when they run, so a session's per-run behaviour is
+//     independent of how long it slept.
+//
+// Sharding (shards=K): sessions partition statically by id % K and
+// each shard owns a private InferenceBatcher (metric scope
+// "serve.shard<k>" when K > 1).  Stage B drains and flushes shards in
+// ascending shard order, and batch assembly within a shard follows
+// session-id order, so the result stream is a deterministic function
+// of (config, seeds) — replaying a K-shard run reproduces it exactly.
+// work_steal=true runs stages A/C as one parallel_for over the merged
+// due list (idle shards donate their workers); false runs one
+// parallel_for per shard.  Both produce identical results — the flag
+// only reshapes work distribution.
 //
 // Determinism: nothing in the control loop reads a wall clock.  The
 // flush deadline is counted in ticks, service capacity is max_batch
@@ -35,13 +57,18 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "core/buffer_pool.hpp"
+#include "core/timer_wheel.hpp"
 #include "serve/batcher.hpp"
+#include "serve/feature_cache.hpp"
 #include "serve/session.hpp"
 #include "serve/workload.hpp"
 
@@ -92,6 +119,20 @@ struct ServerConfig {
   /// Server-level fault injection (kBatcherFallback fires here); the
   /// per-session kinds ride in each session's own config.
   fault::FaultConfig fault{};
+  /// Session shards (id % shards).  Each shard owns its own batcher;
+  /// 1 (the default) reproduces the single global batcher, including
+  /// its legacy un-prefixed metric names, byte-for-byte.
+  std::size_t shards = 1;
+  /// Event-driven scheduling via the timer wheel (see the header
+  /// comment).  False = compat: every session runs every tick.
+  bool wheel = false;
+  /// One merged parallel_for across shards for stages A/C (true) vs.
+  /// a barrier per shard (false).  Identical results either way.
+  bool work_steal = true;
+  /// Build the shared feature-bank cache for quantized workloads
+  /// (sessions fall back to live extraction when false — byte-identical
+  /// output, the A/B the cache-identity test runs).
+  bool feature_bank_cache = true;
 };
 
 struct ServerStats {
@@ -106,6 +147,10 @@ struct ServerStats {
   std::uint64_t sessions_quarantined = 0;
   std::uint64_t sessions_restarted = 0;
   std::uint64_t results_dropped_quarantined = 0;
+  /// Session-ticks actually executed (sum of due-list sizes).  Equals
+  /// ticks * open_sessions under compat scheduling; far smaller for a
+  /// duty-cycled fleet on the wheel — the bench's idling evidence.
+  std::uint64_t session_runs = 0;
 };
 
 class SessionManager {
@@ -148,12 +193,19 @@ class SessionManager {
   bool is_quarantined(SessionId id) const;
 
   int degrade_level() const { return degrade_level_; }
-  /// Windows pending inference at the batcher (after stage B every
-  /// session's staging buffer is empty, so this is the whole backlog).
+  /// Windows pending inference summed over shard batchers (after stage
+  /// B every session's staging buffer is empty, so this is the whole
+  /// backlog).
   std::size_t backlog() const;
   const ServerStats& stats() const { return stats_; }
-  const BatcherStats& batcher_stats() const { return batcher_.stats(); }
+  /// Batcher counters aggregated across shards (max_batch_rows is the
+  /// max over shards, everything else sums).
+  BatcherStats batcher_stats() const;
   const ServerConfig& config() const { return cfg_; }
+  /// The pool backing staged feature windows (for allocation tests).
+  const core::BufferPool& feature_pool() const { return *feature_pool_ptr_; }
+  /// Non-null when the shared feature-bank cache was built and usable.
+  const FeatureBankCache* feature_cache() const { return env_.feature_cache; }
 
  private:
   /// One admitted tenant: the live session plus the quarantine state
@@ -168,16 +220,51 @@ class SessionManager {
     /// Batcher results still in flight at quarantine time; dropped on
     /// arrival so a restarted session never sees a stale window.
     std::size_t results_to_drop = 0;
+    /// Wheel state: the tick of this slot's one valid wake entry (stale
+    /// wheel entries fail the comparison and are ignored) and the last
+    /// tick it was put on the due list (dedup).
+    std::uint64_t next_wake = 0;
+    std::uint64_t last_run = std::numeric_limits<std::uint64_t>::max();
   };
 
-  void route(const std::vector<RoutedResult>& results);
+  /// One session shard: a private batcher plus scratch for the shard's
+  /// slice of the due list.
+  struct Shard {
+    std::unique_ptr<InferenceBatcher> batcher;
+    std::vector<Session*> due;  ///< scratch, rebuilt every tick
+  };
+
+  // Wheel keys: (kind << 56) | session id.  Quarantine releases sort
+  // (and therefore run) before wake-ups on the same tick, so a freshly
+  // restarted session joins this tick's due list.
+  static constexpr std::uint64_t kKindShift = 56;
+  static std::uint64_t wake_key(SessionId id) {
+    return (std::uint64_t{1} << kKindShift) | id;
+  }
+  static std::uint64_t quarantine_key(SessionId id) { return id; }
+
+  void build_due_compat();
+  void build_due_wheel();
+  void restart_slot(SessionId id, Slot& slot);
+  void route(std::span<const RoutedResult> results);
   void update_degrade_level();
   void update_error_budget();
   static std::uint64_t session_errors(const Session& s);
 
   ServerConfig cfg_;
   SessionEnv env_;
-  InferenceBatcher batcher_;
+
+  // Pooled feature staging + shared feature-bank cache (built here when
+  // the caller's env leaves them null; env_ is patched to point at them
+  // before any session is created).  Declared BEFORE the shards and the
+  // session map: sessions' staging rings and shard batchers hold
+  // BufferRefs pooled from feature_pool_, so the pool must be destroyed
+  // after them (members destroy in reverse declaration order).
+  std::unique_ptr<core::BufferPool> feature_pool_;
+  std::unique_ptr<FeatureBankCache> feature_cache_;
+  core::BufferPool* feature_pool_ptr_ = nullptr;
+
+  std::vector<Shard> shards_;
   /// Ordered by id: iteration order (and thus batch assembly and
   /// parallel_for indexing) is deterministic.
   std::map<SessionId, Slot> sessions_;
@@ -187,6 +274,14 @@ class SessionManager {
   std::uint64_t now_tick_ = 0;
   int degrade_level_ = 0;
   ServerStats stats_;
+
+  // Event-driven scheduling.
+  core::TimerWheel wheel_;
+  std::vector<std::uint64_t> due_keys_;  ///< collect() scratch
+
+  // Per-tick scratch (capacity reused across ticks).
+  std::vector<Session*> order_;        ///< merged due list, id-ascending
+  std::vector<RoutedResult> results_;  ///< flush_into() scratch
 };
 
 }  // namespace affectsys::serve

@@ -1,9 +1,12 @@
 #include "serve/session.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
 #include <string>
+
+#include "signal/window.hpp"
 
 namespace affectsys::serve {
 
@@ -21,7 +24,7 @@ void fnv_plane(std::uint64_t& h, const h264::Plane& p) {
 }  // namespace
 
 Session::Session(SessionId id, const SessionConfig& cfg, const SessionEnv& env,
-                 bool inline_inference)
+                 bool inline_inference, std::uint64_t start_tick)
     : id_(id),
       cfg_([&] {
         SessionConfig c = cfg;
@@ -58,12 +61,52 @@ Session::Session(SessionId id, const SessionConfig& cfg, const SessionEnv& env,
                                    /*resilient=*/true}),
       selector_(cfg_.selector),
       app_rng_(cfg_.seed ^ 0x9e3779b9u) {
+  local_tick_ = start_tick;
+  start_tick_ = start_tick;
   script_ = env_.workload->make_script(cfg_.seed, cfg_.script_segments);
   if (script_.empty()) {
     throw std::invalid_argument("Session: script_segments must be >= 1");
   }
   chunk_.resize(static_cast<std::size_t>(
       std::llround(cfg_.tick_s * cfg_.realtime.sample_rate_hz)));
+
+  // Integer per-segment sample counts.  Quantized workloads fill these;
+  // for legacy (unquantized) scripts derive them with exactly the
+  // truncating casts fill_chunk historically applied per sample, so the
+  // generated audio is bit-identical either way.
+  const double rate = cfg_.realtime.sample_rate_hz;
+  seg_start_.reserve(script_.size() + 1);
+  seg_start_.push_back(0);
+  for (ScriptSegment& seg : script_) {
+    if (seg.speech_samples == 0 && seg.silence_samples == 0) {
+      seg.speech_samples = static_cast<std::size_t>(seg.speech_s * rate);
+      seg.silence_samples = static_cast<std::size_t>(seg.silence_s * rate);
+    }
+    seg_start_.push_back(seg_start_.back() + seg.speech_samples +
+                         seg.silence_samples);
+  }
+  script_len_ = seg_start_.back();
+
+  // Feature-bank cache eligibility: sink-mode inference, no fault plan
+  // (faulted audio diverges from the script the cache indexes), and
+  // every geometry the frame classifier relies on hop-aligned.
+  if (const FeatureBankCache* cache = env_.feature_cache;
+      cache != nullptr && cache->usable() && !inline_inference_ &&
+      !fault_plan_.enabled() && script_len_ > 0) {
+    const auto& mc = env_.classifier->feature_config().mfcc;
+    bool ok = cache->hop() == mc.hop && cache->frame_len() == mc.frame_len &&
+              cache->feature_dim() == fx_.feature_dim() && mc.hop != 0 &&
+              chunk_.size() % mc.hop == 0 && script_len_ % mc.hop == 0;
+    for (const ScriptSegment& seg : script_) {
+      if (!ok) break;
+      ok = cache->covers(seg.emotion) &&
+           cache->utterance_len(seg.emotion) ==
+               env_.workload->utterance(seg.emotion).size() &&
+           seg.speech_samples % mc.hop == 0 &&
+           (seg.speech_samples + seg.silence_samples) % mc.hop == 0;
+    }
+    use_cache_ = ok;
+  }
 
   if (env_.app_table != nullptr && env_.catalog != nullptr &&
       !env_.catalog->empty()) {
@@ -97,20 +140,16 @@ Session::Session(SessionId id, const SessionConfig& cfg, const SessionEnv& env,
 }
 
 void Session::fill_chunk(std::vector<double>& chunk) {
-  const double rate = cfg_.realtime.sample_rate_hz;
   for (double& sample : chunk) {
     const ScriptSegment* seg = &script_[script_idx_];
-    auto speech_n = static_cast<std::size_t>(seg->speech_s * rate);
-    auto total_n =
-        speech_n + static_cast<std::size_t>(seg->silence_s * rate);
+    std::size_t total_n = seg->speech_samples + seg->silence_samples;
     while (script_offset_ >= total_n) {
       script_offset_ = 0;
       script_idx_ = (script_idx_ + 1) % script_.size();
       seg = &script_[script_idx_];
-      speech_n = static_cast<std::size_t>(seg->speech_s * rate);
-      total_n = speech_n + static_cast<std::size_t>(seg->silence_s * rate);
+      total_n = seg->speech_samples + seg->silence_samples;
     }
-    if (script_offset_ < speech_n) {
+    if (script_offset_ < seg->speech_samples) {
       const std::span<const double> utt = env_.workload->utterance(seg->emotion);
       sample = utt[script_offset_ % utt.size()];
     } else {
@@ -152,11 +191,75 @@ void Session::pump_audio(std::uint64_t tick) {
     }
     if (fault_counts_.total != before) c_faults_->add(1);
   }
-  pipeline_.push_audio(static_cast<double>(tick) * cfg_.tick_s, chunk_);
+  // Media time runs on the *local* clock: under compat scheduling it
+  // equals the server tick, under wheel scheduling it advances only on
+  // ticks that run, so idle phases never appear as capture gaps.
+  samples_pushed_ += chunk_.size();
+  pipeline_.push_audio(static_cast<double>(local_tick_) * cfg_.tick_s, chunk_);
+}
+
+// The pipeline emits windows after the whole chunk is buffered, so
+// every window this push produces ends exactly at samples_pushed_ —
+// which pins the window's absolute script position for cached_row().
+const nn::Matrix& Session::extract_features(std::span<const double> window) {
+  if (use_cache_) {
+    const FeatureBankCache& cache = *env_.feature_cache;
+    const std::size_t hop = cache.hop();
+    const std::size_t frame_len = cache.frame_len();
+    const std::size_t start_abs = samples_pushed_ - window.size();
+    if (window.size() <= samples_pushed_ && start_abs % hop == 0) {
+      fx_.prepare_workspace(fx_ws_);
+      nn::Matrix& out = fx_ws_.features;
+      const std::size_t frames =
+          signal::frame_count(window.size(), frame_len, hop);
+      const std::size_t T = std::min(frames, fx_.timesteps());
+      for (std::size_t t = 0; t < T; ++t) {
+        const std::span<float> row = out.row(t);
+        if (t * hop + frame_len <= window.size() &&
+            cached_row(start_abs + t * hop, row)) {
+          ++stats_.feature_rows_cached;
+          continue;
+        }
+        // Boundary (or zero-padded tail) frame: compute live, exactly
+        // as extract_into() would.
+        signal::copy_frame(window, t, hop, fx_ws_.frame);
+        fx_.compute_frame_row(fx_ws_.frame, row, fx_ws_);
+        ++stats_.feature_rows_live;
+      }
+      fx_.standardize_rows(out, T);
+      return out;
+    }
+  }
+  return fx_.extract_into(window, fx_ws_);
+}
+
+bool Session::cached_row(std::size_t abs, std::span<float> row) const {
+  const FeatureBankCache& cache = *env_.feature_cache;
+  const std::size_t frame_len = cache.frame_len();
+  const std::size_t o = abs % script_len_;
+  if (o + frame_len > script_len_) return false;  // wraps the script pass
+  const auto it = std::upper_bound(seg_start_.begin(), seg_start_.end(), o);
+  const std::size_t s = static_cast<std::size_t>(it - seg_start_.begin()) - 1;
+  const ScriptSegment& seg = script_[s];
+  const std::size_t rel = o - seg_start_[s];
+  if (rel < seg.speech_samples) {
+    // Interior-speech frame: the speech span plays the banked utterance
+    // looped modulo its length, so the row is a pure function of the
+    // phase within the utterance.
+    if (o + frame_len > seg_start_[s] + seg.speech_samples) return false;
+    const std::span<const float> src = cache.speech_row(
+        seg.emotion, rel % cache.utterance_len(seg.emotion));
+    std::memcpy(row.data(), src.data(), src.size() * sizeof(float));
+    return true;
+  }
+  if (o + frame_len > seg_start_[s + 1]) return false;
+  const std::span<const float> src = cache.silence_row();
+  std::memcpy(row.data(), src.data(), src.size() * sizeof(float));
+  return true;
 }
 
 void Session::on_window(double t_end, std::span<const double> window) {
-  const nn::Matrix& features = fx_.extract_into(window, fx_ws_);
+  const nn::Matrix& features = extract_features(window);
   ++stats_.windows_enqueued;
   c_windows_->add(1);
   if (inline_inference_) {
@@ -166,20 +269,32 @@ void Session::on_window(double t_end, std::span<const double> window) {
                   env_.classifier->classify_features(features));
     return;
   }
-  InferenceRequest req;
+  if (staged_count_ == staged_.size()) staged_.emplace_back();
+  InferenceRequest& req = staged_[staged_count_++];
   req.session = id_;
   req.seq = next_seq_++;
   req.enqueue_tick = current_tick_;
   req.t_end = t_end;
-  req.features = features;  // copy out of the reused workspace
-  staged_.push_back(std::move(req));
+  req.set_features(features, env_.feature_pool);
 }
 
 std::vector<InferenceRequest> Session::take_staged() {
-  inflight_ += staged_.size();
+  inflight_ += staged_count_;
   std::vector<InferenceRequest> out;
-  out.swap(staged_);
+  out.reserve(staged_count_);
+  for (std::size_t i = 0; i < staged_count_; ++i) {
+    out.push_back(std::move(staged_[i]));
+  }
+  staged_count_ = 0;
   return out;
+}
+
+void Session::drain_staged(InferenceBatcher& b) {
+  inflight_ += staged_count_;
+  for (std::size_t i = 0; i < staged_count_; ++i) {
+    b.enqueue(std::move(staged_[i]));
+  }
+  staged_count_ = 0;
 }
 
 void Session::apply_result(const RoutedResult& r) {
@@ -192,11 +307,13 @@ void Session::apply_result(const RoutedResult& r) {
 
 void Session::record_result(std::uint64_t seq, double t_end,
                             const affect::ClassificationResult& res) {
-  windows_.push_back(
-      WindowRecord{seq, t_end, res.emotion, res.confidence, res.probabilities});
+  if (cfg_.record_trace) {
+    windows_.push_back(WindowRecord{seq, t_end, res.emotion, res.confidence,
+                                    res.probabilities});
+  }
   ++stats_.results_applied;
   if (const auto stable = pipeline_.apply_label(t_end, res.emotion)) {
-    stable_trace_.emplace_back(t_end, *stable);
+    if (cfg_.record_trace) stable_trace_.emplace_back(t_end, *stable);
     policy_mode_ = policy_.mode_for(*stable);
     if (kill_policy_) kill_policy_->set_emotion(*stable);
     ++stats_.mode_switches;
@@ -204,7 +321,7 @@ void Session::record_result(std::uint64_t seq, double t_end,
   }
 }
 
-void Session::tick_media(std::uint64_t tick, int degrade_level) {
+void Session::tick_media(std::uint64_t /*tick*/, int degrade_level) {
   effective_mode_ = adaptive::degraded_mode(policy_mode_, degrade_level);
   frame_carry_ += cfg_.fps * cfg_.tick_s;
   const auto budget = static_cast<std::size_t>(frame_carry_);
@@ -219,7 +336,7 @@ void Session::tick_media(std::uint64_t tick, int degrade_level) {
                          adaptive::mode_config(effective_mode_,
                                                cfg_.selector.s_th,
                                                cfg_.selector.f),
-                         tick);
+                         local_tick_);
     if (shed) {
       stats_.frames_dropped += budget;
       c_frames_dropped_->add(budget);
@@ -236,13 +353,14 @@ void Session::tick_media(std::uint64_t tick, int degrade_level) {
   }
 
   if (pm_ && cfg_.app_launch_period_ticks != 0 &&
-      tick % cfg_.app_launch_period_ticks == 0) {
+      local_tick_ % cfg_.app_launch_period_ticks == 0) {
     std::uniform_int_distribution<std::size_t> pick(0,
                                                     env_.catalog->size() - 1);
     pm_->launch((*env_.catalog)[pick(app_rng_)].id,
-                static_cast<double>(tick) * cfg_.tick_s);
+                static_cast<double>(local_tick_) * cfg_.tick_s);
     ++stats_.app_launches;
   }
+  ++local_tick_;
 }
 
 void Session::decode_pictures(std::size_t budget,
@@ -263,20 +381,16 @@ void Session::decode_pictures(std::size_t budget,
       // Loop the clip with fresh decoder/selector state so every pass
       // is decoded the same way (mode changes aside).
       nal_cursor_ = 0;
-      decoder_ = h264::Decoder(h264::DecoderConfig{mc.deblock,
-                                                   /*resilient=*/true});
+      decoder_.reset(h264::DecoderConfig{mc.deblock, /*resilient=*/true});
       selector_.reset();
     }
     const h264::NalUnit& nal = nals[nal_cursor_++];
     const bool slice = h264::is_slice(nal);
-    if (slice && mc.delete_nals) {
-      std::vector<h264::NalUnit> one{nal};
-      if (selector_.filter(std::move(one)).empty()) {
-        ++stats_.nals_deleted;
-        c_nals_deleted_->add(1);
-        ++pictures;  // the deleted picture consumed its display slot
-        continue;
-      }
+    if (slice && mc.delete_nals && !selector_.keeps(nal)) {
+      ++stats_.nals_deleted;
+      c_nals_deleted_->add(1);
+      ++pictures;  // the deleted picture consumed its display slot
+      continue;
     }
     if (fault_plan_.enabled()) {
       if (auto faulted =
@@ -295,10 +409,11 @@ void Session::decode_pictures(std::size_t budget,
 // skipped during resync).
 bool Session::decode_unit(const h264::NalUnit& unit) {
   const std::uint64_t errs_before = decoder_.activity().nal_errors;
-  if (const auto pic = decoder_.decode_nal(unit)) {
+  if (auto pic = decoder_.decode_nal(unit)) {
     fnv_plane(digest_, pic->frame.y);
     fnv_plane(digest_, pic->frame.cb);
     fnv_plane(digest_, pic->frame.cr);
+    decoder_.recycle(std::move(pic->frame));
     ++stats_.frames_decoded;
     c_frames_->add(1);
     return true;
@@ -328,8 +443,18 @@ void Session::tick_transport_media(std::size_t slots,
   // Sender.  The Input Selector's NAL deletion happens here — sender-
   // side shedding — so a deleted slice never costs network bytes; any
   // parameter sets in front of it still ship.
+  // Access units assemble into a reused ring (payload capacity kept
+  // across ticks), so the steady-state sender never allocates.
+  const auto append_au = [&](const h264::NalUnit& nal) {
+    if (au_count_ < au_.size()) {
+      au_[au_count_] = nal;  // copy-assign reuses payload capacity
+    } else {
+      au_.push_back(nal);
+    }
+    ++au_count_;
+  };
+
   std::size_t sent_slots = 0;
-  std::vector<h264::NalUnit> au;
   while (sent_slots < slots) {
     if (nal_cursor_ >= nals.size()) {
       // Clip wrap: new generation, fresh selector.  The receiver swaps
@@ -340,27 +465,27 @@ void Session::tick_transport_media(std::size_t slots,
       send_au_ = 0;
       selector_.reset();
     }
-    au.clear();
+    au_count_ = 0;
     bool have_slice = false;
     while (nal_cursor_ < nals.size()) {
       const h264::NalUnit& nal = nals[nal_cursor_++];
       if (!h264::is_slice(nal)) {
-        au.push_back(nal);
+        append_au(nal);
         continue;
       }
       have_slice = true;
-      if (mc.delete_nals) {
-        std::vector<h264::NalUnit> one{nal};
-        if (selector_.filter(std::move(one)).empty()) {
-          ++stats_.nals_deleted;
-          c_nals_deleted_->add(1);
-          break;  // slice shed before packetization
-        }
+      if (mc.delete_nals && !selector_.keeps(nal)) {
+        ++stats_.nals_deleted;
+        c_nals_deleted_->add(1);
+        break;  // slice shed before packetization
       }
-      au.push_back(nal);
+      append_au(nal);
       break;
     }
-    if (!au.empty()) link_->send(au, send_au_, send_gen_, tick);
+    if (au_count_ > 0) {
+      link_->send(std::span<const h264::NalUnit>(au_.data(), au_count_),
+                  send_au_, send_gen_, tick);
+    }
     ++send_au_;
     if (have_slice) ++sent_slots;
   }
@@ -378,8 +503,7 @@ void Session::tick_transport_media(std::size_t slots,
     }
     if (ev.nal.generation != rx_gen_) {
       rx_gen_ = ev.nal.generation;
-      decoder_ = h264::Decoder(h264::DecoderConfig{mc.deblock,
-                                                   /*resilient=*/true});
+      decoder_.reset(h264::DecoderConfig{mc.deblock, /*resilient=*/true});
     }
     const h264::NalUnit& nal = ev.nal.nal;
     if (fault_plan_.enabled()) {

@@ -40,6 +40,7 @@
 #include "net/transport.hpp"
 #include "obs/metrics.hpp"
 #include "serve/batcher.hpp"
+#include "serve/feature_cache.hpp"
 #include "serve/workload.hpp"
 
 namespace affectsys::serve {
@@ -79,6 +80,19 @@ struct SessionConfig {
   /// With a rate-0 plan the link is the identity function, so the
   /// decode digest matches the in-process path exactly.
   net::TransportConfig transport{};
+  /// Duty cycle for timer-wheel scheduling: after `duty_active_ticks`
+  /// consecutive local ticks the session asks to sleep for
+  /// `duty_idle_ticks` server ticks (next_wake_delay()).  0 idle ticks
+  /// (the default) keeps the session always-on.  Because all session
+  /// timing runs on the *local* tick, a duty-cycled session's outputs
+  /// per local tick are identical to an always-on session's — idle
+  /// phases stretch wall/server time, not media behaviour.
+  std::size_t duty_active_ticks = 1;
+  std::size_t duty_idle_ticks = 0;
+  /// False drops the per-window replay log (windows + stable trace) —
+  /// the large-fleet benches keep thousands of mostly-idle sessions
+  /// allocation-free this way.  Digests and counters still accumulate.
+  bool record_trace = true;
 };
 
 struct SessionStats {
@@ -103,6 +117,9 @@ struct SessionStats {
   std::uint64_t packets_lost = 0;       ///< dropped by the channel
   std::uint64_t packets_recovered = 0;  ///< rebuilt by FEC in time
   std::uint64_t nals_lost = 0;          ///< loss events fed to notify_loss
+  // Feature-bank cache effectiveness (both zero when the cache is off).
+  std::uint64_t feature_rows_cached = 0;  ///< rows copied from the bank cache
+  std::uint64_t feature_rows_live = 0;    ///< rows computed by the extractor
 };
 
 /// Raw per-window classification, recorded for replay comparison.
@@ -134,14 +151,29 @@ struct SessionEnv {
   /// Both null disables app-manager traffic.
   const core::AppAffectTable* app_table = nullptr;
   const std::vector<android::App>* catalog = nullptr;
+  /// Optional feature-bank cache (must have been built from the
+  /// classifier's FeatureConfig).  Sessions use it only when its
+  /// geometry aligns with their audio cadence AND fault injection is
+  /// off (faulted audio diverges from the script the cache indexes);
+  /// otherwise they extract live, byte-identically.
+  const FeatureBankCache* feature_cache = nullptr;
+  /// Optional pool backing staged feature windows; null falls back to
+  /// per-request heap buffers (same bytes, more allocator traffic).
+  core::BufferPool* feature_pool = nullptr;
 };
 
 class Session {
  public:
   /// `inline_inference` classifies windows synchronously at the sink
   /// (the standalone reference path); the server always passes false.
+  /// `start_tick` is the server tick the session is admitted at: the
+  /// session's *local* clock starts there, so in compat scheduling
+  /// (every session runs every server tick) local and server time stay
+  /// equal forever — byte-identical to the pre-shard server — while
+  /// wheel scheduling advances local time only on ticks that actually
+  /// run.
   Session(SessionId id, const SessionConfig& cfg, const SessionEnv& env,
-          bool inline_inference);
+          bool inline_inference, std::uint64_t start_tick = 0);
 
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
@@ -158,6 +190,11 @@ class Session {
   /// order, so batch assembly is deterministic).
   std::vector<InferenceRequest> take_staged();
 
+  /// Zero-allocation variant of take_staged(): enqueues this tick's
+  /// staged windows directly into `b` (FIFO), leaving the staging ring's
+  /// slots (and their pool blocks' refs, once released) for reuse.
+  void drain_staged(InferenceBatcher& b);
+
   /// Delivers one batched classification (seq order per session).
   void apply_result(const RoutedResult& r);
 
@@ -168,7 +205,27 @@ class Session {
 
   /// Pending windows this session is responsible for (staged here plus
   /// in flight at the batcher) — the server's backlog input.
-  std::size_t outstanding() const { return staged_.size() + inflight_; }
+  std::size_t outstanding() const { return staged_count_ + inflight_; }
+
+  /// Server ticks until this session next needs to run, per its duty
+  /// cycle (always 1 with duty_idle_ticks == 0).  Consulted by the
+  /// timer-wheel scheduler after tick_media(); compat scheduling
+  /// ignores it.
+  std::uint64_t next_wake_delay() const {
+    if (cfg_.duty_idle_ticks == 0) return 1;
+    const std::uint64_t runs = local_tick_ - start_tick_;
+    const std::uint64_t active = cfg_.duty_active_ticks ? cfg_.duty_active_ticks : 1;
+    return (runs % active == 0) ? cfg_.duty_idle_ticks + 1 : 1;
+  }
+
+  /// Local (media) tick count: how many ticks this session has actually
+  /// run plus its admission tick.  Equals the server tick under compat
+  /// scheduling.
+  std::uint64_t local_tick() const { return local_tick_; }
+
+  /// True when this session's windows can be served from the shared
+  /// feature-bank cache (geometry aligned, faults off).
+  bool using_feature_cache() const { return use_cache_; }
   /// Windows at the batcher with no result applied yet; the quarantine
   /// path must drop exactly this many stale results on arrival.
   std::size_t inflight() const { return inflight_; }
@@ -187,6 +244,14 @@ class Session {
 
  private:
   void on_window(double t_end, std::span<const double> window);
+  /// Feature matrix for one window: the bank-cache assembly when
+  /// use_cache_ (byte-identical by construction), extract_into()
+  /// otherwise.  Returned reference lives in fx_ws_.
+  const nn::Matrix& extract_features(std::span<const double> window);
+  /// Copies the cached raw row for the frame starting at absolute
+  /// script sample `abs` into `row`; false when the frame straddles a
+  /// segment/speech boundary (caller computes it live).
+  bool cached_row(std::size_t abs, std::span<float> row) const;
   void record_result(std::uint64_t seq, double t_end,
                      const affect::ClassificationResult& res);
   void fill_chunk(std::vector<double>& chunk);
@@ -210,9 +275,26 @@ class Session {
   std::size_t script_offset_ = 0;  ///< samples into the current segment
   std::vector<double> chunk_;
   std::uint64_t current_tick_ = 0;  ///< stamped onto staged requests
+  /// Local (media) clock: starts at the admission tick and advances by
+  /// one per executed tick.  All media timing (audio timestamps, frame
+  /// budgets, app-launch cadence, transport ticks) runs on this clock,
+  /// so a duty-cycled session behaves per-run exactly like an always-on
+  /// one — and compat scheduling keeps it equal to the server tick.
+  std::uint64_t local_tick_ = 0;
+  std::uint64_t start_tick_ = 0;
   std::uint64_t next_seq_ = 0;
   std::size_t inflight_ = 0;  ///< at the batcher, result not yet applied
+  /// Staging ring: the first staged_count_ elements are this tick's
+  /// windows; slots are reused across ticks so staging is allocation-
+  /// free once warm.
   std::vector<InferenceRequest> staged_;
+  std::size_t staged_count_ = 0;
+
+  // Feature-bank cache state (all unused when use_cache_ is false).
+  bool use_cache_ = false;
+  std::uint64_t samples_pushed_ = 0;  ///< total samples handed to the pipeline
+  std::vector<std::size_t> seg_start_;  ///< script-sample prefix sums (n+1)
+  std::size_t script_len_ = 0;          ///< samples per full script pass
 
   // Fault injection (plan disabled unless cfg.fault.rate > 0).
   fault::FaultPlan fault_plan_;
@@ -235,6 +317,10 @@ class Session {
   std::uint32_t send_au_ = 0;   ///< access-unit timestamp within generation
   std::uint32_t send_gen_ = 0;  ///< sender clip-loop count
   std::uint32_t rx_gen_ = 0;    ///< last generation the receiver decoded
+  /// Access-unit assembly ring (first au_count_ elements valid); slots
+  /// copy-assign NalUnits so payload capacity is reused across ticks.
+  std::vector<h264::NalUnit> au_;
+  std::size_t au_count_ = 0;
 
   // App/memory manager path (optional; both null when SessionEnv does
   // not supply a table + catalog).

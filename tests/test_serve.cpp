@@ -431,7 +431,7 @@ TEST(Batcher, BatchedResultsAreBitIdenticalToPerWindowForwards) {
       req.session = i + 1;
       req.seq = i;
       req.t_end = static_cast<double>(i);
-      req.features = features[i];
+      req.set_features(features[i]);
       batcher.enqueue(std::move(req));
     }
     return batcher.flush();
@@ -477,7 +477,7 @@ TEST(Batcher, FlushRespectsDeadlineAndCapacity) {
     req.session = 1;
     req.seq = 0;
     req.enqueue_tick = tick;
-    req.features = f;
+    req.set_features(f);
     batcher.enqueue(std::move(req));
   };
 
