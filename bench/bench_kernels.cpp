@@ -13,10 +13,14 @@
 //
 // Usage: bench_kernels [output.json]   (default: BENCH_kernels.json)
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <chrono>
 #include <cmath>
 #include <complex>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <limits>
 #include <string>
@@ -201,6 +205,137 @@ Pair bench_gemm() {
   return p;
 }
 
+// --- int8 GEMM: us/call vs the fp32 micro-kernel on the same shape --------
+
+Pair bench_int8_gemm(bool& ok) {
+  // The int8-rung serving shape: a window batch (16 flattened feature
+  // windows) against the classifier's first dense layer.  The gate
+  // below wants the quantized product >= 2x the fp32 one here — that is
+  // the whole reason the int8 rung exists.
+  constexpr std::size_t kM = 16, kK = 1088, kN = 416;
+  std::vector<std::int8_t> a(kM * kK), b(kK * kN);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<std::int8_t>(static_cast<int>(i * 37 % 255) - 127);
+  }
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] = static_cast<std::int8_t>(static_cast<int>(i * 23 % 255) - 127);
+  }
+  std::vector<std::int32_t> c_opt(kM * kN), c_ref(kM * kN);
+
+  // Integer accumulation is exact in any order, so blocked must equal
+  // the naive reference to the last bit before the timing counts.
+  nn::int8_gemm(a.data(), b.data(), c_opt.data(), kM, kK, kN);
+  nn::int8_gemm_reference(a.data(), b.data(), c_ref.data(), kM, kK, kN);
+  if (std::memcmp(c_opt.data(), c_ref.data(),
+                  c_opt.size() * sizeof(std::int32_t)) != 0) {
+    std::fprintf(stderr, "int8_gemm mismatch vs reference\n");
+    ok = false;
+    return {};
+  }
+
+  nn::Matrix fa(kM, kK), fb(kK, kN), fc(kM, kN);
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    fa.flat()[i] = static_cast<float>(a[i]) / 127.0f;
+  }
+  for (std::size_t i = 0; i < fb.size(); ++i) {
+    fb.flat()[i] = static_cast<float>(b[i]) / 127.0f;
+  }
+
+  constexpr int kReps = 40;
+  Pair p;  // us per call; speedup computed as ref/opt (ref = fp32)
+  p.opt = min_seconds([&] {
+    for (int i = 0; i < kReps; ++i) {
+      nn::int8_gemm(a.data(), b.data(), c_opt.data(), kM, kK, kN);
+    }
+  }) * 1e6 / kReps;
+  p.ref = min_seconds([&] {
+    for (int i = 0; i < kReps; ++i) {
+      fa.matmul_into(fb, fc);
+    }
+  }) * 1e6 / kReps;
+  return p;
+}
+
+// --- Hamming popcount: ns per 8-class prototype scan ----------------------
+
+int naive_hamming(const std::uint64_t* x, const std::uint64_t* y,
+                  std::size_t words) {
+  int d = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint64_t v = x[w] ^ y[w];
+    while (v != 0) {
+      d += static_cast<int>(v & 1u);
+      v >>= 1;
+    }
+  }
+  return d;
+}
+
+Pair bench_hamming(bool& ok) {
+  // HDC-rung geometry: one encoded query scanned against every class
+  // prototype (8192-bit hypervectors, kNumEmotions classes).  This scan
+  // *is* HDC inference — encode aside, classify_into spends its time
+  // exactly here.
+  constexpr std::size_t kWords = 8192 / 64;
+  constexpr std::size_t kClasses = 8;
+  std::vector<std::uint64_t> protos(kClasses * kWords), query(kWords);
+  std::uint64_t s = 0x243F6A8885A308D3ull;
+  auto next = [&s] {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  };
+  for (auto& w : protos) w = next();
+  for (auto& w : query) w = next();
+
+  std::array<int, kClasses> d_opt{}, d_ref{};
+  auto scan_opt = [&](std::array<int, kClasses>& d) {
+    for (std::size_t cls = 0; cls < kClasses; ++cls) {
+      const std::uint64_t* p = protos.data() + cls * kWords;
+      int ham = 0;
+      for (std::size_t w = 0; w < kWords; ++w) {
+        ham += std::popcount(query[w] ^ p[w]);
+      }
+      d[cls] = ham;
+    }
+  };
+  scan_opt(d_opt);
+  for (std::size_t cls = 0; cls < kClasses; ++cls) {
+    d_ref[cls] = naive_hamming(query.data(), protos.data() + cls * kWords,
+                               kWords);
+  }
+  if (d_opt != d_ref) {
+    std::fprintf(stderr, "hamming mismatch vs naive reference\n");
+    ok = false;
+    return {};
+  }
+
+  constexpr int kOptReps = 40000;
+  constexpr int kRefReps = 2000;  // bit-serial loop: fewer reps, same rounds
+  Pair p;  // ns per 8-class scan; speedup computed as ref/opt below
+  int sink = 0;
+  p.opt = min_seconds([&] {
+    for (int i = 0; i < kOptReps; ++i) {
+      std::array<int, kClasses> d{};
+      scan_opt(d);
+      sink += d[static_cast<std::size_t>(i) % kClasses];
+    }
+  }) * 1e9 / kOptReps;
+  p.ref = min_seconds([&] {
+    for (int i = 0; i < kRefReps; ++i) {
+      std::array<int, kClasses> d{};
+      for (std::size_t cls = 0; cls < kClasses; ++cls) {
+        d[cls] = naive_hamming(query.data(), protos.data() + cls * kWords,
+                               kWords);
+      }
+      sink += d[static_cast<std::size_t>(i) % kClasses];
+    }
+  }) * 1e9 / kRefReps;
+  if (sink == -1) std::printf("(unlikely)\n");
+  return p;
+}
+
 // --- Real-input FFT: microseconds per power spectrum ----------------------
 
 Pair bench_rfft() {
@@ -239,15 +374,29 @@ int main(int argc, char** argv) {
   core::set_global_threads(0);  // single-core: time the kernels themselves
   bool ok = true;
 
-  std::printf("[1/4] feature pipeline...\n");
+  std::printf("[1/6] feature pipeline...\n");
   const Pair feat = bench_features(ok);
-  std::printf("[2/4] deblocking...\n");
+  std::printf("[2/6] deblocking...\n");
   const Pair dbk = bench_deblock(ok);
-  std::printf("[3/4] gemm...\n");
+  std::printf("[3/6] gemm...\n");
   const Pair gemm = bench_gemm();
-  std::printf("[4/4] rfft...\n");
+  std::printf("[4/6] int8 gemm...\n");
+  const Pair i8 = bench_int8_gemm(ok);
+  std::printf("[5/6] hamming...\n");
+  const Pair ham = bench_hamming(ok);
+  std::printf("[6/6] rfft...\n");
   const Pair rfft = bench_rfft();
   if (!ok) return 1;
+
+  // The inference ladder's middle rung only earns its quantization
+  // error if the quantized product is decisively faster than fp32 on
+  // the serving shape.
+  const double i8_speedup = i8.opt > 0.0 ? i8.ref / i8.opt : 0.0;
+  if (i8_speedup < 2.0) {
+    std::fprintf(stderr, "int8 gemm gate: %.2fx fp32 < required 2.0x\n",
+                 i8_speedup);
+    ok = false;
+  }
 
   obs::JsonWriter w;
   w.begin_object();
@@ -266,6 +415,16 @@ int main(int argc, char** argv) {
   w.key("gflops").value(gemm.opt);
   w.key("ref_gflops").value(gemm.ref);
   w.key("speedup").value(gemm.speedup());
+  w.end_object();
+  w.key("int8_gemm").begin_object();
+  w.key("us_per_call").value(i8.opt);
+  w.key("fp32_us_per_call").value(i8.ref);
+  w.key("speedup_vs_fp32").value(i8_speedup);
+  w.end_object();
+  w.key("hamming").begin_object();
+  w.key("ns_per_scan").value(ham.opt);
+  w.key("ref_ns_per_scan").value(ham.ref);
+  w.key("speedup").value(ham.opt > 0.0 ? ham.ref / ham.opt : 0.0);
   w.end_object();
   w.key("rfft").begin_object();
   w.key("us_per_call").value(rfft.opt);
@@ -288,8 +447,12 @@ int main(int argc, char** argv) {
               dbk.opt > 0.0 ? dbk.ref / dbk.opt : 0.0);
   std::printf("gemm:    %.2f GFLOP/s (ref %.2f, %.2fx)\n", gemm.opt, gemm.ref,
               gemm.speedup());
+  std::printf("int8:    %.2f us/call (fp32 %.2f, %.2fx)\n", i8.opt, i8.ref,
+              i8_speedup);
+  std::printf("hamming: %.0f ns/scan (ref %.0f, %.2fx)\n", ham.opt, ham.ref,
+              ham.opt > 0.0 ? ham.ref / ham.opt : 0.0);
   std::printf("rfft:    %.2f us/call (ref %.2f, %.2fx)\n", rfft.opt, rfft.ref,
               rfft.opt > 0.0 ? rfft.ref / rfft.opt : 0.0);
   std::printf("wrote %s\n", out_path.c_str());
-  return 0;
+  return ok ? 0 : 1;
 }

@@ -1,0 +1,491 @@
+#include "affect/hdc.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <random>
+#include <stdexcept>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace affectsys::affect {
+
+namespace {
+
+/// Bit planes needed to count up to `total` (value range [0, total]).
+std::size_t planes_for(std::size_t total) {
+  std::size_t p = 1;
+  while ((std::size_t{1} << p) <= total) ++p;
+  return p;
+}
+
+/// Adds one binary vector into bit-sliced carry-save counters: plane p
+/// holds bit p of every per-bit count.  Amortized ~2 word ops per word
+/// (the carry chain is geometrically short), which is what makes exact
+/// majority over a thousand vectors cheap enough for the hot path.
+void csa_add(std::vector<std::uint64_t>& planes, std::size_t nplanes,
+             std::size_t words, const std::uint64_t* v) {
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint64_t carry = v[w];
+    for (std::size_t p = 0; carry != 0 && p < nplanes; ++p) {
+      std::uint64_t& slot = planes[p * words + w];
+      const std::uint64_t t = slot;
+      slot = t ^ carry;
+      carry &= t;
+    }
+  }
+}
+
+}  // namespace
+
+HdcClassifier::HdcClassifier(const HdcConfig& cfg, std::size_t timesteps,
+                             std::size_t feature_dim,
+                             std::vector<Emotion> label_set)
+    : cfg_(cfg),
+      timesteps_(timesteps),
+      feature_dim_(feature_dim),
+      label_set_(std::move(label_set)) {
+  if (timesteps_ == 0 || feature_dim_ == 0) {
+    throw std::invalid_argument("HdcClassifier: empty feature geometry");
+  }
+  if (label_set_.empty()) {
+    throw std::invalid_argument("HdcClassifier: empty label set");
+  }
+  words_ = std::max<std::size_t>(1, (cfg_.dim_bits + 63) / 64);
+  cfg_.dim_bits = words_ * 64;
+  cfg_.levels = std::max<std::size_t>(2, cfg_.levels);
+  pooled_rows_ = cfg_.temporal_pool == 0
+                     ? timesteps_
+                     : std::min(cfg_.temporal_pool, timesteps_);
+
+  std::mt19937_64 rng(cfg_.seed);
+  const std::size_t channels = channel_count();
+
+  // Combinatorial channel encoding: nb base vectors whose XOR pairs
+  // (i < j, lexicographic) name the channels — nb*(nb-1)/2 >= channels.
+  std::size_t nb = 2;
+  while (nb * (nb - 1) / 2 < channels) ++nb;
+  base_.resize(nb * words_);
+  for (std::uint64_t& w : base_) w = rng();
+  chan_i_.reserve(channels);
+  chan_j_.reserve(channels);
+  for (std::uint32_t i = 0; chan_i_.size() < channels; ++i) {
+    for (std::uint32_t j = i + 1; j < nb && chan_i_.size() < channels; ++j) {
+      chan_i_.push_back(i);
+      chan_j_.push_back(j);
+    }
+  }
+
+  // Linear level encoding: level l flips the first l/(L-1) * D/2 bits of
+  // a seeded permutation off level 0, so adjacent levels are similar and
+  // the extremes are orthogonal (D/2 apart).
+  level_.assign(cfg_.levels * words_, 0);
+  for (std::size_t w = 0; w < words_; ++w) level_[w] = rng();
+  std::vector<std::uint32_t> perm(cfg_.dim_bits);
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    perm[i] = static_cast<std::uint32_t>(i);
+  }
+  // Self-contained Fisher-Yates (no std::shuffle: its draw sequence is
+  // implementation-defined, and the codebooks must be reproducible).
+  for (std::size_t i = perm.size() - 1; i > 0; --i) {
+    std::swap(perm[i], perm[rng() % (i + 1)]);
+  }
+  for (std::size_t l = 1; l < cfg_.levels; ++l) {
+    std::copy_n(level_.begin(), words_,
+                level_.begin() + static_cast<std::ptrdiff_t>(l * words_));
+    const std::size_t flips = l * (cfg_.dim_bits / 2) / (cfg_.levels - 1);
+    for (std::size_t f = 0; f < flips; ++f) {
+      const std::uint32_t bit = perm[f];
+      level_[l * words_ + bit / 64] ^= std::uint64_t{1} << (bit % 64);
+    }
+  }
+
+  tiebreak_.resize(words_);
+  for (std::uint64_t& w : tiebreak_) w = rng();
+
+  proto_.assign(label_set_.size() * words_, 0);
+  // Standardized features mostly live in [-3, 3]; train() replaces this
+  // with the observed per-channel range.
+  lo_.assign(channels, -3.0f);
+  hi_.assign(channels, 3.0f);
+}
+
+std::size_t HdcClassifier::channel_count() const {
+  return pooled_rows_ * feature_dim_;
+}
+
+std::size_t HdcClassifier::bytes() const {
+  return (base_.size() + level_.size() + tiebreak_.size() + proto_.size()) *
+             sizeof(std::uint64_t) +
+         (lo_.size() + hi_.size()) * sizeof(float) +
+         (chan_i_.size() + chan_j_.size()) * sizeof(std::uint32_t);
+}
+
+std::span<const std::uint64_t> HdcClassifier::prototype(
+    std::size_t cls) const {
+  return {proto_.data() + cls * words_, words_};
+}
+
+void HdcClassifier::majority_from_planes(
+    const std::vector<std::uint64_t>& planes, std::size_t total,
+    std::vector<std::uint64_t>& out) const {
+  // Bit-sliced compare of every per-bit count against K = total/2:
+  // count > K sets the bit; an exact K tie (possible only for even
+  // totals) defers to the fixed tie-break vector, so bundling never
+  // biases toward 0.
+  const std::size_t nplanes = planes.size() / words_;
+  const std::uint64_t k = total / 2;
+  const bool even = (total % 2) == 0;
+  out.resize(words_);
+  for (std::size_t w = 0; w < words_; ++w) {
+    std::uint64_t gt = 0;
+    std::uint64_t eq = ~std::uint64_t{0};
+    for (std::size_t p = nplanes; p-- > 0;) {
+      const std::uint64_t x = planes[p * words_ + w];
+      const std::uint64_t kbit =
+          ((k >> p) & 1) ? ~std::uint64_t{0} : std::uint64_t{0};
+      gt |= eq & x & ~kbit;
+      eq &= ~(x ^ kbit);
+    }
+    out[w] = gt | (even ? (eq & tiebreak_[w]) : std::uint64_t{0});
+  }
+}
+
+void HdcClassifier::encode(std::span<const float> flat, std::size_t rows,
+                           std::size_t cols, HdcWorkspace& ws) const {
+  if (rows != timesteps_ || cols != feature_dim_) {
+    throw std::invalid_argument("HdcClassifier: feature geometry mismatch");
+  }
+  // Temporal pooling: mean over each bucket's rows.  Emotion prosody
+  // varies far slower than the 10 ms frame hop, so pooling trades
+  // temporal resolution the classes don't need for an ~8x cheaper
+  // bundle.
+  const std::size_t p_rows = pooled_rows_;
+  ws.pooled.resize(p_rows * cols);
+  for (std::size_t p = 0; p < p_rows; ++p) {
+    const std::size_t r0 = p * rows / p_rows;
+    const std::size_t r1 = (p + 1) * rows / p_rows;
+    float* __restrict out = ws.pooled.data() + p * cols;
+    for (std::size_t c = 0; c < cols; ++c) out[c] = 0.0f;
+    for (std::size_t r = r0; r < r1; ++r) {
+      const float* __restrict src = flat.data() + r * cols;
+      for (std::size_t c = 0; c < cols; ++c) out[c] += src[c];
+    }
+    const float inv = 1.0f / static_cast<float>(r1 - r0);
+    for (std::size_t c = 0; c < cols; ++c) out[c] *= inv;
+  }
+
+  const std::size_t channels = channel_count();
+  const std::size_t nplanes = planes_for(channels);
+  // No zero-fill: every bundling path below overwrites all plane words
+  // (the fallback fills explicitly before csa_add).
+  ws.planes.resize(nplanes * words_);
+
+  // Amplitude -> level index, one pass up front so the bundling loop
+  // below touches only integer codebook state.
+  ws.levels.resize(channels);
+  const auto levels = static_cast<float>(cfg_.levels);
+  for (std::size_t ch = 0; ch < channels; ++ch) {
+    const float t = (ws.pooled[ch] - lo_[ch]) / (hi_[ch] - lo_[ch]);
+    auto li = static_cast<std::ptrdiff_t>(t * levels);
+    li = std::clamp<std::ptrdiff_t>(
+        li, 0, static_cast<std::ptrdiff_t>(cfg_.levels) - 1);
+    ws.levels[ch] = static_cast<std::uint32_t>(li);
+  }
+
+  bool bundled = false;
+#if defined(__AVX2__)
+  // Block-resident Harley-Seal bundling: 256 bits of every counter
+  // plane stay in registers while all channels stream past.  Channels
+  // reduce in fully branchless groups of sixteen through a carry-save
+  // adder tree (ones/twos/fours/eights live in registers, 5 logic ops
+  // per full adder); only every sixteenth channel spills one
+  // "sixteens" vector into the higher planes, and the spill itself is a
+  // fixed-depth ripple — no data-dependent break to mispredict, which
+  // is what makes the naive per-channel CSA slow.  Identical per-bit
+  // counts (and therefore an identical majority) to the word-serial
+  // fallback below: only the summation schedule differs.
+  constexpr std::size_t kMaxPlanes = 16;
+  if (nplanes <= kMaxPlanes) {
+    const auto csa = [](__m256i& h, __m256i& l, __m256i a, __m256i b) {
+      const __m256i u = _mm256_xor_si256(l, a);
+      h = _mm256_or_si256(_mm256_and_si256(l, a), _mm256_and_si256(u, b));
+      l = _mm256_xor_si256(u, b);
+    };
+    // Per-channel operand pointers resolved once per window (not once
+    // per block): the bind in the hot loop is then three loads and two
+    // XORs with no index arithmetic.
+    ws.bind_ptrs.resize(channels * 3);
+    for (std::size_t c = 0; c < channels; ++c) {
+      ws.bind_ptrs[c * 3 + 0] = base_.data() + chan_i_[c] * words_;
+      ws.bind_ptrs[c * 3 + 1] = base_.data() + chan_j_[c] * words_;
+      ws.bind_ptrs[c * 3 + 2] = level_.data() + ws.levels[c] * words_;
+    }
+    std::size_t w = 0;
+    for (; w + 4 <= words_; w += 4) {
+      const auto bind = [&](std::size_t c) {
+        const std::uint64_t* const* p3 = ws.bind_ptrs.data() + c * 3;
+        const auto ld = [&](const std::uint64_t* p) {
+          return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + w));
+        };
+        return _mm256_xor_si256(_mm256_xor_si256(ld(p3[0]), ld(p3[1])),
+                                ld(p3[2]));
+      };
+      // Fixed-depth ripple: iterations past the carry's reach just XOR
+      // and AND with zero — cheaper than a mispredicting early exit.
+      const auto spill = [&](__m256i pl[], __m256i carry, std::size_t from) {
+        for (std::size_t p = from; p < nplanes; ++p) {
+          const __m256i t = pl[p];
+          pl[p] = _mm256_xor_si256(t, carry);
+          carry = _mm256_and_si256(t, carry);
+        }
+      };
+      __m256i pl[kMaxPlanes];
+      for (std::size_t p = 0; p < nplanes; ++p) pl[p] = _mm256_setzero_si256();
+      __m256i ones = _mm256_setzero_si256();
+      __m256i twos = ones;
+      __m256i fours = ones;
+      __m256i eights = ones;
+      std::size_t ch = 0;
+      for (; ch + 16 <= channels; ch += 16) {
+        __m256i twos_a, twos_b, fours_a, fours_b, eights_a, eights_b,
+            sixteens;
+        csa(twos_a, ones, bind(ch), bind(ch + 1));
+        csa(twos_b, ones, bind(ch + 2), bind(ch + 3));
+        csa(fours_a, twos, twos_a, twos_b);
+        csa(twos_a, ones, bind(ch + 4), bind(ch + 5));
+        csa(twos_b, ones, bind(ch + 6), bind(ch + 7));
+        csa(fours_b, twos, twos_a, twos_b);
+        csa(eights_a, fours, fours_a, fours_b);
+        csa(twos_a, ones, bind(ch + 8), bind(ch + 9));
+        csa(twos_b, ones, bind(ch + 10), bind(ch + 11));
+        csa(fours_a, twos, twos_a, twos_b);
+        csa(twos_a, ones, bind(ch + 12), bind(ch + 13));
+        csa(twos_b, ones, bind(ch + 14), bind(ch + 15));
+        csa(fours_b, twos, twos_a, twos_b);
+        csa(eights_b, fours, fours_a, fours_b);
+        csa(sixteens, eights, eights_a, eights_b);
+        // A 16-group only runs when channels >= 16, so nplanes >= 5 and
+        // the sixteens spill always has a plane to land in.
+        spill(pl, sixteens, 4);
+      }
+      for (; ch + 8 <= channels; ch += 8) {  // one possible 8-group
+        __m256i twos_a, twos_b, fours_a, fours_b, e;
+        csa(twos_a, ones, bind(ch), bind(ch + 1));
+        csa(twos_b, ones, bind(ch + 2), bind(ch + 3));
+        csa(fours_a, twos, twos_a, twos_b);
+        csa(twos_a, ones, bind(ch + 4), bind(ch + 5));
+        csa(twos_b, ones, bind(ch + 6), bind(ch + 7));
+        csa(fours_b, twos, twos_a, twos_b);
+        csa(e, fours, fours_a, fours_b);
+        const __m256i t = eights;
+        eights = _mm256_xor_si256(t, e);
+        // Carry out of the eights register needs count >= 16 at that
+        // bit, which requires nplanes >= 5 — spill() is then a no-op
+        // on an all-zero carry when nplanes == 4.
+        spill(pl, _mm256_and_si256(t, e), 4);
+      }
+      for (; ch < channels; ++ch) {  // tail group (< 8 channels)
+        __m256i carry = bind(ch);
+        __m256i t = ones;
+        ones = _mm256_xor_si256(t, carry);
+        carry = _mm256_and_si256(t, carry);
+        t = twos;
+        twos = _mm256_xor_si256(t, carry);
+        carry = _mm256_and_si256(t, carry);
+        t = fours;
+        fours = _mm256_xor_si256(t, carry);
+        carry = _mm256_and_si256(t, carry);
+        t = eights;
+        eights = _mm256_xor_si256(t, carry);
+        carry = _mm256_and_si256(t, carry);
+        spill(pl, carry, 4);
+      }
+      // ones/twos/fours/eights ARE count bits 0-3; planes 4+ took the
+      // spills.
+      if (nplanes > 0) pl[0] = ones;
+      if (nplanes > 1) pl[1] = twos;
+      if (nplanes > 2) pl[2] = fours;
+      if (nplanes > 3) pl[3] = eights;
+      for (std::size_t p = 0; p < nplanes; ++p) {
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i*>(ws.planes.data() + p * words_ + w),
+            pl[p]);
+      }
+    }
+    for (; w < words_; ++w) {  // word tail (words_ % 4)
+      std::uint64_t pl[kMaxPlanes] = {};
+      for (std::size_t ch = 0; ch < channels; ++ch) {
+        std::uint64_t carry = base_[chan_i_[ch] * words_ + w] ^
+                              base_[chan_j_[ch] * words_ + w] ^
+                              level_[ws.levels[ch] * words_ + w];
+        for (std::size_t p = 0; carry != 0 && p < nplanes; ++p) {
+          const std::uint64_t t = pl[p];
+          pl[p] = t ^ carry;
+          carry &= t;
+        }
+      }
+      for (std::size_t p = 0; p < nplanes; ++p) {
+        ws.planes[p * words_ + w] = pl[p];
+      }
+    }
+    bundled = true;
+  }
+#endif
+  if (!bundled) {
+    std::fill(ws.planes.begin(), ws.planes.end(), 0);
+    std::vector<std::uint64_t>& bound = ws.query;  // reuse as bind scratch
+    bound.resize(words_);
+    for (std::size_t ch = 0; ch < channels; ++ch) {
+      const std::uint64_t* __restrict bi = base_.data() + chan_i_[ch] * words_;
+      const std::uint64_t* __restrict bj = base_.data() + chan_j_[ch] * words_;
+      const std::uint64_t* __restrict lv =
+          level_.data() + ws.levels[ch] * words_;
+      for (std::size_t w = 0; w < words_; ++w) {
+        bound[w] = bi[w] ^ bj[w] ^ lv[w];
+      }
+      csa_add(ws.planes, nplanes, words_, bound.data());
+    }
+  }
+  majority_from_planes(ws.planes, channels, ws.query);
+}
+
+void HdcClassifier::train(const nn::Dataset& train_set) {
+  if (train_set.empty()) {
+    throw std::invalid_argument("HdcClassifier: empty training set");
+  }
+  const std::size_t channels = channel_count();
+  const std::size_t classes = label_set_.size();
+  HdcWorkspace ws;
+
+  // Pass 1: per-channel amplitude range over the pooled training
+  // features — the level quantizer's input domain.
+  lo_.assign(channels, std::numeric_limits<float>::infinity());
+  hi_.assign(channels, -std::numeric_limits<float>::infinity());
+  for (const nn::Sample& s : train_set) {
+    // Pool via encode()'s exact loop by reusing its pooling stage:
+    // duplicating the arithmetic here would let the two drift.
+    const std::size_t rows = s.features.rows();
+    const std::size_t cols = s.features.cols();
+    if (rows != timesteps_ || cols != feature_dim_) {
+      throw std::invalid_argument("HdcClassifier: sample geometry mismatch");
+    }
+    ws.pooled.resize(pooled_rows_ * cols);
+    for (std::size_t p = 0; p < pooled_rows_; ++p) {
+      const std::size_t r0 = p * rows / pooled_rows_;
+      const std::size_t r1 = (p + 1) * rows / pooled_rows_;
+      for (std::size_t c = 0; c < cols; ++c) {
+        float acc = 0.0f;
+        for (std::size_t r = r0; r < r1; ++r) acc += s.features(r, c);
+        const float v = acc / static_cast<float>(r1 - r0);
+        const std::size_t ch = p * cols + c;
+        lo_[ch] = std::min(lo_[ch], v);
+        hi_[ch] = std::max(hi_[ch], v);
+      }
+    }
+  }
+  for (std::size_t ch = 0; ch < channels; ++ch) {
+    if (!(hi_[ch] > lo_[ch])) hi_[ch] = lo_[ch] + 1.0f;  // flat channel
+  }
+
+  // Pass 2: majority-bundle each class's encoded windows into its
+  // prototype (plain integer counters — training is offline).
+  std::vector<std::uint32_t> counts(classes * cfg_.dim_bits, 0);
+  std::vector<std::size_t> per_class(classes, 0);
+  for (const nn::Sample& s : train_set) {
+    if (s.label >= classes) {
+      throw std::invalid_argument("HdcClassifier: label out of range");
+    }
+    encode(s.features.flat(), s.features.rows(), s.features.cols(), ws);
+    ++per_class[s.label];
+    std::uint32_t* __restrict cls_counts =
+        counts.data() + s.label * cfg_.dim_bits;
+    for (std::size_t w = 0; w < words_; ++w) {
+      std::uint64_t bits = ws.query[w];
+      while (bits != 0) {
+        const int b = std::countr_zero(bits);
+        ++cls_counts[w * 64 + static_cast<std::size_t>(b)];
+        bits &= bits - 1;
+      }
+    }
+  }
+  proto_.assign(classes * words_, 0);
+  for (std::size_t cls = 0; cls < classes; ++cls) {
+    const std::size_t n = per_class[cls];
+    if (n == 0) continue;  // class absent from the split: zero prototype
+    for (std::size_t bit = 0; bit < cfg_.dim_bits; ++bit) {
+      const std::uint64_t cnt = counts[cls * cfg_.dim_bits + bit];
+      const std::uint64_t tb =
+          (tiebreak_[bit / 64] >> (bit % 64)) & 1;
+      const bool set = cnt * 2 > n || (cnt * 2 == n && tb != 0);
+      if (set) {
+        proto_[cls * words_ + bit / 64] |= std::uint64_t{1} << (bit % 64);
+      }
+    }
+  }
+  trained_ = true;
+}
+
+void HdcClassifier::classify_into(std::span<const float> flat,
+                                  std::size_t rows, std::size_t cols,
+                                  HdcWorkspace& ws,
+                                  ClassificationResult& out) const {
+  encode(flat, rows, cols, ws);
+  const std::size_t classes = label_set_.size();
+  ws.sims.resize(classes);
+  for (std::size_t cls = 0; cls < classes; ++cls) {
+    const std::uint64_t* __restrict p = proto_.data() + cls * words_;
+    std::size_t ham = 0;
+    for (std::size_t w = 0; w < words_; ++w) {
+      ham += static_cast<std::size_t>(std::popcount(ws.query[w] ^ p[w]));
+    }
+    // Similarity in [-1, 1]: 1 = identical, 0 = orthogonal (random).
+    ws.sims[cls] = 1.0f - 2.0f * static_cast<float>(ham) /
+                              static_cast<float>(cfg_.dim_bits);
+  }
+  // Softmax over sharpness-scaled similarities: a confidence-shaped
+  // score the smoothing/policy pipeline consumes like any classifier's.
+  float mx = ws.sims[0];
+  for (float s : ws.sims) mx = std::max(mx, s);
+  out.probabilities.resize(classes);
+  float sum = 0.0f;
+  for (std::size_t cls = 0; cls < classes; ++cls) {
+    const float e = std::exp(cfg_.sharpness * (ws.sims[cls] - mx));
+    out.probabilities[cls] = e;
+    sum += e;
+  }
+  std::size_t best = 0;
+  for (std::size_t cls = 0; cls < classes; ++cls) {
+    out.probabilities[cls] /= sum;
+    if (out.probabilities[cls] > out.probabilities[best]) best = cls;
+  }
+  out.emotion = label_set_[best];
+  out.confidence = out.probabilities[best];
+}
+
+ClassificationResult HdcClassifier::classify_features(
+    const nn::Matrix& features) {
+  ClassificationResult out;
+  classify_into(features.flat(), features.rows(), features.cols(), ws_, out);
+  return out;
+}
+
+HdcClassifier train_hdc_classifier(const CorpusProfile& corpus,
+                                   const HdcConfig& cfg, unsigned split_seed,
+                                   unsigned corpus_seed) {
+  const FeatureConfig fc = default_feature_config();
+  const FeatureExtractor fx(fc);
+  const LabelledCorpus data = build_corpus(corpus, fx, corpus_seed);
+
+  nn::Dataset train_set, test_set;
+  nn::split_dataset(data.samples, 0.2, split_seed, train_set, test_set);
+
+  HdcClassifier h(cfg, fx.timesteps(), fx.feature_dim(), data.label_set);
+  h.train(train_set);
+  return h;
+}
+
+}  // namespace affectsys::affect

@@ -1,0 +1,139 @@
+// Hyperdimensional-computing emotion classifier: the cheapest rung of
+// the serve layer's inference ladder.
+//
+// A feature window is encoded into one D-bit binary hypervector
+// (D ~= 8192, stored as uint64_t words) and classified by Hamming
+// distance to one majority-bundled prototype per emotion — inference is
+// popcount over a few hundred words, no floating point, and the whole
+// model (prototypes + codebooks) fits in a few tens of KB.  Following
+// "Efficient emotion recognition using hyperdimensional computing with
+// combinatorial channel encoding" (PAPERS.md):
+//
+//   - Channel hypervectors are not stored per channel: channel c is the
+//     XOR of an (i, j) pair of random *base* vectors, pairs enumerated
+//     combinatorially — nb base vectors cover nb*(nb-1)/2 channels, so
+//     1088 channels need 48 vectors instead of 1088 (the paper's
+//     memory trick, and XOR-of-random-vectors is itself random-like).
+//   - Feature amplitudes quantize to L levels; level vectors flip a
+//     progressively larger prefix of a seeded bit permutation, so
+//     nearby levels stay similar (linear level encoding).
+//   - A window binds channel (+) level per (pooled timestep, feature)
+//     slot and bundles all bound vectors by exact bitwise majority,
+//     computed via carry-save bit-sliced counters (no per-bit loops).
+//   - Class prototypes are the bitwise majority over the training
+//     split's encoded windows — the same corpus/split the fp32 and
+//     int8 rungs trained on.
+//
+// Everything is a pure function of (config, seeds): encoding, training
+// and inference are deterministic, which the serve replay tests pin.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "affect/classifier.hpp"
+#include "affect/dataset.hpp"
+#include "affect/emotion.hpp"
+#include "nn/matrix.hpp"
+#include "nn/trainer.hpp"
+
+namespace affectsys::affect {
+
+struct HdcConfig {
+  std::size_t dim_bits = 8192;  ///< D; rounded up to a multiple of 64
+  std::size_t levels = 16;      ///< amplitude quantization levels (>= 2)
+  /// Timestep rows pool (mean) into this many temporal buckets before
+  /// encoding; fewer buckets = fewer bound vectors = faster encode.
+  /// 0 encodes every row unpooled.
+  std::size_t temporal_pool = 8;
+  unsigned seed = 0x51d7u;   ///< base/level/tie-break codebook seed
+  float sharpness = 8.0f;    ///< similarity -> pseudo-probability gain
+};
+
+/// Per-call scratch: CSA counter planes + the encoded query vector.
+/// Caller-owned so concurrent classify_into() calls never share state;
+/// warm after one call (no steady-state allocation).
+struct HdcWorkspace {
+  std::vector<float> pooled;          ///< temporal buckets x feature_dim
+  std::vector<std::uint32_t> levels;  ///< per-channel quantized level
+  /// Per-channel bound-operand pointers (3 per channel), resolved once
+  /// per window so the bundling loop does no index arithmetic.
+  std::vector<const std::uint64_t*> bind_ptrs;
+  std::vector<std::uint64_t> planes;  ///< bit-sliced majority counters
+  std::vector<std::uint64_t> query;   ///< encoded window hypervector
+  std::vector<float> sims;            ///< per-class similarity scratch
+};
+
+class HdcClassifier {
+ public:
+  /// Codebooks are generated here from cfg.seed; prototypes are zero
+  /// until train().  `label_set` fixes the class order (and the
+  /// probability vector order, matching AffectClassifier).
+  HdcClassifier(const HdcConfig& cfg, std::size_t timesteps,
+                std::size_t feature_dim, std::vector<Emotion> label_set);
+
+  /// Builds class prototypes (and per-channel amplitude ranges) from a
+  /// labelled training split; sample labels index label_set.
+  void train(const nn::Dataset& train_set);
+
+  /// Encodes `flat` (rows x cols, row-major — exactly an
+  /// InferenceRequest's payload) into ws.query.
+  void encode(std::span<const float> flat, std::size_t rows, std::size_t cols,
+              HdcWorkspace& ws) const;
+
+  /// Hamming-distance inference into a reused result (probabilities are
+  /// a softmax over per-class bit-similarities — a confidence shape the
+  /// serve pipeline can consume, not a calibrated posterior).
+  void classify_into(std::span<const float> flat, std::size_t rows,
+                     std::size_t cols, HdcWorkspace& ws,
+                     ClassificationResult& out) const;
+
+  /// Convenience wrapper over classify_into() on a member workspace —
+  /// non-reentrant, like AffectClassifier::classify_features.
+  ClassificationResult classify_features(const nn::Matrix& features);
+
+  std::size_t timesteps() const { return timesteps_; }
+  std::size_t feature_dim() const { return feature_dim_; }
+  std::size_t words() const { return words_; }
+  const std::vector<Emotion>& label_set() const { return label_set_; }
+  const HdcConfig& config() const { return cfg_; }
+  bool trained() const { return trained_; }
+  /// Prototype + codebook storage (the model's whole footprint).
+  std::size_t bytes() const;
+  /// Class prototype hypervector (words() words) — for round-trip tests.
+  std::span<const std::uint64_t> prototype(std::size_t cls) const;
+
+ private:
+  std::size_t channel_count() const;
+  void majority_from_planes(const std::vector<std::uint64_t>& planes,
+                            std::size_t total,
+                            std::vector<std::uint64_t>& out) const;
+
+  HdcConfig cfg_;
+  std::size_t timesteps_ = 0;
+  std::size_t feature_dim_ = 0;
+  std::size_t pooled_rows_ = 0;
+  std::size_t words_ = 0;
+  bool trained_ = false;
+  std::vector<Emotion> label_set_;
+
+  std::vector<std::uint64_t> base_;  ///< nb x words random base vectors
+  std::vector<std::uint32_t> chan_i_, chan_j_;  ///< channel -> base pair
+  std::vector<std::uint64_t> level_;     ///< levels x words
+  std::vector<std::uint64_t> tiebreak_;  ///< words (even-count majority)
+  std::vector<std::uint64_t> proto_;     ///< classes x words
+  std::vector<float> lo_, hi_;  ///< per-channel amplitude range (train)
+
+  HdcWorkspace ws_;  ///< classify_features scratch
+};
+
+/// Trains an HDC classifier on the same synthesized corpus (and the
+/// same stratified split) train_affect_classifier uses, so per-rung
+/// accuracy numbers compare like-for-like.
+HdcClassifier train_hdc_classifier(const CorpusProfile& corpus,
+                                   const HdcConfig& cfg,
+                                   unsigned split_seed = 1,
+                                   unsigned corpus_seed = 7);
+
+}  // namespace affectsys::affect

@@ -32,7 +32,9 @@
 #include "core/buffer_pool.hpp"
 #include "nn/matrix.hpp"
 #include "nn/model.hpp"
+#include "nn/quantize.hpp"
 #include "obs/metrics.hpp"
+#include "serve/ladder.hpp"
 
 namespace affectsys::serve {
 
@@ -52,6 +54,10 @@ struct InferenceRequest {
   core::BufferRef features;       ///< rows*cols floats, row-major
   std::size_t rows = 0;           ///< timesteps
   std::size_t cols = 0;           ///< feature_dim
+  /// Precision rung this window is served on (stamped by the session
+  /// from the ladder state at staging time; kFp32 when the ladder is
+  /// off).  Batches stay rung-homogeneous — see flush_into().
+  Rung rung = Rung::kFp32;
 
   /// Copies a feature matrix into `features` (from `pool` when given,
   /// heap-backed otherwise).
@@ -103,15 +109,20 @@ struct BatcherStats {
   std::uint64_t batched_windows = 0;  ///< went through the stacked GEMM
   std::uint64_t forced_fallback_flushes = 0;  ///< fault-forced per-window path
   std::size_t max_batch_rows = 0;
+  // Ladder rung breakdown (fp32 windows = windows - int8 - hdc).
+  std::uint64_t windows_int8 = 0;
+  std::uint64_t windows_hdc = 0;
 };
 
 class InferenceBatcher {
  public:
   /// The classifier must outlive the batcher.  Inference is serialized
   /// through flush(); the model's activation caches are never touched
-  /// concurrently.
+  /// concurrently.  `ladder` carries the cheap-rung models (both null —
+  /// the default — serves every window on fp32; a non-fp32 request with
+  /// its model missing is a logic error, the server caps max_rung).
   InferenceBatcher(affect::AffectClassifier& classifier,
-                   const BatcherConfig& cfg);
+                   const BatcherConfig& cfg, const LadderRuntime& ladder = {});
 
   /// True when the model shape admits stacked-row batching (Flatten
   /// head followed by dense/elementwise layers only).
@@ -128,6 +139,10 @@ class InferenceBatcher {
   /// into the caller's scratch, reusing each slot's probability-vector
   /// capacity, and returns how many results were written.  The
   /// steady-state serving path: no allocation once scratch is warm.
+  /// Batches are rung-homogeneous: a flush serves the longest FIFO
+  /// prefix sharing the head window's rung, so global FIFO order is
+  /// preserved exactly (ladder-off queues are all-fp32 and the prefix
+  /// is always the whole batch — the byte-identity path).
   std::size_t flush_into(std::span<RoutedResult> out);
 
   /// Allocating convenience wrapper over flush_into() (classifies up to
@@ -153,6 +168,7 @@ class InferenceBatcher {
 
   affect::AffectClassifier& classifier_;
   BatcherConfig cfg_;
+  LadderRuntime ladder_;
   bool batchable_ = false;
   bool force_fallback_ = false;
   /// FIFO as a vector plus a consumed-prefix cursor: flushes advance
@@ -167,11 +183,15 @@ class InferenceBatcher {
   nn::Matrix batch_;            ///< stacked flat rows
   nn::ForwardWorkspace ws_;     ///< forward_from_infer ping-pong
   nn::Matrix fallback_;         ///< per-window matrix for the full forward
+  nn::QuantWorkspace qws_;      ///< int8-rung forward scratch
+  affect::HdcWorkspace hws_;    ///< HDC-rung encode/classify scratch
 
   // Cached metric handles (one registry lookup each, at construction).
   obs::Counter* c_flushes_ = nullptr;
   obs::Counter* c_inferences_ = nullptr;
   obs::Counter* c_forced_fallbacks_ = nullptr;
+  obs::Counter* c_int8_windows_ = nullptr;
+  obs::Counter* c_hdc_windows_ = nullptr;
   obs::Histogram* h_rows_ = nullptr;
   obs::Histogram* h_infer_ns_ = nullptr;
 };

@@ -1,10 +1,13 @@
 #include "serve/feature_cache.hpp"
 
+#include "nn/quantize.hpp"
+
 namespace affectsys::serve {
 
 FeatureBankCache::FeatureBankCache(const SharedWorkload& workload,
-                                   const affect::FeatureConfig& fc)
-    : fc_(fc) {
+                                   const affect::FeatureConfig& fc,
+                                   unsigned truncate_bits)
+    : fc_(fc), truncate_bits_(truncate_bits) {
   offset_.fill(kNone);
   utt_len_.fill(0);
 
@@ -47,6 +50,11 @@ FeatureBankCache::FeatureBankCache(const SharedWorkload& workload,
       fx.compute_frame_row(frame, {rows_.data() + base, dim_}, ws);
     }
   }
+  // Approximate storage: truncate once at build time, so every cached
+  // row a session assembles is already truncated — matching the staged
+  // copy the live path truncates.  0 bits touches nothing.
+  nn::truncate_mantissa(rows_, truncate_bits_);
+  nn::truncate_mantissa(silence_, truncate_bits_);
   usable_ = true;
 }
 

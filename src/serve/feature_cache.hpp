@@ -38,8 +38,16 @@ class FeatureBankCache {
   /// quantum or utterance lengths do not align to the feature hop the
   /// cache marks itself unusable (and builds nothing) instead of
   /// throwing — callers fall back to live extraction.
+  /// `truncate_bits` applies nn::truncate_mantissa to every cached row
+  /// (speech and silence) — the approximate-storage knob from the
+  /// inference ladder; 0 (the default) stores the exact rows, byte for
+  /// byte.
   FeatureBankCache(const SharedWorkload& workload,
-                   const affect::FeatureConfig& fc);
+                   const affect::FeatureConfig& fc,
+                   unsigned truncate_bits = 0);
+
+  /// Mantissa bits cleared from every cached row (0 = exact).
+  unsigned truncate_bits() const { return truncate_bits_; }
 
   /// False when script quantization is off or any geometry is
   /// hop-misaligned; no row accessors may be called.
@@ -76,6 +84,7 @@ class FeatureBankCache {
 
   affect::FeatureConfig fc_;
   bool usable_ = false;
+  unsigned truncate_bits_ = 0;
   std::size_t dim_ = 0;
   std::array<std::size_t, affect::kNumEmotions> offset_{};   ///< into rows_
   std::array<std::size_t, affect::kNumEmotions> utt_len_{};  ///< samples

@@ -26,6 +26,24 @@ SessionManager::SessionManager(const ServerConfig& cfg, const SessionEnv& env)
         "SessionManager: workload and classifier required");
   }
 
+  // Inference ladder: capture the classifier's weights as an int8 model
+  // (rung 1) and adopt the caller's trained HDC classifier (rung 2).
+  // max_rung stops at the first missing model — rung moves are one step
+  // at a time, so an unreachable middle rung would strand the ladder.
+  env_.ladder = &cfg_.ladder;
+  env_.max_rung = Rung::kFp32;
+  if (cfg_.ladder.enabled) {
+    quantized_ = nn::QuantizedMlp::from(env_.classifier->model());
+    if (quantized_.has_value()) {
+      ladder_rt_.int8_model = &*quantized_;
+      env_.max_rung = Rung::kInt8;
+      if (env_.hdc != nullptr && env_.hdc->trained()) {
+        ladder_rt_.hdc = env_.hdc;
+        env_.max_rung = Rung::kHdc;
+      }
+    }
+  }
+
   shards_.resize(cfg_.shards);
   for (std::size_t k = 0; k < cfg_.shards; ++k) {
     BatcherConfig bc = cfg_.batcher;
@@ -33,7 +51,7 @@ SessionManager::SessionManager(const ServerConfig& cfg, const SessionEnv& env)
     // publish distinct per-shard series.
     if (cfg_.shards > 1) bc.obs_scope = "serve.shard" + std::to_string(k);
     shards_[k].batcher =
-        std::make_unique<InferenceBatcher>(*env_.classifier, bc);
+        std::make_unique<InferenceBatcher>(*env_.classifier, bc, ladder_rt_);
   }
 
   // Pool backing staged feature windows: one block holds one window's
@@ -56,7 +74,8 @@ SessionManager::SessionManager(const ServerConfig& cfg, const SessionEnv& env)
   if (cfg_.feature_bank_cache && env_.feature_cache == nullptr &&
       env_.workload->config().script_quantum_samples != 0) {
     feature_cache_ = std::make_unique<FeatureBankCache>(
-        *env_.workload, env_.classifier->feature_config());
+        *env_.workload, env_.classifier->feature_config(),
+        cfg_.ladder.truncate_bits);
     if (feature_cache_->usable()) env_.feature_cache = feature_cache_.get();
   }
 
@@ -123,6 +142,8 @@ BatcherStats SessionManager::batcher_stats() const {
     agg.batched_windows += s.batched_windows;
     agg.forced_fallback_flushes += s.forced_fallback_flushes;
     agg.max_batch_rows = std::max(agg.max_batch_rows, s.max_batch_rows);
+    agg.windows_int8 += s.windows_int8;
+    agg.windows_hdc += s.windows_hdc;
   }
   return agg;
 }
@@ -150,6 +171,27 @@ void SessionManager::update_degrade_level() {
   AFFECTSYS_GAUGE_SET("serve.degrade_level",
                       static_cast<double>(degrade_level_));
   AFFECTSYS_GAUGE_SET("serve.backlog", static_cast<double>(b));
+}
+
+// Same one-step-per-tick hysteresis shape as the degrade ladder, on its
+// own (lower) watermarks: precision is the cheaper knob, so it gives
+// before decode quality does.  Runs before stage A, so the pressure a
+// session sees is a pure function of the backlog at tick entry —
+// deterministic and replayable.
+void SessionManager::update_ladder_pressure() {
+  if (!cfg_.ladder.enabled) return;
+  const std::size_t b = backlog();
+  if (b >= cfg_.ladder.backlog_hi) {
+    ladder_pressure_ =
+        std::min(ladder_pressure_ + 1, static_cast<int>(env_.max_rung));
+  } else if (b <= cfg_.ladder.backlog_lo && ladder_pressure_ > 0) {
+    --ladder_pressure_;
+  }
+  stats_.max_ladder_pressure =
+      std::max(stats_.max_ladder_pressure, ladder_pressure_);
+  if (ladder_pressure_ > 0) ++stats_.ladder_pressure_ticks;
+  AFFECTSYS_GAUGE_SET("serve.ladder.pressure",
+                      static_cast<double>(ladder_pressure_));
 }
 
 std::uint64_t SessionManager::session_errors(const Session& s) {
@@ -300,11 +342,18 @@ void SessionManager::tick() {
   }
   stats_.session_runs += order_.size();
 
+  // Precision pressure for this tick, from the backlog the last tick
+  // left behind (stage A reads it per session).
+  update_ladder_pressure();
+  const int pressure = ladder_pressure_;
+
   // Stage A: audio in parallel over the due list (its indexing keeps
   // parallel_for's chunking stable).
   if (cfg_.work_steal || cfg_.shards == 1) {
     core::parallel_for(0, order_.size(), 1, [&](std::size_t b, std::size_t e) {
-      for (std::size_t i = b; i < e; ++i) order_[i]->pump_audio(now_tick_);
+      for (std::size_t i = b; i < e; ++i) {
+        order_[i]->pump_audio(now_tick_, pressure);
+      }
     });
   } else {
     for (Shard& sh : shards_) sh.due.clear();
@@ -315,7 +364,7 @@ void SessionManager::tick() {
       core::parallel_for(0, sh.due.size(), 1,
                          [&](std::size_t b, std::size_t e) {
                            for (std::size_t i = b; i < e; ++i) {
-                             sh.due[i]->pump_audio(now_tick_);
+                             sh.due[i]->pump_audio(now_tick_, pressure);
                            }
                          });
     }

@@ -60,6 +60,7 @@
 #include <limits>
 #include <map>
 #include <memory>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -133,6 +134,13 @@ struct ServerConfig {
   /// (sessions fall back to live extraction when false — byte-identical
   /// output, the A/B the cache-identity test runs).
   bool feature_bank_cache = true;
+  /// Approximate-inference ladder (serve/ladder.hpp).  Disabled by
+  /// default: every window serves on fp32 and the pre-ladder byte
+  /// identity holds.  When enabled, the server builds the int8 model
+  /// from the classifier at construction; the HDC rung additionally
+  /// needs a trained classifier in SessionEnv::hdc — max_rung is capped
+  /// at the highest rung that actually has a model.
+  LadderConfig ladder{};
 };
 
 struct ServerStats {
@@ -151,6 +159,9 @@ struct ServerStats {
   /// ticks * open_sessions under compat scheduling; far smaller for a
   /// duty-cycled fleet on the wheel — the bench's idling evidence.
   std::uint64_t session_runs = 0;
+  // Inference-ladder pressure (both zero with the ladder off).
+  std::uint64_t ladder_pressure_ticks = 0;  ///< ticks at pressure >= 1
+  int max_ladder_pressure = 0;
 };
 
 class SessionManager {
@@ -193,6 +204,12 @@ class SessionManager {
   bool is_quarantined(SessionId id) const;
 
   int degrade_level() const { return degrade_level_; }
+  /// Current precision-pressure level (0..max_rung; 0 with the ladder
+  /// off).  Sessions clamp this by their own stability.
+  int ladder_pressure() const { return ladder_pressure_; }
+  /// Highest rung the ladder can actually serve (what the env's
+  /// sessions see as max_rung).
+  Rung max_rung() const { return env_.max_rung; }
   /// Windows pending inference summed over shard batchers (after stage
   /// B every session's staging buffer is empty, so this is the whole
   /// backlog).
@@ -248,6 +265,7 @@ class SessionManager {
   void restart_slot(SessionId id, Slot& slot);
   void route(std::span<const RoutedResult> results);
   void update_degrade_level();
+  void update_ladder_pressure();
   void update_error_budget();
   static std::uint64_t session_errors(const Session& s);
 
@@ -264,6 +282,13 @@ class SessionManager {
   std::unique_ptr<FeatureBankCache> feature_cache_;
   core::BufferPool* feature_pool_ptr_ = nullptr;
 
+  /// Ladder runtime: the int8 capture of the classifier (built here
+  /// when the ladder is enabled and the model shape quantizes) plus the
+  /// caller's HDC model.  Declared before shards_ — the batchers copy
+  /// ladder_rt_ at construction but the models must outlive them.
+  std::optional<nn::QuantizedMlp> quantized_;
+  LadderRuntime ladder_rt_;
+
   std::vector<Shard> shards_;
   /// Ordered by id: iteration order (and thus batch assembly and
   /// parallel_for indexing) is deterministic.
@@ -273,6 +298,7 @@ class SessionManager {
   SessionId next_id_ = 1;
   std::uint64_t now_tick_ = 0;
   int degrade_level_ = 0;
+  int ladder_pressure_ = 0;
   ServerStats stats_;
 
   // Event-driven scheduling.

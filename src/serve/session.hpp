@@ -41,6 +41,7 @@
 #include "obs/metrics.hpp"
 #include "serve/batcher.hpp"
 #include "serve/feature_cache.hpp"
+#include "serve/ladder.hpp"
 #include "serve/workload.hpp"
 
 namespace affectsys::serve {
@@ -120,6 +121,13 @@ struct SessionStats {
   // Feature-bank cache effectiveness (both zero when the cache is off).
   std::uint64_t feature_rows_cached = 0;  ///< rows copied from the bank cache
   std::uint64_t feature_rows_live = 0;    ///< rows computed by the extractor
+  // Inference-ladder exposure (windows_int8/hdc/rung_switches all zero
+  // when the ladder is off; windows_fp32 then equals windows_enqueued
+  // for sink-mode sessions).
+  std::uint64_t windows_fp32 = 0;   ///< staged on the reference rung
+  std::uint64_t windows_int8 = 0;   ///< staged on the quantized rung
+  std::uint64_t windows_hdc = 0;    ///< staged on the HDC rung
+  std::uint64_t rung_switches = 0;  ///< ladder moves (either direction)
 };
 
 /// Raw per-window classification, recorded for replay comparison.
@@ -137,6 +145,10 @@ struct WindowRecord {
 struct SessionReport {
   std::vector<WindowRecord> windows;
   std::vector<std::pair<double, affect::Emotion>> stable_trace;
+  /// (local tick, new rung) for every ladder move — the replay-identity
+  /// fingerprint of the session's rung schedule (empty ladder-off, or
+  /// when record_trace is false).
+  std::vector<std::pair<std::uint64_t, Rung>> rung_trace;
   std::uint64_t decode_digest = 1469598103934665603ull;  ///< FNV-1a basis
   SessionStats stats;
   affect::RealtimeStats realtime;
@@ -160,6 +172,17 @@ struct SessionEnv {
   /// Optional pool backing staged feature windows; null falls back to
   /// per-request heap buffers (same bytes, more allocator traffic).
   core::BufferPool* feature_pool = nullptr;
+  /// Inference-ladder policy (null or !enabled = every window fp32 and
+  /// no ladder state advances).  The server points this at its config.
+  const LadderConfig* ladder = nullptr;
+  /// Highest rung with a live model behind it (the server caps this by
+  /// what it could actually build); sessions never pick above it.
+  Rung max_rung = Rung::kFp32;
+  /// Trained HDC classifier for the top rung (caller-owned, optional).
+  /// Sessions never call it — the server hands it to the shard
+  /// batchers; it rides in the env because that is the one context the
+  /// caller hands the server.
+  const affect::HdcClassifier* hdc = nullptr;
 };
 
 class Session {
@@ -183,8 +206,12 @@ class Session {
   /// Stage A (parallel across sessions): advance one tick of audio
   /// through the embedded pipeline.  Surviving windows are feature-
   /// extracted here (per-session workspace) and staged for the batcher
-  /// — or classified inline in standalone mode.
-  void pump_audio(std::uint64_t tick);
+  /// — or classified inline in standalone mode.  `ladder_pressure` is
+  /// the server's global precision-pressure level this tick (0 with the
+  /// ladder off — the default keeps external callers unchanged); the
+  /// session clamps it by its own emotion stability to pick this tick's
+  /// rung before any window is staged.
+  void pump_audio(std::uint64_t tick, int ladder_pressure = 0);
 
   /// Moves this tick's staged windows out (server: serial, in session
   /// order, so batch assembly is deterministic).
@@ -236,6 +263,9 @@ class Session {
 
   adaptive::DecoderMode policy_mode() const { return policy_mode_; }
   adaptive::DecoderMode last_effective_mode() const { return effective_mode_; }
+  /// Precision rung new windows are currently staged on (kFp32 forever
+  /// when the ladder is off).
+  Rung rung() const { return rung_; }
   const SessionStats& stats() const { return stats_; }
 
   /// Drains nothing — snapshots the run so far.  Call only between
@@ -244,6 +274,10 @@ class Session {
 
  private:
   void on_window(double t_end, std::span<const double> window);
+  /// Steps rung_ one rung toward min(server pressure, own eligibility,
+  /// env max_rung), at most once per hysteresis dwell.  No-op with the
+  /// ladder off.
+  void update_rung(int ladder_pressure);
   /// Feature matrix for one window: the bank-cache assembly when
   /// use_cache_ (byte-identical by construction), extract_into()
   /// otherwise.  Returned reference lives in fx_ws_.
@@ -300,6 +334,17 @@ class Session {
   fault::FaultPlan fault_plan_;
   fault::FaultCounts fault_counts_;
   std::uint64_t stall_remaining_ = 0;  ///< injected-stall ticks left
+
+  // Inference-ladder state (frozen at kFp32 when env_.ladder is null or
+  // disabled).  conf_ema_ and calm_results_ track the session's emotion
+  // stability from its own result stream; both feed eligibility only,
+  // never the classification output, so maintaining them ladder-off
+  // cannot perturb byte identity.
+  Rung rung_ = Rung::kFp32;
+  float conf_ema_ = 0.0f;          ///< EMA of applied-result confidence
+  std::size_t calm_results_ = 0;   ///< results since last stable switch
+  std::uint64_t last_rung_change_ = 0;  ///< local tick of the last move
+  std::vector<std::pair<std::uint64_t, Rung>> rung_trace_;
 
   // Emotion -> mode state.
   adaptive::AffectVideoPolicy policy_;

@@ -13,6 +13,8 @@
 #                                  # Release (+ bench_fault overhead gate)
 #   tools/run_verify.sh net        # media-transport suite under ASan+UBSan
 #                                  # and Release (+ bench_net tick-overhead gate)
+#   tools/run_verify.sh inference  # quantize/int8 + ladder suites, then
+#                                  # bench_inference Pareto gates (Release)
 #
 # Build trees: build/ (default), build-nothreads/, build-asan/,
 # build-tsan/ and build-release/ (kernels).  Tests carry the ctest label "tier1"; the sanitized
@@ -164,6 +166,37 @@ pass_net() {
   fi
 }
 
+# Inference pass: the nn quantization/int8 suite plus the ladder suite
+# (labels "tier1"-subset via test_nn and "inference") in Release, then
+# bench_inference regenerating BENCH_inference.json.  bench_inference
+# itself hard-fails when the int8 rung is < 1.5x or the HDC rung < 3x
+# fp32 windows/sec, or when the ladder-on fleet sustains fewer sessions
+# (or sheds more) than ladder-off — so the shell only soft-checks the
+# committed Pareto: HDC rung throughput within 10%.
+pass_inference() {
+  run_pass build-release inference-ladder inference -DCMAKE_BUILD_TYPE=Release
+  echo "=== [inference] test_nn (quantize + int8 GEMM suite) ==="
+  (cd build-release &&
+   ./tests/test_nn --gtest_filter='Quantize*:QuantizeRows*:Int8Gemm*:QuantizedMlp*:TruncateMantissa*')
+  echo "=== [inference] bench_inference ==="
+  local fresh="build-release/BENCH_inference.json"
+  ./build-release/bench/bench_inference "$fresh"
+  if [[ -f BENCH_inference.json ]]; then
+    local committed_wps fresh_wps
+    # Third windows_per_sec entry in the rungs block is the HDC rung
+    # (fp32, int8, hdc in emission order).
+    committed_wps=$(grep -o '"windows_per_sec": [0-9.]*' BENCH_inference.json | sed -n 3p | awk '{print $2}')
+    fresh_wps=$(grep -o '"windows_per_sec": [0-9.]*' "$fresh" | sed -n 3p | awk '{print $2}')
+    echo "hdc windows_per_sec: committed=$committed_wps fresh=$fresh_wps"
+    if ! awk -v f="$fresh_wps" -v c="$committed_wps" 'BEGIN { exit !(f >= 0.9 * c) }'; then
+      echo "FAIL: HDC rung throughput regressed >10% vs committed BENCH_inference.json" >&2
+      exit 1
+    fi
+  else
+    echo "no committed BENCH_inference.json; skipping throughput check"
+  fi
+}
+
 case "$mode" in
   default)   pass_default ;;
   nothreads) pass_nothreads ;;
@@ -173,6 +206,7 @@ case "$mode" in
   serve)     pass_serve ;;
   fault)     pass_fault ;;
   net)       pass_net ;;
+  inference) pass_inference ;;
   all)
     pass_default
     pass_nothreads
@@ -182,8 +216,9 @@ case "$mode" in
     pass_serve
     pass_fault
     pass_net
+    pass_inference
     ;;
-  *) echo "usage: $0 [default|nothreads|sanitize|tsan|kernels|serve|fault|net|all]" >&2; exit 2 ;;
+  *) echo "usage: $0 [default|nothreads|sanitize|tsan|kernels|serve|fault|net|inference|all]" >&2; exit 2 ;;
 esac
 
 echo "verification passed ($mode)"
