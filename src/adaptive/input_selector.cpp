@@ -1,5 +1,6 @@
 #include "adaptive/input_selector.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
@@ -17,11 +18,25 @@ void InputSelector::reset() {
   candidate_counter_ = 0;
 }
 
+void InputSelector::set_layer_scale(double scale) {
+  if (!(scale > 0.0)) {
+    throw std::invalid_argument("InputSelector: layer scale must be > 0");
+  }
+  layer_scale_ = scale;
+}
+
+std::size_t InputSelector::effective_s_th() const {
+  if (layer_scale_ == 1.0) return params_.s_th;
+  const double scaled = std::llround(static_cast<double>(params_.s_th) *
+                                     layer_scale_);
+  return scaled < 1.0 ? 1 : static_cast<std::size_t>(scaled);
+}
+
 bool InputSelector::should_delete(const h264::NalUnit& nal) {
   if (!h264::is_slice(nal)) return false;
   const auto type = h264::peek_slice_type(nal);
   if (!type || *type == h264::SliceType::kI) return false;
-  if (nal.byte_size() > params_.s_th) return false;
+  if (nal.byte_size() > effective_s_th()) return false;
   ++stats_.candidates;
   // Delete one candidate in every f: the first of each group of f.
   const bool del = candidate_counter_ == 0;

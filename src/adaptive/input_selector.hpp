@@ -58,12 +58,26 @@ class InputSelector {
 
   const SelectorParams& params() const { return params_; }
 
+  /// Rescales the candidate threshold for a stream whose P/B slices run
+  /// `scale`x the size of the reference layer's.  S_th is calibrated
+  /// against one slice-size distribution; applied unscaled to a
+  /// downswitched (smaller-resolution) simulcast layer it would classify
+  /// nearly every slice as a candidate and deletion would gut the
+  /// stream.  The effective threshold becomes max(1, round(s_th *
+  /// scale)).  Stats and the one-in-f cadence carry across a scale
+  /// change, so switching layers mid-stream keeps the deletion rhythm.
+  void set_layer_scale(double scale);
+  double layer_scale() const { return layer_scale_; }
+  /// Threshold actually applied: params().s_th scaled by layer_scale().
+  std::size_t effective_s_th() const;
+
  private:
   bool should_delete(const h264::NalUnit& nal);
 
   SelectorParams params_;
   SelectorStats stats_;
   unsigned candidate_counter_ = 0;
+  double layer_scale_ = 1.0;
 };
 
 }  // namespace affectsys::adaptive

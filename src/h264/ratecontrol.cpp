@@ -32,6 +32,12 @@ void RateController::picture_coded(std::size_t bytes) {
   qp_ = std::clamp(qp_ + step, cfg_.min_qp, cfg_.max_qp);
 }
 
+void RateController::begin_forced_idr() {
+  const double budget = cfg_.target_bps / cfg_.fps;
+  const double cap = cfg_.reaction * budget;
+  buffer_bits_ = std::clamp(buffer_bits_, -cap, cap);
+}
+
 double RateController::achieved_bps() const {
   if (pictures_ == 0) return 0.0;
   return static_cast<double>(total_bits_) * cfg_.fps /

@@ -33,6 +33,17 @@ class RateController {
   /// Reports the size of the picture just coded; updates the state.
   void picture_coded(std::size_t bytes);
 
+  /// Call before coding a keyframe forced outside the normal GOP cadence
+  /// (simulcast segment starts, stream-switch points).  The IDR that
+  /// closed the previous GOP leaves the virtual buffer holding several
+  /// picture-budgets of debt; carrying that into the new GOP would spike
+  /// QP on its opening pictures even though the overshoot belongs to a
+  /// GOP that no longer exists.  Forgives all but +-reaction
+  /// picture-budgets of accumulated error (one QP step of pressure), so
+  /// the new GOP starts near-neutral while a genuine sustained trend
+  /// still carries.
+  void begin_forced_idr();
+
   /// Bits currently over (+) or under (-) budget.
   double buffer_bits() const { return buffer_bits_; }
   /// Average bitrate so far.

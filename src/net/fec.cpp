@@ -18,6 +18,10 @@ std::optional<MediaPacket> FecEncoder::add(const MediaPacket& p) {
   parity.seq = parity_seq_++;
   parity.timestamp = p.timestamp;
   parity.generation = p.generation;
+  // One encoder never mixes layers (the transport runs one per lane),
+  // so the group's layer is the last member's.  The receiver routes the
+  // parity to the matching lane's recovery by this field.
+  parity.layer = p.layer;
   parity.kind = PacketKind::kParity;
   parity.fec_base = base_;
   parity.fec_count = cfg_.group;

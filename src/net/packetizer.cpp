@@ -25,7 +25,7 @@ h264::NalUnit nal_from_header(std::uint8_t header,
 
 std::vector<MediaPacket> Packetizer::packetize(
     std::span<const h264::NalUnit> nals, std::uint32_t timestamp,
-    std::uint32_t generation) {
+    std::uint32_t generation, std::uint8_t layer) {
   std::vector<MediaPacket> out;
   const std::size_t mtu = std::max<std::size_t>(cfg_.mtu, 1);
   std::size_t i = 0;
@@ -47,6 +47,7 @@ std::vector<MediaPacket> Packetizer::packetize(
       p.seq = seq_++;
       p.timestamp = timestamp;
       p.generation = generation;
+      p.layer = layer;
       p.kind = PacketKind::kAggregate;
       for (; i < agg_end; ++i) {
         const h264::NalUnit& nal = nals[i];
@@ -68,6 +69,7 @@ std::vector<MediaPacket> Packetizer::packetize(
       p.seq = seq_++;
       p.timestamp = timestamp;
       p.generation = generation;
+      p.layer = layer;
       p.kind = PacketKind::kSingle;
       p.nal_header = nal_header_byte(nal);
       p.payload = nal.payload;
@@ -82,6 +84,7 @@ std::vector<MediaPacket> Packetizer::packetize(
         p.seq = seq_++;
         p.timestamp = timestamp;
         p.generation = generation;
+        p.layer = layer;
         p.kind = offset == 0 ? PacketKind::kFragStart
                  : offset + take == nal.payload.size() ? PacketKind::kFragEnd
                                                        : PacketKind::kFragMiddle;
@@ -128,7 +131,7 @@ std::vector<DepacketizerEvent> Depacketizer::push(
         dropping_frags_ = false;
         DepacketizerEvent ev;
         ev.nal = ReceivedNal{nal_from_header(p.nal_header, p.payload),
-                             p.timestamp, p.generation};
+                             p.timestamp, p.generation, p.layer};
         out.push_back(std::move(ev));
         ++stats_.nals_out;
         break;
@@ -152,7 +155,7 @@ std::vector<DepacketizerEvent> Depacketizer::push(
                   std::vector<std::uint8_t>(
                       p.payload.begin() + pos + 3,
                       p.payload.begin() + pos + 2 + size)),
-              p.timestamp, p.generation};
+              p.timestamp, p.generation, p.layer};
           out.push_back(std::move(ev));
           ++stats_.nals_out;
           pos += 2 + size;
@@ -168,6 +171,7 @@ std::vector<DepacketizerEvent> Depacketizer::push(
         frag_header_ = p.nal_header;
         frag_ts_ = p.timestamp;
         frag_gen_ = p.generation;
+        frag_layer_ = p.layer;
         frag_payload_ = p.payload;
         break;
       }
@@ -200,7 +204,7 @@ std::vector<DepacketizerEvent> Depacketizer::push(
         DepacketizerEvent ev;
         ev.nal = ReceivedNal{
             nal_from_header(frag_header_, std::move(frag_payload_)),
-            frag_ts_, frag_gen_};
+            frag_ts_, frag_gen_, frag_layer_};
         out.push_back(std::move(ev));
         assembling_ = false;
         frag_payload_ = {};

@@ -37,12 +37,15 @@ class Packetizer {
  public:
   explicit Packetizer(const PacketizerConfig& cfg) : cfg_(cfg) {}
 
-  /// Packetizes one access unit; `timestamp`/`generation` stamp every
-  /// packet, the last packet carries the marker.  Sequence numbers
-  /// continue across calls (and wrap at 65535 by design).
+  /// Packetizes one access unit; `timestamp`/`generation`/`layer` stamp
+  /// every packet, the last packet carries the marker.  Sequence numbers
+  /// continue across calls (and wrap at 65535 by design).  Per-layer
+  /// sequence spaces come from giving each layer its own Packetizer —
+  /// one instance never interleaves layers.
   std::vector<MediaPacket> packetize(std::span<const h264::NalUnit> nals,
                                      std::uint32_t timestamp,
-                                     std::uint32_t generation);
+                                     std::uint32_t generation,
+                                     std::uint8_t layer = 0);
 
   std::uint16_t next_seq() const { return seq_; }
 
@@ -56,6 +59,7 @@ struct ReceivedNal {
   h264::NalUnit nal;
   std::uint32_t timestamp = 0;
   std::uint32_t generation = 0;
+  std::uint8_t layer = 0;  ///< simulcast layer the unit arrived on
 };
 
 /// One depacketizer output: a NAL unit, or an explicit loss event where
@@ -91,6 +95,7 @@ class Depacketizer {
   std::uint8_t frag_header_ = 0;
   std::uint32_t frag_ts_ = 0;
   std::uint32_t frag_gen_ = 0;
+  std::uint8_t frag_layer_ = 0;
   std::vector<std::uint8_t> frag_payload_;
 };
 

@@ -1,19 +1,35 @@
 #include "net/transport.hpp"
 
+#include <stdexcept>
 #include <utility>
 
 namespace affectsys::net {
 
+TransportLink::TransportLink(const TransportConfig& cfg,
+                             fault::FaultPlan* plan,
+                             fault::FaultCounts* counts)
+    : cfg_(cfg), channel_(cfg.channel, plan, counts) {
+  if (cfg.layers < 1 || cfg.layers > kMaxLayers) {
+    throw std::invalid_argument("TransportLink: layers must be 1..kMaxLayers");
+  }
+  lanes_.reserve(cfg.layers);
+  for (std::uint8_t l = 0; l < cfg.layers; ++l) lanes_.emplace_back(cfg);
+}
+
 void TransportLink::send(std::span<const h264::NalUnit> nals,
                          std::uint32_t timestamp, std::uint32_t generation,
-                         std::uint64_t now) {
+                         std::uint64_t now, std::uint8_t layer) {
+  if (layer >= lanes_.size()) {
+    throw std::invalid_argument("TransportLink: send on unconfigured layer");
+  }
+  Lane& lane = lanes_[layer];
   nals_sent_ += nals.size();
   std::vector<MediaPacket> packets =
-      packetizer_.packetize(nals, timestamp, generation);
+      lane.packetizer.packetize(nals, timestamp, generation, layer);
   for (MediaPacket& p : packets) {
     ++packets_sent_;
     // Parity covers the packet exactly as sent (pre-channel).
-    std::optional<MediaPacket> parity = fec_enc_.add(p);
+    std::optional<MediaPacket> parity = lane.fec_enc.add(p);
     channel_.send(std::move(p), now);
     if (parity) channel_.send(std::move(*parity), now);
   }
@@ -21,37 +37,71 @@ void TransportLink::send(std::span<const h264::NalUnit> nals,
 
 std::vector<DepacketizerEvent> TransportLink::receive(std::uint64_t now) {
   for (MediaPacket& p : channel_.deliver(now)) {
-    if (p.kind == PacketKind::kParity) {
-      fec_rec_.add_parity(p);
+    if (p.layer >= lanes_.size()) {
+      // A lane this link doesn't run (stale sender config or corrupted
+      // header): not our media, and no sequence space to account it in.
+      ++layer_dropped_;
       continue;
     }
-    fec_rec_.add_data(p);
-    jitter_.insert(std::move(p), now);
+    Lane& lane = lanes_[p.layer];
+    if (p.kind == PacketKind::kParity) {
+      lane.fec_rec.add_parity(p);
+      continue;
+    }
+    lane.fec_rec.add_data(p);
+    lane.jitter.insert(std::move(p), now);
   }
-  // Feed anything FEC rebuilt back into the buffer — unless its slot
-  // already slipped past (the jitter depth gave up before the parity
-  // and the survivors all arrived).
-  for (MediaPacket& p : fec_rec_.recover()) {
-    if (jitter_.would_accept(p.seq)) {
-      jitter_.insert(std::move(p), now);
-      ++recovered_accepted_;
-    } else {
-      ++recovered_late_;
+  // Feed anything FEC rebuilt back into its lane's buffer — unless its
+  // slot already slipped past (the jitter depth gave up before the
+  // parity and the survivors all arrived).
+  for (Lane& lane : lanes_) {
+    for (MediaPacket& p : lane.fec_rec.recover()) {
+      if (p.layer >= lanes_.size()) {
+        ++layer_dropped_;
+        continue;
+      }
+      if (lanes_[p.layer].jitter.would_accept(p.seq)) {
+        lanes_[p.layer].jitter.insert(std::move(p), now);
+        ++recovered_accepted_;
+      } else {
+        ++recovered_late_;
+      }
     }
   }
-  return depack_.push(jitter_.pop_due(now));
+  std::vector<DepacketizerEvent> out;
+  for (std::size_t l = 0; l < lanes_.size(); ++l) {
+    Lane& lane = lanes_[l];
+    std::vector<DepacketizerEvent> evs =
+        lane.depack.push(lane.jitter.pop_due(now));
+    for (DepacketizerEvent& ev : evs) {
+      if (ev.loss) ev.nal.layer = static_cast<std::uint8_t>(l);
+      out.push_back(std::move(ev));
+    }
+  }
+  return out;
+}
+
+bool TransportLink::idle() const {
+  if (!channel_.idle()) return false;
+  for (const Lane& lane : lanes_) {
+    if (lane.jitter.buffered() != 0) return false;
+  }
+  return true;
 }
 
 TransportStats TransportLink::stats() const {
   TransportStats s;
   s.nals_sent = nals_sent_;
   s.packets_sent = packets_sent_;
-  s.parity_sent = fec_enc_.parity_emitted();
   s.packets_lost = channel_.stats().dropped();
   s.packets_recovered = recovered_accepted_;
   s.recovered_late = recovered_late_;
-  s.nals_received = depack_.stats().nals_out;
-  s.loss_events = depack_.stats().loss_events;
+  s.layer_dropped = layer_dropped_;
+  for (const Lane& lane : lanes_) {
+    s.parity_sent += lane.fec_enc.parity_emitted();
+    s.nals_received += lane.depack.stats().nals_out;
+    s.loss_events += lane.depack.stats().loss_events;
+  }
   return s;
 }
 

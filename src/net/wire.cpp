@@ -43,7 +43,7 @@ void serialize_packet_into(const MediaPacket& p,
   put32(out, p.timestamp);
   put32(out, p.generation);
   out.push_back(static_cast<std::uint8_t>(p.kind));
-  out.push_back(p.marker ? 1 : 0);
+  out.push_back(static_cast<std::uint8_t>((p.layer << 1) | (p.marker ? 1 : 0)));
   out.push_back(p.nal_header);
   put16(out, p.fec_base);
   out.push_back(p.fec_count);
@@ -54,14 +54,15 @@ std::optional<MediaPacket> parse_packet(std::span<const std::uint8_t> bytes) {
   if (bytes.size() < kWireHeaderBytes) return std::nullopt;
   const std::uint8_t kind = bytes[10];
   if (kind > static_cast<std::uint8_t>(PacketKind::kParity)) return std::nullopt;
-  const std::uint8_t marker = bytes[11];
-  if (marker > 1) return std::nullopt;
+  const std::uint8_t layer_marker = bytes[11];
+  if (layer_marker >= (kMaxLayers << 1)) return std::nullopt;
   MediaPacket p;
   p.seq = get16(bytes, 0);
   p.timestamp = get32(bytes, 2);
   p.generation = get32(bytes, 6);
   p.kind = static_cast<PacketKind>(kind);
-  p.marker = marker != 0;
+  p.marker = (layer_marker & 1) != 0;
+  p.layer = static_cast<std::uint8_t>(layer_marker >> 1);
   p.nal_header = bytes[12];
   p.fec_base = get16(bytes, 13);
   p.fec_count = bytes[15];

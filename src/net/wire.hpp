@@ -73,15 +73,23 @@ enum class PacketKind : std::uint8_t {
   kParity = 5,     ///< XOR FEC parity (its own seq space; see fec.hpp)
 };
 
+/// Simulcast layers addressable on the wire.  The layer id shares
+/// header byte 11 with the marker flag — (layer << 1) | marker — so a
+/// layer-0 packet serializes byte-identically to the pre-simulcast
+/// format and single-layer captures replay unchanged.
+inline constexpr std::uint8_t kMaxLayers = 4;
+
 /// One transport packet.  Data packets (every kind but kParity) share
-/// one sequence space; parity packets ride their own counter so a lost
-/// parity never shows up as a media gap at the jitter buffer.
+/// one sequence space *per layer*; parity packets ride their own
+/// counter so a lost parity never shows up as a media gap at the
+/// jitter buffer.
 struct MediaPacket {
   std::uint16_t seq = 0;
   std::uint32_t timestamp = 0;   ///< access-unit index within generation
   std::uint32_t generation = 0;  ///< clip-loop count (receiver reset cue)
   PacketKind kind = PacketKind::kSingle;
   bool marker = false;           ///< last packet of its access unit
+  std::uint8_t layer = 0;        ///< simulcast layer id (< kMaxLayers)
   std::uint8_t nal_header = 0;   ///< NAL header byte for single/fragment
   std::uint16_t fec_base = 0;    ///< kParity: first covered data seq
   std::uint8_t fec_count = 0;    ///< kParity: covered data packets

@@ -1,0 +1,41 @@
+// Deterministic battery/thermal device stub: the power half of the
+// context vector that joins emotion in the layer-switch policy.
+//
+// Real devices sample a fuel gauge and a thermal zone; this repo's
+// replay discipline forbids reading anything that is not a pure
+// function of (config, tick).  The stub models both as linear drains
+// from a configured starting point — enough to drive "low battery ->
+// downswitch" policy rows and make them replayable — and can be
+// swapped for a real sensor feed at the same call site later.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace affectsys::power {
+
+struct DeviceStateConfig {
+  double battery_start = 1.0;   ///< remaining fraction at tick 0, [0, 1]
+  double battery_drain_per_tick = 0.0;
+  double thermal_start = 1.0;   ///< thermal headroom fraction at tick 0
+  double thermal_drain_per_tick = 0.0;
+};
+
+/// Point-in-time device state, both in [0, 1]; 0 = exhausted/throttling.
+struct DeviceState {
+  double battery = 1.0;
+  double thermal_headroom = 1.0;
+};
+
+/// Pure function of (config, tick) — the replay contract.
+inline DeviceState device_state_at(const DeviceStateConfig& cfg,
+                                   std::uint64_t tick) {
+  const double t = static_cast<double>(tick);
+  DeviceState s;
+  s.battery = std::max(0.0, cfg.battery_start - cfg.battery_drain_per_tick * t);
+  s.thermal_headroom =
+      std::max(0.0, cfg.thermal_start - cfg.thermal_drain_per_tick * t);
+  return s;
+}
+
+}  // namespace affectsys::power

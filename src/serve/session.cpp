@@ -125,6 +125,36 @@ Session::Session(SessionId id, const SessionConfig& cfg, const SessionEnv& env,
   c_decode_errors_ = &scope_.counter("serve.decode_errors");
   c_chunks_dropped_ = &scope_.counter("serve.audio_chunks_dropped");
 
+  if (cfg_.simulcast.enabled) {
+    sim_clip_ = env_.workload->simulcast_clip();
+    if (sim_clip_ == nullptr) {
+      throw std::invalid_argument(
+          "Session: simulcast enabled but the workload built no clip "
+          "(set WorkloadConfig::simulcast.layers)");
+    }
+    const std::size_t n = sim_clip_->layer_count();
+    if (cfg_.transport.enabled &&
+        static_cast<std::size_t>(cfg_.transport.layers) != n) {
+      throw std::invalid_argument(
+          "Session: transport.layers must equal the simulcast clip's "
+          "layer count");
+    }
+    sim_policy_ = cfg_.simulcast.use_default_policy
+                      ? simulcast::default_switch_policy(n)
+                      : cfg_.simulcast.policy;
+    // Sessions join on the top layer; the first picture's join path
+    // (sim_layer_valid_ starts false) tunes the decoder to it.
+    sim_selector_ = simulcast::LayerSelector(n, n - 1);
+    c_layer_switches_ = &scope_.counter("serve.sim.layer_switches");
+    c_layer_wait_ = &scope_.counter("serve.sim.wait_pictures");
+    c_downswitch_sheds_ = &scope_.counter("serve.sim.downswitch_sheds");
+    for (std::size_t l = 0; l < n; ++l) {
+      const std::string prefix = "serve.sim.layer" + std::to_string(l);
+      c_layer_pictures_[l] = &scope_.counter(prefix + ".pictures");
+      c_layer_bytes_[l] = &scope_.counter(prefix + ".bytes");
+    }
+  }
+
   if (cfg_.transport.enabled) {
     link_ = std::make_unique<net::TransportLink>(cfg_.transport, &fault_plan_,
                                                  &fault_counts_);
@@ -375,21 +405,29 @@ void Session::record_result(std::uint64_t seq, double t_end,
 }
 
 void Session::tick_media(std::uint64_t /*tick*/, int degrade_level) {
-  effective_mode_ = adaptive::degraded_mode(policy_mode_, degrade_level);
+  const bool sim = cfg_.simulcast.enabled;
+  // Simulcast sessions gain a degrade rung *below* NAL deletion: level 1
+  // is downswitch-only (the policy sees pressure 1 but the decoder mode
+  // is not forced yet), so the whole mode ladder shifts one level deeper.
+  const int mode_level = sim ? std::max(0, degrade_level - 1) : degrade_level;
+  effective_mode_ = adaptive::degraded_mode(policy_mode_, mode_level);
   frame_carry_ += cfg_.fps * cfg_.tick_s;
   const auto budget = static_cast<std::size_t>(frame_carry_);
   frame_carry_ -= static_cast<double>(budget);
 
-  const bool shed = degrade_level >= kFrameShedLevel;
+  bool shed = degrade_level >= kFrameShedLevel;
+  if (sim) shed = sim_request_layer(budget, degrade_level, shed);
+  const adaptive::ModeConfig mc = adaptive::mode_config(
+      effective_mode_, cfg_.selector.s_th, cfg_.selector.f);
   if (link_) {
     // Transport-fed media: under overload the *sender* sheds (nothing
     // is packetized, so shed frames cost no network bytes), but the
     // receive side still drains in-flight packets every tick.
-    tick_transport_media(shed ? 0 : budget,
-                         adaptive::mode_config(effective_mode_,
-                                               cfg_.selector.s_th,
-                                               cfg_.selector.f),
-                         local_tick_);
+    if (sim) {
+      tick_sim_transport_media(shed ? 0 : budget, mc, local_tick_);
+    } else {
+      tick_transport_media(shed ? 0 : budget, mc, local_tick_);
+    }
     if (shed) {
       stats_.frames_dropped += budget;
       c_frames_dropped_->add(budget);
@@ -400,10 +438,13 @@ void Session::tick_media(std::uint64_t /*tick*/, int degrade_level) {
     stats_.frames_dropped += budget;
     c_frames_dropped_->add(budget);
   } else if (budget > 0) {
-    decode_pictures(budget,
-                    adaptive::mode_config(effective_mode_, cfg_.selector.s_th,
-                                          cfg_.selector.f));
+    if (sim) {
+      decode_sim_pictures(budget, mc);
+    } else {
+      decode_pictures(budget, mc);
+    }
   }
+  if (sim) sim_sync_counters();
 
   if (pm_ && cfg_.app_launch_period_ticks != 0 &&
       local_tick_ % cfg_.app_launch_period_ticks == 0) {
@@ -582,11 +623,230 @@ void Session::tick_transport_media(std::size_t slots,
   stats_.packets_recovered = ts.packets_recovered;
 }
 
+// Evaluates the switch policy over this tick's context and applies the
+// downswitch-before-shed override: a shed verdict from the server first
+// becomes a request for the bottom layer, and only a session already
+// locked there (switch complete, nothing pending) actually drops frames.
+bool Session::sim_request_layer(std::size_t budget, int degrade_level,
+                                bool shed) {
+  simulcast::ContextVector ctx;
+  ctx.pressure = degrade_level;
+  if (link_) {
+    const net::TransportStats ts = link_->stats();
+    const std::uint64_t sent = ts.packets_sent + ts.parity_sent;
+    ctx.loss_rate = sent != 0 ? static_cast<double>(ts.packets_lost) /
+                                    static_cast<double>(sent)
+                              : 0.0;
+  }
+  const power::DeviceState dev =
+      power::device_state_at(cfg_.simulcast.device, local_tick_);
+  ctx.battery = dev.battery;
+  ctx.thermal_headroom = dev.thermal_headroom;
+  sim_selector_.request(
+      sim_policy_.target_layer(policy_mode_, ctx, sim_clip_->layer_count()));
+  if (shed) {
+    if (sim_selector_.current() == 0 && !sim_selector_.waiting()) return true;
+    sim_selector_.request(0);
+    stats_.frames_downswitched += budget;
+    c_downswitch_sheds_->add(budget);
+    return false;
+  }
+  return shed;
+}
+
+// One picture boundary of the aligned clip: wraps the loop, runs the
+// selector, and handles layer joins.  In-process joins retune the
+// decoder (reset + parameter sets) here; transport joins only update
+// the selector state — the caller ships the new layer's parameter sets
+// in the same access unit so the receiver can retune.
+std::size_t Session::sim_advance_picture(const adaptive::ModeConfig& mc,
+                                         bool transport, bool& joined) {
+  joined = false;
+  if (sim_pic_ >= sim_clip_->pictures()) {
+    // Clip wrap: fresh selector cadence and (in-process) decoder state,
+    // exactly like the single-stream paths; the transport side bumps
+    // the generation so the receiver resets on arrival.
+    sim_pic_ = 0;
+    sim_layer_valid_ = false;
+    selector_.reset();
+    if (transport) {
+      ++send_gen_;
+      send_au_ = 0;
+    } else {
+      decoder_.reset(h264::DecoderConfig{mc.deblock, /*resilient=*/true});
+    }
+  }
+  const bool idr = sim_clip_->idr_at(sim_pic_);
+  const std::size_t layer = sim_selector_.on_picture(idr);
+  if (!sim_layer_valid_ || layer != sim_cur_layer_) {
+    joined = true;
+    sim_cur_layer_ = layer;
+    sim_layer_valid_ = true;
+    // Deletion thresholds are layer-relative: S_th calibrated for the
+    // top layer rescales by this layer's mean P/B slice size.
+    selector_.set_layer_scale(sim_clip_->selector_scale(layer));
+    if (cfg_.record_trace) {
+      layer_trace_.emplace_back(sim_pic_global_,
+                                static_cast<std::uint8_t>(layer));
+    }
+    if (!transport) {
+      decoder_.reset(h264::DecoderConfig{mc.deblock, /*resilient=*/true});
+      for (const h264::NalUnit& p : sim_clip_->layer(layer).params) {
+        decode_unit(p);
+      }
+    }
+  }
+  return layer;
+}
+
+void Session::decode_sim_pictures(std::size_t budget,
+                                  const adaptive::ModeConfig& mc) {
+  decoder_.set_deblock_enabled(mc.deblock);
+  // Each walked picture index consumes exactly one display slot —
+  // deleted, faulted or decoded — so a switch storm cannot stall the
+  // tick loop.
+  for (std::size_t pictures = 0; pictures < budget; ++pictures) {
+    bool joined = false;  // in-process joins are handled inside
+    const std::size_t layer = sim_advance_picture(mc, /*transport=*/false,
+                                                  joined);
+    const h264::NalUnit& nal = sim_clip_->layer(layer).slices[sim_pic_];
+    ++sim_pic_;
+    ++sim_pic_global_;
+    ++stats_.layer_pictures[layer];
+    c_layer_pictures_[layer]->add(1);
+    if (mc.delete_nals && !selector_.keeps(nal)) {
+      ++stats_.nals_deleted;
+      c_nals_deleted_->add(1);
+      continue;
+    }
+    stats_.layer_bytes[layer] += nal.byte_size();
+    c_layer_bytes_[layer]->add(nal.byte_size());
+    if (fault_plan_.enabled()) {
+      if (auto faulted =
+              fault::maybe_fault_nal(nal, fault_plan_, fault_counts_)) {
+        c_faults_->add(1);
+        for (const h264::NalUnit& u : *faulted) decode_unit(u);
+        continue;
+      }
+    }
+    decode_unit(nal);
+  }
+}
+
+// Simulcast transport tick: the sender walks the aligned clip picture
+// by picture, forwarding the selected layer on its own lane (per-layer
+// sequence space), and the receiver follows lane changes at decodable
+// entry points.  Layer_bytes counts exactly the slice bytes handed to
+// the packetizer — the bytes-on-wire the benches compare against
+// deletion-only shedding.
+void Session::tick_sim_transport_media(std::size_t slots,
+                                       const adaptive::ModeConfig& mc,
+                                       std::uint64_t tick) {
+  const auto append_au = [&](const h264::NalUnit& nal) {
+    if (au_count_ < au_.size()) {
+      au_[au_count_] = nal;  // copy-assign reuses payload capacity
+    } else {
+      au_.push_back(nal);
+    }
+    ++au_count_;
+  };
+
+  for (std::size_t sent_slots = 0; sent_slots < slots; ++sent_slots) {
+    bool joined = false;
+    const std::size_t layer = sim_advance_picture(mc, /*transport=*/true,
+                                                  joined);
+    const h264::NalUnit& nal = sim_clip_->layer(layer).slices[sim_pic_];
+    ++sim_pic_;
+    ++sim_pic_global_;
+    ++stats_.layer_pictures[layer];
+    c_layer_pictures_[layer]->add(1);
+    au_count_ = 0;
+    if (joined) {
+      // New lane (or new generation): ship the layer's parameter sets
+      // in front of the slice so the receiver can retune mid-stream.
+      for (const h264::NalUnit& p : sim_clip_->layer(layer).params) {
+        append_au(p);
+      }
+    }
+    if (mc.delete_nals && !selector_.keeps(nal)) {
+      ++stats_.nals_deleted;
+      c_nals_deleted_->add(1);
+    } else {
+      append_au(nal);
+      stats_.layer_bytes[layer] += nal.byte_size();
+      c_layer_bytes_[layer]->add(nal.byte_size());
+    }
+    if (au_count_ > 0) {
+      link_->send(std::span<const h264::NalUnit>(au_.data(), au_count_),
+                  send_au_, send_gen_, tick, static_cast<std::uint8_t>(layer));
+    }
+    ++send_au_;
+  }
+
+  // Receiver: decode in release order, following the sender's lane.
+  // Packets from a lane the decoder is not tuned to are adopted only at
+  // a decodable entry point (SPS or IDR slice — exactly what the sender
+  // ships on a join); anything else from a stale lane is skipped, as
+  // are its loss events — a loss on a lane we stopped watching is not a
+  // resync cue.
+  decoder_.set_deblock_enabled(mc.deblock);
+  for (const net::DepacketizerEvent& ev : link_->receive(tick)) {
+    if (ev.loss) {
+      if (!rx_layer_valid_ || ev.nal.layer != rx_layer_) continue;
+      decoder_.notify_loss();
+      ++stats_.nals_lost;
+      c_nals_lost_->add(1);
+      continue;
+    }
+    const h264::NalUnit& nal = ev.nal.nal;
+    if (!rx_layer_valid_ || ev.nal.layer != rx_layer_) {
+      const bool entry = nal.type == h264::NalType::kSps ||
+                         nal.type == h264::NalType::kSliceIdr;
+      if (!entry) continue;
+      rx_layer_ = ev.nal.layer;
+      rx_layer_valid_ = true;
+      rx_gen_ = ev.nal.generation;
+      decoder_.reset(h264::DecoderConfig{mc.deblock, /*resilient=*/true});
+    } else if (ev.nal.generation != rx_gen_) {
+      rx_gen_ = ev.nal.generation;
+      decoder_.reset(h264::DecoderConfig{mc.deblock, /*resilient=*/true});
+    }
+    if (fault_plan_.enabled()) {
+      if (auto faulted =
+              fault::maybe_fault_nal(nal, fault_plan_, fault_counts_)) {
+        c_faults_->add(1);
+        for (const h264::NalUnit& u : *faulted) decode_unit(u);
+        continue;
+      }
+    }
+    decode_unit(nal);
+  }
+
+  const net::TransportStats ts = link_->stats();
+  const std::uint64_t sent = ts.packets_sent + ts.parity_sent;
+  c_packets_sent_->add(sent - stats_.packets_sent);
+  c_packets_lost_->add(ts.packets_lost - stats_.packets_lost);
+  c_packets_recovered_->add(ts.packets_recovered - stats_.packets_recovered);
+  stats_.packets_sent = sent;
+  stats_.packets_lost = ts.packets_lost;
+  stats_.packets_recovered = ts.packets_recovered;
+}
+
+void Session::sim_sync_counters() {
+  const simulcast::LayerSelectorStats& st = sim_selector_.stats();
+  c_layer_switches_->add(st.switches_completed - stats_.layer_switches);
+  c_layer_wait_->add(st.pictures_waited - stats_.layer_wait_pictures);
+  stats_.layer_switches = st.switches_completed;
+  stats_.layer_wait_pictures = st.pictures_waited;
+}
+
 SessionReport Session::report() const {
   SessionReport rep;
   rep.windows = windows_;
   rep.stable_trace = stable_trace_;
   rep.rung_trace = rung_trace_;
+  rep.layer_trace = layer_trace_;
+  if (cfg_.simulcast.enabled) rep.layer_selector = sim_selector_.stats();
   rep.decode_digest = digest_;
   rep.stats = stats_;
   rep.realtime = pipeline_.stats();

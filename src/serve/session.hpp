@@ -21,6 +21,7 @@
 // shared model; the serialized batcher does).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <random>
@@ -39,10 +40,13 @@
 #include "h264/decoder.hpp"
 #include "net/transport.hpp"
 #include "obs/metrics.hpp"
+#include "power/device.hpp"
 #include "serve/batcher.hpp"
 #include "serve/feature_cache.hpp"
 #include "serve/ladder.hpp"
 #include "serve/workload.hpp"
+#include "simulcast/policy.hpp"
+#include "simulcast/selector.hpp"
 
 namespace affectsys::serve {
 
@@ -50,6 +54,24 @@ namespace affectsys::serve {
 /// tick's frames outright — one past the deepest affect-adaptive mode
 /// (level 2 = forced Combined).
 inline constexpr int kFrameShedLevel = 3;
+
+/// Simulcast layer switching for one session (requires a workload whose
+/// SimulcastClip was built — see WorkloadConfig::simulcast).  Media
+/// ticks walk the aligned multi-layer clip picture by picture: the
+/// switch policy is evaluated once per tick over (affect mode, context
+/// vector) and the LayerSelector changes the forwarded layer only at
+/// aligned IDRs.  Off (the default) leaves the single-stream media
+/// paths byte-identical to pre-simulcast builds.
+struct SimulcastSessionConfig {
+  bool enabled = false;
+  /// When true, `policy` is ignored and the session builds
+  /// simulcast::default_switch_policy(clip layer count).
+  bool use_default_policy = true;
+  simulcast::SwitchPolicy policy{};
+  /// Deterministic battery/thermal stub feeding the context vector (the
+  /// default never triggers the low-power rows).
+  power::DeviceStateConfig device{};
+};
 
 struct SessionConfig {
   /// Drives the emotion script, silence gaps and app-launch trace;
@@ -81,6 +103,9 @@ struct SessionConfig {
   /// With a rate-0 plan the link is the identity function, so the
   /// decode digest matches the in-process path exactly.
   net::TransportConfig transport{};
+  /// Simulcast layer switching; with transport also enabled,
+  /// transport.layers must equal the workload clip's layer count.
+  SimulcastSessionConfig simulcast{};
   /// Duty cycle for timer-wheel scheduling: after `duty_active_ticks`
   /// consecutive local ticks the session asks to sleep for
   /// `duty_idle_ticks` server ticks (next_wake_delay()).  0 idle ticks
@@ -128,6 +153,12 @@ struct SessionStats {
   std::uint64_t windows_int8 = 0;   ///< staged on the quantized rung
   std::uint64_t windows_hdc = 0;    ///< staged on the HDC rung
   std::uint64_t rung_switches = 0;  ///< ladder moves (either direction)
+  // Simulcast exposure (all zero with simulcast off).
+  std::uint64_t layer_switches = 0;       ///< completed layer changes
+  std::uint64_t layer_wait_pictures = 0;  ///< pictures waiting for the IDR
+  std::uint64_t frames_downswitched = 0;  ///< shed slots saved by a downswitch
+  std::array<std::uint64_t, 4> layer_pictures{};  ///< forwarded per layer
+  std::array<std::uint64_t, 4> layer_bytes{};     ///< slice bytes per layer
 };
 
 /// Raw per-window classification, recorded for replay comparison.
@@ -149,6 +180,13 @@ struct SessionReport {
   /// fingerprint of the session's rung schedule (empty ladder-off, or
   /// when record_trace is false).
   std::vector<std::pair<std::uint64_t, Rung>> rung_trace;
+  /// (global picture index, new layer) for every forwarded-layer change
+  /// — by the selector contract each index past the first of a
+  /// generation lands on an aligned IDR, which the invariant tests pin.
+  /// Empty with simulcast off or record_trace false.
+  std::vector<std::pair<std::uint64_t, std::uint8_t>> layer_trace;
+  /// Selector roll-up (all zero with simulcast off).
+  simulcast::LayerSelectorStats layer_selector;
   std::uint64_t decode_digest = 1469598103934665603ull;  ///< FNV-1a basis
   SessionStats stats;
   affect::RealtimeStats realtime;
@@ -293,6 +331,25 @@ class Session {
   bool decode_unit(const h264::NalUnit& unit);
   void tick_transport_media(std::size_t slots, const adaptive::ModeConfig& mc,
                             std::uint64_t tick);
+  /// Evaluates the switch policy for this tick (context vector sampled
+  /// once) and applies the downswitch-before-shed override.  Returns
+  /// whether this tick still sheds (only when already on the bottom
+  /// layer).
+  bool sim_request_layer(std::size_t budget, int degrade_level, bool shed);
+  /// Advances one picture boundary: runs the selector, handles layer
+  /// joins (selector rescale, trace, decoder adoption in-process /
+  /// params staging in transport).  Returns the layer to forward and
+  /// sets `joined` when this picture (re)joined a layer — a layer
+  /// change OR a generation wrap — so the transport sender knows to
+  /// ship parameter sets.
+  std::size_t sim_advance_picture(const adaptive::ModeConfig& mc,
+                                  bool transport, bool& joined);
+  void decode_sim_pictures(std::size_t budget, const adaptive::ModeConfig& mc);
+  void tick_sim_transport_media(std::size_t slots,
+                                const adaptive::ModeConfig& mc,
+                                std::uint64_t tick);
+  /// Rolls cumulative selector stats into stats_/obs counters (deltas).
+  void sim_sync_counters();
 
   SessionId id_;
   SessionConfig cfg_;
@@ -357,11 +414,23 @@ class Session {
   std::size_t nal_cursor_ = 0;
   double frame_carry_ = 0.0;
 
+  // Simulcast path (all dormant unless cfg.simulcast.enabled).
+  const simulcast::SimulcastClip* sim_clip_ = nullptr;
+  simulcast::LayerSelector sim_selector_{1, 0};
+  simulcast::SwitchPolicy sim_policy_;
+  std::size_t sim_pic_ = 0;          ///< next picture index within the clip
+  std::uint64_t sim_pic_global_ = 0; ///< pictures forwarded since admission
+  std::size_t sim_cur_layer_ = 0;    ///< layer the media path is locked to
+  bool sim_layer_valid_ = false;     ///< false forces a (re)join next picture
+  std::vector<std::pair<std::uint64_t, std::uint8_t>> layer_trace_;
+
   // Transport-fed media mode (null unless cfg.transport.enabled).
   std::unique_ptr<net::TransportLink> link_;
   std::uint32_t send_au_ = 0;   ///< access-unit timestamp within generation
   std::uint32_t send_gen_ = 0;  ///< sender clip-loop count
   std::uint32_t rx_gen_ = 0;    ///< last generation the receiver decoded
+  std::uint8_t rx_layer_ = 0;   ///< lane the receiver's decoder is tuned to
+  bool rx_layer_valid_ = false; ///< adopt the first usable lane seen
   /// Access-unit assembly ring (first au_count_ elements valid); slots
   /// copy-assign NalUnits so payload capacity is reused across ticks.
   std::vector<h264::NalUnit> au_;
@@ -394,6 +463,12 @@ class Session {
   obs::Counter* c_packets_lost_ = nullptr;
   obs::Counter* c_packets_recovered_ = nullptr;
   obs::Counter* c_nals_lost_ = nullptr;
+  // Simulcast counters (registered only with simulcast enabled).
+  obs::Counter* c_layer_switches_ = nullptr;
+  obs::Counter* c_layer_wait_ = nullptr;
+  obs::Counter* c_downswitch_sheds_ = nullptr;
+  std::array<obs::Counter*, 4> c_layer_pictures_{};
+  std::array<obs::Counter*, 4> c_layer_bytes_{};
 };
 
 }  // namespace affectsys::serve

@@ -31,6 +31,11 @@ SharedWorkload::SharedWorkload(const WorkloadConfig& cfg) : cfg_(cfg) {
   for (const auto& nal : nals_) {
     if (h264::is_slice(nal)) ++clip_pictures_;
   }
+
+  if (!cfg_.simulcast.layers.empty()) {
+    sim_clip_ = std::make_unique<simulcast::SimulcastClip>(
+        simulcast::encode_simulcast(cfg_.simulcast));
+  }
 }
 
 std::span<const double> SharedWorkload::utterance(affect::Emotion e) const {

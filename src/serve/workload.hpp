@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "h264/encoder.hpp"
 #include "h264/nal.hpp"
 #include "h264/testvideo.hpp"
+#include "simulcast/encoder.hpp"
 
 namespace affectsys::serve {
 
@@ -47,6 +49,11 @@ struct WorkloadConfig {
   /// phase.  0 (the default) leaves scripts exactly as previous
   /// releases generated them.
   std::size_t script_quantum_samples = 0;
+  /// Simulcast ladder built alongside the single-layer prototype clip.
+  /// Layers empty (the default) skips the build entirely; sessions with
+  /// SimulcastSessionConfig::enabled require a workload that set this
+  /// (e.g. simulcast::default_simulcast_config()).
+  simulcast::SimulcastConfig simulcast{};
 };
 
 /// One segment of a session's emotion script: `speech_s` seconds of the
@@ -79,6 +86,11 @@ class SharedWorkload {
   const std::vector<h264::NalUnit>& nal_units() const { return nals_; }
   /// Coded pictures per loop of the clip (slice NAL count).
   std::size_t clip_pictures() const { return clip_pictures_; }
+  /// Aligned multi-layer clip; null unless config().simulcast.layers was
+  /// populated.
+  const simulcast::SimulcastClip* simulcast_clip() const {
+    return sim_clip_.get();
+  }
 
   /// Deterministic per-session emotion script: `segments` entries drawn
   /// from config().emotions with seeded speech/silence jitter.
@@ -90,6 +102,7 @@ class SharedWorkload {
   std::vector<std::vector<double>> bank_;  ///< parallel to cfg_.emotions
   std::vector<h264::NalUnit> nals_;
   std::size_t clip_pictures_ = 0;
+  std::unique_ptr<simulcast::SimulcastClip> sim_clip_;
 };
 
 }  // namespace affectsys::serve

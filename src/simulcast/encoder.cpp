@@ -1,0 +1,152 @@
+#include "simulcast/encoder.hpp"
+
+#include <stdexcept>
+
+#include "h264/ratecontrol.hpp"
+
+namespace affectsys::simulcast {
+
+SimulcastConfig default_simulcast_config() {
+  SimulcastConfig cfg;
+  cfg.layers = {
+      {4, 30000.0, 34},   // 16x16 thumbnail lane
+      {2, 80000.0, 32},   // 32x32 mid lane
+      {1, 200000.0, 30},  // 64x64 top lane
+  };
+  return cfg;
+}
+
+h264::YuvFrame downscale_frame(const h264::YuvFrame& src, int scale) {
+  if (scale <= 1) return src;
+  h264::YuvFrame dst(src.width() / scale, src.height() / scale);
+  const auto box = [scale](const h264::Plane& in, h264::Plane& out) {
+    const int area = scale * scale;
+    for (int y = 0; y < out.height; ++y) {
+      for (int x = 0; x < out.width; ++x) {
+        int sum = 0;
+        for (int dy = 0; dy < scale; ++dy) {
+          for (int dx = 0; dx < scale; ++dx) {
+            sum += in.at(x * scale + dx, y * scale + dy);
+          }
+        }
+        // +area/2: round-to-nearest keeps the mean level, so layer
+        // references stay comparable to the full-resolution scene.
+        out.at(x, y) = static_cast<std::uint8_t>((sum + area / 2) / area);
+      }
+    }
+  };
+  box(src.y, dst.y);
+  box(src.cb, dst.cb);
+  box(src.cr, dst.cr);
+  return dst;
+}
+
+namespace {
+
+void validate(const SimulcastConfig& cfg) {
+  if (cfg.layers.empty() || cfg.layers.size() > kMaxSimulcastLayers) {
+    throw std::invalid_argument("simulcast: need 1..4 layers");
+  }
+  if (cfg.gop_frames < 1 || cfg.scene.frames < 1) {
+    throw std::invalid_argument("simulcast: bad gop/frame count");
+  }
+  for (const SimulcastLayerConfig& l : cfg.layers) {
+    if (l.scale < 1 || (l.scale & (l.scale - 1)) != 0) {
+      throw std::invalid_argument("simulcast: scale must be a power of two");
+    }
+    if (cfg.scene.width % (l.scale * h264::kMbSize) != 0 ||
+        cfg.scene.height % (l.scale * h264::kMbSize) != 0) {
+      throw std::invalid_argument(
+          "simulcast: scaled dimensions must be multiples of 16");
+    }
+  }
+}
+
+}  // namespace
+
+SimulcastClip::SimulcastClip(std::vector<LayerStream> streams)
+    : streams_(std::move(streams)) {
+  if (streams_.empty()) throw std::invalid_argument("simulcast: no layers");
+  for (const LayerStream& s : streams_) {
+    if (s.slices.size() != streams_[0].slices.size() ||
+        s.idr != streams_[0].idr) {
+      throw std::logic_error("simulcast: layers are not picture-aligned");
+    }
+  }
+}
+
+double SimulcastClip::selector_scale(std::size_t l) const {
+  const double top = streams_.back().mean_pb_bytes;
+  if (top <= 0.0) return 1.0;
+  const double mine = streams_[l].mean_pb_bytes;
+  return mine > 0.0 ? mine / top : 1.0;
+}
+
+SimulcastClip encode_simulcast(const SimulcastConfig& cfg) {
+  validate(cfg);
+  // One scene, top resolution, shared seed: the content every layer
+  // represents.
+  const std::vector<h264::YuvFrame> scene =
+      h264::generate_mixed_video(cfg.scene, cfg.quiet_fraction);
+
+  std::vector<LayerStream> streams;
+  streams.reserve(cfg.layers.size());
+  for (const SimulcastLayerConfig& lc : cfg.layers) {
+    std::vector<h264::YuvFrame> frames;
+    frames.reserve(scene.size());
+    for (const h264::YuvFrame& f : scene) {
+      frames.push_back(downscale_frame(f, lc.scale));
+    }
+
+    h264::EncoderConfig ec;
+    ec.width = cfg.scene.width / lc.scale;
+    ec.height = cfg.scene.height / lc.scale;
+    ec.qp = lc.initial_qp;
+    ec.gop_size = cfg.gop_frames;
+    ec.b_frames = cfg.b_frames;
+    h264::Encoder enc(ec);
+
+    h264::RateControlConfig rcc;
+    rcc.target_bps = lc.target_bps;
+    rcc.fps = cfg.fps;
+    rcc.initial_qp = lc.initial_qp;
+    h264::RateController rc(rcc);
+
+    LayerStream out;
+    out.width = ec.width;
+    out.height = ec.height;
+    out.scale = lc.scale;
+    out.params = enc.parameter_sets();
+
+    // Segment-wise encode: each encode() call starts a fresh GOP on an
+    // IDR, so segment boundaries are the aligned switch points.
+    for (std::size_t seg = 0; seg < frames.size();
+         seg += static_cast<std::size_t>(cfg.gop_frames)) {
+      const std::size_t end = std::min(
+          frames.size(), seg + static_cast<std::size_t>(cfg.gop_frames));
+      const std::vector<h264::YuvFrame> segment(frames.begin() + seg,
+                                                frames.begin() + end);
+      rc.begin_forced_idr();
+      for (h264::EncodedPicture& pic :
+           enc.encode_rate_controlled(segment, rc)) {
+        out.idr.push_back(pic.nal.type == h264::NalType::kSliceIdr ? 1 : 0);
+        out.bytes += pic.nal.byte_size();
+        out.slices.push_back(std::move(pic.nal));
+      }
+    }
+
+    std::uint64_t pb_bytes = 0, pb_count = 0;
+    for (std::size_t i = 0; i < out.slices.size(); ++i) {
+      if (out.idr[i]) continue;
+      pb_bytes += out.slices[i].byte_size();
+      ++pb_count;
+    }
+    out.mean_pb_bytes =
+        pb_count ? static_cast<double>(pb_bytes) / pb_count : 0.0;
+    out.achieved_bps = rc.achieved_bps();
+    streams.push_back(std::move(out));
+  }
+  return SimulcastClip(std::move(streams));
+}
+
+}  // namespace affectsys::simulcast

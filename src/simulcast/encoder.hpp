@@ -1,0 +1,103 @@
+// Simulcast encoding: 2-3 rate-controlled quality layers of the same
+// synthetic scene, GOP-aligned so a receiver can switch between them at
+// any IDR boundary.
+//
+// The scene is generated ONCE at the top layer's resolution from the
+// shared seed, then box-filtered down for the smaller layers — every
+// layer shows the same content at a different (resolution, bitrate)
+// operating point, which is what makes per-layer digests comparable and
+// switches visually coherent.  Encoding runs in GOP-sized segments: each
+// segment is a fresh Encoder::encode_rate_controlled() call, so every
+// segment opens on an IDR at the same picture index in every layer
+// (aligned switch points), and the RateController is told about the
+// forced keyframe so bucket debt from the previous GOP's IDR does not
+// spike QP into the new one (see RateController::begin_forced_idr).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "h264/encoder.hpp"
+#include "h264/testvideo.hpp"
+
+namespace affectsys::simulcast {
+
+/// Hard cap on layers; matches the wire format's layer-id field
+/// (net::kMaxLayers — asserted where the two meet in the serve layer).
+inline constexpr std::size_t kMaxSimulcastLayers = 4;
+
+struct SimulcastLayerConfig {
+  /// Power-of-two downscale from the scene resolution (1 = full size).
+  int scale = 1;
+  double target_bps = 200000.0;  ///< rate-control target
+  int initial_qp = 30;
+};
+
+struct SimulcastConfig {
+  /// Scene at the TOP layer's resolution; `seed` is the shared scene
+  /// seed all layers encode from.
+  h264::VideoConfig scene{64, 64, 48, 1.2, 0.6, 2.5, 77};
+  double quiet_fraction = 0.25;  ///< mixed-clip busy/quiet split
+  double fps = 25.0;
+  /// Pictures per GOP segment: every layer emits an IDR at each multiple
+  /// of this, which is exactly the set of legal switch points.
+  int gop_frames = 12;
+  int b_frames = 2;
+  /// Ascending quality: layers[0] is the cheapest (largest scale),
+  /// layers.back() the full-resolution top layer.
+  std::vector<SimulcastLayerConfig> layers;
+};
+
+/// The stock 3-layer ladder over the serve workload's 64x64 scene:
+/// 16x16 / 32x32 / 64x64 with roughly area-scaled bitrate targets.
+SimulcastConfig default_simulcast_config();
+
+/// One encoded representation.
+struct LayerStream {
+  int width = 0;
+  int height = 0;
+  int scale = 1;
+  std::vector<h264::NalUnit> params;   ///< SPS, PPS for this resolution
+  std::vector<h264::NalUnit> slices;   ///< decode order, one per picture
+  std::vector<std::uint8_t> idr;       ///< parallel: slice is an IDR
+  std::uint64_t bytes = 0;             ///< total slice bytes
+  double mean_pb_bytes = 0.0;          ///< mean non-IDR slice size
+  double achieved_bps = 0.0;           ///< rate controller's measurement
+};
+
+/// All layers of one encoded scene, picture-aligned: every layer has the
+/// same number of slices in the same decode order and IDRs land at the
+/// same indices (verified at construction).
+class SimulcastClip {
+ public:
+  explicit SimulcastClip(std::vector<LayerStream> streams);
+
+  std::size_t layer_count() const { return streams_.size(); }
+  std::size_t pictures() const {
+    return streams_.empty() ? 0 : streams_[0].slices.size();
+  }
+  /// True when picture index `pic` is a legal switch point (IDR in every
+  /// layer — alignment makes this layer-invariant).
+  bool idr_at(std::size_t pic) const {
+    return streams_[0].idr[pic] != 0;
+  }
+  const LayerStream& layer(std::size_t l) const { return streams_[l]; }
+
+  /// Relative P/B slice size of layer `l` vs the top layer, for scaling
+  /// the Input Selector's S_th (InputSelector::set_layer_scale).
+  double selector_scale(std::size_t l) const;
+
+ private:
+  std::vector<LayerStream> streams_;
+};
+
+/// Deterministic box-filter downscale by a power-of-two factor (also
+/// used to build per-layer references for PSNR reporting).
+h264::YuvFrame downscale_frame(const h264::YuvFrame& src, int scale);
+
+/// Encodes the configured scene into aligned layers.  Pure function of
+/// the config (scene seed included), so two calls with equal configs
+/// produce byte-identical clips.
+SimulcastClip encode_simulcast(const SimulcastConfig& cfg);
+
+}  // namespace affectsys::simulcast

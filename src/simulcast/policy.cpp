@@ -1,0 +1,53 @@
+#include "simulcast/policy.hpp"
+
+#include <algorithm>
+
+namespace affectsys::simulcast {
+
+std::size_t SwitchPolicy::target_layer(adaptive::DecoderMode mode,
+                                       const ContextVector& ctx,
+                                       std::size_t layers) const {
+  if (layers == 0) return 0;
+  const bool lossy = ctx.loss_rate > thresholds.lossy;
+  const bool low_power = ctx.battery < thresholds.battery_low ||
+                         ctx.thermal_headroom < thresholds.thermal_low;
+  for (const SwitchRule& r : rules) {
+    if (r.mode != -1 && r.mode != static_cast<int>(mode)) continue;
+    if (ctx.pressure < r.min_pressure) continue;
+    if (r.lossy != -1 && (r.lossy == 1) != lossy) continue;
+    if (r.low_power != -1 && (r.low_power == 1) != low_power) continue;
+    return std::min(r.target, layers - 1);
+  }
+  return std::min(default_target, layers - 1);
+}
+
+SwitchPolicy default_switch_policy(std::size_t layers) {
+  const std::size_t top = layers ? layers - 1 : 0;
+  const std::size_t mid = layers >= 3 ? top - 1 : 0;
+  SwitchPolicy p;
+  p.default_target = top;
+  p.rules = {
+      // Power beats everything: a dying battery or a throttling SoC
+      // wants the cheapest representation regardless of emotion.
+      {.low_power = 1, .target = 0},
+      // Heavy backlog: the server is already degrading modes; give it
+      // the bottom lane before it has to shed frames.
+      {.min_pressure = 2, .target = 0},
+      // Moderate backlog on a lossy link compounds: go to the bottom.
+      {.min_pressure = 1, .lossy = 1, .target = 0},
+      // Either alone steps one rung down.
+      {.min_pressure = 1, .target = mid},
+      {.lossy = 1, .target = mid},
+      // Emotion-derived mode caps quality the same way it gates NAL
+      // deletion: the cheaper the mode, the lower the lane.
+      {.mode = static_cast<int>(adaptive::DecoderMode::kCombined),
+       .target = 0},
+      {.mode = static_cast<int>(adaptive::DecoderMode::kDeletion),
+       .target = mid},
+      {.mode = static_cast<int>(adaptive::DecoderMode::kDeblockOff),
+       .target = mid},
+  };
+  return p;
+}
+
+}  // namespace affectsys::simulcast

@@ -1,0 +1,65 @@
+// Declarative switch policy: (emotion-derived decoder mode x quantized
+// context) -> target simulcast layer.
+//
+// Scenarios are DATA, not code (ROADMAP item 2): a policy is an ordered
+// rule table, first match wins, every field wildcardable.  The context
+// vector quantizes into three booleans/levels before matching —
+// backlog pressure (the serve degrade ladder level), link lossiness
+// (loss rate above a threshold) and low power (battery or thermal
+// headroom below a floor) — so a policy's behaviour is enumerable and
+// the switch-only-at-IDR invariant can be pinned across ALL policies by
+// sweeping the table space.  target_layer() is a pure function of its
+// arguments: no state, no clock, replay-safe by construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "adaptive/modes.hpp"
+
+namespace affectsys::simulcast {
+
+/// Raw context sampled once per tick by the session.
+struct ContextVector {
+  int pressure = 0;             ///< serve degrade-ladder level (0..3)
+  double loss_rate = 0.0;       ///< lost / sent on the transport link
+  double battery = 1.0;         ///< remaining fraction, [0, 1]
+  double thermal_headroom = 1.0;
+};
+
+/// Quantization thresholds applied before rule matching.
+struct ContextThresholds {
+  double lossy = 0.02;        ///< loss_rate above this = "lossy"
+  double battery_low = 0.25;  ///< battery below this = "low power"
+  double thermal_low = 0.25;  ///< headroom below this = "low power"
+};
+
+/// One row.  -1 wildcards a field; `min_pressure` matches when the
+/// context's pressure is >= it (0 = any).
+struct SwitchRule {
+  int mode = -1;          ///< adaptive::DecoderMode as int, -1 = any
+  int min_pressure = 0;
+  int lossy = -1;         ///< -1 any, 0 require clean, 1 require lossy
+  int low_power = -1;     ///< -1 any, 0 require ok, 1 require low
+  std::size_t target = 0; ///< layer to forward (clamped to the clip)
+};
+
+struct SwitchPolicy {
+  ContextThresholds thresholds{};
+  std::vector<SwitchRule> rules;   ///< ordered, first match wins
+  std::size_t default_target = 0;  ///< when no rule matches
+
+  /// The layer this policy wants under (mode, ctx) for a clip with
+  /// `layers` layers.  Pure function.
+  std::size_t target_layer(adaptive::DecoderMode mode,
+                           const ContextVector& ctx,
+                           std::size_t layers) const;
+};
+
+/// Stock policy for an N-layer ladder: low power or heavy backlog pins
+/// the bottom layer, moderate pressure or a lossy link steps one down,
+/// and the emotion-derived mode caps quality the same way it drives NAL
+/// deletion (Combined -> bottom, Deletion/DeblockOff -> mid).
+SwitchPolicy default_switch_policy(std::size_t layers);
+
+}  // namespace affectsys::simulcast

@@ -1,0 +1,44 @@
+#include "simulcast/selector.hpp"
+
+#include <algorithm>
+
+namespace affectsys::simulcast {
+
+void LayerSelector::request(std::size_t layer) {
+  layer = std::min(layer, layers_ - 1);
+  if (layer == target_) return;
+  if (layer == current_) {
+    // Re-targeted back to what we are already forwarding: the pending
+    // switch never happened.
+    ++stats_.switches_cancelled;
+    target_ = current_;
+    wait_ = 0;
+    return;
+  }
+  if (target_ == current_) ++stats_.switches_requested;
+  // else: a pending switch is being re-aimed; it stays one request.
+  target_ = layer;
+}
+
+std::size_t LayerSelector::on_picture(bool idr) {
+  if (target_ != current_) {
+    if (idr) {
+      ++stats_.switches_completed;
+      if (target_ > current_) {
+        ++stats_.upswitches;
+      } else {
+        ++stats_.downswitches;
+      }
+      stats_.last_wait_pictures = wait_;
+      stats_.max_wait_pictures = std::max(stats_.max_wait_pictures, wait_);
+      current_ = target_;
+      wait_ = 0;
+    } else {
+      ++wait_;
+      ++stats_.pictures_waited;
+    }
+  }
+  return current_;
+}
+
+}  // namespace affectsys::simulcast

@@ -1,0 +1,58 @@
+// Layer selection a la medooze's VideoLayerSelector: the forwarded
+// stream may only change at an IDR of the *target* layer, because a
+// decoder joining mid-GOP has no reference pictures.  Between the
+// request and the next IDR the selector sits in a waiting-for-keyframe
+// state and keeps forwarding the current layer; the wait is counted so
+// switch latency is observable (and bounded by one GOP by
+// construction — every simulcast GOP opens on an aligned IDR).
+//
+// Pure state machine over (requests, picture boundaries): no clock, no
+// randomness, so identical request/IDR schedules replay identically.
+#pragma once
+
+#include <cstdint>
+
+namespace affectsys::simulcast {
+
+struct LayerSelectorStats {
+  std::uint64_t switches_requested = 0;  ///< target changed away from current
+  std::uint64_t switches_completed = 0;
+  std::uint64_t upswitches = 0;
+  std::uint64_t downswitches = 0;
+  std::uint64_t switches_cancelled = 0;  ///< re-targeted back before the IDR
+  std::uint64_t pictures_waited = 0;     ///< total waiting-for-keyframe pics
+  std::uint64_t max_wait_pictures = 0;   ///< worst single switch
+  std::uint64_t last_wait_pictures = 0;  ///< most recent completed switch
+};
+
+class LayerSelector {
+ public:
+  LayerSelector(std::size_t layers, std::size_t initial)
+      : layers_(layers ? layers : 1),
+        current_(initial < layers_ ? initial : layers_ - 1),
+        target_(current_) {}
+
+  /// Requests a switch to `layer` (clamped).  Idempotent; re-requesting
+  /// the current layer cancels a pending switch.
+  void request(std::size_t layer);
+
+  /// Advances one picture boundary; `idr` marks an aligned keyframe.
+  /// Completes a pending switch exactly when `idr` is true.  Returns the
+  /// layer to forward for this picture.
+  std::size_t on_picture(bool idr);
+
+  std::size_t current() const { return current_; }
+  std::size_t target() const { return target_; }
+  bool waiting() const { return target_ != current_; }
+  std::size_t layer_count() const { return layers_; }
+  const LayerSelectorStats& stats() const { return stats_; }
+
+ private:
+  std::size_t layers_;
+  std::size_t current_;
+  std::size_t target_;
+  std::uint64_t wait_ = 0;
+  LayerSelectorStats stats_;
+};
+
+}  // namespace affectsys::simulcast

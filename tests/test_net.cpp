@@ -206,9 +206,17 @@ TEST(Wire, ParseRejectsTruncationAndBadFields) {
   auto bad_kind = bytes;
   bad_kind[10] = 0x7E;
   EXPECT_FALSE(net::parse_packet(bad_kind).has_value());
-  auto bad_marker = bytes;
-  bad_marker[11] = 0x02;
-  EXPECT_FALSE(net::parse_packet(bad_marker).has_value());
+  // Byte 11 is (layer << 1) | marker: 0x02 became "layer 1, no marker",
+  // so the first invalid value is layer == kMaxLayers.
+  auto layer_ok = bytes;
+  layer_ok[11] = 0x02;
+  const auto parsed = net::parse_packet(layer_ok);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->layer, 1);
+  EXPECT_FALSE(parsed->marker);
+  auto bad_layer = bytes;
+  bad_layer[11] = static_cast<std::uint8_t>(net::kMaxLayers << 1);
+  EXPECT_FALSE(net::parse_packet(bad_layer).has_value());
 }
 
 // ---------------------------------------------------------- packetizer

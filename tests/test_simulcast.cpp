@@ -1,0 +1,405 @@
+// Simulcast suite (ctest label "simulcast"): layer-aligned encoding,
+// the switch-only-at-IDR selector state machine, the declarative switch
+// policy, the rate controller's forced-IDR forgiveness, and the serve
+// integration — lossy 3-layer replay identity, the IDR invariant across
+// policy tables, downswitch-before-shed, and single-layer compat.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "adaptive/input_selector.hpp"
+#include "adaptive/modes.hpp"
+#include "fault/plan.hpp"
+#include "fault/scenario.hpp"
+#include "h264/ratecontrol.hpp"
+#include "net/transport.hpp"
+#include "serve/session.hpp"
+#include "serve/workload.hpp"
+#include "simulcast/encoder.hpp"
+#include "simulcast/policy.hpp"
+#include "simulcast/selector.hpp"
+
+namespace adaptive = affectsys::adaptive;
+namespace fault = affectsys::fault;
+namespace h264 = affectsys::h264;
+namespace net = affectsys::net;
+namespace serve = affectsys::serve;
+namespace simulcast = affectsys::simulcast;
+
+namespace {
+
+/// Small 2-layer ladder over a 32x32 scene for the cheap unit tests.
+simulcast::SimulcastConfig small_config() {
+  simulcast::SimulcastConfig cfg;
+  cfg.scene = h264::VideoConfig{32, 32, 24, 1.2, 0.6, 2.5, 77};
+  cfg.gop_frames = 6;
+  cfg.b_frames = 2;
+  cfg.layers = {{2, 40000.0, 34}, {1, 120000.0, 30}};
+  return cfg;
+}
+
+/// Process-lifetime serve fixtures with a simulcast workload: the
+/// scenario world's classifier/app table, plus a workload that also
+/// built the stock 3-layer clip.
+struct SimWorld {
+  serve::SharedWorkload workload;
+  SimWorld()
+      : workload([] {
+          serve::WorkloadConfig wc;
+          wc.simulcast = simulcast::default_simulcast_config();
+          return wc;
+        }()) {}
+};
+
+SimWorld& sim_world() {
+  static SimWorld w;
+  return w;
+}
+
+serve::SessionEnv sim_env() {
+  serve::SessionEnv env = fault::scenario_env();
+  env.workload = &sim_world().workload;
+  return env;
+}
+
+serve::SessionReport run_session(
+    const serve::SessionConfig& cfg, std::uint64_t ticks,
+    const std::function<int(std::uint64_t)>& level) {
+  serve::Session s(1, cfg, sim_env(), /*inline_inference=*/true);
+  for (std::uint64_t t = 0; t < ticks; ++t) {
+    s.pump_audio(t);
+    s.tick_media(t, level(t));
+  }
+  return s.report();
+}
+
+}  // namespace
+
+// ----------------------------------------------------- rate controller
+
+TEST(RateControl, ForcedIdrForgivesBucketDebt) {
+  h264::RateControlConfig cfg;
+  cfg.target_bps = 100000.0;
+  cfg.fps = 25.0;
+  cfg.initial_qp = 30;
+  h264::RateController rc(cfg);
+  const double budget = cfg.target_bps / cfg.fps;  // bits per picture
+
+  // A fat IDR closes the previous GOP ~9 picture-budgets over budget.
+  rc.picture_coded(static_cast<std::size_t>(10.0 * budget / 8.0));
+  EXPECT_GT(rc.buffer_bits(), 3.0 * cfg.reaction * budget);
+  const int spiked = rc.next_qp();
+  EXPECT_GT(spiked, cfg.initial_qp);
+
+  // Forgiveness clamps the debt to one QP step of pressure...
+  rc.begin_forced_idr();
+  EXPECT_LE(rc.buffer_bits(), cfg.reaction * budget + 1e-9);
+
+  // ...so on-budget pictures in the new GOP no longer ratchet QP up.
+  // (Regression: before the clamp the stale debt never drained on
+  // on-budget pictures and QP climbed +2 per picture toward max_qp.)
+  const int after_clamp = rc.next_qp();
+  for (int i = 0; i < 4; ++i) {
+    rc.picture_coded(static_cast<std::size_t>(budget / 8.0));
+  }
+  EXPECT_LE(rc.next_qp(), after_clamp);
+}
+
+// ------------------------------------------------ input selector scale
+
+TEST(InputSelectorScale, RescalesDeletionThreshold) {
+  adaptive::InputSelector sel(adaptive::SelectorParams{140, 1});
+  EXPECT_EQ(sel.effective_s_th(), 140u);
+  sel.set_layer_scale(0.25);
+  EXPECT_EQ(sel.effective_s_th(), 35u);
+  sel.set_layer_scale(0.001);
+  EXPECT_EQ(sel.effective_s_th(), 1u);  // floors at 1, never 0
+  sel.set_layer_scale(1.0);
+  EXPECT_EQ(sel.effective_s_th(), 140u);
+  EXPECT_THROW(sel.set_layer_scale(0.0), std::invalid_argument);
+  EXPECT_THROW(sel.set_layer_scale(-1.0), std::invalid_argument);
+
+  // A 100-byte P slice is a candidate at scale 1 (100 <= 140) but not
+  // at scale 0.5 (100 > 70) — layer-relative thresholds in action.
+  h264::NalUnit p;
+  p.type = h264::NalType::kSliceNonIdr;
+  p.payload.assign(99, 0x55);
+  p.payload[0] = 0xC0;  // ue(0) ue(0): first_mb 0, slice_type P
+  adaptive::InputSelector full(adaptive::SelectorParams{140, 1});
+  EXPECT_FALSE(full.keeps(p));  // candidate, f=1 deletes it
+  adaptive::InputSelector scaled(adaptive::SelectorParams{140, 1});
+  scaled.set_layer_scale(0.5);
+  EXPECT_TRUE(scaled.keeps(p));  // above the scaled threshold
+}
+
+// -------------------------------------------------------- the encoder
+
+TEST(SimulcastEncoder, LayersAlignAndAreDeterministic) {
+  const simulcast::SimulcastConfig cfg = small_config();
+  const simulcast::SimulcastClip a = simulcast::encode_simulcast(cfg);
+  ASSERT_EQ(a.layer_count(), 2u);
+  ASSERT_EQ(a.pictures(), 24u);
+  EXPECT_EQ(a.layer(0).width, 16);
+  EXPECT_EQ(a.layer(1).width, 32);
+  for (std::size_t l = 0; l < a.layer_count(); ++l) {
+    EXPECT_FALSE(a.layer(l).params.empty());
+    ASSERT_EQ(a.layer(l).slices.size(), a.pictures());
+    for (std::size_t p = 0; p < a.pictures(); ++p) {
+      // IDRs land exactly at GOP-segment starts in EVERY layer — the
+      // aligned switch points the selector depends on.
+      EXPECT_EQ(a.layer(l).idr[p] != 0, p % 6 == 0) << "l=" << l << " p=" << p;
+    }
+  }
+  // The top layer spends more bytes than the downscaled one.
+  EXPECT_GT(a.layer(1).bytes, a.layer(0).bytes);
+
+  // Pure function of the config: a second encode is byte-identical.
+  const simulcast::SimulcastClip b = simulcast::encode_simulcast(cfg);
+  for (std::size_t l = 0; l < a.layer_count(); ++l) {
+    ASSERT_EQ(a.layer(l).bytes, b.layer(l).bytes);
+    for (std::size_t p = 0; p < a.pictures(); ++p) {
+      EXPECT_EQ(a.layer(l).slices[p].payload, b.layer(l).slices[p].payload);
+    }
+  }
+}
+
+TEST(SimulcastEncoder, SelectorScaleTracksLayerSizes) {
+  const simulcast::SimulcastClip clip =
+      simulcast::encode_simulcast(small_config());
+  EXPECT_DOUBLE_EQ(clip.selector_scale(1), 1.0);  // top layer = reference
+  EXPECT_GT(clip.selector_scale(0), 0.0);
+  EXPECT_LT(clip.selector_scale(0), 1.0);  // smaller slices, smaller S_th
+}
+
+TEST(SimulcastEncoder, RejectsBadConfigs) {
+  simulcast::SimulcastConfig cfg = small_config();
+  cfg.layers.clear();
+  EXPECT_THROW(simulcast::encode_simulcast(cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.layers[0].scale = 3;  // not a power of two
+  EXPECT_THROW(simulcast::encode_simulcast(cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.layers[0].scale = 4;  // 32/4 = 8, not a macroblock multiple
+  EXPECT_THROW(simulcast::encode_simulcast(cfg), std::invalid_argument);
+}
+
+// ------------------------------------------------------- the selector
+
+TEST(LayerSelector, SwitchesOnlyAtIdr) {
+  simulcast::LayerSelector sel(3, 2);
+  // GOP of 4: IDR at pictures 0, 4, 8, ...
+  EXPECT_EQ(sel.on_picture(true), 2u);
+  sel.request(0);  // mid-GOP downswitch request
+  EXPECT_TRUE(sel.waiting());
+  EXPECT_EQ(sel.on_picture(false), 2u);  // keeps forwarding current
+  EXPECT_EQ(sel.on_picture(false), 2u);
+  EXPECT_EQ(sel.on_picture(false), 2u);
+  EXPECT_EQ(sel.on_picture(true), 0u);  // completes exactly at the IDR
+  EXPECT_FALSE(sel.waiting());
+  const simulcast::LayerSelectorStats& st = sel.stats();
+  EXPECT_EQ(st.switches_requested, 1u);
+  EXPECT_EQ(st.switches_completed, 1u);
+  EXPECT_EQ(st.downswitches, 1u);
+  EXPECT_EQ(st.upswitches, 0u);
+  EXPECT_EQ(st.pictures_waited, 3u);
+  EXPECT_EQ(st.last_wait_pictures, 3u);
+  EXPECT_EQ(st.max_wait_pictures, 3u);
+}
+
+TEST(LayerSelector, ReRequestingCurrentCancelsPendingSwitch) {
+  simulcast::LayerSelector sel(3, 0);
+  sel.request(2);
+  EXPECT_TRUE(sel.waiting());
+  EXPECT_EQ(sel.on_picture(false), 0u);
+  sel.request(0);  // back to current before any IDR: cancelled
+  EXPECT_FALSE(sel.waiting());
+  EXPECT_EQ(sel.on_picture(true), 0u);  // the IDR completes nothing
+  EXPECT_EQ(sel.stats().switches_cancelled, 1u);
+  EXPECT_EQ(sel.stats().switches_completed, 0u);
+  // Re-aiming a pending switch is still ONE request.
+  sel.request(1);
+  sel.request(2);
+  EXPECT_EQ(sel.stats().switches_requested, 2u);
+  EXPECT_EQ(sel.on_picture(true), 2u);
+  EXPECT_EQ(sel.stats().upswitches, 1u);
+}
+
+// --------------------------------------------------------- the policy
+
+TEST(SwitchPolicy, DefaultTableMapsContexts) {
+  const simulcast::SwitchPolicy pol = simulcast::default_switch_policy(3);
+  const auto mode = adaptive::DecoderMode::kStandard;
+  simulcast::ContextVector ctx;
+  EXPECT_EQ(pol.target_layer(mode, ctx, 3), 2u);  // all clear: top layer
+  ctx.battery = 0.1;
+  EXPECT_EQ(pol.target_layer(mode, ctx, 3), 0u);  // low power pins bottom
+  ctx = {};
+  ctx.thermal_headroom = 0.1;
+  EXPECT_EQ(pol.target_layer(mode, ctx, 3), 0u);
+  ctx = {};
+  ctx.pressure = 2;
+  EXPECT_EQ(pol.target_layer(mode, ctx, 3), 0u);  // heavy backlog: bottom
+  ctx = {};
+  ctx.pressure = 1;
+  EXPECT_EQ(pol.target_layer(mode, ctx, 3), 1u);  // moderate: one down
+  ctx.loss_rate = 0.5;
+  EXPECT_EQ(pol.target_layer(mode, ctx, 3), 0u);  // moderate AND lossy
+  ctx = {};
+  ctx.loss_rate = 0.5;
+  EXPECT_EQ(pol.target_layer(mode, ctx, 3), 1u);  // lossy alone: one down
+  ctx = {};
+  EXPECT_EQ(pol.target_layer(adaptive::DecoderMode::kCombined, ctx, 3), 0u);
+  EXPECT_EQ(pol.target_layer(adaptive::DecoderMode::kDeletion, ctx, 3), 1u);
+  EXPECT_EQ(pol.target_layer(adaptive::DecoderMode::kDeblockOff, ctx, 3), 1u);
+}
+
+TEST(SwitchPolicy, FirstMatchWinsAndTargetsClamp) {
+  simulcast::SwitchPolicy pol;
+  pol.rules = {{-1, 0, -1, -1, 0},   // matches everything
+               {-1, 0, -1, -1, 2}};  // never reached
+  simulcast::ContextVector ctx;
+  ctx.pressure = 3;
+  EXPECT_EQ(pol.target_layer(adaptive::DecoderMode::kStandard, ctx, 3), 0u);
+
+  simulcast::SwitchPolicy wild;
+  wild.default_target = 7;  // beyond the clip: clamps to the top layer
+  EXPECT_EQ(wild.target_layer(adaptive::DecoderMode::kStandard, ctx, 3), 2u);
+}
+
+// ---------------------------------------------------- serve integration
+
+TEST(ServeSimulcast, ThreeLayerLossyReplayIsByteIdentical) {
+  // Seeded packet loss + a degrade-level storm (retarget pressure every
+  // few ticks) — the full simulcast transport path must replay bit for
+  // bit: pixels, layer schedule, per-layer byte split, loss exposure.
+  serve::SessionConfig cfg;
+  cfg.seed = 11;
+  cfg.simulcast.enabled = true;
+  cfg.fault = fault::FaultConfig{41, 0.05, fault::kNetKinds};
+  cfg.transport = fault::net_scenario_transport(true);
+  cfg.transport.layers = 3;
+  const auto storm = [](std::uint64_t t) {
+    return static_cast<int>((t / 4) % 4);
+  };
+  const serve::SessionReport a = run_session(cfg, 80, storm);
+  const serve::SessionReport b = run_session(cfg, 80, storm);
+  EXPECT_EQ(a.decode_digest, b.decode_digest);
+  EXPECT_EQ(a.layer_trace, b.layer_trace);
+  EXPECT_EQ(a.stats.frames_decoded, b.stats.frames_decoded);
+  EXPECT_EQ(a.stats.packets_lost, b.stats.packets_lost);
+  EXPECT_EQ(a.stats.nals_lost, b.stats.nals_lost);
+  EXPECT_EQ(a.stats.layer_switches, b.stats.layer_switches);
+  EXPECT_EQ(a.stats.layer_bytes, b.stats.layer_bytes);
+  EXPECT_EQ(a.stats.layer_pictures, b.stats.layer_pictures);
+  // The storm actually exercised the machinery.
+  EXPECT_GT(a.stats.packets_lost, 0u);
+  EXPECT_GT(a.stats.layer_switches, 0u);
+  EXPECT_GT(a.layer_trace.size(), 1u);
+}
+
+TEST(ServeSimulcast, SwitchesOnlyAtIdrAcrossPolicies) {
+  const simulcast::SimulcastClip& clip = *sim_world().workload.simulcast_clip();
+  const int gop = sim_world().workload.config().simulcast.gop_frames;
+
+  // A spread of policy tables, stock and pathological: whatever the
+  // table wants, a forwarded-layer change may only land on an aligned
+  // IDR — the invariant is the selector's, not the policy's.
+  std::vector<simulcast::SwitchPolicy> policies;
+  policies.push_back(simulcast::default_switch_policy(3));
+  {
+    simulcast::SwitchPolicy flip;  // thrash layers with every pressure step
+    flip.rules = {{-1, 3, -1, -1, 0},
+                  {-1, 2, -1, -1, 2},
+                  {-1, 1, -1, -1, 0}};
+    flip.default_target = 1;
+    policies.push_back(flip);
+  }
+  {
+    simulcast::SwitchPolicy pin;  // constant bottom layer
+    pin.default_target = 0;
+    policies.push_back(pin);
+  }
+
+  for (std::size_t pi = 0; pi < policies.size(); ++pi) {
+    serve::SessionConfig cfg;
+    cfg.seed = 21 + static_cast<unsigned>(pi);
+    cfg.simulcast.enabled = true;
+    cfg.simulcast.use_default_policy = false;
+    cfg.simulcast.policy = policies[pi];
+    const serve::SessionReport rep =
+        run_session(cfg, 80, [](std::uint64_t t) {
+          return static_cast<int>((t * 3) % 4);
+        });
+    for (const auto& [pic, layer] : rep.layer_trace) {
+      EXPECT_TRUE(clip.idr_at(pic % clip.pictures()))
+          << "policy " << pi << ": layer change to " << int(layer)
+          << " at non-IDR picture " << pic;
+    }
+    // Switch latency is bounded by one GOP by construction.
+    EXPECT_LT(rep.layer_selector.max_wait_pictures,
+              static_cast<std::uint64_t>(gop));
+  }
+}
+
+TEST(ServeSimulcast, DownswitchBeforeShedSavesFrames) {
+  // Permanent shed-level overload: a simulcast session downswitches to
+  // the bottom layer first and only sheds once locked there, so the
+  // first tick's frames survive as bottom-layer pictures.
+  serve::SessionConfig cfg;
+  cfg.seed = 31;
+  cfg.simulcast.enabled = true;
+  const serve::SessionReport rep =
+      run_session(cfg, 40, [](std::uint64_t) { return 3; });
+  EXPECT_GT(rep.stats.frames_downswitched, 0u);
+  EXPECT_GT(rep.stats.layer_pictures[0], 0u);
+  EXPECT_EQ(rep.stats.layer_pictures[2], 0u);  // never walked the top layer
+  // Once locked on the bottom layer the shed verdict stands again, but
+  // the downswitched first tick means not every slot was dropped.
+  EXPECT_GT(rep.stats.frames_dropped, 0u);
+  EXPECT_LT(rep.stats.frames_dropped, 40u * 3u);
+}
+
+TEST(ServeSimulcast, ZeroLossTransportMatchesInProcessPath) {
+  // Same clip, same policy, perfect channel: the transport-fed
+  // simulcast session decodes the exact pixels of the in-process one.
+  serve::SessionConfig base;
+  base.seed = 17;
+  base.simulcast.enabled = true;
+  const auto steady = [](std::uint64_t) { return 0; };
+  const serve::SessionReport a = run_session(base, 60, steady);
+  serve::SessionConfig tcfg = base;
+  tcfg.transport = fault::net_scenario_transport(true);
+  tcfg.transport.layers = 3;
+  const serve::SessionReport b = run_session(tcfg, 60, steady);
+  EXPECT_EQ(a.decode_digest, b.decode_digest);
+  EXPECT_EQ(a.stats.frames_decoded, b.stats.frames_decoded);
+  EXPECT_EQ(a.layer_trace, b.layer_trace);
+  EXPECT_EQ(b.stats.packets_lost, 0u);
+}
+
+TEST(ServeSimulcast, DisabledLeavesSingleStreamPathUntouched) {
+  // Single-layer compat: with simulcast off the media paths and wire
+  // format are the pre-simulcast ones — transport digest matches the
+  // in-process reference and every simulcast stat stays zero.
+  serve::SessionConfig base;
+  base.seed = 5;
+  const auto steady = [](std::uint64_t) { return 0; };
+  const serve::SessionReport a = run_session(base, 60, steady);
+  serve::SessionConfig tcfg = base;
+  tcfg.transport = fault::net_scenario_transport(true);  // layers = 1
+  const serve::SessionReport b = run_session(tcfg, 60, steady);
+  EXPECT_EQ(a.decode_digest, b.decode_digest);
+  for (const serve::SessionReport* rep : {&a, &b}) {
+    EXPECT_TRUE(rep->layer_trace.empty());
+    EXPECT_EQ(rep->stats.layer_switches, 0u);
+    EXPECT_EQ(rep->stats.frames_downswitched, 0u);
+    for (std::size_t l = 0; l < 4; ++l) {
+      EXPECT_EQ(rep->stats.layer_pictures[l], 0u);
+      EXPECT_EQ(rep->stats.layer_bytes[l], 0u);
+    }
+    EXPECT_EQ(rep->layer_selector.switches_requested, 0u);
+  }
+}

@@ -13,6 +13,8 @@
 //   affectsys_cli fault-replay <bitstream|audio|serve|net> <seed> [rate]
 //                                                   replay one fuzz plan twice,
 //                                                   verify bit-identical
+//   affectsys_cli simulcast [seed]                  encode the stock layer
+//                                                   ladder, per-layer size/PSNR
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,7 +28,10 @@
 #include "core/emotional_policy.hpp"
 #include "core/manager_experiment.hpp"
 #include "fault/scenario.hpp"
+#include "h264/decoder.hpp"
+#include "h264/quality.hpp"
 #include "serve/server.hpp"
+#include "simulcast/encoder.hpp"
 
 using namespace affectsys;
 
@@ -35,7 +40,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: affectsys_cli <synth-scl|synth-usage|classify|"
-               "playback|manager|modes|serve|fault-replay> [args]\n");
+               "playback|manager|modes|serve|fault-replay|simulcast> "
+               "[args]\n");
   return 2;
 }
 
@@ -338,6 +344,66 @@ int cmd_fault_replay(int argc, char** argv) {
   return identical ? 0 : 1;
 }
 
+/// Encodes the stock 3-layer simulcast ladder (optionally reseeding the
+/// scene) and prints a per-layer table: resolution, achieved bitrate,
+/// stream size, mean P/B slice size, and decoded luma PSNR against a
+/// box-filtered downscale of the shared scene — the at-a-glance view of
+/// what each rung of the switch policy's ladder costs and delivers.
+int cmd_simulcast(int argc, char** argv) {
+  simulcast::SimulcastConfig cfg = simulcast::default_simulcast_config();
+  if (argc > 0) cfg.scene.seed = static_cast<unsigned>(std::atoi(argv[0]));
+  std::printf("encoding %zu layers (%dx%d scene, %d frames, gop %d, "
+              "seed %u)...\n",
+              cfg.layers.size(), cfg.scene.width, cfg.scene.height,
+              cfg.scene.frames, cfg.gop_frames, cfg.scene.seed);
+  const simulcast::SimulcastClip clip = simulcast::encode_simulcast(cfg);
+  const std::vector<h264::YuvFrame> scene =
+      h264::generate_mixed_video(cfg.scene, cfg.quiet_fraction);
+
+  std::printf("%5s %9s %10s %9s %10s %9s\n", "layer", "res", "kbps",
+              "bytes", "mean P/B", "PSNR-Y");
+  for (std::size_t l = 0; l < clip.layer_count(); ++l) {
+    const simulcast::LayerStream& s = clip.layer(l);
+    std::vector<h264::YuvFrame> refs;
+    refs.reserve(scene.size());
+    for (const h264::YuvFrame& f : scene) {
+      refs.push_back(simulcast::downscale_frame(f, s.scale));
+    }
+    // Decode GOP segment by GOP segment (each opens on an aligned IDR
+    // and restarts picture order), reassembling display order per
+    // segment.
+    h264::Decoder dec;
+    for (const h264::NalUnit& p : s.params) dec.decode_nal(p);
+    std::vector<h264::YuvFrame> shown;
+    std::vector<h264::DecodedPicture> seg;
+    for (std::size_t pic = 0; pic < clip.pictures(); ++pic) {
+      if (auto out = dec.decode_nal(s.slices[pic])) {
+        seg.push_back(std::move(*out));
+      }
+      if (pic + 1 == clip.pictures() || clip.idr_at(pic + 1)) {
+        const int expected = static_cast<int>(seg.size());
+        for (auto& d :
+             h264::assemble_display_sequence(std::move(seg), expected)) {
+          shown.push_back(std::move(d.frame));
+        }
+        seg.clear();
+      }
+    }
+    if (shown.size() != refs.size()) {
+      std::fprintf(stderr, "layer %zu decoded %zu of %zu pictures\n", l,
+                   shown.size(), refs.size());
+      return 1;
+    }
+    std::printf("%5zu %4dx%-4d %10.1f %9llu %10.1f %8.2f\n", l, s.width,
+                s.height, s.achieved_bps / 1000.0,
+                static_cast<unsigned long long>(s.bytes), s.mean_pb_bytes,
+                h264::sequence_psnr(refs, shown));
+  }
+  std::printf("aligned IDRs every %d pictures = the legal switch points\n",
+              cfg.gop_frames);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -355,6 +421,9 @@ int main(int argc, char** argv) {
     if (!std::strcmp(cmd, "serve")) return cmd_serve(argc - 2, argv + 2);
     if (!std::strcmp(cmd, "fault-replay")) {
       return cmd_fault_replay(argc - 2, argv + 2);
+    }
+    if (!std::strcmp(cmd, "simulcast")) {
+      return cmd_simulcast(argc - 2, argv + 2);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

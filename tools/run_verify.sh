@@ -15,6 +15,8 @@
 #                                  # and Release (+ bench_net tick-overhead gate)
 #   tools/run_verify.sh inference  # quantize/int8 + ladder suites, then
 #                                  # bench_inference Pareto gates (Release)
+#   tools/run_verify.sh simulcast  # simulcast suite under ASan+UBSan and
+#                                  # Release (+ bench_simulcast gates)
 #
 # Build trees: build/ (default), build-nothreads/, build-asan/,
 # build-tsan/ and build-release/ (kernels).  Tests carry the ctest label "tier1"; the sanitized
@@ -197,6 +199,34 @@ pass_inference() {
   fi
 }
 
+# Simulcast pass: the simulcast suite (label "simulcast": aligned-layer
+# encoding, switch-only-at-IDR selector, policy table, serve
+# replay/compat pins) under ASan+UBSan for the multi-lane transport
+# paths and Release at speed, then bench_simulcast, which hard-fails on
+# replay divergence, switch latency >= 1 GOP, or a wire-byte reduction
+# below 20% vs deletion-only shedding.  The committed
+# BENCH_simulcast.json is soft-checked: the wire reduction must stay
+# within 10% of the committed figure.
+pass_simulcast() {
+  run_pass build-asan simulcast-asan simulcast -DAFFECTSYS_SANITIZE=ON
+  run_pass build-release simulcast-release simulcast -DCMAKE_BUILD_TYPE=Release
+  echo "=== [simulcast] bench_simulcast ==="
+  local fresh="build-release/BENCH_simulcast.json"
+  ./build-release/bench/bench_simulcast "$fresh"
+  if [[ -f BENCH_simulcast.json ]]; then
+    local committed_red fresh_red
+    committed_red=$(grep -o '"wire_reduction_pct": [0-9.]*' BENCH_simulcast.json | awk '{print $2}')
+    fresh_red=$(grep -o '"wire_reduction_pct": [0-9.]*' "$fresh" | awk '{print $2}')
+    echo "wire_reduction_pct: committed=$committed_red fresh=$fresh_red"
+    if ! awk -v f="$fresh_red" -v c="$committed_red" 'BEGIN { exit !(f >= 0.9 * c) }'; then
+      echo "FAIL: wire reduction regressed >10% vs committed BENCH_simulcast.json" >&2
+      exit 1
+    fi
+  else
+    echo "no committed BENCH_simulcast.json; skipping reduction check"
+  fi
+}
+
 case "$mode" in
   default)   pass_default ;;
   nothreads) pass_nothreads ;;
@@ -207,6 +237,7 @@ case "$mode" in
   fault)     pass_fault ;;
   net)       pass_net ;;
   inference) pass_inference ;;
+  simulcast) pass_simulcast ;;
   all)
     pass_default
     pass_nothreads
@@ -217,8 +248,9 @@ case "$mode" in
     pass_fault
     pass_net
     pass_inference
+    pass_simulcast
     ;;
-  *) echo "usage: $0 [default|nothreads|sanitize|tsan|kernels|serve|fault|net|inference|all]" >&2; exit 2 ;;
+  *) echo "usage: $0 [default|nothreads|sanitize|tsan|kernels|serve|fault|net|inference|simulcast|all]" >&2; exit 2 ;;
 esac
 
 echo "verification passed ($mode)"
