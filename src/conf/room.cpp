@@ -1,0 +1,63 @@
+#include "conf/room.hpp"
+
+#include <algorithm>
+
+namespace affectsys::conf {
+
+Room::Room(RoomId id, const RoomConfig& cfg)
+    : id_(id), cfg_(cfg), detector_(cfg.detector), scope_(cfg.obs_scope) {
+  if (!cfg_.obs_scope.empty()) {
+    c_ticks_ = &scope_.counter("conf.ticks");
+    c_switches_ = &scope_.counter("conf.speaker_switches");
+    c_silent_ = &scope_.counter("conf.silent_ticks");
+  }
+}
+
+void Room::add(SpeakerId id) {
+  detector_.add(id);
+  const auto it =
+      std::lower_bound(member_ids_.begin(), member_ids_.end(), id);
+  if (it == member_ids_.end() || *it != id) member_ids_.insert(it, id);
+}
+
+void Room::remove(SpeakerId id) {
+  detector_.remove(id);
+  const auto it =
+      std::lower_bound(member_ids_.begin(), member_ids_.end(), id);
+  if (it != member_ids_.end() && *it == id) member_ids_.erase(it);
+}
+
+void Room::tick(std::uint64_t now) {
+  const bool had = detector_.has_dominant();
+  const SpeakerId before = detector_.dominant();
+  const std::uint64_t silent_before = detector_.stats().silent_ticks;
+  const SpeakerId after = detector_.tick(now);
+  if (detector_.has_dominant() && (!had || after != before)) {
+    if (cfg_.record_trace) trace_.push_back({now, after});
+    if (had && c_switches_ != nullptr) c_switches_->add(1);
+  }
+  if (c_ticks_ != nullptr) c_ticks_->add(1);
+  if (c_silent_ != nullptr &&
+      detector_.stats().silent_ticks != silent_before) {
+    c_silent_->add(1);
+  }
+}
+
+RoomReport Room::report() const {
+  RoomReport rep;
+  rep.room = id_;
+  rep.dominant = detector_.dominant();
+  rep.speaker_trace = trace_;
+  rep.roles.reserve(member_ids_.size());
+  for (SpeakerId id : member_ids_) {
+    rep.roles.emplace_back(id, detector_.role(id));
+  }
+  const ActiveSpeakerStats& st = detector_.stats();
+  rep.ticks = st.ticks;
+  rep.speaker_switches = st.speaker_switches;
+  rep.silent_ticks = st.silent_ticks;
+  rep.observations = st.observations;
+  return rep;
+}
+
+}  // namespace affectsys::conf

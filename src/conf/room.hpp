@@ -1,0 +1,101 @@
+// A room groups K speakers behind one ActiveSpeakerDetector and keeps
+// the replay artifacts: a speaker_trace of (tick, dominant id) pinned
+// next to the per-session layer_trace, per-room obs counters, and a
+// RoomReport with operator== for two-run identity tests.
+//
+// The room never touches media — it only decides roles.  The serve
+// layer feeds it observations (stage A energies + affect confidence),
+// ticks it serially between audio and media stages, and copies the
+// resulting roles into each member's switch-policy context; the
+// LayerSelector still owns WHEN a role change becomes a layer change
+// (switch-only-at-IDR), and per-speaker transport lanes are never
+// reset by a dominance move.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "conf/speaker.hpp"
+#include "obs/metrics.hpp"
+
+namespace affectsys::conf {
+
+using RoomId = std::uint64_t;
+
+struct RoomConfig {
+  ActiveSpeakerConfig detector{};
+  /// False drops the speaker_trace (stats still accumulate).
+  bool record_trace = true;
+  /// Metric namespace for the per-room counters; empty registers
+  /// nothing (standalone/unit-test rooms stay registry-silent).
+  std::string obs_scope;
+};
+
+/// One dominance change (the first entry is the initial election).
+struct SpeakerTraceEntry {
+  std::uint64_t tick = 0;
+  SpeakerId speaker = 0;
+  bool operator==(const SpeakerTraceEntry&) const = default;
+};
+
+struct RoomReport {
+  RoomId room = 0;
+  SpeakerId dominant = 0;
+  std::vector<SpeakerTraceEntry> speaker_trace;
+  /// (member id, role) in ascending id order, as of the last tick.
+  std::vector<std::pair<SpeakerId, simulcast::SpeakerRole>> roles;
+  std::uint64_t ticks = 0;
+  std::uint64_t speaker_switches = 0;
+  std::uint64_t silent_ticks = 0;
+  std::uint64_t observations = 0;
+  bool operator==(const RoomReport&) const = default;
+};
+
+class Room {
+ public:
+  Room(RoomId id, const RoomConfig& cfg);
+
+  Room(const Room&) = delete;
+  Room& operator=(const Room&) = delete;
+
+  RoomId id() const { return id_; }
+  std::size_t members() const { return detector_.members(); }
+  const std::vector<SpeakerId>& member_ids() const { return member_ids_; }
+
+  void add(SpeakerId id);
+  void remove(SpeakerId id);
+
+  /// This tick's observation for one member (serve stage A output).
+  void observe(SpeakerId id, double energy, double confidence) {
+    detector_.observe(id, energy, confidence);
+  }
+
+  /// Advances the detector one tick and appends to the speaker_trace on
+  /// dominance changes.  Deterministic: callers must feed observations
+  /// in a deterministic order between ticks (the server walks its due
+  /// list ascending).
+  void tick(std::uint64_t now);
+
+  SpeakerId dominant() const { return detector_.dominant(); }
+  simulcast::SpeakerRole role(SpeakerId id) const {
+    return detector_.role(id);
+  }
+  const ActiveSpeakerStats& stats() const { return detector_.stats(); }
+
+  RoomReport report() const;
+
+ private:
+  RoomId id_;
+  RoomConfig cfg_;
+  ActiveSpeakerDetector detector_;
+  std::vector<SpeakerId> member_ids_;  ///< ascending (mirrors the detector)
+  std::vector<SpeakerTraceEntry> trace_;
+  obs::MetricScope scope_;
+  obs::Counter* c_ticks_ = nullptr;
+  obs::Counter* c_switches_ = nullptr;
+  obs::Counter* c_silent_ = nullptr;
+};
+
+}  // namespace affectsys::conf

@@ -1,0 +1,111 @@
+#include "conf/speaker.hpp"
+
+namespace affectsys::conf {
+
+ActiveSpeakerDetector::ActiveSpeakerDetector(const ActiveSpeakerConfig& cfg)
+    : cfg_(cfg) {}
+
+void ActiveSpeakerDetector::add(SpeakerId id) { members_.emplace(id, Member{}); }
+
+void ActiveSpeakerDetector::remove(SpeakerId id) {
+  members_.erase(id);
+  if (has_dominant_ && dominant_ == id) {
+    // The floor holder left: next tick elects fresh, without min-hold —
+    // an empty floor is not a hold worth protecting.
+    has_dominant_ = false;
+  }
+}
+
+void ActiveSpeakerDetector::observe(SpeakerId id, double energy,
+                                    double confidence) {
+  const auto it = members_.find(id);
+  if (it == members_.end()) return;
+  it->second.pending_energy = energy;
+  it->second.pending_conf = confidence;
+  it->second.observed = true;
+  ++stats_.observations;
+}
+
+SpeakerId ActiveSpeakerDetector::tick(std::uint64_t now) {
+  ++stats_.ticks;
+  last_now_ = now;
+  bool any_speaking = false;
+  for (auto& [id, m] : members_) {
+    const bool speaking = m.observed && m.pending_energy > cfg_.energy_floor;
+    // Unobserved members decay as silent: a stalled, quarantined or
+    // not-due session loses the floor the same way a quiet one does.
+    const double activity =
+        speaking ? 1.0 + cfg_.affect_weight * m.pending_conf : 0.0;
+    m.score = cfg_.decay * m.score + (1.0 - cfg_.decay) * activity;
+    if (speaking) {
+      m.last_spoke = now;
+      m.ever_spoke = true;
+      any_speaking = true;
+    }
+    m.observed = false;
+  }
+  if (!any_speaking) ++stats_.silent_ticks;
+  if (members_.empty()) {
+    has_dominant_ = false;
+    return 0;
+  }
+
+  // argmax score, ties to the lowest id (std::map iterates ascending).
+  SpeakerId best = members_.begin()->first;
+  double best_score = members_.begin()->second.score;
+  for (const auto& [id, m] : members_) {
+    if (m.score > best_score) {
+      best = id;
+      best_score = m.score;
+    }
+  }
+
+  if (!has_dominant_) {
+    // Initial election (or the floor holder left): take the current
+    // leader immediately — in a just-created room every score is 0 and
+    // the lowest id wins, which is the stable-pinning fallback.
+    dominant_ = best;
+    has_dominant_ = true;
+    last_switch_ = now;
+  } else if (best != dominant_) {
+    const auto inc = members_.find(dominant_);
+    const double inc_score = inc == members_.end() ? 0.0 : inc->second.score;
+    // Dwell hysteresis: a challenger needs (a) the hold to have expired,
+    // (b) a margin over the incumbent, (c) an absolute activation floor.
+    // A silent room fails (c), so the incumbent keeps the floor — no
+    // round-robin churn on numeric dust.
+    if (now - last_switch_ >= cfg_.min_hold_ticks &&
+        best_score > cfg_.margin * inc_score &&
+        best_score > cfg_.activation) {
+      if (inc != members_.end()) inc->second.last_dominant = now;
+      dominant_ = best;
+      last_switch_ = now;
+      ++stats_.speaker_switches;
+    }
+  }
+  members_.at(dominant_).last_dominant = now;
+  return dominant_;
+}
+
+simulcast::SpeakerRole ActiveSpeakerDetector::role(SpeakerId id) const {
+  if (has_dominant_ && id == dominant_) return simulcast::SpeakerRole::kDominant;
+  const auto it = members_.find(id);
+  if (it == members_.end()) return simulcast::SpeakerRole::kIdle;
+  const Member& m = it->second;
+  const std::uint64_t now = last_now_;  // role is as-of the last tick()
+  const auto within = [&](std::uint64_t t) {
+    return now >= t && now - t <= cfg_.recent_ticks;
+  };
+  if ((m.ever_spoke && within(m.last_spoke)) ||
+      (m.last_dominant != 0 && within(m.last_dominant))) {
+    return simulcast::SpeakerRole::kRecent;
+  }
+  return simulcast::SpeakerRole::kIdle;
+}
+
+double ActiveSpeakerDetector::score(SpeakerId id) const {
+  const auto it = members_.find(id);
+  return it == members_.end() ? 0.0 : it->second.score;
+}
+
+}  // namespace affectsys::conf

@@ -1,0 +1,106 @@
+// Active-speaker detection a la medooze's ActiveSpeakerDetector: every
+// room member accumulates a leaky score from per-tick (audio energy,
+// affect confidence) observations, and dominance moves only when a
+// challenger's score beats the incumbent's by a margin AND the
+// incumbent has held the floor for at least min_hold_ticks — dwell
+// hysteresis, so the floor cannot flap faster than the hold.
+//
+// Pure state machine over (membership edits, observations, ticks): no
+// wall clock, no randomness, deterministic member iteration (ascending
+// id), so identical observation schedules replay identically — the
+// property the speaker_trace replay pins rely on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "simulcast/policy.hpp"
+
+namespace affectsys::conf {
+
+/// Matches serve::SessionId (conf stays below serve in the layering, so
+/// the alias is redeclared rather than included).
+using SpeakerId = std::uint64_t;
+
+struct ActiveSpeakerConfig {
+  /// Mean-square chunk energy above this counts as speaking.  Synthetic
+  /// utterances sit around 1e-2; scripted silence is exactly 0.
+  double energy_floor = 1e-6;
+  /// Per-tick score leak: score = decay*score + (1-decay)*activity.
+  double decay = 0.85;
+  /// Affect half of the activity signal: a speaking member scores
+  /// 1 + affect_weight * confidence, so a confidently emotional speaker
+  /// out-accumulates a flat one at equal energy.
+  double affect_weight = 0.5;
+  /// A challenger must beat the incumbent's score by this factor.
+  double margin = 1.15;
+  /// Absolute score floor a challenger must clear (keeps numeric dust
+  /// from stealing the floor in a silent room).
+  double activation = 0.1;
+  /// Minimum ticks between dominance changes (dwell hysteresis).
+  std::uint64_t min_hold_ticks = 10;
+  /// A member that spoke (or held the floor) within this many ticks is
+  /// kRecent; beyond it, kIdle.
+  std::uint64_t recent_ticks = 30;
+};
+
+struct ActiveSpeakerStats {
+  std::uint64_t ticks = 0;
+  std::uint64_t observations = 0;
+  std::uint64_t speaker_switches = 0;  ///< dominance changes (not the
+                                       ///< initial election)
+  std::uint64_t silent_ticks = 0;      ///< ticks with no member speaking
+};
+
+class ActiveSpeakerDetector {
+ public:
+  explicit ActiveSpeakerDetector(const ActiveSpeakerConfig& cfg = {});
+
+  /// Membership edits; removing the dominant speaker forces a fresh
+  /// election (no min-hold) on the next tick.
+  void add(SpeakerId id);
+  void remove(SpeakerId id);
+  std::size_t members() const { return members_.size(); }
+
+  /// Records this tick's observation for `id` (latest wins within a
+  /// tick).  Members not observed before the next tick() are silent —
+  /// which is exactly what a stalled or quarantined session looks like.
+  void observe(SpeakerId id, double energy, double confidence);
+
+  /// Advances one tick at time `now` (caller's monotonic tick counter):
+  /// folds observations into scores in ascending-id order, then runs
+  /// the dominance state machine.  Returns the dominant speaker id (0
+  /// if the room is empty).
+  SpeakerId tick(std::uint64_t now);
+
+  SpeakerId dominant() const { return has_dominant_ ? dominant_ : 0; }
+  bool has_dominant() const { return has_dominant_; }
+
+  /// Role as of the last tick().  Unknown ids are kIdle.
+  simulcast::SpeakerRole role(SpeakerId id) const;
+
+  double score(SpeakerId id) const;
+  const ActiveSpeakerStats& stats() const { return stats_; }
+
+ private:
+  struct Member {
+    double score = 0.0;
+    double pending_energy = 0.0;
+    double pending_conf = 0.0;
+    bool observed = false;        ///< observation arrived this tick
+    bool ever_spoke = false;
+    std::uint64_t last_spoke = 0;     ///< tick of the last speaking frame
+    std::uint64_t last_dominant = 0;  ///< tick the member last held the floor
+  };
+
+  ActiveSpeakerConfig cfg_;
+  std::map<SpeakerId, Member> members_;  ///< ordered: deterministic walks
+  SpeakerId dominant_ = 0;
+  bool has_dominant_ = false;
+  std::uint64_t last_switch_ = 0;  ///< tick of the last dominance change
+  std::uint64_t last_now_ = 0;     ///< `now` of the last tick()
+  ActiveSpeakerStats stats_;
+};
+
+}  // namespace affectsys::conf

@@ -113,10 +113,59 @@ SessionId SessionManager::create_session() {
   return create_session(cfg);
 }
 
+conf::RoomId SessionManager::create_room(const conf::RoomConfig& cfg) {
+  const conf::RoomId id = next_room_++;
+  conf::RoomConfig rc = cfg;
+  if (rc.obs_scope.empty()) {
+    rc.obs_scope = "serve.room" + std::to_string(id);
+  }
+  rooms_.emplace(id, std::make_unique<conf::Room>(id, rc));
+  ++stats_.rooms_created;
+  AFFECTSYS_COUNT("serve.rooms_created", 1);
+  return id;
+}
+
+SessionId SessionManager::create_session(const SessionConfig& cfg,
+                                         conf::RoomId room) {
+  const auto rit = rooms_.find(room);
+  if (rit == rooms_.end()) {
+    throw std::out_of_range("SessionManager: unknown room id");
+  }
+  if (!cfg.simulcast.enabled) {
+    throw std::invalid_argument(
+        "SessionManager: room members need simulcast (the multiplexer "
+        "pins speakers to ladder rungs)");
+  }
+  SessionConfig c = cfg;
+  // The default policy becomes the conference table; an explicit policy
+  // is the caller's to shape (the fuzz suite feeds random ones).
+  c.simulcast.conference = true;
+  const SessionId id = create_session(c);  // may throw AdmissionError
+  sessions_.at(id).room = room;
+  rit->second->add(id);
+  return id;
+}
+
+const conf::Room& SessionManager::room(conf::RoomId id) const {
+  const auto it = rooms_.find(id);
+  if (it == rooms_.end()) {
+    throw std::out_of_range("SessionManager: unknown room id");
+  }
+  return *it->second;
+}
+
+conf::RoomReport SessionManager::room_report(conf::RoomId id) const {
+  return room(id).report();
+}
+
 void SessionManager::close_session(SessionId id) {
   const auto it = sessions_.find(id);
   if (it == sessions_.end()) {
     throw std::out_of_range("SessionManager: unknown session id");
+  }
+  if (it->second.room != 0) {
+    const auto rit = rooms_.find(it->second.room);
+    if (rit != rooms_.end()) rit->second->remove(id);
   }
   // Any wheel entry the slot still has goes stale and is ignored when
   // it fires (no matching slot / next_wake mismatch).
@@ -302,6 +351,35 @@ void SessionManager::build_due_wheel() {
             [](const Session* a, const Session* b) { return a->id() < b->id(); });
 }
 
+// Stage R (serial, between stages A and B): conference dominance.
+// Observations walk this tick's due list in id order (a member not due
+// — sleeping on the wheel or quarantined — is unobserved and decays as
+// silent), rooms tick in ascending room id, and roles copy back into
+// the sessions before stage C evaluates any switch policy.  The stage
+// consults NO fault plan: room-level sites would sit between stage A's
+// audio sites and stage C's net/NAL sites in every member's stream, so
+// keeping the stage plan-free is what lets pre-conference fault
+// schedules replay unchanged (the consultation-order contract below is
+// not renumbered).  Roles only retarget the per-session LayerSelector,
+// so the switch-only-at-IDR invariant and the per-speaker transport
+// lanes (jitter/FEC state) are untouched by dominance moves.
+void SessionManager::tick_rooms() {
+  for (Session* s : order_) {
+    const Slot& slot = sessions_.at(s->id());
+    if (slot.room != 0) {
+      rooms_.at(slot.room)->observe(s->id(), s->audio_energy(),
+                                    s->affect_confidence());
+    }
+  }
+  for (auto& [rid, room] : rooms_) room->tick(now_tick_);
+  for (Session* s : order_) {
+    const Slot& slot = sessions_.at(s->id());
+    if (slot.room != 0) {
+      s->set_speaker_role(rooms_.at(slot.room)->role(s->id()));
+    }
+  }
+}
+
 // Fault consultation contract (replay identity depends on this):
 // every plan is consulted at a FIXED per-tick site order, and every
 // site passes a mask DISJOINT from every other suite's sites.
@@ -369,6 +447,9 @@ void SessionManager::tick() {
                          });
     }
   }
+
+  // Stage R: room dominance (serial; see tick_rooms above).
+  if (!rooms_.empty()) tick_rooms();
 
   // Stage B: deterministic batch assembly + serialized inference,
   // shards in ascending order, sessions in id order within each.

@@ -66,6 +66,7 @@
 #include <string>
 #include <vector>
 
+#include "conf/room.hpp"
 #include "core/buffer_pool.hpp"
 #include "core/timer_wheel.hpp"
 #include "serve/batcher.hpp"
@@ -155,6 +156,8 @@ struct ServerStats {
   std::uint64_t sessions_quarantined = 0;
   std::uint64_t sessions_restarted = 0;
   std::uint64_t results_dropped_quarantined = 0;
+  // Conference rooms.
+  std::uint64_t rooms_created = 0;
   /// Session-ticks actually executed (sum of due-list sizes).  Equals
   /// ticks * open_sessions under compat scheduling; far smaller for a
   /// duty-cycled fleet on the wheel — the bench's idling evidence.
@@ -177,6 +180,26 @@ class SessionManager {
   /// Admits with the server's default session config and a seed derived
   /// from the new id.
   SessionId create_session();
+
+  /// Creates a conference room.  Members join via the create_session
+  /// overload below; the room's active-speaker detector runs as a
+  /// serial stage between audio and media in tick(), so every member's
+  /// speaker role is set before its switch policy is evaluated.
+  conf::RoomId create_room(const conf::RoomConfig& cfg = {});
+  /// Admits a session INTO a room: requires simulcast (the multiplexer
+  /// pins non-dominant speakers to lower rungs, which needs a ladder)
+  /// and, when the session uses the default policy, swaps in the
+  /// conference table (role rows).  Throws std::out_of_range for
+  /// unknown rooms, std::invalid_argument without simulcast, and
+  /// AdmissionError at capacity — membership is only recorded once the
+  /// session is actually admitted.
+  SessionId create_session(const SessionConfig& cfg, conf::RoomId room);
+
+  bool has_room(conf::RoomId id) const { return rooms_.contains(id); }
+  std::size_t open_rooms() const { return rooms_.size(); }
+  /// Throws std::out_of_range for unknown rooms.
+  const conf::Room& room(conf::RoomId id) const;
+  conf::RoomReport room_report(conf::RoomId id) const;
 
   /// Closes a session, freeing its admission slot.  Results still in
   /// the batcher for it are dropped on arrival.  Throws
@@ -237,6 +260,9 @@ class SessionManager {
     /// Batcher results still in flight at quarantine time; dropped on
     /// arrival so a restarted session never sees a stale window.
     std::size_t results_to_drop = 0;
+    /// Room membership (0 = none).  Survives quarantine restarts: the
+    /// fresh session rejoins the same room under the same id.
+    conf::RoomId room = 0;
     /// Wheel state: the tick of this slot's one valid wake entry (stale
     /// wheel entries fail the comparison and are ignored) and the last
     /// tick it was put on the due list (dedup).
@@ -262,6 +288,7 @@ class SessionManager {
 
   void build_due_compat();
   void build_due_wheel();
+  void tick_rooms();
   void restart_slot(SessionId id, Slot& slot);
   void route(std::span<const RoutedResult> results);
   void update_degrade_level();
@@ -293,6 +320,10 @@ class SessionManager {
   /// Ordered by id: iteration order (and thus batch assembly and
   /// parallel_for indexing) is deterministic.
   std::map<SessionId, Slot> sessions_;
+  /// Conference rooms, ordered by id (the room stage ticks them in this
+  /// order — deterministic).  unique_ptr: Room pins cached obs handles.
+  std::map<conf::RoomId, std::unique_ptr<conf::Room>> rooms_;
+  conf::RoomId next_room_ = 1;
   fault::FaultPlan fault_plan_;  ///< server-level faults (batcher)
   fault::FaultCounts fault_counts_;
   SessionId next_id_ = 1;

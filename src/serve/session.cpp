@@ -139,9 +139,11 @@ Session::Session(SessionId id, const SessionConfig& cfg, const SessionEnv& env,
           "Session: transport.layers must equal the simulcast clip's "
           "layer count");
     }
-    sim_policy_ = cfg_.simulcast.use_default_policy
-                      ? simulcast::default_switch_policy(n)
-                      : cfg_.simulcast.policy;
+    sim_policy_ = !cfg_.simulcast.use_default_policy
+                      ? cfg_.simulcast.policy
+                  : cfg_.simulcast.conference
+                      ? simulcast::conference_switch_policy(n)
+                      : simulcast::default_switch_policy(n);
     // Sessions join on the top layer; the first picture's join path
     // (sim_layer_valid_ starts false) tunes the decoder to it.
     sim_selector_ = simulcast::LayerSelector(n, n - 1);
@@ -220,6 +222,9 @@ void Session::update_rung(int ladder_pressure) {
 void Session::pump_audio(std::uint64_t tick, int ladder_pressure) {
   ++stats_.ticks;
   current_tick_ = tick;
+  // A tick that delivers no audio (stall, dropped chunk) is silence to
+  // the active-speaker detector.
+  last_energy_ = 0.0;
   // Rung chosen before any audio is pushed, so every window this tick
   // stages (the sink fires inside push_audio) carries one rung.
   update_rung(ladder_pressure);
@@ -251,6 +256,14 @@ void Session::pump_audio(std::uint64_t tick, int ladder_pressure) {
       return;  // capture gap: the chunk never reaches the pipeline
     }
     if (fault_counts_.total != before) c_faults_->add(1);
+  }
+  // Active-speaker observation: mean-square energy of the chunk that
+  // actually reaches the pipeline (post-fault, so a zeroed chunk reads
+  // as silence — the detector hears what the pipeline hears).
+  if (!chunk_.empty()) {
+    double acc = 0.0;
+    for (double s : chunk_) acc += s * s;
+    last_energy_ = acc / static_cast<double>(chunk_.size());
   }
   // Media time runs on the *local* clock: under compat scheduling it
   // equals the server tick, under wheel scheduling it advances only on
@@ -642,6 +655,7 @@ bool Session::sim_request_layer(std::size_t budget, int degrade_level,
       power::device_state_at(cfg_.simulcast.device, local_tick_);
   ctx.battery = dev.battery;
   ctx.thermal_headroom = dev.thermal_headroom;
+  ctx.speaker_role = speaker_role_;
   sim_selector_.request(
       sim_policy_.target_layer(policy_mode_, ctx, sim_clip_->layer_count()));
   if (shed) {
@@ -842,6 +856,7 @@ void Session::sim_sync_counters() {
 
 SessionReport Session::report() const {
   SessionReport rep;
+  rep.session_id = id_;
   rep.windows = windows_;
   rep.stable_trace = stable_trace_;
   rep.rung_trace = rung_trace_;

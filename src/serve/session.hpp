@@ -65,8 +65,14 @@ inline constexpr int kFrameShedLevel = 3;
 struct SimulcastSessionConfig {
   bool enabled = false;
   /// When true, `policy` is ignored and the session builds
-  /// simulcast::default_switch_policy(clip layer count).
+  /// simulcast::default_switch_policy(clip layer count) — or
+  /// conference_switch_policy when `conference` is also set.
   bool use_default_policy = true;
+  /// Room member: the default policy becomes the conference table (role
+  /// rows for recent/idle speakers).  The server sets this when a
+  /// session is created into a room; for the dominant speaker the table
+  /// reduces to the default one, so a K=1 room stays byte-identical.
+  bool conference = false;
   simulcast::SwitchPolicy policy{};
   /// Deterministic battery/thermal stub feeding the context vector (the
   /// default never triggers the low-power rows).
@@ -174,6 +180,9 @@ struct WindowRecord {
 /// smoothed emotion trace, a digest of every decoded pixel, and the
 /// counters.
 struct SessionReport {
+  /// Which session this report pins: multi-session (room) replay
+  /// comparisons need traces keyed by id, not by vector position.
+  SessionId session_id = 0;
   std::vector<WindowRecord> windows;
   std::vector<std::pair<double, affect::Emotion>> stable_trace;
   /// (local tick, new rung) for every ladder move — the replay-identity
@@ -301,6 +310,23 @@ class Session {
 
   adaptive::DecoderMode policy_mode() const { return policy_mode_; }
   adaptive::DecoderMode last_effective_mode() const { return effective_mode_; }
+
+  /// Mean-square energy of the last tick's audio chunk (0 during an
+  /// injected stall or a dropped chunk) — the active-speaker detector's
+  /// per-tick observation.  Valid after pump_audio().
+  double audio_energy() const { return last_energy_; }
+  /// EMA of applied-result confidence: the affect half of the
+  /// active-speaker score.
+  float affect_confidence() const { return conf_ema_; }
+  /// Conference role for this tick's switch-policy context.  Non-room
+  /// sessions stay kDominant forever, so the role column never fires
+  /// for them.  Set by the server's room stage before tick_media().
+  void set_speaker_role(simulcast::SpeakerRole role) {
+    speaker_role_ = static_cast<int>(role);
+  }
+  simulcast::SpeakerRole speaker_role() const {
+    return static_cast<simulcast::SpeakerRole>(speaker_role_);
+  }
   /// Precision rung new windows are currently staged on (kFp32 forever
   /// when the ladder is off).
   Rung rung() const { return rung_; }
@@ -413,6 +439,11 @@ class Session {
   adaptive::InputSelector selector_;
   std::size_t nal_cursor_ = 0;
   double frame_carry_ = 0.0;
+
+  // Conference inputs (inert outside a room: energy is tracked but
+  // unread, and the role stays kDominant).
+  double last_energy_ = 0.0;
+  int speaker_role_ = static_cast<int>(simulcast::SpeakerRole::kDominant);
 
   // Simulcast path (all dormant unless cfg.simulcast.enabled).
   const simulcast::SimulcastClip* sim_clip_ = nullptr;

@@ -16,6 +16,7 @@ std::size_t SwitchPolicy::target_layer(adaptive::DecoderMode mode,
     if (ctx.pressure < r.min_pressure) continue;
     if (r.lossy != -1 && (r.lossy == 1) != lossy) continue;
     if (r.low_power != -1 && (r.low_power == 1) != low_power) continue;
+    if (r.speaker_role != -1 && r.speaker_role != ctx.speaker_role) continue;
     return std::min(r.target, layers - 1);
   }
   return std::min(default_target, layers - 1);
@@ -47,6 +48,26 @@ SwitchPolicy default_switch_policy(std::size_t layers) {
       {.mode = static_cast<int>(adaptive::DecoderMode::kDeblockOff),
        .target = mid},
   };
+  return p;
+}
+
+SwitchPolicy conference_switch_policy(std::size_t layers) {
+  const std::size_t top = layers ? layers - 1 : 0;
+  const std::size_t mid = layers >= 3 ? top - 1 : 0;
+  SwitchPolicy p = default_switch_policy(layers);
+  // Role rows go after the bottom-pinning emergency rows (power, heavy
+  // backlog, moderate backlog + loss) and before the single-step-down
+  // rows: an idle or recent speaker never outbids a dying battery, and
+  // a dominant speaker falls through to exactly the default table —
+  // role kDominant matches no role row, so a K=1 room reduces to
+  // default_switch_policy verbatim.
+  const std::vector<SwitchRule> role_rows = {
+      {.target = 0,
+       .speaker_role = static_cast<int>(SpeakerRole::kIdle)},
+      {.target = mid,
+       .speaker_role = static_cast<int>(SpeakerRole::kRecent)},
+  };
+  p.rules.insert(p.rules.begin() + 3, role_rows.begin(), role_rows.end());
   return p;
 }
 

@@ -19,12 +19,22 @@
 
 namespace affectsys::simulcast {
 
+/// Conference role of the speaker a policy is deciding for.  Non-room
+/// sessions are always kDominant, so single-session behaviour is the
+/// role-blind PR 9 behaviour by construction.
+enum class SpeakerRole : int {
+  kDominant = 0,  ///< current active speaker — earns the top rung
+  kRecent = 1,    ///< spoke (or held the floor) within recent_ticks
+  kIdle = 2,      ///< silent long enough to pin to the bottom rung
+};
+
 /// Raw context sampled once per tick by the session.
 struct ContextVector {
   int pressure = 0;             ///< serve degrade-ladder level (0..3)
   double loss_rate = 0.0;       ///< lost / sent on the transport link
   double battery = 1.0;         ///< remaining fraction, [0, 1]
   double thermal_headroom = 1.0;
+  int speaker_role = 0;         ///< SpeakerRole as int (kDominant default)
 };
 
 /// Quantization thresholds applied before rule matching.
@@ -42,6 +52,9 @@ struct SwitchRule {
   int lossy = -1;         ///< -1 any, 0 require clean, 1 require lossy
   int low_power = -1;     ///< -1 any, 0 require ok, 1 require low
   std::size_t target = 0; ///< layer to forward (clamped to the clip)
+  int speaker_role = -1;  ///< SpeakerRole as int, -1 = any.  Declared
+                          ///< last so pre-conference positional
+                          ///< initializers keep their meaning.
 };
 
 struct SwitchPolicy {
@@ -61,5 +74,13 @@ struct SwitchPolicy {
 /// and the emotion-derived mode caps quality the same way it drives NAL
 /// deletion (Combined -> bottom, Deletion/DeblockOff -> mid).
 SwitchPolicy default_switch_policy(std::size_t layers);
+
+/// Conference policy: identical to default_switch_policy for the
+/// dominant speaker (so a K=1 room is byte-identical to a plain
+/// session), but pins idle speakers to the bottom rung and recent
+/// speakers to the mid rung.  The role rows sit AFTER the power /
+/// heavy-backlog / lossy-bottom rows — a dying battery or a degrade
+/// storm still outranks holding the floor.
+SwitchPolicy conference_switch_policy(std::size_t layers);
 
 }  // namespace affectsys::simulcast

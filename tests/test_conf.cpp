@@ -1,0 +1,639 @@
+// Conference suite (ctest labels "conf" + "serve"): the active-speaker
+// detector's dwell hysteresis and determinism properties, the
+// conference switch-policy table (role rows), the room stage's serve
+// integration — 8-speaker lossy replay identity including the
+// speaker_trace, K=1 room byte-identity with a plain simulcast session,
+// role-driven rung pinning, and transport-lane survival across
+// dominance moves — plus the RateController forced-IDR edge cases and
+// the SessionReport session-id pin.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "adaptive/modes.hpp"
+#include "conf/room.hpp"
+#include "conf/speaker.hpp"
+#include "fault/plan.hpp"
+#include "fault/scenario.hpp"
+#include "h264/ratecontrol.hpp"
+#include "serve/server.hpp"
+#include "serve/session.hpp"
+#include "serve/workload.hpp"
+#include "simulcast/encoder.hpp"
+#include "simulcast/policy.hpp"
+
+namespace adaptive = affectsys::adaptive;
+namespace conf = affectsys::conf;
+namespace fault = affectsys::fault;
+namespace h264 = affectsys::h264;
+namespace serve = affectsys::serve;
+namespace simulcast = affectsys::simulcast;
+
+namespace {
+
+/// splitmix64 — scripted observation schedules for the detector tests.
+std::uint64_t splitmix64(std::uint64_t& s) {
+  s += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Process-lifetime serve fixtures whose workload also built the stock
+/// 3-layer simulcast clip (same shape as the test_simulcast fixture).
+struct ConfWorld {
+  serve::SharedWorkload workload;
+  ConfWorld()
+      : workload([] {
+          serve::WorkloadConfig wc;
+          wc.simulcast = simulcast::default_simulcast_config();
+          return wc;
+        }()) {}
+};
+
+ConfWorld& conf_world() {
+  static ConfWorld w;
+  return w;
+}
+
+serve::SessionEnv conf_env() {
+  serve::SessionEnv env = fault::scenario_env();
+  env.workload = &conf_world().workload;
+  return env;
+}
+
+/// Wide watermarks: these tests pin ROLE-driven layer choices, so the
+/// backlog degrade ladder must stay quiet.
+serve::ServerConfig room_server_config() {
+  serve::ServerConfig cfg;
+  cfg.max_sessions = 16;
+  cfg.backlog_hi = 1000;
+  cfg.backlog_lo = 500;
+  return cfg;
+}
+
+serve::SessionConfig member_config(unsigned seed) {
+  serve::SessionConfig cfg;
+  cfg.seed = seed;
+  cfg.simulcast.enabled = true;
+  return cfg;
+}
+
+serve::SessionConfig lossy_member_config(unsigned seed) {
+  serve::SessionConfig cfg = member_config(seed);
+  cfg.fault = fault::FaultConfig{seed * 7 + 5, 0.05, fault::kNetKinds};
+  cfg.transport = fault::net_scenario_transport(true);
+  cfg.transport.layers = 3;
+  return cfg;
+}
+
+}  // namespace
+
+// ----------------------------------------------- active-speaker detector
+
+TEST(ActiveSpeaker, NeverFlapsFasterThanMinHold) {
+  // A scripted observation storm (random on/off speech for 4 members)
+  // may move dominance as often as it likes — but never two moves
+  // closer together than min_hold_ticks.
+  const conf::ActiveSpeakerConfig cfg;
+  conf::ActiveSpeakerDetector det(cfg);
+  for (conf::SpeakerId id = 1; id <= 4; ++id) det.add(id);
+
+  std::uint64_t rng = 99;
+  std::vector<std::uint64_t> switch_ticks;
+  conf::SpeakerId prev = 0;
+  bool have_prev = false;
+  for (std::uint64_t t = 0; t < 400; ++t) {
+    for (conf::SpeakerId id = 1; id <= 4; ++id) {
+      const bool speaks = splitmix64(rng) % 3 != 0;
+      const double energy =
+          speaks ? 0.01 + static_cast<double>(splitmix64(rng) % 100) / 1e4
+                 : 0.0;
+      const double confidence =
+          static_cast<double>(splitmix64(rng) % 100) / 99.0;
+      det.observe(id, energy, confidence);
+    }
+    const conf::SpeakerId dom = det.tick(t);
+    ASSERT_TRUE(det.has_dominant());
+    if (have_prev && dom != prev) switch_ticks.push_back(t);
+    prev = dom;
+    have_prev = true;
+  }
+  // The storm actually moved the floor, repeatedly.
+  ASSERT_GE(switch_ticks.size(), 2u);
+  EXPECT_EQ(det.stats().speaker_switches, switch_ticks.size());
+  for (std::size_t i = 1; i < switch_ticks.size(); ++i) {
+    EXPECT_GE(switch_ticks[i] - switch_ticks[i - 1], cfg.min_hold_ticks)
+        << "flap at tick " << switch_ticks[i];
+  }
+}
+
+namespace {
+
+/// One scripted room run: 5 members, seeded random speech, full report.
+conf::RoomReport scripted_room_report(std::uint64_t seed) {
+  conf::RoomConfig cfg;
+  conf::Room room(7, cfg);
+  for (conf::SpeakerId id = 1; id <= 5; ++id) room.add(id);
+  std::uint64_t rng = seed;
+  for (std::uint64_t t = 0; t < 300; ++t) {
+    for (conf::SpeakerId id = 1; id <= 5; ++id) {
+      const bool speaks = splitmix64(rng) % 4 == 0;
+      room.observe(id,
+                   speaks ? 0.02 : 0.0,
+                   static_cast<double>(splitmix64(rng) % 100) / 99.0);
+    }
+    room.tick(t);
+  }
+  return room.report();
+}
+
+}  // namespace
+
+TEST(ActiveSpeaker, DominanceIsAPureFunctionOfTheScript) {
+  // Same seed => the same speaker_trace, same roles, same counters —
+  // the whole RoomReport compares equal.  The trace's first entry is
+  // the initial election (tick 0), and the switches counter excludes
+  // it.
+  const conf::RoomReport a = scripted_room_report(1234);
+  const conf::RoomReport b = scripted_room_report(1234);
+  EXPECT_EQ(a, b);
+  ASSERT_GT(a.speaker_trace.size(), 1u);
+  EXPECT_EQ(a.speaker_trace.front().tick, 0u);
+  EXPECT_EQ(a.speaker_switches, a.speaker_trace.size() - 1);
+  EXPECT_EQ(a.ticks, 300u);
+  EXPECT_EQ(a.observations, 300u * 5u);
+
+  // A different script moves the floor differently.
+  const conf::RoomReport c = scripted_room_report(4321);
+  EXPECT_NE(a.speaker_trace, c.speaker_trace);
+}
+
+TEST(ActiveSpeaker, SilentRoomPinsStablyWithoutRotation) {
+  // Nobody ever clears the energy floor: the initial election hands the
+  // floor to the lowest id (the stable-pinning fallback) and nothing —
+  // not even 200 ticks of numeric dust — rotates it.
+  conf::RoomConfig cfg;
+  conf::Room room(1, cfg);
+  for (conf::SpeakerId id = 3; id <= 5; ++id) room.add(id);
+  for (std::uint64_t t = 0; t < 200; ++t) {
+    for (conf::SpeakerId id = 3; id <= 5; ++id) room.observe(id, 0.0, 0.5);
+    room.tick(t);
+  }
+  const conf::RoomReport rep = room.report();
+  EXPECT_EQ(rep.dominant, 3u);
+  ASSERT_EQ(rep.speaker_trace.size(), 1u);  // election only, no churn
+  EXPECT_EQ(rep.speaker_switches, 0u);
+  EXPECT_EQ(rep.silent_ticks, 200u);
+  // The floor holder keeps kDominant; everyone else is idle.
+  ASSERT_EQ(rep.roles.size(), 3u);
+  EXPECT_EQ(rep.roles[0].second, simulcast::SpeakerRole::kDominant);
+  EXPECT_EQ(rep.roles[1].second, simulcast::SpeakerRole::kIdle);
+  EXPECT_EQ(rep.roles[2].second, simulcast::SpeakerRole::kIdle);
+}
+
+TEST(ActiveSpeaker, AffectConfidenceBreaksEqualEnergy) {
+  // Equal energy, unequal confidence: the confidently emotional speaker
+  // out-accumulates the flat one (activity = 1 + affect_weight * conf).
+  conf::ActiveSpeakerDetector det;
+  det.add(1);
+  det.add(2);
+  for (std::uint64_t t = 0; t < 30; ++t) {
+    det.observe(1, 0.02, 0.0);
+    det.observe(2, 0.02, 0.9);
+    det.tick(t);
+  }
+  EXPECT_EQ(det.dominant(), 2u);
+  EXPECT_GT(det.score(2), det.score(1));
+}
+
+TEST(ActiveSpeaker, RolesDecayFromRecentToIdle) {
+  conf::ActiveSpeakerConfig cfg;  // recent_ticks = 30
+  conf::ActiveSpeakerDetector det(cfg);
+  det.add(1);
+  det.add(2);
+  det.add(3);
+  // Phase 1: speaker 1 holds the floor.
+  std::uint64_t t = 0;
+  for (; t < 20; ++t) {
+    det.observe(1, 0.02, 0.9);
+    det.tick(t);
+  }
+  EXPECT_EQ(det.dominant(), 1u);
+  // Phase 2: 1 falls silent, 2 speaks — dominance moves (after the
+  // margin crossing), and 1 is kRecent while its floor tenure is fresh.
+  for (; t < 45; ++t) {
+    det.observe(2, 0.02, 0.9);
+    det.tick(t);
+  }
+  EXPECT_EQ(det.dominant(), 2u);
+  EXPECT_EQ(det.stats().speaker_switches, 1u);
+  EXPECT_EQ(det.role(2), simulcast::SpeakerRole::kDominant);
+  EXPECT_EQ(det.role(1), simulcast::SpeakerRole::kRecent);
+  EXPECT_EQ(det.role(3), simulcast::SpeakerRole::kIdle);
+  // Phase 3: recent_ticks later, 1 has decayed to idle.
+  for (; t < 100; ++t) {
+    det.observe(2, 0.02, 0.9);
+    det.tick(t);
+  }
+  EXPECT_EQ(det.role(1), simulcast::SpeakerRole::kIdle);
+  EXPECT_EQ(det.role(2), simulcast::SpeakerRole::kDominant);
+}
+
+TEST(ActiveSpeaker, RemovingDominantForcesFreshElection) {
+  conf::ActiveSpeakerDetector det;
+  det.add(1);
+  det.add(2);
+  for (std::uint64_t t = 0; t < 8; ++t) {
+    det.observe(1, 0.02, 0.5);
+    det.observe(2, 0.02, 0.5);
+    det.tick(t);
+  }
+  EXPECT_EQ(det.dominant(), 1u);  // tie, lowest id
+  det.remove(1);
+  // Re-election is immediate — no min-hold protects an empty floor —
+  // even though only 1 tick passed since the last dominance change
+  // could have been adjudicated.
+  det.observe(2, 0.02, 0.5);
+  EXPECT_EQ(det.tick(8), 2u);
+  EXPECT_EQ(det.role(2), simulcast::SpeakerRole::kDominant);
+}
+
+// --------------------------------------------- conference switch policy
+
+TEST(ConferencePolicy, RoleRowsPinNonDominantSpeakers) {
+  const simulcast::SwitchPolicy p = simulcast::conference_switch_policy(3);
+  const auto mode = adaptive::DecoderMode::kStandard;
+  simulcast::ContextVector ctx;  // clean, full power, role = kDominant
+
+  EXPECT_EQ(p.target_layer(mode, ctx, 3), 2u);  // dominant earns the top
+  ctx.speaker_role = static_cast<int>(simulcast::SpeakerRole::kRecent);
+  EXPECT_EQ(p.target_layer(mode, ctx, 3), 1u);  // recent -> mid rung
+  ctx.speaker_role = static_cast<int>(simulcast::SpeakerRole::kIdle);
+  EXPECT_EQ(p.target_layer(mode, ctx, 3), 0u);  // idle -> bottom rung
+
+  // The emergency rows outrank holding (or having held) the floor: a
+  // heavy backlog or a lossy link under pressure pins the bottom layer
+  // whatever the role says.
+  ctx.speaker_role = static_cast<int>(simulcast::SpeakerRole::kRecent);
+  ctx.pressure = 2;
+  EXPECT_EQ(p.target_layer(mode, ctx, 3), 0u);
+  ctx.pressure = 1;
+  ctx.loss_rate = 0.5;
+  EXPECT_EQ(p.target_layer(mode, ctx, 3), 0u);
+}
+
+TEST(ConferencePolicy, DominantReducesToTheDefaultTable) {
+  // For the dominant speaker the conference table must be
+  // indistinguishable from the stock one across the whole quantized
+  // context space — that equivalence is what makes a K=1 room
+  // byte-identical to a plain session.
+  const simulcast::SwitchPolicy conference =
+      simulcast::conference_switch_policy(3);
+  const simulcast::SwitchPolicy stock = simulcast::default_switch_policy(3);
+  for (int mode = 0; mode < 4; ++mode) {
+    for (int pressure = 0; pressure <= 3; ++pressure) {
+      for (const double loss : {0.0, 0.5}) {
+        for (const double battery : {1.0, 0.05}) {
+          for (const double thermal : {1.0, 0.05}) {
+            simulcast::ContextVector ctx;
+            ctx.pressure = pressure;
+            ctx.loss_rate = loss;
+            ctx.battery = battery;
+            ctx.thermal_headroom = thermal;
+            ctx.speaker_role =
+                static_cast<int>(simulcast::SpeakerRole::kDominant);
+            const auto m = static_cast<adaptive::DecoderMode>(mode);
+            EXPECT_EQ(conference.target_layer(m, ctx, 3),
+                      stock.target_layer(m, ctx, 3))
+                << "mode=" << mode << " pressure=" << pressure
+                << " loss=" << loss << " battery=" << battery
+                << " thermal=" << thermal;
+          }
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------- serve room integration
+
+namespace {
+
+struct RoomRun {
+  std::vector<serve::SessionReport> reports;  ///< member id order
+  conf::RoomReport room;
+};
+
+RoomRun run_lossy_room(std::size_t members, std::uint64_t ticks) {
+  serve::SessionManager mgr(room_server_config(), conf_env());
+  const conf::RoomId room = mgr.create_room();
+  std::vector<serve::SessionId> ids;
+  for (std::size_t i = 0; i < members; ++i) {
+    ids.push_back(
+        mgr.create_session(lossy_member_config(101 + static_cast<unsigned>(i)),
+                           room));
+  }
+  for (std::uint64_t t = 0; t < ticks; ++t) mgr.tick();
+  mgr.drain();
+  RoomRun out;
+  for (const serve::SessionId id : ids) out.reports.push_back(mgr.report(id));
+  out.room = mgr.room_report(room);
+  return out;
+}
+
+}  // namespace
+
+TEST(ConfServe, EightSpeakerLossyRoomReplaysByteIdentical) {
+  // The flagship replay pin: 8 speakers, seeded packet loss on every
+  // member's transport, dominance moving with the emotion scripts — two
+  // runs must agree on every digest, every layer_trace, every transport
+  // counter AND the room's speaker_trace.
+  const RoomRun a = run_lossy_room(8, 140);
+  const RoomRun b = run_lossy_room(8, 140);
+
+  EXPECT_EQ(a.room, b.room);
+  ASSERT_EQ(a.reports.size(), b.reports.size());
+  std::uint64_t switches = 0, lost = 0;
+  for (std::size_t i = 0; i < a.reports.size(); ++i) {
+    const serve::SessionReport& ra = a.reports[i];
+    const serve::SessionReport& rb = b.reports[i];
+    EXPECT_EQ(ra.session_id, rb.session_id);
+    EXPECT_EQ(ra.decode_digest, rb.decode_digest) << "member " << i;
+    EXPECT_EQ(ra.layer_trace, rb.layer_trace) << "member " << i;
+    EXPECT_EQ(ra.stats.frames_decoded, rb.stats.frames_decoded);
+    EXPECT_EQ(ra.stats.packets_lost, rb.stats.packets_lost);
+    EXPECT_EQ(ra.stats.nals_lost, rb.stats.nals_lost);
+    EXPECT_EQ(ra.stats.layer_switches, rb.stats.layer_switches);
+    EXPECT_EQ(ra.stats.layer_bytes, rb.stats.layer_bytes);
+    EXPECT_EQ(ra.stats.layer_pictures, rb.stats.layer_pictures);
+    switches += ra.stats.layer_switches;
+    lost += ra.stats.packets_lost;
+  }
+  // The run actually exercised the machinery: dominance moved, layers
+  // switched, the channel dropped packets.
+  EXPECT_GT(a.room.speaker_trace.size(), 1u);
+  EXPECT_GT(switches, 0u);
+  EXPECT_GT(lost, 0u);
+}
+
+TEST(ConfServe, SingleMemberRoomMatchesPlainSimulcastSession) {
+  // K=1 compatibility: the lone member is elected dominant on the first
+  // tick, the conference table's role rows never match kDominant, so a
+  // one-member room is byte-identical to the same session outside any
+  // room.
+  const serve::SessionConfig cfg = member_config(55);
+
+  serve::SessionManager plain(room_server_config(), conf_env());
+  const serve::SessionId pid = plain.create_session(cfg);
+
+  serve::SessionManager roomed(room_server_config(), conf_env());
+  const conf::RoomId room = roomed.create_room();
+  const serve::SessionId rid = roomed.create_session(cfg, room);
+
+  for (std::uint64_t t = 0; t < 100; ++t) {
+    plain.tick();
+    roomed.tick();
+  }
+  plain.drain();
+  roomed.drain();
+
+  const serve::SessionReport a = plain.report(pid);
+  const serve::SessionReport b = roomed.report(rid);
+  EXPECT_EQ(a.decode_digest, b.decode_digest);
+  EXPECT_EQ(a.layer_trace, b.layer_trace);
+  EXPECT_EQ(a.stats.frames_decoded, b.stats.frames_decoded);
+  EXPECT_EQ(a.stats.layer_switches, b.stats.layer_switches);
+  EXPECT_EQ(a.stats.layer_bytes, b.stats.layer_bytes);
+  EXPECT_EQ(a.stats.layer_pictures, b.stats.layer_pictures);
+  EXPECT_EQ(a.windows.size(), b.windows.size());
+  // The room itself reports its lone member as dominant throughout.
+  const conf::RoomReport rr = roomed.room_report(room);
+  EXPECT_EQ(rr.dominant, rid);
+  EXPECT_EQ(rr.speaker_trace.size(), 1u);
+  EXPECT_EQ(rr.speaker_switches, 0u);
+}
+
+TEST(ConfServe, RolesPinLadderRungsAndKeepTheIdrInvariant) {
+  // Clean 4-speaker room: non-dominant members are pinned to lower
+  // rungs by the role rows, dominance moves still honour
+  // switch-only-at-IDR, and the switch latency stays under one GOP.
+  const simulcast::SimulcastClip& clip =
+      *conf_world().workload.simulcast_clip();
+  const int gop = conf_world().workload.config().simulcast.gop_frames;
+
+  serve::SessionManager mgr(room_server_config(), conf_env());
+  const conf::RoomId room = mgr.create_room();
+  std::vector<serve::SessionId> ids;
+  for (unsigned i = 0; i < 4; ++i) {
+    ids.push_back(mgr.create_session(member_config(201 + i), room));
+  }
+  for (std::uint64_t t = 0; t < 160; ++t) mgr.tick();
+  mgr.drain();
+
+  const conf::RoomReport rr = mgr.room_report(room);
+  EXPECT_GT(rr.speaker_trace.size(), 1u);  // dominance actually moved
+
+  std::size_t dominant_count = 0, pinned_members = 0;
+  std::uint64_t top_pictures = 0, lower_pictures = 0;
+  for (const serve::SessionId id : ids) {
+    const serve::SessionReport rep = mgr.report(id);
+    for (const auto& [pic, layer] : rep.layer_trace) {
+      EXPECT_LT(layer, clip.layer_count());
+      EXPECT_TRUE(clip.idr_at(pic % clip.pictures()))
+          << "member " << id << ": layer change at non-IDR picture " << pic;
+    }
+    EXPECT_LT(rep.layer_selector.max_wait_pictures,
+              static_cast<std::uint64_t>(gop));
+    top_pictures += rep.stats.layer_pictures[2];
+    lower_pictures +=
+        rep.stats.layer_pictures[0] + rep.stats.layer_pictures[1];
+    if (rep.stats.layer_pictures[0] + rep.stats.layer_pictures[1] > 0) {
+      ++pinned_members;
+    }
+  }
+  for (const auto& [id, role] : rr.roles) {
+    if (role == simulcast::SpeakerRole::kDominant) ++dominant_count;
+  }
+  EXPECT_EQ(dominant_count, 1u);   // exactly one floor holder
+  EXPECT_GE(pinned_members, 3u);   // the others spent time on lower rungs
+  EXPECT_GT(top_pictures, 0u);     // somebody held the top rung
+  EXPECT_GT(lower_pictures, top_pictures);  // most pictures ride low rungs
+}
+
+TEST(ConfServe, DominanceMovesDoNotResetTransportLanes) {
+  // A dominance move retargets the sender's LayerSelector — it must NOT
+  // touch per-speaker jitter/FEC state.  Transport counters sampled
+  // every tick stay monotonic across every speaker switch, and the
+  // members keep receiving NALs after the floor moves away from them.
+  serve::SessionManager mgr(room_server_config(), conf_env());
+  const conf::RoomId room = mgr.create_room();
+  std::vector<serve::SessionId> ids;
+  for (unsigned i = 0; i < 3; ++i) {
+    serve::SessionConfig cfg = member_config(301 + i);
+    cfg.transport = fault::net_scenario_transport(true);
+    cfg.transport.layers = 3;
+    ids.push_back(mgr.create_session(cfg, room));
+  }
+  std::vector<std::uint64_t> last_sent(ids.size(), 0);
+  std::vector<std::uint64_t> last_received(ids.size(), 0);
+  for (std::uint64_t t = 0; t < 160; ++t) {
+    mgr.tick();
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const serve::SessionReport rep = mgr.report(ids[i]);
+      EXPECT_GE(rep.transport.packets_sent, last_sent[i])
+          << "member " << i << " transport reset at tick " << t;
+      EXPECT_GE(rep.transport.nals_received, last_received[i])
+          << "member " << i << " receive path reset at tick " << t;
+      last_sent[i] = rep.transport.packets_sent;
+      last_received[i] = rep.transport.nals_received;
+    }
+  }
+  mgr.drain();
+  const conf::RoomReport rr = mgr.room_report(room);
+  EXPECT_GT(rr.speaker_switches, 0u);  // the floor did move
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_GT(last_sent[i], 0u);
+    EXPECT_GT(last_received[i], 0u);
+    EXPECT_EQ(mgr.report(ids[i]).transport.packets_lost, 0u);  // clean link
+  }
+}
+
+TEST(ConfServe, RoomLifecycleAndValidation) {
+  serve::SessionManager mgr(room_server_config(), conf_env());
+  EXPECT_EQ(mgr.open_rooms(), 0u);
+  const conf::RoomId room = mgr.create_room();
+  EXPECT_TRUE(mgr.has_room(room));
+  EXPECT_EQ(mgr.stats().rooms_created, 1u);
+
+  // Unknown room and simulcast-less members are rejected before any
+  // membership is recorded.
+  EXPECT_THROW(mgr.create_session(member_config(1), room + 99),
+               std::out_of_range);
+  serve::SessionConfig plain;  // simulcast off
+  EXPECT_THROW(mgr.create_session(plain, room), std::invalid_argument);
+  EXPECT_EQ(mgr.room(room).members(), 0u);
+
+  const serve::SessionId a = mgr.create_session(member_config(2), room);
+  const serve::SessionId b = mgr.create_session(member_config(3), room);
+  EXPECT_EQ(mgr.room(room).members(), 2u);
+  for (int i = 0; i < 10; ++i) mgr.tick();
+
+  // Closing a member leaves the room; closing the dominant member
+  // re-elects without breaking the survivors.
+  mgr.close_session(a);
+  EXPECT_EQ(mgr.room(room).members(), 1u);
+  for (int i = 0; i < 10; ++i) mgr.tick();
+  mgr.drain();
+  EXPECT_EQ(mgr.room_report(room).dominant, b);
+}
+
+// --------------------------------------------------- session-id pinning
+
+TEST(ConfServe, ReportsCarryTheirSessionId) {
+  // Multi-session replay comparisons key traces by id, not by vector
+  // position — every report must pin the id it belongs to.
+  serve::SessionManager mgr(room_server_config(), conf_env());
+  const serve::SessionId a = mgr.create_session(member_config(41));
+  const serve::SessionId b = mgr.create_session(member_config(42));
+  for (int i = 0; i < 12; ++i) mgr.tick();
+  mgr.drain();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(mgr.report(a).session_id, a);
+  EXPECT_EQ(mgr.report(b).session_id, b);
+  // Survives close + admit: the fresh session reports its own id.
+  mgr.close_session(a);
+  const serve::SessionId c = mgr.create_session(member_config(43));
+  for (int i = 0; i < 5; ++i) mgr.tick();
+  mgr.drain();
+  EXPECT_EQ(mgr.report(c).session_id, c);
+}
+
+// ------------------------------------------- rate controller forced IDRs
+
+TEST(RateControl, ForcedIdrOnZeroBudgetBucketIsANoOp) {
+  // A fresh controller has an exactly-on-budget bucket; forgiveness
+  // must not conjure debt or credit out of nothing.
+  h264::RateControlConfig cfg;
+  h264::RateController rc(cfg);
+  const int qp0 = rc.next_qp();
+  rc.begin_forced_idr();
+  EXPECT_EQ(rc.buffer_bits(), 0.0);
+  EXPECT_EQ(rc.next_qp(), qp0);
+}
+
+TEST(RateControl, ForcedIdrClampsCreditAsWellAsDebt) {
+  // A run of tiny pictures builds deep credit; forgiveness clamps it to
+  // -reaction * budget so the first pictures of the new GOP cannot
+  // splurge unboundedly.
+  h264::RateControlConfig cfg;
+  h264::RateController rc(cfg);
+  const double budget = cfg.target_bps / cfg.fps;
+  for (int i = 0; i < 6; ++i) rc.picture_coded(0);
+  EXPECT_LT(rc.buffer_bits(), -3.0 * cfg.reaction * budget);
+  rc.begin_forced_idr();
+  EXPECT_DOUBLE_EQ(rc.buffer_bits(), -cfg.reaction * budget);
+}
+
+TEST(RateControl, BackToBackForcedIdrsAreIdempotent) {
+  h264::RateControlConfig cfg;
+  h264::RateController rc(cfg);
+  const double budget = cfg.target_bps / cfg.fps;
+  rc.picture_coded(static_cast<std::size_t>(12.0 * budget / 8.0));
+  rc.begin_forced_idr();
+  const double clamped = rc.buffer_bits();
+  const int qp = rc.next_qp();
+  // A second (and third) forced IDR with no pictures in between changes
+  // nothing: the clamp is a fixed point.
+  rc.begin_forced_idr();
+  rc.begin_forced_idr();
+  EXPECT_DOUBLE_EQ(rc.buffer_bits(), clamped);
+  EXPECT_EQ(rc.next_qp(), qp);
+  // A switch-storm worst case — fat picture, forced IDR, repeat — keeps
+  // the bucket inside the clamp band and QP inside its bounds.
+  for (int i = 0; i < 8; ++i) {
+    rc.picture_coded(static_cast<std::size_t>(10.0 * budget / 8.0));
+    rc.begin_forced_idr();
+    EXPECT_LE(rc.buffer_bits(), cfg.reaction * budget + 1e-9);
+    EXPECT_GE(rc.buffer_bits(), -cfg.reaction * budget - 1e-9);
+    EXPECT_GE(rc.next_qp(), cfg.min_qp);
+    EXPECT_LE(rc.next_qp(), cfg.max_qp);
+  }
+}
+
+TEST(RateControl, ForgivenessThenDownswitchRelaxesQpWithinTheGop) {
+  // Forced-IDR forgiveness followed by a downswitch in the SAME GOP:
+  // the smaller layer's slices run under budget, so QP must come back
+  // down within a few pictures instead of ratcheting on stale debt.
+  h264::RateControlConfig cfg;
+  h264::RateController rc(cfg);
+  const double budget = cfg.target_bps / cfg.fps;
+  // Over-budget run on the big layer spikes QP.
+  for (int i = 0; i < 4; ++i) {
+    rc.picture_coded(static_cast<std::size_t>(4.0 * budget / 8.0));
+  }
+  const int spiked = rc.next_qp();
+  EXPECT_GT(spiked, cfg.initial_qp);
+  rc.begin_forced_idr();
+  // Downswitched slices: a quarter of the picture budget each.
+  for (int i = 0; i < 6; ++i) {
+    rc.picture_coded(static_cast<std::size_t>(0.25 * budget / 8.0));
+  }
+  EXPECT_LT(rc.next_qp(), spiked);
+  EXPECT_LT(rc.buffer_bits(), 0.0);  // the bucket swung to credit
+}
+
+TEST(RateControl, RejectsDegenerateConfigs) {
+  h264::RateControlConfig cfg;
+  cfg.target_bps = 0.0;
+  EXPECT_THROW(h264::RateController{cfg}, std::invalid_argument);
+  cfg = {};
+  cfg.fps = 0.0;
+  EXPECT_THROW(h264::RateController{cfg}, std::invalid_argument);
+  cfg = {};
+  cfg.min_qp = 30;
+  cfg.max_qp = 20;
+  EXPECT_THROW(h264::RateController{cfg}, std::invalid_argument);
+}

@@ -15,6 +15,9 @@
 //                                                   verify bit-identical
 //   affectsys_cli simulcast [seed]                  encode the stock layer
 //                                                   ladder, per-layer size/PSNR
+//   affectsys_cli conference [speakers] [ticks]     run an N-speaker room,
+//                                                   print the floor timeline +
+//                                                   per-member role/rung table
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,8 +43,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: affectsys_cli <synth-scl|synth-usage|classify|"
-               "playback|manager|modes|serve|fault-replay|simulcast> "
-               "[args]\n");
+               "playback|manager|modes|serve|fault-replay|simulcast|"
+               "conference> [args]\n");
   return 2;
 }
 
@@ -404,6 +407,86 @@ int cmd_simulcast(int argc, char** argv) {
   return 0;
 }
 
+/// Runs an N-speaker conference room (simulcast + transport on every
+/// member) and prints the dominant-speaker timeline plus a per-member
+/// role/rung/wire table — the at-a-glance view of what active-speaker
+/// multiplexing does to the ladder.
+int cmd_conference(int argc, char** argv) {
+  const std::size_t n =
+      argc > 0 ? static_cast<std::size_t>(std::atoi(argv[0])) : 8;
+  const int ticks = argc > 1 ? std::atoi(argv[1]) : 200;
+  if (n == 0 || ticks <= 0) return usage();
+
+  std::printf("building simulcast workload + scenario fixtures...\n");
+  serve::SharedWorkload workload([] {
+    serve::WorkloadConfig wc;
+    wc.simulcast = simulcast::default_simulcast_config();
+    return wc;
+  }());
+  serve::SessionEnv env = fault::scenario_env();
+  env.workload = &workload;
+
+  serve::ServerConfig cfg;
+  cfg.max_sessions = n;
+  cfg.backlog_hi = 1000;  // isolate role-driven switching from the
+  cfg.backlog_lo = 500;   // backlog degrade ladder
+  serve::SessionManager server(cfg, env);
+  const conf::RoomId room = server.create_room();
+  std::vector<serve::SessionId> ids;
+  for (std::size_t i = 0; i < n; ++i) {
+    serve::SessionConfig sc;
+    sc.seed = 101 + static_cast<unsigned>(i);
+    sc.simulcast.enabled = true;
+    sc.transport = fault::net_scenario_transport(true);
+    sc.transport.layers = 3;
+    ids.push_back(server.create_session(sc, room));
+  }
+  for (int t = 0; t < ticks; ++t) server.tick();
+  server.drain();
+
+  const conf::RoomReport rr = server.room_report(room);
+  std::printf("%zu speakers x %d ticks: %llu dominance moves, "
+              "%llu silent ticks\n",
+              n, ticks,
+              static_cast<unsigned long long>(rr.speaker_switches),
+              static_cast<unsigned long long>(rr.silent_ticks));
+  std::printf("floor timeline:");
+  for (const conf::SpeakerTraceEntry& e : rr.speaker_trace) {
+    std::printf(" @%llu->s%llu", static_cast<unsigned long long>(e.tick),
+                static_cast<unsigned long long>(e.speaker));
+  }
+  std::printf("\n");
+
+  const auto role_name = [](simulcast::SpeakerRole r) {
+    switch (r) {
+      case simulcast::SpeakerRole::kDominant: return "dominant";
+      case simulcast::SpeakerRole::kRecent: return "recent";
+      default: return "idle";
+    }
+  };
+  std::printf("%4s %9s %8s %8s %8s %10s %8s\n", "id", "role", "L0 pics",
+              "L1 pics", "L2 pics", "wire B", "switches");
+  std::uint64_t total_bytes = 0;
+  for (const auto id : ids) {
+    const auto rep = server.report(id);
+    std::uint64_t bytes = 0;
+    for (const std::uint64_t b : rep.stats.layer_bytes) bytes += b;
+    total_bytes += bytes;
+    std::printf("%4llu %9s %8llu %8llu %8llu %10llu %8llu\n",
+                static_cast<unsigned long long>(id),
+                role_name(server.room(room).role(id)),
+                static_cast<unsigned long long>(rep.stats.layer_pictures[0]),
+                static_cast<unsigned long long>(rep.stats.layer_pictures[1]),
+                static_cast<unsigned long long>(rep.stats.layer_pictures[2]),
+                static_cast<unsigned long long>(bytes),
+                static_cast<unsigned long long>(rep.stats.layer_switches));
+  }
+  std::printf("total wire bytes: %llu (bench_conference compares this "
+              "against the all-speakers-top-layer wire)\n",
+              static_cast<unsigned long long>(total_bytes));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -424,6 +507,9 @@ int main(int argc, char** argv) {
     }
     if (!std::strcmp(cmd, "simulcast")) {
       return cmd_simulcast(argc - 2, argv + 2);
+    }
+    if (!std::strcmp(cmd, "conference")) {
+      return cmd_conference(argc - 2, argv + 2);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

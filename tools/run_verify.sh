@@ -17,6 +17,9 @@
 #                                  # bench_inference Pareto gates (Release)
 #   tools/run_verify.sh simulcast  # simulcast suite under ASan+UBSan and
 #                                  # Release (+ bench_simulcast gates)
+#   tools/run_verify.sh conference # conference suite under ASan+UBSan and
+#                                  # TSan (the room stage rides the pool),
+#                                  # then Release (+ bench_conference gates)
 #
 # Build trees: build/ (default), build-nothreads/, build-asan/,
 # build-tsan/ and build-release/ (kernels).  Tests carry the ctest label "tier1"; the sanitized
@@ -227,6 +230,38 @@ pass_simulcast() {
   fi
 }
 
+# Conference pass: the conference suite (label "conf": active-speaker
+# detector properties, role-row policy table, room replay/compat pins
+# through the SessionManager, forced-IDR rate-control edges, and the
+# 220-plan policy-table fuzz sweep) under ASan+UBSan for the fuzz
+# runner's transport paths and TSan because the room stage runs between
+# the parallel audio/media stages, then Release followed by
+# bench_conference, which hard-fails on lossy-room replay divergence,
+# K=1 divergence from a plain session, speaker-switch latency >= 1 GOP,
+# or a wire-byte reduction below 30% vs all-speakers-top-layer.  The
+# committed BENCH_conference.json is soft-checked: the wire reduction
+# must stay within 10% of the committed figure.
+pass_conference() {
+  run_pass build-asan conference-asan conf -DAFFECTSYS_SANITIZE=ON
+  run_pass build-tsan conference-tsan conf -DAFFECTSYS_SANITIZE=thread
+  run_pass build-release conference-release conf -DCMAKE_BUILD_TYPE=Release
+  echo "=== [conference] bench_conference ==="
+  local fresh="build-release/BENCH_conference.json"
+  ./build-release/bench/bench_conference "$fresh"
+  if [[ -f BENCH_conference.json ]]; then
+    local committed_red fresh_red
+    committed_red=$(grep -o '"wire_reduction_pct": [0-9.]*' BENCH_conference.json | awk '{print $2}')
+    fresh_red=$(grep -o '"wire_reduction_pct": [0-9.]*' "$fresh" | awk '{print $2}')
+    echo "wire_reduction_pct: committed=$committed_red fresh=$fresh_red"
+    if ! awk -v f="$fresh_red" -v c="$committed_red" 'BEGIN { exit !(f >= 0.9 * c) }'; then
+      echo "FAIL: wire reduction regressed >10% vs committed BENCH_conference.json" >&2
+      exit 1
+    fi
+  else
+    echo "no committed BENCH_conference.json; skipping reduction check"
+  fi
+}
+
 case "$mode" in
   default)   pass_default ;;
   nothreads) pass_nothreads ;;
@@ -238,6 +273,7 @@ case "$mode" in
   net)       pass_net ;;
   inference) pass_inference ;;
   simulcast) pass_simulcast ;;
+  conference) pass_conference ;;
   all)
     pass_default
     pass_nothreads
@@ -249,8 +285,9 @@ case "$mode" in
     pass_net
     pass_inference
     pass_simulcast
+    pass_conference
     ;;
-  *) echo "usage: $0 [default|nothreads|sanitize|tsan|kernels|serve|fault|net|inference|simulcast|all]" >&2; exit 2 ;;
+  *) echo "usage: $0 [default|nothreads|sanitize|tsan|kernels|serve|fault|net|inference|simulcast|conference|all]" >&2; exit 2 ;;
 esac
 
 echo "verification passed ($mode)"
